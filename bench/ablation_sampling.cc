@@ -1,0 +1,100 @@
+// Ablation bench for the DESIGN.md design choices:
+//  (a) multi-select (the paper's O(m log s) recursive selection) vs sorting
+//      each run (O(m log m)) — the paper's reason for using selection;
+//  (b) the single-selection algorithm inside multi-select;
+//  (c) k-way tournament merge vs repeated two-way merging of the r sample
+//      lists (the paper's O(rs log r) step).
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "core/kway_merge.h"
+#include "select/multi_select.h"
+#include "util/timer.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+double TimeIt(const std::function<void()>& fn, int trials = 3) {
+  double best = 1e100;
+  for (int t = 0; t < trials; ++t) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const uint64_t m = options.Scaled(1 << 20, /*multiple=*/4096);
+
+  // --- (a)+(b): sampling one run of m elements with s samples. ---
+  {
+    TextTable table;
+    table.SetTitle("Ablation A: time (s) to extract s regular samples from "
+                   "a run of " + HumanCount(m) + " elements");
+    table.AddHeader({"s", "multi-select/introselect",
+                     "multi-select/floyd-rivest",
+                     "multi-select/median-of-medians",
+                     "multi-select/nth_element", "full-sort"});
+    DatasetSpec spec;
+    spec.n = m;
+    spec.seed = options.seed;
+    const std::vector<Key> data = GenerateDataset<Key>(spec);
+    for (uint64_t s : {256, 1024, 4096}) {
+      std::vector<std::string> row{std::to_string(s)};
+      for (SelectAlgorithm a :
+           {SelectAlgorithm::kIntroSelect, SelectAlgorithm::kFloydRivest,
+            SelectAlgorithm::kMedianOfMedians,
+            SelectAlgorithm::kStdNthElement}) {
+        row.push_back(TextTable::Num(TimeIt([&] {
+          std::vector<Key> work = data;
+          Xoshiro256 rng(1);
+          RegularSamples(work.data(), work.size(), s, a, rng);
+        }), 4));
+      }
+      row.push_back(TextTable::Num(TimeIt([&] {
+        std::vector<Key> work = data;
+        RegularSamplesBySorting(work.data(), work.size(), m / s);
+      }), 4));
+      table.AddRow(row);
+    }
+    Emit(table, options);
+  }
+
+  // --- (c): merging r sorted sample lists of s=1024 each. ---
+  {
+    TextTable table;
+    table.SetTitle(
+        "Ablation B: time (s) to merge r sorted sample lists (s=1024)");
+    table.AddHeader({"r", "k-way tournament", "repeated two-way"});
+    for (uint64_t r : {8, 32, 128, 512}) {
+      std::vector<std::vector<Key>> lists(r);
+      Xoshiro256 rng(options.seed);
+      for (auto& list : lists) {
+        list.resize(1024);
+        for (auto& v : list) v = rng.Next();
+        std::sort(list.begin(), list.end());
+      }
+      std::vector<std::string> row{std::to_string(r)};
+      row.push_back(TextTable::Num(TimeIt([&] {
+        KWayMergeSorted(lists);
+      }), 4));
+      row.push_back(TextTable::Num(TimeIt([&] {
+        std::vector<Key> acc;
+        for (const auto& list : lists) acc = MergeSorted(acc, list);
+      }), 4));
+      table.AddRow(row);
+    }
+    Emit(table, options);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

@@ -1,0 +1,118 @@
+#include "bench/bench_common.h"
+
+#include <sstream>
+
+#include "util/timer.h"
+
+namespace opaq {
+namespace bench {
+
+std::vector<std::string> DectileLabels() {
+  std::vector<std::string> out;
+  for (int d = 1; d <= 9; ++d) out.push_back(std::to_string(d * 10) + "%");
+  return out;
+}
+
+std::vector<double> DectilePhis() {
+  std::vector<double> out;
+  for (int d = 1; d <= 9; ++d) out.push_back(d / 10.0);
+  return out;
+}
+
+SequentialRunResult RunSequentialOpaq(const std::vector<Key>& data,
+                                      const OpaqConfig& config) {
+  SequentialRunResult result;
+  WallTimer timer;
+  OpaqEstimator<Key> est = EstimateQuantilesInMemory(data, config);
+  auto estimates = est.EquiQuantiles(10);
+  result.seconds = timer.ElapsedSeconds();
+  GroundTruth<Key> truth(data);
+  result.rer = ComputeRer(truth, estimates, 10);
+  return result;
+}
+
+SimulatedDisk MakeSimulatedDisk(const std::vector<Key>& data, bool sleep_mode,
+                                const DiskModel& model) {
+  auto memory = std::make_unique<MemoryBlockDevice>();
+  OPAQ_CHECK_OK(WriteDataset(data, memory.get()));
+  auto throttled = std::make_unique<ThrottledDevice>(
+      std::move(memory), model,
+      sleep_mode ? ThrottledDevice::Mode::kSleep
+                 : ThrottledDevice::Mode::kAccount);
+  auto file = TypedDataFile<Key>::Open(throttled.get());
+  OPAQ_CHECK_OK(file.status());
+  return SimulatedDisk{std::move(throttled), std::move(file).value()};
+}
+
+ParallelDataset MakeParallelDataset(int p, uint64_t per_rank,
+                                    Distribution distribution, uint64_t seed,
+                                    bool sleep_mode, bool keep_union,
+                                    const DiskModel& model) {
+  ParallelDataset out;
+  out.disks.reserve(p);
+  for (int r = 0; r < p; ++r) {
+    DatasetSpec spec;
+    spec.n = per_rank;
+    spec.distribution = distribution;
+    spec.seed = seed + static_cast<uint64_t>(r) * 7919;
+    std::vector<Key> data = GenerateDataset<Key>(spec);
+    if (keep_union) {
+      out.union_data.insert(out.union_data.end(), data.begin(), data.end());
+    }
+    out.disks.push_back(MakeSimulatedDisk(data, sleep_mode, model));
+  }
+  for (auto& disk : out.disks) out.files.push_back(&disk.file);
+  return out;
+}
+
+TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
+                                  uint64_t run_size,
+                                  uint64_t samples_per_run) {
+  ParallelDataset dataset =
+      MakeParallelDataset(p, per_rank, Distribution::kUniform, seed,
+                          /*sleep_mode=*/true, /*keep_union=*/false);
+  Cluster::Options cluster_options;
+  cluster_options.num_processors = p;
+  cluster_options.comm_mode = Cluster::CommMode::kSleep;
+  Cluster cluster(cluster_options);
+  ParallelOpaqOptions opaq_options;
+  opaq_options.config.run_size = run_size;
+  opaq_options.config.samples_per_run = samples_per_run;
+  // The paper uses the sample merge for all scalability results ("we only
+  // present results using sample merge for the rest of this section").
+  opaq_options.merge_method = MergeMethod::kSample;
+  auto result = RunParallelOpaq(cluster, dataset.files, opaq_options);
+  OPAQ_CHECK_OK(result.status());
+  TimedParallelRun out;
+  out.total_seconds = result->total_wall_seconds;
+  out.timers = cluster.AveragedTimers();
+  return out;
+}
+
+std::string HumanCount(uint64_t n) {
+  std::ostringstream os;
+  if (n % (1000 * 1000) == 0) {
+    os << n / (1000 * 1000) << "M";
+  } else if (n % 1000 == 0 && n >= 1000 * 1000) {
+    os << static_cast<double>(n) / 1e6 << "M";
+  } else if (n >= 1000 * 1000) {
+    os << static_cast<double>(n) / 1e6 << "M";
+  } else if (n % 1000 == 0) {
+    os << n / 1000 << "K";
+  } else {
+    os << n;
+  }
+  return os.str();
+}
+
+void Emit(const TextTable& table, const BenchOptions& options) {
+  table.Print(std::cout);
+  if (options.csv) {
+    std::cout << "\n[csv]\n";
+    table.PrintCsv(std::cout);
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace bench
+}  // namespace opaq

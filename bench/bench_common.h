@@ -1,0 +1,124 @@
+#ifndef OPAQ_BENCH_BENCH_COMMON_H_
+#define OPAQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/opaq.h"
+#include "data/dataset.h"
+#include "io/block_device.h"
+#include "io/throttled_device.h"
+#include "metrics/ground_truth.h"
+#include "metrics/rer.h"
+#include "parallel/parallel_opaq.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace opaq {
+namespace bench {
+
+/// Keys used throughout the paper-table benches (the paper's integer keys).
+using Key = uint64_t;
+
+/// Common bench configuration parsed from the command line.
+///
+/// Every harness accepts:
+///   --scale=F    multiply all data sizes by F (default 1.0 = paper sizes)
+///   --seed=N     base RNG seed (default 42)
+///   --csv        also emit CSV rows (for plotting)
+///   --procs=N    cap on simulated processors (default: paper's counts)
+struct BenchOptions {
+  double scale = 1.0;
+  uint64_t seed = 42;
+  bool csv = false;
+  int max_procs = 16;
+
+  static BenchOptions FromArgs(int argc, char** argv) {
+    auto flags = Flags::Parse(argc, argv);
+    OPAQ_CHECK_OK(flags.status());
+    BenchOptions options;
+    options.scale = flags->GetDouble("scale", 1.0);
+    options.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
+    options.csv = flags->GetBool("csv", false);
+    options.max_procs = static_cast<int>(flags->GetInt("procs", 16));
+    OPAQ_CHECK(options.scale > 0);
+    return options;
+  }
+
+  /// Scales a paper data size, keeping it a positive multiple of `multiple`.
+  uint64_t Scaled(uint64_t paper_size, uint64_t multiple = 1) const {
+    uint64_t scaled = static_cast<uint64_t>(
+        static_cast<double>(paper_size) * scale);
+    if (scaled < multiple) scaled = multiple;
+    scaled -= scaled % multiple;
+    if (scaled == 0) scaled = multiple;
+    return scaled;
+  }
+};
+
+/// Dectile labels "10%".."90%" (first column of Tables 3/5/7/9).
+std::vector<std::string> DectileLabels();
+
+/// phi values 0.1..0.9.
+std::vector<double> DectilePhis();
+
+/// Runs sequential OPAQ over an in-memory dataset and scores it against
+/// ground truth. Returns the RER report (per-dectile RER_A plus RER_L/N).
+struct SequentialRunResult {
+  RerReport<Key> rer;
+  double seconds = 0;
+};
+SequentialRunResult RunSequentialOpaq(const std::vector<Key>& data,
+                                      const OpaqConfig& config);
+
+/// A simulated per-processor disk: memory-backed, throttled to disk-class
+/// bandwidth when `sleep_mode` (used by the wall-clock parallel benches;
+/// accuracy-only benches pass false to run at full speed).
+struct SimulatedDisk {
+  std::unique_ptr<ThrottledDevice> device;
+  TypedDataFile<Key> file;
+};
+
+/// Builds one simulated disk holding `data`.
+SimulatedDisk MakeSimulatedDisk(const std::vector<Key>& data, bool sleep_mode,
+                                const DiskModel& model = DiskModel());
+
+/// Per-rank datasets + disks for a parallel run. The union of the per-rank
+/// data is kept for ground-truth scoring when `keep_union` is set.
+struct ParallelDataset {
+  std::vector<SimulatedDisk> disks;
+  std::vector<const TypedDataFile<Key>*> files;
+  std::vector<Key> union_data;
+};
+ParallelDataset MakeParallelDataset(int p, uint64_t per_rank,
+                                    Distribution distribution, uint64_t seed,
+                                    bool sleep_mode, bool keep_union,
+                                    const DiskModel& model = DiskModel());
+
+/// One wall-clock-measured parallel OPAQ run on simulated throttled disks
+/// with the two-level communication model sleeping for real: what Tables
+/// 11-12 and Figures 4-6 are built from.
+struct TimedParallelRun {
+  double total_seconds = 0;
+  /// Per-phase averages across ranks (io / sampling / local merge / global
+  /// merge / quantile / other).
+  PhaseTimer timers{std::vector<std::string>{"io", "sampling", "local_merge",
+                                             "global_merge", "quantile",
+                                             "other"}};
+};
+TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
+                                  uint64_t run_size, uint64_t samples_per_run);
+
+/// Formats counts like the paper's column heads: 0.5M, 1M, 32M, 128K.
+std::string HumanCount(uint64_t n);
+
+/// Prints the table (and optionally CSV) to stdout.
+void Emit(const TextTable& table, const BenchOptions& options);
+
+}  // namespace bench
+}  // namespace opaq
+
+#endif  // OPAQ_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,48 @@
+// Reproduces paper Figure 4: scale-up — total execution time vs processor
+// count at a fixed number of elements PER processor. Expected shape: nearly
+// flat lines (per-processor work is constant; only the small global merge
+// grows with p).
+
+#include "bench/bench_common.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const uint64_t kPaperPerRank[] = {500000, 1000000, 2000000, 4000000};
+  std::vector<int> procs;
+  for (int p : {1, 2, 4, 8, 16}) {
+    if (p <= options.max_procs) procs.push_back(p);
+  }
+
+  TextTable table;
+  table.SetTitle(
+      "Figure 4: scale-up — total time (s) vs processors at fixed "
+      "elements/processor (flat = perfect scale-up)");
+  std::vector<std::string> head{"Processors"};
+  for (uint64_t paper_size : kPaperPerRank) {
+    head.push_back(HumanCount(options.Scaled(paper_size, 1000)) + "/proc");
+  }
+  table.AddHeader(head);
+
+  for (int p : procs) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (uint64_t paper_size : kPaperPerRank) {
+      const uint64_t per_rank = options.Scaled(paper_size, 1000);
+      TimedParallelRun run =
+          RunTimedParallel(p, per_rank, options.seed, 131072, 1024);
+      row.push_back(TextTable::Num(run.total_seconds, 3));
+    }
+    table.AddRow(row);
+  }
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

@@ -1,0 +1,48 @@
+// Reproduces paper Figure 5: size-up — total execution time vs elements per
+// processor, one line per processor count. Expected shape: linear growth in
+// the per-processor data size, with the lines for different p nearly
+// coincident (low parallel overhead).
+
+#include "bench/bench_common.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const uint64_t kPaperPerRank[] = {500000, 1000000, 2000000, 4000000};
+  std::vector<int> procs;
+  for (int p : {1, 2, 4, 8, 16}) {
+    if (p <= options.max_procs) procs.push_back(p);
+  }
+
+  TextTable table;
+  table.SetTitle(
+      "Figure 5: size-up — total time (s) vs elements/processor (linear in "
+      "size = good size-up)");
+  std::vector<std::string> head{"Elems/proc"};
+  for (int p : procs) {
+    head.push_back(std::to_string(p) + (p == 1 ? " processor" : " processors"));
+  }
+  table.AddHeader(head);
+
+  for (uint64_t paper_size : kPaperPerRank) {
+    const uint64_t per_rank = options.Scaled(paper_size, 1000);
+    std::vector<std::string> row{HumanCount(per_rank)};
+    for (int p : procs) {
+      TimedParallelRun run =
+          RunTimedParallel(p, per_rank, options.seed, 131072, 1024);
+      row.push_back(TextTable::Num(run.total_seconds, 3));
+    }
+    table.AddRow(row);
+  }
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

@@ -1,0 +1,45 @@
+// Reproduces paper Figure 6: speed-up — T(1)/T(p) for a FIXED total of 4M
+// elements split across p processors. Expected shape: near-linear speed-up
+// (paper reaches ~7 at p=8), because I/O and sampling parallelise perfectly
+// and the global merge is tiny.
+
+#include "bench/bench_common.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const uint64_t total = options.Scaled(4000000, /*multiple=*/16000);
+  std::vector<int> procs;
+  for (int p : {1, 2, 4, 8}) {
+    if (p <= options.max_procs) procs.push_back(p);
+  }
+
+  TextTable table;
+  table.SetTitle("Figure 6: speed-up for a total of " + HumanCount(total) +
+                 " elements (ideal = p)");
+  table.AddHeader({"Processors", "Total time (s)", "Speed-up", "Ideal"});
+
+  double t1 = 0;
+  for (int p : procs) {
+    // Run size adapts so even the largest p still has multiple runs.
+    const uint64_t per_rank = total / p;
+    const uint64_t run_size = 65536;
+    TimedParallelRun run =
+        RunTimedParallel(p, per_rank, options.seed, run_size, 1024);
+    if (p == 1) t1 = run.total_seconds;
+    table.AddRow({std::to_string(p), TextTable::Num(run.total_seconds, 3),
+                  TextTable::Num(t1 / run.total_seconds, 2),
+                  std::to_string(p)});
+  }
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

@@ -1,0 +1,95 @@
+// Micro-benchmarks (google-benchmark) for end-to-end estimator throughput:
+// OPAQ's sample phase vs the streaming baselines, elements/second.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/as95_histogram.h"
+#include "baselines/gk.h"
+#include "baselines/kll.h"
+#include "baselines/munro_paterson.h"
+#include "baselines/p2.h"
+#include "baselines/reservoir_sample.h"
+#include "core/opaq.h"
+#include "data/dataset.h"
+
+namespace opaq {
+namespace {
+
+constexpr size_t kN = 1 << 21;  // ~2M keys
+
+const std::vector<uint64_t>& BenchData() {
+  static const std::vector<uint64_t>& data = *new std::vector<uint64_t>([] {
+    DatasetSpec spec;
+    spec.n = kN;
+    spec.distribution = Distribution::kUniform;
+    spec.seed = 5;
+    return GenerateDataset<uint64_t>(spec);
+  }());
+  return data;
+}
+
+void BM_OpaqSketch(benchmark::State& state) {
+  const auto& data = BenchData();
+  OpaqConfig config;
+  config.run_size = 1 << 17;
+  config.samples_per_run = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+    benchmark::DoNotOptimize(est.Quantile(0.5));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN));
+}
+BENCHMARK(BM_OpaqSketch)->ArgName("s")->Arg(256)->Arg(1024)->Arg(4096);
+
+template <typename Estimator>
+void StreamAll(Estimator& estimator, benchmark::State& state) {
+  const auto& data = BenchData();
+  for (auto _ : state) {
+    for (uint64_t v : data) estimator.Add(v);
+    benchmark::DoNotOptimize(estimator.EstimateQuantile(0.5));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN));
+}
+
+void BM_Reservoir(benchmark::State& state) {
+  ReservoirSampleEstimator<uint64_t> e(4096, 1);
+  StreamAll(e, state);
+}
+BENCHMARK(BM_Reservoir);
+
+void BM_As95Histogram(benchmark::State& state) {
+  As95HistogramEstimator<uint64_t> e(4096);
+  StreamAll(e, state);
+}
+BENCHMARK(BM_As95Histogram);
+
+void BM_P2Dectiles(benchmark::State& state) {
+  P2Estimator<uint64_t> e({0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+  StreamAll(e, state);
+}
+BENCHMARK(BM_P2Dectiles);
+
+void BM_MunroPaterson(benchmark::State& state) {
+  MunroPatersonEstimator<uint64_t> e(4096);
+  StreamAll(e, state);
+}
+BENCHMARK(BM_MunroPaterson);
+
+void BM_GreenwaldKhanna(benchmark::State& state) {
+  GkEstimator<uint64_t> e(0.001);
+  StreamAll(e, state);
+}
+BENCHMARK(BM_GreenwaldKhanna);
+
+void BM_Kll(benchmark::State& state) {
+  KllEstimator<uint64_t> e(1024, 1);
+  StreamAll(e, state);
+}
+BENCHMARK(BM_Kll);
+
+}  // namespace
+}  // namespace opaq
+
+BENCHMARK_MAIN();

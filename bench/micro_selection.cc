@@ -1,0 +1,88 @@
+// Micro-benchmarks (google-benchmark) for the selection substrate: single
+// selection and regular-sample extraction across algorithms. Backs the
+// paper's §2.1 claim that randomized selection "has small constant and is
+// practically very efficient" relative to the deterministic [ea72].
+
+#include <benchmark/benchmark.h>
+
+#include "data/dataset.h"
+#include "select/multi_select.h"
+#include "select/select.h"
+
+namespace opaq {
+namespace {
+
+std::vector<uint64_t> BenchData(size_t n) {
+  DatasetSpec spec;
+  spec.n = n;
+  spec.distribution = Distribution::kUniform;
+  spec.seed = 99;
+  return GenerateDataset<uint64_t>(spec);
+}
+
+void BM_SelectMedian(benchmark::State& state) {
+  const auto algorithm = static_cast<SelectAlgorithm>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  const std::vector<uint64_t> data = BenchData(n);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint64_t> work = data;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        SelectKth(work.data(), work.size(), n / 2, algorithm, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SelectMedian)
+    ->ArgNames({"algo", "n"})
+    ->Args({static_cast<int>(SelectAlgorithm::kStdNthElement), 1 << 20})
+    ->Args({static_cast<int>(SelectAlgorithm::kMedianOfMedians), 1 << 20})
+    ->Args({static_cast<int>(SelectAlgorithm::kFloydRivest), 1 << 20})
+    ->Args({static_cast<int>(SelectAlgorithm::kIntroSelect), 1 << 20});
+
+void BM_RegularSamples(benchmark::State& state) {
+  const auto algorithm = static_cast<SelectAlgorithm>(state.range(0));
+  const size_t m = 1 << 20;
+  const uint64_t s = static_cast<uint64_t>(state.range(1));
+  const std::vector<uint64_t> data = BenchData(m);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint64_t> work = data;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        RegularSamples(work.data(), work.size(), s, algorithm, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m));
+}
+BENCHMARK(BM_RegularSamples)
+    ->ArgNames({"algo", "s"})
+    ->Args({static_cast<int>(SelectAlgorithm::kFloydRivest), 256})
+    ->Args({static_cast<int>(SelectAlgorithm::kFloydRivest), 1024})
+    ->Args({static_cast<int>(SelectAlgorithm::kFloydRivest), 4096})
+    ->Args({static_cast<int>(SelectAlgorithm::kMedianOfMedians), 1024})
+    ->Args({static_cast<int>(SelectAlgorithm::kIntroSelect), 1024});
+
+void BM_RegularSamplesBySorting(benchmark::State& state) {
+  const size_t m = 1 << 20;
+  const uint64_t s = static_cast<uint64_t>(state.range(0));
+  const std::vector<uint64_t> data = BenchData(m);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<uint64_t> work = data;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        RegularSamplesBySorting(work.data(), work.size(), m / s));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m));
+}
+BENCHMARK(BM_RegularSamplesBySorting)->Arg(1024);
+
+}  // namespace
+}  // namespace opaq
+
+BENCHMARK_MAIN();

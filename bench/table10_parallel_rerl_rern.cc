@@ -1,0 +1,65 @@
+// Reproduces paper Table 10: RER_L and RER_N for the parallel algorithm on
+// 8 processors over total data sizes 0.5M..32M. Expected shape: ~0.5-0.7%,
+// flat in the data size (paper: 0.62 down to 0.51 for RER_L).
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const int p = std::min(8, options.max_procs);
+  const uint64_t kPaperTotals[] = {500000,  1000000, 2000000, 4000000,
+                                   8000000, 16000000, 32000000};
+
+  std::vector<uint64_t> totals;
+  for (uint64_t paper_total : kPaperTotals) {
+    totals.push_back(options.Scaled(paper_total, /*multiple=*/
+                                    static_cast<uint64_t>(p) * 1000));
+  }
+  std::map<uint64_t, RerReport<Key>> reports;
+  for (uint64_t total : totals) {
+    ParallelDataset dataset =
+        MakeParallelDataset(p, total / p, Distribution::kUniform,
+                            options.seed, /*sleep_mode=*/false,
+                            /*keep_union=*/true);
+    Cluster::Options cluster_options;
+    cluster_options.num_processors = p;
+    Cluster cluster(cluster_options);
+    ParallelOpaqOptions opaq_options;
+    opaq_options.config.run_size = 131072;
+    opaq_options.config.samples_per_run = 1024;
+    opaq_options.merge_method = MergeMethod::kSample;
+    auto result = RunParallelOpaq(cluster, dataset.files, opaq_options);
+    OPAQ_CHECK_OK(result.status());
+    GroundTruth<Key> truth(std::move(dataset.union_data));
+    reports[total] = ComputeRer(truth, result->estimates, 10);
+  }
+
+  TextTable table;
+  table.SetTitle("Table 10: parallel RER_L and RER_N (%), p=" +
+                 std::to_string(p) + ", s=1024/run, uniform keys");
+  std::vector<std::string> head{"Metric"};
+  for (uint64_t total : totals) head.push_back(HumanCount(total));
+  table.AddHeader(head);
+  std::vector<std::string> rer_l_row{"RER_L"};
+  std::vector<std::string> rer_n_row{"RER_N"};
+  for (uint64_t total : totals) {
+    rer_l_row.push_back(TextTable::Num(reports[total].rer_l, 2));
+    rer_n_row.push_back(TextTable::Num(reports[total].rer_n, 2));
+  }
+  table.AddRow(rer_l_row);
+  table.AddRow(rer_n_row);
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

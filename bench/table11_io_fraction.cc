@@ -1,0 +1,47 @@
+// Reproduces paper Table 11: the fraction of total execution time spent in
+// I/O, for 0.5M..4M elements per processor and 1..16 processors, on
+// bandwidth-throttled simulated disks. Expected shape: ~constant ~0.5
+// everywhere — I/O cost per processor does not depend on p, which is why
+// the algorithm scales.
+
+#include "bench/bench_common.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const uint64_t kPaperPerRank[] = {500000, 1000000, 2000000, 4000000};
+  std::vector<int> procs;
+  for (int p : {1, 2, 4, 8, 16}) {
+    if (p <= options.max_procs) procs.push_back(p);
+  }
+
+  TextTable table;
+  table.SetTitle(
+      "Table 11: fraction of total time spent in I/O (throttled disks, "
+      "sample merge, s=1024/run)");
+  std::vector<std::string> head{"Size/proc"};
+  for (int p : procs) head.push_back(std::to_string(p) + " Proc.");
+  table.AddHeader(head);
+
+  for (uint64_t paper_size : kPaperPerRank) {
+    const uint64_t per_rank = options.Scaled(paper_size, /*multiple=*/1000);
+    std::vector<std::string> row{HumanCount(per_rank)};
+    for (int p : procs) {
+      TimedParallelRun run =
+          RunTimedParallel(p, per_rank, options.seed, 131072, 1024);
+      row.push_back(TextTable::Num(run.timers.Fraction(kPhaseIo), 2));
+    }
+    table.AddRow(row);
+  }
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

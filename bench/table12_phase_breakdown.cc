@@ -1,0 +1,56 @@
+// Reproduces paper Table 12: fraction of execution time per phase (I/O,
+// sampling, local merge, global merge) for 4M elements per processor and
+// 1..16 processors. Expected shape: I/O + sampling >= ~83% and roughly
+// independent of p; both merges tiny, with global merge growing slowly in p
+// — the scalability argument of §3.1.
+
+#include "bench/bench_common.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const uint64_t per_rank = options.Scaled(4000000, /*multiple=*/1000);
+  std::vector<int> procs;
+  for (int p : {1, 2, 4, 8, 16}) {
+    if (p <= options.max_procs) procs.push_back(p);
+  }
+
+  std::vector<TimedParallelRun> runs;
+  for (int p : procs) {
+    runs.push_back(RunTimedParallel(p, per_rank, options.seed, 131072, 1024));
+  }
+
+  TextTable table;
+  table.SetTitle("Table 12: fraction of execution time per phase (" +
+                 HumanCount(per_rank) + " elements/processor)");
+  std::vector<std::string> head{"Phase"};
+  for (int p : procs) head.push_back(std::to_string(p) + " Proc.");
+  table.AddHeader(head);
+
+  const struct {
+    int phase;
+    const char* label;
+  } kRows[] = {{kPhaseIo, "I/O"},
+               {kPhaseSampling, "Sampling"},
+               {kPhaseLocalMerge, "Local Merg."},
+               {kPhaseGlobalMerge, "Global Merg."},
+               {kPhaseQuantile, "Quantile"}};
+  for (const auto& r : kRows) {
+    std::vector<std::string> row{r.label};
+    for (size_t i = 0; i < runs.size(); ++i) {
+      row.push_back(TextTable::Num(runs[i].timers.Fraction(r.phase), 3));
+    }
+    table.AddRow(row);
+  }
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

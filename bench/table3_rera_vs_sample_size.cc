@@ -1,0 +1,65 @@
+// Reproduces paper Table 3: RER_A per dectile for sample sizes s in
+// {250, 500, 1000} on 1M-element uniform and Zipf(0.86) datasets with n/10
+// duplicates. Expected shape: RER_A ~ halves when s doubles, stays below the
+// analytical bound 2/s*100, and is insensitive to the distribution.
+
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const uint64_t kSampleSizes[] = {250, 500, 1000};
+  const uint64_t n = options.Scaled(1000 * 1000, /*multiple=*/100000);
+  const uint64_t run_size = n / 10;  // r = 10 runs as a representative m
+
+  // report[dist][s] = per-dectile RER_A.
+  std::map<Distribution, std::map<uint64_t, std::vector<double>>> report;
+  for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+    DatasetSpec spec;
+    spec.n = n;
+    spec.distribution = dist;
+    spec.seed = options.seed;
+    spec.duplicate_fraction = 0.1;
+    spec.zipf_z = 0.86;
+    std::vector<Key> data = GenerateDataset<Key>(spec);
+    for (uint64_t s : kSampleSizes) {
+      OpaqConfig config;
+      config.run_size = run_size;
+      config.samples_per_run = s;
+      report[dist][s] = RunSequentialOpaq(data, config).rer.rer_a;
+    }
+  }
+
+  TextTable table;
+  table.SetTitle(
+      "Table 3: RER_A (%) per dectile vs sample size s  (n=" + HumanCount(n) +
+      ", m=" + HumanCount(run_size) + ", dup=n/10; paper bound: 200/s)");
+  table.AddHeader({"", "Uniform", "Uniform", "Uniform", "Zipf", "Zipf",
+                   "Zipf"});
+  table.AddHeader({"Dectile", "s=250", "s=500", "s=1000", "s=250", "s=500",
+                   "s=1000"});
+  auto labels = DectileLabels();
+  for (int d = 0; d < 9; ++d) {
+    std::vector<std::string> row{labels[d]};
+    for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+      for (uint64_t s : kSampleSizes) {
+        row.push_back(TextTable::Num(report[dist][s][d], 3));
+      }
+    }
+    table.AddRow(row);
+  }
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

@@ -1,0 +1,62 @@
+// Reproduces paper Table 4: RER_L and RER_N for sample sizes s in
+// {250, 500, 1000} on 1M-element uniform and Zipf datasets. Expected shape:
+// both error rates roughly halve as s doubles (paper: 1.88 -> 0.99 -> 0.46
+// for RER_L uniform), independent of distribution.
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const uint64_t kSampleSizes[] = {250, 500, 1000};
+  const uint64_t n = options.Scaled(1000 * 1000, /*multiple=*/100000);
+  const uint64_t run_size = n / 10;
+
+  std::map<Distribution, std::map<uint64_t, RerReport<Key>>> report;
+  for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+    DatasetSpec spec;
+    spec.n = n;
+    spec.distribution = dist;
+    spec.seed = options.seed;
+    spec.duplicate_fraction = 0.1;
+    spec.zipf_z = 0.86;
+    std::vector<Key> data = GenerateDataset<Key>(spec);
+    for (uint64_t s : kSampleSizes) {
+      OpaqConfig config;
+      config.run_size = run_size;
+      config.samples_per_run = s;
+      report[dist][s] = RunSequentialOpaq(data, config).rer;
+    }
+  }
+
+  TextTable table;
+  table.SetTitle("Table 4: RER_L and RER_N (%) vs sample size s  (n=" +
+                 HumanCount(n) + ", m=" + HumanCount(run_size) + ")");
+  table.AddHeader({"", "Uniform", "Uniform", "Uniform", "Zipf", "Zipf",
+                   "Zipf"});
+  table.AddHeader({"Metric", "s=250", "s=500", "s=1000", "s=250", "s=500",
+                   "s=1000"});
+  std::vector<std::string> rer_l_row{"RER_L"};
+  std::vector<std::string> rer_n_row{"RER_N"};
+  for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+    for (uint64_t s : kSampleSizes) {
+      rer_l_row.push_back(TextTable::Num(report[dist][s].rer_l, 2));
+      rer_n_row.push_back(TextTable::Num(report[dist][s].rer_n, 2));
+    }
+  }
+  table.AddRow(rer_l_row);
+  table.AddRow(rer_n_row);
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

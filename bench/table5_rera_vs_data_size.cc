@@ -1,0 +1,69 @@
+// Reproduces paper Table 5: RER_A per dectile for data sizes 1M/5M/10M at
+// fixed s=1000, uniform and Zipf. Expected shape: RER_A ~0.09-0.10 across
+// the board — the error rate does not depend on n or on the distribution.
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const uint64_t kPaperSizes[] = {1000000, 5000000, 10000000};
+  const uint64_t kS = 1000;
+
+  std::map<Distribution, std::map<uint64_t, std::vector<double>>> report;
+  std::vector<uint64_t> sizes;
+  for (uint64_t paper_n : kPaperSizes) {
+    sizes.push_back(options.Scaled(paper_n, /*multiple=*/100000));
+  }
+  for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+    for (uint64_t n : sizes) {
+      DatasetSpec spec;
+      spec.n = n;
+      spec.distribution = dist;
+      spec.seed = options.seed + n;
+      spec.duplicate_fraction = 0.1;
+      spec.zipf_z = 0.86;
+      std::vector<Key> data = GenerateDataset<Key>(spec);
+      OpaqConfig config;
+      config.run_size = n / 10;  // r = 10 runs at every size
+      config.samples_per_run = kS;
+      report[dist][n] = RunSequentialOpaq(data, config).rer.rer_a;
+    }
+  }
+
+  TextTable table;
+  table.SetTitle("Table 5: RER_A (%) per dectile vs data size (s=1000)");
+  std::vector<std::string> group{""};
+  std::vector<std::string> head{"Dectile"};
+  for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+    for (uint64_t n : sizes) {
+      group.push_back(dist == Distribution::kUniform ? "Uniform" : "Zipf");
+      head.push_back(HumanCount(n));
+    }
+  }
+  table.AddHeader(group);
+  table.AddHeader(head);
+  auto labels = DectileLabels();
+  for (int d = 0; d < 9; ++d) {
+    std::vector<std::string> row{labels[d]};
+    for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+      for (uint64_t n : sizes) {
+        row.push_back(TextTable::Num(report[dist][n][d], 3));
+      }
+    }
+    table.AddRow(row);
+  }
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

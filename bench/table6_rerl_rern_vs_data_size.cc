@@ -1,0 +1,69 @@
+// Reproduces paper Table 6: RER_L and RER_N for data sizes 1M/5M/10M at
+// fixed s=1000. Expected shape: ~0.5-0.6% everywhere, independent of n and
+// of the distribution.
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const uint64_t kPaperSizes[] = {1000000, 5000000, 10000000};
+  const uint64_t kS = 1000;
+
+  std::vector<uint64_t> sizes;
+  for (uint64_t paper_n : kPaperSizes) {
+    sizes.push_back(options.Scaled(paper_n, /*multiple=*/100000));
+  }
+  std::map<Distribution, std::map<uint64_t, RerReport<Key>>> report;
+  for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+    for (uint64_t n : sizes) {
+      DatasetSpec spec;
+      spec.n = n;
+      spec.distribution = dist;
+      spec.seed = options.seed + n;
+      spec.duplicate_fraction = 0.1;
+      spec.zipf_z = 0.86;
+      std::vector<Key> data = GenerateDataset<Key>(spec);
+      OpaqConfig config;
+      config.run_size = n / 10;
+      config.samples_per_run = kS;
+      report[dist][n] = RunSequentialOpaq(data, config).rer;
+    }
+  }
+
+  TextTable table;
+  table.SetTitle("Table 6: RER_L and RER_N (%) vs data size (s=1000)");
+  std::vector<std::string> group{""};
+  std::vector<std::string> head{"Metric"};
+  for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+    for (uint64_t n : sizes) {
+      group.push_back(dist == Distribution::kUniform ? "Uniform" : "Zipf");
+      head.push_back(HumanCount(n));
+    }
+  }
+  table.AddHeader(group);
+  table.AddHeader(head);
+  std::vector<std::string> rer_l_row{"RER_L"};
+  std::vector<std::string> rer_n_row{"RER_N"};
+  for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+    for (uint64_t n : sizes) {
+      rer_l_row.push_back(TextTable::Num(report[dist][n].rer_l, 2));
+      rer_n_row.push_back(TextTable::Num(report[dist][n].rer_n, 2));
+    }
+  }
+  table.AddRow(rer_l_row);
+  table.AddRow(rer_n_row);
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

@@ -1,0 +1,66 @@
+// Reproduces paper Table 9: RER_A per dectile for the parallel algorithm on
+// 8 processors, total data sizes 0.5M..32M, uniform keys, 1024 samples per
+// run. Expected shape: ~0.09-0.10% across every size — the error rate is
+// independent of both the data size and the processor count.
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  const int p = std::min(8, options.max_procs);
+  const uint64_t kPaperTotals[] = {500000,  1000000, 2000000, 4000000,
+                                   8000000, 16000000, 32000000};
+
+  std::map<uint64_t, std::vector<double>> rer_a;
+  std::vector<uint64_t> totals;
+  for (uint64_t paper_total : kPaperTotals) {
+    totals.push_back(options.Scaled(paper_total, /*multiple=*/
+                                    static_cast<uint64_t>(p) * 1000));
+  }
+  for (uint64_t total : totals) {
+    ParallelDataset dataset =
+        MakeParallelDataset(p, total / p, Distribution::kUniform,
+                            options.seed, /*sleep_mode=*/false,
+                            /*keep_union=*/true);
+    Cluster::Options cluster_options;
+    cluster_options.num_processors = p;
+    Cluster cluster(cluster_options);
+    ParallelOpaqOptions opaq_options;
+    opaq_options.config.run_size = 131072;  // 2^17 elements per run
+    opaq_options.config.samples_per_run = 1024;
+    opaq_options.merge_method = MergeMethod::kSample;
+    auto result = RunParallelOpaq(cluster, dataset.files, opaq_options);
+    OPAQ_CHECK_OK(result.status());
+    GroundTruth<Key> truth(std::move(dataset.union_data));
+    rer_a[total] = ComputeRer(truth, result->estimates, 10).rer_a;
+  }
+
+  TextTable table;
+  table.SetTitle("Table 9: parallel RER_A (%) per dectile, p=" +
+                 std::to_string(p) + ", s=1024/run, uniform keys");
+  std::vector<std::string> head{"Dectile"};
+  for (uint64_t total : totals) head.push_back(HumanCount(total));
+  table.AddHeader(head);
+  auto labels = DectileLabels();
+  for (int d = 0; d < 9; ++d) {
+    std::vector<std::string> row{labels[d]};
+    for (uint64_t total : totals) {
+      row.push_back(TextTable::Num(rer_a[total][d], 3));
+    }
+    table.AddRow(row);
+  }
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

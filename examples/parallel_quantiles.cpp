@@ -1,0 +1,94 @@
+// Parallel OPAQ (paper §3) on the simulated message-passing cluster: eight
+// "processors" each own a shard of the data on a bandwidth-throttled disk;
+// one parallel pass produces globally certified dectiles, and the phase
+// breakdown shows where the time goes (the paper's Table 12 view).
+//
+// Run:  ./parallel_quantiles [--procs=8] [--per-rank=1000000]
+//       [--merge=sample|bitonic]
+
+#include <iomanip>
+#include <iostream>
+
+#include "parallel/parallel_opaq.h"
+#include "data/dataset.h"
+#include "io/throttled_device.h"
+#include "metrics/ground_truth.h"
+#include "metrics/rer.h"
+#include "util/flags.h"
+
+using namespace opaq;
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  OPAQ_CHECK_OK(flags.status());
+  const int p = static_cast<int>(flags->GetInt("procs", 8));
+  const uint64_t per_rank = flags->GetInt("per-rank", 1000000);
+  const std::string merge = flags->GetString("merge", "sample");
+
+  // Build each processor's shard on its own throttled "disk".
+  std::vector<std::unique_ptr<ThrottledDevice>> devices;
+  std::vector<TypedDataFile<uint64_t>> files;
+  std::vector<uint64_t> union_data;
+  for (int r = 0; r < p; ++r) {
+    DatasetSpec spec;
+    spec.n = per_rank;
+    spec.seed = 40 + r;
+    spec.distribution = Distribution::kZipf;
+    auto data = GenerateDataset<uint64_t>(spec);
+    union_data.insert(union_data.end(), data.begin(), data.end());
+    auto memory = std::make_unique<MemoryBlockDevice>();
+    OPAQ_CHECK_OK(WriteDataset(data, memory.get()));
+    devices.push_back(std::make_unique<ThrottledDevice>(
+        std::move(memory), DiskModel(), ThrottledDevice::Mode::kSleep));
+    auto file = TypedDataFile<uint64_t>::Open(devices.back().get());
+    OPAQ_CHECK_OK(file.status());
+    files.push_back(std::move(file).value());
+  }
+  std::vector<const TypedDataFile<uint64_t>*> file_ptrs;
+  for (auto& f : files) file_ptrs.push_back(&f);
+
+  Cluster::Options cluster_options;
+  cluster_options.num_processors = p;
+  cluster_options.comm_mode = Cluster::CommMode::kSleep;
+  Cluster cluster(cluster_options);
+
+  ParallelOpaqOptions options;
+  options.config.run_size = 1 << 17;
+  options.config.samples_per_run = 1024;
+  options.merge_method =
+      merge == "bitonic" ? MergeMethod::kBitonic : MergeMethod::kSample;
+
+  auto result = RunParallelOpaq(cluster, file_ptrs, options);
+  OPAQ_CHECK_OK(result.status());
+
+  std::cout << p << " processors x " << per_rank << " keys, " << merge
+            << " merge: " << std::fixed << std::setprecision(2)
+            << result->total_wall_seconds << "s total\n\ndectiles:\n";
+  for (size_t i = 0; i < result->estimates.size(); ++i) {
+    const auto& e = result->estimates[i];
+    std::cout << "  " << (i + 1) * 10 << "%  [" << e.lower << ", " << e.upper
+              << "]\n";
+  }
+
+  PhaseTimer timers = cluster.AveragedTimers();
+  std::cout << "\nphase breakdown (avg across processors):\n";
+  for (int phase = 0; phase < timers.num_phases(); ++phase) {
+    std::cout << "  " << std::left << std::setw(14) << timers.name(phase)
+              << std::setprecision(1) << timers.Fraction(phase) * 100
+              << "%\n";
+  }
+
+  GroundTruth<uint64_t> truth(std::move(union_data));
+  auto report = ComputeRer(truth, result->estimates, 10);
+  std::cout << "\nmax RER_A over dectiles: " << std::setprecision(3)
+            << report.max_rer_a() << "% (paper-style bound "
+            << 200.0 * static_cast<double>(
+                           result->global_accounting.subrun_size) *
+                   static_cast<double>(result->global_accounting.num_runs) /
+                   static_cast<double>(result->global_accounting
+                                           .total_elements)
+            << "%)\n";
+  for (const auto& e : result->estimates) OPAQ_CHECK(BracketHolds(truth, e));
+  std::cout << "verified: all brackets contain their true quantiles\n";
+  return 0;
+}

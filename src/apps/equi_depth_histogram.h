@@ -1,0 +1,74 @@
+#ifndef OPAQ_APPS_EQUI_DEPTH_HISTOGRAM_H_
+#define OPAQ_APPS_EQUI_DEPTH_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// Equi-depth histogram built from OPAQ quantile estimates — the query-
+/// optimizer application the paper's introduction leads with ([PIHS96],
+/// [MD88], [Koo80]: equi-depth histograms for selectivity estimation, which
+/// historically "have not worked well ... when data distribution skew has
+/// been high"; OPAQ's bounded-error buckets address exactly that).
+///
+/// B buckets, each holding ~n/B elements; boundary i is OPAQ's certified
+/// bracket for the i/B quantile. Because bucket boundaries carry rank
+/// brackets, every selectivity answer is an interval, not a guess.
+template <typename K>
+class EquiDepthHistogram {
+ public:
+  /// Builds a B-bucket histogram (B >= 2) from a finished estimator.
+  static EquiDepthHistogram Build(const OpaqEstimator<K>& estimator,
+                                  int num_buckets) {
+    OPAQ_CHECK_GE(num_buckets, 2);
+    EquiDepthHistogram h;
+    h.total_elements_ = estimator.total_elements();
+    h.max_rank_error_ = estimator.max_rank_error();
+    h.boundaries_.reserve(num_buckets - 1);
+    for (int i = 1; i < num_buckets; ++i) {
+      h.boundaries_.push_back(
+          estimator.Quantile(static_cast<double>(i) / num_buckets));
+    }
+    return h;
+  }
+
+  int num_buckets() const {
+    return static_cast<int>(boundaries_.size()) + 1;
+  }
+  uint64_t total_elements() const { return total_elements_; }
+  uint64_t max_rank_error() const { return max_rank_error_; }
+
+  /// Boundary estimates (bracket per internal boundary, B-1 of them).
+  const std::vector<QuantileEstimate<K>>& boundaries() const {
+    return boundaries_;
+  }
+
+  /// Bucket index a value falls into, using the point (lower-bound) value of
+  /// each boundary; 0-based.
+  int BucketOf(const K& v) const {
+    int b = 0;
+    while (b < static_cast<int>(boundaries_.size()) &&
+           !(v < boundaries_[b].point())) {
+      ++b;
+    }
+    return b;
+  }
+
+  /// Nominal depth of each bucket (n/B) and the certified slop per boundary.
+  uint64_t NominalDepth() const {
+    return total_elements_ / static_cast<uint64_t>(num_buckets());
+  }
+
+ private:
+  std::vector<QuantileEstimate<K>> boundaries_;
+  uint64_t total_elements_ = 0;
+  uint64_t max_rank_error_ = 0;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_APPS_EQUI_DEPTH_HISTOGRAM_H_

@@ -1,0 +1,85 @@
+#ifndef OPAQ_APPS_RANGE_PARTITIONER_H_
+#define OPAQ_APPS_RANGE_PARTITIONER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// Quantile-based range partitioner — the paper's external-sorting and
+/// parallel-load-balancing applications (§1: "data can be partitioned using
+/// quantiles into a number of partitions such that each partition fits into
+/// main memory"; [DNS91]-style probabilistic splitting replaced by OPAQ's
+/// deterministic bounds).
+///
+/// For P partitions, the P-1 splitters are the i/P quantile estimates.
+/// Because each splitter's rank is within max_rank_error of its target, the
+/// number of elements routed to any partition is certified to be at most
+/// n/P + 2*max_rank_error (consecutive splitters can each drift by the
+/// budget, in opposite directions).
+template <typename K>
+class RangePartitioner {
+ public:
+  static RangePartitioner Build(const OpaqEstimator<K>& estimator,
+                                int num_partitions) {
+    OPAQ_CHECK_GE(num_partitions, 2);
+    RangePartitioner p;
+    p.total_elements_ = estimator.total_elements();
+    p.max_rank_error_ = estimator.max_rank_error();
+    p.splitters_.reserve(num_partitions - 1);
+    for (int i = 1; i < num_partitions; ++i) {
+      // The upper bound of the bracket guarantees the first i partitions
+      // jointly hold at least i*n/P elements (no partition starves), while
+      // the rank bound caps overload; either bound works, we take the upper
+      // sample so splitters are real data values.
+      p.splitters_.push_back(
+          estimator.Quantile(static_cast<double>(i) / num_partitions).upper);
+    }
+    return p;
+  }
+
+  int num_partitions() const {
+    return static_cast<int>(splitters_.size()) + 1;
+  }
+
+  const std::vector<K>& splitters() const { return splitters_; }
+
+  /// Partition a value belongs to: index of the first splitter >= v
+  /// (binary search; values equal to a splitter go left, matching the
+  /// "elements <= splitter" accounting the bound uses).
+  int PartitionOf(const K& v) const {
+    return static_cast<int>(
+        std::lower_bound(splitters_.begin(), splitters_.end(), v) -
+        splitters_.begin());
+  }
+
+  /// Ceiling on any partition's size, certified for distinct keys. All
+  /// duplicates of a splitter value route to one side (no range partitioner
+  /// can split ties without a secondary key), so the bound additionally
+  /// admits the largest duplicate group.
+  uint64_t MaxPartitionSize(uint64_t largest_duplicate_group = 1) const {
+    return total_elements_ / static_cast<uint64_t>(num_partitions()) +
+           2 * max_rank_error_ + largest_duplicate_group;
+  }
+
+  /// Routes a dataset: returns per-partition element counts (audit helper
+  /// for tests/benches; real external sorts would write run files instead).
+  std::vector<uint64_t> CountPartitionSizes(const std::vector<K>& data) const {
+    std::vector<uint64_t> counts(num_partitions(), 0);
+    for (const K& v : data) ++counts[PartitionOf(v)];
+    return counts;
+  }
+
+ private:
+  std::vector<K> splitters_;
+  uint64_t total_elements_ = 0;
+  uint64_t max_rank_error_ = 0;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_APPS_RANGE_PARTITIONER_H_

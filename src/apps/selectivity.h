@@ -1,0 +1,73 @@
+#ifndef OPAQ_APPS_SELECTIVITY_H_
+#define OPAQ_APPS_SELECTIVITY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/estimator.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// Bracketed selectivity of a range predicate — the paper's motivating
+/// query-optimizer use ([PS84]: "accurate estimates of the number of tuples
+/// satisfying various predicates"). Derived purely from the sample list's
+/// rank bounds; no pass over the data.
+struct SelectivityEstimate {
+  /// Certified bounds on the matching-row count.
+  uint64_t min_count = 0;
+  uint64_t max_count = 0;
+  /// Midpoint fraction for planners that need one number.
+  double point_fraction = 0;
+
+  double min_fraction(uint64_t n) const {
+    return n == 0 ? 0 : static_cast<double>(min_count) / n;
+  }
+  double max_fraction(uint64_t n) const {
+    return n == 0 ? 0 : static_cast<double>(max_count) / n;
+  }
+};
+
+/// Selectivity of `lo <= key <= hi` (closed range; lo <= hi required).
+/// count = rank_le(hi) - rank_lt(lo), bracketed by combining the per-value
+/// rank bounds in the conservative direction.
+template <typename K>
+SelectivityEstimate EstimateRangeSelectivity(const OpaqEstimator<K>& est,
+                                             const K& lo, const K& hi) {
+  OPAQ_CHECK(!(hi < lo));
+  const RankEstimate at_hi = est.EstimateRank(hi);
+  const RankEstimate at_lo = est.EstimateRank(lo);
+  SelectivityEstimate out;
+  out.min_count = at_hi.min_rank_le > at_lo.max_rank_lt
+                      ? at_hi.min_rank_le - at_lo.max_rank_lt
+                      : 0;
+  out.max_count = at_hi.max_rank_le > at_lo.min_rank_lt
+                      ? at_hi.max_rank_le - at_lo.min_rank_lt
+                      : 0;
+  const uint64_t n = est.total_elements();
+  out.point_fraction =
+      n == 0 ? 0.0
+             : static_cast<double>(out.min_count + out.max_count) / 2.0 /
+                   static_cast<double>(n);
+  return out;
+}
+
+/// Selectivity of `key <= hi` (one-sided predicate).
+template <typename K>
+SelectivityEstimate EstimateAtMostSelectivity(const OpaqEstimator<K>& est,
+                                              const K& hi) {
+  const RankEstimate at_hi = est.EstimateRank(hi);
+  SelectivityEstimate out;
+  out.min_count = at_hi.min_rank_le;
+  out.max_count = at_hi.max_rank_le;
+  const uint64_t n = est.total_elements();
+  out.point_fraction =
+      n == 0 ? 0.0
+             : static_cast<double>(out.min_count + out.max_count) / 2.0 /
+                   static_cast<double>(n);
+  return out;
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_APPS_SELECTIVITY_H_

@@ -1,0 +1,129 @@
+#ifndef OPAQ_BASELINES_AS95_HISTOGRAM_H_
+#define OPAQ_BASELINES_AS95_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/quantile_estimator.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// One-pass adaptive-histogram baseline in the style of Agrawal & Swami,
+/// "A One-Pass Space-Efficient Algorithm for Finding Quantiles" (COMAD'95),
+/// the [AS95] column of the paper's Table 7.
+///
+/// Fidelity note (see DESIGN.md §5): the COMAD'95 text is not available
+/// offline; this implements the algorithm as characterised by *this* paper's
+/// §1 — "partitions the range of the values into k intervals and counts the
+/// values in each interval; the boundaries of intervals are determined
+/// on-the-fly and are continuously adjusted as data is read" — using
+/// geometric range doubling with bucket-pair merging when a value falls
+/// outside the current range. Quantiles are read off the cumulative counts
+/// with linear interpolation inside the crossing bucket. As the paper notes,
+/// this class of algorithm provides no deterministic error bound.
+///
+/// Bucket arithmetic happens in double; for 64-bit integer keys beyond 2^53
+/// the boundaries quantise, which is inherent to value-range histograms.
+template <typename K>
+class As95HistogramEstimator : public StreamingQuantileEstimator<K> {
+ public:
+  explicit As95HistogramEstimator(uint64_t num_buckets)
+      : counts_(num_buckets, 0) {
+    OPAQ_CHECK_GE(num_buckets, 2u);
+    OPAQ_CHECK_EQ(num_buckets % 2, 0u) << "bucket count must be even so "
+                                          "range doubling can pair-merge";
+  }
+
+  void Add(const K& value) override {
+    const double v = static_cast<double>(value);
+    ++count_;
+    if (count_ == 1) {
+      // Degenerate initial range around the first value; it grows
+      // geometrically as soon as a different value arrives.
+      lo_ = v;
+      width_ = InitialWidth(v);
+      counts_.assign(counts_.size(), 0);
+      counts_[0] = 1;
+      return;
+    }
+    while (v < lo_) GrowDown();
+    while (v >= hi()) GrowUp();
+    size_t bucket = static_cast<size_t>((v - lo_) / width_);
+    if (bucket >= counts_.size()) bucket = counts_.size() - 1;  // fp edge
+    ++counts_[bucket];
+  }
+
+  Result<K> EstimateQuantile(double phi) const override {
+    if (count_ == 0) return Status::FailedPrecondition("no data observed");
+    if (!(phi > 0.0 && phi <= 1.0)) {
+      return Status::InvalidArgument("phi must be in (0,1]");
+    }
+    const double target = phi * static_cast<double>(count_);
+    double cumulative = 0;
+    for (size_t b = 0; b < counts_.size(); ++b) {
+      const double next = cumulative + static_cast<double>(counts_[b]);
+      if (next >= target && counts_[b] > 0) {
+        const double inside = (target - cumulative) /
+                              static_cast<double>(counts_[b]);
+        const double v = lo_ + (static_cast<double>(b) + inside) * width_;
+        return static_cast<K>(v);
+      }
+      cumulative = next;
+    }
+    return static_cast<K>(hi());
+  }
+
+  uint64_t count() const override { return count_; }
+  /// A bucket stores one counter: charge one element per bucket, matching
+  /// the paper's equal-memory framing.
+  uint64_t MemoryElements() const override { return counts_.size(); }
+  std::string name() const override { return "as95-histogram"; }
+
+  double bucket_width() const { return width_; }
+  double range_lo() const { return lo_; }
+
+ private:
+  double hi() const {
+    return lo_ + width_ * static_cast<double>(counts_.size());
+  }
+
+  static double InitialWidth(double v) {
+    const double scale = std::abs(v);
+    return scale > 1.0 ? scale * 1e-6 : 1e-6;
+  }
+
+  /// Doubles the range upward: pairs of buckets merge into the lower half.
+  void GrowUp() {
+    const size_t b = counts_.size();
+    for (size_t i = 0; i < b / 2; ++i) {
+      counts_[i] = counts_[2 * i] + counts_[2 * i + 1];
+    }
+    std::fill(counts_.begin() + b / 2, counts_.end(), uint64_t{0});
+    width_ *= 2;
+  }
+
+  /// Doubles the range downward: pairs merge into the upper half and the
+  /// origin moves down by the old range.
+  void GrowDown() {
+    const size_t b = counts_.size();
+    for (size_t i = b; i-- > b / 2;) {
+      counts_[i] = counts_[2 * (i - b / 2)] + counts_[2 * (i - b / 2) + 1];
+    }
+    std::fill(counts_.begin(), counts_.begin() + b / 2, uint64_t{0});
+    lo_ -= width_ * static_cast<double>(b);
+    width_ *= 2;
+  }
+
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double lo_ = 0;
+  double width_ = 1;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_BASELINES_AS95_HISTOGRAM_H_

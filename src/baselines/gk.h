@@ -1,0 +1,132 @@
+#ifndef OPAQ_BASELINES_GK_H_
+#define OPAQ_BASELINES_GK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/quantile_estimator.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// Greenwald & Khanna, "Space-Efficient Online Computation of Quantile
+/// Summaries" (SIGMOD 2001). Published *after* the paper under reproduction;
+/// included as the modern deterministic comparator the later literature
+/// standardised on (see DESIGN.md: novelty band notes GK/KLL abundance).
+///
+/// Maintains tuples (v, g, delta) where g is the rank gap to the previous
+/// tuple and delta the uncertainty; the invariant g + delta <= 2*eps*n
+/// guarantees answers within eps*n ranks — the same *kind* of deterministic
+/// guarantee OPAQ's Lemmas 1-3 give with eps = 1/s per run.
+template <typename K>
+class GkEstimator : public StreamingQuantileEstimator<K> {
+ public:
+  explicit GkEstimator(double eps) : eps_(eps) {
+    OPAQ_CHECK(eps > 0.0 && eps < 0.5);
+    compress_every_ = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::floor(1.0 / (2.0 * eps_))));
+  }
+
+  void Add(const K& value) override {
+    ++count_;
+    // Find insertion point: first tuple with v >= value.
+    auto it = std::lower_bound(
+        tuples_.begin(), tuples_.end(), value,
+        [](const Tuple& t, const K& v) { return t.value < v; });
+    uint64_t delta = 0;
+    if (it != tuples_.begin() && it != tuples_.end()) {
+      delta = MaxGapBound() >= 1 ? MaxGapBound() - 1 : 0;
+    }
+    tuples_.insert(it, Tuple{value, 1, delta});
+    if (count_ % compress_every_ == 0) Compress();
+  }
+
+  Result<K> EstimateQuantile(double phi) const override {
+    if (count_ == 0) return Status::FailedPrecondition("no data observed");
+    if (!(phi > 0.0 && phi <= 1.0)) {
+      return Status::InvalidArgument("phi must be in (0,1]");
+    }
+    const uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(phi * static_cast<double>(count_))));
+    // Return the tuple minimising the worst-side rank uncertainty around the
+    // target; by the GK invariant its error is at most eps*n.
+    uint64_t rmin = 0;
+    uint64_t best_error = UINT64_MAX;
+    K best = tuples_.front().value;
+    for (const Tuple& t : tuples_) {
+      rmin += t.g;
+      const uint64_t rmax = rmin + t.delta;
+      const uint64_t low_side = target > rmin ? target - rmin : 0;
+      const uint64_t high_side = rmax > target ? rmax - target : 0;
+      const uint64_t error = std::max(low_side, high_side);
+      if (error < best_error) {
+        best_error = error;
+        best = t.value;
+      }
+    }
+    return best;
+  }
+
+  uint64_t count() const override { return count_; }
+  /// 3 fields per tuple; charge one element per field-triple.
+  uint64_t MemoryElements() const override { return tuples_.size() * 3; }
+  std::string name() const override { return "greenwald-khanna"; }
+
+  size_t num_tuples() const { return tuples_.size(); }
+  double eps() const { return eps_; }
+
+ private:
+  struct Tuple {
+    K value;
+    uint64_t g;
+    uint64_t delta;
+  };
+
+  /// 2*eps*n, the capacity bound on g + delta.
+  uint64_t MaxGapBound() const {
+    return std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::floor(2.0 * eps_ * static_cast<double>(count_))));
+  }
+
+  /// Merges tuples whose combined uncertainty stays within the bound.
+  /// First and last tuples (exact min/max) are never absorbed.
+  void Compress() {
+    if (tuples_.size() < 3) return;
+    const uint64_t bound = MaxGapBound();
+    std::vector<Tuple> kept;
+    kept.reserve(tuples_.size());
+    kept.push_back(tuples_.front());
+    // Walk middle tuples, greedily absorbing into the successor.
+    uint64_t pending_g = 0;
+    for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+      const Tuple& t = tuples_[i];
+      const Tuple& next = tuples_[i + 1];
+      if (pending_g + t.g + next.g + next.delta <= bound) {
+        pending_g += t.g;  // absorb t into its successor
+      } else {
+        Tuple out = t;
+        out.g += pending_g;
+        pending_g = 0;
+        kept.push_back(out);
+      }
+    }
+    Tuple last = tuples_.back();
+    last.g += pending_g;
+    kept.push_back(last);
+    tuples_ = std::move(kept);
+  }
+
+  double eps_;
+  uint64_t compress_every_;
+  uint64_t count_ = 0;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_BASELINES_GK_H_

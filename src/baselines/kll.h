@@ -1,0 +1,124 @@
+#ifndef OPAQ_BASELINES_KLL_H_
+#define OPAQ_BASELINES_KLL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/quantile_estimator.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace opaq {
+
+/// Karnin, Lang & Liberty, "Optimal Quantile Approximation in Streams"
+/// (FOCS 2016) — the randomized compactor-stack sketch that modern systems
+/// (DataSketches, DuckDB, ...) standardised on. Included, like GK, as a
+/// post-1997 comparator: it shows where the buffer-merge lineage that OPAQ
+/// and Munro–Paterson belong to ended up.
+///
+/// Structure: a stack of compactors; level i holds items of weight 2^i.
+/// When a compactor overflows its capacity (k at the top, shrinking by
+/// factor 2/3 per level below), it sorts itself and promotes every other
+/// item — random offset — to the level above. O(k · (1/(1-c)) ) memory;
+/// rank error eps·n with eps = O(1/k) with high probability (probabilistic,
+/// unlike OPAQ's deterministic certificate).
+template <typename K>
+class KllEstimator : public StreamingQuantileEstimator<K> {
+ public:
+  explicit KllEstimator(size_t k, uint64_t seed = 1)
+      : k_(k), rng_(seed), compactors_(1) {
+    OPAQ_CHECK_GE(k, 8u);
+  }
+
+  void Add(const K& value) override {
+    ++count_;
+    compactors_[0].push_back(value);
+    if (compactors_[0].size() >= Capacity(0)) Compress();
+  }
+
+  Result<K> EstimateQuantile(double phi) const override {
+    if (count_ == 0) return Status::FailedPrecondition("no data observed");
+    if (!(phi > 0.0 && phi <= 1.0)) {
+      return Status::InvalidArgument("phi must be in (0,1]");
+    }
+    struct Entry {
+      K value;
+      uint64_t weight;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    for (size_t level = 0; level < compactors_.size(); ++level) {
+      const uint64_t weight = uint64_t{1} << level;
+      for (const K& v : compactors_[level]) {
+        entries.push_back(Entry{v, weight});
+        total += weight;
+      }
+    }
+    if (entries.empty()) return Status::Internal("sketch lost all items");
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.value < b.value; });
+    const uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(phi * static_cast<double>(total))));
+    uint64_t cumulative = 0;
+    for (const Entry& e : entries) {
+      cumulative += e.weight;
+      if (cumulative >= target) return e.value;
+    }
+    return entries.back().value;
+  }
+
+  uint64_t count() const override { return count_; }
+
+  uint64_t MemoryElements() const override {
+    uint64_t held = 0;
+    for (const auto& c : compactors_) held += c.size();
+    return held;
+  }
+
+  std::string name() const override { return "kll"; }
+  size_t num_levels() const { return compactors_.size(); }
+
+ private:
+  /// Capacity of the compactor at `level`: k at the top of the stack,
+  /// decaying by 2/3 per level below it (never under 2).
+  size_t Capacity(size_t level) const {
+    const double c = 2.0 / 3.0;
+    const double depth =
+        static_cast<double>(compactors_.size() - 1 - level);
+    const double cap = std::ceil(static_cast<double>(k_) * std::pow(c, depth));
+    return std::max<size_t>(static_cast<size_t>(cap), 2);
+  }
+
+  /// Sweeps the stack bottom-up, compacting every over-capacity level:
+  /// sort, promote alternate items (random parity) with doubled weight,
+  /// discard the rest. Promotions only flow upward, so one upward sweep
+  /// handles the full cascade.
+  void Compress() {
+    for (size_t level = 0; level < compactors_.size(); ++level) {
+      if (compactors_[level].size() < Capacity(level)) continue;
+      if (level + 1 == compactors_.size()) {
+        compactors_.emplace_back();  // grow the stack; capacities shift
+      }
+      std::vector<K>& src = compactors_[level];
+      std::sort(src.begin(), src.end());
+      const size_t offset = rng_.Next() & 1;
+      for (size_t i = offset; i < src.size(); i += 2) {
+        compactors_[level + 1].push_back(src[i]);
+      }
+      src.clear();
+    }
+  }
+
+  size_t k_;
+  Xoshiro256 rng_;
+  uint64_t count_ = 0;
+  std::vector<std::vector<K>> compactors_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_BASELINES_KLL_H_

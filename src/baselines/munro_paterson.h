@@ -1,0 +1,137 @@
+#ifndef OPAQ_BASELINES_MUNRO_PATERSON_H_
+#define OPAQ_BASELINES_MUNRO_PATERSON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/quantile_estimator.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// Munro & Paterson, "Selection and Sorting with Limited Storage" (TCS
+/// 1980), the paper's [MP80]: the original buffer-collapse scheme (ancestor
+/// of MRL and GK summaries).
+///
+/// Elements fill a level-0 buffer of `buffer_size` elements; whenever two
+/// buffers share a level they *collapse*: merge the two sorted buffers and
+/// keep alternate elements, producing one buffer at the next level with
+/// twice the weight. At query time all surviving buffers merge (weighted)
+/// and the value whose cumulative weight crosses phi*n is reported.
+/// Memory is O(buffer_size * log(n / buffer_size)); the rank error grows
+/// with the number of collapse levels.
+template <typename K>
+class MunroPatersonEstimator : public StreamingQuantileEstimator<K> {
+ public:
+  explicit MunroPatersonEstimator(uint64_t buffer_size)
+      : buffer_size_(buffer_size) {
+    OPAQ_CHECK_GE(buffer_size, 2u);
+  }
+
+  void Add(const K& value) override {
+    ++count_;
+    incoming_.push_back(value);
+    if (incoming_.size() == buffer_size_) {
+      std::sort(incoming_.begin(), incoming_.end());
+      PlaceBuffer(std::move(incoming_), 0);
+      incoming_ = std::vector<K>();
+      incoming_.reserve(buffer_size_);
+    }
+  }
+
+  Result<K> EstimateQuantile(double phi) const override {
+    if (count_ == 0) return Status::FailedPrecondition("no data observed");
+    if (!(phi > 0.0 && phi <= 1.0)) {
+      return Status::InvalidArgument("phi must be in (0,1]");
+    }
+    // Weighted merge of all live buffers plus the partial level-0 buffer.
+    struct Entry {
+      K value;
+      uint64_t weight;
+    };
+    std::vector<Entry> entries;
+    for (size_t level = 0; level < levels_.size(); ++level) {
+      const uint64_t weight = uint64_t{1} << level;
+      for (const auto& buffer : levels_[level]) {
+        for (const K& v : buffer) entries.push_back(Entry{v, weight});
+      }
+    }
+    for (const K& v : incoming_) entries.push_back(Entry{v, 1});
+    if (entries.empty()) {
+      return Status::FailedPrecondition("no complete data yet");
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.value < b.value; });
+    uint64_t total = 0;
+    for (const Entry& e : entries) total += e.weight;
+    const uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(phi * static_cast<double>(total))));
+    uint64_t cumulative = 0;
+    for (const Entry& e : entries) {
+      cumulative += e.weight;
+      if (cumulative >= target) return e.value;
+    }
+    return entries.back().value;
+  }
+
+  uint64_t count() const override { return count_; }
+
+  uint64_t MemoryElements() const override {
+    uint64_t held = incoming_.capacity();
+    for (const auto& level : levels_) {
+      for (const auto& buffer : level) held += buffer.size();
+    }
+    return held;
+  }
+
+  std::string name() const override { return "munro-paterson"; }
+
+  /// Number of collapse levels currently alive (error grows with this).
+  size_t num_levels() const { return levels_.size(); }
+
+ private:
+  /// Inserts a sorted buffer at `level`, collapsing carries like binary
+  /// addition: two buffers at a level merge into one at level+1.
+  void PlaceBuffer(std::vector<K> buffer, size_t level) {
+    while (true) {
+      if (levels_.size() <= level) levels_.resize(level + 1);
+      if (levels_[level].empty()) {
+        levels_[level].push_back(std::move(buffer));
+        return;
+      }
+      std::vector<K> other = std::move(levels_[level].back());
+      levels_[level].pop_back();
+      buffer = Collapse(std::move(other), std::move(buffer), level);
+      ++level;
+    }
+  }
+
+  /// Merges two sorted buffers and keeps alternate elements. The starting
+  /// parity alternates per level-collapse to keep the rank bias centred
+  /// (Munro-Paterson's odd/even trick).
+  std::vector<K> Collapse(std::vector<K> a, std::vector<K> b, size_t level) {
+    std::vector<K> merged(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), merged.begin());
+    std::vector<K> kept;
+    kept.reserve(merged.size() / 2);
+    const uint64_t bit = uint64_t{1} << (level % 64);
+    const size_t start = (collapse_parity_ & bit) != 0 ? 1 : 0;
+    collapse_parity_ ^= bit;
+    for (size_t i = start; i < merged.size(); i += 2) kept.push_back(merged[i]);
+    return kept;
+  }
+
+  uint64_t buffer_size_;
+  uint64_t count_ = 0;
+  std::vector<K> incoming_;
+  std::vector<std::vector<std::vector<K>>> levels_;
+  uint64_t collapse_parity_ = 0;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_BASELINES_MUNRO_PATERSON_H_

@@ -1,0 +1,171 @@
+#ifndef OPAQ_BASELINES_P2_H_
+#define OPAQ_BASELINES_P2_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/quantile_estimator.h"
+#include "util/check.h"
+
+namespace opaq {
+
+namespace internal_p2 {
+
+/// One P-squared marker set tracking a single quantile p — Jain & Chlamtac,
+/// "The P² Algorithm for Dynamic Calculation of Quantiles and Histograms
+/// Without Storing Observations" (CACM 1985), the paper's [RC85].
+///
+/// Five markers whose heights approximate the min, p/2, p, (1+p)/2 and max
+/// quantiles; marker heights move by parabolic (falling back to linear)
+/// interpolation as observations arrive. O(1) memory, no error bound.
+class P2Single {
+ public:
+  explicit P2Single(double p) : p_(p) {
+    OPAQ_CHECK(p > 0.0 && p < 1.0);
+  }
+
+  void Add(double x) {
+    if (count_ < 5) {
+      initial_[count_++] = x;
+      if (count_ == 5) {
+        std::sort(initial_, initial_ + 5);
+        for (int i = 0; i < 5; ++i) {
+          q_[i] = initial_[i];
+          n_[i] = i + 1;
+        }
+        np_[0] = 1;
+        np_[1] = 1 + 2 * p_;
+        np_[2] = 1 + 4 * p_;
+        np_[3] = 3 + 2 * p_;
+        np_[4] = 5;
+      }
+      return;
+    }
+    ++count_;
+    // Locate the cell containing x, extending the extremes if needed.
+    int k;
+    if (x < q_[0]) {
+      q_[0] = x;
+      k = 0;
+    } else if (x >= q_[4]) {
+      q_[4] = x;
+      k = 3;
+    } else {
+      k = 0;
+      while (k < 3 && !(x < q_[k + 1])) ++k;
+    }
+    for (int i = k + 1; i < 5; ++i) n_[i] += 1;
+    np_[1] += p_ / 2;
+    np_[2] += p_;
+    np_[3] += (1 + p_) / 2;
+    np_[4] += 1;
+    // Adjust the three interior markers if they drifted off their desired
+    // positions by >= 1 and there is room to move.
+    for (int i = 1; i <= 3; ++i) {
+      const double d = np_[i] - n_[i];
+      if ((d >= 1 && n_[i + 1] - n_[i] > 1) ||
+          (d <= -1 && n_[i - 1] - n_[i] < -1)) {
+        const int s = d >= 0 ? 1 : -1;
+        const double qp = Parabolic(i, s);
+        if (q_[i - 1] < qp && qp < q_[i + 1]) {
+          q_[i] = qp;
+        } else {
+          q_[i] = Linear(i, s);
+        }
+        n_[i] += s;
+      }
+    }
+  }
+
+  /// Current estimate of the p-quantile.
+  double Estimate() const {
+    OPAQ_CHECK_GT(count_, 0u);
+    if (count_ < 5) {
+      // Too few observations for the marker machinery: exact small-sample
+      // quantile.
+      double tmp[5];
+      std::copy(initial_, initial_ + count_, tmp);
+      std::sort(tmp, tmp + count_);
+      uint64_t idx = static_cast<uint64_t>(
+          std::ceil(p_ * static_cast<double>(count_)));
+      idx = std::max<uint64_t>(1, std::min<uint64_t>(idx, count_));
+      return tmp[idx - 1];
+    }
+    return q_[2];
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  double Parabolic(int i, int s) const {
+    const double d = static_cast<double>(s);
+    return q_[i] +
+           d / (n_[i + 1] - n_[i - 1]) *
+               ((n_[i] - n_[i - 1] + d) * (q_[i + 1] - q_[i]) /
+                    (n_[i + 1] - n_[i]) +
+                (n_[i + 1] - n_[i] - d) * (q_[i] - q_[i - 1]) /
+                    (n_[i] - n_[i - 1]));
+  }
+
+  double Linear(int i, int s) const {
+    return q_[i] +
+           static_cast<double>(s) * (q_[i + s] - q_[i]) / (n_[i + s] - n_[i]);
+  }
+
+  double p_;
+  uint64_t count_ = 0;
+  double initial_[5] = {0, 0, 0, 0, 0};
+  double q_[5] = {0, 0, 0, 0, 0};   // marker heights
+  double n_[5] = {0, 0, 0, 0, 0};   // marker positions (1-based)
+  double np_[5] = {0, 0, 0, 0, 0};  // desired positions
+};
+
+}  // namespace internal_p2
+
+/// P² baseline over a fixed set of target quantiles: one five-marker state
+/// per phi (the algorithm needs its quantiles up front — one of the
+/// flexibility contrasts with OPAQ, whose sample list serves any phi).
+template <typename K>
+class P2Estimator : public StreamingQuantileEstimator<K> {
+ public:
+  explicit P2Estimator(const std::vector<double>& phis) {
+    OPAQ_CHECK(!phis.empty());
+    for (double phi : phis) {
+      markers_.emplace(phi, internal_p2::P2Single(phi));
+    }
+  }
+
+  void Add(const K& value) override {
+    ++count_;
+    for (auto& [phi, marker] : markers_) {
+      marker.Add(static_cast<double>(value));
+    }
+  }
+
+  Result<K> EstimateQuantile(double phi) const override {
+    auto it = markers_.find(phi);
+    if (it == markers_.end()) {
+      return Status::InvalidArgument(
+          "P2 tracks only the quantiles registered at construction");
+    }
+    if (count_ == 0) return Status::FailedPrecondition("no data observed");
+    return static_cast<K>(it->second.Estimate());
+  }
+
+  uint64_t count() const override { return count_; }
+  /// 4 doubles x 5 markers per tracked quantile, expressed in elements.
+  uint64_t MemoryElements() const override { return markers_.size() * 20; }
+  std::string name() const override { return "p2"; }
+
+ private:
+  std::map<double, internal_p2::P2Single> markers_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_BASELINES_P2_H_

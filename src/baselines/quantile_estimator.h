@@ -1,0 +1,55 @@
+#ifndef OPAQ_BASELINES_QUANTILE_ESTIMATOR_H_
+#define OPAQ_BASELINES_QUANTILE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/run_reader.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// Common face of the single-pass comparison algorithms (paper §1's related
+/// work, used in Table 7): elements arrive one at a time, then point
+/// estimates are queried. Unlike OPAQ these provide no (or only
+/// probabilistic) error guarantees — that contrast is the paper's point.
+template <typename K>
+class StreamingQuantileEstimator {
+ public:
+  virtual ~StreamingQuantileEstimator() = default;
+
+  /// Observes one element of the stream.
+  virtual void Add(const K& value) = 0;
+
+  /// Point estimate of the phi-quantile after (or during) the pass.
+  /// Estimators that fix their quantile set up front (P2) fail with
+  /// InvalidArgument for unregistered phi.
+  virtual Result<K> EstimateQuantile(double phi) const = 0;
+
+  /// Elements observed so far.
+  virtual uint64_t count() const = 0;
+
+  /// Memory footprint in "stored elements" (for the paper's equal-memory
+  /// comparison: OPAQ's rs sample points vs the baseline's state).
+  virtual uint64_t MemoryElements() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Feeds an entire disk file through the estimator run by run.
+  Status ConsumeFile(const TypedDataFile<K>* file, uint64_t run_size) {
+    RunReader<K> reader(file, run_size);
+    std::vector<K> buffer;
+    while (true) {
+      auto more = reader.NextRun(&buffer);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      for (const K& v : buffer) Add(v);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_BASELINES_QUANTILE_ESTIMATOR_H_

@@ -1,0 +1,74 @@
+#ifndef OPAQ_BASELINES_RESERVOIR_SAMPLE_H_
+#define OPAQ_BASELINES_RESERVOIR_SAMPLE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/quantile_estimator.h"
+#include "util/random.h"
+
+namespace opaq {
+
+/// Random-sampling baseline (paper §1, [Coc77]): keep a uniform sample of
+/// fixed capacity via Vitter's reservoir algorithm R, sort it, and read
+/// quantiles off the sorted sample. One pass, O(capacity) memory, but the
+/// error guarantee is only probabilistic — the contrast OPAQ draws in
+/// Table 7's "Random Sample" column.
+template <typename K>
+class ReservoirSampleEstimator : public StreamingQuantileEstimator<K> {
+ public:
+  ReservoirSampleEstimator(uint64_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {
+    OPAQ_CHECK_GT(capacity, 0u);
+    reservoir_.reserve(capacity);
+  }
+
+  void Add(const K& value) override {
+    ++count_;
+    if (reservoir_.size() < capacity_) {
+      reservoir_.push_back(value);
+    } else {
+      // Element i (1-based) replaces a reservoir slot with prob capacity/i.
+      uint64_t j = rng_.NextBounded(count_);
+      if (j < capacity_) reservoir_[j] = value;
+    }
+    sorted_ = false;
+  }
+
+  Result<K> EstimateQuantile(double phi) const override {
+    if (reservoir_.empty()) {
+      return Status::FailedPrecondition("no data observed");
+    }
+    if (!(phi > 0.0 && phi <= 1.0)) {
+      return Status::InvalidArgument("phi must be in (0,1]");
+    }
+    if (!sorted_) {
+      std::sort(reservoir_.begin(), reservoir_.end());
+      sorted_ = true;
+    }
+    uint64_t idx = static_cast<uint64_t>(
+        std::ceil(phi * static_cast<double>(reservoir_.size())));
+    idx = std::max<uint64_t>(1, std::min<uint64_t>(idx, reservoir_.size()));
+    return reservoir_[idx - 1];
+  }
+
+  uint64_t count() const override { return count_; }
+  uint64_t MemoryElements() const override { return capacity_; }
+  std::string name() const override { return "reservoir-sample"; }
+
+ private:
+  uint64_t capacity_;
+  Xoshiro256 rng_;
+  uint64_t count_ = 0;
+  // Sorting is deferred to query time; both mutable so the const query API
+  // can maintain the cache.
+  mutable std::vector<K> reservoir_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_BASELINES_RESERVOIR_SAMPLE_H_

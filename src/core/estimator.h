@@ -1,0 +1,127 @@
+#ifndef OPAQ_CORE_ESTIMATOR_H_
+#define OPAQ_CORE_ESTIMATOR_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/index_math.h"
+#include "core/sample_list.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// One quantile answer: certified bracket [lower, upper] around the true
+/// quantile value, plus the bookkeeping that makes the guarantee auditable.
+template <typename K>
+struct QuantileEstimate {
+  /// Target rank psi = ceil(phi * n), 1-based.
+  uint64_t target_rank = 0;
+  /// e_l: guaranteed <= the true quantile unless `lower_clamped`.
+  K lower{};
+  /// e_u: guaranteed >= the true quantile unless `upper_clamped`.
+  K upper{};
+  /// 1-based positions in the sorted sample list the bounds came from.
+  uint64_t lower_index = 0;
+  uint64_t upper_index = 0;
+  /// True when the paper's index formula left [1, rs] and the corresponding
+  /// bound is only the nearest available sample, not a certificate.
+  bool lower_clamped = false;
+  bool upper_clamped = false;
+  /// Lemmas 1-2: at most this many elements of rank separate either bound
+  /// from the true quantile (n/s in the paper's setting).
+  uint64_t max_rank_error = 0;
+
+  /// Midpoint-style point estimate (callers that need a single value).
+  K point() const { return lower_index == 0 ? upper : lower; }
+};
+
+/// Rank bracket for an arbitrary value (paper §4 extension). All four rank
+/// bounds so range-count queries (selectivity) can be bracketed too.
+struct RankEstimate {
+  uint64_t min_rank_le = 0;  ///< at least this many elements <= v
+  uint64_t max_rank_le = 0;  ///< at most this many elements <= v
+  uint64_t min_rank_lt = 0;  ///< at least this many elements < v
+  uint64_t max_rank_lt = 0;  ///< at most this many elements < v
+
+  /// Midpoint as a point estimate of the rank (elements <= v).
+  uint64_t point() const { return (min_rank_le + max_rank_le) / 2; }
+};
+
+/// The quantile phase: answers phi-quantile and rank queries from a finished
+/// SampleList in O(1) and O(log rs) respectively — this is the paper's
+/// "extra time for computing additional quantiles is constant per quantile".
+template <typename K>
+class OpaqEstimator {
+ public:
+  explicit OpaqEstimator(SampleList<K> samples)
+      : samples_(std::move(samples)) {}
+
+  const SampleList<K>& sample_list() const { return samples_; }
+  uint64_t total_elements() const { return samples_.total_elements(); }
+
+  /// Lemma 1-3 budget: max elements between either bound and the truth.
+  uint64_t max_rank_error() const {
+    return MaxRankError(samples_.accounting());
+  }
+
+  /// phi in (0, 1]: returns bounds on the element of rank ceil(phi*n).
+  QuantileEstimate<K> Quantile(double phi) const {
+    OPAQ_CHECK(phi > 0.0 && phi <= 1.0)
+        << "phi must be in (0,1], got " << phi;
+    const uint64_t n = total_elements();
+    OPAQ_CHECK_GT(n, 0u);
+    uint64_t psi = static_cast<uint64_t>(
+        std::ceil(phi * static_cast<double>(n)));
+    if (psi < 1) psi = 1;
+    if (psi > n) psi = n;
+    return QuantileByRank(psi);
+  }
+
+  /// Bounds on the element of 1-based rank psi (the paper's psi = phi*n).
+  QuantileEstimate<K> QuantileByRank(uint64_t psi) const {
+    const SampleAccounting& acc = samples_.accounting();
+    OPAQ_CHECK_GT(acc.num_samples, 0u)
+        << "quantile phase requires a non-empty sample list";
+    QuantileEstimate<K> out;
+    out.target_rank = psi;
+    out.max_rank_error = MaxRankError(acc);
+    SampleIndex lower = LowerBoundIndex(acc, psi);
+    SampleIndex upper = UpperBoundIndex(acc, psi);
+    out.lower_index = lower.index;
+    out.upper_index = upper.index;
+    out.lower_clamped = lower.clamped;
+    out.upper_clamped = upper.clamped;
+    out.lower = samples_.At1(lower.index);
+    out.upper = samples_.At1(upper.index);
+    return out;
+  }
+
+  /// Estimates q-1 equi-spaced quantiles (dectiles for q=10, paper §2.4).
+  /// Cost beyond the first is O(1) each.
+  std::vector<QuantileEstimate<K>> EquiQuantiles(int q) const {
+    OPAQ_CHECK_GE(q, 2);
+    std::vector<QuantileEstimate<K>> out;
+    out.reserve(q - 1);
+    for (int i = 1; i < q; ++i) {
+      out.push_back(Quantile(static_cast<double>(i) / q));
+    }
+    return out;
+  }
+
+  /// Rank bracket for an arbitrary value v (no pass over the data).
+  RankEstimate EstimateRank(const K& v) const {
+    RankBounds bounds = RankBoundsFromSampleCounts(
+        samples_.accounting(), samples_.CountLessEqual(v),
+        samples_.CountLess(v));
+    return RankEstimate{bounds.min_rank_le, bounds.max_rank_le,
+                        bounds.min_rank_lt, bounds.max_rank_lt};
+  }
+
+ private:
+  SampleList<K> samples_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_CORE_ESTIMATOR_H_

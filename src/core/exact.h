@@ -1,0 +1,138 @@
+#ifndef OPAQ_CORE_EXACT_H_
+#define OPAQ_CORE_EXACT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.h"
+#include "io/run_reader.h"
+#include "select/select.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// The paper's §4 extension: turn an OPAQ estimate into the *exact* quantile
+/// with one extra pass. The pass keeps only the elements inside
+/// [estimate.lower, estimate.upper] — at most 2n/s of them by Lemma 3 — and
+/// counts the elements below the lower bound; the exact quantile is then the
+/// element of rank (psi - count_below) within the kept set, found by
+/// selection in memory.
+///
+/// Fails with FailedPrecondition if either bound was clamped (the bracket is
+/// then not certified) and with ResourceExhausted if the kept set exceeds
+/// `memory_budget_elements` (0 = 4 * max_rank_error, twice Lemma 3's bound,
+/// as a generous default).
+template <typename K>
+Result<K> ExactQuantileSecondPass(const TypedDataFile<K>* file,
+                                  const QuantileEstimate<K>& estimate,
+                                  uint64_t run_size,
+                                  uint64_t memory_budget_elements = 0) {
+  if (estimate.lower_clamped || estimate.upper_clamped) {
+    return Status::FailedPrecondition(
+        "bounds were clamped; the bracket does not certify the quantile");
+  }
+  if (memory_budget_elements == 0) {
+    memory_budget_elements = 4 * estimate.max_rank_error;
+  }
+  uint64_t below = 0;  // elements strictly below estimate.lower
+  std::vector<K> kept;
+  std::vector<K> buffer;
+  RunReader<K> reader(file, run_size);
+  while (true) {
+    auto more = reader.NextRun(&buffer);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    for (const K& v : buffer) {
+      if (v < estimate.lower) {
+        ++below;
+      } else if (!(estimate.upper < v)) {  // lower <= v <= upper
+        kept.push_back(v);
+        if (kept.size() > memory_budget_elements) {
+          return Status::ResourceExhausted(
+              "bracket holds more elements than the memory budget; "
+              "increase samples_per_run or the budget");
+        }
+      }
+    }
+  }
+  // Rank of the target inside the kept set (1-based psi, 0-based select).
+  if (estimate.target_rank <= below ||
+      estimate.target_rank > below + kept.size()) {
+    // Would indicate a broken bracket; Lemmas 1-2 forbid this for certified
+    // (unclamped) bounds on the file the estimate came from.
+    return Status::Internal(
+        "target rank falls outside the bracket; was the estimate computed "
+        "from a different file?");
+  }
+  const uint64_t rank_in_kept = estimate.target_rank - below - 1;
+  Xoshiro256 rng(estimate.target_rank);
+  return SelectKth(kept.data(), kept.size(), rank_in_kept,
+                   SelectAlgorithm::kIntroSelect, rng);
+}
+
+/// Batch variant: recovers the exact values for SEVERAL quantiles with one
+/// shared extra pass. Each estimate's bracket is filtered independently (q
+/// is small — dectiles — so the per-element loop over brackets is cheap);
+/// memory is at most q * 2n/s plus slack.
+template <typename K>
+Result<std::vector<K>> ExactQuantilesSecondPass(
+    const TypedDataFile<K>* file,
+    const std::vector<QuantileEstimate<K>>& estimates, uint64_t run_size,
+    uint64_t memory_budget_elements = 0) {
+  for (const auto& e : estimates) {
+    if (e.lower_clamped || e.upper_clamped) {
+      return Status::FailedPrecondition(
+          "an estimate's bounds were clamped; its bracket is not certified");
+    }
+  }
+  if (estimates.empty()) return std::vector<K>{};
+  if (memory_budget_elements == 0) {
+    memory_budget_elements = 4 * estimates.size() *
+                             estimates.front().max_rank_error;
+  }
+  std::vector<uint64_t> below(estimates.size(), 0);
+  std::vector<std::vector<K>> kept(estimates.size());
+  uint64_t held = 0;
+  std::vector<K> buffer;
+  RunReader<K> reader(file, run_size);
+  while (true) {
+    auto more = reader.NextRun(&buffer);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    for (const K& v : buffer) {
+      for (size_t q = 0; q < estimates.size(); ++q) {
+        const QuantileEstimate<K>& e = estimates[q];
+        if (v < e.lower) {
+          ++below[q];
+        } else if (!(e.upper < v)) {
+          kept[q].push_back(v);
+          if (++held > memory_budget_elements) {
+            return Status::ResourceExhausted(
+                "brackets hold more elements than the memory budget");
+          }
+        }
+      }
+    }
+  }
+  std::vector<K> out;
+  out.reserve(estimates.size());
+  for (size_t q = 0; q < estimates.size(); ++q) {
+    const QuantileEstimate<K>& e = estimates[q];
+    if (e.target_rank <= below[q] ||
+        e.target_rank > below[q] + kept[q].size()) {
+      return Status::Internal(
+          "target rank falls outside its bracket; was the estimate computed "
+          "from a different file?");
+    }
+    Xoshiro256 rng(e.target_rank);
+    out.push_back(SelectKth(kept[q].data(), kept[q].size(),
+                            e.target_rank - below[q] - 1,
+                            SelectAlgorithm::kIntroSelect, rng));
+  }
+  return out;
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_CORE_EXACT_H_

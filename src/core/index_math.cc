@@ -1,0 +1,80 @@
+#include "core/index_math.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace opaq {
+namespace {
+
+/// Slack term (R-1)*(c-1) + U: the maximum number of elements that can hide
+/// below a sample without being covered by smaller samples' sub-runs.
+uint64_t Slack(const SampleAccounting& acc) {
+  const uint64_t runs_minus_one = acc.num_runs > 0 ? acc.num_runs - 1 : 0;
+  return runs_minus_one * (acc.subrun_size - 1) + acc.num_uncovered;
+}
+
+}  // namespace
+
+SampleIndex LowerBoundIndex(const SampleAccounting& acc, uint64_t psi) {
+  OPAQ_CHECK(acc.Valid());
+  OPAQ_CHECK_GE(psi, 1u);
+  OPAQ_CHECK_LE(psi, acc.total_elements);
+  SampleIndex out;
+  if (acc.num_samples == 0) return out;  // index 0: no samples at all
+  const uint64_t slack = Slack(acc);
+  if (psi < acc.subrun_size + slack) {
+    // Formula would give i < 1: no sample is guaranteed <= the true
+    // quantile. Clamp to the first sample and tell the caller.
+    out.index = 1;
+    out.clamped = true;
+    return out;
+  }
+  uint64_t i = (psi - slack) / acc.subrun_size;  // floor
+  if (i > acc.num_samples) {
+    i = acc.num_samples;  // can only happen with tiny slack; stay in range
+  }
+  out.index = i;
+  return out;
+}
+
+SampleIndex UpperBoundIndex(const SampleAccounting& acc, uint64_t psi) {
+  OPAQ_CHECK(acc.Valid());
+  OPAQ_CHECK_GE(psi, 1u);
+  OPAQ_CHECK_LE(psi, acc.total_elements);
+  SampleIndex out;
+  if (acc.num_samples == 0) return out;
+  uint64_t j = (psi + acc.subrun_size - 1) / acc.subrun_size;  // ceil
+  if (j > acc.num_samples) {
+    // Only reachable when uncovered tail elements push psi past S*c; the
+    // last sample is then not a certified upper bound.
+    j = acc.num_samples;
+    out.clamped = true;
+  }
+  out.index = j;
+  return out;
+}
+
+uint64_t MaxRankError(const SampleAccounting& acc) {
+  OPAQ_CHECK(acc.Valid());
+  return acc.subrun_size + Slack(acc);
+}
+
+RankBounds RankBoundsFromSampleCounts(const SampleAccounting& acc,
+                                      uint64_t samples_le,
+                                      uint64_t samples_lt) {
+  OPAQ_CHECK(acc.Valid());
+  OPAQ_CHECK_LE(samples_lt, samples_le);
+  OPAQ_CHECK_LE(samples_le, acc.num_samples);
+  RankBounds out;
+  const uint64_t cap = acc.total_elements;
+  const uint64_t slack = acc.num_runs * (acc.subrun_size - 1) +
+                         acc.num_uncovered;
+  out.min_rank_le = samples_le * acc.subrun_size;
+  out.min_rank_lt = samples_lt * acc.subrun_size;
+  out.max_rank_le = std::min(cap, samples_le * acc.subrun_size + slack);
+  out.max_rank_lt = std::min(cap, samples_lt * acc.subrun_size + slack);
+  return out;
+}
+
+}  // namespace opaq

@@ -1,0 +1,84 @@
+#ifndef OPAQ_CORE_INDEX_MATH_H_
+#define OPAQ_CORE_INDEX_MATH_H_
+
+#include <cstdint>
+
+namespace opaq {
+
+/// Pure integer bookkeeping behind the quantile phase (paper §2.2 and
+/// Appendix A), kept free of templates and I/O so the index formulas and
+/// their proofs-in-code can be unit-tested exhaustively.
+///
+/// Terminology (paper Table 1, generalised to tail runs):
+///  - `subrun_size` c = m/s: every sample covers a disjoint "sub-run" of c
+///    elements that are <= it (regular sampling).
+///  - `num_runs` R: number of runs the data was read in (paper: r = n/m).
+///  - `num_samples` S: total samples over all runs (paper: r*s).
+///  - `num_uncovered` U: elements in partial tail sub-runs that no sample
+///    covers; 0 in the paper's divisible setting, tracked here so arbitrary
+///    n is supported with sound (slightly wider) bounds.
+///
+/// Invariant: total_elements == S * c + U.
+struct SampleAccounting {
+  uint64_t subrun_size = 0;
+  uint64_t num_runs = 0;
+  uint64_t num_samples = 0;
+  uint64_t num_uncovered = 0;
+  uint64_t total_elements = 0;
+
+  bool Valid() const {
+    return subrun_size > 0 &&
+           total_elements == num_samples * subrun_size + num_uncovered &&
+           (num_samples == 0 || num_runs > 0);
+  }
+};
+
+/// A 1-based index into the sorted sample list, with a flag recording that
+/// the paper's formula fell outside [1, S] and was clamped (in which case the
+/// corresponding bound is vacuous: the caller only knows the quantile is
+/// beyond the first/last sample).
+struct SampleIndex {
+  uint64_t index = 0;  // 1-based; 0 iff there are no samples at all
+  bool clamped = false;
+};
+
+/// Index of the lower-bound sample e_l for target rank `psi` (1-based,
+/// 1 <= psi <= n): the largest i with
+///     i*c + (R-1)*(c-1) + U  <=  psi
+/// (paper formula (2), plus the +U generalisation). Guarantees that at most
+/// `MaxRankError` elements separate e_l from the true quantile (Lemma 1).
+SampleIndex LowerBoundIndex(const SampleAccounting& acc, uint64_t psi);
+
+/// Index of the upper-bound sample e_u for target rank `psi`: the smallest j
+/// with j*c >= psi, i.e. j = ceil(psi/c) (paper formula (5)). Guarantees at
+/// most `MaxRankError` elements separate the true quantile from e_u
+/// (Lemma 2).
+SampleIndex UpperBoundIndex(const SampleAccounting& acc, uint64_t psi);
+
+/// The rank-error budget of Lemmas 1-3: at most this many elements lie
+/// between either bound and the true quantile. Equals
+/// c + (R-1)*(c-1) + U <= n/s + U (paper: n/s).
+uint64_t MaxRankError(const SampleAccounting& acc);
+
+/// Bounds on the rank of an arbitrary value v, derived from how many samples
+/// compare below it (paper §4: "the sorted sample list can obviously be used
+/// to estimate the rank of any arbitrary element"). With
+/// `samples_le` = #samples <= v and `samples_lt` = #samples < v:
+///  - at least samples_le * c elements are <= v and at least samples_lt * c
+///    are < v (property 1: each such sample covers c disjoint elements at or
+///    below itself),
+///  - at most samples_{le,lt} * c + R*(c-1) + U elements are <=/< v
+///    (property 2 with every run possibly contributing one partial sub-run).
+struct RankBounds {
+  uint64_t min_rank_le;  // lower bound on #elements <= v
+  uint64_t max_rank_le;  // upper bound on #elements <= v
+  uint64_t min_rank_lt;  // lower bound on #elements <  v
+  uint64_t max_rank_lt;  // upper bound on #elements <  v
+};
+RankBounds RankBoundsFromSampleCounts(const SampleAccounting& acc,
+                                      uint64_t samples_le,
+                                      uint64_t samples_lt);
+
+}  // namespace opaq
+
+#endif  // OPAQ_CORE_INDEX_MATH_H_

@@ -1,0 +1,87 @@
+#ifndef OPAQ_CORE_KWAY_MERGE_H_
+#define OPAQ_CORE_KWAY_MERGE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace opaq {
+
+/// Merges `lists` (each individually sorted ascending) into one sorted
+/// vector using a tournament (loser-tree-style binary heap) over the list
+/// heads: O(N log r) comparisons for N total elements over r lists — the
+/// paper's "merging r sample lists" step with its O(rs log r) cost (§2.3).
+template <typename K>
+std::vector<K> KWayMergeSorted(const std::vector<std::vector<K>>& lists) {
+  struct Cursor {
+    const K* next;
+    const K* end;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(lists.size());
+  size_t total = 0;
+  for (const auto& list : lists) {
+    total += list.size();
+    if (!list.empty()) {
+      heap.push_back(Cursor{list.data(), list.data() + list.size()});
+    }
+  }
+  std::vector<K> out;
+  out.reserve(total);
+
+  // Min-heap on *cursor->next; hand-rolled sift operations keep this free of
+  // std::priority_queue's copy overhead for struct elements.
+  auto less = [](const Cursor& a, const Cursor& b) {
+    return *a.next < *b.next;
+  };
+  auto sift_down = [&](size_t i) {
+    const size_t n = heap.size();
+    while (true) {
+      size_t smallest = i;
+      size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && less(heap[l], heap[smallest])) smallest = l;
+      if (r < n && less(heap[r], heap[smallest])) smallest = r;
+      if (smallest == i) break;
+      std::swap(heap[i], heap[smallest]);
+      i = smallest;
+    }
+  };
+  for (size_t i = heap.size(); i-- > 0;) sift_down(i);
+
+  while (!heap.empty()) {
+    Cursor& top = heap.front();
+    out.push_back(*top.next);
+    ++top.next;
+    if (top.next == top.end) {
+      heap.front() = heap.back();
+      heap.pop_back();
+      if (heap.empty()) break;
+    }
+    sift_down(0);
+  }
+  OPAQ_CHECK_EQ(out.size(), total);
+  return out;
+}
+
+/// Two-way merge of sorted vectors (used by incremental sample-list merge).
+template <typename K>
+std::vector<K> MergeSorted(const std::vector<K>& a, const std::vector<K>& b) {
+  std::vector<K> out;
+  out.reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (b[j] < a[i]) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(a[i++]);
+    }
+  }
+  out.insert(out.end(), a.begin() + i, a.end());
+  out.insert(out.end(), b.begin() + j, b.end());
+  return out;
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_CORE_KWAY_MERGE_H_

@@ -1,0 +1,129 @@
+#ifndef OPAQ_CORE_OPAQ_H_
+#define OPAQ_CORE_OPAQ_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/opaq_config.h"
+#include "core/sample_list.h"
+#include "io/run_reader.h"
+#include "select/multi_select.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace opaq {
+
+/// The front door of the library: OPAQ's one-pass sample phase as a
+/// mergeable sketch.
+///
+/// Feed runs (from disk via `ConsumeFile`, or directly via `AddRun` for
+/// streamed/incremental data), then `Finalize()` into an `OpaqEstimator`
+/// that answers quantile and rank queries with certified bounds.
+///
+///     OpaqConfig config;                     // m = 2^20, s = 1024, ...
+///     OpaqSketch<uint64_t> sketch(config);
+///     OPAQ_CHECK_OK(sketch.ConsumeFile(&file));
+///     auto est = sketch.Finalize();
+///     auto median = est.Quantile(0.5);       // [median.lower, median.upper]
+///
+/// Memory: one run buffer (m elements) plus the accumulated sample lists
+/// (r*s elements) — the paper's §2.3 constraint r*s + m <= M.
+template <typename K>
+class OpaqSketch {
+ public:
+  explicit OpaqSketch(const OpaqConfig& config)
+      : config_(config),
+        rng_(config.seed),
+        builder_(config.subrun_size()) {
+    OPAQ_CHECK_OK(config.Validate());
+  }
+
+  const OpaqConfig& config() const { return config_; }
+  uint64_t runs_consumed() const { return builder_.num_runs(); }
+  uint64_t elements_consumed() const { return builder_.total_elements(); }
+
+  /// Samples one run. The buffer is consumed (rearranged by selection);
+  /// pass by value and move in to make the cost explicit at call sites.
+  void AddRun(std::vector<K> run) {
+    OPAQ_CHECK_LE(run.size(), config_.run_size)
+        << "a run longer than config.run_size would break the error bounds";
+    if (run.empty()) return;
+    std::vector<K> samples = RegularSamplesBySubrunSize(
+        run.data(), run.size(), config_.subrun_size(),
+        config_.select_algorithm, rng_);
+    builder_.AddRunSamples(std::move(samples), run.size());
+  }
+
+  /// Streams every run of `file` through the sketch: the whole one-pass
+  /// sample phase of Figure 1. `io_seconds`, when non-null, accumulates the
+  /// wall time spent inside device reads (for the Table 11/12 breakdowns).
+  Status ConsumeFile(const TypedDataFile<K>* file, double* io_seconds = nullptr) {
+    RunReader<K> reader(file, config_.run_size);
+    return ConsumeRuns(&reader, io_seconds);
+  }
+
+  /// Same, over an explicit reader (sub-range of a file in the parallel
+  /// algorithm).
+  Status ConsumeRuns(RunReader<K>* reader, double* io_seconds = nullptr) {
+    std::vector<K> buffer;
+    buffer.reserve(config_.run_size);
+    while (true) {
+      WallTimer io_timer;
+      auto more = reader->NextRun(&buffer);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      if (io_seconds != nullptr) *io_seconds += io_timer.ElapsedSeconds();
+      AddRun(std::move(buffer));
+      buffer = std::vector<K>();
+      buffer.reserve(config_.run_size);
+    }
+    return Status::OK();
+  }
+
+  /// Merges the per-run sample lists (O(rs log r)) and returns the final
+  /// sorted sample list. The sketch resets and can be reused.
+  SampleList<K> FinalizeSampleList() { return builder_.Finalize(); }
+
+  /// Convenience: finalize straight into the quantile phase.
+  OpaqEstimator<K> Finalize() {
+    return OpaqEstimator<K>(FinalizeSampleList());
+  }
+
+ private:
+  OpaqConfig config_;
+  Xoshiro256 rng_;
+  SampleListBuilder<K> builder_;
+};
+
+/// One-shot helper: estimate the q-1 equi-spaced quantiles of a disk file.
+template <typename K>
+Result<std::vector<QuantileEstimate<K>>> EstimateQuantilesFromFile(
+    const TypedDataFile<K>* file, const OpaqConfig& config, int q) {
+  OPAQ_RETURN_IF_ERROR(config.Validate());
+  OpaqSketch<K> sketch(config);
+  OPAQ_RETURN_IF_ERROR(sketch.ConsumeFile(file));
+  return sketch.Finalize().EquiQuantiles(q);
+}
+
+/// One-shot helper over an in-memory dataset (slices it into runs).
+template <typename K>
+OpaqEstimator<K> EstimateQuantilesInMemory(const std::vector<K>& data,
+                                           const OpaqConfig& config) {
+  OPAQ_CHECK_OK(config.Validate());
+  OpaqSketch<K> sketch(config);
+  for (uint64_t first = 0; first < data.size();
+       first += config.run_size) {
+    uint64_t len = std::min<uint64_t>(config.run_size, data.size() - first);
+    sketch.AddRun(std::vector<K>(data.begin() + first,
+                                 data.begin() + first + len));
+  }
+  return sketch.Finalize();
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_CORE_OPAQ_H_

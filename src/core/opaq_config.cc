@@ -1,0 +1,48 @@
+#include "core/opaq_config.h"
+
+#include <sstream>
+
+#include "util/math.h"
+
+namespace opaq {
+
+Status OpaqConfig::Validate(uint64_t n, uint64_t memory_budget_elements) const {
+  if (run_size == 0) {
+    return Status::InvalidArgument("run_size must be positive");
+  }
+  if (samples_per_run == 0) {
+    return Status::InvalidArgument("samples_per_run must be positive");
+  }
+  if (samples_per_run > run_size) {
+    return Status::InvalidArgument(
+        "samples_per_run must not exceed run_size");
+  }
+  if (run_size % samples_per_run != 0) {
+    return Status::InvalidArgument(
+        "samples_per_run must divide run_size (paper footnote 1; use a "
+        "power-of-two pair)");
+  }
+  if (n > 0 && memory_budget_elements > 0) {
+    const uint64_t runs = DivCeil(n, run_size);
+    const uint64_t needed = runs * samples_per_run + run_size;
+    if (needed > memory_budget_elements) {
+      std::ostringstream os;
+      os << "memory constraint r*s + m <= M violated: " << runs << "*"
+         << samples_per_run << " + " << run_size << " = " << needed << " > "
+         << memory_budget_elements;
+      return Status::InvalidArgument(os.str());
+    }
+  }
+  return Status::OK();
+}
+
+std::string OpaqConfig::ToString() const {
+  std::ostringstream os;
+  os << "OpaqConfig(m=" << run_size << ", s=" << samples_per_run
+     << ", c=" << subrun_size()
+     << ", select=" << SelectAlgorithmName(select_algorithm)
+     << ", seed=" << seed << ")";
+  return os.str();
+}
+
+}  // namespace opaq

@@ -1,0 +1,46 @@
+#ifndef OPAQ_CORE_OPAQ_CONFIG_H_
+#define OPAQ_CORE_OPAQ_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "select/select.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// Knobs of the OPAQ sample phase (paper Table 1).
+///
+/// The memory constraint of §2.3 is `r*s + m <= M` (sample lists of all runs
+/// plus one run buffer must fit); `Validate(n)` checks it when a memory
+/// budget is supplied.
+struct OpaqConfig {
+  /// Run size m: how many elements are resident at once. The paper uses the
+  /// full memory for a run; smaller m means more runs and looser bounds.
+  uint64_t run_size = 1 << 20;
+
+  /// Samples kept per full run, s. Error bound is ~n/s elements of rank, so
+  /// accuracy is directly proportional to s (paper §2.4). Must divide
+  /// run_size.
+  uint64_t samples_per_run = 1024;
+
+  /// Which selection algorithm finds the regular samples (§2.1 offers
+  /// [ea72] deterministic or [FR75] randomized; kIntroSelect is our default).
+  SelectAlgorithm select_algorithm = SelectAlgorithm::kIntroSelect;
+
+  /// Seed for the (only) randomness: pivot choice in kIntroSelect.
+  uint64_t seed = 1;
+
+  /// Sub-run size c = m/s.
+  uint64_t subrun_size() const { return run_size / samples_per_run; }
+
+  /// Checks structural validity, and the §2.3 memory inequality
+  /// r*s + m <= memory_budget when budget and n are both given (0 = skip).
+  Status Validate(uint64_t n = 0, uint64_t memory_budget_elements = 0) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_CORE_OPAQ_CONFIG_H_

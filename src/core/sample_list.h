@@ -1,0 +1,132 @@
+#ifndef OPAQ_CORE_SAMPLE_LIST_H_
+#define OPAQ_CORE_SAMPLE_LIST_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/index_math.h"
+#include "core/kway_merge.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// The product of OPAQ's sample phase: the globally sorted list of regular
+/// samples plus the accounting needed by the quantile phase. Immutable once
+/// built; cheap to copy only if s is small, so prefer moves.
+///
+/// A SampleList is also OPAQ's unit of *incremental* and *distributed*
+/// composition (paper §4): two lists with the same sub-run size merge into
+/// the list one would have obtained by sampling the concatenated data set —
+/// that is exactly how new data is folded in and how the parallel algorithm
+/// combines per-processor lists.
+template <typename K>
+class SampleList {
+ public:
+  SampleList() = default;
+  SampleList(std::vector<K> sorted_samples, SampleAccounting accounting)
+      : samples_(std::move(sorted_samples)), accounting_(accounting) {
+    OPAQ_CHECK(accounting_.Valid());
+    OPAQ_CHECK_EQ(samples_.size(), accounting_.num_samples);
+    OPAQ_DCHECK(std::is_sorted(samples_.begin(), samples_.end()));
+  }
+
+  const std::vector<K>& samples() const { return samples_; }
+  const SampleAccounting& accounting() const { return accounting_; }
+  uint64_t total_elements() const { return accounting_.total_elements; }
+  bool empty() const { return samples_.empty(); }
+
+  /// 1-based access matching the paper's List[i] notation.
+  const K& At1(uint64_t index_1based) const {
+    OPAQ_CHECK_GE(index_1based, 1u);
+    OPAQ_CHECK_LE(index_1based, samples_.size());
+    return samples_[index_1based - 1];
+  }
+
+  /// Merges two sample lists over disjoint data (incremental maintenance /
+  /// parallel combination). Requires identical sub-run sizes; run counts,
+  /// sample counts, uncovered counts and element totals add.
+  static Result<SampleList<K>> Merge(const SampleList<K>& a,
+                                     const SampleList<K>& b) {
+    if (a.empty() && a.accounting_.total_elements == 0) return b;
+    if (b.empty() && b.accounting_.total_elements == 0) return a;
+    if (a.accounting_.subrun_size != b.accounting_.subrun_size) {
+      return Status::InvalidArgument(
+          "cannot merge sample lists with different sub-run sizes");
+    }
+    SampleAccounting acc;
+    acc.subrun_size = a.accounting_.subrun_size;
+    acc.num_runs = a.accounting_.num_runs + b.accounting_.num_runs;
+    acc.num_samples = a.accounting_.num_samples + b.accounting_.num_samples;
+    acc.num_uncovered =
+        a.accounting_.num_uncovered + b.accounting_.num_uncovered;
+    acc.total_elements =
+        a.accounting_.total_elements + b.accounting_.total_elements;
+    return SampleList<K>(MergeSorted(a.samples_, b.samples_), acc);
+  }
+
+  /// Number of samples <= v and < v (binary searches; used by rank queries).
+  uint64_t CountLessEqual(const K& v) const {
+    return static_cast<uint64_t>(
+        std::upper_bound(samples_.begin(), samples_.end(), v) -
+        samples_.begin());
+  }
+  uint64_t CountLess(const K& v) const {
+    return static_cast<uint64_t>(
+        std::lower_bound(samples_.begin(), samples_.end(), v) -
+        samples_.begin());
+  }
+
+ private:
+  std::vector<K> samples_;
+  SampleAccounting accounting_;
+};
+
+/// Accumulates per-run sample lists during the sample phase and produces the
+/// merged SampleList. The per-run lists are kept sorted (MultiSelect output
+/// is sorted by construction) and merged r-way at Finalize — the exact
+/// structure of Figure 1.
+template <typename K>
+class SampleListBuilder {
+ public:
+  explicit SampleListBuilder(uint64_t subrun_size)
+      : subrun_size_(subrun_size) {
+    OPAQ_CHECK_GT(subrun_size, 0u);
+  }
+
+  /// Adds one run's sorted samples. `run_length` is the number of data
+  /// elements the run held (m, or less for the tail run); the builder works
+  /// out how many of them the samples cover.
+  void AddRunSamples(std::vector<K> sorted_samples, uint64_t run_length) {
+    OPAQ_CHECK_EQ(sorted_samples.size(), run_length / subrun_size_);
+    OPAQ_DCHECK(std::is_sorted(sorted_samples.begin(), sorted_samples.end()));
+    accounting_.num_runs += 1;
+    accounting_.num_samples += sorted_samples.size();
+    accounting_.num_uncovered += run_length % subrun_size_;
+    accounting_.total_elements += run_length;
+    per_run_samples_.push_back(std::move(sorted_samples));
+  }
+
+  uint64_t num_runs() const { return accounting_.num_runs; }
+  uint64_t total_elements() const { return accounting_.total_elements; }
+
+  /// Merges all run sample lists (O(rs log r)) and returns the result.
+  /// The builder is left empty and reusable.
+  SampleList<K> Finalize() {
+    accounting_.subrun_size = subrun_size_;
+    SampleList<K> out(KWayMergeSorted(per_run_samples_), accounting_);
+    per_run_samples_.clear();
+    accounting_ = SampleAccounting{};
+    return out;
+  }
+
+ private:
+  uint64_t subrun_size_;
+  std::vector<std::vector<K>> per_run_samples_;
+  SampleAccounting accounting_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_CORE_SAMPLE_LIST_H_

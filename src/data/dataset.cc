@@ -1,0 +1,41 @@
+#include "data/dataset.h"
+
+#include <sstream>
+
+namespace opaq {
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kZipf:
+      return "zipf";
+    case Distribution::kNormal:
+      return "normal";
+    case Distribution::kSequential:
+      return "sequential";
+    case Distribution::kReverseSequential:
+      return "reverse_sequential";
+    case Distribution::kConstant:
+      return "constant";
+    case Distribution::kSawtooth:
+      return "sawtooth";
+  }
+  return "unknown";
+}
+
+std::string DatasetSpec::ToString() const {
+  std::ostringstream os;
+  os << DistributionName(distribution) << "(n=" << n << ", seed=" << seed;
+  if (distribution == Distribution::kZipf) {
+    os << ", z=" << zipf_z << ", universe="
+       << (zipf_universe != 0 ? zipf_universe : n);
+  } else if (distribution == Distribution::kUniform ||
+             distribution == Distribution::kNormal) {
+    os << ", dup=" << duplicate_fraction;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace opaq

@@ -1,0 +1,211 @@
+#ifndef OPAQ_DATA_DATASET_H_
+#define OPAQ_DATA_DATASET_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "data/zipf.h"
+#include "io/data_file.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// Shapes of synthetic key populations used in the experiments.
+enum class Distribution {
+  /// Independent uniform draws over the key space, with an explicit fraction
+  /// of injected duplicates (paper §2.4: n/10 duplicates).
+  kUniform,
+  /// Zipf-skewed values: the k-th smallest key value occurs with frequency
+  /// ∝ 1/k^θ, so a few small values carry most of the mass (paper §2.4,
+  /// parameter 0.86 in the paper's z-convention; see ZipfSampler).
+  kZipf,
+  /// Gaussian values centred mid-keyspace (extra coverage beyond the paper).
+  kNormal,
+  /// 0,1,2,…,n−1 in order: sorted distinct input, adversarial for run-local
+  /// sampling because every run covers a disjoint narrow range.
+  kSequential,
+  /// n−1,…,1,0: reverse-sorted variant.
+  kReverseSequential,
+  /// All elements equal: worst case for duplicate handling.
+  kConstant,
+  /// Repeating ramp 0..1023,0..1023,…: every run sees the whole value range.
+  kSawtooth,
+};
+
+/// Returns a short stable name ("uniform", "zipf", ...).
+const char* DistributionName(Distribution d);
+
+/// Full description of a synthetic dataset. One spec + one seed =>
+/// bit-identical data on every platform (generation uses only project PRNGs).
+struct DatasetSpec {
+  uint64_t n = 0;
+  Distribution distribution = Distribution::kUniform;
+  uint64_t seed = 42;
+
+  /// kUniform/kNormal: fraction of elements that are duplicates of other
+  /// elements (paper uses 0.1). Implemented by generating (1−f)·n base draws
+  /// and then f·n uniform re-draws from the base population, then shuffling.
+  double duplicate_fraction = 0.1;
+
+  /// kZipf: paper-convention skew z (1 = uniform, 0 = max skew; paper: 0.86)
+  /// and the number of distinct rank values (0 means n). Duplicates arise
+  /// naturally from the frequency skew, so duplicate_fraction is ignored.
+  double zipf_z = 0.86;
+  uint64_t zipf_universe = 0;
+
+  /// kZipf: when true, rank k maps to a hashed (order-scrambled) value, so
+  /// frequency skew stays but values spread over the whole key space.
+  bool scramble_zipf_values = false;
+
+  std::string ToString() const;
+};
+
+namespace internal_dataset {
+
+/// Maps a rank in [1, universe] onto the key space for key type K, spreading
+/// ranks so that float and integer keys both get distinct representable
+/// values.
+template <typename K>
+K ValueForRank(uint64_t rank, uint64_t universe, bool scramble) {
+  if (scramble) {
+    SplitMix64 mix(rank);
+    uint64_t h = mix.Next() % universe;
+    rank = h + 1;
+  }
+  if constexpr (std::is_floating_point_v<K>) {
+    return static_cast<K>(static_cast<double>(rank) /
+                          static_cast<double>(universe + 1));
+  } else {
+    return static_cast<K>(rank);
+  }
+}
+
+template <typename K>
+K UniformKey(Xoshiro256& rng) {
+  if constexpr (std::is_floating_point_v<K>) {
+    return static_cast<K>(rng.NextDouble());
+  } else if constexpr (sizeof(K) == 4) {
+    return static_cast<K>(rng.Next() >> 33);  // keep values positive in i32
+  } else {
+    return static_cast<K>(rng.Next() >> 1);  // keep values positive in i64
+  }
+}
+
+template <typename K>
+K NormalKey(Xoshiro256& rng) {
+  // Box–Muller; mean .5, sd .15 of the unit range, clamped to [0,1).
+  double u1 = rng.NextDouble();
+  double u2 = rng.NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double g = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  double unit = 0.5 + 0.15 * g;
+  if (unit < 0) unit = 0;
+  if (unit >= 1) unit = std::nextafter(1.0, 0.0);
+  if constexpr (std::is_floating_point_v<K>) {
+    return static_cast<K>(unit);
+  } else {
+    const double span = sizeof(K) == 4 ? 2147483647.0 : 9.22e18;
+    return static_cast<K>(unit * span);
+  }
+}
+
+}  // namespace internal_dataset
+
+/// Generates the dataset in memory. For the sizes in the paper (≤ 32M keys)
+/// this fits easily; callers that want disk-resident data write the result
+/// through `WriteDataset`.
+template <typename K>
+std::vector<K> GenerateDataset(const DatasetSpec& spec) {
+  Xoshiro256 rng(spec.seed);
+  std::vector<K> out;
+  out.reserve(spec.n);
+  switch (spec.distribution) {
+    case Distribution::kUniform:
+    case Distribution::kNormal: {
+      OPAQ_CHECK(spec.duplicate_fraction >= 0.0 &&
+                 spec.duplicate_fraction < 1.0);
+      const uint64_t dup = static_cast<uint64_t>(
+          static_cast<double>(spec.n) * spec.duplicate_fraction);
+      const uint64_t base = spec.n - dup;
+      for (uint64_t i = 0; i < base; ++i) {
+        out.push_back(spec.distribution == Distribution::kUniform
+                          ? internal_dataset::UniformKey<K>(rng)
+                          : internal_dataset::NormalKey<K>(rng));
+      }
+      for (uint64_t i = 0; i < dup; ++i) {
+        // Duplicate a uniformly chosen earlier element (base > 0 whenever
+        // dup > 0 because duplicate_fraction < 1).
+        out.push_back(out[rng.NextBounded(base)]);
+      }
+      Shuffle(out, rng);
+      break;
+    }
+    case Distribution::kZipf: {
+      const uint64_t universe =
+          spec.zipf_universe != 0 ? spec.zipf_universe : std::max<uint64_t>(
+                                                             spec.n, 1);
+      ZipfSampler sampler = ZipfSampler::FromPaperParameter(spec.zipf_z,
+                                                            universe);
+      for (uint64_t i = 0; i < spec.n; ++i) {
+        out.push_back(internal_dataset::ValueForRank<K>(
+            sampler.Sample(rng), universe, spec.scramble_zipf_values));
+      }
+      break;
+    }
+    case Distribution::kSequential:
+      for (uint64_t i = 0; i < spec.n; ++i) {
+        out.push_back(internal_dataset::ValueForRank<K>(i + 1, spec.n, false));
+      }
+      break;
+    case Distribution::kReverseSequential:
+      for (uint64_t i = spec.n; i > 0; --i) {
+        out.push_back(internal_dataset::ValueForRank<K>(i, spec.n, false));
+      }
+      break;
+    case Distribution::kConstant:
+      out.assign(spec.n,
+                 internal_dataset::ValueForRank<K>(1, std::max<uint64_t>(
+                                                          spec.n, 1),
+                                                   false));
+      break;
+    case Distribution::kSawtooth: {
+      constexpr uint64_t kPeriod = 1024;
+      for (uint64_t i = 0; i < spec.n; ++i) {
+        out.push_back(internal_dataset::ValueForRank<K>((i % kPeriod) + 1,
+                                                        kPeriod, false));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+/// Writes `values` into a fresh data file on `device` in bounded chunks.
+template <typename K>
+Status WriteDataset(const std::vector<K>& values, BlockDevice* device) {
+  auto file = TypedDataFile<K>::Create(device, values.size());
+  if (!file.ok()) return file.status();
+  constexpr uint64_t kChunk = 1 << 20;
+  for (uint64_t first = 0; first < values.size(); first += kChunk) {
+    uint64_t len = std::min<uint64_t>(kChunk, values.size() - first);
+    OPAQ_RETURN_IF_ERROR(file->raw().WriteElements(first, len,
+                                                   values.data() + first));
+  }
+  return Status::OK();
+}
+
+/// Generates per `spec` and writes to `device` (convenience).
+template <typename K>
+Status GenerateDatasetToDevice(const DatasetSpec& spec, BlockDevice* device) {
+  return WriteDataset(GenerateDataset<K>(spec), device);
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_DATA_DATASET_H_

@@ -1,0 +1,73 @@
+#include "data/zipf.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace opaq {
+namespace {
+
+/// exp(x) - 1 with good accuracy near 0 (helper used by the reference
+/// implementation of rejection-inversion; std::expm1 does the job).
+inline double ExpM1(double x) { return std::expm1(x); }
+
+/// ln(1+x) with good accuracy near 0.
+inline double Log1P(double x) { return std::log1p(x); }
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(double theta, uint64_t universe)
+    : theta_(theta), universe_(universe) {
+  OPAQ_CHECK_GE(theta, 0.0);
+  OPAQ_CHECK_GE(universe, 1u);
+  if (theta_ == 0.0) {
+    h_integral_x1_ = h_integral_n_ = s_ = 0.0;
+    return;
+  }
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_n_ = HIntegral(static_cast<double>(universe_) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+double ZipfSampler::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  // ((x^(1-θ)) - 1) / (1-θ), continuous at θ == 1 where it becomes ln x.
+  const double t = (1.0 - theta_) * log_x;
+  // Helper from Hörmann & Derflinger: (e^t - 1)/t * log_x, stable as t → 0.
+  const double ratio = std::abs(t) > 1e-8 ? ExpM1(t) / t : 1.0 + t / 2.0;
+  return ratio * log_x;
+}
+
+double ZipfSampler::H(double x) const {
+  return std::exp(-theta_ * std::log(x));
+}
+
+double ZipfSampler::HIntegralInverse(double x) const {
+  double t = x * (1.0 - theta_);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the pole
+  const double ratio = std::abs(t) > 1e-8 ? Log1P(t) / t : 1.0 - t / 2.0;
+  return std::exp(ratio * x);
+}
+
+uint64_t ZipfSampler::Sample(Xoshiro256& rng) const {
+  if (theta_ == 0.0) return 1 + rng.NextBounded(universe_);
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HIntegralInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > universe_) {
+      k = universe_;
+    }
+    // Acceptance tests from the rejection-inversion scheme.
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= HIntegral(static_cast<double>(k) + 0.5) -
+                 H(static_cast<double>(k))) {
+      return k;
+    }
+  }
+}
+
+}  // namespace opaq

@@ -1,0 +1,54 @@
+#ifndef OPAQ_DATA_ZIPF_H_
+#define OPAQ_DATA_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace opaq {
+
+/// Zipf(θ) sampler over ranks {1, …, universe} with P(k) ∝ 1/k^θ.
+///
+/// Uses Hörmann & Derflinger's rejection-inversion method (the same scheme as
+/// Apache Commons' RejectionInversionZipfSampler): O(1) time per sample and
+/// O(1) memory for any universe size, with no precomputed tables. Exact for
+/// all θ > 0; θ == 0 degenerates to a uniform draw over the universe and is
+/// special-cased.
+///
+/// Paper parameterisation note (§2.4): the paper's Zipf "parameter" z is 1
+/// for uniform data and 0 for maximal skew, with experiments at z = 0.86.
+/// That is the complement of the classical exponent; use
+/// `ZipfSampler::FromPaperParameter(z, universe)` which maps θ = 1 − z, or
+/// construct directly with a classical exponent θ.
+class ZipfSampler {
+ public:
+  /// Classical constructor: exponent θ ≥ 0 over {1..universe}.
+  ZipfSampler(double theta, uint64_t universe);
+
+  /// Paper's z ∈ [0,1]: z=1 uniform, z=0 most skewed (θ = 1 − z).
+  static ZipfSampler FromPaperParameter(double z, uint64_t universe) {
+    return ZipfSampler(1.0 - z, universe);
+  }
+
+  /// Draws a rank in [1, universe].
+  uint64_t Sample(Xoshiro256& rng) const;
+
+  double theta() const { return theta_; }
+  uint64_t universe() const { return universe_; }
+
+ private:
+  double HIntegral(double x) const;
+  double H(double x) const;
+  double HIntegralInverse(double x) const;
+
+  double theta_;
+  uint64_t universe_;
+  // Precomputed constants of the rejection-inversion scheme.
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_DATA_ZIPF_H_

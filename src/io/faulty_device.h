@@ -1,0 +1,67 @@
+#ifndef OPAQ_IO_FAULTY_DEVICE_H_
+#define OPAQ_IO_FAULTY_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "io/block_device.h"
+
+namespace opaq {
+
+/// Fault-injection wrapper for tests: fails the k-th read and/or write
+/// request with a configurable status. Lets the suites verify that I/O
+/// errors surface cleanly (as Status, never as crashes or silent
+/// truncation) through every layer — run readers, sketches, second passes,
+/// and the parallel pipeline.
+class FaultyDevice : public BlockDevice {
+ public:
+  struct Options {
+    /// Fail the Nth read (1-based). 0 = never.
+    uint64_t fail_read_at = 0;
+    /// Fail the Nth write (1-based). 0 = never.
+    uint64_t fail_write_at = 0;
+    /// Status returned on an injected failure.
+    StatusCode code = StatusCode::kIoError;
+  };
+
+  FaultyDevice(std::unique_ptr<BlockDevice> inner, Options options)
+      : inner_(std::move(inner)), options_(options) {}
+
+  Status ReadAt(uint64_t offset, void* buffer, size_t length) override {
+    ++reads_;
+    if (options_.fail_read_at != 0 && reads_ == options_.fail_read_at) {
+      return Status(options_.code, "injected read failure");
+    }
+    Status s = inner_->ReadAt(offset, buffer, length);
+    if (s.ok()) RecordRead(length);
+    return s;
+  }
+
+  Status WriteAt(uint64_t offset, const void* buffer,
+                 size_t length) override {
+    ++writes_;
+    if (options_.fail_write_at != 0 && writes_ == options_.fail_write_at) {
+      return Status(options_.code, "injected write failure");
+    }
+    Status s = inner_->WriteAt(offset, buffer, length);
+    if (s.ok()) RecordWrite(length);
+    return s;
+  }
+
+  Result<uint64_t> Size() const override { return inner_->Size(); }
+  Status Sync() override { return inner_->Sync(); }
+
+  uint64_t reads_attempted() const { return reads_; }
+  uint64_t writes_attempted() const { return writes_; }
+  BlockDevice* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<BlockDevice> inner_;
+  Options options_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_IO_FAULTY_DEVICE_H_

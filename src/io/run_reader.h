@@ -1,0 +1,67 @@
+#ifndef OPAQ_IO_RUN_READER_H_
+#define OPAQ_IO_RUN_READER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "io/data_file.h"
+#include "util/math.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// Sequentially yields the runs of a disk-resident dataset.
+///
+/// OPAQ reads the data set exactly once as `r = ceil(n/m)` runs of `m`
+/// elements (the last run may be shorter when `m` does not divide `n`). The
+/// reader reuses one caller-visible buffer of `m` elements, so peak memory is
+/// one run regardless of `n` — this is what makes the algorithm one-pass and
+/// memory-bounded.
+template <typename K>
+class RunReader {
+ public:
+  /// `file` is borrowed and must outlive the reader. `run_size` is `m`.
+  /// Optional `first`/`count` restrict reading to a sub-range of the file
+  /// (used by the parallel harness to give each processor its partition).
+  RunReader(const TypedDataFile<K>* file, uint64_t run_size, uint64_t first = 0,
+            uint64_t count = UINT64_MAX)
+      : file_(file),
+        run_size_(run_size),
+        next_(first),
+        end_(count == UINT64_MAX ? file->size()
+                                 : std::min(file->size(), first + count)) {
+    OPAQ_CHECK(file != nullptr);
+    OPAQ_CHECK_GT(run_size, 0u);
+    OPAQ_CHECK_LE(first, file->size());
+  }
+
+  /// Total number of runs this reader will produce.
+  uint64_t num_runs() const {
+    return next_ >= end_ ? 0 : DivCeil(end_ - next_, run_size_);
+  }
+
+  /// Number of elements remaining.
+  uint64_t remaining() const { return end_ - next_; }
+
+  /// Reads the next run into `buffer` (resized to the run's length).
+  /// Returns false when the data set is exhausted (buffer left empty).
+  Result<bool> NextRun(std::vector<K>* buffer) {
+    buffer->clear();
+    if (next_ >= end_) return false;
+    uint64_t len = std::min(run_size_, end_ - next_);
+    buffer->resize(len);
+    OPAQ_RETURN_IF_ERROR(file_->Read(next_, len, buffer->data()));
+    next_ += len;
+    return true;
+  }
+
+ private:
+  const TypedDataFile<K>* file_;
+  uint64_t run_size_;
+  uint64_t next_;
+  uint64_t end_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_IO_RUN_READER_H_

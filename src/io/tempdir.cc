@@ -1,0 +1,37 @@
+#include "io/tempdir.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+namespace opaq {
+
+Result<TempDir> TempDir::Make(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/" +
+                     prefix + ".XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return Status::IoError("mkdtemp failed: " + std::string(strerror(errno)));
+  }
+  return TempDir(std::string(buf.data()));
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    this->~TempDir();
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+TempDir::~TempDir() {
+  if (path_.empty()) return;
+  std::error_code ec;  // best-effort cleanup; ignore errors in a destructor
+  std::filesystem::remove_all(path_, ec);
+}
+
+}  // namespace opaq

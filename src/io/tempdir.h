@@ -1,0 +1,39 @@
+#ifndef OPAQ_IO_TEMPDIR_H_
+#define OPAQ_IO_TEMPDIR_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace opaq {
+
+/// Scoped temporary directory: created under $TMPDIR (default /tmp) on
+/// construction via Make(), removed recursively on destruction. Used by
+/// tests, benches and examples that need real files for FileBlockDevice.
+class TempDir {
+ public:
+  static Result<TempDir> Make(const std::string& prefix = "opaq");
+
+  TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+    other.path_.clear();
+  }
+  TempDir& operator=(TempDir&& other) noexcept;
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  ~TempDir();
+
+  const std::string& path() const { return path_; }
+
+  /// Path of a file inside the directory.
+  std::string FilePath(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  explicit TempDir(std::string path) : path_(std::move(path)) {}
+  std::string path_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_IO_TEMPDIR_H_

@@ -1,0 +1,39 @@
+#include "io/throttled_device.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace opaq {
+
+void ThrottledDevice::Charge(size_t bytes, double already_spent_seconds) {
+  double cost = model_.SecondsFor(bytes);
+  modeled_micros_.fetch_add(static_cast<uint64_t>(cost * 1e6),
+                            std::memory_order_relaxed);
+  if (mode_ == Mode::kSleep && cost > already_spent_seconds) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cost - already_spent_seconds));
+  }
+}
+
+Status ThrottledDevice::ReadAt(uint64_t offset, void* buffer, size_t length) {
+  WallTimer timer;
+  Status s = inner_->ReadAt(offset, buffer, length);
+  if (!s.ok()) return s;
+  RecordRead(length);
+  Charge(length, timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status ThrottledDevice::WriteAt(uint64_t offset, const void* buffer,
+                                size_t length) {
+  WallTimer timer;
+  Status s = inner_->WriteAt(offset, buffer, length);
+  if (!s.ok()) return s;
+  RecordWrite(length);
+  Charge(length, timer.ElapsedSeconds());
+  return Status::OK();
+}
+
+}  // namespace opaq

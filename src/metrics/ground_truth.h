@@ -1,0 +1,88 @@
+#ifndef OPAQ_METRICS_GROUND_TRUTH_H_
+#define OPAQ_METRICS_GROUND_TRUTH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "io/data_file.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// Exact order statistics of a dataset, for evaluating estimators. Keeps a
+/// fully sorted copy in memory — this is the thing OPAQ avoids, used here
+/// only to *score* OPAQ and the baselines (paper §2.4).
+///
+/// Rank conventions (DESIGN.md §5): ranks are 1-based; `RankLt(v)`/`RankLe(v)`
+/// count elements strictly below / at-or-below `v`; the true phi-quantile is
+/// the sorted element at index ceil(phi*n).
+template <typename K>
+class GroundTruth {
+ public:
+  explicit GroundTruth(std::vector<K> data) : sorted_(std::move(data)) {
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+
+  static Result<GroundTruth<K>> FromFile(const TypedDataFile<K>* file) {
+    auto data = file->ReadAll();
+    if (!data.ok()) return data.status();
+    return GroundTruth<K>(std::move(data).value());
+  }
+
+  uint64_t n() const { return sorted_.size(); }
+  const std::vector<K>& sorted() const { return sorted_; }
+
+  /// Element of 1-based rank psi.
+  const K& ValueAtRank(uint64_t psi) const {
+    OPAQ_CHECK_GE(psi, 1u);
+    OPAQ_CHECK_LE(psi, sorted_.size());
+    return sorted_[psi - 1];
+  }
+
+  /// True phi-quantile (phi in (0,1]): element of rank ceil(phi*n).
+  const K& Quantile(double phi) const {
+    OPAQ_CHECK(phi > 0.0 && phi <= 1.0);
+    uint64_t psi = static_cast<uint64_t>(
+        std::ceil(phi * static_cast<double>(n())));
+    if (psi < 1) psi = 1;
+    if (psi > n()) psi = n();
+    return ValueAtRank(psi);
+  }
+
+  /// Rank of the true phi-quantile (psi = ceil(phi*n)).
+  uint64_t TargetRank(double phi) const {
+    OPAQ_CHECK(phi > 0.0 && phi <= 1.0);
+    uint64_t psi = static_cast<uint64_t>(
+        std::ceil(phi * static_cast<double>(n())));
+    return std::max<uint64_t>(1, std::min<uint64_t>(psi, n()));
+  }
+
+  uint64_t RankLt(const K& v) const {
+    return static_cast<uint64_t>(
+        std::lower_bound(sorted_.begin(), sorted_.end(), v) -
+        sorted_.begin());
+  }
+  uint64_t RankLe(const K& v) const {
+    return static_cast<uint64_t>(
+        std::upper_bound(sorted_.begin(), sorted_.end(), v) -
+        sorted_.begin());
+  }
+
+  /// #elements x with a <= x <= b (a <= b required).
+  uint64_t CountInClosedRange(const K& a, const K& b) const {
+    OPAQ_CHECK(!(b < a));
+    return RankLe(b) - RankLt(a);
+  }
+
+  /// #elements equal to v (duplicates of v).
+  uint64_t CountEqual(const K& v) const { return RankLe(v) - RankLt(v); }
+
+ private:
+  std::vector<K> sorted_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_METRICS_GROUND_TRUTH_H_

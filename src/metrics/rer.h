@@ -1,0 +1,180 @@
+#ifndef OPAQ_METRICS_RER_H_
+#define OPAQ_METRICS_RER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.h"
+#include "metrics/ground_truth.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// The paper's three relative error rates (§2.4, Figure 2), all in percent.
+///
+/// For q equi-spaced quantiles with estimates (e_l_i, e_u_i) and true values
+/// t_i at ranks psi_i = ceil(i*n/q):
+///
+///  - RER_A ("Almaden", from [AS95]), reported per quantile:
+///        (N_e - N_t) / n * 100
+///    where N_e = #elements inside [e_l, e_u] and N_t = #duplicates of t_i
+///    (all of which lie inside the bracket).
+///
+///  - RER_L ("Load balancing"), one number (max over segments): with
+///    N_i = psi_{i+1} - psi_i elements between consecutive true quantiles,
+///    and NL_i / NU_i the element counts between consecutive estimated
+///    lower / upper bounds,
+///        max_i max(|N_i - NL_i|, |N_i - NU_i|) / N_i * 100.
+///    Segment boundaries at the data extremes (rank 0 and n) are exact by
+///    definition, so i ranges over the q segments delimited by the q-1
+///    estimates plus the two ends.
+///
+///  - RER_N ("Normalized"), one number: with DL_i / DU_i the element counts
+///    between the true quantile and its lower / upper bound,
+///        max_i max(DL_i, DU_i) / (n/q) * 100.
+///
+/// Element counts between values are measured in ranks:
+/// #elements between values a <= b is RankLe(b) - RankLe(a); distances from
+/// the true quantile use max(0, psi - RankLe(e_l)) and
+/// max(0, RankLt(e_u) - psi) so an exactly-right bound scores 0 even in the
+/// presence of duplicates. Paper upper bounds: RER_A <= 200/s,
+/// RER_L <= 2q*100/s, RER_N <= q*100/s (all slightly widened by uncovered
+/// tail elements when m does not divide n).
+template <typename K>
+struct RerReport {
+  std::vector<double> rer_a;  // one per quantile, percent
+  double rer_l = 0;           // max over segments, percent
+  double rer_n = 0;           // max over quantiles, percent
+
+  double max_rer_a() const {
+    double m = 0;
+    for (double v : rer_a) m = std::max(m, v);
+    return m;
+  }
+};
+
+template <typename K>
+RerReport<K> ComputeRer(const GroundTruth<K>& truth,
+                        const std::vector<QuantileEstimate<K>>& estimates,
+                        int q) {
+  OPAQ_CHECK_GE(q, 2);
+  OPAQ_CHECK_EQ(estimates.size(), static_cast<size_t>(q - 1));
+  const uint64_t n = truth.n();
+  OPAQ_CHECK_GT(n, 0u);
+  RerReport<K> report;
+
+  // --- RER_A per quantile. ---
+  for (int i = 1; i < q; ++i) {
+    const QuantileEstimate<K>& e = estimates[i - 1];
+    const K& t = truth.ValueAtRank(e.target_rank);
+    const uint64_t inside = truth.CountInClosedRange(e.lower, e.upper);
+    const uint64_t dups = truth.CountEqual(t);
+    const uint64_t excess = inside > dups ? inside - dups : 0;
+    report.rer_a.push_back(100.0 * static_cast<double>(excess) /
+                           static_cast<double>(n));
+  }
+
+  // Per-quantile rank positions of the estimated bounds, with the two exact
+  // sentinels (rank 0 before the data, rank n after it).
+  std::vector<uint64_t> true_ranks{0};
+  std::vector<uint64_t> lower_ranks{0};
+  std::vector<uint64_t> upper_ranks{0};
+  for (int i = 1; i < q; ++i) {
+    const QuantileEstimate<K>& e = estimates[i - 1];
+    true_ranks.push_back(e.target_rank);
+    lower_ranks.push_back(truth.RankLe(e.lower));
+    upper_ranks.push_back(truth.RankLe(e.upper));
+  }
+  true_ranks.push_back(n);
+  lower_ranks.push_back(n);
+  upper_ranks.push_back(n);
+
+  // --- RER_L: segment-length distortion. ---
+  double rer_l = 0;
+  for (int i = 0; i < q; ++i) {
+    const double ni = static_cast<double>(true_ranks[i + 1] - true_ranks[i]);
+    if (ni <= 0) continue;
+    const double nli =
+        std::abs(static_cast<double>(lower_ranks[i + 1]) -
+                 static_cast<double>(lower_ranks[i]) - ni);
+    const double nui =
+        std::abs(static_cast<double>(upper_ranks[i + 1]) -
+                 static_cast<double>(upper_ranks[i]) - ni);
+    rer_l = std::max(rer_l, 100.0 * std::max(nli, nui) / ni);
+  }
+  report.rer_l = rer_l;
+
+  // --- RER_N: distance of each bound from its true quantile, normalised by
+  //     the ideal segment size n/q. ---
+  const double segment = static_cast<double>(n) / q;
+  double rer_n = 0;
+  for (int i = 1; i < q; ++i) {
+    const QuantileEstimate<K>& e = estimates[i - 1];
+    const uint64_t psi = e.target_rank;
+    const uint64_t rank_le_lower = truth.RankLe(e.lower);
+    const uint64_t rank_lt_upper = truth.RankLt(e.upper);
+    const double dl = psi > rank_le_lower
+                          ? static_cast<double>(psi - rank_le_lower)
+                          : 0.0;
+    const double du = rank_lt_upper > psi
+                          ? static_cast<double>(rank_lt_upper - psi)
+                          : 0.0;
+    rer_n = std::max(rer_n, 100.0 * std::max(dl, du) / segment);
+  }
+  report.rer_n = rer_n;
+  return report;
+}
+
+/// RER_A adapted to point estimators (random sampling, [AS95], P2, ...):
+/// the rank displacement of the estimate, |rank(v) - psi| / n * 100, using
+/// the closest rank the value can claim (duplicates of the true quantile
+/// score 0).
+template <typename K>
+double PointRerA(const GroundTruth<K>& truth, const K& estimate,
+                 uint64_t target_rank) {
+  const uint64_t lo = truth.RankLt(estimate) + 1;  // smallest claimable rank
+  const uint64_t hi = truth.RankLe(estimate);      // largest claimable rank
+  uint64_t distance = 0;
+  if (hi < lo) {
+    // Value absent from the data: distance to the insertion point.
+    const uint64_t ins = truth.RankLe(estimate);
+    distance = ins >= target_rank ? ins - target_rank : target_rank - ins;
+  } else if (target_rank < lo) {
+    distance = lo - target_rank;
+  } else if (target_rank > hi) {
+    distance = target_rank - hi;
+  }
+  return 100.0 * static_cast<double>(distance) /
+         static_cast<double>(truth.n());
+}
+
+/// Audits the paper's correctness guarantees for one estimate; used by the
+/// property-test suites. Returns true iff
+///  (a) unclamped bounds bracket the true quantile value, and
+///  (b) both bounds are within max_rank_error ranks of the target.
+template <typename K>
+bool BracketHolds(const GroundTruth<K>& truth,
+                  const QuantileEstimate<K>& e) {
+  const K& t = truth.ValueAtRank(e.target_rank);
+  if (!e.lower_clamped && t < e.lower) return false;
+  if (!e.upper_clamped && e.upper < t) return false;
+  if (!e.lower_clamped) {
+    const uint64_t rank_le_lower = truth.RankLe(e.lower);
+    const uint64_t dl =
+        e.target_rank > rank_le_lower ? e.target_rank - rank_le_lower : 0;
+    if (dl > e.max_rank_error) return false;
+  }
+  if (!e.upper_clamped) {
+    const uint64_t rank_lt_upper = truth.RankLt(e.upper);
+    const uint64_t du =
+        rank_lt_upper > e.target_rank ? rank_lt_upper - e.target_rank : 0;
+    if (du > e.max_rank_error) return false;
+  }
+  return true;
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_METRICS_RER_H_

@@ -1,0 +1,96 @@
+#ifndef OPAQ_PARALLEL_BITONIC_MERGE_H_
+#define OPAQ_PARALLEL_BITONIC_MERGE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "parallel/cluster.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace opaq {
+
+namespace internal_bitonic {
+constexpr int kExchangeTag = 201;
+
+/// Compare-split: both partners exchange whole blocks; the "low" side keeps
+/// the smaller half of the merged sequence, the "high" side the larger half.
+/// Both halves come out sorted ascending. This is the block-level
+/// compare-exchange of Batcher's network [Bat68] as used for block bitonic
+/// sorting on distributed machines [KGGK94].
+template <typename K>
+std::vector<K> CompareSplit(ProcessorContext& ctx, int partner,
+                            std::vector<K> mine, bool keep_low) {
+  OPAQ_CHECK_OK(ctx.SendVector(partner, kExchangeTag, mine));
+  std::vector<K> theirs = ctx.RecvVector<K>(partner, kExchangeTag);
+  OPAQ_CHECK_EQ(mine.size(), theirs.size())
+      << "bitonic merge requires equal block sizes on all processors";
+  const size_t block = mine.size();
+  std::vector<K> kept(block);
+  if (keep_low) {
+    // Merge from the front, keep the smallest `block` elements.
+    size_t i = 0, j = 0;
+    for (size_t k = 0; k < block; ++k) {
+      if (j >= block || (i < block && !(theirs[j] < mine[i]))) {
+        kept[k] = mine[i++];
+      } else {
+        kept[k] = theirs[j++];
+      }
+    }
+  } else {
+    // Merge from the back, keep the largest `block` elements.
+    size_t i = block, j = block;
+    for (size_t k = block; k-- > 0;) {
+      if (j == 0 || (i > 0 && !(mine[i - 1] < theirs[j - 1]))) {
+        kept[k] = mine[--i];
+      } else {
+        kept[k] = theirs[--j];
+      }
+    }
+  }
+  return kept;
+}
+
+}  // namespace internal_bitonic
+
+/// Bitonic merge of p sorted blocks (paper §3, option A for the global
+/// merge of per-processor sample lists).
+///
+/// Every rank contributes an ascending `local_sorted` block of identical
+/// length; on return, blocks are globally ordered by rank (rank 0 holds the
+/// smallest elements). Because the inputs are already locally sorted, only
+/// the block-level network runs — the "initial sorting step is not
+/// required" observation the paper makes when adapting bitonic *sort* to a
+/// bitonic *merge*.
+///
+/// Stages: for k = 2,4,..,p and j = k/2..1 (halving), partner = rank XOR j,
+/// direction from bit (rank AND k): the classic O(log^2 p) compare-split
+/// schedule, each stage moving a whole block over the network — matching the
+/// paper's O(rs log p (1 + log p)) communication term.
+///
+/// Requires: power-of-two cluster size, equal block sizes (checked).
+template <typename K>
+std::vector<K> BitonicMergeBlocks(ProcessorContext& ctx,
+                                  std::vector<K> local_sorted) {
+  const int p = ctx.size();
+  OPAQ_CHECK(IsPowerOfTwo(static_cast<uint64_t>(p)))
+      << "bitonic merge requires a power-of-two processor count, got " << p;
+  OPAQ_DCHECK(std::is_sorted(local_sorted.begin(), local_sorted.end()));
+  if (p == 1) return local_sorted;
+  const int rank = ctx.rank();
+  for (int k = 2; k <= p; k <<= 1) {
+    for (int j = k >> 1; j > 0; j >>= 1) {
+      const int partner = rank ^ j;
+      const bool ascending = (rank & k) == 0;
+      const bool i_am_low = rank < partner;
+      const bool keep_low = ascending == i_am_low;
+      local_sorted = internal_bitonic::CompareSplit(
+          ctx, partner, std::move(local_sorted), keep_low);
+    }
+  }
+  return local_sorted;
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_PARALLEL_BITONIC_MERGE_H_

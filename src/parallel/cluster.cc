@@ -1,0 +1,108 @@
+#include "parallel/cluster.h"
+
+#include <chrono>
+#include <thread>
+
+namespace opaq {
+
+int ProcessorContext::size() const { return cluster_->num_processors(); }
+
+CommStats& ProcessorContext::comm_stats() {
+  return *cluster_->comm_stats_[rank_];
+}
+
+Status ProcessorContext::Send(int to, int tag, const void* data,
+                              size_t bytes) {
+  if (to < 0 || to >= size()) {
+    return Status::InvalidArgument("Send: destination rank out of range");
+  }
+  Message message;
+  message.source = rank_;
+  message.tag = tag;
+  message.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(message.payload.data(), data, bytes);
+
+  CommStats& stats = comm_stats();
+  stats.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  stats.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+  const double cost = cluster_->cost_model().MessageSeconds(bytes);
+  stats.modeled_comm_micros.fetch_add(static_cast<uint64_t>(cost * 1e6),
+                                      std::memory_order_relaxed);
+  if (cluster_->options_.comm_mode == Cluster::CommMode::kSleep) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(cost));
+  }
+  cluster_->mailboxes_[to]->Deliver(std::move(message));
+  return Status::OK();
+}
+
+Message ProcessorContext::Recv(int from, int tag) {
+  OPAQ_CHECK_GE(from, 0);
+  OPAQ_CHECK_LT(from, size());
+  Message m = cluster_->mailboxes_[rank_]->Receive(from, tag);
+  CommStats& stats = comm_stats();
+  stats.messages_received.fetch_add(1, std::memory_order_relaxed);
+  stats.bytes_received.fetch_add(m.payload.size(),
+                                 std::memory_order_relaxed);
+  return m;
+}
+
+void ProcessorContext::Barrier() {
+  CommStats& stats = comm_stats();
+  stats.modeled_comm_micros.fetch_add(
+      static_cast<uint64_t>(cluster_->cost_model().tau_seconds * 1e6),
+      std::memory_order_relaxed);
+  cluster_->barrier_->arrive_and_wait();
+}
+
+Cluster::Cluster(Options options) : options_(std::move(options)) {
+  OPAQ_CHECK_GT(options_.num_processors, 0);
+  barrier_ = std::make_unique<std::barrier<>>(options_.num_processors);
+  for (int i = 0; i < options_.num_processors; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    comm_stats_.push_back(std::make_unique<CommStats>());
+    timers_.push_back(std::make_unique<PhaseTimer>(options_.phase_names));
+  }
+}
+
+Status Cluster::Run(const std::function<Status(ProcessorContext&)>& body) {
+  const int p = options_.num_processors;
+  // Fresh mailboxes/stats/timers per run so the cluster is reusable.
+  for (int i = 0; i < p; ++i) {
+    mailboxes_[i] = std::make_unique<Mailbox>();
+    comm_stats_[i]->Reset();
+    timers_[i] = std::make_unique<PhaseTimer>(options_.phase_names);
+  }
+  std::vector<Status> statuses(p);
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  for (int rank = 0; rank < p; ++rank) {
+    threads.emplace_back([this, rank, &body, &statuses] {
+      ProcessorContext ctx(this, rank, timers_[rank].get());
+      statuses[rank] = body(ctx);
+      ctx.timer().Stop();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+double Cluster::TotalModeledCommSeconds() const {
+  double total = 0;
+  for (const auto& stats : comm_stats_) total += stats->modeled_comm_seconds();
+  return total;
+}
+
+PhaseTimer Cluster::AveragedTimers() const {
+  PhaseTimer avg(options_.phase_names);
+  for (const auto& timer : timers_) avg.Merge(*timer);
+  PhaseTimer scaled(options_.phase_names);
+  for (int i = 0; i < avg.num_phases(); ++i) {
+    scaled.AddSeconds(i, avg.Seconds(i) / options_.num_processors);
+  }
+  return scaled;
+}
+
+}  // namespace opaq

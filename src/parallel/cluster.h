@@ -1,0 +1,145 @@
+#ifndef OPAQ_PARALLEL_CLUSTER_H_
+#define OPAQ_PARALLEL_CLUSTER_H_
+
+#include <barrier>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "parallel/channel.h"
+#include "parallel/cost_model.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace opaq {
+
+class Cluster;
+
+/// The face a simulated processor sees: its rank, point-to-point messaging,
+/// and collectives built on top (in collectives.h). One ProcessorContext per
+/// thread per Cluster::Run call; not shared across threads.
+class ProcessorContext {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocking point-to-point send. Charges tau + mu*bytes to this
+  /// processor's modeled communication time; in kSleep mode also delays the
+  /// calling thread by that amount (making wall-clock match the SP-2-flavour
+  /// model).
+  Status Send(int to, int tag, const void* data, size_t bytes);
+
+  /// Blocking receive of the next message from `from` with `tag`.
+  Message Recv(int from, int tag);
+
+  /// Typed helpers for vectors of trivially copyable elements.
+  template <typename K>
+  Status SendVector(int to, int tag, const std::vector<K>& values) {
+    static_assert(std::is_trivially_copyable_v<K>);
+    return Send(to, tag, values.data(), values.size() * sizeof(K));
+  }
+  template <typename K>
+  std::vector<K> RecvVector(int from, int tag) {
+    static_assert(std::is_trivially_copyable_v<K>);
+    Message m = Recv(from, tag);
+    std::vector<K> out(m.payload.size() / sizeof(K));
+    std::memcpy(out.data(), m.payload.data(), out.size() * sizeof(K));
+    return out;
+  }
+
+  /// Typed helpers for single trivially copyable values.
+  template <typename T>
+  Status SendValue(int to, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Send(to, tag, &value, sizeof(T));
+  }
+  template <typename T>
+  T RecvValue(int from, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = Recv(from, tag);
+    T out;
+    OPAQ_CHECK_EQ(m.payload.size(), sizeof(T));
+    std::memcpy(&out, m.payload.data(), sizeof(T));
+    return out;
+  }
+
+  /// Synchronises all processors (std::barrier underneath; charges one
+  /// tau-cost message per participant).
+  void Barrier();
+
+  /// Wall-clock phase accounting for this processor (Table 12).
+  PhaseTimer& timer() { return *timer_; }
+
+  CommStats& comm_stats();
+
+ private:
+  friend class Cluster;
+  ProcessorContext(Cluster* cluster, int rank, PhaseTimer* timer)
+      : cluster_(cluster), rank_(rank), timer_(timer) {}
+
+  Cluster* cluster_;
+  int rank_;
+  PhaseTimer* timer_;
+};
+
+/// A simulated message-passing machine: p OS threads with private state,
+/// mailbox-based point-to-point channels, and the paper's two-level cost
+/// model billed on every message.
+///
+/// This substitutes for the paper's 16-node IBM SP-2 (see DESIGN.md): the
+/// algorithmic behaviour under study (which merge wins, how phases scale)
+/// depends only on message counts/volumes and local computation, both of
+/// which are real here.
+class Cluster {
+ public:
+  /// kAccount only tallies modeled communication seconds; kSleep also delays
+  /// senders so wall-clock times reflect the model (used by the figure
+  /// benches).
+  enum class CommMode { kAccount, kSleep };
+
+  struct Options {
+    int num_processors = 4;
+    CostModel cost_model;
+    CommMode comm_mode = CommMode::kAccount;
+    /// Phase names for the per-processor PhaseTimer (callers may override to
+    /// match their phase enum).
+    std::vector<std::string> phase_names = {"io", "sampling", "local_merge",
+                                            "global_merge", "quantile",
+                                            "other"};
+  };
+
+  explicit Cluster(Options options);
+
+  /// Runs `body(ctx)` on every processor thread and joins. Returns the first
+  /// non-OK status (by rank order) if any processor fails. Reusable: each
+  /// call resets mailboxes, stats and timers.
+  Status Run(const std::function<Status(ProcessorContext&)>& body);
+
+  int num_processors() const { return options_.num_processors; }
+  const CostModel& cost_model() const { return options_.cost_model; }
+
+  /// Post-run inspection.
+  const CommStats& comm_stats(int rank) const { return *comm_stats_[rank]; }
+  const PhaseTimer& phase_timer(int rank) const { return *timers_[rank]; }
+
+  /// Sum of modeled communication seconds over all ranks.
+  double TotalModeledCommSeconds() const;
+
+  /// Phase-wise average of the per-rank timers (Table 12 view).
+  PhaseTimer AveragedTimers() const;
+
+ private:
+  friend class ProcessorContext;
+
+  Options options_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<CommStats>> comm_stats_;
+  std::vector<std::unique_ptr<PhaseTimer>> timers_;
+  std::unique_ptr<std::barrier<>> barrier_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_PARALLEL_CLUSTER_H_

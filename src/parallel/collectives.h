@@ -1,0 +1,137 @@
+#ifndef OPAQ_PARALLEL_COLLECTIVES_H_
+#define OPAQ_PARALLEL_COLLECTIVES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/cluster.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// Collective operations built from point-to-point messages, in the style of
+/// an MPI subset. All processors of the cluster must call the same sequence
+/// of collectives (SPMD); per-(source,tag) FIFO ordering in the mailboxes
+/// then guarantees correct matching. Root-based implementations are used
+/// throughout: the paper's p is 1..16, where a star pattern is within a
+/// small constant of tree algorithms and the modeled cost stays transparent.
+namespace collectives {
+
+namespace internal_tags {
+constexpr int kGather = 101;
+constexpr int kBroadcast = 102;
+constexpr int kAllToAll = 103;
+constexpr int kScan = 104;
+}  // namespace internal_tags
+
+/// Gathers each rank's vector at `root`. Returns (at root) a vector indexed
+/// by rank; other ranks get an empty result.
+template <typename K>
+std::vector<std::vector<K>> GatherVectors(ProcessorContext& ctx, int root,
+                                          const std::vector<K>& local) {
+  std::vector<std::vector<K>> out;
+  if (ctx.rank() == root) {
+    out.resize(ctx.size());
+    out[root] = local;
+    for (int r = 0; r < ctx.size(); ++r) {
+      if (r == root) continue;
+      out[r] = ctx.RecvVector<K>(r, internal_tags::kGather);
+    }
+  } else {
+    OPAQ_CHECK_OK(ctx.SendVector(root, internal_tags::kGather, local));
+  }
+  return out;
+}
+
+/// Broadcasts `values` from `root` to every rank (in/out parameter).
+template <typename K>
+void BroadcastVector(ProcessorContext& ctx, int root, std::vector<K>* values) {
+  if (ctx.rank() == root) {
+    for (int r = 0; r < ctx.size(); ++r) {
+      if (r == root) continue;
+      OPAQ_CHECK_OK(ctx.SendVector(r, internal_tags::kBroadcast, *values));
+    }
+  } else {
+    *values = ctx.RecvVector<K>(root, internal_tags::kBroadcast);
+  }
+}
+
+/// All ranks end up with every rank's vector (gather at 0 + broadcast of the
+/// concatenation with a length prefix).
+template <typename K>
+std::vector<std::vector<K>> AllGatherVectors(ProcessorContext& ctx,
+                                             const std::vector<K>& local) {
+  std::vector<std::vector<K>> gathered = GatherVectors(ctx, 0, local);
+  // Flatten with a length header so one broadcast carries everything.
+  std::vector<uint64_t> lengths(ctx.size());
+  std::vector<K> flat;
+  if (ctx.rank() == 0) {
+    for (int r = 0; r < ctx.size(); ++r) {
+      lengths[r] = gathered[r].size();
+      flat.insert(flat.end(), gathered[r].begin(), gathered[r].end());
+    }
+  }
+  BroadcastVector(ctx, 0, &lengths);
+  BroadcastVector(ctx, 0, &flat);
+  std::vector<std::vector<K>> out(ctx.size());
+  size_t offset = 0;
+  for (int r = 0; r < ctx.size(); ++r) {
+    out[r].assign(flat.begin() + offset, flat.begin() + offset + lengths[r]);
+    offset += lengths[r];
+  }
+  return out;
+}
+
+/// Personalised all-to-all: `outgoing[r]` goes to rank r; returns the vector
+/// received from each rank (incoming[r] came from rank r).
+template <typename K>
+std::vector<std::vector<K>> AllToAllVectors(
+    ProcessorContext& ctx, const std::vector<std::vector<K>>& outgoing) {
+  OPAQ_CHECK_EQ(static_cast<int>(outgoing.size()), ctx.size());
+  std::vector<std::vector<K>> incoming(ctx.size());
+  incoming[ctx.rank()] = outgoing[ctx.rank()];
+  // Send everything first (mailboxes are unbounded), then drain receives;
+  // no cyclic wait is possible.
+  for (int r = 0; r < ctx.size(); ++r) {
+    if (r == ctx.rank()) continue;
+    OPAQ_CHECK_OK(ctx.SendVector(r, internal_tags::kAllToAll, outgoing[r]));
+  }
+  for (int r = 0; r < ctx.size(); ++r) {
+    if (r == ctx.rank()) continue;
+    incoming[r] = ctx.RecvVector<K>(r, internal_tags::kAllToAll);
+  }
+  return incoming;
+}
+
+/// Exclusive prefix sum over one uint64 per rank: rank r receives
+/// sum(values of ranks < r); also returns the global total via out param.
+inline uint64_t ExclusiveScanU64(ProcessorContext& ctx, uint64_t value,
+                                 uint64_t* total = nullptr) {
+  std::vector<uint64_t> one{value};
+  std::vector<std::vector<uint64_t>> all = AllGatherVectors(ctx, one);
+  uint64_t prefix = 0, sum = 0;
+  for (int r = 0; r < ctx.size(); ++r) {
+    if (r < ctx.rank()) prefix += all[r][0];
+    sum += all[r][0];
+  }
+  if (total != nullptr) *total = sum;
+  return prefix;
+}
+
+/// Element-wise sum of a fixed-size uint64 vector across all ranks; every
+/// rank gets the totals (used to combine SampleAccounting).
+inline std::vector<uint64_t> AllReduceSumU64(ProcessorContext& ctx,
+                                             const std::vector<uint64_t>& v) {
+  std::vector<std::vector<uint64_t>> all = AllGatherVectors(ctx, v);
+  std::vector<uint64_t> out(v.size(), 0);
+  for (int r = 0; r < ctx.size(); ++r) {
+    OPAQ_CHECK_EQ(all[r].size(), v.size());
+    for (size_t i = 0; i < v.size(); ++i) out[i] += all[r][i];
+  }
+  return out;
+}
+
+}  // namespace collectives
+}  // namespace opaq
+
+#endif  // OPAQ_PARALLEL_COLLECTIVES_H_

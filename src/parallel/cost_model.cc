@@ -1,0 +1,14 @@
+#include "parallel/cost_model.h"
+
+#include <sstream>
+
+namespace opaq {
+
+std::string CostModel::ToString() const {
+  std::ostringstream os;
+  os << "CostModel(tau=" << tau_seconds * 1e6 << "us, bandwidth="
+     << 1.0 / mu_seconds_per_byte / (1024.0 * 1024.0) << "MB/s)";
+  return os.str();
+}
+
+}  // namespace opaq

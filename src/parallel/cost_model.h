@@ -1,0 +1,58 @@
+#ifndef OPAQ_PARALLEL_COST_MODEL_H_
+#define OPAQ_PARALLEL_COST_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace opaq {
+
+/// The paper's two-level machine model (§3): a message of b bytes costs
+/// `tau + mu * b` independent of which processors communicate (virtual
+/// crossbar), and local work has unit cost delta (we measure local work with
+/// real timers instead of counting operations).
+///
+/// Defaults approximate the IBM SP-2's switch as reported in the mid-90s
+/// literature: ~40 microseconds start-up and ~35 MB/s point-to-point
+/// bandwidth. The shapes of Figure 3 (bitonic vs sample merge) depend on the
+/// tau/mu ratio, not the absolute values.
+struct CostModel {
+  double tau_seconds = 40e-6;
+  double mu_seconds_per_byte = 1.0 / (35.0 * 1024 * 1024);
+
+  double MessageSeconds(uint64_t bytes) const {
+    return tau_seconds + mu_seconds_per_byte * static_cast<double>(bytes);
+  }
+
+  std::string ToString() const;
+};
+
+/// Per-processor communication counters (relaxed atomics: written by the
+/// owning processor thread, read by the driver after Run()).
+struct CommStats {
+  std::atomic<uint64_t> messages_sent{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> messages_received{0};
+  std::atomic<uint64_t> bytes_received{0};
+  /// Modeled communication seconds charged against this processor
+  /// (microsecond resolution).
+  std::atomic<uint64_t> modeled_comm_micros{0};
+
+  double modeled_comm_seconds() const {
+    return static_cast<double>(
+               modeled_comm_micros.load(std::memory_order_relaxed)) *
+           1e-6;
+  }
+
+  void Reset() {
+    messages_sent = 0;
+    bytes_sent = 0;
+    messages_received = 0;
+    bytes_received = 0;
+    modeled_comm_micros = 0;
+  }
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_PARALLEL_COST_MODEL_H_

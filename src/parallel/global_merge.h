@@ -1,0 +1,55 @@
+#ifndef OPAQ_PARALLEL_GLOBAL_MERGE_H_
+#define OPAQ_PARALLEL_GLOBAL_MERGE_H_
+
+#include <vector>
+
+#include "parallel/bitonic_merge.h"
+#include "parallel/sample_merge.h"
+
+namespace opaq {
+
+/// Which algorithm merges the p per-processor sample lists (paper §3
+/// investigates both; Figure 3 compares them).
+enum class MergeMethod {
+  kBitonic,
+  kSample,
+};
+
+inline const char* MergeMethodName(MergeMethod m) {
+  return m == MergeMethod::kBitonic ? "bitonic" : "sample";
+}
+
+/// Bitonic path wrapped to the DistributedList interface. Blocks are equal
+/// by construction, so each rank's slice is [rank*block, (rank+1)*block).
+template <typename K>
+DistributedList<K> BitonicMergeToDistributed(ProcessorContext& ctx,
+                                             std::vector<K> local_sorted) {
+  const uint64_t block = local_sorted.size();
+  std::vector<K> merged = BitonicMergeBlocks(ctx, std::move(local_sorted));
+  DistributedList<K> out;
+  out.values = std::move(merged);
+  out.global_offset = static_cast<uint64_t>(ctx.rank()) * block;
+  out.global_size = block * static_cast<uint64_t>(ctx.size());
+  return out;
+}
+
+/// Merges every rank's sorted list into a globally sorted distributed list
+/// using `method`. Postcondition: ascending across ranks, each rank knows
+/// its global offset.
+template <typename K>
+DistributedList<K> GlobalMerge(ProcessorContext& ctx,
+                               std::vector<K> local_sorted,
+                               MergeMethod method) {
+  switch (method) {
+    case MergeMethod::kBitonic:
+      return BitonicMergeToDistributed(ctx, std::move(local_sorted));
+    case MergeMethod::kSample:
+      return SampleMergeBlocks(ctx, local_sorted);
+  }
+  OPAQ_CHECK(false) << "unreachable";
+  return {};
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_PARALLEL_GLOBAL_MERGE_H_

@@ -1,0 +1,159 @@
+#ifndef OPAQ_PARALLEL_SAMPLE_MERGE_H_
+#define OPAQ_PARALLEL_SAMPLE_MERGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/kway_merge.h"
+#include "parallel/collectives.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// A rank's slice of a globally sorted, distributed list: `values` hold the
+/// global index range [global_offset, global_offset + values.size()).
+template <typename K>
+struct DistributedList {
+  std::vector<K> values;
+  uint64_t global_offset = 0;
+  uint64_t global_size = 0;
+};
+
+/// Redistributes an already globally-ordered-by-rank list so every rank
+/// holds an equal share (±1): rank r receives global indices
+/// [r*floor(N/p) + min(r, N mod p), ...). The paper's global merge leaves
+/// processor i with sample-list elements [i*rs, (i+1)*rs); this implements
+/// that balancing step for the sample merge, whose bucket sizes are only
+/// balanced within the regular-sampling expansion factor.
+template <typename K>
+DistributedList<K> RebalanceSorted(ProcessorContext& ctx,
+                                   const std::vector<K>& local_sorted) {
+  const int p = ctx.size();
+  uint64_t total = 0;
+  const uint64_t my_start = collectives::ExclusiveScanU64(
+      ctx, local_sorted.size(), &total);
+  const uint64_t base = total / p;
+  const uint64_t rem = total % p;
+  auto target_start = [&](int r) {
+    return static_cast<uint64_t>(r) * base +
+           std::min<uint64_t>(static_cast<uint64_t>(r), rem);
+  };
+  auto target_len = [&](int r) {
+    return base + (static_cast<uint64_t>(r) < rem ? 1 : 0);
+  };
+  // Intersect my global span with each rank's target span.
+  const uint64_t my_end = my_start + local_sorted.size();
+  std::vector<std::vector<K>> outgoing(p);
+  for (int r = 0; r < p; ++r) {
+    const uint64_t t_start = target_start(r);
+    const uint64_t t_end = t_start + target_len(r);
+    const uint64_t lo = std::max(my_start, t_start);
+    const uint64_t hi = std::min(my_end, t_end);
+    if (lo < hi) {
+      outgoing[r].assign(local_sorted.begin() + (lo - my_start),
+                         local_sorted.begin() + (hi - my_start));
+    }
+  }
+  std::vector<std::vector<K>> incoming =
+      collectives::AllToAllVectors(ctx, outgoing);
+  DistributedList<K> out;
+  out.global_offset = target_start(ctx.rank());
+  out.global_size = total;
+  // Pieces from lower ranks hold globally smaller elements; concatenation in
+  // rank order is already sorted.
+  for (int r = 0; r < p; ++r) {
+    out.values.insert(out.values.end(), incoming[r].begin(),
+                      incoming[r].end());
+  }
+  OPAQ_CHECK_EQ(out.values.size(), target_len(ctx.rank()));
+  return out;
+}
+
+/// Sample merge of p sorted lists (paper §3, option B): parallel sorting by
+/// regular sampling [LLS+93] minus the local sort ("the only difference ...
+/// is that the initial sorting step is not required").
+///
+/// Steps, with the paper's cost terms in parentheses:
+///  1. each rank draws `oversample` regular samples of its list   (s')
+///  2. gather at rank 0, sort, pick p-1 splitters, broadcast      ((1+log p) rounds)
+///  3. partition the local list by the splitters                  ((p-1) log rs)
+///  4. all-to-all the partitions                                  (beta*(p + rs))
+///  5. merge the received sorted pieces                           (rs log p)
+///  6. rebalance so every rank holds an equal slice
+///
+/// Works for any p >= 1 (no power-of-two requirement) and tolerates unequal
+/// input sizes.
+template <typename K>
+DistributedList<K> SampleMergeBlocks(ProcessorContext& ctx,
+                                     const std::vector<K>& local_sorted,
+                                     uint64_t oversample = 0) {
+  const int p = ctx.size();
+  OPAQ_DCHECK(std::is_sorted(local_sorted.begin(), local_sorted.end()));
+  if (p == 1) {
+    DistributedList<K> out;
+    out.values = local_sorted;
+    out.global_size = local_sorted.size();
+    return out;
+  }
+  if (oversample == 0) oversample = static_cast<uint64_t>(p);
+
+  // 1. Regular samples of the local sorted list (ranks j*|L|/s').
+  std::vector<K> my_samples;
+  if (!local_sorted.empty()) {
+    my_samples.reserve(oversample);
+    const uint64_t len = local_sorted.size();
+    for (uint64_t j = 1; j <= oversample; ++j) {
+      uint64_t idx = j * len / oversample;
+      if (idx == 0) idx = 1;
+      my_samples.push_back(local_sorted[idx - 1]);
+    }
+  }
+
+  // 2. Root sorts the gathered samples and selects p-1 regular splitters.
+  std::vector<std::vector<K>> gathered =
+      collectives::GatherVectors(ctx, 0, my_samples);
+  std::vector<K> splitters;
+  if (ctx.rank() == 0) {
+    std::vector<K> all;
+    for (auto& g : gathered) all.insert(all.end(), g.begin(), g.end());
+    std::sort(all.begin(), all.end());
+    for (int r = 1; r < p; ++r) {
+      uint64_t idx = static_cast<uint64_t>(r) * all.size() / p;
+      if (!all.empty()) splitters.push_back(all[std::min<uint64_t>(
+          idx, all.size() - 1)]);
+    }
+  }
+  collectives::BroadcastVector(ctx, 0, &splitters);
+
+  // 3. Partition the local list by the splitters (binary searches).
+  std::vector<std::vector<K>> outgoing(p);
+  size_t begin = 0;
+  for (int r = 0; r < p; ++r) {
+    size_t end;
+    if (r + 1 < p && static_cast<size_t>(r) < splitters.size()) {
+      end = static_cast<size_t>(
+          std::upper_bound(local_sorted.begin() + begin, local_sorted.end(),
+                           splitters[r]) -
+          local_sorted.begin());
+    } else {
+      end = local_sorted.size();
+    }
+    outgoing[r].assign(local_sorted.begin() + begin,
+                       local_sorted.begin() + end);
+    begin = end;
+  }
+
+  // 4. Exchange partitions; 5. p-way merge of the received sorted pieces.
+  std::vector<std::vector<K>> incoming =
+      collectives::AllToAllVectors(ctx, outgoing);
+  std::vector<K> merged = KWayMergeSorted(incoming);
+
+  // 6. Balance to equal slices (the paper's processor-i-holds-[i*rs,..)
+  //    postcondition).
+  return RebalanceSorted(ctx, merged);
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_PARALLEL_SAMPLE_MERGE_H_

@@ -1,0 +1,74 @@
+#ifndef OPAQ_SELECT_FLOYD_RIVEST_H_
+#define OPAQ_SELECT_FLOYD_RIVEST_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "select/partition.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace opaq {
+
+namespace internal_select {
+
+/// Core of the Floyd–Rivest SELECT algorithm, operating on the inclusive
+/// index window [left, right]. Deterministic variant of the sampling bounds
+/// (the classic constants 600 / 0.5); the only randomness in the original is
+/// implicit in input order, so no RNG parameter is needed.
+template <typename K>
+void FloydRivestImpl(K* data, int64_t left, int64_t right, int64_t k) {
+  while (right > left) {
+    if (right - left > 600) {
+      // Sample a subinterval around k whose size grows as n^(2/3) so the
+      // recursive select positions near-optimal pivots (FR75, eq. 2.1).
+      const double n = static_cast<double>(right - left + 1);
+      const double i = static_cast<double>(k - left + 1);
+      const double z = std::log(n);
+      const double s = 0.5 * std::exp(2.0 * z / 3.0);
+      const double sd = 0.5 * std::sqrt(z * s * (n - s) / n) *
+                        ((i - n / 2.0) < 0 ? -1.0 : 1.0);
+      const int64_t new_left =
+          std::max(left, static_cast<int64_t>(k - i * s / n + sd));
+      const int64_t new_right =
+          std::min(right, static_cast<int64_t>(k + (n - i) * s / n + sd));
+      FloydRivestImpl(data, new_left, new_right, k);
+    }
+    // Partition [left, right] around data[k] (three-way, for duplicates).
+    K pivot = data[k];
+    PartitionBounds bounds = ThreeWayPartition(
+        data + left, static_cast<size_t>(right - left + 1), pivot);
+    const int64_t lt = left + static_cast<int64_t>(bounds.lt);
+    const int64_t gt = left + static_cast<int64_t>(bounds.gt);
+    if (k < lt) {
+      right = lt - 1;
+    } else if (k < gt) {
+      return;  // k lands in the equal band
+    } else {
+      left = gt;
+    }
+  }
+}
+
+}  // namespace internal_select
+
+/// Expected-O(n) selection — Floyd & Rivest, "Expected Time Bounds for
+/// Selection" (CACM 1975), cited by the paper as [FR75]; §2.1 recommends it
+/// as "practically very efficient" for finding the sample points.
+///
+/// Postcondition matches std::nth_element: `data[k]` is the k-th smallest
+/// and `[0,k)` / `(k,n)` hold only `<=` / `>=` elements. Returns the value.
+template <typename K>
+K FloydRivestSelect(K* data, size_t n, size_t k) {
+  OPAQ_CHECK_LT(k, n);
+  internal_select::FloydRivestImpl(data, int64_t{0},
+                                   static_cast<int64_t>(n) - 1,
+                                   static_cast<int64_t>(k));
+  return data[k];
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_SELECT_FLOYD_RIVEST_H_

@@ -1,0 +1,53 @@
+#ifndef OPAQ_SELECT_MEDIAN_OF_MEDIANS_H_
+#define OPAQ_SELECT_MEDIAN_OF_MEDIANS_H_
+
+#include <cstddef>
+
+#include "select/partition.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// Deterministic worst-case O(n) selection — Blum, Floyd, Pratt, Rivest,
+/// Tarjan, "Time Bounds for Selection" (1972), cited by the paper as [ea72]
+/// and used in §2.1 to bound the sample phase at O(m log s) worst case.
+///
+/// Rearranges `data[0..n)` so that `data[k]` is the k-th smallest (0-based)
+/// and everything before/after it is `<=`/`>=`. Returns the selected value.
+///
+/// Implementation notes: groups of 5 with insertion-sorted medians swapped to
+/// a prefix, pivot = recursive median of that prefix, then a three-way
+/// partition so that duplicate-heavy inputs stay linear.
+template <typename K>
+K MedianOfMediansSelect(K* data, size_t n, size_t k) {
+  OPAQ_CHECK_LT(k, n);
+  while (true) {
+    if (n <= 16) {
+      InsertionSort(data, n);
+      return data[k];
+    }
+    // Move the median of each full group of 5 into the prefix.
+    const size_t groups = n / 5;
+    for (size_t g = 0; g < groups; ++g) {
+      K* group = data + 5 * g;
+      InsertionSort(group, 5);
+      std::swap(data[g], group[2]);
+    }
+    // Median of the group medians (recursive call on the prefix).
+    K pivot = MedianOfMediansSelect(data, groups, groups / 2);
+    PartitionBounds bounds = ThreeWayPartition(data, n, pivot);
+    if (k < bounds.lt) {
+      n = bounds.lt;
+    } else if (k < bounds.gt) {
+      return data[k];  // inside the equal band
+    } else {
+      data += bounds.gt;
+      k -= bounds.gt;
+      n -= bounds.gt;
+    }
+  }
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_SELECT_MEDIAN_OF_MEDIANS_H_

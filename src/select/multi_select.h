@@ -1,0 +1,105 @@
+#ifndef OPAQ_SELECT_MULTI_SELECT_H_
+#define OPAQ_SELECT_MULTI_SELECT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "select/select.h"
+#include "util/check.h"
+
+namespace opaq {
+
+namespace internal_select {
+
+/// Recursive core of multi-selection: selects the middle target rank with a
+/// single-element selector (which partitions the window around it), records
+/// the sample, and recurses into the two halves with the remaining ranks.
+/// Depth is O(log #ranks), each level does O(window) work, hence the paper's
+/// O(m log s) bound for the sample phase (§2.1).
+template <typename K>
+void MultiSelectImpl(K* data, size_t n, const uint64_t* ranks,
+                     size_t num_ranks, uint64_t base, K* out,
+                     SelectAlgorithm algorithm, Xoshiro256& rng) {
+  if (num_ranks == 0) return;
+  const size_t mid = num_ranks / 2;
+  const size_t local_rank = static_cast<size_t>(ranks[mid] - base);
+  OPAQ_DCHECK(local_rank < n);
+  out[mid] = SelectKth(data, n, local_rank, algorithm, rng);
+  // Left half: ranks[0..mid) fall inside data[0..local_rank).
+  MultiSelectImpl(data, local_rank, ranks, mid, base, out, algorithm, rng);
+  // Right half: ranks(mid..) fall inside data(local_rank..n).
+  MultiSelectImpl(data + local_rank + 1, n - local_rank - 1, ranks + mid + 1,
+                  num_ranks - mid - 1, base + local_rank + 1, out + mid + 1,
+                  algorithm, rng);
+}
+
+}  // namespace internal_select
+
+/// Selects the elements at each 0-based rank in `ranks` (strictly increasing,
+/// all < n) from `data[0..n)`, rearranging `data` in the process. The output
+/// is sorted by construction. This is the paper's "find the s sample points
+/// by recursive median splitting" generalised to arbitrary rank sets.
+template <typename K>
+std::vector<K> MultiSelect(K* data, size_t n, const std::vector<uint64_t>& ranks,
+                           SelectAlgorithm algorithm, Xoshiro256& rng) {
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    OPAQ_CHECK_LT(ranks[i], n);
+    if (i > 0) OPAQ_CHECK_LT(ranks[i - 1], ranks[i]);
+  }
+  std::vector<K> out(ranks.size());
+  internal_select::MultiSelectImpl(data, n, ranks.data(), ranks.size(),
+                                   uint64_t{0}, out.data(), algorithm, rng);
+  return out;
+}
+
+/// The paper's regular sampling (§2.1 / [LLS+93]): from a run of `m`
+/// elements, the samples are the elements of 1-based rank c, 2c, …, within
+/// the run, where `c = m/s` is the sub-run size. Each sample "covers" the c
+/// elements at or below it; those disjoint sub-runs drive the error bounds.
+///
+/// Works for a short tail run too: only ⌊m'/c⌋ full sub-runs produce samples
+/// and the `m' mod c` leftover elements are uncovered (the caller accounts
+/// for them; see core/sample_list.h).
+template <typename K>
+std::vector<K> RegularSamplesBySubrunSize(K* data, size_t n, uint64_t subrun_size,
+                                          SelectAlgorithm algorithm,
+                                          Xoshiro256& rng) {
+  OPAQ_CHECK_GT(subrun_size, 0u);
+  const uint64_t num_samples = n / subrun_size;
+  std::vector<uint64_t> ranks;
+  ranks.reserve(num_samples);
+  for (uint64_t j = 1; j <= num_samples; ++j) {
+    ranks.push_back(j * subrun_size - 1);  // 0-based index of rank j*c
+  }
+  return MultiSelect(data, n, ranks, algorithm, rng);
+}
+
+/// Regular samples with an explicit sample count `s` (requires s | m, the
+/// paper's footnote-1 assumption).
+template <typename K>
+std::vector<K> RegularSamples(K* data, size_t n, uint64_t s,
+                              SelectAlgorithm algorithm, Xoshiro256& rng) {
+  OPAQ_CHECK_GT(s, 0u);
+  OPAQ_CHECK_EQ(n % s, 0u);
+  return RegularSamplesBySubrunSize(data, n, n / s, algorithm, rng);
+}
+
+/// Baseline sampler for the ablation bench: sort the run (O(m log m)) and
+/// read the samples off directly. Same output as RegularSamples*.
+template <typename K>
+std::vector<K> RegularSamplesBySorting(K* data, size_t n,
+                                       uint64_t subrun_size) {
+  OPAQ_CHECK_GT(subrun_size, 0u);
+  std::sort(data, data + n);
+  std::vector<K> out;
+  out.reserve(n / subrun_size);
+  for (uint64_t j = 1; j * subrun_size <= n; ++j) {
+    out.push_back(data[j * subrun_size - 1]);
+  }
+  return out;
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_SELECT_MULTI_SELECT_H_

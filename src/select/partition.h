@@ -1,0 +1,67 @@
+#ifndef OPAQ_SELECT_PARTITION_H_
+#define OPAQ_SELECT_PARTITION_H_
+
+#include <cstddef>
+#include <utility>
+
+namespace opaq {
+
+/// Result of a three-way (Dutch national flag) partition: elements
+/// `< pivot` occupy `[0, lt)`, `== pivot` occupy `[lt, gt)`, `> pivot`
+/// occupy `[gt, n)`.
+struct PartitionBounds {
+  size_t lt;
+  size_t gt;
+};
+
+/// Three-way partition of `data[0..n)` around `pivot`, in place.
+///
+/// Selection on duplicate-heavy inputs (Zipf data, the paper's n/10 forced
+/// duplicates, the all-equal worst case) degrades to quadratic with two-way
+/// partitioning; the equal band makes every selector in this project robust
+/// to ties.
+template <typename K>
+PartitionBounds ThreeWayPartition(K* data, size_t n, const K& pivot) {
+  size_t lt = 0;   // next slot for a < element
+  size_t i = 0;    // scan cursor
+  size_t gt = n;   // one past the last unexamined slot
+  while (i < gt) {
+    if (data[i] < pivot) {
+      std::swap(data[lt], data[i]);
+      ++lt;
+      ++i;
+    } else if (pivot < data[i]) {
+      --gt;
+      std::swap(data[i], data[gt]);
+    } else {
+      ++i;
+    }
+  }
+  return PartitionBounds{lt, gt};
+}
+
+/// Insertion sort for the small subproblems all selectors bottom out on.
+template <typename K>
+void InsertionSort(K* data, size_t n) {
+  for (size_t i = 1; i < n; ++i) {
+    K value = data[i];
+    size_t j = i;
+    while (j > 0 && value < data[j - 1]) {
+      data[j] = data[j - 1];
+      --j;
+    }
+    data[j] = value;
+  }
+}
+
+/// Sorts {a,b,c} in place and leaves the median at `b` (3 comparisons).
+template <typename K>
+void MedianOfThree(K& a, K& b, K& c) {
+  if (b < a) std::swap(a, b);
+  if (c < b) std::swap(b, c);
+  if (b < a) std::swap(a, b);
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_SELECT_PARTITION_H_

@@ -1,0 +1,67 @@
+#ifndef OPAQ_SELECT_SELECT_H_
+#define OPAQ_SELECT_SELECT_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "select/floyd_rivest.h"
+#include "select/introselect.h"
+#include "select/median_of_medians.h"
+#include "util/random.h"
+
+namespace opaq {
+
+/// Which single-element selection algorithm the sample phase uses. The paper
+/// discusses both the deterministic [ea72] (worst-case O(m log s)) and the
+/// randomized [FR75] (expected O(m log s)) options; we expose all of them so
+/// the ablation bench can compare.
+enum class SelectAlgorithm {
+  /// std::nth_element — the standard library's introselect, as a reference.
+  kStdNthElement,
+  /// Blum–Floyd–Pratt–Rivest–Tarjan deterministic selection [ea72].
+  kMedianOfMedians,
+  /// Floyd–Rivest SELECT [FR75].
+  kFloydRivest,
+  /// Random-pivot quickselect with median-of-medians fallback (default).
+  kIntroSelect,
+};
+
+/// Returns a short stable name for logging / bench tables.
+inline const char* SelectAlgorithmName(SelectAlgorithm a) {
+  switch (a) {
+    case SelectAlgorithm::kStdNthElement:
+      return "std::nth_element";
+    case SelectAlgorithm::kMedianOfMedians:
+      return "median-of-medians";
+    case SelectAlgorithm::kFloydRivest:
+      return "floyd-rivest";
+    case SelectAlgorithm::kIntroSelect:
+      return "introselect";
+  }
+  return "unknown";
+}
+
+/// Rearranges `data[0..n)` so `data[k]` is the k-th smallest (0-based) with
+/// `[0,k)` <= it and `(k,n)` >= it, using `algorithm`; returns the value.
+/// `rng` is only consumed by kIntroSelect.
+template <typename K>
+K SelectKth(K* data, size_t n, size_t k, SelectAlgorithm algorithm,
+            Xoshiro256& rng) {
+  switch (algorithm) {
+    case SelectAlgorithm::kStdNthElement:
+      std::nth_element(data, data + k, data + n);
+      return data[k];
+    case SelectAlgorithm::kMedianOfMedians:
+      return MedianOfMediansSelect(data, n, k);
+    case SelectAlgorithm::kFloydRivest:
+      return FloydRivestSelect(data, n, k);
+    case SelectAlgorithm::kIntroSelect:
+      return IntroSelect(data, n, k, rng);
+  }
+  OPAQ_CHECK(false) << "unreachable";
+  return data[k];
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_SELECT_SELECT_H_

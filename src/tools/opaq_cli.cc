@@ -1,0 +1,307 @@
+// opaq — command-line front end for the library (uint64 keys).
+//
+// A one-pass quantile workflow without writing any code:
+//
+//   opaq generate --out=data.opaq --n=10000000 --dist=zipf
+//   opaq sketch   --data=data.opaq --out=data.sketch --samples=1024
+//   opaq quantile --sketch=data.sketch --phi=0.5,0.99
+//   opaq exact    --data=data.opaq --sketch=data.sketch --phi=0.5
+//   opaq rank     --sketch=data.sketch --value=123456
+//   opaq merge    --out=all.sketch a.sketch b.sketch
+//   opaq inspect  --sketch=data.sketch
+//
+// Sketches persist the sorted sample list (core/sketch_io.h), so `sketch`
+// once and query forever; `merge` folds in new data incrementally without
+// rereading the old (paper §4).
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/exact.h"
+#include "core/opaq.h"
+#include "core/sketch_io.h"
+#include "data/dataset.h"
+#include "io/block_device.h"
+#include "util/flags.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace opaq {
+namespace cli {
+namespace {
+
+using Key = uint64_t;
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << std::endl;
+  return 1;
+}
+
+int Usage() {
+  std::cerr <<
+      "usage: opaq <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate  --out=FILE --n=N [--dist=uniform|zipf|normal|sequential]\n"
+      "            [--seed=S] [--zipf-z=0.86] [--dup=0.1]\n"
+      "  sketch    --data=FILE --out=SKETCH [--run-size=1048576]\n"
+      "            [--samples=1024] [--select=intro|fr|mom|std]\n"
+      "  quantile  --sketch=SKETCH (--phi=0.5[,0.9,...] | --q=10)\n"
+      "  exact     --data=FILE --sketch=SKETCH --phi=0.5[,...]\n"
+      "  rank      --sketch=SKETCH --value=V\n"
+      "  merge     --out=SKETCH IN1 IN2 [IN3 ...]\n"
+      "  inspect   --sketch=SKETCH\n";
+  return 2;
+}
+
+Result<std::vector<double>> ParsePhis(const Flags& flags) {
+  std::vector<double> phis;
+  if (flags.Has("phi")) {
+    std::stringstream ss(flags.GetString("phi", ""));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      char* end = nullptr;
+      double phi = std::strtod(item.c_str(), &end);
+      if (end == nullptr || *end != '\0' || !(phi > 0.0 && phi <= 1.0)) {
+        return Status::InvalidArgument("bad --phi entry: " + item);
+      }
+      phis.push_back(phi);
+    }
+  } else {
+    int64_t q = flags.GetInt("q", 10);
+    if (q < 2) return Status::InvalidArgument("--q must be >= 2");
+    for (int64_t i = 1; i < q; ++i) {
+      phis.push_back(static_cast<double>(i) / static_cast<double>(q));
+    }
+  }
+  if (phis.empty()) return Status::InvalidArgument("no quantiles requested");
+  return phis;
+}
+
+Result<std::unique_ptr<FileBlockDevice>> OpenFileDevice(
+    const std::string& path, FileBlockDevice::Mode mode) {
+  if (path.empty()) {
+    return Status::InvalidArgument("missing a required file path flag");
+  }
+  return FileBlockDevice::Make(path, mode);
+}
+
+int CmdGenerate(const Flags& flags) {
+  DatasetSpec spec;
+  spec.n = static_cast<uint64_t>(flags.GetInt("n", 1000000));
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  spec.duplicate_fraction = flags.GetDouble("dup", 0.1);
+  spec.zipf_z = flags.GetDouble("zipf-z", 0.86);
+  const std::string dist = flags.GetString("dist", "uniform");
+  if (dist == "uniform") {
+    spec.distribution = Distribution::kUniform;
+  } else if (dist == "zipf") {
+    spec.distribution = Distribution::kZipf;
+  } else if (dist == "normal") {
+    spec.distribution = Distribution::kNormal;
+  } else if (dist == "sequential") {
+    spec.distribution = Distribution::kSequential;
+  } else {
+    return Fail(Status::InvalidArgument("unknown --dist: " + dist));
+  }
+  auto device = OpenFileDevice(flags.GetString("out", ""),
+                               FileBlockDevice::Mode::kCreate);
+  if (!device.ok()) return Fail(device.status());
+  WallTimer timer;
+  Status s = GenerateDatasetToDevice<Key>(spec, device->get());
+  if (!s.ok()) return Fail(s);
+  std::cout << "wrote " << spec.ToString() << " to "
+            << flags.GetString("out", "") << " in "
+            << timer.ElapsedSeconds() << "s\n";
+  return 0;
+}
+
+int CmdSketch(const Flags& flags) {
+  auto data_device = OpenFileDevice(flags.GetString("data", ""),
+                                    FileBlockDevice::Mode::kOpen);
+  if (!data_device.ok()) return Fail(data_device.status());
+  auto file = TypedDataFile<Key>::Open(data_device->get());
+  if (!file.ok()) return Fail(file.status());
+
+  OpaqConfig config;
+  config.run_size = static_cast<uint64_t>(flags.GetInt("run-size", 1 << 20));
+  config.samples_per_run = static_cast<uint64_t>(flags.GetInt("samples",
+                                                              1024));
+  const std::string select = flags.GetString("select", "intro");
+  if (select == "intro") {
+    config.select_algorithm = SelectAlgorithm::kIntroSelect;
+  } else if (select == "fr") {
+    config.select_algorithm = SelectAlgorithm::kFloydRivest;
+  } else if (select == "mom") {
+    config.select_algorithm = SelectAlgorithm::kMedianOfMedians;
+  } else if (select == "std") {
+    config.select_algorithm = SelectAlgorithm::kStdNthElement;
+  } else {
+    return Fail(Status::InvalidArgument("unknown --select: " + select));
+  }
+  Status valid = config.Validate();
+  if (!valid.ok()) return Fail(valid);
+
+  WallTimer timer;
+  OpaqSketch<Key> sketch(config);
+  double io_seconds = 0;
+  Status s = sketch.ConsumeFile(&*file, &io_seconds);
+  if (!s.ok()) return Fail(s);
+  SampleList<Key> list = sketch.FinalizeSampleList();
+
+  auto out_device = OpenFileDevice(flags.GetString("out", ""),
+                                   FileBlockDevice::Mode::kCreate);
+  if (!out_device.ok()) return Fail(out_device.status());
+  s = SaveSampleList(list, out_device->get());
+  if (!s.ok()) return Fail(s);
+  std::cout << "sketched " << list.total_elements() << " keys ("
+            << list.accounting().num_runs << " runs, "
+            << list.samples().size() << " samples) in "
+            << timer.ElapsedSeconds() << "s (" << io_seconds
+            << "s I/O); rank error <= " << MaxRankError(list.accounting())
+            << "\n";
+  return 0;
+}
+
+int CmdQuantile(const Flags& flags) {
+  auto device = OpenFileDevice(flags.GetString("sketch", ""),
+                               FileBlockDevice::Mode::kOpen);
+  if (!device.ok()) return Fail(device.status());
+  auto list = LoadSampleList<Key>(device->get());
+  if (!list.ok()) return Fail(list.status());
+  auto phis = ParsePhis(flags);
+  if (!phis.ok()) return Fail(phis.status());
+  OpaqEstimator<Key> estimator(std::move(list).value());
+  std::cout << "phi\trank\tlower\tupper\n";
+  for (double phi : *phis) {
+    auto e = estimator.Quantile(phi);
+    std::cout << phi << "\t" << e.target_rank << "\t" << e.lower
+              << (e.lower_clamped ? "?" : "") << "\t" << e.upper
+              << (e.upper_clamped ? "?" : "") << "\n";
+  }
+  std::cout << "(rank error <= " << estimator.max_rank_error()
+            << "; '?' marks a clamped, uncertified bound)\n";
+  return 0;
+}
+
+int CmdExact(const Flags& flags) {
+  auto sketch_device = OpenFileDevice(flags.GetString("sketch", ""),
+                                      FileBlockDevice::Mode::kOpen);
+  if (!sketch_device.ok()) return Fail(sketch_device.status());
+  auto list = LoadSampleList<Key>(sketch_device->get());
+  if (!list.ok()) return Fail(list.status());
+  auto data_device = OpenFileDevice(flags.GetString("data", ""),
+                                    FileBlockDevice::Mode::kOpen);
+  if (!data_device.ok()) return Fail(data_device.status());
+  auto file = TypedDataFile<Key>::Open(data_device->get());
+  if (!file.ok()) return Fail(file.status());
+  auto phis = ParsePhis(flags);
+  if (!phis.ok()) return Fail(phis.status());
+
+  OpaqEstimator<Key> estimator(std::move(list).value());
+  std::vector<QuantileEstimate<Key>> estimates;
+  for (double phi : *phis) estimates.push_back(estimator.Quantile(phi));
+  const uint64_t run_size =
+      static_cast<uint64_t>(flags.GetInt("run-size", 1 << 20));
+  auto exact = ExactQuantilesSecondPass(&*file, estimates, run_size);
+  if (!exact.ok()) return Fail(exact.status());
+  std::cout << "phi\texact\n";
+  for (size_t i = 0; i < phis->size(); ++i) {
+    std::cout << (*phis)[i] << "\t" << (*exact)[i] << "\n";
+  }
+  return 0;
+}
+
+int CmdRank(const Flags& flags) {
+  auto device = OpenFileDevice(flags.GetString("sketch", ""),
+                               FileBlockDevice::Mode::kOpen);
+  if (!device.ok()) return Fail(device.status());
+  auto list = LoadSampleList<Key>(device->get());
+  if (!list.ok()) return Fail(list.status());
+  if (!flags.Has("value")) {
+    return Fail(Status::InvalidArgument("rank requires --value"));
+  }
+  const Key value = static_cast<Key>(flags.GetInt("value", 0));
+  OpaqEstimator<Key> estimator(std::move(list).value());
+  RankEstimate r = estimator.EstimateRank(value);
+  std::cout << "value " << value << ": rank(<=) in [" << r.min_rank_le
+            << ", " << r.max_rank_le << "], rank(<) in [" << r.min_rank_lt
+            << ", " << r.max_rank_lt << "] of "
+            << estimator.total_elements() << "\n";
+  return 0;
+}
+
+int CmdMerge(const Flags& flags) {
+  if (flags.positional().size() < 3) {  // "merge" + >= 2 inputs
+    return Fail(Status::InvalidArgument("merge needs >= 2 input sketches"));
+  }
+  SampleList<Key> merged;
+  for (size_t i = 1; i < flags.positional().size(); ++i) {
+    auto device = OpenFileDevice(flags.positional()[i],
+                                 FileBlockDevice::Mode::kOpen);
+    if (!device.ok()) return Fail(device.status());
+    auto list = LoadSampleList<Key>(device->get());
+    if (!list.ok()) return Fail(list.status());
+    auto combined = SampleList<Key>::Merge(merged, *list);
+    if (!combined.ok()) return Fail(combined.status());
+    merged = std::move(combined).value();
+  }
+  auto out = OpenFileDevice(flags.GetString("out", ""),
+                            FileBlockDevice::Mode::kCreate);
+  if (!out.ok()) return Fail(out.status());
+  Status s = SaveSampleList(merged, out->get());
+  if (!s.ok()) return Fail(s);
+  std::cout << "merged " << flags.positional().size() - 1 << " sketches: "
+            << merged.total_elements() << " keys, "
+            << merged.samples().size() << " samples\n";
+  return 0;
+}
+
+int CmdInspect(const Flags& flags) {
+  auto device = OpenFileDevice(flags.GetString("sketch", ""),
+                               FileBlockDevice::Mode::kOpen);
+  if (!device.ok()) return Fail(device.status());
+  auto list = LoadSampleList<Key>(device->get());
+  if (!list.ok()) return Fail(list.status());
+  const SampleAccounting& acc = list->accounting();
+  std::cout << "sketch: " << flags.GetString("sketch", "") << "\n"
+            << "  total elements : " << acc.total_elements << "\n"
+            << "  runs           : " << acc.num_runs << "\n"
+            << "  samples        : " << acc.num_samples << "\n"
+            << "  sub-run size   : " << acc.subrun_size << "\n"
+            << "  uncovered tail : " << acc.num_uncovered << "\n"
+            << "  max rank error : " << MaxRankError(acc) << " ("
+            << 100.0 * static_cast<double>(MaxRankError(acc)) /
+                   static_cast<double>(acc.total_elements)
+            << "% of n)\n";
+  if (!list->samples().empty()) {
+    std::cout << "  sample range   : [" << list->samples().front() << ", "
+              << list->samples().back() << "]\n";
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) return Fail(flags.status());
+  if (flags->positional().empty()) return Usage();
+  const std::string& command = flags->positional()[0];
+  if (command == "generate") return CmdGenerate(*flags);
+  if (command == "sketch") return CmdSketch(*flags);
+  if (command == "quantile") return CmdQuantile(*flags);
+  if (command == "exact") return CmdExact(*flags);
+  if (command == "rank") return CmdRank(*flags);
+  if (command == "merge") return CmdMerge(*flags);
+  if (command == "inspect") return CmdInspect(*flags);
+  std::cerr << "unknown command: " << command << "\n";
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::cli::Main(argc, argv); }

@@ -1,0 +1,77 @@
+#ifndef OPAQ_UTIL_CHECK_H_
+#define OPAQ_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace opaq {
+namespace internal_check {
+
+/// Accumulates the streamed failure message and aborts the process when
+/// destroyed. Used only via the OPAQ_CHECK macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << file << ":" << line << " OPAQ_CHECK failed: " << condition
+            << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message on the success path at zero cost.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_check
+}  // namespace opaq
+
+/// Dies with a message if `condition` is false. For programmer errors
+/// (precondition violations), not for runtime failures — those use Status.
+/// Extra context can be streamed: OPAQ_CHECK(x > 0) << "x was " << x;
+/// (the stream temporary's destructor aborts at the end of the statement).
+#define OPAQ_CHECK(condition)                                     \
+  while (!(condition))                                            \
+  ::opaq::internal_check::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+#define OPAQ_CHECK_OK(status_expr)                                       \
+  do {                                                                   \
+    const auto& opaq_check_status_ = (status_expr);                      \
+    if (!opaq_check_status_.ok()) {                                      \
+      ::opaq::internal_check::CheckFailureStream(#status_expr, __FILE__, \
+                                                 __LINE__)               \
+          << opaq_check_status_.ToString();                              \
+    }                                                                    \
+  } while (false)
+
+#define OPAQ_CHECK_EQ(a, b) OPAQ_CHECK((a) == (b))
+#define OPAQ_CHECK_NE(a, b) OPAQ_CHECK((a) != (b))
+#define OPAQ_CHECK_LT(a, b) OPAQ_CHECK((a) < (b))
+#define OPAQ_CHECK_LE(a, b) OPAQ_CHECK((a) <= (b))
+#define OPAQ_CHECK_GT(a, b) OPAQ_CHECK((a) > (b))
+#define OPAQ_CHECK_GE(a, b) OPAQ_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define OPAQ_DCHECK(condition) OPAQ_CHECK(condition)
+#else
+#define OPAQ_DCHECK(condition) \
+  while (false) ::opaq::internal_check::NullStream() << !(condition)
+#endif
+
+#endif  // OPAQ_UTIL_CHECK_H_

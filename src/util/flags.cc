@@ -1,0 +1,74 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace opaq {
+
+Result<Flags> Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  if (argc > 0) flags.program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      flags.positional_.emplace_back(arg);
+      continue;
+    }
+    std::string body(arg + 2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      std::string key = body.substr(0, eq);
+      if (key.empty()) {
+        return Status::InvalidArgument(std::string("malformed flag: ") + arg);
+      }
+      flags.values_[key] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  OPAQ_CHECK(end != nullptr && *end == '\0')
+      << "flag --" << key << " expects an integer, got '" << it->second << "'";
+  return value;
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  OPAQ_CHECK(end != nullptr && *end == '\0')
+      << "flag --" << key << " expects a number, got '" << it->second << "'";
+  return value;
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  OPAQ_CHECK(false) << "flag --" << key << " expects a boolean, got '" << v
+                    << "'";
+  return default_value;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+}  // namespace opaq

@@ -1,0 +1,43 @@
+#ifndef OPAQ_UTIL_FLAGS_H_
+#define OPAQ_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace opaq {
+
+/// Minimal `--key=value` command-line parser for benches and examples.
+///
+/// Accepted forms: `--key=value`, `--key value`, and bare `--key` (treated as
+/// boolean true). Unrecognised positional arguments are collected in
+/// `positional()`.
+class Flags {
+ public:
+  /// Parses argv; returns InvalidArgument on malformed input (e.g. `--=x`).
+  static Result<Flags> Parse(int argc, char** argv);
+
+  /// Typed getters with defaults. Die (OPAQ_CHECK) if the value is present
+  /// but unparseable — bad CLI input should fail loudly in a bench harness.
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_UTIL_FLAGS_H_

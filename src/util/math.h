@@ -1,0 +1,42 @@
+#ifndef OPAQ_UTIL_MATH_H_
+#define OPAQ_UTIL_MATH_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace opaq {
+
+/// ceil(a / b) for non-negative integers. Requires b > 0.
+constexpr uint64_t DivCeil(uint64_t a, uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Largest power of two <= x (x > 0).
+constexpr uint64_t FloorPowerOfTwo(uint64_t x) {
+  uint64_t p = 1;
+  while (p * 2 <= x && p * 2 != 0) p *= 2;
+  return p;
+}
+
+/// floor(log2(x)) for x > 0.
+constexpr int Log2Floor(uint64_t x) {
+  int log = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++log;
+  }
+  return log;
+}
+
+/// Clamps v into [lo, hi].
+template <typename T>
+constexpr T Clamp(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_UTIL_MATH_H_

@@ -1,0 +1,71 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace opaq {
+
+void TextTable::AddHeader(std::vector<std::string> cells) {
+  headers_.push_back(std::move(cells));
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TextTable::Print(std::ostream& os) const {
+  size_t columns = 0;
+  for (const auto& row : headers_) columns = std::max(columns, row.size());
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<size_t> width(columns, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  for (const auto& row : headers_) measure(row);
+  for (const auto& row : rows_) measure(row);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < columns; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(width[c])) << cell;
+      } else {
+        os << "  " << std::right << std::setw(static_cast<int>(width[c]))
+           << cell;
+      }
+    }
+    os << "\n";
+  };
+
+  if (!title_.empty()) os << title_ << "\n";
+  for (const auto& row : headers_) emit(row);
+  if (!headers_.empty()) {
+    size_t total = 0;
+    for (size_t c = 0; c < columns; ++c) total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+void TextTable::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  for (const auto& row : headers_) emit(row);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace opaq

@@ -1,0 +1,48 @@
+#ifndef OPAQ_UTIL_TABLE_H_
+#define OPAQ_UTIL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace opaq {
+
+/// Plain-text table builder used by the benchmark harness to print
+/// paper-style tables (Tables 3–12) with aligned columns.
+///
+/// Usage:
+///   TextTable t;
+///   t.SetTitle("Table 3: RER_A ...");
+///   t.AddHeader({"Dectile", "s=250", "s=500", "s=1000"});
+///   t.AddRow({"10%", "0.33", "0.17", "0.08"});
+///   t.Print(std::cout);
+class TextTable {
+ public:
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// Header rows render above a separator line. Multiple header rows are
+  /// allowed (e.g. a distribution-group row above the column-name row).
+  void AddHeader(std::vector<std::string> cells);
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double value, int precision = 2);
+
+  /// Renders with single-space-padded, right-aligned numeric columns
+  /// (first column left-aligned).
+  void Print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (headers then rows), for plotting.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::vector<std::string>> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_UTIL_TABLE_H_

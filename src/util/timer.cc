@@ -1,0 +1,55 @@
+#include "util/timer.h"
+
+#include "util/check.h"
+
+namespace opaq {
+
+PhaseTimer::PhaseTimer(std::vector<std::string> phase_names)
+    : names_(std::move(phase_names)), seconds_(names_.size(), 0.0) {
+  OPAQ_CHECK(!names_.empty());
+}
+
+void PhaseTimer::Start(int phase) {
+  Stop();
+  OPAQ_CHECK_GE(phase, 0);
+  OPAQ_CHECK_LT(phase, num_phases());
+  running_ = phase;
+  started_at_ = Clock::now();
+}
+
+void PhaseTimer::Stop() {
+  if (running_ < 0) return;
+  seconds_[running_] +=
+      std::chrono::duration<double>(Clock::now() - started_at_).count();
+  running_ = -1;
+}
+
+double PhaseTimer::Seconds(int phase) const {
+  OPAQ_CHECK_GE(phase, 0);
+  OPAQ_CHECK_LT(phase, num_phases());
+  return seconds_[phase];
+}
+
+double PhaseTimer::TotalSeconds() const {
+  double total = 0;
+  for (double s : seconds_) total += s;
+  return total;
+}
+
+double PhaseTimer::Fraction(int phase) const {
+  double total = TotalSeconds();
+  return total > 0 ? Seconds(phase) / total : 0.0;
+}
+
+void PhaseTimer::AddSeconds(int phase, double seconds) {
+  OPAQ_CHECK_GE(phase, 0);
+  OPAQ_CHECK_LT(phase, num_phases());
+  seconds_[phase] += seconds;
+}
+
+void PhaseTimer::Merge(const PhaseTimer& other) {
+  OPAQ_CHECK_EQ(num_phases(), other.num_phases());
+  for (int i = 0; i < num_phases(); ++i) seconds_[i] += other.seconds_[i];
+}
+
+}  // namespace opaq

@@ -1,0 +1,72 @@
+#ifndef OPAQ_UTIL_TIMER_H_
+#define OPAQ_UTIL_TIMER_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace opaq {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time into named phases. Used by the parallel harness to
+/// reproduce the paper's Table 12 (fraction of execution time per phase).
+///
+/// Phases are identified by small dense integer ids supplied by the caller
+/// (e.g. an enum), so accumulation on the hot path is an array add, not a map
+/// lookup.
+class PhaseTimer {
+ public:
+  /// `phase_names[i]` labels phase id `i`.
+  explicit PhaseTimer(std::vector<std::string> phase_names);
+
+  /// Starts timing `phase`; any running phase is stopped first.
+  void Start(int phase);
+
+  /// Stops the running phase (no-op if none).
+  void Stop();
+
+  /// Total seconds accumulated in `phase`.
+  double Seconds(int phase) const;
+
+  /// Sum over all phases.
+  double TotalSeconds() const;
+
+  /// `Seconds(phase) / TotalSeconds()` (0 if total is 0).
+  double Fraction(int phase) const;
+
+  /// Adds externally measured time (e.g. modeled I/O time) into a phase.
+  void AddSeconds(int phase, double seconds);
+
+  const std::string& name(int phase) const { return names_[phase]; }
+  int num_phases() const { return static_cast<int>(names_.size()); }
+
+  /// Merges another timer's accumulations into this one (phase-wise add).
+  void Merge(const PhaseTimer& other);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::string> names_;
+  std::vector<double> seconds_;
+  int running_ = -1;
+  Clock::time_point started_at_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_UTIL_TIMER_H_

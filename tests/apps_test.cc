@@ -1,0 +1,202 @@
+// Tests for src/apps: equi-depth histograms, selectivity estimation, and
+// range partitioning built on OPAQ estimates.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/equi_depth_histogram.h"
+#include "apps/range_partitioner.h"
+#include "apps/selectivity.h"
+#include "core/opaq.h"
+#include "data/dataset.h"
+#include "metrics/ground_truth.h"
+
+namespace opaq {
+namespace {
+
+OpaqEstimator<uint64_t> MakeEstimator(const std::vector<uint64_t>& data,
+                                      uint64_t m = 2000, uint64_t s = 200) {
+  OpaqConfig config;
+  config.run_size = m;
+  config.samples_per_run = s;
+  return EstimateQuantilesInMemory(data, config);
+}
+
+// ---------------------------------------------------------- Histogram ----
+
+TEST(EquiDepthHistogramTest, BoundariesAreMonotone) {
+  DatasetSpec spec;
+  spec.n = 40000;
+  spec.distribution = Distribution::kZipf;
+  auto data = GenerateDataset<uint64_t>(spec);
+  auto est = MakeEstimator(data);
+  auto hist = EquiDepthHistogram<uint64_t>::Build(est, 10);
+  EXPECT_EQ(hist.num_buckets(), 10);
+  ASSERT_EQ(hist.boundaries().size(), 9u);
+  for (size_t i = 1; i < hist.boundaries().size(); ++i) {
+    EXPECT_LE(hist.boundaries()[i - 1].lower, hist.boundaries()[i].lower);
+  }
+  EXPECT_EQ(hist.NominalDepth(), 4000u);
+}
+
+TEST(EquiDepthHistogramTest, BucketDepthsNearNominal) {
+  DatasetSpec spec;
+  spec.n = 50000;
+  spec.distribution = Distribution::kUniform;
+  auto data = GenerateDataset<uint64_t>(spec);
+  auto est = MakeEstimator(data);
+  const int kBuckets = 10;
+  auto hist = EquiDepthHistogram<uint64_t>::Build(est, kBuckets);
+  std::vector<uint64_t> depth(kBuckets, 0);
+  for (uint64_t v : data) ++depth[hist.BucketOf(v)];
+  for (int b = 0; b < kBuckets; ++b) {
+    // Each bucket within nominal +- 2*budget (+ties slop).
+    EXPECT_NEAR(static_cast<double>(depth[b]),
+                static_cast<double>(hist.NominalDepth()),
+                2.0 * hist.max_rank_error() + 1)
+        << "bucket " << b;
+  }
+}
+
+TEST(EquiDepthHistogramTest, BucketOfRoutesByBoundaries) {
+  std::vector<uint64_t> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  auto est = MakeEstimator(data, 1000, 100);
+  auto hist = EquiDepthHistogram<uint64_t>::Build(est, 4);
+  EXPECT_EQ(hist.BucketOf(0), 0);
+  EXPECT_EQ(hist.BucketOf(9999), 3);
+  int mid_bucket = hist.BucketOf(5000);
+  EXPECT_GE(mid_bucket, 1);
+  EXPECT_LE(mid_bucket, 2);
+}
+
+// --------------------------------------------------------- Selectivity ----
+
+TEST(SelectivityTest, BracketsContainTrueCount) {
+  DatasetSpec spec;
+  spec.n = 60000;
+  spec.distribution = Distribution::kZipf;
+  auto data = GenerateDataset<uint64_t>(spec);
+  auto est = MakeEstimator(data);
+  GroundTruth<uint64_t> truth(data);
+
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t a = data[rng.NextBounded(data.size())];
+    uint64_t b = data[rng.NextBounded(data.size())];
+    if (b < a) std::swap(a, b);
+    auto sel = EstimateRangeSelectivity(est, a, b);
+    uint64_t true_count = truth.RankLe(b) - truth.RankLt(a);
+    EXPECT_LE(sel.min_count, true_count) << "[" << a << "," << b << "]";
+    EXPECT_GE(sel.max_count, true_count) << "[" << a << "," << b << "]";
+    EXPECT_GE(sel.point_fraction, 0.0);
+    EXPECT_LE(sel.point_fraction, 1.0);
+  }
+}
+
+TEST(SelectivityTest, BracketWidthBoundedByBudget) {
+  std::vector<uint64_t> data(50000);
+  std::iota(data.begin(), data.end(), 0);
+  auto est = MakeEstimator(data);
+  auto sel = EstimateRangeSelectivity(est, uint64_t{10000}, uint64_t{30000});
+  // Width of the bracket <= 2 * (per-value slack) which is ~2*n/s.
+  EXPECT_LE(sel.max_count - sel.min_count,
+            4 * est.max_rank_error() + 4 * est.sample_list()
+                                                .accounting()
+                                                .subrun_size);
+  // And the point estimate lands near the true 20001.
+  EXPECT_NEAR(sel.point_fraction, 0.4, 0.02);
+}
+
+TEST(SelectivityTest, OneSidedPredicate) {
+  std::vector<uint64_t> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  auto est = MakeEstimator(data, 1000, 100);
+  GroundTruth<uint64_t> truth(data);
+  auto sel = EstimateAtMostSelectivity(est, uint64_t{2500});
+  EXPECT_LE(sel.min_count, truth.RankLe(2500));
+  EXPECT_GE(sel.max_count, truth.RankLe(2500));
+  EXPECT_NEAR(sel.point_fraction, 0.25, 0.05);
+}
+
+TEST(SelectivityTest, EmptyRange) {
+  std::vector<uint64_t> data(10000);
+  std::iota(data.begin(), data.end(), 5000);
+  auto est = MakeEstimator(data, 1000, 100);
+  auto sel = EstimateRangeSelectivity(est, uint64_t{0}, uint64_t{100});
+  EXPECT_EQ(sel.min_count, 0u);
+  // max_count may be small but nonzero (slack), bounded by the budget.
+  EXPECT_LE(sel.max_count, 2 * est.max_rank_error());
+}
+
+// --------------------------------------------------------- Partitioner ----
+
+TEST(RangePartitionerTest, PartitionSizesWithinCertifiedBound) {
+  DatasetSpec spec;
+  spec.n = 80000;
+  spec.distribution = Distribution::kUniform;
+  spec.duplicate_fraction = 0.0;
+  auto data = GenerateDataset<uint64_t>(spec);
+  auto est = MakeEstimator(data);
+  for (int parts : {2, 4, 8, 16}) {
+    auto partitioner = RangePartitioner<uint64_t>::Build(est, parts);
+    auto counts = partitioner.CountPartitionSizes(data);
+    ASSERT_EQ(counts.size(), static_cast<size_t>(parts));
+    uint64_t total = 0;
+    for (uint64_t c : counts) {
+      EXPECT_LE(c, partitioner.MaxPartitionSize()) << parts << " parts";
+      total += c;
+    }
+    EXPECT_EQ(total, data.size());
+  }
+}
+
+TEST(RangePartitionerTest, SplittersAreSortedDataValues) {
+  DatasetSpec spec;
+  spec.n = 30000;
+  spec.distribution = Distribution::kZipf;
+  auto data = GenerateDataset<uint64_t>(spec);
+  auto est = MakeEstimator(data);
+  auto partitioner = RangePartitioner<uint64_t>::Build(est, 8);
+  ASSERT_EQ(partitioner.splitters().size(), 7u);
+  EXPECT_TRUE(std::is_sorted(partitioner.splitters().begin(),
+                             partitioner.splitters().end()));
+  GroundTruth<uint64_t> truth(data);
+  for (uint64_t s : partitioner.splitters()) {
+    EXPECT_GT(truth.CountEqual(s), 0u) << "splitter must be a data value";
+  }
+}
+
+TEST(RangePartitionerTest, PartitionOfIsConsistentWithSplitters) {
+  std::vector<uint64_t> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  auto est = MakeEstimator(data, 1000, 100);
+  auto partitioner = RangePartitioner<uint64_t>::Build(est, 4);
+  EXPECT_EQ(partitioner.PartitionOf(0), 0);
+  EXPECT_EQ(partitioner.PartitionOf(9999), 3);
+  for (size_t i = 0; i < partitioner.splitters().size(); ++i) {
+    // A value equal to splitter i goes to partition <= i.
+    EXPECT_LE(partitioner.PartitionOf(partitioner.splitters()[i]),
+              static_cast<int>(i));
+  }
+}
+
+TEST(RangePartitionerTest, ExternalSortUseCase) {
+  // The paper's external-sort story: partitions small enough for memory.
+  DatasetSpec spec;
+  spec.n = 100000;
+  spec.distribution = Distribution::kNormal;
+  spec.duplicate_fraction = 0.0;
+  auto data = GenerateDataset<uint64_t>(spec);
+  auto est = MakeEstimator(data, 10000, 1000);
+  const uint64_t memory_budget = 15000;  // elements per partition buffer
+  const int parts = 10;                  // 100000/10 + slack < 15000
+  auto partitioner = RangePartitioner<uint64_t>::Build(est, parts);
+  ASSERT_LE(partitioner.MaxPartitionSize(), memory_budget);
+  auto counts = partitioner.CountPartitionSizes(data);
+  for (uint64_t c : counts) EXPECT_LE(c, memory_budget);
+}
+
+}  // namespace
+}  // namespace opaq

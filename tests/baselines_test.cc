@@ -1,0 +1,394 @@
+// Unit tests for src/baselines: reservoir sampling, the [AS95]-style
+// adaptive histogram, P2, Munro-Paterson, and Greenwald-Khanna. Each is
+// validated for interface contracts and for reasonable accuracy on known
+// distributions (they are point estimators — the accuracy thresholds are
+// deliberately loose; the *bounded* error story belongs to OPAQ).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "baselines/as95_histogram.h"
+#include "baselines/gk.h"
+#include "baselines/kll.h"
+#include "baselines/munro_paterson.h"
+#include "baselines/p2.h"
+#include "baselines/reservoir_sample.h"
+#include "data/dataset.h"
+#include "metrics/ground_truth.h"
+#include "metrics/rer.h"
+
+namespace opaq {
+namespace {
+
+std::vector<double> Dectiles() {
+  std::vector<double> out;
+  for (int d = 1; d <= 9; ++d) out.push_back(d / 10.0);
+  return out;
+}
+
+// Feeds `data` and checks each dectile's point-RER_A against `limit_pct`.
+template <typename Estimator>
+void ExpectDectileAccuracy(Estimator& estimator,
+                           const std::vector<uint64_t>& data,
+                           double limit_pct) {
+  for (uint64_t v : data) estimator.Add(v);
+  GroundTruth<uint64_t> truth(data);
+  for (double phi : Dectiles()) {
+    auto est = estimator.EstimateQuantile(phi);
+    ASSERT_TRUE(est.ok()) << estimator.name() << " phi=" << phi;
+    double err = PointRerA(truth, *est, truth.TargetRank(phi));
+    EXPECT_LE(err, limit_pct)
+        << estimator.name() << " phi=" << phi << " est=" << *est;
+  }
+}
+
+std::vector<uint64_t> UniformData(uint64_t n, uint64_t seed = 1) {
+  DatasetSpec spec;
+  spec.n = n;
+  spec.seed = seed;
+  spec.distribution = Distribution::kUniform;
+  return GenerateDataset<uint64_t>(spec);
+}
+
+std::vector<uint64_t> ZipfData(uint64_t n, uint64_t seed = 1) {
+  DatasetSpec spec;
+  spec.n = n;
+  spec.seed = seed;
+  spec.distribution = Distribution::kZipf;
+  return GenerateDataset<uint64_t>(spec);
+}
+
+// --------------------------------------------------------------- Reservoir --
+
+TEST(ReservoirTest, KeepsAtMostCapacity) {
+  ReservoirSampleEstimator<uint64_t> r(100, 7);
+  for (uint64_t i = 0; i < 10000; ++i) r.Add(i);
+  EXPECT_EQ(r.count(), 10000u);
+  EXPECT_EQ(r.MemoryElements(), 100u);
+}
+
+TEST(ReservoirTest, SmallStreamIsExact) {
+  ReservoirSampleEstimator<uint64_t> r(100, 7);
+  for (uint64_t i = 1; i <= 50; ++i) r.Add(i);
+  auto est = r.EstimateQuantile(0.5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(*est, 25u);  // exact: all elements retained
+}
+
+TEST(ReservoirTest, AccuracyOnUniform) {
+  ReservoirSampleEstimator<uint64_t> r(3000, 11);
+  ExpectDectileAccuracy(r, UniformData(200000), 5.0);
+}
+
+TEST(ReservoirTest, AccuracyOnZipf) {
+  ReservoirSampleEstimator<uint64_t> r(3000, 11);
+  ExpectDectileAccuracy(r, ZipfData(200000), 5.0);
+}
+
+TEST(ReservoirTest, NoDataFails) {
+  ReservoirSampleEstimator<uint64_t> r(10, 1);
+  EXPECT_FALSE(r.EstimateQuantile(0.5).ok());
+}
+
+TEST(ReservoirTest, RejectsBadPhi) {
+  ReservoirSampleEstimator<uint64_t> r(10, 1);
+  r.Add(1);
+  EXPECT_FALSE(r.EstimateQuantile(0.0).ok());
+  EXPECT_FALSE(r.EstimateQuantile(1.5).ok());
+}
+
+TEST(ReservoirTest, ConsumeFileInterface) {
+  auto data = UniformData(5000);
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+  ReservoirSampleEstimator<uint64_t> r(1000, 3);
+  ASSERT_TRUE(r.ConsumeFile(&*file, 512).ok());
+  EXPECT_EQ(r.count(), 5000u);
+}
+
+// ---------------------------------------------------------------- AS95 ----
+
+TEST(As95Test, ExactOnNarrowRange) {
+  As95HistogramEstimator<uint64_t> h(1000);
+  std::vector<uint64_t> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  ExpectDectileAccuracy(h, data, 1.0);
+}
+
+TEST(As95Test, AdaptsToGrowingRange) {
+  As95HistogramEstimator<uint64_t> h(512);
+  // Values arrive small first, then jump orders of magnitude.
+  std::vector<uint64_t> data;
+  for (uint64_t i = 0; i < 5000; ++i) data.push_back(i % 100);
+  for (uint64_t i = 0; i < 5000; ++i) data.push_back(1000000 + i);
+  for (uint64_t v : data) h.Add(v);
+  GroundTruth<uint64_t> truth(data);
+  auto est = h.EstimateQuantile(0.5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(0.5)), 2.0);
+}
+
+TEST(As95Test, AccuracyOnUniform) {
+  As95HistogramEstimator<uint64_t> h(3000);
+  ExpectDectileAccuracy(h, UniformData(200000), 2.0);
+}
+
+TEST(As95Test, AccuracyOnZipf) {
+  // Skew hurts equi-width histograms (the paper's point about [AS95]);
+  // allow a visibly looser threshold.
+  As95HistogramEstimator<uint64_t> h(3000);
+  ExpectDectileAccuracy(h, ZipfData(200000), 15.0);
+}
+
+TEST(As95Test, MemoryChargesBuckets) {
+  As95HistogramEstimator<uint64_t> h(128);
+  EXPECT_EQ(h.MemoryElements(), 128u);
+}
+
+TEST(As95Test, RequiresEvenBuckets) {
+  EXPECT_DEATH(As95HistogramEstimator<uint64_t>(7), "even");
+}
+
+TEST(As95Test, SingleValueStream) {
+  As95HistogramEstimator<uint64_t> h(16);
+  for (int i = 0; i < 100; ++i) h.Add(42);
+  auto est = h.EstimateQuantile(0.5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(static_cast<double>(*est), 42.0, 1.0);
+}
+
+// ------------------------------------------------------------------ P2 ----
+
+TEST(P2Test, ExactUnderFiveObservations) {
+  P2Estimator<uint64_t> p2({0.5});
+  p2.Add(30);
+  p2.Add(10);
+  p2.Add(20);
+  auto est = p2.EstimateQuantile(0.5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(*est, 20u);
+}
+
+TEST(P2Test, RejectsUnregisteredPhi) {
+  P2Estimator<uint64_t> p2({0.5});
+  p2.Add(1);
+  EXPECT_FALSE(p2.EstimateQuantile(0.25).ok());
+}
+
+TEST(P2Test, MedianOnUniformConverges) {
+  P2Estimator<uint64_t> p2(Dectiles());
+  ExpectDectileAccuracy(p2, UniformData(100000), 3.0);
+}
+
+TEST(P2Test, ConstantMemory) {
+  P2Estimator<uint64_t> p2(Dectiles());
+  uint64_t before = p2.MemoryElements();
+  for (uint64_t i = 0; i < 50000; ++i) p2.Add(i);
+  EXPECT_EQ(p2.MemoryElements(), before);  // O(1) by construction
+  EXPECT_EQ(p2.count(), 50000u);
+}
+
+TEST(P2Test, MonotoneQuantilesOnSmoothData) {
+  P2Estimator<double> p2(Dectiles());
+  DatasetSpec spec;
+  spec.n = 50000;
+  spec.distribution = Distribution::kNormal;
+  for (double v : GenerateDataset<double>(spec)) p2.Add(v);
+  double prev = -1;
+  for (double phi : Dectiles()) {
+    auto est = p2.EstimateQuantile(phi);
+    ASSERT_TRUE(est.ok());
+    EXPECT_GE(*est, prev);
+    prev = *est;
+  }
+}
+
+// -------------------------------------------------------- Munro-Paterson --
+
+TEST(MunroPatersonTest, ExactWhileDataFitsOneBuffer) {
+  MunroPatersonEstimator<uint64_t> mp(1024);
+  std::vector<uint64_t> data(1000);
+  std::iota(data.begin(), data.end(), 1);
+  for (uint64_t v : data) mp.Add(v);
+  auto est = mp.EstimateQuantile(0.5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(*est, 500u);
+}
+
+TEST(MunroPatersonTest, CollapsesToLogBuffers) {
+  MunroPatersonEstimator<uint64_t> mp(256);
+  for (uint64_t i = 0; i < 100000; ++i) mp.Add(i);
+  // 100000/256 ≈ 391 level-0 buffers collapse into <= log2(391)+1 levels.
+  EXPECT_LE(mp.num_levels(), 10u);
+  EXPECT_LE(mp.MemoryElements(), 256u * 12);
+}
+
+TEST(MunroPatersonTest, AccuracyOnUniform) {
+  MunroPatersonEstimator<uint64_t> mp(3000);
+  ExpectDectileAccuracy(mp, UniformData(200000), 3.0);
+}
+
+TEST(MunroPatersonTest, AccuracyOnZipf) {
+  MunroPatersonEstimator<uint64_t> mp(3000);
+  ExpectDectileAccuracy(mp, ZipfData(200000), 3.0);
+}
+
+TEST(MunroPatersonTest, NoDataFails) {
+  MunroPatersonEstimator<uint64_t> mp(16);
+  EXPECT_FALSE(mp.EstimateQuantile(0.5).ok());
+}
+
+// ------------------------------------------------------------------- GK ----
+
+TEST(GkTest, SummaryStaysSmall) {
+  GkEstimator<uint64_t> gk(0.01);
+  for (uint64_t i = 0; i < 100000; ++i) gk.Add(i * 2654435761u % 1000000);
+  // Theory: O(1/eps * log(eps n)) tuples; 0.01 => a few hundred.
+  EXPECT_LE(gk.num_tuples(), 2000u);
+}
+
+TEST(GkTest, ErrorWithinEpsilonOnUniform) {
+  const double eps = 0.01;
+  GkEstimator<uint64_t> gk(eps);
+  auto data = UniformData(100000);
+  for (uint64_t v : data) gk.Add(v);
+  GroundTruth<uint64_t> truth(data);
+  for (double phi : Dectiles()) {
+    auto est = gk.EstimateQuantile(phi);
+    ASSERT_TRUE(est.ok());
+    // PointRerA is rank distance in percent; eps*n ranks == eps*100 percent.
+    EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(phi)),
+              eps * 100 + 0.01);
+  }
+}
+
+TEST(GkTest, ErrorWithinEpsilonOnZipf) {
+  const double eps = 0.01;
+  GkEstimator<uint64_t> gk(eps);
+  auto data = ZipfData(100000);
+  for (uint64_t v : data) gk.Add(v);
+  GroundTruth<uint64_t> truth(data);
+  for (double phi : Dectiles()) {
+    auto est = gk.EstimateQuantile(phi);
+    ASSERT_TRUE(est.ok());
+    EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(phi)),
+              eps * 100 + 0.01);
+  }
+}
+
+TEST(GkTest, ExtremesAreExact) {
+  GkEstimator<uint64_t> gk(0.05);
+  auto data = UniformData(20000);
+  for (uint64_t v : data) gk.Add(v);
+  GroundTruth<uint64_t> truth(data);
+  auto max_est = gk.EstimateQuantile(1.0);
+  ASSERT_TRUE(max_est.ok());
+  EXPECT_EQ(*max_est, truth.ValueAtRank(truth.n()));
+}
+
+TEST(GkTest, SortedInsertionOrder) {
+  GkEstimator<uint64_t> gk(0.02);
+  for (uint64_t i = 0; i < 50000; ++i) gk.Add(i);
+  GroundTruth<uint64_t> truth([] {
+    std::vector<uint64_t> v(50000);
+    std::iota(v.begin(), v.end(), 0);
+    return v;
+  }());
+  auto est = gk.EstimateQuantile(0.5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(0.5)), 2.0 + 0.01);
+}
+
+// ------------------------------------------------------------------ KLL ----
+
+TEST(KllTest, MemoryStaysLogarithmic) {
+  KllEstimator<uint64_t> kll(256, 3);
+  for (uint64_t i = 0; i < 500000; ++i) kll.Add(i * 2654435761u % 1000000);
+  // Sum of k * (2/3)^i capacities converges to ~3k.
+  EXPECT_LE(kll.MemoryElements(), 256u * 4);
+  EXPECT_LE(kll.num_levels(), 16u);
+}
+
+TEST(KllTest, AccuracyOnUniform) {
+  KllEstimator<uint64_t> kll(1024, 5);
+  ExpectDectileAccuracy(kll, UniformData(200000), 2.0);
+}
+
+TEST(KllTest, AccuracyOnZipf) {
+  KllEstimator<uint64_t> kll(1024, 5);
+  ExpectDectileAccuracy(kll, ZipfData(200000), 2.0);
+}
+
+TEST(KllTest, AccuracyOnSortedInput) {
+  KllEstimator<uint64_t> kll(1024, 5);
+  std::vector<uint64_t> data(200000);
+  std::iota(data.begin(), data.end(), 0);
+  ExpectDectileAccuracy(kll, data, 2.0);
+}
+
+TEST(KllTest, SmallStreamIsExact) {
+  KllEstimator<uint64_t> kll(64, 1);
+  for (uint64_t i = 1; i <= 30; ++i) kll.Add(i);
+  auto est = kll.EstimateQuantile(0.5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(*est, 15u);
+}
+
+TEST(KllTest, LargerKIsMoreAccurate) {
+  auto data = UniformData(300000, 9);
+  GroundTruth<uint64_t> truth(data);
+  double errors[2];
+  size_t idx = 0;
+  for (size_t k : {64, 2048}) {
+    KllEstimator<uint64_t> kll(k, 7);
+    for (uint64_t v : data) kll.Add(v);
+    double worst = 0;
+    for (double phi : Dectiles()) {
+      auto est = kll.EstimateQuantile(phi);
+      ASSERT_TRUE(est.ok());
+      worst = std::max(worst,
+                       PointRerA(truth, *est, truth.TargetRank(phi)));
+    }
+    errors[idx++] = worst;
+  }
+  EXPECT_LT(errors[1], errors[0]);
+}
+
+TEST(KllTest, NoDataFails) {
+  KllEstimator<uint64_t> kll(64, 1);
+  EXPECT_FALSE(kll.EstimateQuantile(0.5).ok());
+  kll.Add(1);
+  EXPECT_FALSE(kll.EstimateQuantile(1.5).ok());
+}
+
+// -------------------------------------- Polymorphic use through the base --
+
+TEST(EstimatorInterfaceTest, WorksThroughBasePointer) {
+  std::vector<std::unique_ptr<StreamingQuantileEstimator<uint64_t>>> all;
+  all.push_back(std::make_unique<ReservoirSampleEstimator<uint64_t>>(500, 1));
+  all.push_back(std::make_unique<As95HistogramEstimator<uint64_t>>(500));
+  all.push_back(std::make_unique<P2Estimator<uint64_t>>(Dectiles()));
+  all.push_back(std::make_unique<MunroPatersonEstimator<uint64_t>>(500));
+  all.push_back(std::make_unique<GkEstimator<uint64_t>>(0.02));
+  all.push_back(std::make_unique<KllEstimator<uint64_t>>(512, 4));
+
+  auto data = UniformData(30000);
+  GroundTruth<uint64_t> truth(data);
+  for (auto& estimator : all) {
+    for (uint64_t v : data) estimator->Add(v);
+    EXPECT_EQ(estimator->count(), data.size()) << estimator->name();
+    auto est = estimator->EstimateQuantile(0.5);
+    ASSERT_TRUE(est.ok()) << estimator->name();
+    EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(0.5)), 10.0)
+        << estimator->name();
+    EXPECT_GT(estimator->MemoryElements(), 0u);
+    EXPECT_FALSE(estimator->name().empty());
+  }
+}
+
+}  // namespace
+}  // namespace opaq

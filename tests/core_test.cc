@@ -1,0 +1,579 @@
+// Unit + property tests for src/core: k-way merge, sample lists, the
+// estimator (Lemma 1-3 guarantees swept over configurations via TEST_P),
+// incremental merging, the exact second pass, and config validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "core/exact.h"
+#include "core/kway_merge.h"
+#include "core/opaq.h"
+#include "data/dataset.h"
+#include "io/block_device.h"
+#include "metrics/ground_truth.h"
+#include "metrics/rer.h"
+
+namespace opaq {
+namespace {
+
+// ------------------------------------------------------------- KWayMerge --
+
+TEST(KWayMergeTest, MergesManySortedLists) {
+  std::vector<std::vector<int>> lists{{1, 4, 7}, {2, 5, 8}, {3, 6, 9}, {}};
+  auto merged = KWayMergeSorted(lists);
+  EXPECT_EQ(merged, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(KWayMergeTest, SingleList) {
+  std::vector<std::vector<int>> lists{{1, 2, 3}};
+  EXPECT_EQ(KWayMergeSorted(lists), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(KWayMergeTest, AllEmpty) {
+  std::vector<std::vector<int>> lists{{}, {}};
+  EXPECT_TRUE(KWayMergeSorted(lists).empty());
+}
+
+TEST(KWayMergeTest, DuplicateHeavyLists) {
+  std::vector<std::vector<int>> lists{{1, 1, 1}, {1, 1}, {0, 1, 2}};
+  EXPECT_EQ(KWayMergeSorted(lists),
+            (std::vector<int>{0, 1, 1, 1, 1, 1, 1, 2}));
+}
+
+TEST(KWayMergeTest, MatchesStdSortOnRandomLists) {
+  Xoshiro256 rng(3);
+  std::vector<std::vector<uint64_t>> lists(17);
+  std::vector<uint64_t> all;
+  for (auto& list : lists) {
+    size_t len = rng.NextBounded(50);
+    for (size_t i = 0; i < len; ++i) list.push_back(rng.NextBounded(1000));
+    std::sort(list.begin(), list.end());
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(KWayMergeSorted(lists), all);
+}
+
+TEST(MergeSortedTest, TwoWayMerge) {
+  EXPECT_EQ(MergeSorted<int>({1, 3, 5}, {2, 4}),
+            (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(MergeSorted<int>({}, {1}), (std::vector<int>{1}));
+  EXPECT_EQ(MergeSorted<int>({2, 2}, {2}), (std::vector<int>{2, 2, 2}));
+}
+
+// ------------------------------------------------------------ SampleList --
+
+TEST(SampleListBuilderTest, AccountsRunsAndUncovered) {
+  SampleListBuilder<uint64_t> builder(10);
+  builder.AddRunSamples({5, 15, 25, 35}, 40);   // full run, 4 samples
+  builder.AddRunSamples({7, 17}, 23);            // tail run: 2 samples, 3 uncovered
+  EXPECT_EQ(builder.num_runs(), 2u);
+  EXPECT_EQ(builder.total_elements(), 63u);
+  SampleList<uint64_t> list = builder.Finalize();
+  EXPECT_EQ(list.accounting().num_samples, 6u);
+  EXPECT_EQ(list.accounting().num_uncovered, 3u);
+  EXPECT_EQ(list.samples(), (std::vector<uint64_t>{5, 7, 15, 17, 25, 35}));
+  EXPECT_TRUE(list.accounting().Valid());
+}
+
+TEST(SampleListBuilderTest, FinalizeResetsBuilder) {
+  SampleListBuilder<uint64_t> builder(5);
+  builder.AddRunSamples({1, 2}, 10);
+  builder.Finalize();
+  EXPECT_EQ(builder.num_runs(), 0u);
+  builder.AddRunSamples({3, 4}, 10);
+  SampleList<uint64_t> list = builder.Finalize();
+  EXPECT_EQ(list.accounting().num_runs, 1u);
+}
+
+TEST(SampleListTest, At1UsesPaperIndexing) {
+  SampleListBuilder<uint64_t> builder(1);
+  builder.AddRunSamples({10, 20, 30}, 3);
+  SampleList<uint64_t> list = builder.Finalize();
+  EXPECT_EQ(list.At1(1), 10u);
+  EXPECT_EQ(list.At1(3), 30u);
+}
+
+TEST(SampleListTest, CountingQueries) {
+  SampleListBuilder<uint64_t> builder(1);
+  builder.AddRunSamples({10, 20, 20, 30}, 4);
+  SampleList<uint64_t> list = builder.Finalize();
+  EXPECT_EQ(list.CountLess(20), 1u);
+  EXPECT_EQ(list.CountLessEqual(20), 3u);
+  EXPECT_EQ(list.CountLess(5), 0u);
+  EXPECT_EQ(list.CountLessEqual(99), 4u);
+}
+
+TEST(SampleListTest, MergeCombinesAccounting) {
+  SampleListBuilder<uint64_t> b1(10), b2(10);
+  b1.AddRunSamples({5, 15}, 20);
+  b2.AddRunSamples({10, 20}, 20);
+  b2.AddRunSamples({1, 2}, 23);  // 3 uncovered
+  auto merged = SampleList<uint64_t>::Merge(b1.Finalize(), b2.Finalize());
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->accounting().num_runs, 3u);
+  EXPECT_EQ(merged->accounting().num_samples, 6u);
+  EXPECT_EQ(merged->accounting().num_uncovered, 3u);
+  EXPECT_EQ(merged->accounting().total_elements, 63u);
+  EXPECT_TRUE(std::is_sorted(merged->samples().begin(),
+                             merged->samples().end()));
+}
+
+TEST(SampleListTest, MergeRejectsDifferentSubrunSizes) {
+  SampleListBuilder<uint64_t> b1(10), b2(20);
+  b1.AddRunSamples({5}, 10);
+  b2.AddRunSamples({5}, 20);
+  auto merged = SampleList<uint64_t>::Merge(b1.Finalize(), b2.Finalize());
+  EXPECT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SampleListTest, MergeWithEmptyIsIdentity) {
+  SampleListBuilder<uint64_t> b(10);
+  b.AddRunSamples({5, 15}, 20);
+  SampleList<uint64_t> list = b.Finalize();
+  auto merged = SampleList<uint64_t>::Merge(list, SampleList<uint64_t>());
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->samples(), list.samples());
+}
+
+// ---------------------------------------------------------------- Config --
+
+TEST(OpaqConfigTest, ValidatesDivisibility) {
+  OpaqConfig config;
+  config.run_size = 100;
+  config.samples_per_run = 10;
+  EXPECT_TRUE(config.Validate().ok());
+  config.samples_per_run = 7;  // does not divide 100
+  EXPECT_FALSE(config.Validate().ok());
+  config.samples_per_run = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.samples_per_run = 200;  // > run_size
+  EXPECT_FALSE(config.Validate().ok());
+  config.run_size = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(OpaqConfigTest, MemoryConstraintOfSection23) {
+  OpaqConfig config;
+  config.run_size = 100;
+  config.samples_per_run = 10;
+  // n=1000 => r=10 runs => r*s + m = 100 + 100 = 200 elements needed.
+  EXPECT_TRUE(config.Validate(1000, 200).ok());
+  EXPECT_FALSE(config.Validate(1000, 199).ok());
+  // Budget 0 means "don't check".
+  EXPECT_TRUE(config.Validate(1000, 0).ok());
+}
+
+TEST(OpaqConfigTest, ToStringMentionsParameters) {
+  OpaqConfig config;
+  config.run_size = 64;
+  config.samples_per_run = 8;
+  std::string s = config.ToString();
+  EXPECT_NE(s.find("m=64"), std::string::npos);
+  EXPECT_NE(s.find("s=8"), std::string::npos);
+  EXPECT_NE(s.find("c=8"), std::string::npos);
+}
+
+// ----------------------------------------------- Estimator on known data --
+
+TEST(EstimatorTest, SingleRunExactMachinery) {
+  // 100 elements 0..99 in one run with c=10: samples are 9,19,...,99.
+  OpaqConfig config;
+  config.run_size = 100;
+  config.samples_per_run = 10;
+  std::vector<uint64_t> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  EXPECT_EQ(est.total_elements(), 100u);
+
+  auto median = est.Quantile(0.5);  // psi = 50
+  EXPECT_EQ(median.target_rank, 50u);
+  EXPECT_EQ(median.lower, 49u);   // sample index floor(50/10)=5 => value 49
+  EXPECT_EQ(median.upper, 49u);   // ceil(50/10)=5 => value 49
+  EXPECT_FALSE(median.lower_clamped);
+  EXPECT_FALSE(median.upper_clamped);
+  EXPECT_EQ(median.max_rank_error, 10u);  // c + 0 slack
+}
+
+TEST(EstimatorTest, QuantileByRankEdges) {
+  OpaqConfig config;
+  config.run_size = 100;
+  config.samples_per_run = 10;
+  std::vector<uint64_t> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+
+  auto first = est.QuantileByRank(1);
+  EXPECT_TRUE(first.lower_clamped);  // no certified lower bound at rank 1
+  EXPECT_EQ(first.upper, 9u);        // ceil(1/10) = 1 => first sample
+
+  auto last = est.QuantileByRank(100);
+  EXPECT_EQ(last.upper, 99u);
+  EXPECT_EQ(last.lower, 99u);
+  EXPECT_FALSE(last.upper_clamped);
+}
+
+TEST(EstimatorTest, EquiQuantilesCountAndOrder) {
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 100;
+  std::vector<uint64_t> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  auto dectiles = est.EquiQuantiles(10);
+  ASSERT_EQ(dectiles.size(), 9u);
+  for (size_t i = 1; i < dectiles.size(); ++i) {
+    EXPECT_LE(dectiles[i - 1].lower, dectiles[i].lower);
+    EXPECT_LE(dectiles[i - 1].upper, dectiles[i].upper);
+  }
+}
+
+TEST(EstimatorTest, RankEstimateBracketsTrueRank) {
+  OpaqConfig config;
+  config.run_size = 500;
+  config.samples_per_run = 50;
+  DatasetSpec spec;
+  spec.n = 5000;
+  spec.distribution = Distribution::kUniform;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  GroundTruth<uint64_t> truth(data);
+
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t probe = data[rng.NextBounded(data.size())];
+    RankEstimate r = est.EstimateRank(probe);
+    EXPECT_LE(r.min_rank_le, truth.RankLe(probe));
+    EXPECT_GE(r.max_rank_le, truth.RankLe(probe));
+    EXPECT_LE(r.min_rank_lt, truth.RankLt(probe));
+    EXPECT_GE(r.max_rank_lt, truth.RankLt(probe));
+  }
+}
+
+// -------------------------------- Property sweep: Lemmas 1-3 via TEST_P --
+
+class OpaqGuaranteeTest
+    : public ::testing::TestWithParam<
+          std::tuple<Distribution, uint64_t, uint64_t, uint64_t>> {};
+
+TEST_P(OpaqGuaranteeTest, BracketsAndErrorBoundsHoldForAllDectiles) {
+  const Distribution distribution = std::get<0>(GetParam());
+  const uint64_t n = std::get<1>(GetParam());
+  const uint64_t m = std::get<2>(GetParam());
+  const uint64_t s = std::get<3>(GetParam());
+
+  DatasetSpec spec;
+  spec.n = n;
+  spec.distribution = distribution;
+  spec.seed = n ^ (m << 8) ^ (s << 16);
+  auto data = GenerateDataset<uint64_t>(spec);
+
+  OpaqConfig config;
+  config.run_size = m;
+  config.samples_per_run = s;
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  GroundTruth<uint64_t> truth(data);
+
+  ASSERT_EQ(est.total_elements(), n);
+  for (int d = 1; d <= 9; ++d) {
+    auto e = est.Quantile(d / 10.0);
+    EXPECT_TRUE(BracketHolds(truth, e))
+        << DistributionName(distribution) << " n=" << n << " m=" << m
+        << " s=" << s << " dectile=" << d;
+  }
+  // Lemma 3 in element counts: at most 2*budget elements strictly inside
+  // the bracket beyond the duplicates of the bounds themselves.
+  auto mid = est.Quantile(0.5);
+  if (!mid.lower_clamped && !mid.upper_clamped) {
+    uint64_t inside = truth.CountInClosedRange(mid.lower, mid.upper);
+    uint64_t dups = truth.CountEqual(mid.lower) + truth.CountEqual(mid.upper);
+    EXPECT_LE(inside, 2 * mid.max_rank_error + dups);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OpaqGuaranteeTest,
+    ::testing::Combine(
+        ::testing::Values(Distribution::kUniform, Distribution::kZipf,
+                          Distribution::kNormal, Distribution::kSequential,
+                          Distribution::kReverseSequential,
+                          Distribution::kConstant, Distribution::kSawtooth),
+        ::testing::Values(uint64_t{10000}, uint64_t{100000}),
+        ::testing::Values(uint64_t{1000}, uint64_t{5000}),
+        ::testing::Values(uint64_t{10}, uint64_t{100}, uint64_t{500})),
+    [](const auto& info) {
+      return std::string(DistributionName(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_m" +
+             std::to_string(std::get<2>(info.param)) + "_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(OpaqGuaranteeTest2, NonDivisibleTailRunStillBrackets) {
+  // n not divisible by m: the tail run has uncovered elements; bounds stay
+  // sound (with the widened budget).
+  DatasetSpec spec;
+  spec.n = 10037;  // prime-ish
+  spec.distribution = Distribution::kUniform;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 100;
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  GroundTruth<uint64_t> truth(data);
+  EXPECT_GT(est.sample_list().accounting().num_uncovered, 0u);
+  for (int d = 1; d <= 9; ++d) {
+    EXPECT_TRUE(BracketHolds(truth, est.Quantile(d / 10.0))) << d;
+  }
+}
+
+TEST(OpaqGuaranteeTest2, SelectionAlgorithmDoesNotChangeSamples) {
+  // The sample at a regular rank is a fixed order statistic, so the whole
+  // estimate is identical across selection algorithms.
+  DatasetSpec spec;
+  spec.n = 50000;
+  spec.distribution = Distribution::kZipf;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 5000;
+  config.samples_per_run = 100;
+
+  std::vector<std::vector<uint64_t>> sample_lists;
+  for (SelectAlgorithm a :
+       {SelectAlgorithm::kStdNthElement, SelectAlgorithm::kMedianOfMedians,
+        SelectAlgorithm::kFloydRivest, SelectAlgorithm::kIntroSelect}) {
+    config.select_algorithm = a;
+    OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+    sample_lists.push_back(est.sample_list().samples());
+  }
+  for (size_t i = 1; i < sample_lists.size(); ++i) {
+    EXPECT_EQ(sample_lists[i], sample_lists[0]);
+  }
+}
+
+// ---------------------------------------------------- Incremental merging --
+
+TEST(IncrementalTest, MergedSketchEqualsOneShotSketch) {
+  // Paper §4: keep the sorted samples of old runs; sample only the new runs
+  // and merge. Result must equal sampling everything at once.
+  DatasetSpec spec;
+  spec.n = 40000;
+  spec.distribution = Distribution::kUniform;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 2000;
+  config.samples_per_run = 200;
+
+  // One-shot over the whole data.
+  OpaqEstimator<uint64_t> whole = EstimateQuantilesInMemory(data, config);
+
+  // Split into "old" and "new" halves, sketch separately, merge.
+  std::vector<uint64_t> old_half(data.begin(), data.begin() + 20000);
+  std::vector<uint64_t> new_half(data.begin() + 20000, data.end());
+  OpaqEstimator<uint64_t> old_est = EstimateQuantilesInMemory(old_half, config);
+  OpaqEstimator<uint64_t> new_est = EstimateQuantilesInMemory(new_half, config);
+  auto merged = SampleList<uint64_t>::Merge(old_est.sample_list(),
+                                            new_est.sample_list());
+  ASSERT_TRUE(merged.ok());
+  OpaqEstimator<uint64_t> combined(std::move(merged).value());
+
+  EXPECT_EQ(combined.sample_list().samples(),
+            whole.sample_list().samples());
+  EXPECT_EQ(combined.total_elements(), whole.total_elements());
+  for (int d = 1; d <= 9; ++d) {
+    auto a = combined.Quantile(d / 10.0);
+    auto b = whole.Quantile(d / 10.0);
+    EXPECT_EQ(a.lower, b.lower);
+    EXPECT_EQ(a.upper, b.upper);
+  }
+}
+
+TEST(IncrementalTest, ManySmallIncrementsStaySound) {
+  DatasetSpec spec;
+  spec.n = 30000;
+  spec.distribution = Distribution::kZipf;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 50;
+
+  SampleList<uint64_t> acc;
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    std::vector<uint64_t> part(data.begin() + chunk * 3000,
+                               data.begin() + (chunk + 1) * 3000);
+    OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(part, config);
+    auto merged = SampleList<uint64_t>::Merge(acc, est.sample_list());
+    ASSERT_TRUE(merged.ok());
+    acc = std::move(merged).value();
+  }
+  OpaqEstimator<uint64_t> est(std::move(acc));
+  GroundTruth<uint64_t> truth(data);
+  for (int d = 1; d <= 9; ++d) {
+    EXPECT_TRUE(BracketHolds(truth, est.Quantile(d / 10.0))) << d;
+  }
+}
+
+// --------------------------------------------------------- File pipeline --
+
+TEST(FilePipelineTest, ConsumeFileMatchesInMemory) {
+  DatasetSpec spec;
+  spec.n = 25000;
+  spec.distribution = Distribution::kUniform;
+  auto data = GenerateDataset<uint64_t>(spec);
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+
+  OpaqConfig config;
+  config.run_size = 2500;
+  config.samples_per_run = 250;
+  OpaqSketch<uint64_t> sketch(config);
+  double io_seconds = 0;
+  ASSERT_TRUE(sketch.ConsumeFile(&*file, &io_seconds).ok());
+  EXPECT_EQ(sketch.runs_consumed(), 10u);
+  EXPECT_EQ(sketch.elements_consumed(), 25000u);
+  EXPECT_GE(io_seconds, 0.0);
+  OpaqEstimator<uint64_t> from_file = sketch.Finalize();
+  OpaqEstimator<uint64_t> in_memory = EstimateQuantilesInMemory(data, config);
+  EXPECT_EQ(from_file.sample_list().samples(),
+            in_memory.sample_list().samples());
+}
+
+TEST(FilePipelineTest, EstimateQuantilesFromFileHelper) {
+  DatasetSpec spec;
+  spec.n = 10000;
+  auto data = GenerateDataset<uint64_t>(spec);
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 100;
+  auto estimates = EstimateQuantilesFromFile(&*file, config, 10);
+  ASSERT_TRUE(estimates.ok());
+  EXPECT_EQ(estimates->size(), 9u);
+  GroundTruth<uint64_t> truth(data);
+  for (const auto& e : *estimates) EXPECT_TRUE(BracketHolds(truth, e));
+}
+
+// ------------------------------------------------------ Exact second pass --
+
+TEST(ExactSecondPassTest, RecoversExactQuantile) {
+  DatasetSpec spec;
+  spec.n = 20000;
+  spec.distribution = Distribution::kUniform;
+  auto data = GenerateDataset<uint64_t>(spec);
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+
+  OpaqConfig config;
+  config.run_size = 2000;
+  config.samples_per_run = 100;
+  OpaqSketch<uint64_t> sketch(config);
+  ASSERT_TRUE(sketch.ConsumeFile(&*file).ok());
+  OpaqEstimator<uint64_t> est = sketch.Finalize();
+  GroundTruth<uint64_t> truth(data);
+
+  for (double phi : {0.25, 0.5, 0.75, 0.9}) {
+    auto e = est.Quantile(phi);
+    ASSERT_FALSE(e.lower_clamped);
+    ASSERT_FALSE(e.upper_clamped);
+    auto exact = ExactQuantileSecondPass(&*file, e, config.run_size);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    EXPECT_EQ(*exact, truth.Quantile(phi)) << phi;
+  }
+}
+
+TEST(ExactSecondPassTest, WorksOnDuplicateHeavyData) {
+  DatasetSpec spec;
+  spec.n = 10000;
+  spec.distribution = Distribution::kZipf;
+  spec.zipf_universe = 50;  // very few distinct values
+  auto data = GenerateDataset<uint64_t>(spec);
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 100;
+  OpaqSketch<uint64_t> sketch(config);
+  ASSERT_TRUE(sketch.ConsumeFile(&*file).ok());
+  OpaqEstimator<uint64_t> est = sketch.Finalize();
+  GroundTruth<uint64_t> truth(data);
+  auto e = est.Quantile(0.5);
+  // With so few distinct values the bracket may hold many duplicates; give
+  // the pass a budget big enough to hold them.
+  auto exact = ExactQuantileSecondPass(&*file, e, config.run_size,
+                                       spec.n);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_EQ(*exact, truth.Quantile(0.5));
+}
+
+TEST(ExactSecondPassTest, RefusesClampedBounds) {
+  std::vector<uint64_t> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  OpaqConfig config;
+  config.run_size = 10;
+  config.samples_per_run = 2;  // c=5, r=10: small psi clamps
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  auto e = est.QuantileByRank(1);
+  ASSERT_TRUE(e.lower_clamped);
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+  auto exact = ExactQuantileSecondPass(&*file, e, 10);
+  EXPECT_FALSE(exact.ok());
+  EXPECT_EQ(exact.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExactSecondPassTest, BudgetExhaustionSurfaces) {
+  std::vector<uint64_t> data(1000, 7);  // all duplicates
+  OpaqConfig config;
+  config.run_size = 100;
+  config.samples_per_run = 10;
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+  auto e = est.Quantile(0.5);
+  auto exact = ExactQuantileSecondPass(&*file, e, 100, /*budget=*/10);
+  EXPECT_FALSE(exact.ok());
+  EXPECT_EQ(exact.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------- Typed sweeps --
+
+template <typename K>
+class TypedOpaqTest : public ::testing::Test {};
+
+using KeyTypes = ::testing::Types<uint32_t, uint64_t, int64_t, float, double>;
+TYPED_TEST_SUITE(TypedOpaqTest, KeyTypes);
+
+TYPED_TEST(TypedOpaqTest, BracketsHoldForEveryKeyType) {
+  DatasetSpec spec;
+  spec.n = 20000;
+  spec.distribution = Distribution::kUniform;
+  auto data = GenerateDataset<TypeParam>(spec);
+  OpaqConfig config;
+  config.run_size = 2000;
+  config.samples_per_run = 100;
+  OpaqEstimator<TypeParam> est = EstimateQuantilesInMemory(data, config);
+  GroundTruth<TypeParam> truth(data);
+  for (int d = 1; d <= 9; ++d) {
+    EXPECT_TRUE(BracketHolds(truth, est.Quantile(d / 10.0))) << d;
+  }
+}
+
+}  // namespace
+}  // namespace opaq

@@ -1,0 +1,293 @@
+// Unit tests for src/data: Zipf sampler and dataset generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "data/dataset.h"
+#include "data/zipf.h"
+#include "io/block_device.h"
+
+namespace opaq {
+namespace {
+
+// ------------------------------------------------------------------ Zipf --
+
+TEST(ZipfSamplerTest, StaysInUniverse) {
+  Xoshiro256 rng(1);
+  ZipfSampler sampler(0.8, 1000);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = sampler.Sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 1000u);
+  }
+}
+
+TEST(ZipfSamplerTest, ThetaZeroIsUniform) {
+  Xoshiro256 rng(2);
+  ZipfSampler sampler(0.0, 10);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  for (const auto& [k, c] : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9) << "rank " << k;
+    EXPECT_LT(c, kDraws / 10 * 1.1) << "rank " << k;
+  }
+}
+
+TEST(ZipfSamplerTest, FrequenciesMatchPowerLaw) {
+  // P(k) ∝ 1/k^θ: the ratio of counts of rank 1 to rank 8 should be ~8^θ.
+  Xoshiro256 rng(3);
+  const double theta = 1.0;
+  ZipfSampler sampler(theta, 1000);
+  std::unordered_map<uint64_t, int> counts;
+  constexpr int kDraws = 400000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  const double ratio = static_cast<double>(counts[1]) / counts[8];
+  EXPECT_NEAR(ratio, std::pow(8.0, theta), std::pow(8.0, theta) * 0.15);
+}
+
+TEST(ZipfSamplerTest, HigherThetaIsMoreSkewed) {
+  Xoshiro256 rng(4);
+  ZipfSampler mild(0.14, 1000);   // paper's z = 0.86
+  ZipfSampler heavy(1.0, 1000);
+  int mild_top = 0, heavy_top = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (mild.Sample(rng) <= 10) ++mild_top;
+    if (heavy.Sample(rng) <= 10) ++heavy_top;
+  }
+  EXPECT_GT(heavy_top, mild_top * 2);
+}
+
+TEST(ZipfSamplerTest, PaperParameterMapping) {
+  ZipfSampler z = ZipfSampler::FromPaperParameter(0.86, 100);
+  EXPECT_NEAR(z.theta(), 0.14, 1e-12);
+  ZipfSampler uniform = ZipfSampler::FromPaperParameter(1.0, 100);
+  EXPECT_DOUBLE_EQ(uniform.theta(), 0.0);
+}
+
+TEST(ZipfSamplerTest, UniverseOfOneAlwaysReturnsOne) {
+  Xoshiro256 rng(5);
+  ZipfSampler sampler(0.5, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 1u);
+}
+
+TEST(ZipfSamplerTest, DeterministicGivenSeed) {
+  ZipfSampler sampler(0.7, 500);
+  Xoshiro256 a(9), b(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sampler.Sample(a), sampler.Sample(b));
+  }
+}
+
+// ------------------------------------------------------------- Generators --
+
+TEST(DatasetTest, GeneratesRequestedSize) {
+  for (Distribution d :
+       {Distribution::kUniform, Distribution::kZipf, Distribution::kNormal,
+        Distribution::kSequential, Distribution::kReverseSequential,
+        Distribution::kConstant, Distribution::kSawtooth}) {
+    DatasetSpec spec;
+    spec.n = 10000;
+    spec.distribution = d;
+    auto data = GenerateDataset<uint64_t>(spec);
+    EXPECT_EQ(data.size(), 10000u) << DistributionName(d);
+  }
+}
+
+TEST(DatasetTest, DeterministicAcrossCalls) {
+  DatasetSpec spec;
+  spec.n = 5000;
+  spec.distribution = Distribution::kUniform;
+  spec.seed = 77;
+  auto a = GenerateDataset<uint64_t>(spec);
+  auto b = GenerateDataset<uint64_t>(spec);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DatasetTest, SeedChangesData) {
+  DatasetSpec spec;
+  spec.n = 5000;
+  spec.seed = 1;
+  auto a = GenerateDataset<uint64_t>(spec);
+  spec.seed = 2;
+  auto b = GenerateDataset<uint64_t>(spec);
+  EXPECT_NE(a, b);
+}
+
+TEST(DatasetTest, UniformDuplicateFractionHonoured) {
+  // Paper §2.4: n/10 duplicates. With 64-bit uniform draws, base values are
+  // (essentially) distinct, so duplicates == n - #distinct ≈ n/10.
+  DatasetSpec spec;
+  spec.n = 100000;
+  spec.distribution = Distribution::kUniform;
+  spec.duplicate_fraction = 0.1;
+  auto data = GenerateDataset<uint64_t>(spec);
+  std::set<uint64_t> distinct(data.begin(), data.end());
+  const double dup_fraction =
+      1.0 - static_cast<double>(distinct.size()) / data.size();
+  EXPECT_NEAR(dup_fraction, 0.1, 0.005);
+}
+
+TEST(DatasetTest, ZeroDuplicateFractionGivesDistinct) {
+  DatasetSpec spec;
+  spec.n = 50000;
+  spec.distribution = Distribution::kUniform;
+  spec.duplicate_fraction = 0.0;
+  auto data = GenerateDataset<uint64_t>(spec);
+  std::set<uint64_t> distinct(data.begin(), data.end());
+  EXPECT_EQ(distinct.size(), data.size());
+}
+
+TEST(DatasetTest, ZipfIsSkewedTowardSmallValues) {
+  DatasetSpec spec;
+  spec.n = 100000;
+  spec.distribution = Distribution::kZipf;
+  spec.zipf_z = 0.5;  // strong skew in paper convention
+  auto data = GenerateDataset<uint64_t>(spec);
+  uint64_t below = 0;
+  for (uint64_t v : data) {
+    if (v <= spec.n / 100) ++below;  // smallest 1% of the universe
+  }
+  // With theta=0.5 and universe=n, far more than 1% of mass is at the head.
+  EXPECT_GT(below, data.size() / 20);
+}
+
+TEST(DatasetTest, ZipfUniverseControlsDistinctValues) {
+  DatasetSpec spec;
+  spec.n = 50000;
+  spec.distribution = Distribution::kZipf;
+  spec.zipf_universe = 100;
+  auto data = GenerateDataset<uint64_t>(spec);
+  std::set<uint64_t> distinct(data.begin(), data.end());
+  EXPECT_LE(distinct.size(), 100u);
+  for (uint64_t v : data) {
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 100u);
+  }
+}
+
+TEST(DatasetTest, ScrambledZipfSpreadsValues) {
+  DatasetSpec spec;
+  spec.n = 50000;
+  spec.distribution = Distribution::kZipf;
+  spec.zipf_z = 0.5;
+  spec.scramble_zipf_values = true;
+  auto data = GenerateDataset<uint64_t>(spec);
+  // The most frequent value should no longer be near the bottom of the
+  // universe with overwhelming probability.
+  std::unordered_map<uint64_t, int> counts;
+  for (uint64_t v : data) ++counts[v];
+  uint64_t mode = 0;
+  int best = 0;
+  for (auto& [v, c] : counts) {
+    if (c > best) {
+      best = c;
+      mode = v;
+    }
+  }
+  EXPECT_GT(best, 50);       // still heavily duplicated
+  EXPECT_GT(mode, 1000u);    // but its value is scattered away from rank 1
+}
+
+TEST(DatasetTest, SequentialIsSortedDistinct) {
+  DatasetSpec spec;
+  spec.n = 1000;
+  spec.distribution = Distribution::kSequential;
+  auto data = GenerateDataset<uint64_t>(spec);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  std::set<uint64_t> distinct(data.begin(), data.end());
+  EXPECT_EQ(distinct.size(), data.size());
+}
+
+TEST(DatasetTest, ReverseSequentialIsReverseSorted) {
+  DatasetSpec spec;
+  spec.n = 1000;
+  spec.distribution = Distribution::kReverseSequential;
+  auto data = GenerateDataset<uint64_t>(spec);
+  EXPECT_TRUE(std::is_sorted(data.rbegin(), data.rend()));
+}
+
+TEST(DatasetTest, ConstantIsAllEqual) {
+  DatasetSpec spec;
+  spec.n = 100;
+  spec.distribution = Distribution::kConstant;
+  auto data = GenerateDataset<uint64_t>(spec);
+  for (uint64_t v : data) EXPECT_EQ(v, data[0]);
+}
+
+TEST(DatasetTest, SawtoothRepeatsPeriodically) {
+  DatasetSpec spec;
+  spec.n = 4096;
+  spec.distribution = Distribution::kSawtooth;
+  auto data = GenerateDataset<uint64_t>(spec);
+  for (size_t i = 0; i + 1024 < data.size(); ++i) {
+    ASSERT_EQ(data[i], data[i + 1024]);
+  }
+}
+
+TEST(DatasetTest, NormalIsCentred) {
+  DatasetSpec spec;
+  spec.n = 100000;
+  spec.distribution = Distribution::kNormal;
+  spec.duplicate_fraction = 0.0;
+  auto data = GenerateDataset<double>(spec);
+  double sum = 0;
+  for (double v : data) sum += v;
+  EXPECT_NEAR(sum / data.size(), 0.5, 0.01);
+}
+
+TEST(DatasetTest, FloatKeysInUnitInterval) {
+  DatasetSpec spec;
+  spec.n = 10000;
+  spec.distribution = Distribution::kUniform;
+  auto data = GenerateDataset<double>(spec);
+  for (double v : data) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(DatasetTest, WriteDatasetRoundTrips) {
+  DatasetSpec spec;
+  spec.n = 12345;
+  spec.distribution = Distribution::kZipf;
+  auto data = GenerateDataset<uint64_t>(spec);
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+  auto back = file->ReadAll();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(DatasetTest, GenerateToDeviceMatchesInMemory) {
+  DatasetSpec spec;
+  spec.n = 5000;
+  spec.distribution = Distribution::kUniform;
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(GenerateDatasetToDevice<uint64_t>(spec, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+  auto back = file->ReadAll();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, GenerateDataset<uint64_t>(spec));
+}
+
+TEST(DatasetTest, ToStringMentionsDistribution) {
+  DatasetSpec spec;
+  spec.n = 10;
+  spec.distribution = Distribution::kZipf;
+  EXPECT_NE(spec.ToString().find("zipf"), std::string::npos);
+  spec.distribution = Distribution::kUniform;
+  EXPECT_NE(spec.ToString().find("uniform"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opaq

@@ -1,0 +1,156 @@
+// Failure-injection tests: every layer must surface injected device errors
+// as clean Status values — no crashes, no partially-poisoned results.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/exact.h"
+#include "core/opaq.h"
+#include "core/sketch_io.h"
+#include "data/dataset.h"
+#include "io/faulty_device.h"
+#include "io/run_reader.h"
+#include "parallel/parallel_opaq.h"
+
+namespace opaq {
+namespace {
+
+// Builds a data file of `n` keys on a FaultyDevice with `options`.
+struct FaultyFixture {
+  std::unique_ptr<FaultyDevice> device;
+  Result<TypedDataFile<uint64_t>> file = Status::Internal("unset");
+
+  FaultyFixture(uint64_t n, FaultyDevice::Options options) {
+    auto inner = std::make_unique<MemoryBlockDevice>();
+    DatasetSpec spec;
+    spec.n = n;
+    OPAQ_CHECK_OK(WriteDataset(GenerateDataset<uint64_t>(spec),
+                               inner.get()));
+    device = std::make_unique<FaultyDevice>(std::move(inner), options);
+    file = TypedDataFile<uint64_t>::Open(device.get());
+  }
+};
+
+TEST(FaultyDeviceTest, PassesThroughWhenHealthy) {
+  FaultyFixture f(1000, {});
+  ASSERT_TRUE(f.file.ok());
+  auto all = f.file->ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1000u);
+}
+
+TEST(FaultyDeviceTest, InjectsConfiguredCode) {
+  FaultyDevice dev(std::make_unique<MemoryBlockDevice>(),
+                   {.fail_write_at = 1, .code = StatusCode::kResourceExhausted});
+  char c = 'x';
+  Status s = dev.WriteAt(0, &c, 1);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  // Next write succeeds (only the 1st was poisoned).
+  EXPECT_TRUE(dev.WriteAt(0, &c, 1).ok());
+}
+
+TEST(FailureInjectionTest, OpenFailsWhenHeaderReadFails) {
+  FaultyFixture f(100, {.fail_read_at = 1});
+  EXPECT_FALSE(f.file.ok());
+  EXPECT_EQ(f.file.status().code(), StatusCode::kIoError);
+}
+
+TEST(FailureInjectionTest, RunReaderSurfacesMidStreamError) {
+  // Header read (1) succeeds; fail the 3rd data read => second run fails.
+  FaultyFixture f(1000, {.fail_read_at = 3});
+  ASSERT_TRUE(f.file.ok());
+  RunReader<uint64_t> reader(&*f.file, 250);
+  std::vector<uint64_t> buffer;
+  auto first = reader.NextRun(&buffer);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first);
+  auto second = reader.NextRun(&buffer);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kIoError);
+}
+
+TEST(FailureInjectionTest, SketchConsumeFileSurfacesError) {
+  FaultyFixture f(10000, {.fail_read_at = 4});
+  ASSERT_TRUE(f.file.ok());
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 100;
+  OpaqSketch<uint64_t> sketch(config);
+  Status s = sketch.ConsumeFile(&*f.file);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // The sketch holds only fully-consumed runs; it can still be finalized
+  // soundly over what it saw.
+  EXPECT_LT(sketch.elements_consumed(), 10000u);
+}
+
+TEST(FailureInjectionTest, ExactSecondPassSurfacesError) {
+  FaultyFixture healthy(10000, {});
+  ASSERT_TRUE(healthy.file.ok());
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 100;
+  OpaqSketch<uint64_t> sketch(config);
+  ASSERT_TRUE(sketch.ConsumeFile(&*healthy.file).ok());
+  auto estimate = sketch.Finalize().Quantile(0.5);
+
+  // Same data, but the second pass hits a failing disk.
+  FaultyFixture faulty(10000, {.fail_read_at = 6});
+  ASSERT_TRUE(faulty.file.ok());
+  auto exact = ExactQuantileSecondPass(&*faulty.file, estimate, 1000);
+  EXPECT_FALSE(exact.ok());
+  EXPECT_EQ(exact.status().code(), StatusCode::kIoError);
+}
+
+TEST(FailureInjectionTest, SketchSaveSurfacesWriteError) {
+  DatasetSpec spec;
+  spec.n = 10000;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 100;
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  FaultyDevice dev(std::make_unique<MemoryBlockDevice>(),
+                   {.fail_write_at = 2});
+  Status s = SaveSampleList(est.sample_list(), &dev);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(FailureInjectionTest, ParallelRunFailsCleanlyWhenOneDiskDies) {
+  // Rank 1's disk fails mid-pass; the whole parallel run must come back
+  // with that error (and not hang or crash).
+  const int p = 4;
+  std::vector<std::unique_ptr<FaultyDevice>> devices;
+  std::vector<TypedDataFile<uint64_t>> files;
+  for (int r = 0; r < p; ++r) {
+    auto inner = std::make_unique<MemoryBlockDevice>();
+    DatasetSpec spec;
+    spec.n = 20000;
+    spec.seed = r;
+    OPAQ_CHECK_OK(WriteDataset(GenerateDataset<uint64_t>(spec),
+                               inner.get()));
+    FaultyDevice::Options options;
+    if (r == 1) options.fail_read_at = 5;
+    devices.push_back(
+        std::make_unique<FaultyDevice>(std::move(inner), options));
+    auto file = TypedDataFile<uint64_t>::Open(devices.back().get());
+    ASSERT_TRUE(file.ok());
+    files.push_back(std::move(file).value());
+  }
+  std::vector<const TypedDataFile<uint64_t>*> file_ptrs;
+  for (auto& f : files) file_ptrs.push_back(&f);
+
+  Cluster::Options cluster_options;
+  cluster_options.num_processors = p;
+  Cluster cluster(cluster_options);
+  ParallelOpaqOptions options;
+  options.config.run_size = 2000;
+  options.config.samples_per_run = 100;
+  auto result = RunParallelOpaq(cluster, file_ptrs, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace opaq

@@ -1,0 +1,228 @@
+// Tests for the quantile-phase index formulas (paper §2.2, formulas (2) and
+// (5)) including an exhaustive brute-force cross-check of the guarantees on
+// small universes.
+
+#include <gtest/gtest.h>
+
+#include "core/index_math.h"
+
+namespace opaq {
+namespace {
+
+SampleAccounting MakeAccounting(uint64_t c, uint64_t runs, uint64_t samples,
+                                uint64_t uncovered) {
+  SampleAccounting acc;
+  acc.subrun_size = c;
+  acc.num_runs = runs;
+  acc.num_samples = samples;
+  acc.num_uncovered = uncovered;
+  acc.total_elements = samples * c + uncovered;
+  return acc;
+}
+
+TEST(SampleAccountingTest, ValidityChecksInvariant) {
+  EXPECT_TRUE(MakeAccounting(10, 4, 40, 0).Valid());
+  EXPECT_TRUE(MakeAccounting(10, 4, 40, 7).Valid());
+  SampleAccounting bad = MakeAccounting(10, 4, 40, 0);
+  bad.total_elements += 1;
+  EXPECT_FALSE(bad.Valid());
+  bad = MakeAccounting(0, 1, 0, 0);
+  EXPECT_FALSE(bad.Valid());
+}
+
+TEST(IndexMathTest, PaperFormulaSingleRun) {
+  // One run, m = 100, s = 10, c = 10: with r = 1 the slack term vanishes;
+  // lower index = floor(psi/c), upper index = ceil(psi/c).
+  SampleAccounting acc = MakeAccounting(10, 1, 10, 0);
+  for (uint64_t psi = 1; psi <= 100; ++psi) {
+    SampleIndex lower = LowerBoundIndex(acc, psi);
+    SampleIndex upper = UpperBoundIndex(acc, psi);
+    EXPECT_EQ(upper.index, (psi + 9) / 10);
+    EXPECT_FALSE(upper.clamped);
+    if (psi >= 10) {
+      EXPECT_EQ(lower.index, psi / 10);
+      EXPECT_FALSE(lower.clamped);
+    } else {
+      EXPECT_TRUE(lower.clamped);  // no certified lower bound below rank c
+    }
+  }
+}
+
+TEST(IndexMathTest, PaperFormulaMultiRun) {
+  // r = 4 runs, c = 10: slack = 3*9 = 27. The lower index is
+  // floor((psi - 27)/10) per formula (2).
+  SampleAccounting acc = MakeAccounting(10, 4, 40, 0);
+  SampleIndex lower = LowerBoundIndex(acc, 200);
+  EXPECT_EQ(lower.index, (200 - 27) / 10);
+  EXPECT_FALSE(lower.clamped);
+  SampleIndex upper = UpperBoundIndex(acc, 200);
+  EXPECT_EQ(upper.index, 20u);
+}
+
+TEST(IndexMathTest, LowerClampsForSmallPsi) {
+  SampleAccounting acc = MakeAccounting(10, 4, 40, 0);
+  // psi < c + slack = 10 + 27 = 37 cannot certify a lower bound.
+  SampleIndex lower = LowerBoundIndex(acc, 36);
+  EXPECT_TRUE(lower.clamped);
+  EXPECT_EQ(lower.index, 1u);
+  lower = LowerBoundIndex(acc, 37);
+  EXPECT_FALSE(lower.clamped);
+  EXPECT_EQ(lower.index, 1u);
+}
+
+TEST(IndexMathTest, UpperNeverExceedsSampleCount) {
+  SampleAccounting acc = MakeAccounting(10, 4, 40, 0);
+  SampleIndex upper = UpperBoundIndex(acc, 400);
+  EXPECT_EQ(upper.index, 40u);
+  EXPECT_FALSE(upper.clamped);
+}
+
+TEST(IndexMathTest, UncoveredTailClampsUpper) {
+  // 40 samples cover 400 elements; 5 uncovered tail elements mean psi > 400
+  // has no certified upper bound.
+  SampleAccounting acc = MakeAccounting(10, 5, 40, 5);
+  SampleIndex upper = UpperBoundIndex(acc, 405);
+  EXPECT_TRUE(upper.clamped);
+  EXPECT_EQ(upper.index, 40u);
+  upper = UpperBoundIndex(acc, 400);
+  EXPECT_FALSE(upper.clamped);
+}
+
+TEST(IndexMathTest, MaxRankErrorMatchesLemma) {
+  // Lemma 1/2: at most n/s elements of slack. With the paper's divisible
+  // setting, c + (r-1)(c-1) <= r*c = n per-run-share... for m=100, s=10,
+  // r=4: bound = 10 + 3*9 = 37 <= n/s = 400/10 = 40.
+  SampleAccounting acc = MakeAccounting(10, 4, 40, 0);
+  EXPECT_EQ(MaxRankError(acc), 37u);
+  EXPECT_LE(MaxRankError(acc), acc.total_elements / 10);  // n/s with s=10
+}
+
+TEST(IndexMathTest, MaxRankErrorIncludesUncovered) {
+  SampleAccounting with = MakeAccounting(10, 4, 40, 6);
+  SampleAccounting without = MakeAccounting(10, 4, 40, 0);
+  EXPECT_EQ(MaxRankError(with), MaxRankError(without) + 6);
+}
+
+TEST(IndexMathTest, SingleSampleListDegenerate) {
+  SampleAccounting acc = MakeAccounting(5, 1, 1, 0);  // 5 elements, 1 sample
+  SampleIndex upper = UpperBoundIndex(acc, 3);
+  EXPECT_EQ(upper.index, 1u);
+  SampleIndex lower = LowerBoundIndex(acc, 5);
+  EXPECT_EQ(lower.index, 1u);
+  EXPECT_FALSE(lower.clamped);
+}
+
+// ----------------------------------------------------------- Rank bounds --
+
+TEST(RankBoundsTest, MonotoneInSampleCounts) {
+  SampleAccounting acc = MakeAccounting(10, 4, 40, 0);
+  RankBounds a = RankBoundsFromSampleCounts(acc, 10, 8);
+  RankBounds b = RankBoundsFromSampleCounts(acc, 20, 18);
+  EXPECT_LT(a.min_rank_le, b.min_rank_le);
+  EXPECT_LT(a.max_rank_lt, b.max_rank_lt);
+}
+
+TEST(RankBoundsTest, MatchesPropertyArithmetic) {
+  SampleAccounting acc = MakeAccounting(10, 4, 40, 0);
+  RankBounds b = RankBoundsFromSampleCounts(acc, 12, 9);
+  EXPECT_EQ(b.min_rank_le, 120u);                    // 12 * c
+  EXPECT_EQ(b.min_rank_lt, 90u);                     // 9 * c
+  EXPECT_EQ(b.max_rank_lt, 90u + 4 * 9);             // + R*(c-1)
+  EXPECT_EQ(b.max_rank_le, 120u + 4 * 9);
+}
+
+TEST(RankBoundsTest, CappedAtTotalElements) {
+  SampleAccounting acc = MakeAccounting(10, 4, 40, 0);
+  RankBounds b = RankBoundsFromSampleCounts(acc, 40, 40);
+  EXPECT_LE(b.max_rank_le, acc.total_elements);
+  EXPECT_LE(b.max_rank_lt, acc.total_elements);
+}
+
+// ------------------------------------- Brute-force guarantee verification --
+//
+// For every (c, r) on a small grid, build an adversarial-ish dataset, run
+// the actual regular-sampling pipeline by hand (sort each run, take every
+// c-th element), and verify that for EVERY psi the index formulas certify
+// true bounds with the promised rank error. This is the proofs-as-tests
+// backstop for Lemmas 1-3.
+
+class IndexMathBruteForce
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t, int>> {};
+
+TEST_P(IndexMathBruteForce, FormulasCertifyBoundsForAllPsi) {
+  auto [c, r, shape] = GetParam();
+  const uint64_t m = c * 4;  // 4 samples per run
+  const uint64_t n = m * r;
+  // Build data with three shapes: interleaved, blocked, duplicate-heavy.
+  std::vector<uint64_t> data(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    switch (shape) {
+      case 0:
+        data[i] = i * 2654435761u % (2 * n);  // scrambled
+        break;
+      case 1:
+        data[i] = i;  // sorted: runs cover disjoint ranges
+        break;
+      default:
+        data[i] = i % 7;  // heavy duplicates
+    }
+  }
+  // Regular samples per run of m, sub-run size c.
+  std::vector<uint64_t> samples;
+  for (uint64_t run = 0; run < r; ++run) {
+    std::vector<uint64_t> chunk(data.begin() + run * m,
+                                data.begin() + (run + 1) * m);
+    std::sort(chunk.begin(), chunk.end());
+    for (uint64_t j = c - 1; j < m; j += c) samples.push_back(chunk[j]);
+  }
+  std::sort(samples.begin(), samples.end());
+  std::vector<uint64_t> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  SampleAccounting acc = MakeAccounting(c, r, samples.size(), 0);
+  ASSERT_EQ(acc.total_elements, n);
+  const uint64_t budget = MaxRankError(acc);
+
+  for (uint64_t psi = 1; psi <= n; ++psi) {
+    const uint64_t truth = sorted[psi - 1];
+    SampleIndex lower = LowerBoundIndex(acc, psi);
+    SampleIndex upper = UpperBoundIndex(acc, psi);
+    const uint64_t el = samples[lower.index - 1];
+    const uint64_t eu = samples[upper.index - 1];
+    if (!lower.clamped) {
+      ASSERT_LE(el, truth) << "psi=" << psi << " c=" << c << " r=" << r;
+      // Rank distance from the certified lower bound to the target.
+      uint64_t rank_le_el = static_cast<uint64_t>(
+          std::upper_bound(sorted.begin(), sorted.end(), el) -
+          sorted.begin());
+      if (psi > rank_le_el) {
+        ASSERT_LE(psi - rank_le_el, budget) << "psi=" << psi;
+      }
+    }
+    if (!upper.clamped) {
+      ASSERT_GE(eu, truth) << "psi=" << psi << " c=" << c << " r=" << r;
+      uint64_t rank_lt_eu = static_cast<uint64_t>(
+          std::lower_bound(sorted.begin(), sorted.end(), eu) -
+          sorted.begin());
+      if (rank_lt_eu > psi) {
+        ASSERT_LE(rank_lt_eu - psi, budget) << "psi=" << psi;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IndexMathBruteForce,
+    ::testing::Combine(::testing::Values(uint64_t{1}, uint64_t{2},
+                                         uint64_t{5}, uint64_t{8}),
+                       ::testing::Values(uint64_t{1}, uint64_t{2},
+                                         uint64_t{3}, uint64_t{7}),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto& info) {
+      return "c" + std::to_string(std::get<0>(info.param)) + "_r" +
+             std::to_string(std::get<1>(info.param)) + "_shape" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace opaq

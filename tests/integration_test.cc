@@ -1,0 +1,242 @@
+// End-to-end integration tests: the full disk pipeline (generate -> write to
+// a throttled file device -> one-pass sketch -> quantile/rank queries ->
+// exact second pass), scored against ground truth and the paper's bounds;
+// plus cross-module consistency checks between the sequential, incremental
+// and parallel paths.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/equi_depth_histogram.h"
+#include "apps/range_partitioner.h"
+#include "apps/selectivity.h"
+#include "core/exact.h"
+#include "core/opaq.h"
+#include "core/sketch_io.h"
+#include "data/dataset.h"
+#include "io/tempdir.h"
+#include "io/throttled_device.h"
+#include "metrics/ground_truth.h"
+#include "metrics/rer.h"
+#include "parallel/parallel_opaq.h"
+
+namespace opaq {
+namespace {
+
+// ------------------------------------------- full pipeline on real files --
+
+class DiskPipelineTest
+    : public ::testing::TestWithParam<std::tuple<Distribution, uint64_t>> {};
+
+TEST_P(DiskPipelineTest, OnePassOverRealFileMeetsPaperBounds) {
+  const Distribution distribution = std::get<0>(GetParam());
+  const uint64_t n = std::get<1>(GetParam());
+
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  auto raw = FileBlockDevice::Make(dir->FilePath("data.opaq"),
+                                   FileBlockDevice::Mode::kCreate);
+  ASSERT_TRUE(raw.ok());
+  // Throttle in accounting mode: exercises the wrapper without slowing CI.
+  ThrottledDevice device(std::move(*raw), DiskModel(),
+                         ThrottledDevice::Mode::kAccount);
+
+  DatasetSpec spec;
+  spec.n = n;
+  spec.distribution = distribution;
+  spec.seed = 99;
+  std::vector<uint64_t> data = GenerateDataset<uint64_t>(spec);
+  ASSERT_TRUE(WriteDataset(data, &device).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&device);
+  ASSERT_TRUE(file.ok());
+
+  OpaqConfig config;
+  config.run_size = 1 << 14;
+  config.samples_per_run = 256;
+  OpaqSketch<uint64_t> sketch(config);
+  double io_seconds = 0;
+  ASSERT_TRUE(sketch.ConsumeFile(&*file, &io_seconds).ok());
+  OpaqEstimator<uint64_t> est = sketch.Finalize();
+  EXPECT_GT(device.modeled_seconds(), 0.0);
+
+  GroundTruth<uint64_t> truth(data);
+  auto estimates = est.EquiQuantiles(10);
+  auto report = ComputeRer(truth, estimates, 10);
+  // Paper bounds: RER_A <= 200/s (plus tail-run slack), all brackets hold.
+  const double s_eff = static_cast<double>(config.samples_per_run);
+  EXPECT_LE(report.max_rer_a(), 2.0 * 100.0 / s_eff * 1.5);
+  for (const auto& e : estimates) {
+    EXPECT_TRUE(BracketHolds(truth, e));
+  }
+
+  // Exact values for all dectiles via one extra pass.
+  auto exact = ExactQuantilesSecondPass(&*file, estimates, config.run_size,
+                                        n);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  for (int d = 1; d <= 9; ++d) {
+    EXPECT_EQ((*exact)[d - 1], truth.Quantile(d / 10.0)) << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DiskPipelineTest,
+    ::testing::Combine(
+        ::testing::Values(Distribution::kUniform, Distribution::kZipf,
+                          Distribution::kNormal, Distribution::kSequential,
+                          Distribution::kSawtooth),
+        ::testing::Values(uint64_t{65536}, uint64_t{200000})),
+    [](const auto& info) {
+      return std::string(DistributionName(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------- sequential == parallel == merged --
+
+TEST(ConsistencyTest, ThreePathsAgreeOnSampleList) {
+  // The same logical dataset split as (a) one sequential pass, (b) an
+  // incremental two-sketch merge, (c) a 2-processor parallel run must yield
+  // the same global sample multiset and the same accounting.
+  const uint64_t half = 40000;
+  DatasetSpec spec_a;
+  spec_a.n = half;
+  spec_a.seed = 1;
+  DatasetSpec spec_b;
+  spec_b.n = half;
+  spec_b.seed = 2;
+  auto data_a = GenerateDataset<uint64_t>(spec_a);
+  auto data_b = GenerateDataset<uint64_t>(spec_b);
+  std::vector<uint64_t> all = data_a;
+  all.insert(all.end(), data_b.begin(), data_b.end());
+
+  OpaqConfig config;
+  config.run_size = 4000;
+  config.samples_per_run = 200;
+
+  // (a) sequential over the concatenation.
+  OpaqEstimator<uint64_t> sequential = EstimateQuantilesInMemory(all, config);
+
+  // (b) two sketches merged.
+  auto merged = SampleList<uint64_t>::Merge(
+      EstimateQuantilesInMemory(data_a, config).sample_list(),
+      EstimateQuantilesInMemory(data_b, config).sample_list());
+  ASSERT_TRUE(merged.ok());
+
+  // (c) parallel with 2 processors.
+  MemoryBlockDevice dev_a, dev_b;
+  ASSERT_TRUE(WriteDataset(data_a, &dev_a).ok());
+  ASSERT_TRUE(WriteDataset(data_b, &dev_b).ok());
+  auto file_a = TypedDataFile<uint64_t>::Open(&dev_a);
+  auto file_b = TypedDataFile<uint64_t>::Open(&dev_b);
+  ASSERT_TRUE(file_a.ok());
+  ASSERT_TRUE(file_b.ok());
+  Cluster::Options cluster_options;
+  cluster_options.num_processors = 2;
+  Cluster cluster(cluster_options);
+  ParallelOpaqOptions parallel_options;
+  parallel_options.config = config;
+  auto parallel = RunParallelOpaq<uint64_t>(
+      cluster, {&*file_a, &*file_b}, parallel_options);
+  ASSERT_TRUE(parallel.ok());
+
+  // Sample lists agree (a vs b) and accountings agree (all three).
+  EXPECT_EQ(sequential.sample_list().samples(), merged->samples());
+  EXPECT_EQ(sequential.sample_list().accounting().num_samples,
+            parallel->global_accounting.num_samples);
+  EXPECT_EQ(sequential.sample_list().accounting().num_runs,
+            parallel->global_accounting.num_runs);
+  EXPECT_EQ(sequential.sample_list().accounting().total_elements,
+            parallel->global_accounting.total_elements);
+
+  // And the quantile answers agree between sequential and parallel.
+  for (int d = 1; d <= 9; ++d) {
+    auto seq = sequential.Quantile(d / 10.0);
+    const auto& par = parallel->estimates[d - 1];
+    EXPECT_EQ(seq.lower, par.lower) << d;
+    EXPECT_EQ(seq.upper, par.upper) << d;
+  }
+}
+
+// -------------------------------------------------- apps over the sketch --
+
+TEST(ApplicationIntegrationTest, HistogramSelectivityPartitionerConsistent) {
+  DatasetSpec spec;
+  spec.n = 120000;
+  spec.distribution = Distribution::kZipf;
+  spec.zipf_z = 0.7;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 12000;
+  config.samples_per_run = 600;
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  GroundTruth<uint64_t> truth(data);
+
+  // Histogram boundaries bracket their true quantiles.
+  auto hist = EquiDepthHistogram<uint64_t>::Build(est, 12);
+  for (size_t i = 0; i < hist.boundaries().size(); ++i) {
+    EXPECT_TRUE(BracketHolds(truth, hist.boundaries()[i])) << i;
+  }
+
+  // Selectivity brackets across the histogram's own boundaries.
+  for (size_t i = 0; i + 1 < hist.boundaries().size(); ++i) {
+    uint64_t lo = hist.boundaries()[i].lower;
+    uint64_t hi = hist.boundaries()[i + 1].upper;
+    auto sel = EstimateRangeSelectivity(est, lo, hi);
+    uint64_t true_count = truth.RankLe(hi) - truth.RankLt(lo);
+    EXPECT_LE(sel.min_count, true_count);
+    EXPECT_GE(sel.max_count, true_count);
+  }
+
+  // Partition sizes within the certified ceiling (+ largest dup group).
+  auto partitioner = RangePartitioner<uint64_t>::Build(est, 6);
+  uint64_t largest_dup = 0;
+  for (uint64_t splitter : partitioner.splitters()) {
+    largest_dup = std::max(largest_dup, truth.CountEqual(splitter));
+  }
+  auto counts = partitioner.CountPartitionSizes(data);
+  for (uint64_t c : counts) {
+    EXPECT_LE(c, partitioner.MaxPartitionSize(largest_dup));
+  }
+}
+
+// --------------------------------------------- persisted parallel output --
+
+TEST(PersistenceIntegrationTest, ParallelResultSavedAndReloaded) {
+  // Sketch two shards in parallel style, merge, save, reload in a "second
+  // process", and verify answers over the union.
+  DatasetSpec spec;
+  spec.n = 60000;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 6000;
+  config.samples_per_run = 300;
+
+  std::vector<uint64_t> shard_a(data.begin(), data.begin() + 30000);
+  std::vector<uint64_t> shard_b(data.begin() + 30000, data.end());
+  auto merged = SampleList<uint64_t>::Merge(
+      EstimateQuantilesInMemory(shard_a, config).sample_list(),
+      EstimateQuantilesInMemory(shard_b, config).sample_list());
+  ASSERT_TRUE(merged.ok());
+
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  {
+    auto dev = FileBlockDevice::Make(dir->FilePath("union.sketch"),
+                                     FileBlockDevice::Mode::kCreate);
+    ASSERT_TRUE(dev.ok());
+    ASSERT_TRUE(SaveSampleList(*merged, dev->get()).ok());
+  }
+  auto dev = FileBlockDevice::Make(dir->FilePath("union.sketch"),
+                                   FileBlockDevice::Mode::kOpen);
+  ASSERT_TRUE(dev.ok());
+  auto loaded = LoadSampleList<uint64_t>(dev->get());
+  ASSERT_TRUE(loaded.ok());
+  OpaqEstimator<uint64_t> est(std::move(loaded).value());
+  GroundTruth<uint64_t> truth(data);
+  for (const auto& e : est.EquiQuantiles(10)) {
+    EXPECT_TRUE(BracketHolds(truth, e));
+  }
+}
+
+}  // namespace
+}  // namespace opaq

@@ -1,0 +1,255 @@
+// Unit tests for src/metrics: ground truth order statistics and the paper's
+// RER_A / RER_L / RER_N error measures on hand-computed cases.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/opaq.h"
+#include "data/dataset.h"
+#include "metrics/ground_truth.h"
+#include "metrics/rer.h"
+
+namespace opaq {
+namespace {
+
+// ------------------------------------------------------------ GroundTruth --
+
+TEST(GroundTruthTest, RanksWithDuplicates) {
+  GroundTruth<int> truth({5, 3, 5, 1, 5, 9});
+  // sorted: 1 3 5 5 5 9
+  EXPECT_EQ(truth.n(), 6u);
+  EXPECT_EQ(truth.RankLt(5), 2u);
+  EXPECT_EQ(truth.RankLe(5), 5u);
+  EXPECT_EQ(truth.CountEqual(5), 3u);
+  EXPECT_EQ(truth.RankLt(0), 0u);
+  EXPECT_EQ(truth.RankLe(100), 6u);
+}
+
+TEST(GroundTruthTest, ValueAtRankIsSortedOrder) {
+  GroundTruth<int> truth({4, 2, 8, 6});
+  EXPECT_EQ(truth.ValueAtRank(1), 2);
+  EXPECT_EQ(truth.ValueAtRank(4), 8);
+}
+
+TEST(GroundTruthTest, QuantileUsesCeilConvention) {
+  std::vector<int> v(10);
+  std::iota(v.begin(), v.end(), 1);  // 1..10
+  GroundTruth<int> truth(v);
+  EXPECT_EQ(truth.Quantile(0.1), 1);   // ceil(1) = rank 1
+  EXPECT_EQ(truth.Quantile(0.15), 2);  // ceil(1.5) = rank 2
+  EXPECT_EQ(truth.Quantile(0.5), 5);
+  EXPECT_EQ(truth.Quantile(1.0), 10);
+  EXPECT_EQ(truth.TargetRank(0.5), 5u);
+}
+
+TEST(GroundTruthTest, CountInClosedRange) {
+  GroundTruth<int> truth({1, 2, 2, 3, 4});
+  EXPECT_EQ(truth.CountInClosedRange(2, 3), 3u);
+  EXPECT_EQ(truth.CountInClosedRange(1, 4), 5u);
+  EXPECT_EQ(truth.CountInClosedRange(2, 2), 2u);
+}
+
+TEST(GroundTruthTest, FromFileMatchesInMemory) {
+  DatasetSpec spec;
+  spec.n = 1000;
+  auto data = GenerateDataset<uint64_t>(spec);
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+  auto truth = GroundTruth<uint64_t>::FromFile(&*file);
+  ASSERT_TRUE(truth.ok());
+  GroundTruth<uint64_t> direct(data);
+  EXPECT_EQ(truth->sorted(), direct.sorted());
+}
+
+// -------------------------------------------------------------- RER maths --
+
+// Helper: hand-built estimate.
+QuantileEstimate<int> MakeEstimate(uint64_t psi, int lower, int upper,
+                                   uint64_t budget = 1000) {
+  QuantileEstimate<int> e;
+  e.target_rank = psi;
+  e.lower = lower;
+  e.upper = upper;
+  e.lower_index = 1;
+  e.upper_index = 1;
+  e.max_rank_error = budget;
+  return e;
+}
+
+TEST(RerTest, PerfectEstimateScoresZero) {
+  // Data 1..100; exact dectile estimates.
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 1);
+  GroundTruth<int> truth(v);
+  std::vector<QuantileEstimate<int>> estimates;
+  for (int d = 1; d <= 9; ++d) {
+    int t = truth.Quantile(d / 10.0);
+    estimates.push_back(MakeEstimate(d * 10, t, t));
+  }
+  auto report = ComputeRer(truth, estimates, 10);
+  for (double a : report.rer_a) EXPECT_DOUBLE_EQ(a, 0.0);
+  EXPECT_DOUBLE_EQ(report.rer_l, 0.0);
+  EXPECT_DOUBLE_EQ(report.rer_n, 0.0);
+}
+
+TEST(RerTest, KnownOffsetGivesKnownRera) {
+  // Data 1..100, median estimate bracket [48, 53]: 6 elements inside, 1
+  // duplicate of the true median (50) => RER_A = 5/100*100 = 5%.
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 1);
+  GroundTruth<int> truth(v);
+  std::vector<QuantileEstimate<int>> estimates;
+  for (int d = 1; d <= 9; ++d) {
+    int t = truth.Quantile(d / 10.0);
+    if (d == 5) {
+      estimates.push_back(MakeEstimate(50, 48, 53));
+    } else {
+      estimates.push_back(MakeEstimate(d * 10, t, t));
+    }
+  }
+  auto report = ComputeRer(truth, estimates, 10);
+  EXPECT_DOUBLE_EQ(report.rer_a[4], 5.0);
+  EXPECT_DOUBLE_EQ(report.rer_a[0], 0.0);
+}
+
+TEST(RerTest, RerNMeasuresWorstBoundDistance) {
+  // Median bounds [48, 54] on 1..100 with q=10 segments of 10. Using the
+  // documented conventions, DL = psi - rank_le(48) = 2 and
+  // DU = rank_lt(54) - psi = 3, so RER_N = 3/10*100 = 30%.
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 1);
+  GroundTruth<int> truth(v);
+  std::vector<QuantileEstimate<int>> estimates;
+  for (int d = 1; d <= 9; ++d) {
+    int t = truth.Quantile(d / 10.0);
+    if (d == 5) {
+      estimates.push_back(MakeEstimate(50, t - 2, t + 4));
+    } else {
+      estimates.push_back(MakeEstimate(d * 10, t, t));
+    }
+  }
+  auto report = ComputeRer(truth, estimates, 10);
+  EXPECT_DOUBLE_EQ(report.rer_n, 30.0);
+}
+
+TEST(RerTest, RerLMeasuresSegmentDistortion) {
+  // Only the 5th dectile's lower bound drifts 4 ranks down: the segment
+  // (q4,q5) shrinks by 4 and (q5,q6) grows by 4 => RER_L = 4/10*100 = 40%.
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 1);
+  GroundTruth<int> truth(v);
+  std::vector<QuantileEstimate<int>> estimates;
+  for (int d = 1; d <= 9; ++d) {
+    int t = truth.Quantile(d / 10.0);
+    if (d == 5) {
+      estimates.push_back(MakeEstimate(50, t - 4, t));
+    } else {
+      estimates.push_back(MakeEstimate(d * 10, t, t));
+    }
+  }
+  auto report = ComputeRer(truth, estimates, 10);
+  EXPECT_DOUBLE_EQ(report.rer_l, 40.0);
+}
+
+TEST(RerTest, DuplicatesOfTrueQuantileDoNotCount) {
+  // All elements equal: bracket trivially [7,7]; N_e = N_t => RER_A = 0.
+  std::vector<int> v(50, 7);
+  GroundTruth<int> truth(v);
+  std::vector<QuantileEstimate<int>> estimates;
+  for (int d = 1; d <= 9; ++d) {
+    estimates.push_back(MakeEstimate(truth.TargetRank(d / 10.0), 7, 7));
+  }
+  auto report = ComputeRer(truth, estimates, 10);
+  for (double a : report.rer_a) EXPECT_DOUBLE_EQ(a, 0.0);
+  EXPECT_DOUBLE_EQ(report.rer_n, 0.0);
+}
+
+TEST(RerTest, MaxRerAHelper) {
+  RerReport<int> r;
+  r.rer_a = {0.1, 0.5, 0.3};
+  EXPECT_DOUBLE_EQ(r.max_rer_a(), 0.5);
+}
+
+// ----------------------------------------------------------- PointRerA ----
+
+TEST(PointRerATest, ExactValueScoresZero) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 1);
+  GroundTruth<int> truth(v);
+  EXPECT_DOUBLE_EQ(PointRerA(truth, 50, 50), 0.0);
+}
+
+TEST(PointRerATest, OffsetScoresRankDistance) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 1);
+  GroundTruth<int> truth(v);
+  // Value 55 has rank 55; target rank 50 => distance 5 => 5%.
+  EXPECT_DOUBLE_EQ(PointRerA(truth, 55, 50), 5.0);
+  EXPECT_DOUBLE_EQ(PointRerA(truth, 45, 50), 5.0);
+}
+
+TEST(PointRerATest, DuplicateOfTargetScoresZero) {
+  std::vector<int> v{1, 5, 5, 5, 9};
+  GroundTruth<int> truth(v);
+  // Target rank 3 (value 5); value 5 claims ranks 2..4 => 0.
+  EXPECT_DOUBLE_EQ(PointRerA(truth, 5, 3), 0.0);
+  EXPECT_DOUBLE_EQ(PointRerA(truth, 5, 2), 0.0);
+}
+
+TEST(PointRerATest, AbsentValueUsesInsertionPoint) {
+  std::vector<int> v{10, 20, 30, 40};
+  GroundTruth<int> truth(v);
+  // 25 inserts at rank_le = 2; target 2 => 0 distance.
+  EXPECT_DOUBLE_EQ(PointRerA(truth, 25, 2), 0.0);
+  // Target 4 => distance 2 => 50%.
+  EXPECT_DOUBLE_EQ(PointRerA(truth, 25, 4), 50.0);
+}
+
+// --------------------------------------------------------- BracketHolds ----
+
+TEST(BracketHoldsTest, DetectsViolations) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 1);
+  GroundTruth<int> truth(v);
+  // Correct bracket.
+  EXPECT_TRUE(BracketHolds(truth, MakeEstimate(50, 48, 52, 10)));
+  // Lower bound above the truth.
+  EXPECT_FALSE(BracketHolds(truth, MakeEstimate(50, 51, 60, 10)));
+  // Upper bound below the truth.
+  EXPECT_FALSE(BracketHolds(truth, MakeEstimate(50, 40, 49, 10)));
+  // Bounds fine but rank error beyond the budget.
+  EXPECT_FALSE(BracketHolds(truth, MakeEstimate(50, 30, 50, 10)));
+  // Clamped flags exempt the corresponding side.
+  QuantileEstimate<int> clamped = MakeEstimate(50, 99, 100, 10);
+  clamped.lower_clamped = true;
+  EXPECT_FALSE(BracketHolds(truth, clamped));  // upper 100 >= 50 ok, but
+  clamped.upper = 50;
+  clamped.max_rank_error = 1000;
+  EXPECT_TRUE(BracketHolds(truth, clamped));
+}
+
+// ------------------------------------------ End-to-end RER sanity (paper) --
+
+TEST(RerEndToEndTest, OpaqRerWithinPaperBounds) {
+  // Paper §2.4: RER_A <= 2/s*100, RER_L <= ~2q/s*100, RER_N <= ~2q/s*100.
+  DatasetSpec spec;
+  spec.n = 100000;
+  spec.distribution = Distribution::kZipf;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 10000;
+  config.samples_per_run = 500;
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  GroundTruth<uint64_t> truth(data);
+  auto report = ComputeRer(truth, est.EquiQuantiles(10), 10);
+  const double s = 500;
+  EXPECT_LE(report.max_rer_a(), 2.0 / s * 100.0 + 1e-9);
+  EXPECT_LE(report.rer_l, 2.0 * 10 / s * 100.0 + 1e-9);
+  EXPECT_LE(report.rer_n, 2.0 * 10 / s * 100.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace opaq

@@ -1,0 +1,172 @@
+// Tests for the distributed exact-quantile second pass
+// (parallel/parallel_exact.h): exact recovery across cluster shapes, error
+// paths, and agreement with the sequential second pass.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/exact.h"
+#include "core/opaq.h"
+#include "data/dataset.h"
+#include "io/faulty_device.h"
+#include "metrics/ground_truth.h"
+#include "parallel/parallel_exact.h"
+#include "parallel/parallel_opaq.h"
+
+namespace opaq {
+namespace {
+
+struct Shards {
+  std::vector<std::unique_ptr<BlockDevice>> devices;
+  std::vector<TypedDataFile<uint64_t>> files;
+  std::vector<const TypedDataFile<uint64_t>*> file_ptrs;
+  std::vector<uint64_t> union_data;
+
+  Shards(int p, uint64_t per_rank, Distribution dist, uint64_t fail_rank_read)
+  {
+    for (int r = 0; r < p; ++r) {
+      DatasetSpec spec;
+      spec.n = per_rank;
+      spec.seed = 500 + r;
+      spec.distribution = dist;
+      auto data = GenerateDataset<uint64_t>(spec);
+      union_data.insert(union_data.end(), data.begin(), data.end());
+      auto inner = std::make_unique<MemoryBlockDevice>();
+      OPAQ_CHECK_OK(WriteDataset(data, inner.get()));
+      if (fail_rank_read != 0 && r == 1) {
+        FaultyDevice::Options options;
+        options.fail_read_at = fail_rank_read;
+        devices.push_back(std::make_unique<FaultyDevice>(std::move(inner),
+                                                         options));
+      } else {
+        devices.push_back(std::move(inner));
+      }
+      auto file = TypedDataFile<uint64_t>::Open(devices.back().get());
+      OPAQ_CHECK_OK(file.status());
+      files.push_back(std::move(file).value());
+    }
+    for (auto& f : files) file_ptrs.push_back(&f);
+  }
+};
+
+class ParallelExactTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelExactTest, RecoversExactDectilesAcrossClusterShapes) {
+  const int p = GetParam();
+  Shards shards(p, 20000, Distribution::kZipf, 0);
+
+  Cluster::Options cluster_options;
+  cluster_options.num_processors = p;
+  Cluster cluster(cluster_options);
+  ParallelOpaqOptions options;
+  options.config.run_size = 2000;
+  options.config.samples_per_run = 200;
+
+  auto estimate_run = RunParallelOpaq(cluster, shards.file_ptrs, options);
+  ASSERT_TRUE(estimate_run.ok());
+  std::vector<QuantileEstimate<uint64_t>> estimates =
+      estimate_run->estimates;
+  for (const auto& e : estimates) {
+    ASSERT_FALSE(e.lower_clamped);
+    ASSERT_FALSE(e.upper_clamped);
+  }
+
+  std::vector<uint64_t> exact;
+  Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
+    auto result = ParallelExactQuantiles(
+        ctx, shards.file_ptrs[ctx.rank()], estimates,
+        options.config.run_size);
+    if (!result.ok()) return result.status();
+    if (ctx.rank() == 0) exact = std::move(result).value();
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  GroundTruth<uint64_t> truth(shards.union_data);
+  ASSERT_EQ(exact.size(), 9u);
+  for (int d = 1; d <= 9; ++d) {
+    EXPECT_EQ(exact[d - 1], truth.Quantile(d / 10.0)) << "p=" << p << " d"
+                                                      << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterShapes, ParallelExactTest,
+                         ::testing::Values(1, 2, 3, 4, 8),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(ParallelExactTest2, AgreesWithSequentialSecondPass) {
+  Shards shards(1, 30000, Distribution::kUniform, 0);
+  Cluster::Options cluster_options;
+  cluster_options.num_processors = 1;
+  Cluster cluster(cluster_options);
+  ParallelOpaqOptions options;
+  options.config.run_size = 3000;
+  options.config.samples_per_run = 150;
+  auto run = RunParallelOpaq(cluster, shards.file_ptrs, options);
+  ASSERT_TRUE(run.ok());
+
+  auto sequential = ExactQuantilesSecondPass(
+      shards.file_ptrs[0], run->estimates, options.config.run_size);
+  ASSERT_TRUE(sequential.ok());
+
+  std::vector<uint64_t> parallel_exact;
+  auto estimates = run->estimates;
+  Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
+    auto result = ParallelExactQuantiles(ctx, shards.file_ptrs[0], estimates,
+                                         options.config.run_size);
+    if (!result.ok()) return result.status();
+    parallel_exact = std::move(result).value();
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(parallel_exact, *sequential);
+}
+
+TEST(ParallelExactTest2, RefusesClampedEstimates) {
+  Shards shards(2, 1000, Distribution::kUniform, 0);
+  Cluster::Options cluster_options;
+  cluster_options.num_processors = 2;
+  Cluster cluster(cluster_options);
+  QuantileEstimate<uint64_t> clamped;
+  clamped.target_rank = 1;
+  clamped.lower_clamped = true;
+  clamped.max_rank_error = 100;
+  Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
+    auto result = ParallelExactQuantiles(
+        ctx, shards.file_ptrs[ctx.rank()],
+        std::vector<QuantileEstimate<uint64_t>>{clamped}, 100);
+    return result.status();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ParallelExactTest2, OneFailingDiskAbortsCleanly) {
+  const int p = 4;
+  Shards healthy(p, 10000, Distribution::kUniform, 0);
+  Cluster::Options cluster_options;
+  cluster_options.num_processors = p;
+  Cluster cluster(cluster_options);
+  ParallelOpaqOptions options;
+  options.config.run_size = 1000;
+  options.config.samples_per_run = 100;
+  auto run = RunParallelOpaq(cluster, healthy.file_ptrs, options);
+  ASSERT_TRUE(run.ok());
+
+  // Same logical shards, but rank 1's disk dies mid-pass this time.
+  Shards faulty(p, 10000, Distribution::kUniform, /*fail_rank_read=*/4);
+  auto estimates = run->estimates;
+  Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
+    auto result = ParallelExactQuantiles(
+        ctx, faulty.file_ptrs[ctx.rank()], estimates,
+        options.config.run_size);
+    return result.status();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace opaq

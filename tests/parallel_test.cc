@@ -1,0 +1,493 @@
+// Tests for src/parallel: the simulated message-passing cluster, the
+// collectives, both global merge algorithms, rebalancing, and the full
+// parallel OPAQ pipeline (checked against the sequential guarantees).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/opaq.h"
+#include "data/dataset.h"
+#include "metrics/ground_truth.h"
+#include "metrics/rer.h"
+#include "parallel/bitonic_merge.h"
+#include "parallel/collectives.h"
+#include "parallel/global_merge.h"
+#include "parallel/parallel_opaq.h"
+#include "parallel/sample_merge.h"
+
+namespace opaq {
+namespace {
+
+Cluster::Options SmallCluster(int p) {
+  Cluster::Options options;
+  options.num_processors = p;
+  options.comm_mode = Cluster::CommMode::kAccount;
+  return options;
+}
+
+// ----------------------------------------------------------------- Basics --
+
+TEST(ClusterTest, PointToPointRoundTrip) {
+  Cluster cluster(SmallCluster(2));
+  Status s = cluster.Run([](ProcessorContext& ctx) -> Status {
+    if (ctx.rank() == 0) {
+      std::vector<uint64_t> payload{1, 2, 3};
+      OPAQ_RETURN_IF_ERROR(ctx.SendVector(1, 7, payload));
+    } else {
+      std::vector<uint64_t> got = ctx.RecvVector<uint64_t>(0, 7);
+      if (got != std::vector<uint64_t>{1, 2, 3}) {
+        return Status::Internal("payload mismatch");
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(ClusterTest, MessagesMatchedBySourceAndTag) {
+  Cluster cluster(SmallCluster(3));
+  Status s = cluster.Run([](ProcessorContext& ctx) -> Status {
+    if (ctx.rank() != 2) {
+      // Both senders use the same tag; receiver distinguishes by source.
+      OPAQ_RETURN_IF_ERROR(ctx.SendValue(2, 5, static_cast<uint64_t>(ctx.rank() + 100)));
+    } else {
+      // Receive in the opposite order of sending to prove matching.
+      uint64_t from1 = ctx.RecvValue<uint64_t>(1, 5);
+      uint64_t from0 = ctx.RecvValue<uint64_t>(0, 5);
+      if (from0 != 100 || from1 != 101) {
+        return Status::Internal("bad source matching");
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(ClusterTest, FifoPerSourceTagPair) {
+  Cluster cluster(SmallCluster(2));
+  Status s = cluster.Run([](ProcessorContext& ctx) -> Status {
+    if (ctx.rank() == 0) {
+      for (uint64_t i = 0; i < 50; ++i) {
+        OPAQ_RETURN_IF_ERROR(ctx.SendValue(1, 1, i));
+      }
+    } else {
+      for (uint64_t i = 0; i < 50; ++i) {
+        if (ctx.RecvValue<uint64_t>(0, 1) != i) {
+          return Status::Internal("out of order");
+        }
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(ClusterTest, CommStatsBillTheModel) {
+  Cluster::Options options = SmallCluster(2);
+  options.cost_model.tau_seconds = 1e-3;
+  options.cost_model.mu_seconds_per_byte = 1e-6;
+  Cluster cluster(options);
+  Status s = cluster.Run([](ProcessorContext& ctx) -> Status {
+    if (ctx.rank() == 0) {
+      std::vector<uint8_t> kb(1000, 1);
+      OPAQ_RETURN_IF_ERROR(ctx.Send(1, 1, kb.data(), kb.size()));
+    } else {
+      ctx.Recv(0, 1);
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(cluster.comm_stats(0).messages_sent.load(), 1u);
+  EXPECT_EQ(cluster.comm_stats(0).bytes_sent.load(), 1000u);
+  EXPECT_EQ(cluster.comm_stats(1).messages_received.load(), 1u);
+  // tau + 1000*mu = 1ms + 1ms = 2ms.
+  EXPECT_NEAR(cluster.comm_stats(0).modeled_comm_seconds(), 0.002, 1e-4);
+}
+
+TEST(ClusterTest, ErrorPropagatesFromAnyRank) {
+  Cluster cluster(SmallCluster(4));
+  Status s = cluster.Run([](ProcessorContext& ctx) -> Status {
+    if (ctx.rank() == 2) return Status::IoError("rank 2 exploded");
+    return Status::OK();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(ClusterTest, ReusableAcrossRuns) {
+  Cluster cluster(SmallCluster(2));
+  for (int round = 0; round < 3; ++round) {
+    Status s = cluster.Run([round](ProcessorContext& ctx) -> Status {
+      if (ctx.rank() == 0) {
+        OPAQ_RETURN_IF_ERROR(ctx.SendValue(1, 9, static_cast<uint64_t>(round * 10)));
+      } else {
+        uint64_t got = ctx.RecvValue<uint64_t>(0, 9);
+        if (got != static_cast<uint64_t>(round * 10)) {
+          return Status::Internal("stale message from a previous run");
+        }
+      }
+      return Status::OK();
+    });
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+}
+
+TEST(ClusterTest, BarrierSynchronises) {
+  Cluster cluster(SmallCluster(4));
+  std::atomic<int> phase_one{0};
+  Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
+    phase_one.fetch_add(1);
+    ctx.Barrier();
+    if (phase_one.load() != 4) {
+      return Status::Internal("barrier released early");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+// ------------------------------------------------------------ Collectives --
+
+TEST(CollectivesTest, GatherAndBroadcast) {
+  Cluster cluster(SmallCluster(4));
+  Status s = cluster.Run([](ProcessorContext& ctx) -> Status {
+    std::vector<uint64_t> mine{static_cast<uint64_t>(ctx.rank())};
+    auto gathered = collectives::GatherVectors(ctx, 0, mine);
+    if (ctx.rank() == 0) {
+      for (int r = 0; r < 4; ++r) {
+        if (gathered[r] != std::vector<uint64_t>{static_cast<uint64_t>(r)}) {
+          return Status::Internal("gather mismatch");
+        }
+      }
+    }
+    std::vector<uint64_t> payload;
+    if (ctx.rank() == 0) payload = {7, 8, 9};
+    collectives::BroadcastVector(ctx, 0, &payload);
+    if (payload != std::vector<uint64_t>{7, 8, 9}) {
+      return Status::Internal("broadcast mismatch");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(CollectivesTest, AllGatherGivesEveryoneEverything) {
+  Cluster cluster(SmallCluster(3));
+  Status s = cluster.Run([](ProcessorContext& ctx) -> Status {
+    std::vector<uint64_t> mine(ctx.rank() + 1,
+                               static_cast<uint64_t>(ctx.rank()));
+    auto all = collectives::AllGatherVectors(ctx, mine);
+    for (int r = 0; r < 3; ++r) {
+      if (all[r] != std::vector<uint64_t>(r + 1, static_cast<uint64_t>(r))) {
+        return Status::Internal("allgather mismatch at rank " +
+                                std::to_string(r));
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(CollectivesTest, AllToAllRoutesPersonalisedData) {
+  Cluster cluster(SmallCluster(4));
+  Status s = cluster.Run([](ProcessorContext& ctx) -> Status {
+    // outgoing[r] = {rank*10 + r}.
+    std::vector<std::vector<uint64_t>> outgoing(4);
+    for (int r = 0; r < 4; ++r) {
+      outgoing[r] = {static_cast<uint64_t>(ctx.rank() * 10 + r)};
+    }
+    auto incoming = collectives::AllToAllVectors(ctx, outgoing);
+    for (int r = 0; r < 4; ++r) {
+      if (incoming[r] !=
+          std::vector<uint64_t>{static_cast<uint64_t>(r * 10 + ctx.rank())}) {
+        return Status::Internal("alltoall mismatch");
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(CollectivesTest, ExclusiveScanAndReduce) {
+  Cluster cluster(SmallCluster(4));
+  Status s = cluster.Run([](ProcessorContext& ctx) -> Status {
+    uint64_t value = (ctx.rank() + 1) * 10;  // 10,20,30,40
+    uint64_t total = 0;
+    uint64_t prefix = collectives::ExclusiveScanU64(ctx, value, &total);
+    const uint64_t expected_prefix[] = {0, 10, 30, 60};
+    if (prefix != expected_prefix[ctx.rank()] || total != 100) {
+      return Status::Internal("scan mismatch");
+    }
+    auto sums = collectives::AllReduceSumU64(ctx, {value, 1});
+    if (sums != std::vector<uint64_t>{100, 4}) {
+      return Status::Internal("allreduce mismatch");
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+// ----------------------------------------------------------- Global merge --
+
+// Shared harness: every rank makes a sorted local list, merges with the
+// given method, and the driver checks the distributed postconditions.
+void CheckGlobalMerge(int p, MergeMethod method, size_t per_rank,
+                      bool equal_sizes) {
+  Cluster cluster(SmallCluster(p));
+  std::vector<std::vector<uint64_t>> locals(p);
+  std::vector<uint64_t> all;
+  Xoshiro256 rng(p * 1000 + per_rank);
+  for (int r = 0; r < p; ++r) {
+    size_t len = equal_sizes ? per_rank : per_rank + r * 7;
+    for (size_t i = 0; i < len; ++i) {
+      locals[r].push_back(rng.NextBounded(100000));
+    }
+    std::sort(locals[r].begin(), locals[r].end());
+    all.insert(all.end(), locals[r].begin(), locals[r].end());
+  }
+  std::sort(all.begin(), all.end());
+
+  std::vector<DistributedList<uint64_t>> results(p);
+  Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
+    results[ctx.rank()] =
+        GlobalMerge(ctx, locals[ctx.rank()], method);
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  // Concatenated slices must equal the fully sorted union, with consistent
+  // offsets and near-equal sizes.
+  std::vector<uint64_t> reassembled;
+  uint64_t expected_offset = 0;
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(results[r].global_offset, expected_offset) << "rank " << r;
+    EXPECT_EQ(results[r].global_size, all.size());
+    EXPECT_TRUE(std::is_sorted(results[r].values.begin(),
+                               results[r].values.end()));
+    expected_offset += results[r].values.size();
+    reassembled.insert(reassembled.end(), results[r].values.begin(),
+                       results[r].values.end());
+  }
+  EXPECT_EQ(reassembled, all);
+  // Balanced within one element.
+  for (int r = 0; r < p; ++r) {
+    EXPECT_NEAR(static_cast<double>(results[r].values.size()),
+                static_cast<double>(all.size()) / p, 1.0)
+        << "rank " << r;
+  }
+}
+
+TEST(BitonicMergeTest, TwoProcessors) {
+  CheckGlobalMerge(2, MergeMethod::kBitonic, 64, true);
+}
+TEST(BitonicMergeTest, FourProcessors) {
+  CheckGlobalMerge(4, MergeMethod::kBitonic, 128, true);
+}
+TEST(BitonicMergeTest, EightProcessors) {
+  CheckGlobalMerge(8, MergeMethod::kBitonic, 256, true);
+}
+TEST(BitonicMergeTest, SingleProcessorIdentity) {
+  CheckGlobalMerge(1, MergeMethod::kBitonic, 32, true);
+}
+
+TEST(SampleMergeTest, TwoProcessors) {
+  CheckGlobalMerge(2, MergeMethod::kSample, 64, true);
+}
+TEST(SampleMergeTest, FourProcessors) {
+  CheckGlobalMerge(4, MergeMethod::kSample, 128, true);
+}
+TEST(SampleMergeTest, EightProcessors) {
+  CheckGlobalMerge(8, MergeMethod::kSample, 256, true);
+}
+TEST(SampleMergeTest, NonPowerOfTwoProcessors) {
+  CheckGlobalMerge(3, MergeMethod::kSample, 100, true);
+  CheckGlobalMerge(5, MergeMethod::kSample, 90, true);
+  CheckGlobalMerge(7, MergeMethod::kSample, 80, true);
+}
+TEST(SampleMergeTest, UnequalLocalSizes) {
+  CheckGlobalMerge(4, MergeMethod::kSample, 50, false);
+}
+TEST(SampleMergeTest, DuplicateHeavyLists) {
+  Cluster cluster(SmallCluster(4));
+  std::vector<DistributedList<uint64_t>> results(4);
+  Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
+    std::vector<uint64_t> local(100, ctx.rank() % 2);  // only values 0/1
+    results[ctx.rank()] = SampleMergeBlocks(ctx, local);
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  size_t total = 0;
+  for (auto& r : results) total += r.values.size();
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(RebalanceTest, EqualisesSkewedDistribution) {
+  Cluster cluster(SmallCluster(4));
+  std::vector<DistributedList<uint64_t>> results(4);
+  Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
+    // Rank r holds a sorted block [1000r, 1000r + len) with wildly
+    // different lengths; globally ordered by construction.
+    size_t len = (ctx.rank() + 1) * (ctx.rank() + 1) * 10;  // 10,40,90,160
+    std::vector<uint64_t> local(len);
+    std::iota(local.begin(), local.end(), ctx.rank() * 1000);
+    results[ctx.rank()] = RebalanceSorted(ctx, local);
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  const uint64_t total = 10 + 40 + 90 + 160;
+  uint64_t offset = 0;
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(results[r].global_size, total);
+    EXPECT_EQ(results[r].global_offset, offset);
+    offset += results[r].values.size();
+    EXPECT_NEAR(static_cast<double>(results[r].values.size()), total / 4.0,
+                1.0);
+  }
+}
+
+TEST(BitonicMergeTest, RequiresPowerOfTwo) {
+  Cluster cluster(SmallCluster(3));
+  EXPECT_DEATH(
+      {
+        Status s = cluster.Run([](ProcessorContext& ctx) -> Status {
+          std::vector<uint64_t> local{1, 2, 3};
+          BitonicMergeBlocks(ctx, local);
+          return Status::OK();
+        });
+      },
+      "power-of-two");
+}
+
+// ---------------------------------------------------------- Parallel OPAQ --
+
+struct ParallelFixture {
+  std::vector<std::unique_ptr<MemoryBlockDevice>> devices;
+  std::vector<TypedDataFile<uint64_t>> files;
+  std::vector<const TypedDataFile<uint64_t>*> file_ptrs;
+  std::vector<uint64_t> all_data;
+
+  explicit ParallelFixture(int p, uint64_t per_rank,
+                           Distribution distribution = Distribution::kUniform) {
+    for (int r = 0; r < p; ++r) {
+      DatasetSpec spec;
+      spec.n = per_rank;
+      spec.seed = 1000 + r;
+      spec.distribution = distribution;
+      auto data = GenerateDataset<uint64_t>(spec);
+      all_data.insert(all_data.end(), data.begin(), data.end());
+      devices.push_back(std::make_unique<MemoryBlockDevice>());
+      OPAQ_CHECK_OK(WriteDataset(data, devices.back().get()));
+      auto file = TypedDataFile<uint64_t>::Open(devices.back().get());
+      OPAQ_CHECK_OK(file.status());
+      files.push_back(std::move(file).value());
+    }
+    for (auto& f : files) file_ptrs.push_back(&f);
+  }
+};
+
+class ParallelOpaqTest
+    : public ::testing::TestWithParam<std::tuple<int, MergeMethod>> {};
+
+TEST_P(ParallelOpaqTest, GuaranteesHoldAcrossClusterShapes) {
+  const int p = std::get<0>(GetParam());
+  const MergeMethod method = std::get<1>(GetParam());
+  ParallelFixture fixture(p, 20000, Distribution::kZipf);
+
+  Cluster cluster(SmallCluster(p));
+  ParallelOpaqOptions options;
+  options.config.run_size = 2000;
+  options.config.samples_per_run = 100;
+  options.merge_method = method;
+  auto result = RunParallelOpaq(cluster, fixture.file_ptrs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_EQ(result->estimates.size(), 9u);
+  EXPECT_EQ(result->global_accounting.total_elements,
+            static_cast<uint64_t>(p) * 20000);
+  EXPECT_EQ(result->global_accounting.num_runs,
+            static_cast<uint64_t>(p) * 10);
+
+  GroundTruth<uint64_t> truth(fixture.all_data);
+  for (const auto& e : result->estimates) {
+    EXPECT_TRUE(BracketHolds(truth, e)) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClusterShapes, ParallelOpaqTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(MergeMethod::kBitonic,
+                                         MergeMethod::kSample)),
+    [](const auto& info) {
+      return std::string("p") + std::to_string(std::get<0>(info.param)) +
+             "_" + MergeMethodName(std::get<1>(info.param));
+    });
+
+TEST(ParallelOpaqTest2, NonPowerOfTwoWithSampleMerge) {
+  const int p = 3;
+  ParallelFixture fixture(p, 10000);
+  Cluster cluster(SmallCluster(p));
+  ParallelOpaqOptions options;
+  options.config.run_size = 1000;
+  options.config.samples_per_run = 50;
+  options.merge_method = MergeMethod::kSample;
+  auto result = RunParallelOpaq(cluster, fixture.file_ptrs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  GroundTruth<uint64_t> truth(fixture.all_data);
+  for (const auto& e : result->estimates) EXPECT_TRUE(BracketHolds(truth, e));
+}
+
+TEST(ParallelOpaqTest2, MatchesSequentialSampleAccounting) {
+  // A 1-processor parallel run must agree exactly with the sequential path.
+  ParallelFixture fixture(1, 30000);
+  Cluster cluster(SmallCluster(1));
+  ParallelOpaqOptions options;
+  options.config.run_size = 3000;
+  options.config.samples_per_run = 100;
+  auto result = RunParallelOpaq(cluster, fixture.file_ptrs, options);
+  ASSERT_TRUE(result.ok());
+
+  OpaqConfig config = options.config;
+  OpaqEstimator<uint64_t> sequential =
+      EstimateQuantilesInMemory(fixture.all_data, config);
+  for (int d = 1; d <= 9; ++d) {
+    auto seq = sequential.Quantile(d / 10.0);
+    const auto& par = result->estimates[d - 1];
+    EXPECT_EQ(par.lower, seq.lower) << d;
+    EXPECT_EQ(par.upper, seq.upper) << d;
+    EXPECT_EQ(par.target_rank, seq.target_rank) << d;
+  }
+}
+
+TEST(ParallelOpaqTest2, PhaseTimersPopulated) {
+  const int p = 4;
+  ParallelFixture fixture(p, 20000);
+  Cluster cluster(SmallCluster(p));
+  ParallelOpaqOptions options;
+  options.config.run_size = 2000;
+  options.config.samples_per_run = 200;
+  auto result = RunParallelOpaq(cluster, fixture.file_ptrs, options);
+  ASSERT_TRUE(result.ok());
+  PhaseTimer avg = cluster.AveragedTimers();
+  EXPECT_GT(avg.TotalSeconds(), 0.0);
+  EXPECT_GT(avg.Seconds(kPhaseSampling), 0.0);
+  EXPECT_GT(result->total_wall_seconds, 0.0);
+  // Communication happened (global merge).
+  EXPECT_GT(cluster.comm_stats(0).messages_sent.load(), 0u);
+}
+
+TEST(ParallelOpaqTest2, RejectsWrongFileCount) {
+  ParallelFixture fixture(2, 1000);
+  Cluster cluster(SmallCluster(4));
+  ParallelOpaqOptions options;
+  options.config.run_size = 100;
+  options.config.samples_per_run = 10;
+  auto result = RunParallelOpaq(cluster, fixture.file_ptrs, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace opaq

@@ -1,0 +1,305 @@
+// Unit + property tests for src/select: partition primitives, all selection
+// algorithms, and multi-select / regular sampling. Selection algorithms are
+// cross-checked against sorting over a grid of input shapes via TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "data/dataset.h"
+#include "select/multi_select.h"
+#include "select/select.h"
+
+namespace opaq {
+namespace {
+
+// -------------------------------------------------------------- Partition --
+
+TEST(PartitionTest, ThreeWaySplitsCorrectly) {
+  std::vector<int> v{5, 1, 5, 3, 9, 5, 7, 2, 5};
+  PartitionBounds b = ThreeWayPartition(v.data(), v.size(), 5);
+  for (size_t i = 0; i < b.lt; ++i) EXPECT_LT(v[i], 5);
+  for (size_t i = b.lt; i < b.gt; ++i) EXPECT_EQ(v[i], 5);
+  for (size_t i = b.gt; i < v.size(); ++i) EXPECT_GT(v[i], 5);
+  EXPECT_EQ(b.gt - b.lt, 4u);  // four fives
+}
+
+TEST(PartitionTest, AllEqualCollapsesToEqualBand) {
+  std::vector<int> v(100, 7);
+  PartitionBounds b = ThreeWayPartition(v.data(), v.size(), 7);
+  EXPECT_EQ(b.lt, 0u);
+  EXPECT_EQ(b.gt, 100u);
+}
+
+TEST(PartitionTest, PivotAbsentFromData) {
+  std::vector<int> v{1, 9, 2, 8};
+  PartitionBounds b = ThreeWayPartition(v.data(), v.size(), 5);
+  EXPECT_EQ(b.lt, 2u);
+  EXPECT_EQ(b.gt, 2u);
+}
+
+TEST(PartitionTest, EmptyInput) {
+  std::vector<int> v;
+  PartitionBounds b = ThreeWayPartition(v.data(), 0, 5);
+  EXPECT_EQ(b.lt, 0u);
+  EXPECT_EQ(b.gt, 0u);
+}
+
+TEST(InsertionSortTest, SortsSmallArrays) {
+  std::vector<int> v{5, 3, 1, 4, 2};
+  InsertionSort(v.data(), v.size());
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(MedianOfThreeTest, LeavesMedianInMiddle) {
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int c = 0; c < 3; ++c) {
+        int x = a, y = b, z = c;
+        MedianOfThree(x, y, z);
+        EXPECT_LE(x, y);
+        EXPECT_LE(y, z);
+      }
+    }
+  }
+}
+
+// ------------------------------------------- Selection algorithms (TEST_P) --
+
+struct SelectCase {
+  SelectAlgorithm algorithm;
+  Distribution distribution;
+  size_t n;
+};
+
+class SelectAlgorithmTest
+    : public ::testing::TestWithParam<std::tuple<SelectAlgorithm,
+                                                 Distribution, size_t>> {};
+
+TEST_P(SelectAlgorithmTest, MatchesSortAtEveryProbedRank) {
+  auto [algorithm, distribution, n] = GetParam();
+  DatasetSpec spec;
+  spec.n = n;
+  spec.distribution = distribution;
+  spec.seed = 42 + n;
+  std::vector<uint64_t> data = GenerateDataset<uint64_t>(spec);
+  std::vector<uint64_t> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  Xoshiro256 rng(7);
+  // Probe a spread of ranks including the extremes.
+  std::vector<size_t> ranks{0, n - 1, n / 2, n / 4, 3 * n / 4, 1, n - 2};
+  for (size_t k : ranks) {
+    if (k >= n) continue;
+    std::vector<uint64_t> work = data;
+    uint64_t got = SelectKth(work.data(), work.size(), k, algorithm, rng);
+    ASSERT_EQ(got, sorted[k])
+        << SelectAlgorithmName(algorithm) << " rank " << k << " on "
+        << DistributionName(distribution);
+    // nth_element postcondition: prefix <= pivot <= suffix.
+    for (size_t i = 0; i < k; ++i) ASSERT_LE(work[i], work[k]);
+    for (size_t i = k + 1; i < n; ++i) ASSERT_GE(work[i], work[k]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllShapes, SelectAlgorithmTest,
+    ::testing::Combine(
+        ::testing::Values(SelectAlgorithm::kStdNthElement,
+                          SelectAlgorithm::kMedianOfMedians,
+                          SelectAlgorithm::kFloydRivest,
+                          SelectAlgorithm::kIntroSelect),
+        ::testing::Values(Distribution::kUniform, Distribution::kZipf,
+                          Distribution::kSequential,
+                          Distribution::kReverseSequential,
+                          Distribution::kConstant, Distribution::kSawtooth),
+        ::testing::Values(size_t{10}, size_t{100}, size_t{1000},
+                          size_t{10000})),
+    [](const auto& info) {
+      std::string name = SelectAlgorithmName(std::get<0>(info.param));
+      for (char& ch : name) {
+        if (!isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name + "_" + DistributionName(std::get<1>(info.param)) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(SelectionTest, SingleElement) {
+  Xoshiro256 rng(1);
+  for (SelectAlgorithm a :
+       {SelectAlgorithm::kStdNthElement, SelectAlgorithm::kMedianOfMedians,
+        SelectAlgorithm::kFloydRivest, SelectAlgorithm::kIntroSelect}) {
+    std::vector<int> v{42};
+    EXPECT_EQ(SelectKth(v.data(), 1, 0, a, rng), 42);
+  }
+}
+
+TEST(SelectionTest, TwoElements) {
+  Xoshiro256 rng(1);
+  for (SelectAlgorithm a :
+       {SelectAlgorithm::kMedianOfMedians, SelectAlgorithm::kFloydRivest,
+        SelectAlgorithm::kIntroSelect}) {
+    std::vector<int> v{9, 3};
+    EXPECT_EQ(SelectKth(v.data(), 2, 0, a, rng), 3);
+    v = {9, 3};
+    EXPECT_EQ(SelectKth(v.data(), 2, 1, a, rng), 9);
+  }
+}
+
+TEST(SelectionTest, WorksOnDoubles) {
+  Xoshiro256 rng(3);
+  std::vector<double> v{3.5, -1.25, 0.0, 99.9, 2.5};
+  EXPECT_DOUBLE_EQ(
+      SelectKth(v.data(), v.size(), 2, SelectAlgorithm::kFloydRivest, rng),
+      2.5);
+}
+
+TEST(SelectionTest, MedianOfMediansIsFullyDeterministic) {
+  // Same input => same rearrangement, independent of any RNG state.
+  DatasetSpec spec;
+  spec.n = 4096;
+  auto data = GenerateDataset<uint64_t>(spec);
+  std::vector<uint64_t> a = data, b = data;
+  MedianOfMediansSelect(a.data(), a.size(), 1000);
+  MedianOfMediansSelect(b.data(), b.size(), 1000);
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------ MultiSelect --
+
+TEST(MultiSelectTest, SelectsArbitraryRankSet) {
+  DatasetSpec spec;
+  spec.n = 5000;
+  spec.distribution = Distribution::kUniform;
+  auto data = GenerateDataset<uint64_t>(spec);
+  std::vector<uint64_t> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<uint64_t> ranks{0, 17, 555, 2500, 4999};
+  Xoshiro256 rng(5);
+  std::vector<uint64_t> work = data;
+  auto got = MultiSelect(work.data(), work.size(), ranks,
+                         SelectAlgorithm::kIntroSelect, rng);
+  ASSERT_EQ(got.size(), ranks.size());
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_EQ(got[i], sorted[ranks[i]]);
+  }
+}
+
+TEST(MultiSelectTest, EmptyRankSet) {
+  std::vector<uint64_t> data{3, 1, 2};
+  Xoshiro256 rng(1);
+  auto got = MultiSelect(data.data(), data.size(), {},
+                         SelectAlgorithm::kIntroSelect, rng);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(MultiSelectTest, AllRanks) {
+  // Selecting every rank is a full sort.
+  std::vector<uint64_t> data{5, 2, 9, 1, 7};
+  std::vector<uint64_t> ranks{0, 1, 2, 3, 4};
+  Xoshiro256 rng(2);
+  auto got = MultiSelect(data.data(), data.size(), ranks,
+                         SelectAlgorithm::kMedianOfMedians, rng);
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 2, 5, 7, 9}));
+}
+
+class RegularSamplesTest
+    : public ::testing::TestWithParam<std::tuple<SelectAlgorithm,
+                                                 Distribution>> {};
+
+TEST_P(RegularSamplesTest, MatchesSortingBaselineExactly) {
+  auto [algorithm, distribution] = GetParam();
+  DatasetSpec spec;
+  spec.n = 8192;
+  spec.distribution = distribution;
+  auto data = GenerateDataset<uint64_t>(spec);
+
+  constexpr uint64_t kS = 64;
+  Xoshiro256 rng(11);
+  std::vector<uint64_t> work = data;
+  auto fast = RegularSamples(work.data(), work.size(), kS, algorithm, rng);
+
+  std::vector<uint64_t> baseline_input = data;
+  auto slow = RegularSamplesBySorting(baseline_input.data(),
+                                      baseline_input.size(),
+                                      spec.n / kS);
+  // The sample at each regular rank is a fixed order statistic: every
+  // algorithm must produce the identical value list.
+  EXPECT_EQ(fast, slow);
+  EXPECT_EQ(fast.size(), kS);
+  EXPECT_TRUE(std::is_sorted(fast.begin(), fast.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RegularSamplesTest,
+    ::testing::Combine(
+        ::testing::Values(SelectAlgorithm::kStdNthElement,
+                          SelectAlgorithm::kMedianOfMedians,
+                          SelectAlgorithm::kFloydRivest,
+                          SelectAlgorithm::kIntroSelect),
+        ::testing::Values(Distribution::kUniform, Distribution::kZipf,
+                          Distribution::kConstant,
+                          Distribution::kSequential)),
+    [](const auto& info) {
+      std::string name = SelectAlgorithmName(std::get<0>(info.param));
+      for (char& ch : name) {
+        if (!isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name + std::string("_") +
+             DistributionName(std::get<1>(info.param));
+    });
+
+TEST(RegularSamplesTest2, SubrunCoverageProperties) {
+  // Paper Appendix A, property 1: the j-th sample has >= j*c elements <= it.
+  DatasetSpec spec;
+  spec.n = 1000;
+  spec.distribution = Distribution::kZipf;
+  auto data = GenerateDataset<uint64_t>(spec);
+  std::vector<uint64_t> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+
+  constexpr uint64_t kC = 25;  // sub-run size
+  Xoshiro256 rng(3);
+  std::vector<uint64_t> work = data;
+  auto samples = RegularSamplesBySubrunSize(work.data(), work.size(), kC,
+                                            SelectAlgorithm::kIntroSelect,
+                                            rng);
+  ASSERT_EQ(samples.size(), spec.n / kC);
+  for (size_t j = 1; j <= samples.size(); ++j) {
+    uint64_t count_le = static_cast<uint64_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), samples[j - 1]) -
+        sorted.begin());
+    EXPECT_GE(count_le, j * kC);
+  }
+}
+
+TEST(RegularSamplesTest2, TailRunProducesFloorSamples) {
+  std::vector<uint64_t> run(103);
+  std::iota(run.begin(), run.end(), 0);
+  Xoshiro256 rng(4);
+  auto samples = RegularSamplesBySubrunSize(run.data(), run.size(), 10,
+                                            SelectAlgorithm::kIntroSelect,
+                                            rng);
+  // floor(103/10) = 10 samples at ranks 10,20,...,100 => values 9,19,...,99.
+  ASSERT_EQ(samples.size(), 10u);
+  for (size_t j = 0; j < samples.size(); ++j) {
+    EXPECT_EQ(samples[j], 10 * (j + 1) - 1);
+  }
+}
+
+TEST(RegularSamplesTest2, SampleCountEqualsSIncludesMax) {
+  // With s | m, the last sample is the run maximum (rank m).
+  std::vector<uint64_t> run(64);
+  std::iota(run.begin(), run.end(), 100);
+  Xoshiro256 rng(5);
+  auto samples = RegularSamples(run.data(), run.size(), 8,
+                                SelectAlgorithm::kFloydRivest, rng);
+  ASSERT_EQ(samples.size(), 8u);
+  EXPECT_EQ(samples.back(), 163u);  // max element
+}
+
+}  // namespace
+}  // namespace opaq

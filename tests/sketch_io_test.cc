@@ -1,0 +1,250 @@
+// Tests for sketch persistence (core/sketch_io.h) and the batch exact
+// second pass (core/exact.h, plural variant).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/exact.h"
+#include "core/opaq.h"
+#include "core/sketch_io.h"
+#include "data/dataset.h"
+#include "io/tempdir.h"
+#include "metrics/ground_truth.h"
+#include "metrics/rer.h"
+
+namespace opaq {
+namespace {
+
+SampleList<uint64_t> MakeList(uint64_t n = 20000) {
+  DatasetSpec spec;
+  spec.n = n;
+  spec.distribution = Distribution::kZipf;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 2000;
+  config.samples_per_run = 100;
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  return est.sample_list();
+}
+
+TEST(SketchIoTest, SaveLoadRoundTripsExactly) {
+  SampleList<uint64_t> list = MakeList();
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(SaveSampleList(list, &dev).ok());
+  auto loaded = LoadSampleList<uint64_t>(&dev);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->samples(), list.samples());
+  EXPECT_EQ(loaded->accounting().subrun_size, list.accounting().subrun_size);
+  EXPECT_EQ(loaded->accounting().num_runs, list.accounting().num_runs);
+  EXPECT_EQ(loaded->accounting().num_samples,
+            list.accounting().num_samples);
+  EXPECT_EQ(loaded->accounting().num_uncovered,
+            list.accounting().num_uncovered);
+  EXPECT_EQ(loaded->total_elements(), list.total_elements());
+}
+
+TEST(SketchIoTest, RoundTripsThroughRealFile) {
+  auto dir = TempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  SampleList<uint64_t> list = MakeList();
+  {
+    auto dev = FileBlockDevice::Make(dir->FilePath("s.sketch"),
+                                     FileBlockDevice::Mode::kCreate);
+    ASSERT_TRUE(dev.ok());
+    ASSERT_TRUE(SaveSampleList(list, dev->get()).ok());
+  }
+  auto dev = FileBlockDevice::Make(dir->FilePath("s.sketch"),
+                                   FileBlockDevice::Mode::kOpen);
+  ASSERT_TRUE(dev.ok());
+  auto loaded = LoadSampleList<uint64_t>(dev->get());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->samples(), list.samples());
+}
+
+TEST(SketchIoTest, LoadedSketchAnswersIdentically) {
+  SampleList<uint64_t> list = MakeList();
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(SaveSampleList(list, &dev).ok());
+  auto loaded = LoadSampleList<uint64_t>(&dev);
+  ASSERT_TRUE(loaded.ok());
+  OpaqEstimator<uint64_t> a{list};
+  OpaqEstimator<uint64_t> b{std::move(loaded).value()};
+  for (int d = 1; d <= 9; ++d) {
+    auto ea = a.Quantile(d / 10.0);
+    auto eb = b.Quantile(d / 10.0);
+    EXPECT_EQ(ea.lower, eb.lower);
+    EXPECT_EQ(ea.upper, eb.upper);
+  }
+}
+
+TEST(SketchIoTest, RejectsWrongKeyType) {
+  SampleList<uint64_t> list = MakeList();
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(SaveSampleList(list, &dev).ok());
+  auto loaded = LoadSampleList<double>(&dev);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SketchIoTest, RejectsGarbage) {
+  MemoryBlockDevice dev;
+  std::vector<uint8_t> junk(128, 0x5A);
+  ASSERT_TRUE(dev.WriteAt(0, junk.data(), junk.size()).ok());
+  EXPECT_FALSE(LoadSampleList<uint64_t>(&dev).ok());
+}
+
+TEST(SketchIoTest, RejectsTruncatedSamples) {
+  SampleList<uint64_t> list = MakeList();
+  MemoryBlockDevice full;
+  ASSERT_TRUE(SaveSampleList(list, &full).ok());
+  // Copy only the header plus half the samples.
+  auto size = full.Size();
+  ASSERT_TRUE(size.ok());
+  std::vector<uint8_t> bytes(*size / 2);
+  ASSERT_TRUE(full.ReadAt(0, bytes.data(), bytes.size()).ok());
+  MemoryBlockDevice truncated;
+  ASSERT_TRUE(truncated.WriteAt(0, bytes.data(), bytes.size()).ok());
+  EXPECT_FALSE(LoadSampleList<uint64_t>(&truncated).ok());
+}
+
+TEST(SketchIoTest, RejectsUnsortedSamples) {
+  SampleList<uint64_t> list = MakeList();
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(SaveSampleList(list, &dev).ok());
+  // Corrupt two adjacent samples out of order.
+  uint64_t big = UINT64_MAX, small = 0;
+  ASSERT_TRUE(dev.WriteAt(sizeof(SketchFileHeader), &big, 8).ok());
+  ASSERT_TRUE(dev.WriteAt(sizeof(SketchFileHeader) + 8, &small, 8).ok());
+  EXPECT_FALSE(LoadSampleList<uint64_t>(&dev).ok());
+}
+
+TEST(SketchIoTest, SaveRefusesEmptyList) {
+  SampleList<uint64_t> empty;
+  MemoryBlockDevice dev;
+  EXPECT_FALSE(SaveSampleList(empty, &dev).ok());
+}
+
+TEST(SketchIoTest, PersistedIncrementalWorkflow) {
+  // The §4 story across "process restarts": save, load, merge new data,
+  // save again; final answers equal the one-shot sketch.
+  DatasetSpec spec;
+  spec.n = 30000;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 3000;
+  config.samples_per_run = 150;
+
+  std::vector<uint64_t> first(data.begin(), data.begin() + 15000);
+  std::vector<uint64_t> second(data.begin() + 15000, data.end());
+
+  MemoryBlockDevice store;
+  {
+    OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(first, config);
+    ASSERT_TRUE(SaveSampleList(est.sample_list(), &store).ok());
+  }
+  {
+    auto loaded = LoadSampleList<uint64_t>(&store);
+    ASSERT_TRUE(loaded.ok());
+    OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(second, config);
+    auto merged = SampleList<uint64_t>::Merge(*loaded, est.sample_list());
+    ASSERT_TRUE(merged.ok());
+    ASSERT_TRUE(SaveSampleList(*merged, &store).ok());
+  }
+  auto final_list = LoadSampleList<uint64_t>(&store);
+  ASSERT_TRUE(final_list.ok());
+  OpaqEstimator<uint64_t> whole = EstimateQuantilesInMemory(data, config);
+  EXPECT_EQ(final_list->samples(), whole.sample_list().samples());
+}
+
+// ------------------------------------------------- Batch exact second pass --
+
+TEST(BatchExactTest, RecoversAllDectilesInOnePass) {
+  DatasetSpec spec;
+  spec.n = 50000;
+  spec.distribution = Distribution::kUniform;
+  auto data = GenerateDataset<uint64_t>(spec);
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+
+  OpaqConfig config;
+  config.run_size = 5000;
+  config.samples_per_run = 250;
+  OpaqSketch<uint64_t> sketch(config);
+  ASSERT_TRUE(sketch.ConsumeFile(&*file).ok());
+  OpaqEstimator<uint64_t> est = sketch.Finalize();
+  GroundTruth<uint64_t> truth(data);
+
+  auto estimates = est.EquiQuantiles(10);
+  auto exact = ExactQuantilesSecondPass(&*file, estimates,
+                                        config.run_size);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  ASSERT_EQ(exact->size(), 9u);
+  for (int d = 1; d <= 9; ++d) {
+    EXPECT_EQ((*exact)[d - 1], truth.Quantile(d / 10.0)) << d;
+  }
+}
+
+TEST(BatchExactTest, MatchesSingleQuantileVariant) {
+  DatasetSpec spec;
+  spec.n = 20000;
+  spec.distribution = Distribution::kZipf;
+  auto data = GenerateDataset<uint64_t>(spec);
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+
+  OpaqConfig config;
+  config.run_size = 2000;
+  config.samples_per_run = 100;
+  OpaqSketch<uint64_t> sketch(config);
+  ASSERT_TRUE(sketch.ConsumeFile(&*file).ok());
+  OpaqEstimator<uint64_t> est = sketch.Finalize();
+  auto median = est.Quantile(0.5);
+  auto single = ExactQuantileSecondPass(&*file, median, config.run_size);
+  auto batch = ExactQuantilesSecondPass(
+      &*file, std::vector<QuantileEstimate<uint64_t>>{median},
+      config.run_size);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->front(), *single);
+}
+
+TEST(BatchExactTest, EmptyRequestIsEmptyResult) {
+  MemoryBlockDevice dev;
+  std::vector<uint64_t> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+  auto exact = ExactQuantilesSecondPass(
+      &*file, std::vector<QuantileEstimate<uint64_t>>{}, 10);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->empty());
+}
+
+TEST(BatchExactTest, BudgetCoversAllBrackets) {
+  std::vector<uint64_t> data(2000, 5);  // all duplicates: brackets overlap
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(WriteDataset(data, &dev).ok());
+  auto file = TypedDataFile<uint64_t>::Open(&dev);
+  ASSERT_TRUE(file.ok());
+  OpaqConfig config;
+  config.run_size = 200;
+  config.samples_per_run = 20;
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  auto estimates = est.EquiQuantiles(10);
+  auto exact = ExactQuantilesSecondPass(&*file, estimates, 200,
+                                        /*budget=*/100);
+  EXPECT_FALSE(exact.ok());
+  EXPECT_EQ(exact.status().code(), StatusCode::kResourceExhausted);
+  auto ok = ExactQuantilesSecondPass(&*file, estimates, 200,
+                                     /*budget=*/9 * 2000);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  for (uint64_t v : *ok) EXPECT_EQ(v, 5u);
+}
+
+}  // namespace
+}  // namespace opaq

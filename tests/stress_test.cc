@@ -1,0 +1,268 @@
+// Randomized stress & property tests across module boundaries: randomized
+// configurations against ground truth, algebraic properties of sample-list
+// merging, estimator monotonicity, adversarial input orders for the
+// streaming baselines, and a message-storm test for the cluster.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/gk.h"
+#include "baselines/munro_paterson.h"
+#include "core/opaq.h"
+#include "data/dataset.h"
+#include "metrics/ground_truth.h"
+#include "metrics/rer.h"
+#include "parallel/cluster.h"
+
+namespace opaq {
+namespace {
+
+// ------------------------------------------- randomized config sweeps ----
+
+TEST(StressTest, RandomConfigurationsAlwaysBracket) {
+  // 60 random (n, m, s, distribution) draws; every dectile bracket must
+  // hold and every rank estimate must contain the true rank.
+  Xoshiro256 rng(2024);
+  const Distribution kDists[] = {
+      Distribution::kUniform, Distribution::kZipf, Distribution::kNormal,
+      Distribution::kSequential, Distribution::kReverseSequential,
+      Distribution::kSawtooth, Distribution::kConstant};
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random c in [1, 64], random samples-per-run in [2, 64], random run
+    // count in [1, 20], random tail.
+    const uint64_t c = 1 + rng.NextBounded(64);
+    const uint64_t s = 2 + rng.NextBounded(63);
+    const uint64_t m = c * s;
+    const uint64_t runs = 1 + rng.NextBounded(20);
+    const uint64_t tail = rng.NextBounded(m);
+    const uint64_t n = m * runs + tail;
+
+    DatasetSpec spec;
+    spec.n = n;
+    spec.distribution = kDists[rng.NextBounded(std::size(kDists))];
+    spec.seed = rng.Next();
+    auto data = GenerateDataset<uint64_t>(spec);
+
+    OpaqConfig config;
+    config.run_size = m;
+    config.samples_per_run = s;
+    config.seed = trial;
+    OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+    GroundTruth<uint64_t> truth(data);
+
+    for (int d = 1; d <= 9; ++d) {
+      ASSERT_TRUE(BracketHolds(truth, est.Quantile(d / 10.0)))
+          << "trial " << trial << " " << spec.ToString() << " m=" << m
+          << " s=" << s << " dectile " << d;
+    }
+    for (int probe = 0; probe < 10; ++probe) {
+      uint64_t v = data[rng.NextBounded(data.size())];
+      RankEstimate r = est.EstimateRank(v);
+      ASSERT_LE(r.min_rank_le, truth.RankLe(v)) << "trial " << trial;
+      ASSERT_GE(r.max_rank_le, truth.RankLe(v)) << "trial " << trial;
+      ASSERT_LE(r.min_rank_lt, truth.RankLt(v)) << "trial " << trial;
+      ASSERT_GE(r.max_rank_lt, truth.RankLt(v)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(StressTest, VariableLengthRunFeeding) {
+  // Feeding the sketch runs of varying length <= m (as a tailed stream
+  // would) keeps all guarantees, with uncovered accounting picking up the
+  // slack.
+  Xoshiro256 rng(77);
+  DatasetSpec spec;
+  spec.n = 50000;
+  spec.distribution = Distribution::kZipf;
+  auto data = GenerateDataset<uint64_t>(spec);
+
+  OpaqConfig config;
+  config.run_size = 4096;
+  config.samples_per_run = 64;
+  OpaqSketch<uint64_t> sketch(config);
+  size_t cursor = 0;
+  while (cursor < data.size()) {
+    size_t len = std::min<size_t>(1 + rng.NextBounded(config.run_size),
+                                  data.size() - cursor);
+    sketch.AddRun(std::vector<uint64_t>(data.begin() + cursor,
+                                        data.begin() + cursor + len));
+    cursor += len;
+  }
+  OpaqEstimator<uint64_t> est = sketch.Finalize();
+  ASSERT_EQ(est.total_elements(), data.size());
+  GroundTruth<uint64_t> truth(data);
+  for (int d = 1; d <= 9; ++d) {
+    EXPECT_TRUE(BracketHolds(truth, est.Quantile(d / 10.0))) << d;
+  }
+}
+
+// -------------------------------------------------- algebraic properties --
+
+TEST(StressTest, MergeIsOrderInsensitive) {
+  // Merging sample lists in any order yields the same sample multiset and
+  // the same accounting (commutativity + associativity of Merge).
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 50;
+  std::vector<SampleList<uint64_t>> parts;
+  for (int i = 0; i < 5; ++i) {
+    DatasetSpec spec;
+    spec.n = 5000 + i * 1000;
+    spec.seed = i;
+    spec.distribution = i % 2 ? Distribution::kZipf : Distribution::kUniform;
+    parts.push_back(EstimateQuantilesInMemory(
+                        GenerateDataset<uint64_t>(spec), config)
+                        .sample_list());
+  }
+  auto merge_in_order = [&](std::vector<int> order) {
+    SampleList<uint64_t> acc;
+    for (int i : order) {
+      auto merged = SampleList<uint64_t>::Merge(acc, parts[i]);
+      OPAQ_CHECK_OK(merged.status());
+      acc = std::move(merged).value();
+    }
+    return acc;
+  };
+  SampleList<uint64_t> forward = merge_in_order({0, 1, 2, 3, 4});
+  SampleList<uint64_t> backward = merge_in_order({4, 3, 2, 1, 0});
+  SampleList<uint64_t> shuffled = merge_in_order({2, 0, 4, 1, 3});
+  EXPECT_EQ(forward.samples(), backward.samples());
+  EXPECT_EQ(forward.samples(), shuffled.samples());
+  EXPECT_EQ(forward.accounting().num_runs, backward.accounting().num_runs);
+  EXPECT_EQ(forward.total_elements(), shuffled.total_elements());
+}
+
+TEST(StressTest, QuantileBoundsAreMonotoneInPhi) {
+  DatasetSpec spec;
+  spec.n = 40000;
+  spec.distribution = Distribution::kNormal;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 2000;
+  config.samples_per_run = 100;
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  uint64_t prev_lower = 0, prev_upper = 0;
+  for (int pct = 1; pct <= 100; ++pct) {
+    auto e = est.Quantile(pct / 100.0);
+    EXPECT_GE(e.lower, prev_lower) << pct;
+    EXPECT_GE(e.upper, prev_upper) << pct;
+    EXPECT_LE(e.lower, e.upper) << pct;
+    prev_lower = e.lower;
+    prev_upper = e.upper;
+  }
+}
+
+TEST(StressTest, EquiQuantilesMatchesIndividualCalls) {
+  DatasetSpec spec;
+  spec.n = 20000;
+  auto data = GenerateDataset<uint64_t>(spec);
+  OpaqConfig config;
+  config.run_size = 2000;
+  config.samples_per_run = 200;
+  OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
+  for (int q : {2, 4, 10, 100}) {
+    auto batch = est.EquiQuantiles(q);
+    ASSERT_EQ(batch.size(), static_cast<size_t>(q - 1));
+    for (int i = 1; i < q; ++i) {
+      auto single = est.Quantile(static_cast<double>(i) / q);
+      EXPECT_EQ(batch[i - 1].lower, single.lower);
+      EXPECT_EQ(batch[i - 1].upper, single.upper);
+      EXPECT_EQ(batch[i - 1].target_rank, single.target_rank);
+    }
+  }
+}
+
+// ------------------------------------- adversarial orders for baselines --
+
+TEST(StressTest, GkSoundOnAdversarialOrders) {
+  const double eps = 0.02;
+  for (Distribution d : {Distribution::kSequential,
+                         Distribution::kReverseSequential,
+                         Distribution::kSawtooth, Distribution::kConstant}) {
+    DatasetSpec spec;
+    spec.n = 30000;
+    spec.distribution = d;
+    auto data = GenerateDataset<uint64_t>(spec);
+    GkEstimator<uint64_t> gk(eps);
+    for (uint64_t v : data) gk.Add(v);
+    GroundTruth<uint64_t> truth(data);
+    for (int dectile = 1; dectile <= 9; ++dectile) {
+      auto est = gk.EstimateQuantile(dectile / 10.0);
+      ASSERT_TRUE(est.ok());
+      EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(dectile / 10.0)),
+                eps * 100 + 0.01)
+          << DistributionName(d) << " dectile " << dectile;
+    }
+  }
+}
+
+TEST(StressTest, MunroPatersonBoundedErrorOnAdversarialOrders) {
+  for (Distribution d : {Distribution::kSequential,
+                         Distribution::kReverseSequential,
+                         Distribution::kSawtooth}) {
+    DatasetSpec spec;
+    spec.n = 50000;
+    spec.distribution = d;
+    auto data = GenerateDataset<uint64_t>(spec);
+    MunroPatersonEstimator<uint64_t> mp(2048);
+    for (uint64_t v : data) mp.Add(v);
+    GroundTruth<uint64_t> truth(data);
+    auto est = mp.EstimateQuantile(0.5);
+    ASSERT_TRUE(est.ok());
+    EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(0.5)), 5.0)
+        << DistributionName(d);
+  }
+}
+
+// --------------------------------------------------- cluster under load --
+
+TEST(StressTest, MessageStormAcrossManyProcessors) {
+  // Every rank sends 200 tagged messages to every other rank, interleaved;
+  // all must arrive, matched by (source, tag), in per-pair order.
+  const int p = 8;
+  const int kMessages = 200;
+  Cluster::Options options;
+  options.num_processors = p;
+  Cluster cluster(options);
+  Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
+    for (int i = 0; i < kMessages; ++i) {
+      for (int to = 0; to < p; ++to) {
+        if (to == ctx.rank()) continue;
+        uint64_t payload = static_cast<uint64_t>(ctx.rank()) * 1000000 +
+                           static_cast<uint64_t>(i);
+        OPAQ_RETURN_IF_ERROR(ctx.SendValue(to, /*tag=*/i % 3, payload));
+      }
+    }
+    // Drain: expect kMessages from each peer split across 3 tags, each
+    // tag's stream in increasing i order.
+    for (int from = 0; from < p; ++from) {
+      if (from == ctx.rank()) continue;
+      int next_for_tag[3] = {0, 1, 2};
+      for (int i = 0; i < kMessages; ++i) {
+        int tag = i % 3;  // deterministic receive schedule
+        uint64_t got = ctx.RecvValue<uint64_t>(from, tag);
+        uint64_t expect = static_cast<uint64_t>(from) * 1000000 +
+                          static_cast<uint64_t>(next_for_tag[tag]);
+        if (got != expect) {
+          return Status::Internal("out-of-order message");
+        }
+        next_for_tag[tag] += 3;
+      }
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  // Conservation: every byte sent was received.
+  uint64_t sent = 0, received = 0;
+  for (int r = 0; r < p; ++r) {
+    sent += cluster.comm_stats(r).messages_sent.load();
+    received += cluster.comm_stats(r).messages_received.load();
+  }
+  EXPECT_EQ(sent, static_cast<uint64_t>(p) * (p - 1) * kMessages);
+  EXPECT_EQ(sent, received);
+}
+
+}  // namespace
+}  // namespace opaq
