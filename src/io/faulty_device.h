@@ -22,6 +22,13 @@ class FaultyDevice : public BlockDevice {
     uint64_t fail_write_at = 0;
     /// Status returned on an injected failure.
     StatusCode code = StatusCode::kIoError;
+    /// Short-read injection: pretend the device physically ends after this
+    /// many bytes, so any read touching bytes at or past the limit fails
+    /// with OutOfRange even though the inner device (and the file header)
+    /// promise more. 0 = no truncation. Models a file truncated behind the
+    /// reader's back — the BlockDevice contract is all-or-nothing, so a
+    /// short read must surface as an error, never as partial data.
+    uint64_t truncate_after_bytes = 0;
   };
 
   FaultyDevice(std::unique_ptr<BlockDevice> inner, Options options)
@@ -31,6 +38,10 @@ class FaultyDevice : public BlockDevice {
     ++reads_;
     if (options_.fail_read_at != 0 && reads_ == options_.fail_read_at) {
       return Status(options_.code, "injected read failure");
+    }
+    if (options_.truncate_after_bytes != 0 &&
+        offset + length > options_.truncate_after_bytes) {
+      return Status::OutOfRange("injected short read: device truncated");
     }
     Status s = inner_->ReadAt(offset, buffer, length);
     if (s.ok()) RecordRead(length);
@@ -48,8 +59,22 @@ class FaultyDevice : public BlockDevice {
     return s;
   }
 
-  Result<uint64_t> Size() const override { return inner_->Size(); }
+  Result<uint64_t> Size() const override {
+    auto size = inner_->Size();
+    if (size.ok() && options_.truncate_after_bytes != 0 &&
+        *size > options_.truncate_after_bytes) {
+      return options_.truncate_after_bytes;
+    }
+    return size;
+  }
   Status Sync() override { return inner_->Sync(); }
+
+  /// Shrinks (or restores, with 0) the apparent device size at runtime:
+  /// lets tests truncate the file *after* it was successfully opened,
+  /// modelling data vanishing behind a reader's back.
+  void set_truncate_after_bytes(uint64_t bytes) {
+    options_.truncate_after_bytes = bytes;
+  }
 
   uint64_t reads_attempted() const { return reads_; }
   uint64_t writes_attempted() const { return writes_; }

@@ -51,12 +51,12 @@ void ProcessorContext::Barrier() {
   stats.modeled_comm_micros.fetch_add(
       static_cast<uint64_t>(cluster_->cost_model().tau_seconds * 1e6),
       std::memory_order_relaxed);
-  cluster_->barrier_->arrive_and_wait();
+  cluster_->barrier_->ArriveAndWait();
 }
 
 Cluster::Cluster(Options options) : options_(std::move(options)) {
   OPAQ_CHECK_GT(options_.num_processors, 0);
-  barrier_ = std::make_unique<std::barrier<>>(options_.num_processors);
+  barrier_ = std::make_unique<ThreadBarrier>(options_.num_processors);
   for (int i = 0; i < options_.num_processors; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
     comm_stats_.push_back(std::make_unique<CommStats>());

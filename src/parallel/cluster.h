@@ -1,10 +1,11 @@
 #ifndef OPAQ_PARALLEL_CLUSTER_H_
 #define OPAQ_PARALLEL_CLUSTER_H_
 
-#include <barrier>
+#include <condition_variable>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <type_traits>
 #include <vector>
 
@@ -16,6 +17,32 @@
 namespace opaq {
 
 class Cluster;
+
+/// Reusable cyclic barrier (std::barrier is C++20; the project is C++17).
+/// Generation counting makes back-to-back waits safe.
+class ThreadBarrier {
+ public:
+  explicit ThreadBarrier(int parties) : parties_(parties) {}
+
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+};
 
 /// The face a simulated processor sees: its rank, point-to-point messaging,
 /// and collectives built on top (in collectives.h). One ProcessorContext per
@@ -65,7 +92,7 @@ class ProcessorContext {
     return out;
   }
 
-  /// Synchronises all processors (std::barrier underneath; charges one
+  /// Synchronises all processors (ThreadBarrier underneath; charges one
   /// tau-cost message per participant).
   void Barrier();
 
@@ -137,7 +164,7 @@ class Cluster {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<CommStats>> comm_stats_;
   std::vector<std::unique_ptr<PhaseTimer>> timers_;
-  std::unique_ptr<std::barrier<>> barrier_;
+  std::unique_ptr<ThreadBarrier> barrier_;
 };
 
 }  // namespace opaq

@@ -1,0 +1,128 @@
+// Property test for the Lemma 1-3 error certificates: for random
+// configurations, data shapes, and query points, the estimator's
+// [lower, upper] bracket must contain the true quantile whenever neither
+// bound was clamped, and the advertised rank-error budget must respect the
+// paper's n/s bound (plus the uncovered-tail generalisation for
+// non-divisible n).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/opaq.h"
+#include "data/dataset.h"
+#include "metrics/ground_truth.h"
+#include "util/random.h"
+
+namespace opaq {
+namespace {
+
+struct SweepCase {
+  OpaqConfig config;
+  DatasetSpec spec;
+};
+
+// Draws a random but valid configuration: samples_per_run must divide
+// run_size (OpaqConfig contract), everything else is free.
+SweepCase DrawCase(Xoshiro256& rng) {
+  static const uint64_t kRunSizes[] = {64, 256, 500, 1024, 4096};
+  static const Distribution kDists[] = {
+      Distribution::kUniform,       Distribution::kZipf,
+      Distribution::kNormal,        Distribution::kSequential,
+      Distribution::kReverseSequential, Distribution::kConstant,
+      Distribution::kSawtooth};
+  static const SelectAlgorithm kSelects[] = {
+      SelectAlgorithm::kIntroSelect, SelectAlgorithm::kFloydRivest,
+      SelectAlgorithm::kMedianOfMedians, SelectAlgorithm::kStdNthElement};
+
+  SweepCase c;
+  c.config.run_size = kRunSizes[rng.NextBounded(5)];
+  // Pick a divisor of run_size as s by drawing a sub-run size.
+  uint64_t subrun = 1 + rng.NextBounded(16);
+  while (c.config.run_size % subrun != 0) --subrun;
+  c.config.samples_per_run = c.config.run_size / subrun;
+  c.config.select_algorithm = kSelects[rng.NextBounded(4)];
+  c.config.seed = rng.Next();
+
+  c.spec.distribution = kDists[rng.NextBounded(7)];
+  c.spec.seed = rng.Next();
+  // Mix of divisible (whole runs) and ragged n, including n < run_size.
+  c.spec.n = 1 + rng.NextBounded(8 * c.config.run_size);
+  if (rng.NextBounded(2) == 0) {
+    c.spec.n = c.config.run_size * (1 + rng.NextBounded(8));
+  }
+  return c;
+}
+
+TEST(CertificatePropertyTest, BoundsBracketTruthAcrossRandomConfigs) {
+  Xoshiro256 rng(20260729);
+  const double kPhis[] = {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0};
+  for (int iter = 0; iter < 60; ++iter) {
+    SweepCase c = DrawCase(rng);
+    ASSERT_TRUE(c.config.Validate().ok()) << c.config.ToString();
+    std::vector<uint64_t> data = GenerateDataset<uint64_t>(c.spec);
+    GroundTruth<uint64_t> truth(data);
+    OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, c.config);
+    ASSERT_EQ(est.total_elements(), c.spec.n);
+
+    const SampleAccounting& acc = est.sample_list().accounting();
+    // Lemma 3 budget: exactly the documented c + (R-1)(c-1) + U, which a
+    // ragged tail run can push at most one sub-run past n/s + U; in the
+    // paper's divisible setting it is bounded by n/s itself.
+    EXPECT_EQ(est.max_rank_error(),
+              acc.subrun_size +
+                  (acc.num_runs - 1) * (acc.subrun_size - 1) +
+                  acc.num_uncovered)
+        << c.config.ToString() << " over " << c.spec.ToString();
+    const uint64_t n_over_s =
+        (c.spec.n + c.config.samples_per_run - 1) / c.config.samples_per_run;
+    EXPECT_LE(est.max_rank_error(),
+              n_over_s + acc.subrun_size + acc.num_uncovered)
+        << c.config.ToString() << " over " << c.spec.ToString();
+    if (c.spec.n % c.config.run_size == 0) {
+      EXPECT_EQ(acc.num_uncovered, 0u);
+      EXPECT_LE(est.max_rank_error(), c.spec.n / c.config.samples_per_run);
+    }
+
+    for (double phi : kPhis) {
+      QuantileEstimate<uint64_t> q = est.Quantile(phi);
+      const uint64_t true_q = truth.Quantile(phi);
+      if (!q.lower_clamped) {
+        EXPECT_LE(q.lower, true_q)
+            << "phi=" << phi << " " << c.config.ToString() << " over "
+            << c.spec.ToString();
+      }
+      if (!q.upper_clamped) {
+        EXPECT_GE(q.upper, true_q)
+            << "phi=" << phi << " " << c.config.ToString() << " over "
+            << c.spec.ToString();
+      }
+      // Certified bounds must additionally be within the rank budget of
+      // the target: the element ranks covered by [lower, upper] stay
+      // within max_rank_error of psi.
+      if (!q.lower_clamped) {
+        EXPECT_GE(truth.RankLe(q.lower),
+                  q.target_rank > q.max_rank_error
+                      ? q.target_rank - q.max_rank_error
+                      : 0u);
+      }
+      if (!q.upper_clamped) {
+        EXPECT_LE(truth.RankLt(q.upper), q.target_rank + q.max_rank_error);
+      }
+    }
+
+    // Rank brackets (paper §4) must contain the true rank for random probes.
+    for (int probe = 0; probe < 8; ++probe) {
+      uint64_t v = data[rng.NextBounded(data.size())];
+      RankEstimate r = est.EstimateRank(v);
+      EXPECT_LE(r.min_rank_le, truth.RankLe(v));
+      EXPECT_GE(r.max_rank_le, truth.RankLe(v));
+      EXPECT_LE(r.min_rank_lt, truth.RankLt(v));
+      EXPECT_GE(r.max_rank_lt, truth.RankLt(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace opaq

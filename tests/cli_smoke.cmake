@@ -1,0 +1,70 @@
+# Smoke test for the opaq CLI: generate a tiny deterministic (sequential)
+# data file, sketch it, query the median, and assert the certified bracket
+# actually contains the exact answer computed by the CLI's second pass.
+#
+# Driven by ctest:  cmake -DOPAQ_CLI=... -DWORK_DIR=... -P cli_smoke.cmake
+
+if(NOT DEFINED OPAQ_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "cli_smoke.cmake needs -DOPAQ_CLI=... -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(DATA "${WORK_DIR}/data.opaq")
+set(SKETCH "${WORK_DIR}/data.sketch")
+
+function(run_cli out_var)
+  execute_process(
+    COMMAND "${OPAQ_CLI}" ${ARGN}
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr
+    RESULT_VARIABLE code
+  )
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "opaq ${ARGN} exited ${code}:\n${stdout}\n${stderr}")
+  endif()
+  set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+# Sequential keys 1..10000: fully deterministic regardless of RNG details.
+run_cli(gen_out generate --out=${DATA} --n=10000 --dist=sequential --seed=7)
+run_cli(sketch_out sketch --data=${DATA} --out=${SKETCH}
+        --run-size=1000 --samples=100)
+if(NOT sketch_out MATCHES "sketched 10000 keys \\(10 runs, 1000 samples\\)")
+  message(FATAL_ERROR "unexpected sketch summary:\n${sketch_out}")
+endif()
+
+run_cli(q_out quantile --sketch=${SKETCH} --phi=0.5)
+# Output row: "0.5<TAB>5000<TAB><lower><TAB><upper>" (no '?' marks: with 10
+# full runs the median bracket must be certified, not clamped).
+if(NOT q_out MATCHES "0\\.5\t5000\t([0-9]+)\t([0-9]+)")
+  message(FATAL_ERROR "no certified median bracket in:\n${q_out}")
+endif()
+set(LOWER ${CMAKE_MATCH_1})
+set(UPPER ${CMAKE_MATCH_2})
+
+run_cli(exact_out exact --data=${DATA} --sketch=${SKETCH} --phi=0.5)
+if(NOT exact_out MATCHES "0\\.5\t([0-9]+)")
+  message(FATAL_ERROR "no exact median in:\n${exact_out}")
+endif()
+set(EXACT ${CMAKE_MATCH_1})
+
+if(LOWER GREATER EXACT OR UPPER LESS EXACT)
+  message(FATAL_ERROR
+          "bracket [${LOWER}, ${UPPER}] misses exact median ${EXACT}")
+endif()
+# Sequential 1..10000: the exact median is rank 5000's value, 5000.
+if(NOT EXACT EQUAL 5000)
+  message(FATAL_ERROR "exact median ${EXACT} != 5000")
+endif()
+
+# Lemma 3 budget for c=10, R=10, U=0 is c + (R-1)(c-1) = 91 <= n/s = 100.
+run_cli(inspect_out inspect --sketch=${SKETCH})
+if(NOT inspect_out MATCHES "max rank error : ([0-9]+)")
+  message(FATAL_ERROR "no rank-error budget in:\n${inspect_out}")
+endif()
+if(CMAKE_MATCH_1 GREATER 100)
+  message(FATAL_ERROR "rank-error budget ${CMAKE_MATCH_1} exceeds n/s=100")
+endif()
+
+message(STATUS "cli smoke ok: bracket [${LOWER}, ${UPPER}] contains ${EXACT}")

@@ -16,6 +16,27 @@
 namespace opaq {
 namespace {
 
+// Option builders (designated initializers are C++20; this file is C++17).
+FaultyDevice::Options FailReadAt(uint64_t n) {
+  FaultyDevice::Options options;
+  options.fail_read_at = n;
+  return options;
+}
+
+FaultyDevice::Options FailWriteAt(
+    uint64_t n, StatusCode code = StatusCode::kIoError) {
+  FaultyDevice::Options options;
+  options.fail_write_at = n;
+  options.code = code;
+  return options;
+}
+
+FaultyDevice::Options TruncateAfterBytes(uint64_t bytes) {
+  FaultyDevice::Options options;
+  options.truncate_after_bytes = bytes;
+  return options;
+}
+
 // Builds a data file of `n` keys on a FaultyDevice with `options`.
 struct FaultyFixture {
   std::unique_ptr<FaultyDevice> device;
@@ -42,7 +63,7 @@ TEST(FaultyDeviceTest, PassesThroughWhenHealthy) {
 
 TEST(FaultyDeviceTest, InjectsConfiguredCode) {
   FaultyDevice dev(std::make_unique<MemoryBlockDevice>(),
-                   {.fail_write_at = 1, .code = StatusCode::kResourceExhausted});
+                   FailWriteAt(1, StatusCode::kResourceExhausted));
   char c = 'x';
   Status s = dev.WriteAt(0, &c, 1);
   EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
@@ -51,14 +72,14 @@ TEST(FaultyDeviceTest, InjectsConfiguredCode) {
 }
 
 TEST(FailureInjectionTest, OpenFailsWhenHeaderReadFails) {
-  FaultyFixture f(100, {.fail_read_at = 1});
+  FaultyFixture f(100, FailReadAt(1));
   EXPECT_FALSE(f.file.ok());
   EXPECT_EQ(f.file.status().code(), StatusCode::kIoError);
 }
 
 TEST(FailureInjectionTest, RunReaderSurfacesMidStreamError) {
   // Header read (1) succeeds; fail the 3rd data read => second run fails.
-  FaultyFixture f(1000, {.fail_read_at = 3});
+  FaultyFixture f(1000, FailReadAt(3));
   ASSERT_TRUE(f.file.ok());
   RunReader<uint64_t> reader(&*f.file, 250);
   std::vector<uint64_t> buffer;
@@ -71,7 +92,7 @@ TEST(FailureInjectionTest, RunReaderSurfacesMidStreamError) {
 }
 
 TEST(FailureInjectionTest, SketchConsumeFileSurfacesError) {
-  FaultyFixture f(10000, {.fail_read_at = 4});
+  FaultyFixture f(10000, FailReadAt(4));
   ASSERT_TRUE(f.file.ok());
   OpaqConfig config;
   config.run_size = 1000;
@@ -85,6 +106,50 @@ TEST(FailureInjectionTest, SketchConsumeFileSurfacesError) {
   EXPECT_LT(sketch.elements_consumed(), 10000u);
 }
 
+TEST(FailureInjectionTest, OpenRejectsTruncatedDevice) {
+  // Device already shorter than the header's promise at Open time: the
+  // size check in DataFile::Open must catch it up front.
+  FaultyFixture f(1000, TruncateAfterBytes(32 + 500 * sizeof(uint64_t)));
+  EXPECT_FALSE(f.file.ok());
+  EXPECT_EQ(f.file.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FailureInjectionTest, RunReaderSurfacesShortRead) {
+  // File opens healthy, then the device "physically" ends mid-way: header
+  // (32B) + 500 keys vanish behind the reader's back. The first run fits;
+  // the second must fail with OutOfRange, not return partial data.
+  FaultyFixture f(1000, {});
+  ASSERT_TRUE(f.file.ok());
+  f.device->set_truncate_after_bytes(32 + 500 * sizeof(uint64_t));
+  RunReader<uint64_t> reader(&*f.file, 400);
+  std::vector<uint64_t> buffer;
+  auto first = reader.NextRun(&buffer);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first);
+  EXPECT_EQ(buffer.size(), 400u);
+  auto second = reader.NextRun(&buffer);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(FailureInjectionTest, SketchConsumeFileSurfacesShortRead) {
+  // A device truncated after Open must stop the one-pass sample phase
+  // cleanly: ConsumeFile returns OutOfRange, and the sketch holds only
+  // the fully-consumed prefix runs.
+  FaultyFixture f(10000, {});
+  ASSERT_TRUE(f.file.ok());
+  f.device->set_truncate_after_bytes(32 + 2500 * sizeof(uint64_t));
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 100;
+  OpaqSketch<uint64_t> sketch(config);
+  Status s = sketch.ConsumeFile(&*f.file);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(sketch.elements_consumed(), 2000u);
+  EXPECT_EQ(sketch.runs_consumed(), 2u);
+}
+
 TEST(FailureInjectionTest, ExactSecondPassSurfacesError) {
   FaultyFixture healthy(10000, {});
   ASSERT_TRUE(healthy.file.ok());
@@ -96,7 +161,7 @@ TEST(FailureInjectionTest, ExactSecondPassSurfacesError) {
   auto estimate = sketch.Finalize().Quantile(0.5);
 
   // Same data, but the second pass hits a failing disk.
-  FaultyFixture faulty(10000, {.fail_read_at = 6});
+  FaultyFixture faulty(10000, FailReadAt(6));
   ASSERT_TRUE(faulty.file.ok());
   auto exact = ExactQuantileSecondPass(&*faulty.file, estimate, 1000);
   EXPECT_FALSE(exact.ok());
@@ -111,8 +176,7 @@ TEST(FailureInjectionTest, SketchSaveSurfacesWriteError) {
   config.run_size = 1000;
   config.samples_per_run = 100;
   OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
-  FaultyDevice dev(std::make_unique<MemoryBlockDevice>(),
-                   {.fail_write_at = 2});
+  FaultyDevice dev(std::make_unique<MemoryBlockDevice>(), FailWriteAt(2));
   Status s = SaveSampleList(est.sample_list(), &dev);
   EXPECT_FALSE(s.ok());
 }
