@@ -66,8 +66,8 @@ ParallelDataset MakeParallelDataset(int p, uint64_t per_rank,
 }
 
 TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
-                                  uint64_t run_size,
-                                  uint64_t samples_per_run) {
+                                  uint64_t run_size, uint64_t samples_per_run,
+                                  IoMode io_mode, uint64_t prefetch_depth) {
   ParallelDataset dataset =
       MakeParallelDataset(p, per_rank, Distribution::kUniform, seed,
                           /*sleep_mode=*/true, /*keep_union=*/false);
@@ -78,6 +78,8 @@ TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
   ParallelOpaqOptions opaq_options;
   opaq_options.config.run_size = run_size;
   opaq_options.config.samples_per_run = samples_per_run;
+  opaq_options.config.io_mode = io_mode;
+  opaq_options.config.prefetch_depth = prefetch_depth;
   // The paper uses the sample merge for all scalability results ("we only
   // present results using sample merge for the rest of this section").
   opaq_options.merge_method = MergeMethod::kSample;

@@ -104,13 +104,16 @@ ParallelDataset MakeParallelDataset(int p, uint64_t per_rank,
 struct TimedParallelRun {
   double total_seconds = 0;
   /// Per-phase averages across ranks (io / sampling / local merge / global
-  /// merge / quantile / other).
+  /// merge / quantile / other). Under IoMode::kAsync the "io" phase is the
+  /// blocked-on-I/O stall time (reads overlapped by sampling don't count).
   PhaseTimer timers{std::vector<std::string>{"io", "sampling", "local_merge",
                                              "global_merge", "quantile",
                                              "other"}};
 };
 TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
-                                  uint64_t run_size, uint64_t samples_per_run);
+                                  uint64_t run_size, uint64_t samples_per_run,
+                                  IoMode io_mode = IoMode::kSync,
+                                  uint64_t prefetch_depth = 2);
 
 /// Formats counts like the paper's column heads: 0.5M, 1M, 32M, 128K.
 std::string HumanCount(uint64_t n);

@@ -3,6 +3,11 @@
 // 1..16 processors. Expected shape: I/O + sampling >= ~83% and roughly
 // independent of p; both merges tiny, with global merge growing slowly in p
 // — the scalability argument of §3.1.
+//
+// Emits the breakdown twice, sync then async, side by side. Under async the
+// I/O row is the blocked-on-I/O stall fraction (reads overlapped by
+// sampling leave the critical path), so sync vs. async shows exactly how
+// much of the paper's dominant I/O phase prefetching reclaims.
 
 #include "bench/bench_common.h"
 
@@ -18,34 +23,38 @@ int Main(int argc, char** argv) {
     if (p <= options.max_procs) procs.push_back(p);
   }
 
-  std::vector<TimedParallelRun> runs;
-  for (int p : procs) {
-    runs.push_back(RunTimedParallel(p, per_rank, options.seed, 131072, 1024));
-  }
-
-  TextTable table;
-  table.SetTitle("Table 12: fraction of execution time per phase (" +
-                 HumanCount(per_rank) + " elements/processor)");
-  std::vector<std::string> head{"Phase"};
-  for (int p : procs) head.push_back(std::to_string(p) + " Proc.");
-  table.AddHeader(head);
-
-  const struct {
-    int phase;
-    const char* label;
-  } kRows[] = {{kPhaseIo, "I/O"},
-               {kPhaseSampling, "Sampling"},
-               {kPhaseLocalMerge, "Local Merg."},
-               {kPhaseGlobalMerge, "Global Merg."},
-               {kPhaseQuantile, "Quantile"}};
-  for (const auto& r : kRows) {
-    std::vector<std::string> row{r.label};
-    for (size_t i = 0; i < runs.size(); ++i) {
-      row.push_back(TextTable::Num(runs[i].timers.Fraction(r.phase), 3));
+  for (IoMode mode : {IoMode::kSync, IoMode::kAsync}) {
+    std::vector<TimedParallelRun> runs;
+    for (int p : procs) {
+      runs.push_back(
+          RunTimedParallel(p, per_rank, options.seed, 131072, 1024, mode));
     }
-    table.AddRow(row);
+
+    TextTable table;
+    table.SetTitle("Table 12: fraction of execution time per phase (" +
+                   HumanCount(per_rank) + " elements/processor, " +
+                   IoModeName(mode) + " I/O)");
+    std::vector<std::string> head{"Phase"};
+    for (int p : procs) head.push_back(std::to_string(p) + " Proc.");
+    table.AddHeader(head);
+
+    const struct {
+      int phase;
+      const char* label;
+    } kRows[] = {{kPhaseIo, mode == IoMode::kAsync ? "I/O (stall)" : "I/O"},
+                 {kPhaseSampling, "Sampling"},
+                 {kPhaseLocalMerge, "Local Merg."},
+                 {kPhaseGlobalMerge, "Global Merg."},
+                 {kPhaseQuantile, "Quantile"}};
+    for (const auto& r : kRows) {
+      std::vector<std::string> row{r.label};
+      for (size_t i = 0; i < runs.size(); ++i) {
+        row.push_back(TextTable::Num(runs[i].timers.Fraction(r.phase), 3));
+      }
+      table.AddRow(row);
+    }
+    Emit(table, options);
   }
-  Emit(table, options);
   return 0;
 }
 

@@ -22,14 +22,25 @@ Status OpaqConfig::Validate(uint64_t n, uint64_t memory_budget_elements) const {
         "samples_per_run must divide run_size (paper footnote 1; use a "
         "power-of-two pair)");
   }
+  if (io_mode == IoMode::kAsync &&
+      (prefetch_depth == 0 || prefetch_depth > kMaxPrefetchDepth)) {
+    std::ostringstream os;
+    os << "prefetch_depth must be in [1, " << kMaxPrefetchDepth
+       << "] in async io_mode, got " << prefetch_depth;
+    return Status::InvalidArgument(os.str());
+  }
   if (n > 0 && memory_budget_elements > 0) {
     const uint64_t runs = DivCeil(n, run_size);
-    const uint64_t needed = runs * samples_per_run + run_size;
+    // Async prefetching holds prefetch_depth extra run buffers beyond the
+    // one the sampler works on, so the §2.3 inequality charges them all.
+    const uint64_t buffers =
+        io_mode == IoMode::kAsync ? prefetch_depth + 1 : 1;
+    const uint64_t needed = runs * samples_per_run + buffers * run_size;
     if (needed > memory_budget_elements) {
       std::ostringstream os;
-      os << "memory constraint r*s + m <= M violated: " << runs << "*"
-         << samples_per_run << " + " << run_size << " = " << needed << " > "
-         << memory_budget_elements;
+      os << "memory constraint r*s + " << buffers << "*m <= M violated: "
+         << runs << "*" << samples_per_run << " + " << buffers << "*"
+         << run_size << " = " << needed << " > " << memory_budget_elements;
       return Status::InvalidArgument(os.str());
     }
   }
@@ -41,7 +52,9 @@ std::string OpaqConfig::ToString() const {
   os << "OpaqConfig(m=" << run_size << ", s=" << samples_per_run
      << ", c=" << subrun_size()
      << ", select=" << SelectAlgorithmName(select_algorithm)
-     << ", seed=" << seed << ")";
+     << ", seed=" << seed << ", io=" << IoModeName(io_mode);
+  if (io_mode == IoMode::kAsync) os << "/depth=" << prefetch_depth;
+  os << ")";
   return os.str();
 }
 

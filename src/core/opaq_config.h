@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "io/io_mode.h"
 #include "select/select.h"
 #include "util/status.h"
 
@@ -30,6 +31,17 @@ struct OpaqConfig {
 
   /// Seed for the (only) randomness: pivot choice in kIntroSelect.
   uint64_t seed = 1;
+
+  /// How `ConsumeFile` drives the disk: strict read/sample alternation
+  /// (kSync) or a background prefetch thread that overlaps the next run's
+  /// read with the current run's sampling (kAsync). The estimator state is
+  /// bit-identical either way; async only changes wall time.
+  IoMode io_mode = IoMode::kSync;
+
+  /// Prefetch buffers when io_mode == kAsync (ignored for kSync). Raises
+  /// the §2.3 memory footprint from one run buffer to `prefetch_depth + 1`
+  /// of them; Validate() requires it in [1, kMaxPrefetchDepth].
+  uint64_t prefetch_depth = 2;
 
   /// Sub-run size c = m/s.
   uint64_t subrun_size() const { return run_size / samples_per_run; }

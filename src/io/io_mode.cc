@@ -1,0 +1,22 @@
+#include "io/io_mode.h"
+
+namespace opaq {
+
+const char* IoModeName(IoMode mode) {
+  switch (mode) {
+    case IoMode::kSync:
+      return "sync";
+    case IoMode::kAsync:
+      return "async";
+  }
+  return "unknown";
+}
+
+Result<IoMode> ParseIoMode(const std::string& name) {
+  if (name == "sync") return IoMode::kSync;
+  if (name == "async") return IoMode::kAsync;
+  return Status::InvalidArgument("unknown io mode: " + name +
+                                 " (expected sync|async)");
+}
+
+}  // namespace opaq

@@ -1,0 +1,39 @@
+#ifndef OPAQ_IO_IO_MODE_H_
+#define OPAQ_IO_IO_MODE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace opaq {
+
+/// How a run consumer drives the disk. Kept in its own tiny header so that
+/// configuration code can name the mode without pulling in the threaded
+/// reader machinery (io/async_run_reader.h).
+enum class IoMode {
+  /// Strict alternation: read run m, then sample run m (the paper's
+  /// single-threaded reading loop). Disk idles during selection.
+  kSync,
+  /// Double-buffered prefetching: a background thread keeps reading ahead
+  /// while the consumer samples, overlapping I/O with compute. Byte-identical
+  /// results — prefetching reorders time, never data.
+  kAsync,
+};
+
+/// Upper bound on async prefetch depth: each buffer costs a full run of
+/// memory, and depths beyond a few only ever absorb compute burstiness, so
+/// anything huge is a configuration error (e.g. a negative flag value cast
+/// to uint64), not a tuning choice. Enforced both by `OpaqConfig::Validate`
+/// and by the `AsyncRunReader` constructor.
+inline constexpr uint64_t kMaxPrefetchDepth = 1024;
+
+/// Stable short name ("sync" / "async").
+const char* IoModeName(IoMode mode);
+
+/// Parses "sync" / "async" (InvalidArgument otherwise).
+Result<IoMode> ParseIoMode(const std::string& name);
+
+}  // namespace opaq
+
+#endif  // OPAQ_IO_IO_MODE_H_

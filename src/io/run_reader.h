@@ -10,6 +10,20 @@
 
 namespace opaq {
 
+/// Anything that yields the runs of a dataset in order. Both the synchronous
+/// `RunReader` and the prefetching `AsyncRunReader` implement this, so every
+/// run consumer (`OpaqSketch::ConsumeRuns`, the parallel sample phase) works
+/// against either I/O mode unchanged.
+template <typename K>
+class RunSource {
+ public:
+  virtual ~RunSource() = default;
+
+  /// Reads the next run into `buffer` (resized to the run's length).
+  /// Returns false when the data set is exhausted (buffer left empty).
+  virtual Result<bool> NextRun(std::vector<K>* buffer) = 0;
+};
+
 /// Sequentially yields the runs of a disk-resident dataset.
 ///
 /// OPAQ reads the data set exactly once as `r = ceil(n/m)` runs of `m`
@@ -18,21 +32,21 @@ namespace opaq {
 /// one run regardless of `n` — this is what makes the algorithm one-pass and
 /// memory-bounded.
 template <typename K>
-class RunReader {
+class RunReader : public RunSource<K> {
  public:
   /// `file` is borrowed and must outlive the reader. `run_size` is `m`.
   /// Optional `first`/`count` restrict reading to a sub-range of the file
   /// (used by the parallel harness to give each processor its partition).
   RunReader(const TypedDataFile<K>* file, uint64_t run_size, uint64_t first = 0,
             uint64_t count = UINT64_MAX)
-      : file_(file),
-        run_size_(run_size),
-        next_(first),
-        end_(count == UINT64_MAX ? file->size()
-                                 : std::min(file->size(), first + count)) {
+      : file_(file), run_size_(run_size), next_(first), end_(first) {
     OPAQ_CHECK(file != nullptr);
     OPAQ_CHECK_GT(run_size, 0u);
     OPAQ_CHECK_LE(first, file->size());
+    // Clamp the partition end against EOF without evaluating `first + count`,
+    // which wraps around for large counts and would put `end_` before
+    // `next_` (underflowing remaining() and misreporting the partition).
+    end_ = first + std::min(count, file->size() - first);
   }
 
   /// Total number of runs this reader will produce.
@@ -45,7 +59,7 @@ class RunReader {
 
   /// Reads the next run into `buffer` (resized to the run's length).
   /// Returns false when the data set is exhausted (buffer left empty).
-  Result<bool> NextRun(std::vector<K>* buffer) {
+  Result<bool> NextRun(std::vector<K>* buffer) override {
     buffer->clear();
     if (next_ >= end_) return false;
     uint64_t len = std::min(run_size_, end_ - next_);

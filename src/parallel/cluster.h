@@ -72,7 +72,9 @@ class ProcessorContext {
     static_assert(std::is_trivially_copyable_v<K>);
     Message m = Recv(from, tag);
     std::vector<K> out(m.payload.size() / sizeof(K));
-    std::memcpy(out.data(), m.payload.data(), out.size() * sizeof(K));
+    if (!out.empty()) {
+      std::memcpy(out.data(), m.payload.data(), out.size() * sizeof(K));
+    }
     return out;
   }
 

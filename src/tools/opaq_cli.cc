@@ -49,6 +49,7 @@ int Usage() {
       "            [--seed=S] [--zipf-z=0.86] [--dup=0.1]\n"
       "  sketch    --data=FILE --out=SKETCH [--run-size=1048576]\n"
       "            [--samples=1024] [--select=intro|fr|mom|std]\n"
+      "            [--io-mode=sync|async] [--prefetch-depth=2]\n"
       "  quantile  --sketch=SKETCH (--phi=0.5[,0.9,...] | --q=10)\n"
       "  exact     --data=FILE --sketch=SKETCH --phi=0.5[,...]\n"
       "  rank      --sketch=SKETCH --value=V\n"
@@ -142,6 +143,11 @@ int CmdSketch(const Flags& flags) {
   } else {
     return Fail(Status::InvalidArgument("unknown --select: " + select));
   }
+  auto parsed_mode = ParseIoMode(flags.GetString("io-mode", "sync"));
+  if (!parsed_mode.ok()) return Fail(parsed_mode.status());
+  config.io_mode = *parsed_mode;
+  config.prefetch_depth =
+      static_cast<uint64_t>(flags.GetInt("prefetch-depth", 2));
   Status valid = config.Validate();
   if (!valid.ok()) return Fail(valid);
 
@@ -160,8 +166,10 @@ int CmdSketch(const Flags& flags) {
   std::cout << "sketched " << list.total_elements() << " keys ("
             << list.accounting().num_runs << " runs, "
             << list.samples().size() << " samples) in "
-            << timer.ElapsedSeconds() << "s (" << io_seconds
-            << "s I/O); rank error <= " << MaxRankError(list.accounting())
+            << timer.ElapsedSeconds() << "s (" << io_seconds << "s "
+            << (config.io_mode == IoMode::kAsync ? "I/O stall, async"
+                                                 : "I/O")
+            << "); rank error <= " << MaxRankError(list.accounting())
             << "\n";
   return 0;
 }

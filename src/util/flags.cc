@@ -1,9 +1,19 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
 namespace opaq {
+
+namespace {
+// Flag keys are stored and looked up dash-style, so --run_size and
+// --run-size name the same flag everywhere.
+std::string NormalizeKey(std::string key) {
+  std::replace(key.begin(), key.end(), '_', '-');
+  return key;
+}
+}  // namespace
 
 Result<Flags> Flags::Parse(int argc, char** argv) {
   Flags flags;
@@ -24,11 +34,11 @@ Result<Flags> Flags::Parse(int argc, char** argv) {
       if (key.empty()) {
         return Status::InvalidArgument(std::string("malformed flag: ") + arg);
       }
-      flags.values_[key] = body.substr(eq + 1);
+      flags.values_[NormalizeKey(key)] = body.substr(eq + 1);
     } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      flags.values_[body] = argv[++i];
+      flags.values_[NormalizeKey(body)] = argv[++i];
     } else {
-      flags.values_[body] = "true";
+      flags.values_[NormalizeKey(body)] = "true";
     }
   }
   return flags;

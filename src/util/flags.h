@@ -13,8 +13,9 @@ namespace opaq {
 /// Minimal `--key=value` command-line parser for benches and examples.
 ///
 /// Accepted forms: `--key=value`, `--key value`, and bare `--key` (treated as
-/// boolean true). Unrecognised positional arguments are collected in
-/// `positional()`.
+/// boolean true). Underscores in key names normalize to dashes at parse time
+/// (`--run_size` == `--run-size`); code looks flags up dash-style.
+/// Unrecognised positional arguments are collected in `positional()`.
 class Flags {
  public:
   /// Parses argv; returns InvalidArgument on malformed input (e.g. `--=x`).

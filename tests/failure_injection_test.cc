@@ -9,6 +9,7 @@
 #include "core/opaq.h"
 #include "core/sketch_io.h"
 #include "data/dataset.h"
+#include "io/async_run_reader.h"
 #include "io/faulty_device.h"
 #include "io/run_reader.h"
 #include "parallel/parallel_opaq.h"
@@ -150,6 +151,77 @@ TEST(FailureInjectionTest, SketchConsumeFileSurfacesShortRead) {
   EXPECT_EQ(sketch.runs_consumed(), 2u);
 }
 
+TEST(FailureInjectionTest, AsyncConsumeFileSurfacesError) {
+  // The same mid-stream read failure as the sync test, routed through the
+  // prefetching pipeline at every sweep depth: the error must surface as a
+  // clean Status from ConsumeFile (no hang), the reader thread must be
+  // joined by then (asan/tsan gate leaks), and the sketch must hold exactly
+  // the same fully-consumed prefix as the sync path.
+  for (uint64_t depth : {1u, 2u, 4u, 8u}) {
+    FaultyFixture f(10000, FailReadAt(4));  // header + runs 1-2 ok, run 3 dies
+    ASSERT_TRUE(f.file.ok());
+    OpaqConfig config;
+    config.run_size = 1000;
+    config.samples_per_run = 100;
+    config.io_mode = IoMode::kAsync;
+    config.prefetch_depth = depth;
+    OpaqSketch<uint64_t> sketch(config);
+    Status s = sketch.ConsumeFile(&*f.file);
+    EXPECT_FALSE(s.ok()) << "depth " << depth;
+    EXPECT_EQ(s.code(), StatusCode::kIoError) << "depth " << depth;
+    EXPECT_EQ(sketch.runs_consumed(), 2u) << "depth " << depth;
+    EXPECT_EQ(sketch.elements_consumed(), 2000u) << "depth " << depth;
+  }
+}
+
+TEST(FailureInjectionTest, AsyncConsumeFileSurfacesShortRead) {
+  // Device truncated behind the reader's back: the async pipeline must
+  // deliver the intact prefix runs, then report OutOfRange — never partial
+  // data, never a wedged prefetch thread.
+  FaultyFixture f(10000, {});
+  ASSERT_TRUE(f.file.ok());
+  f.device->set_truncate_after_bytes(32 + 2500 * sizeof(uint64_t));
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 100;
+  config.io_mode = IoMode::kAsync;
+  config.prefetch_depth = 4;
+  OpaqSketch<uint64_t> sketch(config);
+  Status s = sketch.ConsumeFile(&*f.file);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(sketch.elements_consumed(), 2000u);
+  EXPECT_EQ(sketch.runs_consumed(), 2u);
+}
+
+TEST(FailureInjectionTest, AsyncReaderKeepsReportingErrorAfterFailure) {
+  // Once the prefetch thread hits a device error, every subsequent NextRun
+  // must keep returning that error (not EOF, not a crash).
+  FaultyFixture f(1000, FailReadAt(2));  // first data read fails
+  ASSERT_TRUE(f.file.ok());
+  AsyncReaderOptions options;
+  options.prefetch_depth = 2;
+  AsyncRunReader<uint64_t> reader(&*f.file, 250, options);
+  std::vector<uint64_t> buffer;
+  auto first = reader.NextRun(&buffer);
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kIoError);
+  auto second = reader.NextRun(&buffer);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kIoError);
+}
+
+TEST(FailureInjectionTest, AsyncReaderAbandonedAfterErrorDoesNotHang) {
+  // Construct, let the prefetch thread fail, and destroy without ever
+  // consuming: the destructor must still close the pipeline and join.
+  FaultyFixture f(1000, FailReadAt(2));
+  ASSERT_TRUE(f.file.ok());
+  AsyncReaderOptions options;
+  options.prefetch_depth = 8;
+  AsyncRunReader<uint64_t> reader(&*f.file, 100, options);
+  // No NextRun at all.
+}
+
 TEST(FailureInjectionTest, ExactSecondPassSurfacesError) {
   FaultyFixture healthy(10000, {});
   ASSERT_TRUE(healthy.file.ok());
@@ -181,9 +253,10 @@ TEST(FailureInjectionTest, SketchSaveSurfacesWriteError) {
   EXPECT_FALSE(s.ok());
 }
 
-TEST(FailureInjectionTest, ParallelRunFailsCleanlyWhenOneDiskDies) {
-  // Rank 1's disk fails mid-pass; the whole parallel run must come back
-  // with that error (and not hang or crash).
+// Rank 1's disk fails mid-pass; the whole parallel run must come back with
+// that error (and not hang or crash), in either I/O mode — under kAsync the
+// failing rank must also shut down its prefetch thread before returning.
+void RunParallelDiskDeath(IoMode io_mode) {
   const int p = 4;
   std::vector<std::unique_ptr<FaultyDevice>> devices;
   std::vector<TypedDataFile<uint64_t>> files;
@@ -211,9 +284,19 @@ TEST(FailureInjectionTest, ParallelRunFailsCleanlyWhenOneDiskDies) {
   ParallelOpaqOptions options;
   options.config.run_size = 2000;
   options.config.samples_per_run = 100;
+  options.config.io_mode = io_mode;
+  options.config.prefetch_depth = 2;
   auto result = RunParallelOpaq(cluster, file_ptrs, options);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(FailureInjectionTest, ParallelRunFailsCleanlyWhenOneDiskDies) {
+  RunParallelDiskDeath(IoMode::kSync);
+}
+
+TEST(FailureInjectionTest, ParallelAsyncRunFailsCleanlyWhenOneDiskDies) {
+  RunParallelDiskDeath(IoMode::kAsync);
 }
 
 }  // namespace

@@ -291,6 +291,68 @@ TEST(RunReaderTest, SubRangeReading) {
   EXPECT_EQ(seen.back(), 69u);
 }
 
+TEST(RunReaderTest, SubRangePartitionBoundaryMidRun) {
+  // A partition whose boundary falls mid-run: the last run must be cut
+  // short at the boundary, reading exactly `count` elements — never into
+  // the neighbor's partition. Device byte accounting proves no over-read.
+  MemoryBlockDevice dev;
+  std::vector<uint64_t> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto file = TypedDataFile<uint64_t>::Create(&dev, 0);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Append(values).ok());
+
+  // Partition [40, 65) as runs of 16: 16 + 9, boundary mid-second-run.
+  RunReader<uint64_t> reader(&*file, 16, 40, 25);
+  EXPECT_EQ(reader.num_runs(), 2u);
+  EXPECT_EQ(reader.remaining(), 25u);
+  const uint64_t bytes_before = dev.stats().bytes_read.load();
+  std::vector<uint64_t> buffer;
+  std::vector<size_t> lengths;
+  std::vector<uint64_t> seen;
+  while (true) {
+    auto more = reader.NextRun(&buffer);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    lengths.push_back(buffer.size());
+    seen.insert(seen.end(), buffer.begin(), buffer.end());
+  }
+  EXPECT_EQ(lengths, (std::vector<size_t>{16, 9}));
+  ASSERT_EQ(seen.size(), 25u);
+  EXPECT_EQ(seen.front(), 40u);
+  EXPECT_EQ(seen.back(), 64u);  // stops before the neighbor's element 65
+  EXPECT_EQ(dev.stats().bytes_read.load() - bytes_before,
+            25u * sizeof(uint64_t));
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(RunReaderTest, SubRangeHugeCountClampsToEof) {
+  // Regression: a large (non-sentinel) count used to be added to `first`
+  // and wrap around uint64, putting the partition end *before* its start —
+  // remaining() underflowed and the partition read nothing. Any oversized
+  // count must mean "to end of file".
+  MemoryBlockDevice dev;
+  std::vector<uint64_t> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto file = TypedDataFile<uint64_t>::Create(&dev, 0);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Append(values).ok());
+
+  RunReader<uint64_t> reader(&*file, 32, 90, UINT64_MAX - 5);
+  EXPECT_EQ(reader.remaining(), 10u);
+  EXPECT_EQ(reader.num_runs(), 1u);
+  std::vector<uint64_t> buffer;
+  auto more = reader.NextRun(&buffer);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(*more);
+  EXPECT_EQ(buffer.size(), 10u);
+  EXPECT_EQ(buffer.front(), 90u);
+  EXPECT_EQ(buffer.back(), 99u);
+  auto end = reader.NextRun(&buffer);
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(*end);
+}
+
 TEST(RunReaderTest, EmptyFileYieldsNoRuns) {
   MemoryBlockDevice dev;
   auto file = TypedDataFile<uint64_t>::Create(&dev, 0);

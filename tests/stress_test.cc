@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "baselines/gk.h"
 #include "baselines/munro_paterson.h"
 #include "core/opaq.h"
 #include "data/dataset.h"
+#include "io/throttled_device.h"
 #include "metrics/ground_truth.h"
 #include "metrics/rer.h"
 #include "parallel/cluster.h"
@@ -213,6 +215,78 @@ TEST(StressTest, MunroPatersonBoundedErrorOnAdversarialOrders) {
     ASSERT_TRUE(est.ok());
     EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(0.5)), 5.0)
         << DistributionName(d);
+  }
+}
+
+// ----------------------------------------------- disk-scale async sweep --
+
+// 64M-element async ConsumeFile through a ThrottledDevice with a randomized
+// prefetch depth: the Lemma 1-3 certificate invariants checked by
+// certificate_property_test must survive the prefetching pipeline at real
+// disk-resident scale. Sequential keys 1..n make ground truth free (the
+// value at rank k is exactly k), so certified brackets are verifiable
+// without sorting half a gigabyte. Registered under the `stress` ctest
+// label only (see CMakeLists.txt) — it moves ~1 GB through the pipeline.
+TEST(StressTest, HeavyAsync64MThrottledCertificates) {
+  const uint64_t n = 64ull << 20;  // 64M keys, 512 MiB on "disk"
+  ThrottledDevice device(std::make_unique<MemoryBlockDevice>(), DiskModel(),
+                         ThrottledDevice::Mode::kAccount);
+  auto file = TypedDataFile<uint64_t>::Create(&device, 0);
+  ASSERT_TRUE(file.ok());
+  {
+    // Stream the dataset to the device in bounded chunks; values are the
+    // ranks 1..n so every certificate is checkable in O(1).
+    const uint64_t kChunk = 1 << 20;
+    std::vector<uint64_t> chunk(kChunk);
+    for (uint64_t first = 0; first < n; first += kChunk) {
+      std::iota(chunk.begin(), chunk.end(), first + 1);
+      ASSERT_TRUE(file->Append(chunk).ok());
+    }
+  }
+  ASSERT_EQ(file->size(), n);
+
+  Xoshiro256 rng(64);
+  OpaqConfig config;
+  config.run_size = 1 << 20;
+  config.samples_per_run = 1024;
+  config.io_mode = IoMode::kAsync;
+  config.prefetch_depth = 1 + rng.NextBounded(8);
+  OpaqSketch<uint64_t> sketch(config);
+  ASSERT_TRUE(sketch.ConsumeFile(&*file).ok());
+  EXPECT_EQ(sketch.elements_consumed(), n);
+  EXPECT_EQ(sketch.runs_consumed(), 64u);
+  EXPECT_GT(device.modeled_seconds(), 0.0);
+
+  OpaqEstimator<uint64_t> est = sketch.Finalize();
+  ASSERT_EQ(est.total_elements(), n);
+
+  // Lemma 3 budget: the exact c + (R-1)(c-1) + U accounting identity, and
+  // (n divisible by m) the paper's n/s bound.
+  const SampleAccounting& acc = est.sample_list().accounting();
+  EXPECT_EQ(acc.num_uncovered, 0u);
+  EXPECT_EQ(est.max_rank_error(),
+            acc.subrun_size + (acc.num_runs - 1) * (acc.subrun_size - 1) +
+                acc.num_uncovered);
+  EXPECT_LE(est.max_rank_error(), n / config.samples_per_run);
+
+  // Certified brackets against the free ground truth, plus monotonicity.
+  uint64_t prev_lower = 0, prev_upper = 0;
+  for (double phi : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    QuantileEstimate<uint64_t> q = est.Quantile(phi);
+    const uint64_t true_value = q.target_rank;  // value at rank k is k
+    if (!q.lower_clamped) {
+      EXPECT_LE(q.lower, true_value) << "phi=" << phi;
+      EXPECT_GE(q.lower + est.max_rank_error(), true_value) << "phi=" << phi;
+    }
+    if (!q.upper_clamped) {
+      EXPECT_GE(q.upper, true_value) << "phi=" << phi;
+      EXPECT_LE(q.upper, true_value + est.max_rank_error()) << "phi=" << phi;
+    }
+    EXPECT_LE(q.lower, q.upper) << "phi=" << phi;
+    EXPECT_GE(q.lower, prev_lower) << "phi=" << phi;
+    EXPECT_GE(q.upper, prev_upper) << "phi=" << phi;
+    prev_lower = q.lower;
+    prev_upper = q.upper;
   }
 }
 
