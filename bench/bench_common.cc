@@ -44,6 +44,48 @@ SimulatedDisk MakeSimulatedDisk(const std::vector<Key>& data, bool sleep_mode,
   return SimulatedDisk{std::move(throttled), std::move(file).value()};
 }
 
+SimulatedStripedDisk MakeSimulatedStripedDisk(const std::vector<Key>& data,
+                                              bool sleep_mode, int stripes,
+                                              uint64_t chunk_elements,
+                                              const DiskModel& model) {
+  // Populate plain memory devices first (writing through the throttle would
+  // charge — and in sleep mode serve — the full write time), then wrap each
+  // stripe in its own independently-charged ThrottledDevice.
+  std::vector<std::unique_ptr<MemoryBlockDevice>> memory;
+  std::vector<BlockDevice*> raw;
+  for (int s = 0; s < stripes; ++s) {
+    memory.push_back(std::make_unique<MemoryBlockDevice>());
+    raw.push_back(memory.back().get());
+  }
+  OPAQ_CHECK_OK(WriteStriped(data, raw, chunk_elements).status());
+  SimulatedStripedDisk out;
+  std::vector<BlockDevice*> throttled;
+  for (int s = 0; s < stripes; ++s) {
+    out.devices.push_back(std::make_unique<ThrottledDevice>(
+        std::move(memory[static_cast<size_t>(s)]), model,
+        sleep_mode ? ThrottledDevice::Mode::kSleep
+                   : ThrottledDevice::Mode::kAccount));
+    throttled.push_back(out.devices.back().get());
+  }
+  auto file = StripedDataFile<Key>::Open(std::move(throttled));
+  OPAQ_CHECK_OK(file.status());
+  out.file =
+      std::make_unique<StripedDataFile<Key>>(std::move(file).value());
+  out.provider = std::make_unique<StripedFileProvider<Key>>(out.file.get());
+  return out;
+}
+
+// Per-rank dataset shape. One definition so every backend's rows in tables
+// 11/12 measure exactly the same data.
+static DatasetSpec RankSpec(uint64_t per_rank, Distribution distribution,
+                            uint64_t seed, int rank) {
+  DatasetSpec spec;
+  spec.n = per_rank;
+  spec.distribution = distribution;
+  spec.seed = seed + static_cast<uint64_t>(rank) * 7919;
+  return spec;
+}
+
 ParallelDataset MakeParallelDataset(int p, uint64_t per_rank,
                                     Distribution distribution, uint64_t seed,
                                     bool sleep_mode, bool keep_union,
@@ -51,11 +93,8 @@ ParallelDataset MakeParallelDataset(int p, uint64_t per_rank,
   ParallelDataset out;
   out.disks.reserve(p);
   for (int r = 0; r < p; ++r) {
-    DatasetSpec spec;
-    spec.n = per_rank;
-    spec.distribution = distribution;
-    spec.seed = seed + static_cast<uint64_t>(r) * 7919;
-    std::vector<Key> data = GenerateDataset<Key>(spec);
+    std::vector<Key> data =
+        GenerateDataset<Key>(RankSpec(per_rank, distribution, seed, r));
     if (keep_union) {
       out.union_data.insert(out.union_data.end(), data.begin(), data.end());
     }
@@ -67,10 +106,8 @@ ParallelDataset MakeParallelDataset(int p, uint64_t per_rank,
 
 TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
                                   uint64_t run_size, uint64_t samples_per_run,
-                                  IoMode io_mode, uint64_t prefetch_depth) {
-  ParallelDataset dataset =
-      MakeParallelDataset(p, per_rank, Distribution::kUniform, seed,
-                          /*sleep_mode=*/true, /*keep_union=*/false);
+                                  IoMode io_mode, uint64_t prefetch_depth,
+                                  int stripes) {
   Cluster::Options cluster_options;
   cluster_options.num_processors = p;
   cluster_options.comm_mode = Cluster::CommMode::kSleep;
@@ -80,15 +117,53 @@ TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
   opaq_options.config.samples_per_run = samples_per_run;
   opaq_options.config.io_mode = io_mode;
   opaq_options.config.prefetch_depth = prefetch_depth;
+  opaq_options.config.stripes = stripes < 1 ? 1
+                                            : static_cast<uint64_t>(stripes);
   // The paper uses the sample merge for all scalability results ("we only
   // present results using sample merge for the rest of this section").
   opaq_options.merge_method = MergeMethod::kSample;
-  auto result = RunParallelOpaq(cluster, dataset.files, opaq_options);
-  OPAQ_CHECK_OK(result.status());
+
   TimedParallelRun out;
-  out.total_seconds = result->total_wall_seconds;
+  if (stripes < 1) {
+    ParallelDataset dataset =
+        MakeParallelDataset(p, per_rank, Distribution::kUniform, seed,
+                            /*sleep_mode=*/true, /*keep_union=*/false);
+    auto result = RunParallelOpaq(cluster, dataset.files, opaq_options);
+    OPAQ_CHECK_OK(result.status());
+    out.total_seconds = result->total_wall_seconds;
+  } else {
+    // Same per-rank data as the plain path (RankSpec keeps the seeds in
+    // lockstep), but each shard lives on its own `stripes`-disk array.
+    // Chunk = run_size / stripes so every run read fans out across all the
+    // rank's disks.
+    const uint64_t chunk = std::max<uint64_t>(
+        1024, run_size / static_cast<uint64_t>(stripes));
+    std::vector<SimulatedStripedDisk> disks;
+    std::vector<const RunProvider<Key>*> providers;
+    for (int r = 0; r < p; ++r) {
+      disks.push_back(MakeSimulatedStripedDisk(
+          GenerateDataset<Key>(
+              RankSpec(per_rank, Distribution::kUniform, seed, r)),
+          /*sleep_mode=*/true, stripes, chunk));
+    }
+    for (const SimulatedStripedDisk& disk : disks) {
+      providers.push_back(disk.provider.get());
+    }
+    auto result = RunParallelOpaq(cluster, providers, opaq_options);
+    OPAQ_CHECK_OK(result.status());
+    out.total_seconds = result->total_wall_seconds;
+  }
   out.timers = cluster.AveragedTimers();
   return out;
+}
+
+std::vector<BenchIoMode> StandardIoModes(const BenchOptions& options) {
+  return {
+      {"sync", IoMode::kSync, 0},
+      {"async", IoMode::kAsync, 0},
+      {"striped x" + std::to_string(options.stripes), IoMode::kAsync,
+       options.stripes},
+  };
 }
 
 std::string HumanCount(uint64_t n) {

@@ -10,6 +10,8 @@
 #include "core/opaq.h"
 #include "data/dataset.h"
 #include "io/block_device.h"
+#include "io/striped_data_file.h"
+#include "io/striped_run_source.h"
 #include "io/throttled_device.h"
 #include "metrics/ground_truth.h"
 #include "metrics/rer.h"
@@ -30,11 +32,13 @@ using Key = uint64_t;
 ///   --seed=N     base RNG seed (default 42)
 ///   --csv        also emit CSV rows (for plotting)
 ///   --procs=N    cap on simulated processors (default: paper's counts)
+///   --stripes=D  stripe count for the striped-backend rows (default 2)
 struct BenchOptions {
   double scale = 1.0;
   uint64_t seed = 42;
   bool csv = false;
   int max_procs = 16;
+  int stripes = 2;
 
   static BenchOptions FromArgs(int argc, char** argv) {
     auto flags = Flags::Parse(argc, argv);
@@ -44,7 +48,12 @@ struct BenchOptions {
     options.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
     options.csv = flags->GetBool("csv", false);
     options.max_procs = static_cast<int>(flags->GetInt("procs", 16));
+    options.stripes = static_cast<int>(flags->GetInt("stripes", 2));
     OPAQ_CHECK(options.scale > 0);
+    // stripes=1 is the valid degenerate layout (striped x1 should match
+    // plain async — a useful sanity row).
+    OPAQ_CHECK(options.stripes >= 1 &&
+               static_cast<uint64_t>(options.stripes) <= kMaxStripes);
     return options;
   }
 
@@ -86,6 +95,19 @@ struct SimulatedDisk {
 SimulatedDisk MakeSimulatedDisk(const std::vector<Key>& data, bool sleep_mode,
                                 const DiskModel& model = DiskModel());
 
+/// A simulated disk ARRAY: `data` striped round-robin across `stripes`
+/// independently throttled devices, so each stripe charges (and, in sleep
+/// mode, sleeps) its own disk time — concurrent stripe reads genuinely
+/// overlap, which is what the striped backend exists to exploit.
+struct SimulatedStripedDisk {
+  std::vector<std::unique_ptr<ThrottledDevice>> devices;
+  std::unique_ptr<StripedDataFile<Key>> file;
+  std::unique_ptr<StripedFileProvider<Key>> provider;
+};
+SimulatedStripedDisk MakeSimulatedStripedDisk(
+    const std::vector<Key>& data, bool sleep_mode, int stripes,
+    uint64_t chunk_elements, const DiskModel& model = DiskModel());
+
 /// Per-rank datasets + disks for a parallel run. The union of the per-rank
 /// data is kept for ground-truth scoring when `keep_union` is set.
 struct ParallelDataset {
@@ -110,10 +132,30 @@ struct TimedParallelRun {
                                              "global_merge", "quantile",
                                              "other"}};
 };
+/// `stripes` >= 1 puts every rank's shard on its own `stripes`-disk array
+/// (chunk = run_size / stripes, so each run read fans out to all stripes;
+/// x1 is the degenerate one-disk array) and `io_mode` then selects inline
+/// (kSync) vs. one-thread-per-stripe (kAsync) reading; 0 = plain
+/// single-file backend.
 TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
                                   uint64_t run_size, uint64_t samples_per_run,
                                   IoMode io_mode = IoMode::kSync,
-                                  uint64_t prefetch_depth = 2);
+                                  uint64_t prefetch_depth = 2,
+                                  int stripes = 0);
+
+/// One storage/I-O configuration of the side-by-side tables 11/12.
+/// `stripes` uses the RunTimedParallel convention: 0 = plain file, >= 1 =
+/// a striped array of that many disks.
+struct BenchIoMode {
+  std::string label;
+  IoMode io_mode;
+  int stripes;
+};
+
+/// The canonical sync / async / striped x<options.stripes> row set, shared
+/// by every bench that breaks results out per mode so labels stay joinable
+/// across tables.
+std::vector<BenchIoMode> StandardIoModes(const BenchOptions& options);
 
 /// Formats counts like the paper's column heads: 0.5M, 1M, 32M, 128K.
 std::string HumanCount(uint64_t n);

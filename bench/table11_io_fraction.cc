@@ -4,10 +4,13 @@
 // everywhere — I/O cost per processor does not depend on p, which is why
 // the algorithm scales.
 //
-// Each size is measured twice, sync and async, side by side: sync rows show
-// the paper's ~0.5 device-time fraction, async rows show the *stall*
-// fraction left after prefetching hides reads behind sampling — the direct
-// measurement of the overlap the paper's I/O analysis argues for.
+// Each size is measured three ways, side by side: sync rows show the
+// paper's ~0.5 device-time fraction, async rows show the *stall* fraction
+// left after prefetching hides reads behind sampling, and striped rows
+// (each rank's shard round-robined across --stripes independently
+// throttled disks, one reader thread per stripe) show the stall fraction
+// once the array's aggregate bandwidth is in play — it must undercut
+// single-stripe async at the same scale.
 
 #include "bench/bench_common.h"
 
@@ -26,18 +29,20 @@ int Main(int argc, char** argv) {
   TextTable table;
   table.SetTitle(
       "Table 11: fraction of total time spent in I/O (sync) vs. blocked on "
-      "I/O (async) (throttled disks, sample merge, s=1024/run)");
+      "I/O (async / striped x" + std::to_string(options.stripes) +
+      ") (throttled disks, sample merge, s=1024/run)");
   std::vector<std::string> head{"Size/proc", "Mode"};
   for (int p : procs) head.push_back(std::to_string(p) + " Proc.");
   table.AddHeader(head);
 
   for (uint64_t paper_size : kPaperPerRank) {
     const uint64_t per_rank = options.Scaled(paper_size, /*multiple=*/1000);
-    for (IoMode mode : {IoMode::kSync, IoMode::kAsync}) {
-      std::vector<std::string> row{HumanCount(per_rank), IoModeName(mode)};
+    for (const BenchIoMode& mode : StandardIoModes(options)) {
+      std::vector<std::string> row{HumanCount(per_rank), mode.label};
       for (int p : procs) {
         TimedParallelRun run =
-            RunTimedParallel(p, per_rank, options.seed, 131072, 1024, mode);
+            RunTimedParallel(p, per_rank, options.seed, 131072, 1024,
+                             mode.io_mode, 2, mode.stripes);
         row.push_back(TextTable::Num(run.timers.Fraction(kPhaseIo), 2));
       }
       table.AddRow(row);

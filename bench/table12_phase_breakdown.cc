@@ -4,10 +4,11 @@
 // independent of p; both merges tiny, with global merge growing slowly in p
 // — the scalability argument of §3.1.
 //
-// Emits the breakdown twice, sync then async, side by side. Under async the
-// I/O row is the blocked-on-I/O stall fraction (reads overlapped by
-// sampling leave the critical path), so sync vs. async shows exactly how
-// much of the paper's dominant I/O phase prefetching reclaims.
+// Emits the breakdown three times — sync, async, striped — side by side.
+// Under async the I/O row is the blocked-on-I/O stall fraction (reads
+// overlapped by sampling leave the critical path), so sync vs. async shows
+// exactly how much of the paper's dominant I/O phase prefetching reclaims;
+// the striped section adds what a per-rank disk array reclaims on top.
 
 #include "bench/bench_common.h"
 
@@ -23,17 +24,17 @@ int Main(int argc, char** argv) {
     if (p <= options.max_procs) procs.push_back(p);
   }
 
-  for (IoMode mode : {IoMode::kSync, IoMode::kAsync}) {
+  for (const BenchIoMode& mode : StandardIoModes(options)) {
     std::vector<TimedParallelRun> runs;
     for (int p : procs) {
-      runs.push_back(
-          RunTimedParallel(p, per_rank, options.seed, 131072, 1024, mode));
+      runs.push_back(RunTimedParallel(p, per_rank, options.seed, 131072,
+                                      1024, mode.io_mode, 2, mode.stripes));
     }
 
     TextTable table;
     table.SetTitle("Table 12: fraction of execution time per phase (" +
                    HumanCount(per_rank) + " elements/processor, " +
-                   IoModeName(mode) + " I/O)");
+                   mode.label + " I/O)");
     std::vector<std::string> head{"Phase"};
     for (int p : procs) head.push_back(std::to_string(p) + " Proc.");
     table.AddHeader(head);
@@ -41,7 +42,8 @@ int Main(int argc, char** argv) {
     const struct {
       int phase;
       const char* label;
-    } kRows[] = {{kPhaseIo, mode == IoMode::kAsync ? "I/O (stall)" : "I/O"},
+    } kRows[] = {{kPhaseIo,
+                  mode.io_mode == IoMode::kAsync ? "I/O (stall)" : "I/O"},
                  {kPhaseSampling, "Sampling"},
                  {kPhaseLocalMerge, "Local Merg."},
                  {kPhaseGlobalMerge, "Global Merg."},

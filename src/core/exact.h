@@ -2,9 +2,11 @@
 #define OPAQ_CORE_EXACT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/estimator.h"
+#include "io/async_run_reader.h"
 #include "io/run_reader.h"
 #include "select/select.h"
 #include "util/random.h"
@@ -19,14 +21,19 @@ namespace opaq {
 /// element of rank (psi - count_below) within the kept set, found by
 /// selection in memory.
 ///
+/// The scan streams through `RunProvider::OpenRuns(options)`, so it works on
+/// any storage backend and — with `options.io_mode == kAsync` — overlaps the
+/// candidate-interval filtering with the next run's read(s), exactly like
+/// the sample phase.
+///
 /// Fails with FailedPrecondition if either bound was clamped (the bracket is
 /// then not certified) and with ResourceExhausted if the kept set exceeds
 /// `memory_budget_elements` (0 = 4 * max_rank_error, twice Lemma 3's bound,
 /// as a generous default).
 template <typename K>
-Result<K> ExactQuantileSecondPass(const TypedDataFile<K>* file,
+Result<K> ExactQuantileSecondPass(const RunProvider<K>& provider,
                                   const QuantileEstimate<K>& estimate,
-                                  uint64_t run_size,
+                                  const ReadOptions& options,
                                   uint64_t memory_budget_elements = 0) {
   if (estimate.lower_clamped || estimate.upper_clamped) {
     return Status::FailedPrecondition(
@@ -38,9 +45,9 @@ Result<K> ExactQuantileSecondPass(const TypedDataFile<K>* file,
   uint64_t below = 0;  // elements strictly below estimate.lower
   std::vector<K> kept;
   std::vector<K> buffer;
-  RunReader<K> reader(file, run_size);
+  std::unique_ptr<RunSource<K>> reader = provider.OpenRuns(options);
   while (true) {
-    auto more = reader.NextRun(&buffer);
+    auto more = reader->NextRun(&buffer);
     if (!more.ok()) return more.status();
     if (!*more) break;
     for (const K& v : buffer) {
@@ -71,15 +78,27 @@ Result<K> ExactQuantileSecondPass(const TypedDataFile<K>* file,
                    SelectAlgorithm::kIntroSelect, rng);
 }
 
+/// Back-compat wrapper: synchronous scan of one plain data file.
+template <typename K>
+Result<K> ExactQuantileSecondPass(const TypedDataFile<K>* file,
+                                  const QuantileEstimate<K>& estimate,
+                                  uint64_t run_size,
+                                  uint64_t memory_budget_elements = 0) {
+  ReadOptions options;
+  options.run_size = run_size;
+  return ExactQuantileSecondPass(FileRunProvider<K>(file), estimate, options,
+                                 memory_budget_elements);
+}
+
 /// Batch variant: recovers the exact values for SEVERAL quantiles with one
 /// shared extra pass. Each estimate's bracket is filtered independently (q
 /// is small — dectiles — so the per-element loop over brackets is cheap);
 /// memory is at most q * 2n/s plus slack.
 template <typename K>
 Result<std::vector<K>> ExactQuantilesSecondPass(
-    const TypedDataFile<K>* file,
-    const std::vector<QuantileEstimate<K>>& estimates, uint64_t run_size,
-    uint64_t memory_budget_elements = 0) {
+    const RunProvider<K>& provider,
+    const std::vector<QuantileEstimate<K>>& estimates,
+    const ReadOptions& options, uint64_t memory_budget_elements = 0) {
   for (const auto& e : estimates) {
     if (e.lower_clamped || e.upper_clamped) {
       return Status::FailedPrecondition(
@@ -95,9 +114,9 @@ Result<std::vector<K>> ExactQuantilesSecondPass(
   std::vector<std::vector<K>> kept(estimates.size());
   uint64_t held = 0;
   std::vector<K> buffer;
-  RunReader<K> reader(file, run_size);
+  std::unique_ptr<RunSource<K>> reader = provider.OpenRuns(options);
   while (true) {
-    auto more = reader.NextRun(&buffer);
+    auto more = reader->NextRun(&buffer);
     if (!more.ok()) return more.status();
     if (!*more) break;
     for (const K& v : buffer) {
@@ -131,6 +150,18 @@ Result<std::vector<K>> ExactQuantilesSecondPass(
                             SelectAlgorithm::kIntroSelect, rng));
   }
   return out;
+}
+
+/// Back-compat wrapper: synchronous scan of one plain data file.
+template <typename K>
+Result<std::vector<K>> ExactQuantilesSecondPass(
+    const TypedDataFile<K>* file,
+    const std::vector<QuantileEstimate<K>>& estimates, uint64_t run_size,
+    uint64_t memory_budget_elements = 0) {
+  ReadOptions options;
+  options.run_size = run_size;
+  return ExactQuantilesSecondPass(FileRunProvider<K>(file), estimates,
+                                  options, memory_budget_elements);
 }
 
 }  // namespace opaq

@@ -12,6 +12,7 @@
 #include "core/sample_list.h"
 #include "io/async_run_reader.h"
 #include "io/run_reader.h"
+#include "io/striped_run_source.h"
 #include "select/multi_select.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -31,6 +32,28 @@ std::unique_ptr<RunSource<K>> MakeRunSource(const TypedDataFile<K>* file,
   options.prefetch_depth = config.prefetch_depth;
   return MakeRunSource<K>(file, config.run_size, config.io_mode, options,
                           first, count);
+}
+
+/// Same, over any storage backend: the provider picks the reader matching
+/// `config.io_mode` for its own device layout (plain files: sync loop or
+/// prefetch thread; striped files: inline chunk reads or one thread per
+/// stripe).
+template <typename K>
+std::unique_ptr<RunSource<K>> MakeRunSource(const RunProvider<K>& provider,
+                                            const OpaqConfig& config,
+                                            uint64_t first = 0,
+                                            uint64_t count = UINT64_MAX) {
+  return provider.OpenRuns(config.read_options(), first, count);
+}
+
+/// Same, over a striped multi-disk file.
+template <typename K>
+std::unique_ptr<RunSource<K>> MakeRunSource(const StripedDataFile<K>* file,
+                                            const OpaqConfig& config,
+                                            uint64_t first = 0,
+                                            uint64_t count = UINT64_MAX) {
+  return StripedFileProvider<K>(file).OpenRuns(config.read_options(), first,
+                                               count);
 }
 
 /// The front door of the library: OPAQ's one-pass sample phase as a
@@ -86,6 +109,24 @@ class OpaqSketch {
   /// not hidden behind sampling — which is what makes the overlap visible.
   Status ConsumeFile(const TypedDataFile<K>* file, double* io_seconds = nullptr) {
     std::unique_ptr<RunSource<K>> source = MakeRunSource<K>(file, config_);
+    return ConsumeRuns(source.get(), io_seconds);
+  }
+
+  /// Same, over a striped multi-disk file: under kAsync every stripe device
+  /// is driven by its own reader thread, so the aggregate bandwidth of the
+  /// array overlaps with sampling. Still bit-identical to the sync
+  /// single-file path over the same logical data.
+  Status ConsumeFile(const StripedDataFile<K>* file,
+                     double* io_seconds = nullptr) {
+    std::unique_ptr<RunSource<K>> source = MakeRunSource<K>(file, config_);
+    return ConsumeRuns(source.get(), io_seconds);
+  }
+
+  /// Same, over any storage backend.
+  Status Consume(const RunProvider<K>& provider,
+                 double* io_seconds = nullptr) {
+    std::unique_ptr<RunSource<K>> source =
+        provider.OpenRuns(config_.read_options());
     return ConsumeRuns(source.get(), io_seconds);
   }
 

@@ -29,12 +29,21 @@ Status OpaqConfig::Validate(uint64_t n, uint64_t memory_budget_elements) const {
        << "] in async io_mode, got " << prefetch_depth;
     return Status::InvalidArgument(os.str());
   }
+  if (stripes == 0 || stripes > kMaxStripes) {
+    std::ostringstream os;
+    os << "stripes must be in [1, " << kMaxStripes << "], got " << stripes;
+    return Status::InvalidArgument(os.str());
+  }
   if (n > 0 && memory_budget_elements > 0) {
     const uint64_t runs = DivCeil(n, run_size);
     // Async prefetching holds prefetch_depth extra run buffers beyond the
     // one the sampler works on, so the §2.3 inequality charges them all.
+    // The striped backend keeps prefetch_depth chunks in flight PER STRIPE;
+    // the chunk size is a property of the file, not the config, so it is
+    // charged at the recommended chunk <= run_size layout (a larger chunk
+    // raises the true footprint beyond this estimate).
     const uint64_t buffers =
-        io_mode == IoMode::kAsync ? prefetch_depth + 1 : 1;
+        io_mode == IoMode::kAsync ? stripes * prefetch_depth + 1 : 1;
     const uint64_t needed = runs * samples_per_run + buffers * run_size;
     if (needed > memory_budget_elements) {
       std::ostringstream os;
@@ -54,6 +63,7 @@ std::string OpaqConfig::ToString() const {
      << ", select=" << SelectAlgorithmName(select_algorithm)
      << ", seed=" << seed << ", io=" << IoModeName(io_mode);
   if (io_mode == IoMode::kAsync) os << "/depth=" << prefetch_depth;
+  if (stripes > 1) os << ", stripes=" << stripes;
   os << ")";
   return os.str();
 }

@@ -40,11 +40,29 @@ struct OpaqConfig {
 
   /// Prefetch buffers when io_mode == kAsync (ignored for kSync). Raises
   /// the §2.3 memory footprint from one run buffer to `prefetch_depth + 1`
-  /// of them; Validate() requires it in [1, kMaxPrefetchDepth].
+  /// of them; Validate() requires it in [1, kMaxPrefetchDepth]. For the
+  /// striped backend this counts chunks in flight per stripe instead.
   uint64_t prefetch_depth = 2;
+
+  /// Stripe count the workload expects of its striped storage backend
+  /// (1 = plain single-device files). Only the CLI/bench layers consume it
+  /// — a `StripedDataFile`'s own stripe count is a property of the file —
+  /// but it lives here so one config names the full storage setup;
+  /// Validate() requires it in [1, kMaxStripes].
+  uint64_t stripes = 1;
 
   /// Sub-run size c = m/s.
   uint64_t subrun_size() const { return run_size / samples_per_run; }
+
+  /// The backend-independent I/O knobs as the io/ layer's `ReadOptions` —
+  /// what `RunProvider::OpenRuns` consumes.
+  ReadOptions read_options() const {
+    ReadOptions options;
+    options.run_size = run_size;
+    options.io_mode = io_mode;
+    options.prefetch_depth = prefetch_depth;
+    return options;
+  }
 
   /// Checks structural validity, and the §2.3 memory inequality
   /// r*s + m <= memory_budget when budget and n are both given (0 = skip).

@@ -127,6 +127,34 @@ std::unique_ptr<RunSource<K>> MakeRunSource(
   return std::make_unique<RunReader<K>>(file, run_size, first, count);
 }
 
+/// The plain single-device storage backend as a `RunProvider`: wraps one
+/// `TypedDataFile` and opens the sync or prefetching reader per
+/// `ReadOptions::io_mode`. The file is borrowed and must outlive the
+/// provider and every `RunSource` it opened.
+template <typename K>
+class FileRunProvider : public RunProvider<K> {
+ public:
+  explicit FileRunProvider(const TypedDataFile<K>* file) : file_(file) {
+    OPAQ_CHECK(file != nullptr);
+  }
+
+  uint64_t size() const override { return file_->size(); }
+
+  std::unique_ptr<RunSource<K>> OpenRuns(
+      const ReadOptions& options, uint64_t first = 0,
+      uint64_t count = UINT64_MAX) const override {
+    AsyncReaderOptions async_options;
+    async_options.prefetch_depth = options.prefetch_depth;
+    return MakeRunSource<K>(file_, options.run_size, options.io_mode,
+                            async_options, first, count);
+  }
+
+  const TypedDataFile<K>* file() const { return file_; }
+
+ private:
+  const TypedDataFile<K>* file_;
+};
+
 }  // namespace opaq
 
 #endif  // OPAQ_IO_ASYNC_RUN_READER_H_

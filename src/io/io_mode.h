@@ -28,6 +28,25 @@ enum class IoMode {
 /// and by the `AsyncRunReader` constructor.
 inline constexpr uint64_t kMaxPrefetchDepth = 1024;
 
+/// Upper bound on the stripe count of a striped data file: the striped
+/// backend runs one reader thread per stripe, so anything huge is a
+/// configuration error (e.g. a negative flag value cast to uint64), not a
+/// real disk array. Enforced by `OpaqConfig::Validate` and by
+/// `StripedDataFile`.
+inline constexpr uint64_t kMaxStripes = 64;
+
+/// How a `RunProvider` should drive its device(s): the backend-independent
+/// subset of OpaqConfig that the io/ layer needs. For the plain-file
+/// backend `io_mode` picks the sync or prefetching reader and
+/// `prefetch_depth` counts run buffers in flight; for the striped backend
+/// kAsync means one reader thread per stripe and `prefetch_depth` counts
+/// chunks in flight per stripe.
+struct ReadOptions {
+  uint64_t run_size = 1 << 20;
+  IoMode io_mode = IoMode::kSync;
+  uint64_t prefetch_depth = 2;
+};
+
 /// Stable short name ("sync" / "async").
 const char* IoModeName(IoMode mode);
 

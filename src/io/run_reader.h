@@ -2,9 +2,11 @@
 #define OPAQ_IO_RUN_READER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "io/data_file.h"
+#include "io/io_mode.h"
 #include "util/math.h"
 #include "util/status.h"
 
@@ -22,6 +24,29 @@ class RunSource {
   /// Reads the next run into `buffer` (resized to the run's length).
   /// Returns false when the data set is exhausted (buffer left empty).
   virtual Result<bool> NextRun(std::vector<K>* buffer) = 0;
+};
+
+/// A dataset that can hand out `RunSource`s: the storage-backend abstraction
+/// every run consumer is written against. Implementations: `FileRunProvider`
+/// (one plain data file, sync or prefetching readers) and
+/// `StripedFileProvider` (a dataset striped across several devices, one
+/// reader thread per stripe). Consumers that accept a provider — the sketch,
+/// the exact second pass, the parallel harness — work on any backend
+/// unchanged, and every backend delivers the exact logical run order, so
+/// results are byte-identical across backends.
+template <typename K>
+class RunProvider {
+ public:
+  virtual ~RunProvider() = default;
+
+  /// Logical element count of the dataset.
+  virtual uint64_t size() const = 0;
+
+  /// Opens a run stream over `[first, first + count)` (clamped to EOF, the
+  /// same sub-range contract as `RunReader`).
+  virtual std::unique_ptr<RunSource<K>> OpenRuns(
+      const ReadOptions& options, uint64_t first = 0,
+      uint64_t count = UINT64_MAX) const = 0;
 };
 
 /// Sequentially yields the runs of a disk-resident dataset.

@@ -2,9 +2,11 @@
 #define OPAQ_PARALLEL_PARALLEL_EXACT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/estimator.h"
+#include "io/async_run_reader.h"
 #include "io/run_reader.h"
 #include "parallel/collectives.h"
 #include "select/select.h"
@@ -23,14 +25,19 @@ namespace opaq {
 /// at rank 0, which selects the element of rank `psi - below_total` within
 /// each bracket. Communication is O(q * n/s) — tiny next to the data.
 ///
+/// The local scan streams through `RunProvider::OpenRuns(options)`, so each
+/// processor's shard may live on any storage backend, and with
+/// `options.io_mode == kAsync` the bracket filtering overlaps with the next
+/// run's read(s).
+///
 /// Returns the exact values at rank 0 (empty vector on other ranks). Must be
 /// called from within a Cluster::Run body with the same SPMD discipline as
 /// the other collectives; `estimates` must be identical on every rank.
 template <typename K>
 Result<std::vector<K>> ParallelExactQuantiles(
-    ProcessorContext& ctx, const TypedDataFile<K>* local_file,
-    const std::vector<QuantileEstimate<K>>& estimates, uint64_t run_size,
-    uint64_t local_memory_budget = 0) {
+    ProcessorContext& ctx, const RunProvider<K>& local_data,
+    const std::vector<QuantileEstimate<K>>& estimates,
+    const ReadOptions& options, uint64_t local_memory_budget = 0) {
   for (const auto& e : estimates) {
     if (e.lower_clamped || e.upper_clamped) {
       return Status::FailedPrecondition(
@@ -49,9 +56,9 @@ Result<std::vector<K>> ParallelExactQuantiles(
   Status local_status;
   {
     std::vector<K> buffer;
-    RunReader<K> reader(local_file, run_size);
+    std::unique_ptr<RunSource<K>> reader = local_data.OpenRuns(options);
     while (local_status.ok()) {
-      auto more = reader.NextRun(&buffer);
+      auto more = reader->NextRun(&buffer);
       if (!more.ok()) {
         local_status = more.status();
         break;
@@ -112,6 +119,18 @@ Result<std::vector<K>> ParallelExactQuantiles(
                             SelectAlgorithm::kIntroSelect, rng));
   }
   return out;
+}
+
+/// Back-compat wrapper: synchronous scan of one plain local file.
+template <typename K>
+Result<std::vector<K>> ParallelExactQuantiles(
+    ProcessorContext& ctx, const TypedDataFile<K>* local_file,
+    const std::vector<QuantileEstimate<K>>& estimates, uint64_t run_size,
+    uint64_t local_memory_budget = 0) {
+  ReadOptions options;
+  options.run_size = run_size;
+  return ParallelExactQuantiles(ctx, FileRunProvider<K>(local_file),
+                                estimates, options, local_memory_budget);
 }
 
 }  // namespace opaq

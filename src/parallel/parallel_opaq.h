@@ -54,10 +54,12 @@ constexpr int kAnswerTag = 301;
 }  // namespace internal_parallel
 
 /// The parallel OPAQ algorithm (paper §3), executed on a simulated
-/// message-passing cluster. `local_files[rank]` holds that processor's n/p
-/// elements on its own (possibly throttled) device. Phase timings accumulate
-/// in the cluster's per-rank PhaseTimers (Table 12); quantile answers are
-/// assembled at rank 0 and returned.
+/// message-passing cluster. `local_data[rank]` is the storage backend
+/// holding that processor's n/p elements — a plain file on one (possibly
+/// throttled) device, or a `StripedFileProvider` over that processor's own
+/// disk array. Phase timings accumulate in the cluster's per-rank
+/// PhaseTimers (Table 12); quantile answers are assembled at rank 0 and
+/// returned.
 ///
 /// Algorithm per processor:
 ///   1. read local data as runs, regular-sample each run        (I/O + sampling)
@@ -67,25 +69,25 @@ constexpr int kAnswerTag = 301;
 ///      of the indexed samples report values to rank 0          (quantile)
 template <typename K>
 Result<ParallelOpaqResult<K>> RunParallelOpaq(
-    Cluster& cluster, const std::vector<const TypedDataFile<K>*>& local_files,
+    Cluster& cluster, const std::vector<const RunProvider<K>*>& local_data,
     const ParallelOpaqOptions& options) {
   OPAQ_RETURN_IF_ERROR(options.config.Validate());
-  if (static_cast<int>(local_files.size()) != cluster.num_processors()) {
+  if (static_cast<int>(local_data.size()) != cluster.num_processors()) {
     return Status::InvalidArgument(
-        "need exactly one local file per processor");
+        "need exactly one local data source per processor");
   }
   ParallelOpaqResult<K> result;
   WallTimer total_timer;
 
   Status run_status = cluster.Run([&](ProcessorContext& ctx) -> Status {
     PhaseTimer& timer = ctx.timer();
-    const TypedDataFile<K>* file = local_files[ctx.rank()];
+    const RunProvider<K>* provider = local_data[ctx.rank()];
 
     // --- Sample phase: read runs, select regular samples per run. ---
     OpaqConfig config = options.config;
     config.seed += static_cast<uint64_t>(ctx.rank());  // independent pivots
     OpaqSketch<K> sketch(config);
-    std::unique_ptr<RunSource<K>> reader = MakeRunSource<K>(file, config);
+    std::unique_ptr<RunSource<K>> reader = MakeRunSource<K>(*provider, config);
     std::vector<K> buffer;
     Status local_status;
     while (true) {
@@ -209,6 +211,24 @@ Result<ParallelOpaqResult<K>> RunParallelOpaq(
   OPAQ_RETURN_IF_ERROR(run_status);
   result.total_wall_seconds = total_timer.ElapsedSeconds();
   return result;
+}
+
+/// Back-compat wrapper: one plain data file per processor.
+template <typename K>
+Result<ParallelOpaqResult<K>> RunParallelOpaq(
+    Cluster& cluster, const std::vector<const TypedDataFile<K>*>& local_files,
+    const ParallelOpaqOptions& options) {
+  std::vector<FileRunProvider<K>> providers;
+  providers.reserve(local_files.size());
+  std::vector<const RunProvider<K>*> pointers;
+  pointers.reserve(local_files.size());
+  for (const TypedDataFile<K>* file : local_files) {
+    providers.emplace_back(file);
+  }
+  for (const FileRunProvider<K>& provider : providers) {
+    pointers.push_back(&provider);
+  }
+  return RunParallelOpaq(cluster, pointers, options);
 }
 
 }  // namespace opaq

@@ -13,8 +13,14 @@
 // Sketches persist the sorted sample list (core/sketch_io.h), so `sketch`
 // once and query forever; `merge` folds in new data incrementally without
 // rereading the old (paper §4).
+//
+// Datasets may live on one file or striped round-robin across several
+// disks: pass `--stripes=D` (derives `PATH.s0..s{D-1}`) or explicit
+// `--stripe-paths=/disk0/d.opaq,/disk1/d.opaq` to generate/sketch/exact,
+// and the striped backend reads all stripes concurrently.
 
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -25,6 +31,8 @@
 #include "core/sketch_io.h"
 #include "data/dataset.h"
 #include "io/block_device.h"
+#include "io/striped_data_file.h"
+#include "io/striped_run_source.h"
 #include "util/flags.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -47,14 +55,21 @@ int Usage() {
       "commands:\n"
       "  generate  --out=FILE --n=N [--dist=uniform|zipf|normal|sequential]\n"
       "            [--seed=S] [--zipf-z=0.86] [--dup=0.1]\n"
+      "            [--stripes=D | --stripe-paths=F0,F1,...] [--chunk=65536]\n"
       "  sketch    --data=FILE --out=SKETCH [--run-size=1048576]\n"
       "            [--samples=1024] [--select=intro|fr|mom|std]\n"
       "            [--io-mode=sync|async] [--prefetch-depth=2]\n"
+      "            [--stripes=D | --stripe-paths=F0,F1,...]\n"
       "  quantile  --sketch=SKETCH (--phi=0.5[,0.9,...] | --q=10)\n"
       "  exact     --data=FILE --sketch=SKETCH --phi=0.5[,...]\n"
+      "            [--run-size=N] [--io-mode=sync|async]\n"
+      "            [--prefetch-depth=2] [--stripes=D | --stripe-paths=...]\n"
       "  rank      --sketch=SKETCH --value=V\n"
       "  merge     --out=SKETCH IN1 IN2 [IN3 ...]\n"
-      "  inspect   --sketch=SKETCH\n";
+      "  inspect   --sketch=SKETCH\n"
+      "\n"
+      "striping: --stripes=D spreads/reads PATH.s0..PATH.s{D-1};\n"
+      "--stripe-paths lists the per-disk stripe files explicitly.\n";
   return 2;
 }
 
@@ -90,6 +105,88 @@ Result<std::unique_ptr<FileBlockDevice>> OpenFileDevice(
   return FileBlockDevice::Make(path, mode);
 }
 
+/// Resolves the stripe layout of `base_path` from --stripes/--stripe-paths.
+/// Returns an empty vector for the plain single-file layout.
+Result<std::vector<std::string>> StripePaths(const Flags& flags,
+                                             const std::string& base_path) {
+  std::vector<std::string> paths;
+  if (flags.Has("stripe-paths")) {
+    std::stringstream ss(flags.GetString("stripe-paths", ""));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (item.empty()) {
+        return Status::InvalidArgument("empty entry in --stripe-paths");
+      }
+      paths.push_back(item);
+    }
+    if (paths.empty()) {
+      return Status::InvalidArgument("--stripe-paths names no files");
+    }
+    if (flags.Has("stripes") &&
+        flags.GetInt("stripes", 0) != static_cast<int64_t>(paths.size())) {
+      return Status::InvalidArgument(
+          "--stripes disagrees with the number of --stripe-paths entries");
+    }
+    return paths;
+  }
+  const int64_t stripes = flags.GetInt("stripes", 1);
+  if (stripes < 1 || static_cast<uint64_t>(stripes) > kMaxStripes) {
+    return Status::InvalidArgument("--stripes must be in [1, " +
+                                   std::to_string(kMaxStripes) + "]");
+  }
+  if (stripes == 1) return paths;  // plain layout
+  if (base_path.empty()) {
+    return Status::InvalidArgument("missing a required file path flag");
+  }
+  for (int64_t s = 0; s < stripes; ++s) {
+    paths.push_back(base_path + ".s" + std::to_string(s));
+  }
+  return paths;
+}
+
+/// A dataset opened for reading on whichever storage backend the flags ask
+/// for, owning its devices; `provider` is the backend-independent view.
+struct DataInput {
+  std::vector<std::unique_ptr<FileBlockDevice>> devices;
+  std::unique_ptr<TypedDataFile<Key>> plain;
+  std::unique_ptr<StripedDataFile<Key>> striped;
+  std::unique_ptr<RunProvider<Key>> provider;
+
+  uint64_t stripes() const { return striped ? striped->num_stripes() : 1; }
+};
+
+Result<DataInput> OpenDataInput(const Flags& flags) {
+  const std::string path = flags.GetString("data", "");
+  auto paths = StripePaths(flags, path);
+  if (!paths.ok()) return paths.status();
+  DataInput input;
+  if (paths->empty()) {
+    auto device = OpenFileDevice(path, FileBlockDevice::Mode::kOpen);
+    if (!device.ok()) return device.status();
+    input.devices.push_back(std::move(device).value());
+    auto file = TypedDataFile<Key>::Open(input.devices.back().get());
+    if (!file.ok()) return file.status();
+    input.plain =
+        std::make_unique<TypedDataFile<Key>>(std::move(file).value());
+    input.provider = std::make_unique<FileRunProvider<Key>>(input.plain.get());
+    return input;
+  }
+  std::vector<BlockDevice*> raw;
+  for (const std::string& stripe_path : *paths) {
+    auto device = OpenFileDevice(stripe_path, FileBlockDevice::Mode::kOpen);
+    if (!device.ok()) return device.status();
+    input.devices.push_back(std::move(device).value());
+    raw.push_back(input.devices.back().get());
+  }
+  auto file = StripedDataFile<Key>::Open(std::move(raw));
+  if (!file.ok()) return file.status();
+  input.striped =
+      std::make_unique<StripedDataFile<Key>>(std::move(file).value());
+  input.provider =
+      std::make_unique<StripedFileProvider<Key>>(input.striped.get());
+  return input;
+}
+
 int CmdGenerate(const Flags& flags) {
   DatasetSpec spec;
   spec.n = static_cast<uint64_t>(flags.GetInt("n", 1000000));
@@ -108,24 +205,46 @@ int CmdGenerate(const Flags& flags) {
   } else {
     return Fail(Status::InvalidArgument("unknown --dist: " + dist));
   }
-  auto device = OpenFileDevice(flags.GetString("out", ""),
-                               FileBlockDevice::Mode::kCreate);
-  if (!device.ok()) return Fail(device.status());
+  auto paths = StripePaths(flags, flags.GetString("out", ""));
+  if (!paths.ok()) return Fail(paths.status());
   WallTimer timer;
-  Status s = GenerateDatasetToDevice<Key>(spec, device->get());
-  if (!s.ok()) return Fail(s);
-  std::cout << "wrote " << spec.ToString() << " to "
-            << flags.GetString("out", "") << " in "
-            << timer.ElapsedSeconds() << "s\n";
+  if (paths->empty()) {
+    auto device = OpenFileDevice(flags.GetString("out", ""),
+                                 FileBlockDevice::Mode::kCreate);
+    if (!device.ok()) return Fail(device.status());
+    Status s = GenerateDatasetToDevice<Key>(spec, device->get());
+    if (!s.ok()) return Fail(s);
+    std::cout << "wrote " << spec.ToString() << " to "
+              << flags.GetString("out", "") << " in "
+              << timer.ElapsedSeconds() << "s\n";
+    return 0;
+  }
+  const int64_t chunk = flags.GetInt("chunk", 65536);
+  if (chunk < 1) return Fail(Status::InvalidArgument("--chunk must be >= 1"));
+  std::vector<std::unique_ptr<FileBlockDevice>> devices;
+  std::vector<BlockDevice*> raw;
+  for (const std::string& path : *paths) {
+    auto device = OpenFileDevice(path, FileBlockDevice::Mode::kCreate);
+    if (!device.ok()) return Fail(device.status());
+    devices.push_back(std::move(device).value());
+    raw.push_back(devices.back().get());
+  }
+  auto file = WriteStriped(GenerateDataset<Key>(spec), std::move(raw),
+                           static_cast<uint64_t>(chunk));
+  if (!file.ok()) return Fail(file.status());
+  for (auto& device : devices) {
+    Status s = device->Sync();
+    if (!s.ok()) return Fail(s);
+  }
+  std::cout << "wrote " << spec.ToString() << " as " << file->ToString()
+            << " across " << paths->front() << ".." << paths->back()
+            << " in " << timer.ElapsedSeconds() << "s\n";
   return 0;
 }
 
 int CmdSketch(const Flags& flags) {
-  auto data_device = OpenFileDevice(flags.GetString("data", ""),
-                                    FileBlockDevice::Mode::kOpen);
-  if (!data_device.ok()) return Fail(data_device.status());
-  auto file = TypedDataFile<Key>::Open(data_device->get());
-  if (!file.ok()) return Fail(file.status());
+  auto input = OpenDataInput(flags);
+  if (!input.ok()) return Fail(input.status());
 
   OpaqConfig config;
   config.run_size = static_cast<uint64_t>(flags.GetInt("run-size", 1 << 20));
@@ -148,13 +267,14 @@ int CmdSketch(const Flags& flags) {
   config.io_mode = *parsed_mode;
   config.prefetch_depth =
       static_cast<uint64_t>(flags.GetInt("prefetch-depth", 2));
+  config.stripes = input->stripes();
   Status valid = config.Validate();
   if (!valid.ok()) return Fail(valid);
 
   WallTimer timer;
   OpaqSketch<Key> sketch(config);
   double io_seconds = 0;
-  Status s = sketch.ConsumeFile(&*file, &io_seconds);
+  Status s = sketch.Consume(*input->provider, &io_seconds);
   if (!s.ok()) return Fail(s);
   SampleList<Key> list = sketch.FinalizeSampleList();
 
@@ -169,6 +289,9 @@ int CmdSketch(const Flags& flags) {
             << timer.ElapsedSeconds() << "s (" << io_seconds << "s "
             << (config.io_mode == IoMode::kAsync ? "I/O stall, async"
                                                  : "I/O")
+            << (config.stripes > 1
+                    ? ", " + std::to_string(config.stripes) + " stripes"
+                    : "")
             << "); rank error <= " << MaxRankError(list.accounting())
             << "\n";
   return 0;
@@ -201,20 +324,31 @@ int CmdExact(const Flags& flags) {
   if (!sketch_device.ok()) return Fail(sketch_device.status());
   auto list = LoadSampleList<Key>(sketch_device->get());
   if (!list.ok()) return Fail(list.status());
-  auto data_device = OpenFileDevice(flags.GetString("data", ""),
-                                    FileBlockDevice::Mode::kOpen);
-  if (!data_device.ok()) return Fail(data_device.status());
-  auto file = TypedDataFile<Key>::Open(data_device->get());
-  if (!file.ok()) return Fail(file.status());
+  auto input = OpenDataInput(flags);
+  if (!input.ok()) return Fail(input.status());
   auto phis = ParsePhis(flags);
   if (!phis.ok()) return Fail(phis.status());
 
   OpaqEstimator<Key> estimator(std::move(list).value());
   std::vector<QuantileEstimate<Key>> estimates;
   for (double phi : *phis) estimates.push_back(estimator.Quantile(phi));
-  const uint64_t run_size =
-      static_cast<uint64_t>(flags.GetInt("run-size", 1 << 20));
-  auto exact = ExactQuantilesSecondPass(&*file, estimates, run_size);
+  // Route the raw flag values through the same OpaqConfig::Validate as
+  // CmdSketch (samples_per_run = 1 neutralizes the divisibility rule the
+  // second pass does not have) so bad inputs fail with a clean error, not
+  // a CHECK abort in the readers.
+  OpaqConfig config;
+  config.run_size = static_cast<uint64_t>(flags.GetInt("run-size", 1 << 20));
+  config.samples_per_run = 1;
+  auto parsed_mode = ParseIoMode(flags.GetString("io-mode", "sync"));
+  if (!parsed_mode.ok()) return Fail(parsed_mode.status());
+  config.io_mode = *parsed_mode;
+  config.prefetch_depth =
+      static_cast<uint64_t>(flags.GetInt("prefetch-depth", 2));
+  config.stripes = input->stripes();
+  Status valid = config.Validate();
+  if (!valid.ok()) return Fail(valid);
+  auto exact = ExactQuantilesSecondPass(*input->provider, estimates,
+                                        config.read_options());
   if (!exact.ok()) return Fail(exact.status());
   std::cout << "phi\texact\n";
   for (size_t i = 0; i < phis->size(); ++i) {

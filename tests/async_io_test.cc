@@ -264,6 +264,31 @@ TEST(AsyncIoTest, ValidateRejectsBadPrefetchDepth) {
   config.io_mode = IoMode::kSync;
   config.prefetch_depth = 0;
   EXPECT_TRUE(config.Validate().ok());
+  // Stripe count is range-checked regardless of mode.
+  config.stripes = 0;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config.stripes = kMaxStripes + 1;
+  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+  config.stripes = kMaxStripes;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(AsyncIoTest, ValidateChargesStripedPrefetchMemory) {
+  // The §2.3 budget must charge stripes * prefetch_depth in-flight chunk
+  // buffers (at the chunk <= run_size layout) on top of the run being
+  // assembled: a budget that fits plain async can be blown by striping.
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 100;
+  config.io_mode = IoMode::kAsync;
+  config.prefetch_depth = 2;
+  const uint64_t n = 10000;  // 10 runs => r*s = 1000
+  // Plain async needs 1000 + 3*1000; give exactly that.
+  EXPECT_TRUE(config.Validate(n, 4000).ok());
+  config.stripes = 8;  // now 1000 + (8*2 + 1)*1000
+  EXPECT_EQ(config.Validate(n, 4000).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(config.Validate(n, 18000).ok());
 }
 
 TEST(AsyncIoTest, SubRangeMatchesSyncReader) {

@@ -1,0 +1,286 @@
+// Cross-backend conformance harness: for ANY config, the sync, async and
+// striped storage backends must be indistinguishable in their output —
+// byte-identical serialized sketches and identical final quantiles (both
+// estimated brackets and exact second-pass values). Prefetch threads and
+// stripe fan-out may reorder time, never data.
+//
+// The sweep is a seeded pseudo-random walk over the config space {n, run
+// length, key distribution, stripes 1/2/4, chunk size, prefetch depth},
+// deliberately biased toward ragged shapes (n not divisible by the run,
+// runs not divisible by the chunk, partial tail chunks), plus a set of
+// fixed edge cases. Deterministic: one master seed drives everything.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/exact.h"
+#include "core/opaq.h"
+#include "core/sketch_io.h"
+#include "data/dataset.h"
+#include "io/async_run_reader.h"
+#include "io/block_device.h"
+#include "io/striped_data_file.h"
+#include "io/striped_run_source.h"
+#include "parallel/parallel_opaq.h"
+#include "util/random.h"
+
+namespace opaq {
+namespace {
+
+using Key = uint64_t;
+
+struct SweepCase {
+  uint64_t n = 0;
+  uint64_t run_size = 0;
+  uint64_t samples_per_run = 0;
+  uint64_t chunk = 0;
+  Distribution distribution = Distribution::kUniform;
+  uint64_t data_seed = 0;
+  uint64_t sketch_seed = 0;
+
+  std::string Describe() const {
+    return "n=" + std::to_string(n) + " m=" + std::to_string(run_size) +
+           " s=" + std::to_string(samples_per_run) +
+           " chunk=" + std::to_string(chunk) +
+           " dist=" + DistributionName(distribution) +
+           " seed=" + std::to_string(data_seed);
+  }
+};
+
+// Runs the full sample phase through `provider` with the given io mode and
+// returns the serialized sketch — the strongest practical equality.
+std::vector<uint8_t> SketchBytes(const RunProvider<Key>& provider,
+                                 const SweepCase& c, IoMode io_mode,
+                                 uint64_t prefetch_depth) {
+  OpaqConfig config;
+  config.run_size = c.run_size;
+  config.samples_per_run = c.samples_per_run;
+  config.seed = c.sketch_seed;
+  config.io_mode = io_mode;
+  config.prefetch_depth = prefetch_depth;
+  OpaqSketch<Key> sketch(config);
+  OPAQ_CHECK_OK(sketch.Consume(provider));
+  SampleList<Key> list = sketch.FinalizeSampleList();
+  MemoryBlockDevice out;
+  OPAQ_CHECK_OK(SaveSampleList(list, &out));
+  auto size = out.Size();
+  OPAQ_CHECK_OK(size.status());
+  std::vector<uint8_t> bytes(*size);
+  OPAQ_CHECK_OK(out.ReadAt(0, bytes.data(), bytes.size()));
+  return bytes;
+}
+
+// One plain file and one D-striped file over the same logical data, with
+// all their devices, kept alive together.
+struct Backends {
+  std::vector<std::unique_ptr<MemoryBlockDevice>> devices;
+  std::unique_ptr<TypedDataFile<Key>> plain_file;
+  std::unique_ptr<StripedDataFile<Key>> striped_file;
+  std::unique_ptr<FileRunProvider<Key>> plain;
+  std::unique_ptr<StripedFileProvider<Key>> striped;
+
+  Backends(const std::vector<Key>& data, int stripes, uint64_t chunk) {
+    devices.push_back(std::make_unique<MemoryBlockDevice>());
+    OPAQ_CHECK_OK(WriteDataset(data, devices.back().get()));
+    auto file = TypedDataFile<Key>::Open(devices.back().get());
+    OPAQ_CHECK_OK(file.status());
+    plain_file =
+        std::make_unique<TypedDataFile<Key>>(std::move(file).value());
+    plain = std::make_unique<FileRunProvider<Key>>(plain_file.get());
+
+    std::vector<BlockDevice*> raw;
+    for (int s = 0; s < stripes; ++s) {
+      devices.push_back(std::make_unique<MemoryBlockDevice>());
+      raw.push_back(devices.back().get());
+    }
+    auto striped_result = WriteStriped(data, raw, chunk);
+    OPAQ_CHECK_OK(striped_result.status());
+    striped_file = std::make_unique<StripedDataFile<Key>>(
+        std::move(striped_result).value());
+    striped = std::make_unique<StripedFileProvider<Key>>(striped_file.get());
+  }
+};
+
+// The conformance core: every backend/mode/depth combination must produce
+// the reference (plain sync) sketch bytes.
+void ExpectAllBackendsAgree(const SweepCase& c) {
+  DatasetSpec spec;
+  spec.n = c.n;
+  spec.distribution = c.distribution;
+  spec.seed = c.data_seed;
+  std::vector<Key> data = GenerateDataset<Key>(spec);
+
+  std::vector<uint8_t> reference;
+  for (int stripes : {1, 2, 4}) {
+    Backends backends(data, stripes, c.chunk);
+    // The striped file must hold exactly the logical dataset.
+    auto striped_all = backends.striped_file->ReadAll();
+    ASSERT_TRUE(striped_all.ok()) << c.Describe();
+    ASSERT_EQ(*striped_all, data) << c.Describe() << " stripes=" << stripes;
+
+    if (reference.empty()) {
+      reference = SketchBytes(*backends.plain, c, IoMode::kSync, 2);
+      ASSERT_FALSE(reference.empty()) << c.Describe();
+    }
+    for (uint64_t depth : {1u, 2u, 5u}) {
+      EXPECT_EQ(SketchBytes(*backends.plain, c, IoMode::kAsync, depth),
+                reference)
+          << c.Describe() << " async depth=" << depth;
+      EXPECT_EQ(SketchBytes(*backends.striped, c, IoMode::kAsync, depth),
+                reference)
+          << c.Describe() << " striped x" << stripes << " depth=" << depth;
+    }
+    EXPECT_EQ(SketchBytes(*backends.striped, c, IoMode::kSync, 2), reference)
+        << c.Describe() << " striped-inline x" << stripes;
+  }
+}
+
+TEST(BackendConformanceTest, FixedEdgeCases) {
+  const SweepCase kCases[] = {
+      // n, m, s, chunk, distribution, data seed, sketch seed
+      {1, 64, 8, 16, Distribution::kConstant, 3, 11},    // single element
+      {1000, 100, 10, 100, Distribution::kUniform, 4, 12},  // all aligned
+      {999, 100, 10, 64, Distribution::kZipf, 5, 13},    // ragged run tail
+      {1001, 100, 10, 7, Distribution::kNormal, 6, 14},  // tail of one
+      {50, 100, 10, 8, Distribution::kSequential, 7, 15},  // single short run
+      {4096, 512, 64, 512, Distribution::kSawtooth, 8, 16},  // chunk == run
+      {4096, 512, 64, 4096, Distribution::kUniform, 9, 17},  // chunk > run
+      {300, 64, 8, 1, Distribution::kReverseSequential, 10, 18},  // chunk 1
+  };
+  for (const SweepCase& c : kCases) ExpectAllBackendsAgree(c);
+}
+
+TEST(BackendConformanceTest, RandomizedSweep) {
+  Xoshiro256 rng(20260729);
+  for (int i = 0; i < 12; ++i) {
+    SweepCase c;
+    c.samples_per_run = uint64_t{1} << (3 + rng.NextBounded(3));  // 8..32
+    c.run_size = c.samples_per_run * (1 + rng.NextBounded(40));
+    // Mostly ragged tails; with probability 1/4 round down to an aligned n.
+    c.n = 1 + rng.NextBounded(30000);
+    if (rng.NextBounded(4) == 0 && c.n >= c.run_size) {
+      c.n -= c.n % c.run_size;
+    }
+    c.chunk = 1 + rng.NextBounded(2 * c.run_size);
+    const Distribution kDists[] = {
+        Distribution::kUniform, Distribution::kZipf, Distribution::kNormal,
+        Distribution::kSequential, Distribution::kSawtooth};
+    c.distribution = kDists[rng.NextBounded(5)];
+    c.data_seed = rng.Next();
+    c.sketch_seed = rng.Next();
+    SCOPED_TRACE(c.Describe());
+    ExpectAllBackendsAgree(c);
+  }
+}
+
+TEST(BackendConformanceTest, QuantilesAndExactPassAgreeAcrossBackends) {
+  // Beyond sketch bytes: the user-visible answers — certified brackets and
+  // exact second-pass values — must match across backends, with the second
+  // pass itself streaming through each backend (sync and prefetching).
+  DatasetSpec spec;
+  spec.n = 30000;
+  spec.distribution = Distribution::kZipf;
+  spec.seed = 99;
+  std::vector<Key> data = GenerateDataset<Key>(spec);
+  Backends backends(data, 4, 600);  // chunk does not divide the run
+
+  OpaqConfig config;
+  config.run_size = 2500;
+  config.samples_per_run = 125;
+  OpaqSketch<Key> sketch(config);
+  ASSERT_TRUE(sketch.Consume(*backends.plain).ok());
+  OpaqEstimator<Key> reference = sketch.Finalize();
+  auto reference_estimates = reference.EquiQuantiles(10);
+
+  OpaqConfig striped_config = config;
+  striped_config.io_mode = IoMode::kAsync;
+  striped_config.prefetch_depth = 3;
+  OpaqSketch<Key> striped_sketch(striped_config);
+  ASSERT_TRUE(striped_sketch.ConsumeFile(backends.striped_file.get()).ok());
+  auto striped_estimates = striped_sketch.Finalize().EquiQuantiles(10);
+
+  ASSERT_EQ(striped_estimates.size(), reference_estimates.size());
+  for (size_t i = 0; i < reference_estimates.size(); ++i) {
+    EXPECT_EQ(striped_estimates[i].lower, reference_estimates[i].lower);
+    EXPECT_EQ(striped_estimates[i].upper, reference_estimates[i].upper);
+    EXPECT_EQ(striped_estimates[i].target_rank,
+              reference_estimates[i].target_rank);
+  }
+
+  ReadOptions sync_options;
+  sync_options.run_size = config.run_size;
+  auto exact_plain = ExactQuantilesSecondPass(*backends.plain,
+                                              reference_estimates,
+                                              sync_options);
+  ASSERT_TRUE(exact_plain.ok()) << exact_plain.status().ToString();
+  for (IoMode mode : {IoMode::kSync, IoMode::kAsync}) {
+    ReadOptions options = sync_options;
+    options.io_mode = mode;
+    options.prefetch_depth = 2;
+    auto exact_striped = ExactQuantilesSecondPass(*backends.striped,
+                                                  reference_estimates,
+                                                  options);
+    ASSERT_TRUE(exact_striped.ok()) << exact_striped.status().ToString();
+    EXPECT_EQ(*exact_striped, *exact_plain) << IoModeName(mode);
+  }
+  // And the overlapped second pass over the plain file agrees too.
+  ReadOptions async_options = sync_options;
+  async_options.io_mode = IoMode::kAsync;
+  auto exact_async = ExactQuantilesSecondPass(*backends.plain,
+                                              reference_estimates,
+                                              async_options);
+  ASSERT_TRUE(exact_async.ok());
+  EXPECT_EQ(*exact_async, *exact_plain);
+}
+
+TEST(BackendConformanceTest, ParallelHarnessAgreesOnStripedShards) {
+  // The parallel sample phase over striped per-rank shards must answer
+  // exactly like the plain-file run on the same logical shards.
+  const int p = 3;
+  std::vector<std::unique_ptr<Backends>> ranks;
+  std::vector<const RunProvider<Key>*> plain_shards, striped_shards;
+  for (int r = 0; r < p; ++r) {
+    DatasetSpec spec;
+    spec.n = 15000 + 777 * r;  // ragged everywhere
+    spec.distribution = r % 2 ? Distribution::kZipf : Distribution::kUniform;
+    spec.seed = 500 + r;
+    ranks.push_back(std::make_unique<Backends>(GenerateDataset<Key>(spec),
+                                               2 + r % 2, 333));
+    plain_shards.push_back(ranks.back()->plain.get());
+    striped_shards.push_back(ranks.back()->striped.get());
+  }
+
+  auto run = [&](const std::vector<const RunProvider<Key>*>& shards,
+                 IoMode mode) {
+    Cluster::Options cluster_options;
+    cluster_options.num_processors = p;
+    Cluster cluster(cluster_options);
+    ParallelOpaqOptions options;
+    options.config.run_size = 2048;
+    options.config.samples_per_run = 128;
+    options.config.io_mode = mode;
+    options.config.prefetch_depth = 2;
+    auto result = RunParallelOpaq(cluster, shards, options);
+    OPAQ_CHECK_OK(result.status());
+    return std::move(result).value();
+  };
+
+  ParallelOpaqResult<Key> reference = run(plain_shards, IoMode::kSync);
+  for (IoMode mode : {IoMode::kSync, IoMode::kAsync}) {
+    ParallelOpaqResult<Key> striped = run(striped_shards, mode);
+    ASSERT_EQ(striped.estimates.size(), reference.estimates.size());
+    for (size_t i = 0; i < reference.estimates.size(); ++i) {
+      EXPECT_EQ(striped.estimates[i].lower, reference.estimates[i].lower);
+      EXPECT_EQ(striped.estimates[i].upper, reference.estimates[i].upper);
+    }
+    EXPECT_EQ(striped.global_accounting.num_samples,
+              reference.global_accounting.num_samples);
+    EXPECT_EQ(striped.global_accounting.total_elements,
+              reference.global_accounting.total_elements);
+  }
+}
+
+}  // namespace
+}  // namespace opaq

@@ -365,6 +365,141 @@ TEST(KllTest, NoDataFails) {
   EXPECT_FALSE(kll.EstimateQuantile(1.5).ok());
 }
 
+// ---------------------------------------------- Rank-error property sweep --
+//
+// Each baseline advertises a rank-error story; these sweeps assert it over
+// randomized inputs (several seeds x distributions x sizes, all
+// deterministic) against exact ground truth, at a finer phi grid than the
+// dectile spot checks above. Thresholds:
+//   - GK: eps*n ranks, DETERMINISTIC — asserted at the advertised eps with
+//     only a duplicate-tie epsilon of slack.
+//   - KLL: eps*n with eps = O(1/k), probabilistic — asserted at a bound
+//     that holds comfortably for the fixed sweep seeds.
+//   - Reservoir: +-O(sqrt(phi(1-phi)/capacity)) ranks w.h.p. — asserted at
+//     ~5 standard deviations for the fixed sweep seeds.
+//   - P2: no guarantee at all; a loose sanity bound on smooth inputs only.
+
+std::vector<double> SweepPhis() {
+  std::vector<double> out{0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99};
+  for (double d : Dectiles()) out.push_back(d);
+  return out;
+}
+
+std::vector<uint64_t> SweepData(Distribution distribution, uint64_t n,
+                                uint64_t seed) {
+  DatasetSpec spec;
+  spec.n = n;
+  spec.seed = seed;
+  spec.distribution = distribution;
+  return GenerateDataset<uint64_t>(spec);
+}
+
+constexpr Distribution kSweepDistributions[] = {
+    Distribution::kUniform, Distribution::kZipf, Distribution::kNormal,
+    Distribution::kSequential, Distribution::kSawtooth};
+
+// Worst rank error (percent of n) of `estimator` over the phi grid.
+template <typename Estimator>
+double WorstRankErrorPct(Estimator& estimator,
+                         const std::vector<uint64_t>& data) {
+  for (uint64_t v : data) estimator.Add(v);
+  GroundTruth<uint64_t> truth(data);
+  double worst = 0;
+  for (double phi : SweepPhis()) {
+    auto est = estimator.EstimateQuantile(phi);
+    OPAQ_CHECK_OK(est.status());
+    worst = std::max(worst, PointRerA(truth, *est, truth.TargetRank(phi)));
+  }
+  return worst;
+}
+
+TEST(BaselinePropertyTest, GkMeetsItsDeterministicEpsilonEverywhere) {
+  // The GK invariant g + delta <= 2*eps*n is distribution-free and holds
+  // for every prefix of every stream: the advertised bound, not a looser
+  // stand-in, must hold on every sweep point (eps*100 in percent; +0.01 for
+  // rank ties among duplicates).
+  for (double eps : {0.05, 0.01}) {
+    for (Distribution distribution : kSweepDistributions) {
+      for (uint64_t seed : {1u, 17u, 4242u}) {
+        GkEstimator<uint64_t> gk(eps);
+        double worst =
+            WorstRankErrorPct(gk, SweepData(distribution, 60000, seed));
+        EXPECT_LE(worst, eps * 100 + 0.01)
+            << "eps=" << eps << " dist=" << static_cast<int>(distribution)
+            << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(BaselinePropertyTest, GkHoldsMidStreamToo) {
+  // The guarantee is an *anytime* bound: check it at several prefixes of
+  // one stream, not just at the end.
+  const double eps = 0.02;
+  auto data = SweepData(Distribution::kZipf, 50000, 7);
+  GkEstimator<uint64_t> gk(eps);
+  size_t consumed = 0;
+  for (size_t checkpoint : {1000u, 5000u, 20000u, 50000u}) {
+    for (; consumed < checkpoint; ++consumed) gk.Add(data[consumed]);
+    GroundTruth<uint64_t> truth(std::vector<uint64_t>(
+        data.begin(), data.begin() + static_cast<ptrdiff_t>(checkpoint)));
+    for (double phi : SweepPhis()) {
+      auto est = gk.EstimateQuantile(phi);
+      ASSERT_TRUE(est.ok());
+      EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(phi)),
+                eps * 100 + 0.01)
+          << "prefix=" << checkpoint << " phi=" << phi;
+    }
+  }
+}
+
+TEST(BaselinePropertyTest, KllMeetsItsAdvertisedBound) {
+  // k=1024 targets eps ~ O(1/k); empirically well under 1% — assert 2%,
+  // still far below what a broken compactor would produce (the probability
+  // story is exercised by sweeping seeds for both the data and the sketch).
+  for (Distribution distribution : kSweepDistributions) {
+    for (uint64_t seed : {1u, 17u, 4242u}) {
+      KllEstimator<uint64_t> kll(1024, seed * 31 + 5);
+      double worst =
+          WorstRankErrorPct(kll, SweepData(distribution, 60000, seed));
+      EXPECT_LE(worst, 2.0)
+          << "dist=" << static_cast<int>(distribution) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(BaselinePropertyTest, ReservoirStaysWithinSamplingError) {
+  // capacity 4000 => stddev <= 100*sqrt(0.25/4000) ~ 0.79% of n at the
+  // median, less at the tails; 4% ~ 5 sigma, comfortable for fixed seeds
+  // yet far below the systematic bias a broken reservoir would show.
+  for (Distribution distribution : kSweepDistributions) {
+    for (uint64_t seed : {1u, 17u, 4242u}) {
+      ReservoirSampleEstimator<uint64_t> reservoir(4000, seed * 13 + 1);
+      double worst =
+          WorstRankErrorPct(reservoir, SweepData(distribution, 60000, seed));
+      EXPECT_LE(worst, 4.0)
+          << "dist=" << static_cast<int>(distribution) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(BaselinePropertyTest, P2StaysSaneOnSmoothDistributions) {
+  // P2 has NO error guarantee (the paper's point about [RC85]); on smooth
+  // unimodal inputs it should still land within a few percent. Skewed/
+  // piecewise inputs are deliberately excluded — there it can be
+  // arbitrarily wrong, which Table 7 demonstrates rather than asserts.
+  for (Distribution distribution :
+       {Distribution::kUniform, Distribution::kNormal}) {
+    for (uint64_t seed : {1u, 17u, 4242u}) {
+      P2Estimator<uint64_t> p2(SweepPhis());
+      double worst =
+          WorstRankErrorPct(p2, SweepData(distribution, 60000, seed));
+      EXPECT_LE(worst, 5.0)
+          << "dist=" << static_cast<int>(distribution) << " seed=" << seed;
+    }
+  }
+}
+
 // -------------------------------------- Polymorphic use through the base --
 
 TEST(EstimatorInterfaceTest, WorksThroughBasePointer) {

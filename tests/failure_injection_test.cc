@@ -12,6 +12,8 @@
 #include "io/async_run_reader.h"
 #include "io/faulty_device.h"
 #include "io/run_reader.h"
+#include "io/striped_data_file.h"
+#include "io/striped_run_source.h"
 #include "parallel/parallel_opaq.h"
 
 namespace opaq {
@@ -299,5 +301,195 @@ TEST(FailureInjectionTest, ParallelAsyncRunFailsCleanlyWhenOneDiskDies) {
   RunParallelDiskDeath(IoMode::kAsync);
 }
 
+// ------------------------------------------------------- Striped backend --
+
+// A striped file over 3 memory devices, with the middle stripe wrapped in a
+// FaultyDevice — one disk of the array dying while the others stay healthy.
+// chunk == run_size, so logical chunk c IS run c and the failure position
+// is exactly predictable: with D = 3, chunk 1 is stripe 1's first data
+// chunk, so failing stripe 1's read #k kills run 1 + 3*(k - 2) (read #1 is
+// the Open-time header read).
+struct FaultyStripeFixture {
+  static constexpr uint64_t kRunSize = 500;
+  static constexpr int kStripes = 3;
+
+  std::vector<std::unique_ptr<BlockDevice>> devices;
+  FaultyDevice* faulty = nullptr;  // borrowed view of devices[1]
+  Result<StripedDataFile<uint64_t>> file = Status::Internal("unset");
+
+  FaultyStripeFixture(uint64_t n, FaultyDevice::Options options) {
+    std::vector<std::unique_ptr<MemoryBlockDevice>> memory;
+    std::vector<BlockDevice*> raw;
+    for (int s = 0; s < kStripes; ++s) {
+      memory.push_back(std::make_unique<MemoryBlockDevice>());
+      raw.push_back(memory.back().get());
+    }
+    DatasetSpec spec;
+    spec.n = n;
+    OPAQ_CHECK_OK(
+        WriteStriped(GenerateDataset<uint64_t>(spec), raw, kRunSize)
+            .status());
+    for (int s = 0; s < kStripes; ++s) {
+      if (s == 1) {
+        auto wrapped = std::make_unique<FaultyDevice>(std::move(memory[1]),
+                                                      options);
+        faulty = wrapped.get();
+        devices.push_back(std::move(wrapped));
+      } else {
+        devices.push_back(std::move(memory[static_cast<size_t>(s)]));
+      }
+    }
+    std::vector<BlockDevice*> opened;
+    for (auto& device : devices) opened.push_back(device.get());
+    file = StripedDataFile<uint64_t>::Open(opened);
+  }
+};
+
+TEST(FailureInjectionTest, StripedOpenFailsWhenStripeHeaderDies) {
+  FaultyStripeFixture f(6000, FailReadAt(1));
+  EXPECT_FALSE(f.file.ok());
+  EXPECT_EQ(f.file.status().code(), StatusCode::kIoError);
+}
+
+TEST(FailureInjectionTest, StripedConsumeFileSurfacesStripeDeath) {
+  // Kill stripe 1 on its second data chunk (read #3 after header + chunk 1):
+  // the dying chunk is logical run 4, so exactly runs 0-3 must be consumed,
+  // the error must surface as a clean Status from ConsumeFile, and every
+  // stripe reader thread must be joined by then (asan/tsan gate leaks) — at
+  // every prefetch depth, in both threaded and inline modes.
+  for (IoMode io_mode : {IoMode::kSync, IoMode::kAsync}) {
+    for (uint64_t depth : {1u, 2u, 8u}) {
+      FaultyStripeFixture f(6000, FailReadAt(3));
+      ASSERT_TRUE(f.file.ok());
+      OpaqConfig config;
+      config.run_size = FaultyStripeFixture::kRunSize;
+      config.samples_per_run = 100;
+      config.io_mode = io_mode;
+      config.prefetch_depth = depth;
+      OpaqSketch<uint64_t> sketch(config);
+      Status s = sketch.ConsumeFile(&*f.file);
+      EXPECT_FALSE(s.ok()) << IoModeName(io_mode) << " depth " << depth;
+      EXPECT_EQ(s.code(), StatusCode::kIoError)
+          << IoModeName(io_mode) << " depth " << depth;
+      EXPECT_EQ(sketch.runs_consumed(), 4u)
+          << IoModeName(io_mode) << " depth " << depth;
+      EXPECT_EQ(sketch.elements_consumed(),
+                4 * FaultyStripeFixture::kRunSize)
+          << IoModeName(io_mode) << " depth " << depth;
+      if (io_mode == IoMode::kSync) break;  // depth is a no-op inline
+    }
+  }
+}
+
+TEST(FailureInjectionTest, StripedReaderKeepsReportingErrorAfterFailure) {
+  // Both reading modes must latch the failure: a transient device error
+  // must not let a retried NextRun silently resume mid-stream.
+  for (bool threaded : {true, false}) {
+    FaultyStripeFixture f(6000, FailReadAt(2));  // stripe 1's 1st data chunk
+    ASSERT_TRUE(f.file.ok());
+    StripedReaderOptions options;
+    options.prefetch_chunks = 2;
+    options.threaded = threaded;
+    StripedRunSource<uint64_t> source(&*f.file,
+                                      FaultyStripeFixture::kRunSize,
+                                      options);
+    std::vector<uint64_t> buffer;
+    // Run 0 (stripe 0) is intact; run 1 dies; so does every later call —
+    // even though the FaultyDevice only poisons one read.
+    auto first = source.NextRun(&buffer);
+    ASSERT_TRUE(first.ok()) << "threaded=" << threaded;
+    EXPECT_TRUE(*first);
+    for (int i = 0; i < 3; ++i) {
+      auto failed = source.NextRun(&buffer);
+      EXPECT_FALSE(failed.ok()) << "threaded=" << threaded;
+      EXPECT_EQ(failed.status().code(), StatusCode::kIoError)
+          << "threaded=" << threaded;
+    }
+  }
+}
+
+TEST(FailureInjectionTest, StripedReaderAbandonedAfterErrorDoesNotHang) {
+  // Let a stripe thread fail, never consume, destroy: the destructor must
+  // close every channel and join every thread.
+  FaultyStripeFixture f(6000, FailReadAt(2));
+  ASSERT_TRUE(f.file.ok());
+  StripedReaderOptions options;
+  options.prefetch_chunks = 8;
+  StripedRunSource<uint64_t> source(&*f.file, 250, options);
+  // No NextRun at all.
+}
+
+TEST(FailureInjectionTest, StripedShortReadSurfacesAsError) {
+  // The array opens healthy, then one stripe physically shrinks behind the
+  // reader's back: the intact prefix runs arrive, then OutOfRange — never
+  // partial data.
+  FaultyStripeFixture f(6000, {});
+  ASSERT_TRUE(f.file.ok());
+  // Keep the header plus one 500-element chunk of stripe 1.
+  f.faulty->set_truncate_after_bytes(sizeof(StripeFileHeader) +
+                                     500 * sizeof(uint64_t));
+  OpaqConfig config;
+  config.run_size = FaultyStripeFixture::kRunSize;
+  config.samples_per_run = 100;
+  config.io_mode = IoMode::kAsync;
+  config.prefetch_depth = 2;
+  OpaqSketch<uint64_t> sketch(config);
+  Status s = sketch.ConsumeFile(&*f.file);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(sketch.runs_consumed(), 4u);  // runs 0-3; run 4 was truncated
+}
+
+TEST(FailureInjectionTest, StripedExactSecondPassSurfacesError) {
+  FaultyStripeFixture healthy(6000, {});
+  ASSERT_TRUE(healthy.file.ok());
+  OpaqConfig config;
+  config.run_size = FaultyStripeFixture::kRunSize;
+  config.samples_per_run = 100;
+  OpaqSketch<uint64_t> sketch(config);
+  ASSERT_TRUE(sketch.ConsumeFile(&*healthy.file).ok());
+  auto estimate = sketch.Finalize().Quantile(0.5);
+
+  FaultyStripeFixture faulty(6000, FailReadAt(3));
+  ASSERT_TRUE(faulty.file.ok());
+  StripedFileProvider<uint64_t> provider(&*faulty.file);
+  ReadOptions options;
+  options.run_size = FaultyStripeFixture::kRunSize;
+  options.io_mode = IoMode::kAsync;
+  auto exact = ExactQuantileSecondPass(provider, estimate, options);
+  EXPECT_FALSE(exact.ok());
+  EXPECT_EQ(exact.status().code(), StatusCode::kIoError);
+}
+
+// One rank's striped array loses a disk mid-pass; the whole parallel run
+// must come back with that error, with every stripe reader thread joined.
+TEST(FailureInjectionTest, ParallelRunFailsCleanlyWhenOneStripeDies) {
+  const int p = 3;
+  std::vector<std::unique_ptr<FaultyStripeFixture>> ranks;
+  std::vector<const RunProvider<uint64_t>*> shards;
+  std::vector<std::unique_ptr<StripedFileProvider<uint64_t>>> providers;
+  for (int r = 0; r < p; ++r) {
+    FaultyDevice::Options options;
+    if (r == 1) options.fail_read_at = 4;
+    ranks.push_back(std::make_unique<FaultyStripeFixture>(9000, options));
+    ASSERT_TRUE(ranks.back()->file.ok());
+    providers.push_back(std::make_unique<StripedFileProvider<uint64_t>>(
+        &*ranks.back()->file));
+    shards.push_back(providers.back().get());
+  }
+  Cluster::Options cluster_options;
+  cluster_options.num_processors = p;
+  Cluster cluster(cluster_options);
+  ParallelOpaqOptions options;
+  options.config.run_size = FaultyStripeFixture::kRunSize;
+  options.config.samples_per_run = 100;
+  options.config.io_mode = IoMode::kAsync;
+  options.config.prefetch_depth = 2;
+  auto result = RunParallelOpaq(cluster, shards, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
 }  // namespace
 }  // namespace opaq
+

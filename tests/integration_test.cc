@@ -135,8 +135,10 @@ TEST(ConsistencyTest, ThreePathsAgreeOnSampleList) {
   Cluster cluster(cluster_options);
   ParallelOpaqOptions parallel_options;
   parallel_options.config = config;
-  auto parallel = RunParallelOpaq<uint64_t>(
-      cluster, {&*file_a, &*file_b}, parallel_options);
+  std::vector<const TypedDataFile<uint64_t>*> parallel_files{&*file_a,
+                                                             &*file_b};
+  auto parallel =
+      RunParallelOpaq<uint64_t>(cluster, parallel_files, parallel_options);
   ASSERT_TRUE(parallel.ok());
 
   // Sample lists agree (a vs b) and accountings agree (all three).

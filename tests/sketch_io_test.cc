@@ -1,8 +1,11 @@
 // Tests for sketch persistence (core/sketch_io.h) and the batch exact
-// second pass (core/exact.h, plural variant).
+// second pass (core/exact.h, plural variant), including the golden-blob
+// regression that pins the on-disk format byte for byte.
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <fstream>
 #include <numeric>
 
 #include "core/exact.h"
@@ -122,6 +125,81 @@ TEST(SketchIoTest, SaveRefusesEmptyList) {
   SampleList<uint64_t> empty;
   MemoryBlockDevice dev;
   EXPECT_FALSE(SaveSampleList(empty, &dev).ok());
+}
+
+// --------------------------------------------------- Golden-blob format --
+
+// The exact list persisted in tests/golden/sketch_u64_v1.sketch. If the
+// on-disk layout ever drifts (field order, widths, endianness, header
+// size), these tests fail in tier-1 instead of silently orphaning every
+// stored sketch in the wild.
+SampleList<uint64_t> GoldenList() {
+  SampleAccounting acc;
+  acc.subrun_size = 4;
+  acc.num_runs = 2;
+  acc.num_samples = 8;
+  acc.num_uncovered = 3;
+  acc.total_elements = 35;  // 8 * 4 + 3
+  return SampleList<uint64_t>({2, 3, 5, 7, 11, 13, 17, 19}, acc);
+}
+
+std::vector<uint8_t> GoldenBlobBytes() {
+  const std::string path =
+      std::string(OPAQ_GOLDEN_DIR) + "/sketch_u64_v1.sketch";
+  std::ifstream in(path, std::ios::binary);
+  OPAQ_CHECK(in.good()) << "missing golden blob: " << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+TEST(SketchIoGoldenTest, SaveProducesExactGoldenBytes) {
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(SaveSampleList(GoldenList(), &dev).ok());
+  auto size = dev.Size();
+  ASSERT_TRUE(size.ok());
+  std::vector<uint8_t> bytes(*size);
+  ASSERT_TRUE(dev.ReadAt(0, bytes.data(), bytes.size()).ok());
+  EXPECT_EQ(bytes, GoldenBlobBytes())
+      << "the sketch serialization format changed; stored sketches would "
+         "no longer load. If intentional, bump SketchFileHeader::version "
+         "and commit a new golden blob.";
+}
+
+TEST(SketchIoGoldenTest, GoldenBlobLoadsAndRoundTrips) {
+  std::vector<uint8_t> blob = GoldenBlobBytes();
+  MemoryBlockDevice dev;
+  ASSERT_TRUE(dev.WriteAt(0, blob.data(), blob.size()).ok());
+  auto loaded = LoadSampleList<uint64_t>(&dev);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  SampleList<uint64_t> expected = GoldenList();
+  EXPECT_EQ(loaded->samples(), expected.samples());
+  EXPECT_EQ(loaded->accounting().subrun_size,
+            expected.accounting().subrun_size);
+  EXPECT_EQ(loaded->accounting().num_runs, expected.accounting().num_runs);
+  EXPECT_EQ(loaded->accounting().num_uncovered,
+            expected.accounting().num_uncovered);
+  EXPECT_EQ(loaded->total_elements(), expected.total_elements());
+  // Round-trip: saving the loaded list reproduces the blob bit for bit.
+  MemoryBlockDevice out;
+  ASSERT_TRUE(SaveSampleList(*loaded, &out).ok());
+  auto size = out.Size();
+  ASSERT_TRUE(size.ok());
+  std::vector<uint8_t> bytes(*size);
+  ASSERT_TRUE(out.ReadAt(0, bytes.data(), bytes.size()).ok());
+  EXPECT_EQ(bytes, blob);
+}
+
+TEST(SketchIoGoldenTest, HeaderLayoutIsPinned) {
+  // Compile-time format contract: offsets/widths the golden blob encodes.
+  static_assert(sizeof(SketchFileHeader) == 64);
+  static_assert(offsetof(SketchFileHeader, version) == 8);
+  static_assert(offsetof(SketchFileHeader, key_type) == 12);
+  static_assert(offsetof(SketchFileHeader, subrun_size) == 16);
+  static_assert(offsetof(SketchFileHeader, num_runs) == 24);
+  static_assert(offsetof(SketchFileHeader, num_samples) == 32);
+  static_assert(offsetof(SketchFileHeader, num_uncovered) == 40);
+  static_assert(offsetof(SketchFileHeader, total_elements) == 48);
+  EXPECT_EQ(SketchFileHeader::kMagic, 0x4f504151534b5431ULL);
 }
 
 TEST(SketchIoTest, PersistedIncrementalWorkflow) {
