@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "opaq/parallel.h"
 #include "util/timer.h"
 
 namespace opaq {
@@ -100,7 +101,9 @@ ParallelDataset MakeParallelDataset(int p, uint64_t per_rank,
     }
     out.disks.push_back(MakeSimulatedDisk(data, sleep_mode, model));
   }
-  for (auto& disk : out.disks) out.files.push_back(&disk.file);
+  for (auto& disk : out.disks) {
+    out.sources.push_back(Source<Key>::FromFile(&disk.file));
+  }
   return out;
 }
 
@@ -128,7 +131,7 @@ TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
     ParallelDataset dataset =
         MakeParallelDataset(p, per_rank, Distribution::kUniform, seed,
                             /*sleep_mode=*/true, /*keep_union=*/false);
-    auto result = RunParallelOpaq(cluster, dataset.files, opaq_options);
+    auto result = RunParallelOpaq(cluster, dataset.sources, opaq_options);
     OPAQ_CHECK_OK(result.status());
     out.total_seconds = result->total_wall_seconds;
   } else {

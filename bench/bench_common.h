@@ -12,6 +12,7 @@
 #include "io/block_device.h"
 #include "io/striped_data_file.h"
 #include "io/striped_run_source.h"
+#include "opaq/source.h"
 #include "io/throttled_device.h"
 #include "metrics/ground_truth.h"
 #include "metrics/rer.h"
@@ -112,7 +113,7 @@ SimulatedStripedDisk MakeSimulatedStripedDisk(
 /// data is kept for ground-truth scoring when `keep_union` is set.
 struct ParallelDataset {
   std::vector<SimulatedDisk> disks;
-  std::vector<const TypedDataFile<Key>*> files;
+  std::vector<Source<Key>> sources;
   std::vector<Key> union_data;
 };
 ParallelDataset MakeParallelDataset(int p, uint64_t per_rank,

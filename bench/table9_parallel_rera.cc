@@ -6,6 +6,7 @@
 #include <map>
 
 #include "bench/bench_common.h"
+#include "opaq/parallel.h"
 
 namespace opaq {
 namespace bench {
@@ -35,7 +36,7 @@ int Main(int argc, char** argv) {
     opaq_options.config.run_size = 131072;  // 2^17 elements per run
     opaq_options.config.samples_per_run = 1024;
     opaq_options.merge_method = MergeMethod::kSample;
-    auto result = RunParallelOpaq(cluster, dataset.files, opaq_options);
+    auto result = RunParallelOpaq(cluster, dataset.sources, opaq_options);
     OPAQ_CHECK_OK(result.status());
     GroundTruth<Key> truth(std::move(dataset.union_data));
     rer_a[total] = ComputeRer(truth, result->estimates, 10).rer_a;

@@ -1,0 +1,34 @@
+# Header-hygiene check, part 2: the public-facing consumers — every example
+# and the opaq_cli tool — must compile against the include/opaq/ facade
+# ONLY. Any quoted include of an internal src/ layer (core/..., io/...,
+# util/..., ...) fails the build with a pointer at the offending line.
+#
+# Run as:  cmake -DREPO_ROOT=<repo> -P cmake/check_public_includes.cmake
+
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "pass -DREPO_ROOT=<repository root>")
+endif()
+
+file(GLOB consumers
+     ${REPO_ROOT}/examples/*.cpp
+     ${REPO_ROOT}/src/tools/opaq_cli.cc)
+
+set(violations "")
+foreach(source IN LISTS consumers)
+  file(STRINGS ${source} includes REGEX "^[ \t]*#[ \t]*include[ \t]*\"")
+  foreach(line IN LISTS includes)
+    string(REGEX MATCH "\"([^\"]+)\"" _ "${line}")
+    set(path "${CMAKE_MATCH_1}")
+    if(NOT path MATCHES "^opaq/")
+      file(RELATIVE_PATH rel ${REPO_ROOT} ${source})
+      string(APPEND violations
+             "  ${rel}: #include \"${path}\" (use the opaq/ facade)\n")
+    endif()
+  endforeach()
+endforeach()
+
+if(violations)
+  message(FATAL_ERROR
+          "public-surface consumers include internal headers:\n${violations}"
+          "Examples and opaq_cli must include only \"opaq/...\" headers.")
+endif()

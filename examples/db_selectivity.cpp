@@ -1,19 +1,16 @@
-// Query-optimizer scenario (the paper's §1 motivation): build an equi-depth
-// histogram of a skewed key column with OPAQ, then answer range-predicate
-// selectivity questions with certified brackets, and compare against the
-// true selectivities.
+// Query-optimizer scenario (the paper's §1 motivation) on the public
+// facade: one `Engine::Build()` over an in-memory key column, then the
+// equi-depth histogram and every range-predicate selectivity come out of
+// the same batched `QuerySession` — certified brackets, checked against
+// the true selectivities.
 //
 // Run:  ./db_selectivity [--n=4000000] [--buckets=20]
 
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 
-#include "apps/equi_depth_histogram.h"
-#include "apps/selectivity.h"
-#include "core/opaq.h"
-#include "data/dataset.h"
-#include "metrics/ground_truth.h"
-#include "util/flags.h"
+#include "opaq/opaq.h"
 
 using namespace opaq;
 
@@ -34,17 +31,19 @@ int main(int argc, char** argv) {
   OpaqConfig config;
   config.run_size = 1 << 19;
   config.samples_per_run = 2048;
-  OpaqEstimator<uint64_t> estimator =
-      EstimateQuantilesInMemory(column, config);
+  auto session =
+      Engine<uint64_t>(config, Source<uint64_t>::FromVector(column)).Build();
+  OPAQ_CHECK_OK(session.status());
 
-  auto histogram = EquiDepthHistogram<uint64_t>::Build(estimator, buckets);
-  std::cout << "equi-depth histogram with " << histogram.num_buckets()
+  auto histogram = BuildEquiDepthHistogram(*session, buckets);
+  OPAQ_CHECK_OK(histogram.status());
+  std::cout << "equi-depth histogram with " << histogram->num_buckets()
             << " buckets over " << n << " rows (depth ~"
-            << histogram.NominalDepth() << " +- "
-            << histogram.max_rank_error() << ")\n";
+            << histogram->NominalDepth() << " +- "
+            << histogram->max_rank_error() << ")\n";
   std::cout << "first boundaries:";
-  for (size_t i = 0; i < 5 && i < histogram.boundaries().size(); ++i) {
-    std::cout << " " << histogram.boundaries()[i].lower;
+  for (size_t i = 0; i < 5 && i < histogram->boundaries().size(); ++i) {
+    std::cout << " " << histogram->boundaries()[i].lower;
   }
   std::cout << " ...\n\n";
 
@@ -62,21 +61,21 @@ int main(int argc, char** argv) {
             << "certified fraction" << std::setw(12) << "point"
             << "true\n";
   for (const auto& p : predicates) {
-    SelectivityEstimate sel = EstimateRangeSelectivity(
-        estimator, p.lo, p.hi);
+    auto sel = EstimateRangeSelectivity(*session, p.lo, p.hi);
+    OPAQ_CHECK_OK(sel.status());
     const double truth_fraction =
         static_cast<double>(truth.RankLe(p.hi) - truth.RankLt(p.lo)) /
         static_cast<double>(n);
     std::ostringstream pred, bracket;
     pred << "[" << p.lo << ", " << p.hi << "]";
     bracket << "[" << std::fixed << std::setprecision(4)
-            << sel.min_fraction(n) << ", " << sel.max_fraction(n) << "]";
+            << sel->min_fraction(n) << ", " << sel->max_fraction(n) << "]";
     std::cout << std::left << std::setw(24) << pred.str() << std::setw(22)
               << bracket.str() << std::setw(12) << std::fixed
-              << std::setprecision(4) << sel.point_fraction << truth_fraction
+              << std::setprecision(4) << sel->point_fraction << truth_fraction
               << "\n";
-    OPAQ_CHECK(truth_fraction >= sel.min_fraction(n) - 1e-12);
-    OPAQ_CHECK(truth_fraction <= sel.max_fraction(n) + 1e-12);
+    OPAQ_CHECK(truth_fraction >= sel->min_fraction(n) - 1e-12);
+    OPAQ_CHECK(truth_fraction <= sel->max_fraction(n) + 1e-12);
   }
   std::cout << "\nevery true selectivity fell inside its certified bracket\n";
   return 0;

@@ -1,7 +1,8 @@
 // External-sort scenario (paper §1: "data can be partitioned using
 // quantiles into a number of partitions such that each partition fits into
-// main memory"): one OPAQ pass picks the range-partition splitters, a second
-// pass routes records to partition files, each partition then sorts in
+// main memory") on the public facade: one `Engine::Build()` picks the
+// range-partition splitters, `Source::OpenRuns` streams the second pass
+// that routes records to partition files, each partition then sorts in
 // memory — a two-pass external sort with certified partition sizes.
 //
 // Run:  ./external_sort [--n=4000000] [--memory=600000]
@@ -9,13 +10,7 @@
 #include <algorithm>
 #include <iostream>
 
-#include "apps/range_partitioner.h"
-#include "core/opaq.h"
-#include "data/dataset.h"
-#include "io/block_device.h"
-#include "io/run_reader.h"
-#include "util/flags.h"
-#include "util/math.h"
+#include "opaq/opaq.h"
 
 using namespace opaq;
 
@@ -34,35 +29,36 @@ int main(int argc, char** argv) {
   OPAQ_CHECK_OK(WriteDataset(data, &input_device));
   auto input = TypedDataFile<uint64_t>::Open(&input_device);
   OPAQ_CHECK_OK(input.status());
+  Source<uint64_t> source = Source<uint64_t>::FromFile(&*input);
 
-  // --- Pass 1: OPAQ sketch -> splitters. ---
+  // --- Pass 1: Engine -> splitters. ---
   OpaqConfig config;
   config.run_size = memory / 2;  // run buffer is half the memory budget
   config.samples_per_run = 1024;
   while (config.run_size % config.samples_per_run != 0) --config.run_size;
-  OpaqSketch<uint64_t> sketch(config);
-  OPAQ_CHECK_OK(sketch.ConsumeFile(&*input));
-  OpaqEstimator<uint64_t> estimator = sketch.Finalize();
+  auto session = Engine<uint64_t>(config, source).Build();
+  OPAQ_CHECK_OK(session.status());
 
   // Enough partitions that the certified worst case fits in memory.
   int parts = 2;
-  while (n / parts + 2 * estimator.max_rank_error() + 1 > memory) ++parts;
-  auto partitioner = RangePartitioner<uint64_t>::Build(estimator, parts);
+  while (n / parts + 2 * session->max_rank_error() + 1 > memory) ++parts;
+  auto partitioner = BuildRangePartitioner(*session, parts);
+  OPAQ_CHECK_OK(partitioner.status());
   std::cout << "external sort of " << n << " keys with memory for " << memory
             << " keys\n"
             << "partitions: " << parts << " (certified max size "
-            << partitioner.MaxPartitionSize() << ")\n";
+            << partitioner->MaxPartitionSize() << ")\n";
 
   // --- Pass 2: route to partition "files". ---
   std::vector<std::vector<uint64_t>> partitions(parts);
-  RunReader<uint64_t> reader(&*input, config.run_size);
+  auto reader = source.OpenRuns(config.read_options());
   std::vector<uint64_t> buffer;
   while (true) {
-    auto more = reader.NextRun(&buffer);
+    auto more = reader->NextRun(&buffer);
     OPAQ_CHECK_OK(more.status());
     if (!*more) break;
     for (uint64_t v : buffer) {
-      partitions[partitioner.PartitionOf(v)].push_back(v);
+      partitions[partitioner->PartitionOf(v)].push_back(v);
     }
   }
 
@@ -73,7 +69,7 @@ int main(int argc, char** argv) {
   for (int part = 0; part < parts; ++part) {
     auto& chunk = partitions[part];
     largest_partition = std::max<uint64_t>(largest_partition, chunk.size());
-    OPAQ_CHECK_LE(chunk.size(), partitioner.MaxPartitionSize())
+    OPAQ_CHECK_LE(chunk.size(), partitioner->MaxPartitionSize())
         << "partition " << part << " exceeded the certified bound";
     std::sort(chunk.begin(), chunk.end());
     if (!chunk.empty()) {

@@ -1,18 +1,17 @@
 // Incremental maintenance (paper §4): "if the sorted samples are kept from
 // the runs of the old data, one need only compute the sorted samples from
 // the new runs and merge". A nightly-ingest scenario: every batch of new
-// rows is sampled and folded into the persistent sample list; quantile
-// brackets stay certified over the union of everything seen so far.
+// rows is sampled and folded into the persistent sample list, and a
+// `QuerySession` is opened directly over the maintained list (no Engine
+// needed — the facade's path for systems that persist sketches
+// themselves); quantile brackets stay certified over the union of
+// everything seen so far.
 //
 // Run:  ./incremental_stream [--batches=12] [--batch-size=250000]
 
 #include <iostream>
 
-#include "core/opaq.h"
-#include "data/dataset.h"
-#include "metrics/ground_truth.h"
-#include "metrics/rer.h"
-#include "util/flags.h"
+#include "opaq/opaq.h"
 
 using namespace opaq;
 
@@ -51,7 +50,7 @@ int main(int argc, char** argv) {
     OPAQ_CHECK_OK(merged.status());
     persistent = std::move(merged).value();
 
-    OpaqEstimator<uint64_t> current{persistent};
+    QuerySession<uint64_t> current{persistent};
     auto median = current.Quantile(0.5);
     std::cout << "  " << b + 1 << "    " << current.total_elements() << "   "
               << persistent.samples().size() << "      [" << median.lower
@@ -60,14 +59,14 @@ int main(int argc, char** argv) {
 
   // Final audit: the incrementally maintained sketch is exactly as good as
   // a from-scratch pass over the union.
-  OpaqEstimator<uint64_t> final_est{persistent};
+  QuerySession<uint64_t> final_session{persistent};
   GroundTruth<uint64_t> truth(everything);
-  auto report = ComputeRer(truth, final_est.EquiQuantiles(10), 10);
+  auto report = ComputeRer(truth, final_session.EquiQuantiles(10), 10);
   std::cout << "\nafter " << batches << " merges: max RER_A = "
             << report.max_rer_a() << "%, RER_N = " << report.rer_n
             << "% (bound " << 200.0 / config.samples_per_run << "%... all "
             << "brackets certified over " << truth.n() << " rows)\n";
-  for (const auto& e : final_est.EquiQuantiles(10)) {
+  for (const auto& e : final_session.EquiQuantiles(10)) {
     OPAQ_CHECK(BracketHolds(truth, e));
   }
   std::cout << "verified: every dectile bracket contains its true quantile\n";

@@ -1,7 +1,8 @@
-// Parallel OPAQ (paper §3) on the simulated message-passing cluster: eight
-// "processors" each own a shard of the data on a bandwidth-throttled disk;
-// one parallel pass produces globally certified dectiles, and the phase
-// breakdown shows where the time goes (the paper's Table 12 view).
+// Parallel OPAQ (paper §3) on the simulated message-passing cluster, with
+// each processor's shard named by a facade `Source`: eight "processors"
+// each own a shard of the data on a bandwidth-throttled disk; one parallel
+// pass produces globally certified dectiles, and the phase breakdown shows
+// where the time goes (the paper's Table 12 view).
 //
 // Run:  ./parallel_quantiles [--procs=8] [--per-rank=1000000]
 //       [--merge=sample|bitonic]
@@ -9,12 +10,11 @@
 #include <iomanip>
 #include <iostream>
 
-#include "parallel/parallel_opaq.h"
-#include "data/dataset.h"
-#include "io/throttled_device.h"
-#include "metrics/ground_truth.h"
-#include "metrics/rer.h"
-#include "util/flags.h"
+#include "opaq/data.h"
+#include "opaq/io.h"
+#include "opaq/metrics.h"
+#include "opaq/parallel.h"
+#include "opaq/util.h"
 
 using namespace opaq;
 
@@ -44,8 +44,8 @@ int main(int argc, char** argv) {
     OPAQ_CHECK_OK(file.status());
     files.push_back(std::move(file).value());
   }
-  std::vector<const TypedDataFile<uint64_t>*> file_ptrs;
-  for (auto& f : files) file_ptrs.push_back(&f);
+  std::vector<Source<uint64_t>> shards;
+  for (auto& f : files) shards.push_back(Source<uint64_t>::FromFile(&f));
 
   Cluster::Options cluster_options;
   cluster_options.num_processors = p;
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   options.merge_method =
       merge == "bitonic" ? MergeMethod::kBitonic : MergeMethod::kSample;
 
-  auto result = RunParallelOpaq(cluster, file_ptrs, options);
+  auto result = RunParallelOpaq(cluster, shards, options);
   OPAQ_CHECK_OK(result.status());
 
   std::cout << p << " processors x " << per_rank << " keys, " << merge

@@ -1,20 +1,18 @@
-// Quickstart: estimate quantiles of a disk-resident dataset in one pass.
+// Quickstart: the OPAQ public API end to end — `Source` -> `Engine` ->
+// `QuerySession`, nothing but "opaq/opaq.h".
 //
-// Builds a 2M-key dataset on a real temp file, streams it through an
-// OpaqSketch (one pass, bounded memory), and prints certified brackets for
-// the dectiles plus the exact median recovered with the optional second
-// pass.
+// Builds a 2M-key dataset on a real temp file, opens it as a `Source`
+// (the one handle that also covers striped multi-disk files, in-memory
+// vectors, and custom `RunProvider` backends), drives the one-pass sample
+// phase with `Engine::Build()`, then answers one BATCHED query: the nine
+// dectile brackets, the exact median (the optional §4 second pass — shared
+// by every exact-flagged request in the batch), and a rank bracket.
 //
 // Run:  ./quickstart [--n=2000000] [--run-size=262144] [--samples=1024]
 
 #include <iostream>
 
-#include "core/exact.h"
-#include "core/opaq.h"
-#include "data/dataset.h"
-#include "io/block_device.h"
-#include "io/tempdir.h"
-#include "util/flags.h"
+#include "opaq/opaq.h"
 
 using namespace opaq;
 
@@ -25,46 +23,54 @@ int main(int argc, char** argv) {
   OpaqConfig config;
   config.run_size = flags->GetInt("run-size", 262144);
   config.samples_per_run = flags->GetInt("samples", 1024);
-  OPAQ_CHECK_OK(config.Validate());
 
   // --- 1. Put a dataset on "disk" (a real file under /tmp). ---
   auto dir = TempDir::Make("opaq-quickstart");
   OPAQ_CHECK_OK(dir.status());
-  auto device = FileBlockDevice::Make(dir->FilePath("data.opaq"),
-                                      FileBlockDevice::Mode::kCreate);
-  OPAQ_CHECK_OK(device.status());
   DatasetSpec spec;
   spec.n = n;
   spec.distribution = Distribution::kZipf;  // skewed, like real key columns
-  OPAQ_CHECK_OK(GenerateDatasetToDevice<uint64_t>(spec, device->get()));
-  auto file = TypedDataFile<uint64_t>::Open(device->get());
-  OPAQ_CHECK_OK(file.status());
-  std::cout << "dataset: " << spec.ToString() << " on " << dir->path()
-            << "\nconfig:  " << config.ToString() << "\n\n";
-
-  // --- 2. One pass: sample every run, merge the sample lists. ---
-  OpaqSketch<uint64_t> sketch(config);
-  OPAQ_CHECK_OK(sketch.ConsumeFile(&*file));
-  OpaqEstimator<uint64_t> estimator = sketch.Finalize();
-
-  // --- 3. Query: every quantile costs O(1) beyond the first. ---
-  std::cout << "dectile   lower-bound   upper-bound   (rank error <= "
-            << estimator.max_rank_error() << " of " << n << ")\n";
-  for (int d = 1; d <= 9; ++d) {
-    auto e = estimator.Quantile(d / 10.0);
-    std::cout << "  " << d * 10 << "%     " << e.lower << "\t" << e.upper
-              << "\n";
+  {
+    auto device = FileBlockDevice::Make(dir->FilePath("data.opaq"),
+                                        FileBlockDevice::Mode::kCreate);
+    OPAQ_CHECK_OK(device.status());
+    OPAQ_CHECK_OK(GenerateDatasetToDevice<uint64_t>(spec, device->get()));
   }
 
-  // --- 4. Optional second pass: the exact median. ---
-  auto median = estimator.Quantile(0.5);
-  auto exact = ExactQuantileSecondPass(&*file, median, config.run_size);
-  OPAQ_CHECK_OK(exact.status());
-  std::cout << "\nexact median via second pass: " << *exact << "\n";
+  // --- 2. One Source handle, one Engine::Build() call: the whole one-pass
+  //        sample phase, ending in a ready QuerySession. ---
+  auto source = Source<uint64_t>::Open(dir->FilePath("data.opaq"));
+  OPAQ_CHECK_OK(source.status());
+  Engine<uint64_t> engine(config, *source);
+  auto session = engine.Build();
+  OPAQ_CHECK_OK(session.status());
+  std::cout << "dataset: " << spec.ToString() << " on " << dir->path()
+            << "\nconfig:  " << config.ToString() << "\nsampled  "
+            << engine.stats().elements << " elements in "
+            << engine.stats().runs << " runs\n\n";
 
-  // --- 5. Rank estimation without touching the data again. ---
-  RankEstimate rank = estimator.EstimateRank(*exact);
-  std::cout << "rank bracket of that value: [" << rank.min_rank_le << ", "
-            << rank.max_rank_lt << "] (true rank " << n / 2 << ")\n";
+  // --- 3. One batched query: dectile brackets + the exact median (all
+  //        exact requests in a batch share ONE extra pass). ---
+  auto answers = session->Query({
+      QueryRequest<uint64_t>::EquiQuantiles(10),
+      QueryRequest<uint64_t>::Quantile(0.5, /*exact=*/true),
+  });
+  OPAQ_CHECK_OK(answers.status());
+  std::cout << "dectile   lower-bound   upper-bound   (rank error <= "
+            << answers->max_rank_error << " of " << answers->total_elements
+            << ")\n";
+  const auto& dectiles = answers->results[0].estimates;
+  for (size_t d = 0; d < dectiles.size(); ++d) {
+    std::cout << "  " << (d + 1) * 10 << "%     " << dectiles[d].lower
+              << "\t" << dectiles[d].upper << "\n";
+  }
+  const uint64_t exact_median = answers->results[1].exact[0];
+  std::cout << "\nexact median via second pass: " << exact_median << "\n";
+
+  // --- 4. Rank estimation without touching the data again. ---
+  RankEstimate rank = session->EstimateRank(exact_median);
+  std::cout << "rank(<=) bracket of that value: [" << rank.min_rank_le
+            << ", " << rank.max_rank_le << "] (true rank " << n / 2
+            << ")\n";
   return 0;
 }

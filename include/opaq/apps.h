@@ -1,0 +1,80 @@
+#ifndef OPAQ_INCLUDE_OPAQ_APPS_H_
+#define OPAQ_INCLUDE_OPAQ_APPS_H_
+
+#include <utility>
+#include <vector>
+
+#include "apps/equi_depth_histogram.h"
+#include "apps/range_partitioner.h"
+#include "apps/selectivity.h"
+#include "opaq/query.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// The paper's three applications, retrofitted onto the batched
+/// `QuerySession::Query` API: each builder issues ONE batched call for all
+/// the brackets it needs, so the apps pay the same O(1)-per-quantile cost
+/// the paper promises and inherit the session's certificates.
+
+/// B-bucket equi-depth histogram (B >= 2): boundary i is the certified
+/// bracket for the i/B quantile, all fetched in one batch.
+template <typename K>
+Result<EquiDepthHistogram<K>> BuildEquiDepthHistogram(
+    const QuerySession<K>& session, int num_buckets) {
+  if (num_buckets < 2) {
+    return Status::InvalidArgument("a histogram needs >= 2 buckets");
+  }
+  auto results =
+      session.Query({QueryRequest<K>::EquiQuantiles(num_buckets)});
+  if (!results.ok()) return results.status();
+  return EquiDepthHistogram<K>::FromBoundaries(
+      std::move(results->results[0].estimates), results->total_elements,
+      results->max_rank_error);
+}
+
+/// P-way range partitioner (P >= 2): the P-1 splitters are the upper bounds
+/// of the i/P quantile brackets, all fetched in one batch.
+template <typename K>
+Result<RangePartitioner<K>> BuildRangePartitioner(
+    const QuerySession<K>& session, int num_partitions) {
+  if (num_partitions < 2) {
+    return Status::InvalidArgument("a partitioner needs >= 2 partitions");
+  }
+  auto results =
+      session.Query({QueryRequest<K>::EquiQuantiles(num_partitions)});
+  if (!results.ok()) return results.status();
+  return RangePartitioner<K>::FromQuantiles(results->results[0].estimates,
+                                            results->total_elements,
+                                            results->max_rank_error);
+}
+
+/// Bracketed selectivity of `lo <= key <= hi` (closed range; lo <= hi
+/// required): both rank brackets in one batch, no pass over the data.
+template <typename K>
+Result<SelectivityEstimate> EstimateRangeSelectivity(
+    const QuerySession<K>& session, const K& lo, const K& hi) {
+  if (hi < lo) {
+    return Status::InvalidArgument("range predicate needs lo <= hi");
+  }
+  auto results = session.Query(
+      {QueryRequest<K>::RankOf(lo), QueryRequest<K>::RankOf(hi)});
+  if (!results.ok()) return results.status();
+  return SelectivityFromRankBrackets(results->results[0].rank,
+                                     results->results[1].rank,
+                                     results->total_elements);
+}
+
+/// Bracketed selectivity of the one-sided predicate `key <= hi`.
+template <typename K>
+Result<SelectivityEstimate> EstimateAtMostSelectivity(
+    const QuerySession<K>& session, const K& hi) {
+  auto results = session.Query({QueryRequest<K>::RankOf(hi)});
+  if (!results.ok()) return results.status();
+  return SelectivityFromRankBracket(results->results[0].rank,
+                                    results->total_elements);
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_INCLUDE_OPAQ_APPS_H_

@@ -1,0 +1,12 @@
+#ifndef OPAQ_INCLUDE_OPAQ_CONFIG_H_
+#define OPAQ_INCLUDE_OPAQ_CONFIG_H_
+
+/// Public configuration surface: `opaq::OpaqConfig` (the paper's m/s knobs
+/// plus I/O mode, prefetch depth and stripe count), `opaq::SelectAlgorithm`,
+/// and `opaq::IoMode`/`opaq::ReadOptions`.
+
+#include "core/opaq_config.h"
+#include "io/io_mode.h"
+#include "select/select.h"
+
+#endif  // OPAQ_INCLUDE_OPAQ_CONFIG_H_

@@ -1,0 +1,10 @@
+#ifndef OPAQ_INCLUDE_OPAQ_DATA_H_
+#define OPAQ_INCLUDE_OPAQ_DATA_H_
+
+/// Public synthetic-dataset surface: `opaq::DatasetSpec`/`opaq::Distribution`
+/// (the paper's uniform/zipf/normal/... key populations) and the deterministic
+/// generators behind `opaq::Source<K>::FromSpec`.
+
+#include "data/dataset.h"
+
+#endif  // OPAQ_INCLUDE_OPAQ_DATA_H_

@@ -1,0 +1,11 @@
+#ifndef OPAQ_INCLUDE_OPAQ_METRICS_H_
+#define OPAQ_INCLUDE_OPAQ_METRICS_H_
+
+/// Public scoring surface: exact `opaq::GroundTruth` rank/quantile answers
+/// over in-memory data and the paper's RER_A/RER_L/RER_N error metrics —
+/// what the examples and benches use to audit the certified brackets.
+
+#include "metrics/ground_truth.h"
+#include "metrics/rer.h"
+
+#endif  // OPAQ_INCLUDE_OPAQ_METRICS_H_

@@ -1,0 +1,49 @@
+#ifndef OPAQ_INCLUDE_OPAQ_OPAQ_H_
+#define OPAQ_INCLUDE_OPAQ_OPAQ_H_
+
+/// The public face of the OPAQ library — one include for the whole
+/// pipeline of "A One-Pass Algorithm for Accurately Estimating Quantiles
+/// for Disk-Resident Data" (Alsabti, Ranka, Singh — VLDB 1997):
+///
+///     #include "opaq/opaq.h"
+///
+///     opaq::OpaqConfig config;                      // m, s, io knobs
+///     auto source = opaq::Source<uint64_t>::Open("data.opaq");
+///     auto session = opaq::Engine<uint64_t>(config, *source).Build();
+///     auto answers = session->Query({
+///         opaq::QueryRequest<uint64_t>::Quantile(0.5, /*exact=*/true),
+///         opaq::QueryRequest<uint64_t>::EquiQuantiles(10),
+///         opaq::QueryRequest<uint64_t>::RankOf(123456),
+///     });
+///
+/// Layers (each also available as its own header):
+///  - opaq/source.h   — `Source<K>`: one handle for every dataset backend
+///  - opaq/engine.h   — `Engine<K>`: config + sources -> `QuerySession`
+///  - opaq/query.h    — `QuerySession<K>`: batched certified queries
+///  - opaq/apps.h     — histograms / partitioners / selectivity on top
+///  - opaq/config.h, opaq/status.h, opaq/io.h, opaq/data.h,
+///    opaq/metrics.h, opaq/util.h — supporting surfaces
+///  - opaq/parallel.h — the §3 parallel algorithm (not pulled in here)
+///
+/// The classic layer (OpaqSketch / OpaqEstimator / the §4 exact pass /
+/// sketch persistence) remains public for incremental and streaming
+/// workloads that manage sample lists themselves.
+
+#include "core/estimator.h"
+#include "core/exact.h"
+#include "core/opaq.h"
+#include "core/sample_list.h"
+#include "core/sketch_io.h"
+#include "opaq/apps.h"
+#include "opaq/config.h"
+#include "opaq/data.h"
+#include "opaq/engine.h"
+#include "opaq/io.h"
+#include "opaq/metrics.h"
+#include "opaq/query.h"
+#include "opaq/source.h"
+#include "opaq/span.h"
+#include "opaq/status.h"
+#include "opaq/util.h"
+
+#endif  // OPAQ_INCLUDE_OPAQ_OPAQ_H_

@@ -1,0 +1,45 @@
+#ifndef OPAQ_INCLUDE_OPAQ_PARALLEL_H_
+#define OPAQ_INCLUDE_OPAQ_PARALLEL_H_
+
+/// Public surface of the paper's §3 parallel algorithm: the simulated
+/// message-passing `Cluster`, `RunParallelOpaq` over one `RunProvider` (or
+/// `Source`) per processor, and the distributed §4 exact pass. Most users
+/// want the facade overload below: one `Source` per processor shard.
+
+#include <vector>
+
+#include "opaq/source.h"
+#include "parallel/cluster.h"
+#include "parallel/parallel_exact.h"
+#include "parallel/parallel_opaq.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// Facade overload: the parallel sample phase with each processor's shard
+/// named by a `Source` (any backend mix — plain, striped, in-memory).
+template <typename K>
+Result<ParallelOpaqResult<K>> RunParallelOpaq(
+    Cluster& cluster, const std::vector<Source<K>>& shards,
+    const ParallelOpaqOptions& options) {
+  std::vector<const RunProvider<K>*> providers;
+  providers.reserve(shards.size());
+  for (const Source<K>& shard : shards) {
+    providers.push_back(&shard.provider());
+  }
+  return RunParallelOpaq(cluster, providers, options);
+}
+
+/// Facade overload: the distributed exact pass over a `Source` local shard.
+template <typename K>
+Result<std::vector<K>> ParallelExactQuantiles(
+    ProcessorContext& ctx, const Source<K>& local_shard,
+    const std::vector<QuantileEstimate<K>>& estimates,
+    const ReadOptions& options, uint64_t local_memory_budget = 0) {
+  return ParallelExactQuantiles(ctx, local_shard.provider(), estimates,
+                                options, local_memory_budget);
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_INCLUDE_OPAQ_PARALLEL_H_

@@ -1,0 +1,164 @@
+#ifndef OPAQ_INCLUDE_OPAQ_SOURCE_H_
+#define OPAQ_INCLUDE_OPAQ_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "io/async_run_reader.h"
+#include "io/block_device.h"
+#include "io/data_file.h"
+#include "io/run_reader.h"
+#include "io/striped_data_file.h"
+#include "io/striped_run_source.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// The unified dataset handle of the public API: one type that stands for a
+/// plain disk file, a striped multi-disk file, an arbitrary user-supplied
+/// `RunProvider` backend, an in-memory vector, or a synthetic generator —
+/// anything the sample phase can read as runs.
+///
+/// A `Source` is a cheap copyable value (a shared handle). The `From*`
+/// factories *borrow* the underlying object — the caller keeps it alive for
+/// the lifetime of every copy of the source; the `Open*`/`FromVector`/
+/// `FromSpec` factories *own* everything they create (devices, files,
+/// buffers), so the source is self-contained.
+///
+/// Every backend delivers the exact same logical run sequence over the same
+/// logical data, so downstream sketches are byte-identical regardless of
+/// which factory produced the source (enforced by
+/// `tests/backend_conformance_test.cc`).
+template <typename K>
+class Source {
+ public:
+  /// A plain single-device data file, borrowed.
+  static Source FromFile(const TypedDataFile<K>* file) {
+    Source s;
+    s.provider_ = std::make_shared<FileRunProvider<K>>(file);
+    return s;
+  }
+
+  /// A striped multi-disk data file, borrowed.
+  static Source FromFile(const StripedDataFile<K>* file) {
+    Source s;
+    s.provider_ = std::make_shared<StripedFileProvider<K>>(file);
+    s.stripes_ = file->num_stripes();
+    return s;
+  }
+
+  /// Any storage backend, borrowed — the extension point for custom
+  /// backends (io_uring, networked block devices, ...): implement
+  /// `RunProvider<K>` and every consumer of `Source` works unchanged.
+  static Source FromProvider(const RunProvider<K>* provider) {
+    OPAQ_CHECK(provider != nullptr);
+    Source s;
+    s.provider_ = std::shared_ptr<const RunProvider<K>>(
+        provider, [](const RunProvider<K>*) {});
+    return s;
+  }
+
+  /// An in-memory dataset; the source owns the vector.
+  static Source FromVector(std::vector<K> data) {
+    Source s;
+    s.provider_ = std::make_shared<MemoryRunProvider<K>>(std::move(data));
+    return s;
+  }
+
+  /// A synthetic dataset: generates `spec` deterministically (one spec + one
+  /// seed => bit-identical data everywhere) and owns the result.
+  static Source FromSpec(const DatasetSpec& spec) {
+    return FromVector(GenerateDataset<K>(spec));
+  }
+
+  /// Opens the plain data file at `path`; the source owns the device and
+  /// file handles.
+  static Result<Source> Open(const std::string& path) {
+    auto owned = std::make_shared<OwnedBackend>();
+    auto device = FileBlockDevice::Make(path, FileBlockDevice::Mode::kOpen);
+    if (!device.ok()) return device.status();
+    owned->devices.push_back(std::move(device).value());
+    auto file = TypedDataFile<K>::Open(owned->devices.back().get());
+    if (!file.ok()) return file.status();
+    owned->plain =
+        std::make_unique<TypedDataFile<K>>(std::move(file).value());
+    owned->provider =
+        std::make_unique<FileRunProvider<K>>(owned->plain.get());
+    return FromOwned(std::move(owned), 1);
+  }
+
+  /// Opens the striped data file whose stripes live at `stripe_paths` (one
+  /// per disk, logical order); the source owns all devices and handles.
+  static Result<Source> OpenStriped(
+      const std::vector<std::string>& stripe_paths) {
+    if (stripe_paths.empty()) {
+      return Status::InvalidArgument("OpenStriped needs at least one path");
+    }
+    auto owned = std::make_shared<OwnedBackend>();
+    std::vector<BlockDevice*> raw;
+    for (const std::string& path : stripe_paths) {
+      auto device = FileBlockDevice::Make(path, FileBlockDevice::Mode::kOpen);
+      if (!device.ok()) return device.status();
+      owned->devices.push_back(std::move(device).value());
+      raw.push_back(owned->devices.back().get());
+    }
+    auto file = StripedDataFile<K>::Open(std::move(raw));
+    if (!file.ok()) return file.status();
+    owned->striped =
+        std::make_unique<StripedDataFile<K>>(std::move(file).value());
+    owned->provider =
+        std::make_unique<StripedFileProvider<K>>(owned->striped.get());
+    const uint64_t stripes = owned->striped->num_stripes();
+    return FromOwned(std::move(owned), stripes);
+  }
+
+  /// Logical element count of the dataset.
+  uint64_t size() const { return provider_->size(); }
+
+  /// Stripe count of the underlying layout (1 for everything non-striped) —
+  /// what `OpaqConfig::stripes` should be set to for this source.
+  uint64_t stripes() const { return stripes_; }
+
+  /// The backend-independent view every run consumer is written against.
+  const RunProvider<K>& provider() const { return *provider_; }
+
+  /// Opens a run stream over `[first, first + count)` (clamped to EOF) —
+  /// the single factory that subsumed the old per-backend `MakeRunSource`
+  /// overload set.
+  std::unique_ptr<RunSource<K>> OpenRuns(const ReadOptions& options,
+                                         uint64_t first = 0,
+                                         uint64_t count = UINT64_MAX) const {
+    return provider_->OpenRuns(options, first, count);
+  }
+
+ private:
+  /// Ownership closure for the `Open*` factories.
+  struct OwnedBackend {
+    std::vector<std::unique_ptr<FileBlockDevice>> devices;
+    std::unique_ptr<TypedDataFile<K>> plain;
+    std::unique_ptr<StripedDataFile<K>> striped;
+    std::unique_ptr<RunProvider<K>> provider;
+  };
+
+  static Source FromOwned(std::shared_ptr<OwnedBackend> owned,
+                          uint64_t stripes) {
+    Source s;
+    // Aliasing handle: shares ownership of the whole backend closure while
+    // pointing at its provider.
+    s.provider_ = std::shared_ptr<const RunProvider<K>>(
+        owned, owned->provider.get());
+    s.stripes_ = stripes;
+    return s;
+  }
+
+  std::shared_ptr<const RunProvider<K>> provider_;
+  uint64_t stripes_ = 1;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_INCLUDE_OPAQ_SOURCE_H_

@@ -1,0 +1,59 @@
+#ifndef OPAQ_INCLUDE_OPAQ_SPAN_H_
+#define OPAQ_INCLUDE_OPAQ_SPAN_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace opaq {
+
+/// Minimal read-only `std::span<const T>` stand-in for the public API (the
+/// project is C++17; like `ThreadBarrier`, this goes away if it moves to
+/// C++20). Non-owning view: the viewed sequence must outlive the span, which
+/// is trivially true for the facade's use — batched query arguments consumed
+/// within the call.
+template <typename T>
+class Span {
+ public:
+  using value_type = std::remove_cv_t<T>;
+
+  constexpr Span() = default;
+  constexpr Span(const value_type* data, size_t size)
+      : data_(data), size_(size) {}
+  // NOLINTNEXTLINE(runtime/explicit): implicit, like std::span.
+  Span(const std::vector<value_type>& v) : data_(v.data()), size_(v.size()) {}
+  // Lets callers write Query({req1, req2}). Like C++26's
+  // std::span(initializer_list), the view only lives for the full
+  // expression containing the braced list — never store such a span (GCC's
+  // -Winit-list-lifetime points at exactly that hazard; the facade consumes
+  // spans within the call, so it is suppressed here).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  // NOLINTNEXTLINE(runtime/explicit)
+  Span(std::initializer_list<value_type> il)
+      : data_(il.begin()), size_(il.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  template <size_t N>
+  // NOLINTNEXTLINE(runtime/explicit)
+  constexpr Span(const value_type (&array)[N]) : data_(array), size_(N) {}
+
+  constexpr const value_type* data() const { return data_; }
+  constexpr const value_type* begin() const { return data_; }
+  constexpr const value_type* end() const { return data_ + size_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const value_type& operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const value_type* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_INCLUDE_OPAQ_SPAN_H_

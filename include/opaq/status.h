@@ -1,0 +1,11 @@
+#ifndef OPAQ_INCLUDE_OPAQ_STATUS_H_
+#define OPAQ_INCLUDE_OPAQ_STATUS_H_
+
+/// Public error-handling surface: `opaq::Status`, `opaq::Result<T>`, the
+/// OPAQ_RETURN_IF_ERROR / OPAQ_ASSIGN_OR_RETURN macros, and the OPAQ_CHECK
+/// family for programmer errors.
+
+#include "util/check.h"
+#include "util/status.h"
+
+#endif  // OPAQ_INCLUDE_OPAQ_STATUS_H_

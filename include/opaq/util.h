@@ -1,0 +1,12 @@
+#ifndef OPAQ_INCLUDE_OPAQ_UTIL_H_
+#define OPAQ_INCLUDE_OPAQ_UTIL_H_
+
+/// Public utility surface for tools and demos: the `--key=value` flag
+/// parser, wall/phase timers, project PRNGs, and text-table formatting.
+
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+#endif  // OPAQ_INCLUDE_OPAQ_UTIL_H_

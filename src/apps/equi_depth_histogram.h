@@ -36,6 +36,20 @@ class EquiDepthHistogram {
     return h;
   }
 
+  /// Assembles a histogram from already-computed boundary estimates (the
+  /// B-1 equi-quantiles in ascending phi order) — what the facade's batched
+  /// query path feeds in (`opaq::BuildEquiDepthHistogram`).
+  static EquiDepthHistogram FromBoundaries(
+      std::vector<QuantileEstimate<K>> boundaries, uint64_t total_elements,
+      uint64_t max_rank_error) {
+    OPAQ_CHECK_GE(boundaries.size(), 1u);
+    EquiDepthHistogram h;
+    h.boundaries_ = std::move(boundaries);
+    h.total_elements_ = total_elements;
+    h.max_rank_error_ = max_rank_error;
+    return h;
+  }
+
   int num_buckets() const {
     return static_cast<int>(boundaries_.size()) + 1;
   }
@@ -47,8 +61,8 @@ class EquiDepthHistogram {
     return boundaries_;
   }
 
-  /// Bucket index a value falls into, using the point (lower-bound) value of
-  /// each boundary; 0-based.
+  /// Bucket index a value falls into, using the point() value of each
+  /// boundary; 0-based.
   int BucketOf(const K& v) const {
     int b = 0;
     while (b < static_cast<int>(boundaries_.size()) &&
@@ -61,6 +75,46 @@ class EquiDepthHistogram {
   /// Nominal depth of each bucket (n/B) and the certified slop per boundary.
   uint64_t NominalDepth() const {
     return total_elements_ / static_cast<uint64_t>(num_buckets());
+  }
+
+  /// Certified rank bracket on the depth of bucket `b` (0-based): how many
+  /// elements `BucketOf` routes there. Each boundary's point() lies inside
+  /// its certified value bracket, so on distinct-valued data the count of
+  /// elements below it is within max_rank_error (+1 for the lower bound
+  /// being 1-based) of the boundary's target rank; the bucket depth is the
+  /// difference of two such counts. Heavy ties AT a boundary value can push
+  /// the realized depth outside the bracket — value-based routing sends
+  /// every tie to one side, like any splitter-based router.
+  struct DepthBracket {
+    uint64_t min_depth = 0;
+    uint64_t max_depth = 0;
+  };
+  DepthBracket BucketDepthBracket(int b) const {
+    OPAQ_CHECK_GE(b, 0);
+    OPAQ_CHECK_LT(b, num_buckets());
+    // rank_lt(point of boundary i) bounds, with virtual boundaries at the
+    // two ends of the data; boundary i (1-based) is boundaries_[i - 1].
+    auto min_rank = [&](int i) -> uint64_t {
+      if (i == 0) return 0;
+      if (i == num_buckets()) return total_elements_;
+      const uint64_t target = boundaries_[i - 1].target_rank;
+      const uint64_t slack = max_rank_error_ + 1;
+      return target > slack ? target - slack : 0;
+    };
+    auto max_rank = [&](int i) -> uint64_t {
+      if (i == 0) return 0;
+      if (i == num_buckets()) return total_elements_;
+      const uint64_t target = boundaries_[i - 1].target_rank;
+      return target + max_rank_error_ < total_elements_
+                 ? target + max_rank_error_
+                 : total_elements_;
+    };
+    DepthBracket out;
+    const uint64_t hi_prev = max_rank(b);
+    const uint64_t lo_next = min_rank(b + 1);
+    out.min_depth = lo_next > hi_prev ? lo_next - hi_prev : 0;
+    out.max_depth = max_rank(b + 1) - min_rank(b);
+    return out;
   }
 
  private:

@@ -42,6 +42,24 @@ class RangePartitioner {
     return p;
   }
 
+  /// Assembles a partitioner from already-computed splitter estimates (the
+  /// P-1 equi-quantiles in ascending phi order; the upper bound of each
+  /// bracket becomes the splitter, matching `Build`) — what the facade's
+  /// batched query path feeds in (`opaq::BuildRangePartitioner`).
+  static RangePartitioner FromQuantiles(
+      const std::vector<QuantileEstimate<K>>& splitters,
+      uint64_t total_elements, uint64_t max_rank_error) {
+    OPAQ_CHECK_GE(splitters.size(), 1u);
+    RangePartitioner p;
+    p.total_elements_ = total_elements;
+    p.max_rank_error_ = max_rank_error;
+    p.splitters_.reserve(splitters.size());
+    for (const QuantileEstimate<K>& e : splitters) {
+      p.splitters_.push_back(e.upper);
+    }
+    return p;
+  }
+
   int num_partitions() const {
     return static_cast<int>(splitters_.size()) + 1;
   }

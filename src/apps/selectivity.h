@@ -28,15 +28,12 @@ struct SelectivityEstimate {
   }
 };
 
-/// Selectivity of `lo <= key <= hi` (closed range; lo <= hi required).
-/// count = rank_le(hi) - rank_lt(lo), bracketed by combining the per-value
-/// rank bounds in the conservative direction.
-template <typename K>
-SelectivityEstimate EstimateRangeSelectivity(const OpaqEstimator<K>& est,
-                                             const K& lo, const K& hi) {
-  OPAQ_CHECK(!(hi < lo));
-  const RankEstimate at_hi = est.EstimateRank(hi);
-  const RankEstimate at_lo = est.EstimateRank(lo);
+/// Combines the rank brackets at the two ends of `lo <= key <= hi` into a
+/// selectivity bracket: count = rank_le(hi) - rank_lt(lo), each bound taken
+/// in the conservative direction. Shared by the estimator-level functions
+/// below and the facade's batched query path (`opaq/apps.h`).
+inline SelectivityEstimate SelectivityFromRankBrackets(
+    const RankEstimate& at_lo, const RankEstimate& at_hi, uint64_t n) {
   SelectivityEstimate out;
   out.min_count = at_hi.min_rank_le > at_lo.max_rank_lt
                       ? at_hi.min_rank_le - at_lo.max_rank_lt
@@ -44,7 +41,6 @@ SelectivityEstimate EstimateRangeSelectivity(const OpaqEstimator<K>& est,
   out.max_count = at_hi.max_rank_le > at_lo.min_rank_lt
                       ? at_hi.max_rank_le - at_lo.min_rank_lt
                       : 0;
-  const uint64_t n = est.total_elements();
   out.point_fraction =
       n == 0 ? 0.0
              : static_cast<double>(out.min_count + out.max_count) / 2.0 /
@@ -52,20 +48,35 @@ SelectivityEstimate EstimateRangeSelectivity(const OpaqEstimator<K>& est,
   return out;
 }
 
-/// Selectivity of `key <= hi` (one-sided predicate).
-template <typename K>
-SelectivityEstimate EstimateAtMostSelectivity(const OpaqEstimator<K>& est,
-                                              const K& hi) {
-  const RankEstimate at_hi = est.EstimateRank(hi);
+/// Same, for the one-sided predicate `key <= hi`.
+inline SelectivityEstimate SelectivityFromRankBracket(
+    const RankEstimate& at_hi, uint64_t n) {
   SelectivityEstimate out;
   out.min_count = at_hi.min_rank_le;
   out.max_count = at_hi.max_rank_le;
-  const uint64_t n = est.total_elements();
   out.point_fraction =
       n == 0 ? 0.0
              : static_cast<double>(out.min_count + out.max_count) / 2.0 /
                    static_cast<double>(n);
   return out;
+}
+
+/// Selectivity of `lo <= key <= hi` (closed range; lo <= hi required).
+template <typename K>
+SelectivityEstimate EstimateRangeSelectivity(const OpaqEstimator<K>& est,
+                                             const K& lo, const K& hi) {
+  OPAQ_CHECK(!(hi < lo));
+  return SelectivityFromRankBrackets(est.EstimateRank(lo),
+                                     est.EstimateRank(hi),
+                                     est.total_elements());
+}
+
+/// Selectivity of `key <= hi` (one-sided predicate).
+template <typename K>
+SelectivityEstimate EstimateAtMostSelectivity(const OpaqEstimator<K>& est,
+                                              const K& hi) {
+  return SelectivityFromRankBracket(est.EstimateRank(hi),
+                                    est.total_elements());
 }
 
 }  // namespace opaq

@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "core/index_math.h"
@@ -10,6 +11,25 @@
 #include "util/check.h"
 
 namespace opaq {
+
+/// Midpoint of `lower <= upper`, guaranteed to stay inside [lower, upper]:
+/// integral K goes through the unsigned domain (where the width wraps to
+/// the exact non-negative difference, no signed overflow), floating K
+/// averages the halves (no overflow to inf) and clamps away the subnormal
+/// rounding corner.
+template <typename K>
+K BracketMidpoint(K lower, K upper) {
+  if constexpr (std::is_integral_v<K>) {
+    using U = std::make_unsigned_t<K>;
+    const U width = static_cast<U>(static_cast<U>(upper) - static_cast<U>(lower));
+    return static_cast<K>(static_cast<U>(lower) + width / 2);
+  } else {
+    const K mid = lower / 2 + upper / 2;
+    if (mid < lower) return lower;
+    if (upper < mid) return upper;
+    return mid;
+  }
+}
 
 /// One quantile answer: certified bracket [lower, upper] around the true
 /// quantile value, plus the bookkeeping that makes the guarantee auditable.
@@ -32,8 +52,19 @@ struct QuantileEstimate {
   /// from the true quantile (n/s in the paper's setting).
   uint64_t max_rank_error = 0;
 
-  /// Midpoint-style point estimate (callers that need a single value).
-  K point() const { return lower_index == 0 ? upper : lower; }
+  /// Single-value point estimate: the midpoint of the certified bracket,
+  /// computed overflow-safely (see BracketMidpoint) and always satisfying
+  /// lower <= point() <= upper. When exactly one bound is clamped (not a
+  /// certificate), the other — still certified — bound is returned instead;
+  /// when both are clamped the midpoint is returned again (neither side
+  /// certifies, so there is no better single value to prefer).
+  K point() const {
+    const bool no_lower = lower_clamped || lower_index == 0;
+    const bool no_upper = upper_clamped || upper_index == 0;
+    if (no_lower && !no_upper) return upper;
+    if (no_upper && !no_lower) return lower;
+    return BracketMidpoint(lower, upper);
+  }
 };
 
 /// Rank bracket for an arbitrary value (paper §4 extension). All four rank

@@ -1,6 +1,7 @@
 #ifndef OPAQ_CORE_EXACT_H_
 #define OPAQ_CORE_EXACT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -14,105 +15,46 @@
 
 namespace opaq {
 
-/// The paper's §4 extension: turn an OPAQ estimate into the *exact* quantile
-/// with one extra pass. The pass keeps only the elements inside
-/// [estimate.lower, estimate.upper] — at most 2n/s of them by Lemma 3 — and
-/// counts the elements below the lower bound; the exact quantile is then the
-/// element of rank (psi - count_below) within the kept set, found by
-/// selection in memory.
-///
-/// The scan streams through `RunProvider::OpenRuns(options)`, so it works on
-/// any storage backend and — with `options.io_mode == kAsync` — overlaps the
-/// candidate-interval filtering with the next run's read(s), exactly like
-/// the sample phase.
-///
-/// Fails with FailedPrecondition if either bound was clamped (the bracket is
-/// then not certified) and with ResourceExhausted if the kept set exceeds
-/// `memory_budget_elements` (0 = 4 * max_rank_error, twice Lemma 3's bound,
-/// as a generous default).
-template <typename K>
-Result<K> ExactQuantileSecondPass(const RunProvider<K>& provider,
-                                  const QuantileEstimate<K>& estimate,
-                                  const ReadOptions& options,
-                                  uint64_t memory_budget_elements = 0) {
-  if (estimate.lower_clamped || estimate.upper_clamped) {
-    return Status::FailedPrecondition(
-        "bounds were clamped; the bracket does not certify the quantile");
-  }
-  if (memory_budget_elements == 0) {
-    memory_budget_elements = 4 * estimate.max_rank_error;
-  }
-  uint64_t below = 0;  // elements strictly below estimate.lower
-  std::vector<K> kept;
-  std::vector<K> buffer;
-  std::unique_ptr<RunSource<K>> reader = provider.OpenRuns(options);
-  while (true) {
-    auto more = reader->NextRun(&buffer);
-    if (!more.ok()) return more.status();
-    if (!*more) break;
-    for (const K& v : buffer) {
-      if (v < estimate.lower) {
-        ++below;
-      } else if (!(estimate.upper < v)) {  // lower <= v <= upper
-        kept.push_back(v);
-        if (kept.size() > memory_budget_elements) {
-          return Status::ResourceExhausted(
-              "bracket holds more elements than the memory budget; "
-              "increase samples_per_run or the budget");
-        }
-      }
-    }
-  }
-  // Rank of the target inside the kept set (1-based psi, 0-based select).
-  if (estimate.target_rank <= below ||
-      estimate.target_rank > below + kept.size()) {
-    // Would indicate a broken bracket; Lemmas 1-2 forbid this for certified
-    // (unclamped) bounds on the file the estimate came from.
-    return Status::Internal(
-        "target rank falls outside the bracket; was the estimate computed "
-        "from a different file?");
-  }
-  const uint64_t rank_in_kept = estimate.target_rank - below - 1;
-  Xoshiro256 rng(estimate.target_rank);
-  return SelectKth(kept.data(), kept.size(), rank_in_kept,
-                   SelectAlgorithm::kIntroSelect, rng);
-}
+namespace internal_exact {
 
-/// Back-compat wrapper: synchronous scan of one plain data file.
+/// Running state of a (possibly multi-source) exact second pass: one
+/// below-count and one kept set per bracket, plus the total held across all
+/// brackets for budget accounting.
 template <typename K>
-Result<K> ExactQuantileSecondPass(const TypedDataFile<K>* file,
-                                  const QuantileEstimate<K>& estimate,
-                                  uint64_t run_size,
-                                  uint64_t memory_budget_elements = 0) {
-  ReadOptions options;
-  options.run_size = run_size;
-  return ExactQuantileSecondPass(FileRunProvider<K>(file), estimate, options,
-                                 memory_budget_elements);
-}
+struct BracketAccumulator {
+  std::vector<uint64_t> below;
+  std::vector<std::vector<K>> kept;
+  uint64_t held = 0;
 
-/// Batch variant: recovers the exact values for SEVERAL quantiles with one
-/// shared extra pass. Each estimate's bracket is filtered independently (q
-/// is small — dectiles — so the per-element loop over brackets is cheap);
-/// memory is at most q * 2n/s plus slack.
+  explicit BracketAccumulator(size_t num_estimates)
+      : below(num_estimates, 0), kept(num_estimates) {}
+};
+
+/// Rejects estimates whose bracket is not a certificate.
 template <typename K>
-Result<std::vector<K>> ExactQuantilesSecondPass(
-    const RunProvider<K>& provider,
-    const std::vector<QuantileEstimate<K>>& estimates,
-    const ReadOptions& options, uint64_t memory_budget_elements = 0) {
+Status ValidateBrackets(const std::vector<QuantileEstimate<K>>& estimates) {
   for (const auto& e : estimates) {
     if (e.lower_clamped || e.upper_clamped) {
       return Status::FailedPrecondition(
           "an estimate's bounds were clamped; its bracket is not certified");
     }
   }
-  if (estimates.empty()) return std::vector<K>{};
-  if (memory_budget_elements == 0) {
-    memory_budget_elements = 4 * estimates.size() *
-                             estimates.front().max_rank_error;
-  }
-  std::vector<uint64_t> below(estimates.size(), 0);
-  std::vector<std::vector<K>> kept(estimates.size());
-  uint64_t held = 0;
+  return Status::OK();
+}
+
+/// One filter scan over `provider`: counts the elements below each bracket
+/// and collects the elements inside it, accumulating into `acc` so several
+/// providers (shards of one logical dataset) can share one accumulator.
+/// When several scans run concurrently (one accumulator each), pass the
+/// same `shared_held` to every call so the memory budget bounds the TOTAL
+/// held across all of them while they run, not just each shard's share.
+template <typename K>
+Status AccumulateBrackets(const RunProvider<K>& provider,
+                          const std::vector<QuantileEstimate<K>>& estimates,
+                          const ReadOptions& options,
+                          uint64_t memory_budget_elements,
+                          BracketAccumulator<K>* acc,
+                          std::atomic<uint64_t>* shared_held = nullptr) {
   std::vector<K> buffer;
   std::unique_ptr<RunSource<K>> reader = provider.OpenRuns(options);
   while (true) {
@@ -123,37 +65,127 @@ Result<std::vector<K>> ExactQuantilesSecondPass(
       for (size_t q = 0; q < estimates.size(); ++q) {
         const QuantileEstimate<K>& e = estimates[q];
         if (v < e.lower) {
-          ++below[q];
-        } else if (!(e.upper < v)) {
-          kept[q].push_back(v);
-          if (++held > memory_budget_elements) {
+          ++acc->below[q];
+        } else if (!(e.upper < v)) {  // lower <= v <= upper
+          acc->kept[q].push_back(v);
+          ++acc->held;
+          const uint64_t held_now =
+              shared_held != nullptr
+                  ? shared_held->fetch_add(1, std::memory_order_relaxed) + 1
+                  : acc->held;
+          if (held_now > memory_budget_elements) {
             return Status::ResourceExhausted(
-                "brackets hold more elements than the memory budget");
+                "brackets hold more elements than the memory budget; "
+                "increase samples_per_run or the budget");
           }
         }
       }
     }
   }
+  return Status::OK();
+}
+
+/// Finishes the pass: selects the element of rank `target_rank - below`
+/// within each kept set (Lemmas 1-2 place it there for certified brackets).
+template <typename K>
+Result<std::vector<K>> SelectWithinBrackets(
+    const std::vector<QuantileEstimate<K>>& estimates,
+    BracketAccumulator<K>* acc) {
   std::vector<K> out;
   out.reserve(estimates.size());
   for (size_t q = 0; q < estimates.size(); ++q) {
     const QuantileEstimate<K>& e = estimates[q];
-    if (e.target_rank <= below[q] ||
-        e.target_rank > below[q] + kept[q].size()) {
+    if (e.target_rank <= acc->below[q] ||
+        e.target_rank > acc->below[q] + acc->kept[q].size()) {
+      // Would indicate a broken bracket; Lemmas 1-2 forbid this for
+      // certified (unclamped) bounds on the data the estimate came from.
       return Status::Internal(
           "target rank falls outside its bracket; was the estimate computed "
           "from a different file?");
     }
     Xoshiro256 rng(e.target_rank);
-    out.push_back(SelectKth(kept[q].data(), kept[q].size(),
-                            e.target_rank - below[q] - 1,
+    out.push_back(SelectKth(acc->kept[q].data(), acc->kept[q].size(),
+                            e.target_rank - acc->below[q] - 1,
                             SelectAlgorithm::kIntroSelect, rng));
   }
   return out;
 }
 
-/// Back-compat wrapper: synchronous scan of one plain data file.
+/// The default memory budget: 4 * q * max_rank_error — twice Lemma 3's
+/// 2n/s-per-bracket bound, as a generous default.
 template <typename K>
+uint64_t DefaultExactBudget(const std::vector<QuantileEstimate<K>>& estimates) {
+  if (estimates.empty()) return 0;
+  return 4 * estimates.size() * estimates.front().max_rank_error;
+}
+
+}  // namespace internal_exact
+
+/// The paper's §4 extension, batch form: recovers the *exact* values for
+/// several quantiles with ONE extra pass over the data. The pass keeps only
+/// the elements inside each [estimate.lower, estimate.upper] — at most 2n/s
+/// per bracket by Lemma 3 — and counts the elements below each lower bound;
+/// the exact quantile is then the element of rank (psi - count_below) within
+/// the kept set, found by selection in memory.
+///
+/// The scan streams through `RunProvider::OpenRuns(options)`, so it works on
+/// any storage backend and — with `options.io_mode == kAsync` — overlaps the
+/// candidate-interval filtering with the next run's read(s), exactly like
+/// the sample phase.
+///
+/// Fails with FailedPrecondition if any bound was clamped (the bracket is
+/// then not certified) and with ResourceExhausted if the kept sets exceed
+/// `memory_budget_elements` (0 = 4 * q * max_rank_error).
+template <typename K>
+Result<std::vector<K>> ExactQuantilesSecondPass(
+    const RunProvider<K>& provider,
+    const std::vector<QuantileEstimate<K>>& estimates,
+    const ReadOptions& options, uint64_t memory_budget_elements = 0) {
+  OPAQ_RETURN_IF_ERROR(internal_exact::ValidateBrackets(estimates));
+  if (estimates.empty()) return std::vector<K>{};
+  if (memory_budget_elements == 0) {
+    memory_budget_elements = internal_exact::DefaultExactBudget(estimates);
+  }
+  internal_exact::BracketAccumulator<K> acc(estimates.size());
+  OPAQ_RETURN_IF_ERROR(internal_exact::AccumulateBrackets(
+      provider, estimates, options, memory_budget_elements, &acc));
+  return internal_exact::SelectWithinBrackets(estimates, &acc);
+}
+
+/// Single-quantile form of the extra pass (budget default: the single
+/// bracket's 4 * max_rank_error).
+template <typename K>
+Result<K> ExactQuantileSecondPass(const RunProvider<K>& provider,
+                                  const QuantileEstimate<K>& estimate,
+                                  const ReadOptions& options,
+                                  uint64_t memory_budget_elements = 0) {
+  auto values = ExactQuantilesSecondPass(
+      provider, std::vector<QuantileEstimate<K>>{estimate}, options,
+      memory_budget_elements);
+  if (!values.ok()) return values.status();
+  return (*values)[0];
+}
+
+/// Deprecated back-compat wrapper: synchronous scan of one plain data file.
+template <typename K>
+[[deprecated(
+    "wrap the file in a FileRunProvider (or opaq::Source) and call the "
+    "RunProvider overload")]]
+Result<K> ExactQuantileSecondPass(const TypedDataFile<K>* file,
+                                  const QuantileEstimate<K>& estimate,
+                                  uint64_t run_size,
+                                  uint64_t memory_budget_elements = 0) {
+  ReadOptions options;
+  options.run_size = run_size;
+  return ExactQuantileSecondPass(FileRunProvider<K>(file), estimate, options,
+                                 memory_budget_elements);
+}
+
+/// Deprecated back-compat wrapper: synchronous scan of one plain data file.
+template <typename K>
+[[deprecated(
+    "wrap the file in a FileRunProvider (or opaq::Source) and call the "
+    "RunProvider overload")]]
 Result<std::vector<K>> ExactQuantilesSecondPass(
     const TypedDataFile<K>* file,
     const std::vector<QuantileEstimate<K>>& estimates, uint64_t run_size,

@@ -21,23 +21,12 @@
 namespace opaq {
 
 /// Builds the `RunSource` a config asks for over `[first, first + count)` of
-/// `file` — the single construction point for every config-driven consumer
-/// (sequential ConsumeFile and the parallel sample phase alike).
-template <typename K>
-std::unique_ptr<RunSource<K>> MakeRunSource(const TypedDataFile<K>* file,
-                                            const OpaqConfig& config,
-                                            uint64_t first = 0,
-                                            uint64_t count = UINT64_MAX) {
-  AsyncReaderOptions options;
-  options.prefetch_depth = config.prefetch_depth;
-  return MakeRunSource<K>(file, config.run_size, config.io_mode, options,
-                          first, count);
-}
-
-/// Same, over any storage backend: the provider picks the reader matching
-/// `config.io_mode` for its own device layout (plain files: sync loop or
-/// prefetch thread; striped files: inline chunk reads or one thread per
-/// stripe).
+/// any storage backend — the single construction point for every
+/// config-driven consumer (sequential `Consume` and the parallel sample
+/// phase alike). The provider picks the reader matching `config.io_mode` for
+/// its own device layout (plain files: sync loop or prefetch thread; striped
+/// files: inline chunk reads or one thread per stripe; in-memory vectors:
+/// slicing).
 template <typename K>
 std::unique_ptr<RunSource<K>> MakeRunSource(const RunProvider<K>& provider,
                                             const OpaqConfig& config,
@@ -46,8 +35,24 @@ std::unique_ptr<RunSource<K>> MakeRunSource(const RunProvider<K>& provider,
   return provider.OpenRuns(config.read_options(), first, count);
 }
 
-/// Same, over a striped multi-disk file.
+/// Deprecated back-compat wrapper: plain single-device file.
 template <typename K>
+[[deprecated(
+    "wrap the file in a FileRunProvider (or opaq::Source) and call the "
+    "RunProvider overload")]]
+std::unique_ptr<RunSource<K>> MakeRunSource(const TypedDataFile<K>* file,
+                                            const OpaqConfig& config,
+                                            uint64_t first = 0,
+                                            uint64_t count = UINT64_MAX) {
+  return FileRunProvider<K>(file).OpenRuns(config.read_options(), first,
+                                           count);
+}
+
+/// Deprecated back-compat wrapper: striped multi-disk file.
+template <typename K>
+[[deprecated(
+    "wrap the file in a StripedFileProvider (or opaq::Source) and call the "
+    "RunProvider overload")]]
 std::unique_ptr<RunSource<K>> MakeRunSource(const StripedDataFile<K>* file,
                                             const OpaqConfig& config,
                                             uint64_t first = 0,
@@ -59,13 +64,15 @@ std::unique_ptr<RunSource<K>> MakeRunSource(const StripedDataFile<K>* file,
 /// The front door of the library: OPAQ's one-pass sample phase as a
 /// mergeable sketch.
 ///
-/// Feed runs (from disk via `ConsumeFile`, or directly via `AddRun` for
-/// streamed/incremental data), then `Finalize()` into an `OpaqEstimator`
-/// that answers quantile and rank queries with certified bounds.
+/// Feed runs (from any storage backend via `Consume`, or directly via
+/// `AddRun` for streamed/incremental data), then `Finalize()` into an
+/// `OpaqEstimator` that answers quantile and rank queries with certified
+/// bounds. (The `include/opaq/` facade wraps this dance: `opaq::Engine`
+/// drives Consume/Finalize end to end from an `opaq::Source`.)
 ///
 ///     OpaqConfig config;                     // m = 2^20, s = 1024, ...
 ///     OpaqSketch<uint64_t> sketch(config);
-///     OPAQ_CHECK_OK(sketch.ConsumeFile(&file));
+///     OPAQ_CHECK_OK(sketch.Consume(FileRunProvider<uint64_t>(&file)));
 ///     auto est = sketch.Finalize();
 ///     auto median = est.Quantile(0.5);       // [median.lower, median.upper]
 ///
@@ -97,37 +104,41 @@ class OpaqSketch {
     builder_.AddRunSamples(std::move(samples), run.size());
   }
 
-  /// Streams every run of `file` through the sketch: the whole one-pass
-  /// sample phase of Figure 1. Honors `config.io_mode`: kSync alternates
-  /// reads and sampling; kAsync prefetches runs on a background thread so
-  /// the disk stays busy while the CPU selects samples. Both modes produce
-  /// bit-identical estimator state.
+  /// Streams every run of any storage backend through the sketch: the whole
+  /// one-pass sample phase of Figure 1. Honors `config.io_mode`: kSync
+  /// alternates reads and sampling; kAsync prefetches runs on background
+  /// thread(s) — one for a plain file, one per stripe for a striped file —
+  /// so the disk(s) stay busy while the CPU selects samples. All backends
+  /// and modes produce bit-identical estimator state over the same logical
+  /// data.
   ///
   /// `io_seconds`, when non-null, accumulates the wall time this thread
   /// spent waiting on reads (for the Table 11/12 breakdowns). Under kSync
   /// that is the full device time; under kAsync it is only the stall time
   /// not hidden behind sampling — which is what makes the overlap visible.
-  Status ConsumeFile(const TypedDataFile<K>* file, double* io_seconds = nullptr) {
-    std::unique_ptr<RunSource<K>> source = MakeRunSource<K>(file, config_);
-    return ConsumeRuns(source.get(), io_seconds);
-  }
-
-  /// Same, over a striped multi-disk file: under kAsync every stripe device
-  /// is driven by its own reader thread, so the aggregate bandwidth of the
-  /// array overlaps with sampling. Still bit-identical to the sync
-  /// single-file path over the same logical data.
-  Status ConsumeFile(const StripedDataFile<K>* file,
-                     double* io_seconds = nullptr) {
-    std::unique_ptr<RunSource<K>> source = MakeRunSource<K>(file, config_);
-    return ConsumeRuns(source.get(), io_seconds);
-  }
-
-  /// Same, over any storage backend.
   Status Consume(const RunProvider<K>& provider,
                  double* io_seconds = nullptr) {
     std::unique_ptr<RunSource<K>> source =
         provider.OpenRuns(config_.read_options());
     return ConsumeRuns(source.get(), io_seconds);
+  }
+
+  /// Deprecated back-compat wrapper: plain single-device file.
+  [[deprecated(
+      "wrap the file in a FileRunProvider (or opaq::Source) and call "
+      "Consume")]]
+  Status ConsumeFile(const TypedDataFile<K>* file,
+                     double* io_seconds = nullptr) {
+    return Consume(FileRunProvider<K>(file), io_seconds);
+  }
+
+  /// Deprecated back-compat wrapper: striped multi-disk file.
+  [[deprecated(
+      "wrap the file in a StripedFileProvider (or opaq::Source) and call "
+      "Consume")]]
+  Status ConsumeFile(const StripedDataFile<K>* file,
+                     double* io_seconds = nullptr) {
+    return Consume(StripedFileProvider<K>(file), io_seconds);
   }
 
   /// Same, over an explicit run source (sub-range of a file in the parallel
@@ -169,7 +180,7 @@ Result<std::vector<QuantileEstimate<K>>> EstimateQuantilesFromFile(
     const TypedDataFile<K>* file, const OpaqConfig& config, int q) {
   OPAQ_RETURN_IF_ERROR(config.Validate());
   OpaqSketch<K> sketch(config);
-  OPAQ_RETURN_IF_ERROR(sketch.ConsumeFile(file));
+  OPAQ_RETURN_IF_ERROR(sketch.Consume(FileRunProvider<K>(file)));
   return sketch.Finalize().EquiQuantiles(q);
 }
 

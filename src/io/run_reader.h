@@ -101,6 +101,63 @@ class RunReader : public RunSource<K> {
   uint64_t end_;
 };
 
+/// Yields the runs of an in-memory vector — same sub-range contract and run
+/// shapes as `RunReader` over a file holding the same logical data, so every
+/// downstream sketch is byte-identical across the two.
+template <typename K>
+class VectorRunSource : public RunSource<K> {
+ public:
+  /// `data` is borrowed and must outlive the source.
+  VectorRunSource(const std::vector<K>* data, uint64_t run_size,
+                  uint64_t first = 0, uint64_t count = UINT64_MAX)
+      : data_(data), run_size_(run_size), next_(first), end_(first) {
+    OPAQ_CHECK(data != nullptr);
+    OPAQ_CHECK_GT(run_size, 0u);
+    OPAQ_CHECK_LE(first, data->size());
+    end_ = first + std::min<uint64_t>(count, data->size() - first);
+  }
+
+  Result<bool> NextRun(std::vector<K>* buffer) override {
+    buffer->clear();
+    if (next_ >= end_) return false;
+    uint64_t len = std::min(run_size_, end_ - next_);
+    buffer->assign(data_->begin() + static_cast<size_t>(next_),
+                   data_->begin() + static_cast<size_t>(next_ + len));
+    next_ += len;
+    return true;
+  }
+
+ private:
+  const std::vector<K>* data_;
+  uint64_t run_size_;
+  uint64_t next_;
+  uint64_t end_;
+};
+
+/// The in-memory storage backend: a `RunProvider` over a vector it owns.
+/// There is no device to overlap, so `ReadOptions::io_mode` is accepted and
+/// ignored — results are identical either way, which is exactly the
+/// conformance contract.
+template <typename K>
+class MemoryRunProvider : public RunProvider<K> {
+ public:
+  explicit MemoryRunProvider(std::vector<K> data) : data_(std::move(data)) {}
+
+  uint64_t size() const override { return data_.size(); }
+
+  std::unique_ptr<RunSource<K>> OpenRuns(
+      const ReadOptions& options, uint64_t first = 0,
+      uint64_t count = UINT64_MAX) const override {
+    return std::make_unique<VectorRunSource<K>>(&data_, options.run_size,
+                                                first, count);
+  }
+
+  const std::vector<K>& data() const { return data_; }
+
+ private:
+  std::vector<K> data_;
+};
+
 }  // namespace opaq
 
 #endif  // OPAQ_IO_RUN_READER_H_

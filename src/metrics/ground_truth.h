@@ -2,6 +2,7 @@
 #define OPAQ_METRICS_GROUND_TRUTH_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 

@@ -121,8 +121,11 @@ Result<std::vector<K>> ParallelExactQuantiles(
   return out;
 }
 
-/// Back-compat wrapper: synchronous scan of one plain local file.
+/// Deprecated back-compat wrapper: synchronous scan of one plain local file.
 template <typename K>
+[[deprecated(
+    "wrap the file in a FileRunProvider (or opaq::Source) and call the "
+    "RunProvider overload")]]
 Result<std::vector<K>> ParallelExactQuantiles(
     ProcessorContext& ctx, const TypedDataFile<K>* local_file,
     const std::vector<QuantileEstimate<K>>& estimates, uint64_t run_size,

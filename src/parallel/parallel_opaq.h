@@ -213,8 +213,11 @@ Result<ParallelOpaqResult<K>> RunParallelOpaq(
   return result;
 }
 
-/// Back-compat wrapper: one plain data file per processor.
+/// Deprecated back-compat wrapper: one plain data file per processor.
 template <typename K>
+[[deprecated(
+    "wrap each file in a FileRunProvider (or opaq::Source) and call the "
+    "RunProvider overload")]]
 Result<ParallelOpaqResult<K>> RunParallelOpaq(
     Cluster& cluster, const std::vector<const TypedDataFile<K>*>& local_files,
     const ParallelOpaqOptions& options) {

@@ -1,4 +1,5 @@
-// opaq — command-line front end for the library (uint64 keys).
+// opaq — command-line front end for the library (uint64 keys), written
+// entirely against the public `include/opaq/` facade.
 //
 // A one-pass quantile workflow without writing any code:
 //
@@ -9,74 +10,318 @@
 //   opaq rank     --sketch=data.sketch --value=123456
 //   opaq merge    --out=all.sketch a.sketch b.sketch
 //   opaq inspect  --sketch=data.sketch
+//   opaq <command> --help
 //
-// Sketches persist the sorted sample list (core/sketch_io.h), so `sketch`
-// once and query forever; `merge` folds in new data incrementally without
-// rereading the old (paper §4).
+// Sketches persist the sorted sample list, so `sketch` once and query
+// forever; `merge` folds in new data incrementally without rereading the
+// old (paper §4).
 //
 // Datasets may live on one file or striped round-robin across several
 // disks: pass `--stripes=D` (derives `PATH.s0..s{D-1}`) or explicit
 // `--stripe-paths=/disk0/d.opaq,/disk1/d.opaq` to generate/sketch/exact,
 // and the striped backend reads all stripes concurrently.
+//
+// Every subcommand's flags live in ONE table (kCommands below) that drives
+// flag lookup defaults, unknown-flag rejection, and the generated --help
+// text, so the three can never drift apart.
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/estimator.h"
-#include "core/exact.h"
-#include "core/opaq.h"
-#include "core/sketch_io.h"
-#include "data/dataset.h"
-#include "io/block_device.h"
-#include "io/striped_data_file.h"
-#include "io/striped_run_source.h"
-#include "util/flags.h"
-#include "util/status.h"
-#include "util/timer.h"
+#include "opaq/opaq.h"
 
 namespace opaq {
 namespace cli {
 namespace {
 
 using Key = uint64_t;
+using Request = QueryRequest<Key>;
+
+// ------------------------------------------------------------ flag table ----
+
+/// One flag of one subcommand: its name (dash style), its default as text
+/// ("" = no default), the config field or call it maps to, a one-line
+/// description, and whether the command refuses to run without it. This
+/// table is the single source of truth — lookup defaults, validation, and
+/// --help are all generated from it.
+struct FlagSpec {
+  const char* name;
+  const char* def;
+  const char* maps_to;
+  const char* help;
+  bool required = false;
+};
+
+class CommandFlags;
+int CmdGenerate(const CommandFlags& flags);
+int CmdSketch(const CommandFlags& flags);
+int CmdQuantile(const CommandFlags& flags);
+int CmdExact(const CommandFlags& flags);
+int CmdRank(const CommandFlags& flags);
+int CmdMerge(const CommandFlags& flags);
+int CmdInspect(const CommandFlags& flags);
+
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  const char* positional;  // e.g. "IN1 IN2 [IN3 ...]"; nullptr if none
+  std::vector<FlagSpec> flags;
+  int (*run)(const CommandFlags& flags) = nullptr;
+};
+
+std::vector<FlagSpec> Concat(std::vector<FlagSpec> a,
+                             const std::vector<FlagSpec>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+/// Striping flags shared by every command that opens/creates a dataset.
+std::vector<FlagSpec> StripeFlags() {
+  return {
+      {"stripes", "1", "stripe count D",
+       "lay the dataset out across D stripe files PATH.s0..PATH.s{D-1}"},
+      {"stripe-paths", "", "per-disk stripe files",
+       "comma-separated stripe file list (overrides --stripes derivation)"},
+  };
+}
+
+/// I/O-mode flags shared by the scanning commands (sketch, exact).
+std::vector<FlagSpec> IoFlags() {
+  return {
+      {"io-mode", "sync", "OpaqConfig::io_mode",
+       "sync = alternate read/compute; async = prefetch on background "
+       "thread(s)"},
+      {"prefetch-depth", "2", "OpaqConfig::prefetch_depth",
+       "prefetch buffers (runs, or chunks per stripe) in flight under "
+       "async"},
+      {"run-size", "1048576", "OpaqConfig::run_size",
+       "elements per run (m): how many keys are memory-resident at once"},
+  };
+}
+
+const std::vector<CommandSpec>& Commands() {
+  static const std::vector<CommandSpec> kCommands = {
+      {"generate",
+       "write a synthetic dataset to a data file (or striped file set)",
+       nullptr,
+       Concat(
+           {
+               {"out", "", "output data file", "path of the data file", true},
+               {"n", "1000000", "DatasetSpec::n", "number of keys"},
+               {"dist", "uniform", "DatasetSpec::distribution",
+                "uniform | zipf | normal | sequential"},
+               {"seed", "42", "DatasetSpec::seed",
+                "generator seed (one spec + seed => bit-identical data)"},
+               {"dup", "0.1", "DatasetSpec::duplicate_fraction",
+                "fraction of duplicated keys (uniform/normal)"},
+               {"zipf-z", "0.86", "DatasetSpec::zipf_z",
+                "zipf skew z (1 = uniform, 0 = max skew)"},
+               {"chunk", "65536", "stripe chunk elements",
+                "round-robin chunk size when striping"},
+           },
+           StripeFlags()),
+       CmdGenerate},
+      {"sketch",
+       "one-pass sample phase: stream a dataset into a persistent sketch",
+       nullptr,
+       Concat(
+           {
+               {"data", "", "input data file", "dataset to sketch", true},
+               {"out", "", "output sketch file",
+                "where to persist the sorted sample list", true},
+               {"samples", "1024", "OpaqConfig::samples_per_run",
+                "samples kept per run (s): accuracy ~ n/s"},
+               {"select", "intro", "OpaqConfig::select_algorithm",
+                "intro | fr | mom | std (selection algorithm)"},
+           },
+           Concat(IoFlags(), StripeFlags())),
+       CmdSketch},
+      {"quantile",
+       "certified quantile brackets from a sketch (no data access)",
+       nullptr,
+       {
+           {"sketch", "", "input sketch file", "sketch to query", true},
+           {"phi", "", "quantile fractions",
+            "comma-separated phi list in (0, 1], e.g. 0.5,0.99"},
+           {"q", "10", "equi-quantile count",
+            "when --phi is absent: the q-1 equi-spaced quantiles"},
+       },
+       CmdQuantile},
+      {"exact",
+       "recover exact quantile values with one extra data pass (paper §4)",
+       nullptr,
+       Concat(
+           {
+               {"data", "", "input data file", "dataset the sketch came from",
+                true},
+               {"sketch", "", "input sketch file", "sketch to query", true},
+               {"phi", "", "quantile fractions",
+                "comma-separated phi list in (0, 1]"},
+               {"q", "10", "equi-quantile count",
+                "when --phi is absent: the q-1 equi-spaced quantiles"},
+               {"budget", "0", "QuerySession::set_exact_memory_budget",
+                "max bracket elements held in memory "
+                "(0 = 4*q*max_rank_error; raise for duplicate-heavy data)"},
+           },
+           Concat(IoFlags(), StripeFlags())),
+       CmdExact},
+      {"rank",
+       "certified rank bracket of an arbitrary value (no data access)",
+       nullptr,
+       {
+           {"sketch", "", "input sketch file", "sketch to query", true},
+           {"value", "", "probe value", "the key whose rank to bracket",
+            true},
+       },
+       CmdRank},
+      {"merge",
+       "fold several sketches into one (incremental maintenance, paper §4)",
+       "IN1 IN2 [IN3 ...]",
+       {
+           {"out", "", "output sketch file", "where to write the merge",
+            true},
+       },
+       CmdMerge},
+      {"inspect",
+       "print a sketch's accounting and certificates",
+       nullptr,
+       {
+           {"sketch", "", "input sketch file", "sketch to describe", true},
+       },
+       CmdInspect},
+  };
+  return kCommands;
+}
+
+/// Flag access bound to one command's table: defaults come from the table,
+/// and asking for a flag the table does not declare dies loudly (catching
+/// code/table drift in the smoke tests).
+class CommandFlags {
+ public:
+  CommandFlags(const Flags& flags, const CommandSpec& spec)
+      : flags_(flags), spec_(spec) {}
+
+  int64_t GetInt(const char* name) const {
+    return flags_.GetInt(name, std::strtoll(Spec(name).def, nullptr, 10));
+  }
+  double GetDouble(const char* name) const {
+    return flags_.GetDouble(name, std::strtod(Spec(name).def, nullptr));
+  }
+  std::string GetString(const char* name) const {
+    return flags_.GetString(name, Spec(name).def);
+  }
+  bool Has(const char* name) const {
+    Spec(name);  // declared?
+    return flags_.Has(name);
+  }
+  const Flags& raw() const { return flags_; }
+
+ private:
+  const FlagSpec& Spec(const char* name) const {
+    const FlagSpec* found = nullptr;
+    for (const FlagSpec& flag : spec_.flags) {
+      if (std::strcmp(flag.name, name) == 0) found = &flag;
+    }
+    OPAQ_CHECK(found != nullptr)
+        << "flag --" << name << " is not in command '" << spec_.name
+        << "'s flag table";
+    return *found;
+  }
+
+  const Flags& flags_;
+  const CommandSpec& spec_;
+};
+
+/// Rejects flags the command's table does not declare, and refuses to run
+/// without the table's required flags — up front, before any data access.
+Status ValidateFlags(const Flags& flags, const CommandSpec& spec) {
+  for (const std::string& key : flags.keys()) {
+    if (key == "help") continue;
+    bool known = false;
+    for (const FlagSpec& flag : spec.flags) {
+      if (key == flag.name) known = true;
+    }
+    if (!known) {
+      return Status::InvalidArgument(
+          "unknown flag --" + key + " for '" + spec.name +
+          "'; see: opaq " + spec.name + " --help");
+    }
+  }
+  for (const FlagSpec& flag : spec.flags) {
+    if (flag.required && !flags.Has(flag.name)) {
+      return Status::InvalidArgument(
+          "'" + std::string(spec.name) + "' needs --" + flag.name + " (" +
+          flag.maps_to + "); see: opaq " + spec.name + " --help");
+    }
+  }
+  // positional()[0] is the command itself; anything further is only legal
+  // for commands whose spec declares positionals (merge's input sketches).
+  if (spec.positional == nullptr && flags.positional().size() > 1) {
+    return Status::InvalidArgument(
+        "'" + std::string(spec.name) + "' takes no positional arguments "
+        "(got '" + flags.positional()[1] + "'); did you mean a --flag? "
+        "see: opaq " + spec.name + " --help");
+  }
+  return Status::OK();
+}
+
+void PrintCommandHelp(const CommandSpec& spec, std::ostream& os) {
+  os << "usage: opaq " << spec.name;
+  if (!spec.flags.empty()) os << " [flags]";
+  if (spec.positional != nullptr) os << " " << spec.positional;
+  os << "\n  " << spec.summary << "\n";
+  if (spec.flags.empty()) return;
+  os << "\nflags (default -> what it sets):\n";
+  size_t width = 0;
+  auto label = [](const FlagSpec& flag) {
+    return "--" + std::string(flag.name) + "=" +
+           (flag.def[0] == '\0' ? "..." : flag.def);
+  };
+  for (const FlagSpec& flag : spec.flags) {
+    width = std::max(width, label(flag).size());
+  }
+  for (const FlagSpec& flag : spec.flags) {
+    std::string head = label(flag);
+    os << "  " << head << std::string(width - head.size() + 2, ' ')
+       << flag.maps_to
+       << (flag.required ? "  (required)" : "") << "\n"
+       << std::string(width + 4, ' ') << flag.help << "\n";
+  }
+}
+
+int Usage(std::ostream& os = std::cerr, int code = 2) {
+  os << "usage: opaq <command> [flags]\n\ncommands:\n";
+  size_t width = 0;
+  for (const CommandSpec& spec : Commands()) {
+    width = std::max(width, std::string(spec.name).size());
+  }
+  for (const CommandSpec& spec : Commands()) {
+    os << "  " << spec.name
+       << std::string(width - std::string(spec.name).size() + 2, ' ')
+       << spec.summary << "\n";
+  }
+  os << "\nrun `opaq <command> --help` for that command's flag table.\n"
+     << "striping: --stripes=D spreads/reads PATH.s0..PATH.s{D-1};\n"
+     << "--stripe-paths lists the per-disk stripe files explicitly.\n";
+  return code;
+}
+
+// -------------------------------------------------------------- commands ----
 
 int Fail(const Status& status) {
   std::cerr << "error: " << status.ToString() << std::endl;
   return 1;
 }
 
-int Usage() {
-  std::cerr <<
-      "usage: opaq <command> [flags]\n"
-      "\n"
-      "commands:\n"
-      "  generate  --out=FILE --n=N [--dist=uniform|zipf|normal|sequential]\n"
-      "            [--seed=S] [--zipf-z=0.86] [--dup=0.1]\n"
-      "            [--stripes=D | --stripe-paths=F0,F1,...] [--chunk=65536]\n"
-      "  sketch    --data=FILE --out=SKETCH [--run-size=1048576]\n"
-      "            [--samples=1024] [--select=intro|fr|mom|std]\n"
-      "            [--io-mode=sync|async] [--prefetch-depth=2]\n"
-      "            [--stripes=D | --stripe-paths=F0,F1,...]\n"
-      "  quantile  --sketch=SKETCH (--phi=0.5[,0.9,...] | --q=10)\n"
-      "  exact     --data=FILE --sketch=SKETCH --phi=0.5[,...]\n"
-      "            [--run-size=N] [--io-mode=sync|async]\n"
-      "            [--prefetch-depth=2] [--stripes=D | --stripe-paths=...]\n"
-      "  rank      --sketch=SKETCH --value=V\n"
-      "  merge     --out=SKETCH IN1 IN2 [IN3 ...]\n"
-      "  inspect   --sketch=SKETCH\n"
-      "\n"
-      "striping: --stripes=D spreads/reads PATH.s0..PATH.s{D-1};\n"
-      "--stripe-paths lists the per-disk stripe files explicitly.\n";
-  return 2;
-}
-
-Result<std::vector<double>> ParsePhis(const Flags& flags) {
+Result<std::vector<double>> ParsePhis(const CommandFlags& flags) {
   std::vector<double> phis;
   if (flags.Has("phi")) {
-    std::stringstream ss(flags.GetString("phi", ""));
+    std::stringstream ss(flags.GetString("phi"));
     std::string item;
     while (std::getline(ss, item, ',')) {
       char* end = nullptr;
@@ -87,7 +332,7 @@ Result<std::vector<double>> ParsePhis(const Flags& flags) {
       phis.push_back(phi);
     }
   } else {
-    int64_t q = flags.GetInt("q", 10);
+    int64_t q = flags.GetInt("q");
     if (q < 2) return Status::InvalidArgument("--q must be >= 2");
     for (int64_t i = 1; i < q; ++i) {
       phis.push_back(static_cast<double>(i) / static_cast<double>(q));
@@ -107,11 +352,11 @@ Result<std::unique_ptr<FileBlockDevice>> OpenFileDevice(
 
 /// Resolves the stripe layout of `base_path` from --stripes/--stripe-paths.
 /// Returns an empty vector for the plain single-file layout.
-Result<std::vector<std::string>> StripePaths(const Flags& flags,
+Result<std::vector<std::string>> StripePaths(const CommandFlags& flags,
                                              const std::string& base_path) {
   std::vector<std::string> paths;
   if (flags.Has("stripe-paths")) {
-    std::stringstream ss(flags.GetString("stripe-paths", ""));
+    std::stringstream ss(flags.GetString("stripe-paths"));
     std::string item;
     while (std::getline(ss, item, ',')) {
       if (item.empty()) {
@@ -123,13 +368,13 @@ Result<std::vector<std::string>> StripePaths(const Flags& flags,
       return Status::InvalidArgument("--stripe-paths names no files");
     }
     if (flags.Has("stripes") &&
-        flags.GetInt("stripes", 0) != static_cast<int64_t>(paths.size())) {
+        flags.GetInt("stripes") != static_cast<int64_t>(paths.size())) {
       return Status::InvalidArgument(
           "--stripes disagrees with the number of --stripe-paths entries");
     }
     return paths;
   }
-  const int64_t stripes = flags.GetInt("stripes", 1);
+  const int64_t stripes = flags.GetInt("stripes");
   if (stripes < 1 || static_cast<uint64_t>(stripes) > kMaxStripes) {
     return Status::InvalidArgument("--stripes must be in [1, " +
                                    std::to_string(kMaxStripes) + "]");
@@ -144,56 +389,34 @@ Result<std::vector<std::string>> StripePaths(const Flags& flags,
   return paths;
 }
 
-/// A dataset opened for reading on whichever storage backend the flags ask
-/// for, owning its devices; `provider` is the backend-independent view.
-struct DataInput {
-  std::vector<std::unique_ptr<FileBlockDevice>> devices;
-  std::unique_ptr<TypedDataFile<Key>> plain;
-  std::unique_ptr<StripedDataFile<Key>> striped;
-  std::unique_ptr<RunProvider<Key>> provider;
-
-  uint64_t stripes() const { return striped ? striped->num_stripes() : 1; }
-};
-
-Result<DataInput> OpenDataInput(const Flags& flags) {
-  const std::string path = flags.GetString("data", "");
+/// Opens --data on whichever storage backend the striping flags name, as
+/// one self-contained `Source` (this is what replaced the CLI's old
+/// device/file/provider juggling).
+Result<Source<Key>> OpenDataSource(const CommandFlags& flags) {
+  const std::string path = flags.GetString("data");
   auto paths = StripePaths(flags, path);
   if (!paths.ok()) return paths.status();
-  DataInput input;
-  if (paths->empty()) {
-    auto device = OpenFileDevice(path, FileBlockDevice::Mode::kOpen);
-    if (!device.ok()) return device.status();
-    input.devices.push_back(std::move(device).value());
-    auto file = TypedDataFile<Key>::Open(input.devices.back().get());
-    if (!file.ok()) return file.status();
-    input.plain =
-        std::make_unique<TypedDataFile<Key>>(std::move(file).value());
-    input.provider = std::make_unique<FileRunProvider<Key>>(input.plain.get());
-    return input;
+  if (!paths->empty()) return Source<Key>::OpenStriped(*paths);
+  if (path.empty()) {
+    return Status::InvalidArgument("missing a required file path flag");
   }
-  std::vector<BlockDevice*> raw;
-  for (const std::string& stripe_path : *paths) {
-    auto device = OpenFileDevice(stripe_path, FileBlockDevice::Mode::kOpen);
-    if (!device.ok()) return device.status();
-    input.devices.push_back(std::move(device).value());
-    raw.push_back(input.devices.back().get());
-  }
-  auto file = StripedDataFile<Key>::Open(std::move(raw));
-  if (!file.ok()) return file.status();
-  input.striped =
-      std::make_unique<StripedDataFile<Key>>(std::move(file).value());
-  input.provider =
-      std::make_unique<StripedFileProvider<Key>>(input.striped.get());
-  return input;
+  return Source<Key>::Open(path);
 }
 
-int CmdGenerate(const Flags& flags) {
+Result<SampleList<Key>> LoadSketch(const CommandFlags& flags) {
+  auto device = OpenFileDevice(flags.GetString("sketch"),
+                               FileBlockDevice::Mode::kOpen);
+  if (!device.ok()) return device.status();
+  return LoadSampleList<Key>(device->get());
+}
+
+int CmdGenerate(const CommandFlags& flags) {
   DatasetSpec spec;
-  spec.n = static_cast<uint64_t>(flags.GetInt("n", 1000000));
-  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  spec.duplicate_fraction = flags.GetDouble("dup", 0.1);
-  spec.zipf_z = flags.GetDouble("zipf-z", 0.86);
-  const std::string dist = flags.GetString("dist", "uniform");
+  spec.n = static_cast<uint64_t>(flags.GetInt("n"));
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  spec.duplicate_fraction = flags.GetDouble("dup");
+  spec.zipf_z = flags.GetDouble("zipf-z");
+  const std::string dist = flags.GetString("dist");
   if (dist == "uniform") {
     spec.distribution = Distribution::kUniform;
   } else if (dist == "zipf") {
@@ -205,21 +428,21 @@ int CmdGenerate(const Flags& flags) {
   } else {
     return Fail(Status::InvalidArgument("unknown --dist: " + dist));
   }
-  auto paths = StripePaths(flags, flags.GetString("out", ""));
+  auto paths = StripePaths(flags, flags.GetString("out"));
   if (!paths.ok()) return Fail(paths.status());
   WallTimer timer;
   if (paths->empty()) {
-    auto device = OpenFileDevice(flags.GetString("out", ""),
+    auto device = OpenFileDevice(flags.GetString("out"),
                                  FileBlockDevice::Mode::kCreate);
     if (!device.ok()) return Fail(device.status());
     Status s = GenerateDatasetToDevice<Key>(spec, device->get());
     if (!s.ok()) return Fail(s);
     std::cout << "wrote " << spec.ToString() << " to "
-              << flags.GetString("out", "") << " in "
+              << flags.GetString("out") << " in "
               << timer.ElapsedSeconds() << "s\n";
     return 0;
   }
-  const int64_t chunk = flags.GetInt("chunk", 65536);
+  const int64_t chunk = flags.GetInt("chunk");
   if (chunk < 1) return Fail(Status::InvalidArgument("--chunk must be >= 1"));
   std::vector<std::unique_ptr<FileBlockDevice>> devices;
   std::vector<BlockDevice*> raw;
@@ -242,147 +465,146 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
-int CmdSketch(const Flags& flags) {
-  auto input = OpenDataInput(flags);
-  if (!input.ok()) return Fail(input.status());
-
+/// Builds the OpaqConfig the scanning commands share (sketch, exact).
+Result<OpaqConfig> ScanConfig(const CommandFlags& flags,
+                              const Source<Key>& source) {
   OpaqConfig config;
-  config.run_size = static_cast<uint64_t>(flags.GetInt("run-size", 1 << 20));
-  config.samples_per_run = static_cast<uint64_t>(flags.GetInt("samples",
-                                                              1024));
-  const std::string select = flags.GetString("select", "intro");
+  config.run_size = static_cast<uint64_t>(flags.GetInt("run-size"));
+  auto parsed_mode = ParseIoMode(flags.GetString("io-mode"));
+  if (!parsed_mode.ok()) return parsed_mode.status();
+  config.io_mode = *parsed_mode;
+  config.prefetch_depth =
+      static_cast<uint64_t>(flags.GetInt("prefetch-depth"));
+  config.stripes = source.stripes();
+  return config;
+}
+
+int CmdSketch(const CommandFlags& flags) {
+  auto source = OpenDataSource(flags);
+  if (!source.ok()) return Fail(source.status());
+  auto config = ScanConfig(flags, *source);
+  if (!config.ok()) return Fail(config.status());
+  config->samples_per_run = static_cast<uint64_t>(flags.GetInt("samples"));
+  const std::string select = flags.GetString("select");
   if (select == "intro") {
-    config.select_algorithm = SelectAlgorithm::kIntroSelect;
+    config->select_algorithm = SelectAlgorithm::kIntroSelect;
   } else if (select == "fr") {
-    config.select_algorithm = SelectAlgorithm::kFloydRivest;
+    config->select_algorithm = SelectAlgorithm::kFloydRivest;
   } else if (select == "mom") {
-    config.select_algorithm = SelectAlgorithm::kMedianOfMedians;
+    config->select_algorithm = SelectAlgorithm::kMedianOfMedians;
   } else if (select == "std") {
-    config.select_algorithm = SelectAlgorithm::kStdNthElement;
+    config->select_algorithm = SelectAlgorithm::kStdNthElement;
   } else {
     return Fail(Status::InvalidArgument("unknown --select: " + select));
   }
-  auto parsed_mode = ParseIoMode(flags.GetString("io-mode", "sync"));
-  if (!parsed_mode.ok()) return Fail(parsed_mode.status());
-  config.io_mode = *parsed_mode;
-  config.prefetch_depth =
-      static_cast<uint64_t>(flags.GetInt("prefetch-depth", 2));
-  config.stripes = input->stripes();
-  Status valid = config.Validate();
-  if (!valid.ok()) return Fail(valid);
 
   WallTimer timer;
-  OpaqSketch<Key> sketch(config);
-  double io_seconds = 0;
-  Status s = sketch.Consume(*input->provider, &io_seconds);
-  if (!s.ok()) return Fail(s);
-  SampleList<Key> list = sketch.FinalizeSampleList();
+  Engine<Key> engine(*config, *source);
+  auto session = engine.Build();
+  if (!session.ok()) return Fail(session.status());
+  const SampleList<Key>& list = session->sample_list();
 
-  auto out_device = OpenFileDevice(flags.GetString("out", ""),
+  auto out_device = OpenFileDevice(flags.GetString("out"),
                                    FileBlockDevice::Mode::kCreate);
   if (!out_device.ok()) return Fail(out_device.status());
-  s = SaveSampleList(list, out_device->get());
+  Status s = SaveSampleList(list, out_device->get());
   if (!s.ok()) return Fail(s);
   std::cout << "sketched " << list.total_elements() << " keys ("
             << list.accounting().num_runs << " runs, "
             << list.samples().size() << " samples) in "
-            << timer.ElapsedSeconds() << "s (" << io_seconds << "s "
-            << (config.io_mode == IoMode::kAsync ? "I/O stall, async"
-                                                 : "I/O")
-            << (config.stripes > 1
-                    ? ", " + std::to_string(config.stripes) + " stripes"
+            << timer.ElapsedSeconds() << "s ("
+            << engine.stats().io_stall_seconds << "s "
+            << (config->io_mode == IoMode::kAsync ? "I/O stall, async"
+                                                  : "I/O")
+            << (config->stripes > 1
+                    ? ", " + std::to_string(config->stripes) + " stripes"
                     : "")
-            << "); rank error <= " << MaxRankError(list.accounting())
-            << "\n";
+            << "); rank error <= " << session->max_rank_error() << "\n";
   return 0;
 }
 
-int CmdQuantile(const Flags& flags) {
-  auto device = OpenFileDevice(flags.GetString("sketch", ""),
-                               FileBlockDevice::Mode::kOpen);
-  if (!device.ok()) return Fail(device.status());
-  auto list = LoadSampleList<Key>(device->get());
+int CmdQuantile(const CommandFlags& flags) {
+  auto list = LoadSketch(flags);
   if (!list.ok()) return Fail(list.status());
   auto phis = ParsePhis(flags);
   if (!phis.ok()) return Fail(phis.status());
-  OpaqEstimator<Key> estimator(std::move(list).value());
+  QuerySession<Key> session(std::move(list).value());
+  std::vector<Request> requests;
+  for (double phi : *phis) requests.push_back(Request::Quantile(phi));
+  auto results = session.Query(requests);
+  if (!results.ok()) return Fail(results.status());
   std::cout << "phi\trank\tlower\tupper\n";
-  for (double phi : *phis) {
-    auto e = estimator.Quantile(phi);
-    std::cout << phi << "\t" << e.target_rank << "\t" << e.lower
+  for (size_t i = 0; i < phis->size(); ++i) {
+    const QuantileEstimate<Key>& e = results->results[i].estimates[0];
+    std::cout << (*phis)[i] << "\t" << e.target_rank << "\t" << e.lower
               << (e.lower_clamped ? "?" : "") << "\t" << e.upper
               << (e.upper_clamped ? "?" : "") << "\n";
   }
-  std::cout << "(rank error <= " << estimator.max_rank_error()
+  std::cout << "(rank error <= " << results->max_rank_error
             << "; '?' marks a clamped, uncertified bound)\n";
   return 0;
 }
 
-int CmdExact(const Flags& flags) {
-  auto sketch_device = OpenFileDevice(flags.GetString("sketch", ""),
-                                      FileBlockDevice::Mode::kOpen);
-  if (!sketch_device.ok()) return Fail(sketch_device.status());
-  auto list = LoadSampleList<Key>(sketch_device->get());
+int CmdExact(const CommandFlags& flags) {
+  auto list = LoadSketch(flags);
   if (!list.ok()) return Fail(list.status());
-  auto input = OpenDataInput(flags);
-  if (!input.ok()) return Fail(input.status());
+  auto source = OpenDataSource(flags);
+  if (!source.ok()) return Fail(source.status());
   auto phis = ParsePhis(flags);
   if (!phis.ok()) return Fail(phis.status());
-
-  OpaqEstimator<Key> estimator(std::move(list).value());
-  std::vector<QuantileEstimate<Key>> estimates;
-  for (double phi : *phis) estimates.push_back(estimator.Quantile(phi));
-  // Route the raw flag values through the same OpaqConfig::Validate as
-  // CmdSketch (samples_per_run = 1 neutralizes the divisibility rule the
-  // second pass does not have) so bad inputs fail with a clean error, not
-  // a CHECK abort in the readers.
-  OpaqConfig config;
-  config.run_size = static_cast<uint64_t>(flags.GetInt("run-size", 1 << 20));
-  config.samples_per_run = 1;
-  auto parsed_mode = ParseIoMode(flags.GetString("io-mode", "sync"));
-  if (!parsed_mode.ok()) return Fail(parsed_mode.status());
-  config.io_mode = *parsed_mode;
-  config.prefetch_depth =
-      static_cast<uint64_t>(flags.GetInt("prefetch-depth", 2));
-  config.stripes = input->stripes();
-  Status valid = config.Validate();
+  auto config = ScanConfig(flags, *source);
+  if (!config.ok()) return Fail(config.status());
+  // samples_per_run = 1 neutralizes the divisibility rule the second pass
+  // does not have, while still validating the raw flag values cleanly.
+  config->samples_per_run = 1;
+  Status valid = config->Validate();
   if (!valid.ok()) return Fail(valid);
-  auto exact = ExactQuantilesSecondPass(*input->provider, estimates,
-                                        config.read_options());
-  if (!exact.ok()) return Fail(exact.status());
+
+  // One batched query, every request exact: all quantiles share ONE pass.
+  QuerySession<Key> session(std::move(list).value(), {*source}, *config);
+  const int64_t budget = flags.GetInt("budget");
+  if (budget < 0) {
+    return Fail(Status::InvalidArgument(
+        "--budget must be >= 0 (0 = the default 4*q*max_rank_error)"));
+  }
+  session.set_exact_memory_budget(static_cast<uint64_t>(budget));
+  std::vector<Request> requests;
+  for (double phi : *phis) {
+    requests.push_back(Request::Quantile(phi, /*exact=*/true));
+  }
+  auto results = session.Query(requests);
+  if (!results.ok()) return Fail(results.status());
   std::cout << "phi\texact\n";
   for (size_t i = 0; i < phis->size(); ++i) {
-    std::cout << (*phis)[i] << "\t" << (*exact)[i] << "\n";
+    std::cout << (*phis)[i] << "\t" << results->results[i].exact[0] << "\n";
   }
   return 0;
 }
 
-int CmdRank(const Flags& flags) {
-  auto device = OpenFileDevice(flags.GetString("sketch", ""),
-                               FileBlockDevice::Mode::kOpen);
-  if (!device.ok()) return Fail(device.status());
-  auto list = LoadSampleList<Key>(device->get());
+int CmdRank(const CommandFlags& flags) {
+  auto list = LoadSketch(flags);
   if (!list.ok()) return Fail(list.status());
-  if (!flags.Has("value")) {
-    return Fail(Status::InvalidArgument("rank requires --value"));
-  }
-  const Key value = static_cast<Key>(flags.GetInt("value", 0));
-  OpaqEstimator<Key> estimator(std::move(list).value());
-  RankEstimate r = estimator.EstimateRank(value);
+  // --value presence is enforced by ValidateFlags (the table marks it
+  // required).
+  const Key value = static_cast<Key>(flags.GetInt("value"));
+  QuerySession<Key> session(std::move(list).value());
+  auto results = session.Query({Request::RankOf(value)});
+  if (!results.ok()) return Fail(results.status());
+  const RankEstimate& r = results->results[0].rank;
   std::cout << "value " << value << ": rank(<=) in [" << r.min_rank_le
             << ", " << r.max_rank_le << "], rank(<) in [" << r.min_rank_lt
-            << ", " << r.max_rank_lt << "] of "
-            << estimator.total_elements() << "\n";
+            << ", " << r.max_rank_lt << "] of " << results->total_elements
+            << "\n";
   return 0;
 }
 
-int CmdMerge(const Flags& flags) {
-  if (flags.positional().size() < 3) {  // "merge" + >= 2 inputs
+int CmdMerge(const CommandFlags& flags) {
+  if (flags.raw().positional().size() < 3) {  // "merge" + >= 2 inputs
     return Fail(Status::InvalidArgument("merge needs >= 2 input sketches"));
   }
   SampleList<Key> merged;
-  for (size_t i = 1; i < flags.positional().size(); ++i) {
-    auto device = OpenFileDevice(flags.positional()[i],
+  for (size_t i = 1; i < flags.raw().positional().size(); ++i) {
+    auto device = OpenFileDevice(flags.raw().positional()[i],
                                  FileBlockDevice::Mode::kOpen);
     if (!device.ok()) return Fail(device.status());
     auto list = LoadSampleList<Key>(device->get());
@@ -391,25 +613,22 @@ int CmdMerge(const Flags& flags) {
     if (!combined.ok()) return Fail(combined.status());
     merged = std::move(combined).value();
   }
-  auto out = OpenFileDevice(flags.GetString("out", ""),
+  auto out = OpenFileDevice(flags.GetString("out"),
                             FileBlockDevice::Mode::kCreate);
   if (!out.ok()) return Fail(out.status());
   Status s = SaveSampleList(merged, out->get());
   if (!s.ok()) return Fail(s);
-  std::cout << "merged " << flags.positional().size() - 1 << " sketches: "
-            << merged.total_elements() << " keys, "
+  std::cout << "merged " << flags.raw().positional().size() - 1
+            << " sketches: " << merged.total_elements() << " keys, "
             << merged.samples().size() << " samples\n";
   return 0;
 }
 
-int CmdInspect(const Flags& flags) {
-  auto device = OpenFileDevice(flags.GetString("sketch", ""),
-                               FileBlockDevice::Mode::kOpen);
-  if (!device.ok()) return Fail(device.status());
-  auto list = LoadSampleList<Key>(device->get());
+int CmdInspect(const CommandFlags& flags) {
+  auto list = LoadSketch(flags);
   if (!list.ok()) return Fail(list.status());
   const SampleAccounting& acc = list->accounting();
-  std::cout << "sketch: " << flags.GetString("sketch", "") << "\n"
+  std::cout << "sketch: " << flags.GetString("sketch") << "\n"
             << "  total elements : " << acc.total_elements << "\n"
             << "  runs           : " << acc.num_runs << "\n"
             << "  samples        : " << acc.num_samples << "\n"
@@ -429,17 +648,32 @@ int CmdInspect(const Flags& flags) {
 int Main(int argc, char** argv) {
   auto flags = Flags::Parse(argc, argv);
   if (!flags.ok()) return Fail(flags.status());
+  if (flags->Has("help") && flags->positional().empty()) {
+    return Usage(std::cout, 0);
+  }
   if (flags->positional().empty()) return Usage();
   const std::string& command = flags->positional()[0];
-  if (command == "generate") return CmdGenerate(*flags);
-  if (command == "sketch") return CmdSketch(*flags);
-  if (command == "quantile") return CmdQuantile(*flags);
-  if (command == "exact") return CmdExact(*flags);
-  if (command == "rank") return CmdRank(*flags);
-  if (command == "merge") return CmdMerge(*flags);
-  if (command == "inspect") return CmdInspect(*flags);
-  std::cerr << "unknown command: " << command << "\n";
-  return Usage();
+  if (command == "help") return Usage(std::cout, 0);
+  const CommandSpec* spec = nullptr;
+  for (const CommandSpec& candidate : Commands()) {
+    if (command == candidate.name) spec = &candidate;
+  }
+  if (spec == nullptr) {
+    std::cerr << "unknown command: " << command << "\n";
+    return Usage();
+  }
+  if (flags->Has("help")) {
+    PrintCommandHelp(*spec, std::cout);
+    return 0;
+  }
+  Status valid = ValidateFlags(*flags, *spec);
+  if (!valid.ok()) return Fail(valid);
+  CommandFlags command_flags(*flags, *spec);
+  // The handler lives in the same table as the flags and help text, so a
+  // new command cannot be added without its dispatch.
+  OPAQ_CHECK(spec->run != nullptr)
+      << "command '" << command << "' has no handler in its spec";
+  return spec->run(command_flags);
 }
 
 }  // namespace

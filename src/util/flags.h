@@ -30,6 +30,15 @@ class Flags {
                         const std::string& default_value) const;
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Every flag key the command line actually provided (dash-normalized,
+  /// sorted) — lets tools validate the input against a declared flag table.
+  std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& kv : values_) out.push_back(kv.first);
+    return out;
+  }
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program_name() const { return program_name_; }
 

@@ -11,6 +11,9 @@
 #include "core/opaq.h"
 #include "data/dataset.h"
 #include "metrics/ground_truth.h"
+#include "opaq/apps.h"
+#include "opaq/engine.h"
+#include "opaq/source.h"
 
 namespace opaq {
 namespace {
@@ -196,6 +199,116 @@ TEST(RangePartitionerTest, ExternalSortUseCase) {
   ASSERT_LE(partitioner.MaxPartitionSize(), memory_budget);
   auto counts = partitioner.CountPartitionSizes(data);
   for (uint64_t c : counts) EXPECT_LE(c, memory_budget);
+}
+
+// ----------------------- Exact ground truth, through the facade session ----
+
+// Builds the facade session the apps ride on; the data stays around for
+// exact scoring.
+QuerySession<uint64_t> MakeSession(const std::vector<uint64_t>& data,
+                                   uint64_t m = 2000, uint64_t s = 200) {
+  OpaqConfig config;
+  config.run_size = m;
+  config.samples_per_run = s;
+  auto session =
+      Engine<uint64_t>(config, Source<uint64_t>::FromVector(data)).Build();
+  OPAQ_CHECK_OK(session.status());
+  return std::move(session).value();
+}
+
+TEST(EquiDepthHistogramTest, DepthBracketsContainTrueDepths) {
+  // The satellite property: each bucket's certified depth bracket must
+  // contain the depth actually realized on the data — across duplicate-free
+  // distributions (value routing splits ties one-sidedly, so only distinct
+  // data carries the certificate; see BucketDepthBracket's contract).
+  for (Distribution dist : {Distribution::kUniform, Distribution::kNormal,
+                            Distribution::kSequential}) {
+    DatasetSpec spec;
+    spec.n = 60000;
+    spec.distribution = dist;
+    spec.duplicate_fraction = 0.0;
+    spec.seed = 21;
+    auto data = GenerateDataset<uint64_t>(spec);
+    auto session = MakeSession(data);
+    for (int buckets : {4, 10, 16}) {
+      auto histogram = BuildEquiDepthHistogram(session, buckets);
+      ASSERT_TRUE(histogram.ok());
+      std::vector<uint64_t> depth(buckets, 0);
+      for (uint64_t v : data) ++depth[histogram->BucketOf(v)];
+      for (int b = 0; b < buckets; ++b) {
+        auto bracket = histogram->BucketDepthBracket(b);
+        EXPECT_LE(bracket.min_depth, depth[b])
+            << DistributionName(dist) << " B=" << buckets << " bucket " << b;
+        EXPECT_GE(bracket.max_depth, depth[b])
+            << DistributionName(dist) << " B=" << buckets << " bucket " << b;
+        EXPECT_LE(bracket.max_depth - bracket.min_depth,
+                  4 * (histogram->max_rank_error() + 1))
+            << "bracket should stay within the paper's 2*budget per side";
+      }
+    }
+  }
+}
+
+TEST(RangePartitionerTest, ShardSizesWithinMaxRankError) {
+  // The satellite property: every realized shard size stays within the
+  // session's max_rank_error budget of the nominal n/P (one splitter off by
+  // at most max_rank_error on each side, +1 rounding slack per boundary).
+  DatasetSpec spec;
+  spec.n = 70000;
+  spec.distribution = Distribution::kUniform;
+  spec.duplicate_fraction = 0.0;
+  spec.seed = 33;
+  auto data = GenerateDataset<uint64_t>(spec);
+  auto session = MakeSession(data);
+  for (int parts : {2, 5, 8}) {
+    auto partitioner = BuildRangePartitioner(session, parts);
+    ASSERT_TRUE(partitioner.ok());
+    auto counts = partitioner->CountPartitionSizes(data);
+    ASSERT_EQ(counts.size(), static_cast<size_t>(parts));
+    const uint64_t nominal = spec.n / static_cast<uint64_t>(parts);
+    const uint64_t slack = 2 * (session.max_rank_error() + 1);
+    uint64_t total = 0;
+    for (int part = 0; part < parts; ++part) {
+      EXPECT_NEAR(static_cast<double>(counts[part]),
+                  static_cast<double>(nominal), static_cast<double>(slack))
+          << parts << " parts, shard " << part;
+      EXPECT_LE(counts[part], partitioner->MaxPartitionSize());
+      total += counts[part];
+    }
+    EXPECT_EQ(total, spec.n);
+  }
+}
+
+TEST(SelectivityTest, FacadeBracketsMatchGroundTruthEverywhere) {
+  // Batched-session selectivity vs exact ground truth, including the
+  // boundary predicates (min/max values, single point, full range).
+  DatasetSpec spec;
+  spec.n = 40000;
+  spec.distribution = Distribution::kZipf;
+  spec.seed = 17;
+  auto data = GenerateDataset<uint64_t>(spec);
+  auto session = MakeSession(data);
+  GroundTruth<uint64_t> truth(data);
+  const uint64_t lo_value = truth.Quantile(1e-9);  // min
+  const uint64_t hi_value = truth.Quantile(1.0);   // max
+  const std::pair<uint64_t, uint64_t> predicates[] = {
+      {lo_value, hi_value}, {lo_value, lo_value}, {hi_value, hi_value},
+      {1, 100},             {7, 7},               {100, 50000},
+  };
+  for (const auto& p : predicates) {
+    auto sel = EstimateRangeSelectivity(session, p.first, p.second);
+    ASSERT_TRUE(sel.ok());
+    const uint64_t true_count = truth.RankLe(p.second) - truth.RankLt(p.first);
+    EXPECT_LE(sel->min_count, true_count)
+        << "[" << p.first << ", " << p.second << "]";
+    EXPECT_GE(sel->max_count, true_count)
+        << "[" << p.first << ", " << p.second << "]";
+
+    auto at_most = EstimateAtMostSelectivity(session, p.second);
+    ASSERT_TRUE(at_most.ok());
+    EXPECT_LE(at_most->min_count, truth.RankLe(p.second));
+    EXPECT_GE(at_most->max_count, truth.RankLe(p.second));
+  }
 }
 
 }  // namespace

@@ -43,7 +43,7 @@ struct MemoryFile {
 std::vector<uint8_t> SketchBytes(const TypedDataFile<Key>* file,
                                  const OpaqConfig& config) {
   OpaqSketch<Key> sketch(config);
-  OPAQ_CHECK_OK(sketch.ConsumeFile(file));
+  OPAQ_CHECK_OK(sketch.Consume(FileRunProvider<Key>(file)));
   SampleList<Key> list = sketch.FinalizeSampleList();
   MemoryBlockDevice out;
   OPAQ_CHECK_OK(SaveSampleList(list, &out));
@@ -97,15 +97,18 @@ TEST(AsyncIoTest, BitExactMultiProcessor) {
   // per-rank files, same seeds => identical quantile answers and accounting.
   const int p = 4;
   std::vector<std::unique_ptr<MemoryFile>> ranks;
-  std::vector<const TypedDataFile<Key>*> files;
+  std::vector<FileRunProvider<Key>> providers;
+  providers.reserve(p);
   for (int r = 0; r < p; ++r) {
     DatasetSpec spec;
     spec.n = 20000 + 777 * r;  // ragged everywhere
     spec.distribution = r % 2 ? Distribution::kZipf : Distribution::kUniform;
     spec.seed = 1000 + r;
     ranks.push_back(std::make_unique<MemoryFile>(spec));
-    files.push_back(&*ranks.back()->file);
+    providers.emplace_back(&*ranks.back()->file);
   }
+  std::vector<const RunProvider<Key>*> files;
+  for (const auto& provider : providers) files.push_back(&provider);
 
   auto run = [&](IoMode mode, uint64_t depth) {
     Cluster::Options cluster_options;

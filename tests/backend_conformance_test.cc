@@ -23,6 +23,9 @@
 #include "io/block_device.h"
 #include "io/striped_data_file.h"
 #include "io/striped_run_source.h"
+#include "opaq/engine.h"
+#include "opaq/query.h"
+#include "opaq/source.h"
 #include "parallel/parallel_opaq.h"
 #include "util/random.h"
 
@@ -65,6 +68,28 @@ std::vector<uint8_t> SketchBytes(const RunProvider<Key>& provider,
   SampleList<Key> list = sketch.FinalizeSampleList();
   MemoryBlockDevice out;
   OPAQ_CHECK_OK(SaveSampleList(list, &out));
+  auto size = out.Size();
+  OPAQ_CHECK_OK(size.status());
+  std::vector<uint8_t> bytes(*size);
+  OPAQ_CHECK_OK(out.ReadAt(0, bytes.data(), bytes.size()));
+  return bytes;
+}
+
+// Same sample phase, driven through the public facade: an Engine over a
+// Source must leave exactly the bytes the direct sketch leaves.
+std::vector<uint8_t> EngineSketchBytes(const Source<Key>& source,
+                                       const SweepCase& c, IoMode io_mode,
+                                       uint64_t prefetch_depth) {
+  OpaqConfig config;
+  config.run_size = c.run_size;
+  config.samples_per_run = c.samples_per_run;
+  config.seed = c.sketch_seed;
+  config.io_mode = io_mode;
+  config.prefetch_depth = prefetch_depth;
+  auto session = Engine<Key>(config, source).Build();
+  OPAQ_CHECK_OK(session.status());
+  MemoryBlockDevice out;
+  OPAQ_CHECK_OK(SaveSampleList(session->sample_list(), &out));
   auto size = out.Size();
   OPAQ_CHECK_OK(size.status());
   std::vector<uint8_t> bytes(*size);
@@ -134,6 +159,37 @@ void ExpectAllBackendsAgree(const SweepCase& c) {
     }
     EXPECT_EQ(SketchBytes(*backends.striped, c, IoMode::kSync, 2), reference)
         << c.Describe() << " striped-inline x" << stripes;
+
+    // The same equalities must hold when the facade drives the pass: an
+    // Engine over a Source wrapping each backend — plain file, striped
+    // file, and the in-memory vector — leaves byte-identical sketches.
+    // (Engine refuses datasets too small for even one sample — n below the
+    // sub-run size — with FailedPrecondition instead of an empty list.)
+    if (c.n < c.run_size / c.samples_per_run) {
+      OpaqConfig config;
+      config.run_size = c.run_size;
+      config.samples_per_run = c.samples_per_run;
+      auto too_small =
+          Engine<Key>(config, Source<Key>::FromVector(data)).Build();
+      EXPECT_EQ(too_small.status().code(), StatusCode::kFailedPrecondition)
+          << c.Describe();
+      continue;
+    }
+    EXPECT_EQ(EngineSketchBytes(Source<Key>::FromFile(backends.plain_file.get()),
+                                c, IoMode::kSync, 2),
+              reference)
+        << c.Describe() << " Engine/Source plain";
+    EXPECT_EQ(EngineSketchBytes(
+                  Source<Key>::FromFile(backends.striped_file.get()), c,
+                  IoMode::kAsync, 2),
+              reference)
+        << c.Describe() << " Engine/Source striped x" << stripes;
+    if (stripes == 1) {
+      EXPECT_EQ(EngineSketchBytes(Source<Key>::FromVector(data), c,
+                                  IoMode::kSync, 2),
+                reference)
+          << c.Describe() << " Engine/Source in-memory";
+    }
   }
 }
 
@@ -198,7 +254,7 @@ TEST(BackendConformanceTest, QuantilesAndExactPassAgreeAcrossBackends) {
   striped_config.io_mode = IoMode::kAsync;
   striped_config.prefetch_depth = 3;
   OpaqSketch<Key> striped_sketch(striped_config);
-  ASSERT_TRUE(striped_sketch.ConsumeFile(backends.striped_file.get()).ok());
+  ASSERT_TRUE(striped_sketch.Consume(*backends.striped).ok());
   auto striped_estimates = striped_sketch.Finalize().EquiQuantiles(10);
 
   ASSERT_EQ(striped_estimates.size(), reference_estimates.size());
@@ -233,6 +289,26 @@ TEST(BackendConformanceTest, QuantilesAndExactPassAgreeAcrossBackends) {
                                               async_options);
   ASSERT_TRUE(exact_async.ok());
   EXPECT_EQ(*exact_async, *exact_plain);
+
+  // Finally, the facade end to end: an Engine-built QuerySession over the
+  // striped source answers the same batch — same brackets, same exact
+  // values — as the direct plain-file pipeline above.
+  auto session =
+      Engine<Key>(striped_config,
+                  Source<Key>::FromFile(backends.striped_file.get()))
+          .Build();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto batch = session->Query({
+      QueryRequest<Key>::EquiQuantiles(10, /*exact=*/true),
+  });
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  const auto& facade_estimates = batch->results[0].estimates;
+  ASSERT_EQ(facade_estimates.size(), reference_estimates.size());
+  for (size_t i = 0; i < reference_estimates.size(); ++i) {
+    EXPECT_EQ(facade_estimates[i].lower, reference_estimates[i].lower);
+    EXPECT_EQ(facade_estimates[i].upper, reference_estimates[i].upper);
+  }
+  EXPECT_EQ(batch->results[0].exact, *exact_plain);
 }
 
 TEST(BackendConformanceTest, ParallelHarnessAgreesOnStripedShards) {

@@ -433,7 +433,7 @@ TEST(FilePipelineTest, ConsumeFileMatchesInMemory) {
   config.samples_per_run = 250;
   OpaqSketch<uint64_t> sketch(config);
   double io_seconds = 0;
-  ASSERT_TRUE(sketch.ConsumeFile(&*file, &io_seconds).ok());
+  ASSERT_TRUE(sketch.Consume(FileRunProvider<uint64_t>(&*file), &io_seconds).ok());
   EXPECT_EQ(sketch.runs_consumed(), 10u);
   EXPECT_EQ(sketch.elements_consumed(), 25000u);
   EXPECT_GE(io_seconds, 0.0);
@@ -477,7 +477,7 @@ TEST(ExactSecondPassTest, RecoversExactQuantile) {
   config.run_size = 2000;
   config.samples_per_run = 100;
   OpaqSketch<uint64_t> sketch(config);
-  ASSERT_TRUE(sketch.ConsumeFile(&*file).ok());
+  ASSERT_TRUE(sketch.Consume(FileRunProvider<uint64_t>(&*file)).ok());
   OpaqEstimator<uint64_t> est = sketch.Finalize();
   GroundTruth<uint64_t> truth(data);
 
@@ -485,7 +485,8 @@ TEST(ExactSecondPassTest, RecoversExactQuantile) {
     auto e = est.Quantile(phi);
     ASSERT_FALSE(e.lower_clamped);
     ASSERT_FALSE(e.upper_clamped);
-    auto exact = ExactQuantileSecondPass(&*file, e, config.run_size);
+    auto exact = ExactQuantileSecondPass(FileRunProvider<uint64_t>(&*file),
+                                         e, config.read_options());
     ASSERT_TRUE(exact.ok()) << exact.status().ToString();
     EXPECT_EQ(*exact, truth.Quantile(phi)) << phi;
   }
@@ -506,14 +507,14 @@ TEST(ExactSecondPassTest, WorksOnDuplicateHeavyData) {
   config.run_size = 1000;
   config.samples_per_run = 100;
   OpaqSketch<uint64_t> sketch(config);
-  ASSERT_TRUE(sketch.ConsumeFile(&*file).ok());
+  ASSERT_TRUE(sketch.Consume(FileRunProvider<uint64_t>(&*file)).ok());
   OpaqEstimator<uint64_t> est = sketch.Finalize();
   GroundTruth<uint64_t> truth(data);
   auto e = est.Quantile(0.5);
   // With so few distinct values the bracket may hold many duplicates; give
   // the pass a budget big enough to hold them.
-  auto exact = ExactQuantileSecondPass(&*file, e, config.run_size,
-                                       spec.n);
+  auto exact = ExactQuantileSecondPass(FileRunProvider<uint64_t>(&*file), e,
+                                       config.read_options(), spec.n);
   ASSERT_TRUE(exact.ok()) << exact.status().ToString();
   EXPECT_EQ(*exact, truth.Quantile(0.5));
 }
@@ -531,7 +532,8 @@ TEST(ExactSecondPassTest, RefusesClampedBounds) {
   ASSERT_TRUE(WriteDataset(data, &dev).ok());
   auto file = TypedDataFile<uint64_t>::Open(&dev);
   ASSERT_TRUE(file.ok());
-  auto exact = ExactQuantileSecondPass(&*file, e, 10);
+  auto exact = ExactQuantileSecondPass(FileRunProvider<uint64_t>(&*file), e,
+                                       config.read_options());
   EXPECT_FALSE(exact.ok());
   EXPECT_EQ(exact.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -547,7 +549,8 @@ TEST(ExactSecondPassTest, BudgetExhaustionSurfaces) {
   auto file = TypedDataFile<uint64_t>::Open(&dev);
   ASSERT_TRUE(file.ok());
   auto e = est.Quantile(0.5);
-  auto exact = ExactQuantileSecondPass(&*file, e, 100, /*budget=*/10);
+  auto exact = ExactQuantileSecondPass(FileRunProvider<uint64_t>(&*file), e,
+                                       config.read_options(), /*budget=*/10);
   EXPECT_FALSE(exact.ok());
   EXPECT_EQ(exact.status().code(), StatusCode::kResourceExhausted);
 }

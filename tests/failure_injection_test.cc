@@ -101,7 +101,7 @@ TEST(FailureInjectionTest, SketchConsumeFileSurfacesError) {
   config.run_size = 1000;
   config.samples_per_run = 100;
   OpaqSketch<uint64_t> sketch(config);
-  Status s = sketch.ConsumeFile(&*f.file);
+  Status s = sketch.Consume(FileRunProvider<uint64_t>(&*f.file));
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kIoError);
   // The sketch holds only fully-consumed runs; it can still be finalized
@@ -146,7 +146,7 @@ TEST(FailureInjectionTest, SketchConsumeFileSurfacesShortRead) {
   config.run_size = 1000;
   config.samples_per_run = 100;
   OpaqSketch<uint64_t> sketch(config);
-  Status s = sketch.ConsumeFile(&*f.file);
+  Status s = sketch.Consume(FileRunProvider<uint64_t>(&*f.file));
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
   EXPECT_EQ(sketch.elements_consumed(), 2000u);
@@ -168,7 +168,7 @@ TEST(FailureInjectionTest, AsyncConsumeFileSurfacesError) {
     config.io_mode = IoMode::kAsync;
     config.prefetch_depth = depth;
     OpaqSketch<uint64_t> sketch(config);
-    Status s = sketch.ConsumeFile(&*f.file);
+    Status s = sketch.Consume(FileRunProvider<uint64_t>(&*f.file));
     EXPECT_FALSE(s.ok()) << "depth " << depth;
     EXPECT_EQ(s.code(), StatusCode::kIoError) << "depth " << depth;
     EXPECT_EQ(sketch.runs_consumed(), 2u) << "depth " << depth;
@@ -189,7 +189,7 @@ TEST(FailureInjectionTest, AsyncConsumeFileSurfacesShortRead) {
   config.io_mode = IoMode::kAsync;
   config.prefetch_depth = 4;
   OpaqSketch<uint64_t> sketch(config);
-  Status s = sketch.ConsumeFile(&*f.file);
+  Status s = sketch.Consume(FileRunProvider<uint64_t>(&*f.file));
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
   EXPECT_EQ(sketch.elements_consumed(), 2000u);
@@ -231,13 +231,14 @@ TEST(FailureInjectionTest, ExactSecondPassSurfacesError) {
   config.run_size = 1000;
   config.samples_per_run = 100;
   OpaqSketch<uint64_t> sketch(config);
-  ASSERT_TRUE(sketch.ConsumeFile(&*healthy.file).ok());
+  ASSERT_TRUE(sketch.Consume(FileRunProvider<uint64_t>(&*healthy.file)).ok());
   auto estimate = sketch.Finalize().Quantile(0.5);
 
   // Same data, but the second pass hits a failing disk.
   FaultyFixture faulty(10000, FailReadAt(6));
   ASSERT_TRUE(faulty.file.ok());
-  auto exact = ExactQuantileSecondPass(&*faulty.file, estimate, 1000);
+  auto exact = ExactQuantileSecondPass(FileRunProvider<uint64_t>(&*faulty.file),
+                                       estimate, config.read_options());
   EXPECT_FALSE(exact.ok());
   EXPECT_EQ(exact.status().code(), StatusCode::kIoError);
 }
@@ -277,8 +278,11 @@ void RunParallelDiskDeath(IoMode io_mode) {
     ASSERT_TRUE(file.ok());
     files.push_back(std::move(file).value());
   }
-  std::vector<const TypedDataFile<uint64_t>*> file_ptrs;
-  for (auto& f : files) file_ptrs.push_back(&f);
+  std::vector<FileRunProvider<uint64_t>> providers;
+  providers.reserve(files.size());
+  for (auto& f : files) providers.emplace_back(&f);
+  std::vector<const RunProvider<uint64_t>*> file_ptrs;
+  for (const auto& provider : providers) file_ptrs.push_back(&provider);
 
   Cluster::Options cluster_options;
   cluster_options.num_processors = p;
@@ -367,7 +371,7 @@ TEST(FailureInjectionTest, StripedConsumeFileSurfacesStripeDeath) {
       config.io_mode = io_mode;
       config.prefetch_depth = depth;
       OpaqSketch<uint64_t> sketch(config);
-      Status s = sketch.ConsumeFile(&*f.file);
+      Status s = sketch.Consume(StripedFileProvider<uint64_t>(&*f.file));
       EXPECT_FALSE(s.ok()) << IoModeName(io_mode) << " depth " << depth;
       EXPECT_EQ(s.code(), StatusCode::kIoError)
           << IoModeName(io_mode) << " depth " << depth;
@@ -434,7 +438,7 @@ TEST(FailureInjectionTest, StripedShortReadSurfacesAsError) {
   config.io_mode = IoMode::kAsync;
   config.prefetch_depth = 2;
   OpaqSketch<uint64_t> sketch(config);
-  Status s = sketch.ConsumeFile(&*f.file);
+  Status s = sketch.Consume(StripedFileProvider<uint64_t>(&*f.file));
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
   EXPECT_EQ(sketch.runs_consumed(), 4u);  // runs 0-3; run 4 was truncated
@@ -447,7 +451,8 @@ TEST(FailureInjectionTest, StripedExactSecondPassSurfacesError) {
   config.run_size = FaultyStripeFixture::kRunSize;
   config.samples_per_run = 100;
   OpaqSketch<uint64_t> sketch(config);
-  ASSERT_TRUE(sketch.ConsumeFile(&*healthy.file).ok());
+  ASSERT_TRUE(
+      sketch.Consume(StripedFileProvider<uint64_t>(&*healthy.file)).ok());
   auto estimate = sketch.Finalize().Quantile(0.5);
 
   FaultyStripeFixture faulty(6000, FailReadAt(3));

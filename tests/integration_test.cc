@@ -56,7 +56,7 @@ TEST_P(DiskPipelineTest, OnePassOverRealFileMeetsPaperBounds) {
   config.samples_per_run = 256;
   OpaqSketch<uint64_t> sketch(config);
   double io_seconds = 0;
-  ASSERT_TRUE(sketch.ConsumeFile(&*file, &io_seconds).ok());
+  ASSERT_TRUE(sketch.Consume(FileRunProvider<uint64_t>(&*file), &io_seconds).ok());
   OpaqEstimator<uint64_t> est = sketch.Finalize();
   EXPECT_GT(device.modeled_seconds(), 0.0);
 
@@ -71,8 +71,8 @@ TEST_P(DiskPipelineTest, OnePassOverRealFileMeetsPaperBounds) {
   }
 
   // Exact values for all dectiles via one extra pass.
-  auto exact = ExactQuantilesSecondPass(&*file, estimates, config.run_size,
-                                        n);
+  auto exact = ExactQuantilesSecondPass(FileRunProvider<uint64_t>(&*file),
+                                        estimates, config.read_options(), n);
   ASSERT_TRUE(exact.ok()) << exact.status().ToString();
   for (int d = 1; d <= 9; ++d) {
     EXPECT_EQ((*exact)[d - 1], truth.Quantile(d / 10.0)) << d;
@@ -135,8 +135,9 @@ TEST(ConsistencyTest, ThreePathsAgreeOnSampleList) {
   Cluster cluster(cluster_options);
   ParallelOpaqOptions parallel_options;
   parallel_options.config = config;
-  std::vector<const TypedDataFile<uint64_t>*> parallel_files{&*file_a,
-                                                             &*file_b};
+  FileRunProvider<uint64_t> provider_a(&*file_a), provider_b(&*file_b);
+  std::vector<const RunProvider<uint64_t>*> parallel_files{&provider_a,
+                                                           &provider_b};
   auto parallel =
       RunParallelOpaq<uint64_t>(cluster, parallel_files, parallel_options);
   ASSERT_TRUE(parallel.ok());

@@ -11,6 +11,8 @@
 #include "data/dataset.h"
 #include "io/faulty_device.h"
 #include "metrics/ground_truth.h"
+#include "opaq/parallel.h"
+#include "opaq/source.h"
 #include "parallel/parallel_exact.h"
 #include "parallel/parallel_opaq.h"
 
@@ -20,7 +22,7 @@ namespace {
 struct Shards {
   std::vector<std::unique_ptr<BlockDevice>> devices;
   std::vector<TypedDataFile<uint64_t>> files;
-  std::vector<const TypedDataFile<uint64_t>*> file_ptrs;
+  std::vector<Source<uint64_t>> sources;
   std::vector<uint64_t> union_data;
 
   Shards(int p, uint64_t per_rank, Distribution dist, uint64_t fail_rank_read)
@@ -46,7 +48,7 @@ struct Shards {
       OPAQ_CHECK_OK(file.status());
       files.push_back(std::move(file).value());
     }
-    for (auto& f : files) file_ptrs.push_back(&f);
+    for (auto& f : files) sources.push_back(Source<uint64_t>::FromFile(&f));
   }
 };
 
@@ -63,7 +65,7 @@ TEST_P(ParallelExactTest, RecoversExactDectilesAcrossClusterShapes) {
   options.config.run_size = 2000;
   options.config.samples_per_run = 200;
 
-  auto estimate_run = RunParallelOpaq(cluster, shards.file_ptrs, options);
+  auto estimate_run = RunParallelOpaq(cluster, shards.sources, options);
   ASSERT_TRUE(estimate_run.ok());
   std::vector<QuantileEstimate<uint64_t>> estimates =
       estimate_run->estimates;
@@ -75,8 +77,8 @@ TEST_P(ParallelExactTest, RecoversExactDectilesAcrossClusterShapes) {
   std::vector<uint64_t> exact;
   Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
     auto result = ParallelExactQuantiles(
-        ctx, shards.file_ptrs[ctx.rank()], estimates,
-        options.config.run_size);
+        ctx, shards.sources[ctx.rank()], estimates,
+        options.config.read_options());
     if (!result.ok()) return result.status();
     if (ctx.rank() == 0) exact = std::move(result).value();
     return Status::OK();
@@ -105,18 +107,19 @@ TEST(ParallelExactTest2, AgreesWithSequentialSecondPass) {
   ParallelOpaqOptions options;
   options.config.run_size = 3000;
   options.config.samples_per_run = 150;
-  auto run = RunParallelOpaq(cluster, shards.file_ptrs, options);
+  auto run = RunParallelOpaq(cluster, shards.sources, options);
   ASSERT_TRUE(run.ok());
 
   auto sequential = ExactQuantilesSecondPass(
-      shards.file_ptrs[0], run->estimates, options.config.run_size);
+      shards.sources[0].provider(), run->estimates,
+      options.config.read_options());
   ASSERT_TRUE(sequential.ok());
 
   std::vector<uint64_t> parallel_exact;
   auto estimates = run->estimates;
   Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
-    auto result = ParallelExactQuantiles(ctx, shards.file_ptrs[0], estimates,
-                                         options.config.run_size);
+    auto result = ParallelExactQuantiles(ctx, shards.sources[0], estimates,
+                                         options.config.read_options());
     if (!result.ok()) return result.status();
     parallel_exact = std::move(result).value();
     return Status::OK();
@@ -135,9 +138,11 @@ TEST(ParallelExactTest2, RefusesClampedEstimates) {
   clamped.lower_clamped = true;
   clamped.max_rank_error = 100;
   Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
+    ReadOptions read_options;
+    read_options.run_size = 100;
     auto result = ParallelExactQuantiles(
-        ctx, shards.file_ptrs[ctx.rank()],
-        std::vector<QuantileEstimate<uint64_t>>{clamped}, 100);
+        ctx, shards.sources[ctx.rank()],
+        std::vector<QuantileEstimate<uint64_t>>{clamped}, read_options);
     return result.status();
   });
   EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
@@ -152,7 +157,7 @@ TEST(ParallelExactTest2, OneFailingDiskAbortsCleanly) {
   ParallelOpaqOptions options;
   options.config.run_size = 1000;
   options.config.samples_per_run = 100;
-  auto run = RunParallelOpaq(cluster, healthy.file_ptrs, options);
+  auto run = RunParallelOpaq(cluster, healthy.sources, options);
   ASSERT_TRUE(run.ok());
 
   // Same logical shards, but rank 1's disk dies mid-pass this time.
@@ -160,8 +165,8 @@ TEST(ParallelExactTest2, OneFailingDiskAbortsCleanly) {
   auto estimates = run->estimates;
   Status s = cluster.Run([&](ProcessorContext& ctx) -> Status {
     auto result = ParallelExactQuantiles(
-        ctx, faulty.file_ptrs[ctx.rank()], estimates,
-        options.config.run_size);
+        ctx, faulty.sources[ctx.rank()], estimates,
+        options.config.read_options());
     return result.status();
   });
   EXPECT_FALSE(s.ok());

@@ -11,6 +11,8 @@
 #include "data/dataset.h"
 #include "metrics/ground_truth.h"
 #include "metrics/rer.h"
+#include "opaq/parallel.h"
+#include "opaq/source.h"
 #include "parallel/bitonic_merge.h"
 #include "parallel/collectives.h"
 #include "parallel/global_merge.h"
@@ -365,7 +367,7 @@ TEST(BitonicMergeTest, RequiresPowerOfTwo) {
 struct ParallelFixture {
   std::vector<std::unique_ptr<MemoryBlockDevice>> devices;
   std::vector<TypedDataFile<uint64_t>> files;
-  std::vector<const TypedDataFile<uint64_t>*> file_ptrs;
+  std::vector<Source<uint64_t>> sources;
   std::vector<uint64_t> all_data;
 
   explicit ParallelFixture(int p, uint64_t per_rank,
@@ -383,7 +385,7 @@ struct ParallelFixture {
       OPAQ_CHECK_OK(file.status());
       files.push_back(std::move(file).value());
     }
-    for (auto& f : files) file_ptrs.push_back(&f);
+    for (auto& f : files) sources.push_back(Source<uint64_t>::FromFile(&f));
   }
 };
 
@@ -400,7 +402,7 @@ TEST_P(ParallelOpaqTest, GuaranteesHoldAcrossClusterShapes) {
   options.config.run_size = 2000;
   options.config.samples_per_run = 100;
   options.merge_method = method;
-  auto result = RunParallelOpaq(cluster, fixture.file_ptrs, options);
+  auto result = RunParallelOpaq(cluster, fixture.sources, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
   ASSERT_EQ(result->estimates.size(), 9u);
@@ -433,7 +435,7 @@ TEST(ParallelOpaqTest2, NonPowerOfTwoWithSampleMerge) {
   options.config.run_size = 1000;
   options.config.samples_per_run = 50;
   options.merge_method = MergeMethod::kSample;
-  auto result = RunParallelOpaq(cluster, fixture.file_ptrs, options);
+  auto result = RunParallelOpaq(cluster, fixture.sources, options);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   GroundTruth<uint64_t> truth(fixture.all_data);
   for (const auto& e : result->estimates) EXPECT_TRUE(BracketHolds(truth, e));
@@ -446,7 +448,7 @@ TEST(ParallelOpaqTest2, MatchesSequentialSampleAccounting) {
   ParallelOpaqOptions options;
   options.config.run_size = 3000;
   options.config.samples_per_run = 100;
-  auto result = RunParallelOpaq(cluster, fixture.file_ptrs, options);
+  auto result = RunParallelOpaq(cluster, fixture.sources, options);
   ASSERT_TRUE(result.ok());
 
   OpaqConfig config = options.config;
@@ -468,7 +470,7 @@ TEST(ParallelOpaqTest2, PhaseTimersPopulated) {
   ParallelOpaqOptions options;
   options.config.run_size = 2000;
   options.config.samples_per_run = 200;
-  auto result = RunParallelOpaq(cluster, fixture.file_ptrs, options);
+  auto result = RunParallelOpaq(cluster, fixture.sources, options);
   ASSERT_TRUE(result.ok());
   PhaseTimer avg = cluster.AveragedTimers();
   EXPECT_GT(avg.TotalSeconds(), 0.0);
@@ -484,7 +486,7 @@ TEST(ParallelOpaqTest2, RejectsWrongFileCount) {
   ParallelOpaqOptions options;
   options.config.run_size = 100;
   options.config.samples_per_run = 10;
-  auto result = RunParallelOpaq(cluster, fixture.file_ptrs, options);
+  auto result = RunParallelOpaq(cluster, fixture.sources, options);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }

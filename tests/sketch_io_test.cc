@@ -250,13 +250,13 @@ TEST(BatchExactTest, RecoversAllDectilesInOnePass) {
   config.run_size = 5000;
   config.samples_per_run = 250;
   OpaqSketch<uint64_t> sketch(config);
-  ASSERT_TRUE(sketch.ConsumeFile(&*file).ok());
+  ASSERT_TRUE(sketch.Consume(FileRunProvider<uint64_t>(&*file)).ok());
   OpaqEstimator<uint64_t> est = sketch.Finalize();
   GroundTruth<uint64_t> truth(data);
 
   auto estimates = est.EquiQuantiles(10);
-  auto exact = ExactQuantilesSecondPass(&*file, estimates,
-                                        config.run_size);
+  auto exact = ExactQuantilesSecondPass(FileRunProvider<uint64_t>(&*file),
+                                        estimates, config.read_options());
   ASSERT_TRUE(exact.ok()) << exact.status().ToString();
   ASSERT_EQ(exact->size(), 9u);
   for (int d = 1; d <= 9; ++d) {
@@ -278,13 +278,15 @@ TEST(BatchExactTest, MatchesSingleQuantileVariant) {
   config.run_size = 2000;
   config.samples_per_run = 100;
   OpaqSketch<uint64_t> sketch(config);
-  ASSERT_TRUE(sketch.ConsumeFile(&*file).ok());
+  ASSERT_TRUE(sketch.Consume(FileRunProvider<uint64_t>(&*file)).ok());
   OpaqEstimator<uint64_t> est = sketch.Finalize();
   auto median = est.Quantile(0.5);
-  auto single = ExactQuantileSecondPass(&*file, median, config.run_size);
+  FileRunProvider<uint64_t> provider(&*file);
+  auto single =
+      ExactQuantileSecondPass(provider, median, config.read_options());
   auto batch = ExactQuantilesSecondPass(
-      &*file, std::vector<QuantileEstimate<uint64_t>>{median},
-      config.run_size);
+      provider, std::vector<QuantileEstimate<uint64_t>>{median},
+      config.read_options());
   ASSERT_TRUE(single.ok());
   ASSERT_TRUE(batch.ok());
   EXPECT_EQ(batch->front(), *single);
@@ -297,8 +299,11 @@ TEST(BatchExactTest, EmptyRequestIsEmptyResult) {
   ASSERT_TRUE(WriteDataset(data, &dev).ok());
   auto file = TypedDataFile<uint64_t>::Open(&dev);
   ASSERT_TRUE(file.ok());
+  ReadOptions small_runs;
+  small_runs.run_size = 10;
   auto exact = ExactQuantilesSecondPass(
-      &*file, std::vector<QuantileEstimate<uint64_t>>{}, 10);
+      FileRunProvider<uint64_t>(&*file),
+      std::vector<QuantileEstimate<uint64_t>>{}, small_runs);
   ASSERT_TRUE(exact.ok());
   EXPECT_TRUE(exact->empty());
 }
@@ -314,11 +319,14 @@ TEST(BatchExactTest, BudgetCoversAllBrackets) {
   config.samples_per_run = 20;
   OpaqEstimator<uint64_t> est = EstimateQuantilesInMemory(data, config);
   auto estimates = est.EquiQuantiles(10);
-  auto exact = ExactQuantilesSecondPass(&*file, estimates, 200,
+  FileRunProvider<uint64_t> provider(&*file);
+  auto exact = ExactQuantilesSecondPass(provider, estimates,
+                                        config.read_options(),
                                         /*budget=*/100);
   EXPECT_FALSE(exact.ok());
   EXPECT_EQ(exact.status().code(), StatusCode::kResourceExhausted);
-  auto ok = ExactQuantilesSecondPass(&*file, estimates, 200,
+  auto ok = ExactQuantilesSecondPass(provider, estimates,
+                                     config.read_options(),
                                      /*budget=*/9 * 2000);
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
   for (uint64_t v : *ok) EXPECT_EQ(v, 5u);

@@ -252,7 +252,7 @@ TEST(StressTest, HeavyAsync64MThrottledCertificates) {
   config.io_mode = IoMode::kAsync;
   config.prefetch_depth = 1 + rng.NextBounded(8);
   OpaqSketch<uint64_t> sketch(config);
-  ASSERT_TRUE(sketch.ConsumeFile(&*file).ok());
+  ASSERT_TRUE(sketch.Consume(FileRunProvider<uint64_t>(&*file)).ok());
   EXPECT_EQ(sketch.elements_consumed(), n);
   EXPECT_EQ(sketch.runs_consumed(), 64u);
   EXPECT_GT(device.modeled_seconds(), 0.0);
