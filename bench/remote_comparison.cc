@@ -1,0 +1,133 @@
+// Table-11-style side-by-side of every storage backend INCLUDING the
+// networked one: the one-pass sample phase over the same logical data on
+// (a) a plain throttled disk, sync and async, (b) a striped throttled
+// array, and (c) a loopback data node serving that same throttled disk
+// through the v1 wire protocol with injectable per-request latency
+// (--net-delay-ms, default 0.2ms — LAN-class RTT).
+//
+// Each cell is "seconds (blocked fraction)". Expected shape: remote sync
+// pays the full RTT per request on the critical path, while remote async —
+// pipelined request-ahead — hides it behind sampling just as async disk
+// I/O hides seeks, converging toward the local async row.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "net/node_server.h"
+#include "opaq/engine.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+struct ModeRun {
+  double seconds = 0;
+  double blocked_fraction = 0;
+};
+
+ModeRun RunMode(const Source<Key>& source, IoMode io_mode,
+                uint64_t run_size, uint64_t samples_per_run) {
+  OpaqConfig config;
+  config.run_size = run_size;
+  config.samples_per_run = samples_per_run;
+  config.io_mode = io_mode;
+  config.prefetch_depth = 2;
+  config.stripes = source.stripes();
+  Engine<Key> engine(config, source);
+  auto session = engine.Build();
+  OPAQ_CHECK_OK(session.status());
+  ModeRun run;
+  run.seconds = engine.stats().seconds;
+  run.blocked_fraction =
+      run.seconds > 0 ? engine.stats().io_stall_seconds / run.seconds : 0;
+  return run;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  auto extra = Flags::Parse(argc, argv);
+  OPAQ_CHECK_OK(extra.status());
+  const double net_delay_ms = extra->GetDouble("net-delay-ms", 0.2);
+  const uint64_t kPaperSizes[] = {500000, 1000000, 2000000, 4000000};
+  const uint64_t kRunSize = 131072;
+  const uint64_t kSamples = 1024;
+
+  TextTable table;
+  table.SetTitle(
+      "Remote vs local backends: sample-phase seconds (blocked-on-I/O "
+      "fraction), throttled disks, loopback node +" +
+      TextTable::Num(net_delay_ms, 2) + "ms/request");
+  std::vector<std::string> head{"Mode"};
+  for (uint64_t size : kPaperSizes) {
+    head.push_back(HumanCount(options.Scaled(size, 1000)));
+  }
+  table.AddHeader(head);
+
+  struct Cell {
+    std::string label;
+    std::vector<std::string> values;
+  };
+  std::vector<Cell> rows = {
+      {"sync", {}},
+      {"async", {}},
+      {"striped x" + std::to_string(options.stripes) + " async", {}},
+      {"remote sync", {}},
+      {"remote async", {}},
+  };
+
+  for (uint64_t paper_size : kPaperSizes) {
+    const uint64_t n = options.Scaled(paper_size, 1000);
+    DatasetSpec spec;
+    spec.n = n;
+    spec.seed = options.seed;
+    spec.distribution = Distribution::kZipf;
+    std::vector<Key> data = GenerateDataset<Key>(spec);
+
+    SimulatedDisk plain = MakeSimulatedDisk(data, /*sleep_mode=*/true);
+    SimulatedStripedDisk striped = MakeSimulatedStripedDisk(
+        data, /*sleep_mode=*/true, options.stripes,
+        kRunSize / static_cast<uint64_t>(options.stripes));
+
+    // The data node serves its OWN throttled disk (so its device time is
+    // charged node-side, as it would be on a real remote machine), plus
+    // the injected per-request network latency.
+    SimulatedDisk node_disk = MakeSimulatedDisk(data, /*sleep_mode=*/true);
+    NodeServerOptions node_options;
+    node_options.response_delay_seconds = net_delay_ms / 1000.0;
+    NodeServer node(node_options);
+    node.Export("data", &node_disk.file);
+    OPAQ_CHECK_OK(node.Start());
+    auto remote = Source<Key>::OpenRemote(node.address() + "/data");
+    OPAQ_CHECK_OK(remote.status());
+
+    const Source<Key> sources[] = {
+        Source<Key>::FromFile(&plain.file),
+        Source<Key>::FromFile(&plain.file),
+        Source<Key>::FromFile(striped.file.get()),
+        *remote,
+        *remote,
+    };
+    const IoMode modes[] = {IoMode::kSync, IoMode::kAsync, IoMode::kAsync,
+                            IoMode::kSync, IoMode::kAsync};
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ModeRun run = RunMode(sources[i], modes[i], kRunSize, kSamples);
+      rows[i].values.push_back(TextTable::Num(run.seconds, 2) + " (" +
+                               TextTable::Num(run.blocked_fraction, 2) + ")");
+    }
+    node.Stop();
+  }
+
+  for (const Cell& row : rows) {
+    std::vector<std::string> out{row.label};
+    out.insert(out.end(), row.values.begin(), row.values.end());
+    table.AddRow(out);
+  }
+  Emit(table, options);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

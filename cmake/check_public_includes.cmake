@@ -1,7 +1,8 @@
 # Header-hygiene check, part 2: the public-facing consumers — every example
-# and the opaq_cli tool — must compile against the include/opaq/ facade
-# ONLY. Any quoted include of an internal src/ layer (core/..., io/...,
-# util/..., ...) fails the build with a pointer at the offending line.
+# and every tool binary (opaq_cli, opaq_noded, ...) — must compile against
+# the include/opaq/ facade ONLY. Any quoted include of an internal src/
+# layer (core/..., io/..., util/..., ...) fails the build with a pointer at
+# the offending line.
 #
 # Run as:  cmake -DREPO_ROOT=<repo> -P cmake/check_public_includes.cmake
 
@@ -11,7 +12,7 @@ endif()
 
 file(GLOB consumers
      ${REPO_ROOT}/examples/*.cpp
-     ${REPO_ROOT}/src/tools/opaq_cli.cc)
+     ${REPO_ROOT}/src/tools/*.cc)
 
 set(violations "")
 foreach(source IN LISTS consumers)
@@ -30,5 +31,6 @@ endforeach()
 if(violations)
   message(FATAL_ERROR
           "public-surface consumers include internal headers:\n${violations}"
-          "Examples and opaq_cli must include only \"opaq/...\" headers.")
+          "Examples and the src/tools binaries must include only "
+          "\"opaq/...\" headers.")
 endif()

@@ -1,0 +1,27 @@
+#ifndef OPAQ_INCLUDE_OPAQ_NET_H_
+#define OPAQ_INCLUDE_OPAQ_NET_H_
+
+/// Public networking surface: the data-node subsystem that serves datasets
+/// over TCP behind the same `RunProvider`/`RunSource` seam every local
+/// backend uses.
+///
+///  - `NodeServer` (net/node_server.h) — export local `TypedDataFile` /
+///    `StripedDataFile` datasets on a port; thread per connection, bounded
+///    reads, error frames instead of crashes. `opaq_noded` is its CLI.
+///  - `RemoteRunProvider<K>` / `RemoteRunSource<K>`
+///    (net/remote_source.h) — the client backend: pipelined request-ahead
+///    run streaming that overlaps network latency with compute exactly as
+///    async disk I/O does. Most users reach it through
+///    `Source<K>::OpenRemote("host:port/dataset")`.
+///  - The v1 wire protocol (net/wire.h): versioned length-prefixed frames,
+///    CRC-protected payloads, sticky error frames. UNAUTHENTICATED — for
+///    trusted/loopback networks only (see README "Distributed mode").
+
+#include "net/client.h"
+#include "net/frame_io.h"
+#include "net/node_server.h"
+#include "net/remote_source.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+#endif  // OPAQ_INCLUDE_OPAQ_NET_H_

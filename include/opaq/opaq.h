@@ -21,6 +21,7 @@
 ///  - opaq/engine.h   — `Engine<K>`: config + sources -> `QuerySession`
 ///  - opaq/query.h    — `QuerySession<K>`: batched certified queries
 ///  - opaq/apps.h     — histograms / partitioners / selectivity on top
+///  - opaq/net.h     — data nodes: serve/consume datasets over TCP
 ///  - opaq/config.h, opaq/status.h, opaq/io.h, opaq/data.h,
 ///    opaq/metrics.h, opaq/util.h — supporting surfaces
 ///  - opaq/parallel.h — the §3 parallel algorithm (not pulled in here)
@@ -40,6 +41,7 @@
 #include "opaq/engine.h"
 #include "opaq/io.h"
 #include "opaq/metrics.h"
+#include "opaq/net.h"
 #include "opaq/query.h"
 #include "opaq/source.h"
 #include "opaq/span.h"

@@ -14,6 +14,7 @@
 #include "io/run_reader.h"
 #include "io/striped_data_file.h"
 #include "io/striped_run_source.h"
+#include "net/remote_source.h"
 #include "util/status.h"
 
 namespace opaq {
@@ -114,6 +115,23 @@ class Source {
         std::make_unique<StripedFileProvider<K>>(owned->striped.get());
     const uint64_t stripes = owned->striped->num_stripes();
     return FromOwned(std::move(owned), stripes);
+  }
+
+  /// Connects to the dataset a remote data node (`opaq_noded` /
+  /// `NodeServer`) serves as "host:port/dataset"; the source owns the
+  /// client backend. Reading streams runs over TCP behind the same
+  /// `RunProvider` seam as every local backend — under `IoMode::kAsync`
+  /// with pipelined request-ahead — so engines, exact passes and parallel
+  /// harnesses consume remote shards unchanged.
+  static Result<Source> OpenRemote(
+      const std::string& spec,
+      const NodeClientOptions& options = NodeClientOptions()) {
+    auto provider = RemoteRunProvider<K>::Connect(spec, options);
+    if (!provider.ok()) return provider.status();
+    auto owned = std::make_shared<OwnedBackend>();
+    owned->provider = std::make_unique<RemoteRunProvider<K>>(
+        std::move(provider).value());
+    return FromOwned(std::move(owned), 1);
   }
 
   /// Logical element count of the dataset.

@@ -1,0 +1,81 @@
+#include "net/client.h"
+
+#include <cstring>
+#include <vector>
+
+namespace opaq {
+
+Result<RemoteSpec> ParseRemoteSpec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const auto slash = spec.find('/', colon == std::string::npos ? 0 : colon);
+  if (colon == std::string::npos || slash == std::string::npos ||
+      colon == 0 || slash < colon + 2 || slash + 1 >= spec.size()) {
+    return Status::InvalidArgument(
+        "bad remote spec '" + spec + "': want host:port/dataset");
+  }
+  RemoteSpec out;
+  out.host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1, slash - colon - 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+    return Status::InvalidArgument(
+        "bad port '" + port_text + "' in remote spec '" + spec + "'");
+  }
+  out.port = static_cast<uint16_t>(port);
+  out.dataset = spec.substr(slash + 1);
+  return out;
+}
+
+Result<NodeClient> NodeClient::Connect(const std::string& host, uint16_t port,
+                                       const NodeClientOptions& options) {
+  auto conn = TcpConnection::Connect(host, port,
+                                     options.receive_timeout_seconds);
+  if (!conn.ok()) return conn.status();
+  return NodeClient(std::move(conn).value());
+}
+
+Status NodeClient::Ping() {
+  OPAQ_RETURN_IF_ERROR(SendFrame(conn_, WireOp::kPing, nullptr, 0));
+  auto pong = ReceiveExpected(conn_, WireOp::kPong);
+  return pong.status();
+}
+
+Result<WireDatasetInfo> NodeClient::OpenDataset(const std::string& name) {
+  OPAQ_RETURN_IF_ERROR(
+      SendFrame(conn_, WireOp::kOpenDataset, name.data(), name.size()));
+  OPAQ_ASSIGN_OR_RETURN(WireFrame frame,
+                        ReceiveExpected(conn_, WireOp::kDatasetInfo));
+  if (frame.payload.size() != sizeof(WireDatasetInfo)) {
+    return Status::IoError("DATASET_INFO payload has the wrong size");
+  }
+  WireDatasetInfo info;
+  std::memcpy(&info, frame.payload.data(), sizeof(info));
+  if (info.element_size == 0 || info.max_read_elements == 0) {
+    return Status::IoError("node sent a nonsensical dataset geometry");
+  }
+  return info;
+}
+
+Status NodeClient::SendReadRange(const std::string& name, uint64_t first,
+                                 uint64_t count) {
+  std::vector<uint8_t> payload(sizeof(WireReadRange) + name.size());
+  WireReadRange range;
+  range.first = first;
+  range.count = count;
+  std::memcpy(payload.data(), &range, sizeof(range));
+  std::memcpy(payload.data() + sizeof(range), name.data(), name.size());
+  return SendFrame(conn_, WireOp::kReadRange, payload.data(), payload.size());
+}
+
+Status NodeClient::ReceiveRange(void* out, size_t expected_bytes) {
+  return ReceiveRangeData(conn_, out, expected_bytes);
+}
+
+Status NodeClient::ReadRange(const std::string& name, uint64_t first,
+                             uint64_t count, void* out, size_t out_bytes) {
+  OPAQ_RETURN_IF_ERROR(SendReadRange(name, first, count));
+  return ReceiveRange(out, out_bytes);
+}
+
+}  // namespace opaq

@@ -1,0 +1,89 @@
+#ifndef OPAQ_NET_CLIENT_H_
+#define OPAQ_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "net/frame_io.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// A parsed "host:port/dataset" remote-dataset spec (the string form
+/// `Source<K>::OpenRemote` and `opaq_cli --remote` take).
+struct RemoteSpec {
+  std::string host;
+  uint16_t port = 0;
+  std::string dataset;
+
+  std::string ToString() const {
+    return host + ":" + std::to_string(port) + "/" + dataset;
+  }
+};
+
+/// Parses "host:port/dataset" (dataset names may contain further '/').
+Result<RemoteSpec> ParseRemoteSpec(const std::string& spec);
+
+/// Client-side connection knobs.
+struct NodeClientOptions {
+  /// SO_RCVTIMEO on the connection: a node that stops responding surfaces
+  /// as IoError after this long instead of hanging the consumer. 0 = wait
+  /// forever.
+  double receive_timeout_seconds = 60;
+};
+
+/// One client connection to a data node: typed request/response (and
+/// pipelined request-ahead) over the v1 wire protocol. Single-owner,
+/// single-thread use — `RemoteRunProvider` dials one per run stream.
+/// `ShutdownNow` is the only cross-thread-safe member (it wakes a blocked
+/// receive when a consumer abandons the stream).
+class NodeClient {
+ public:
+  NodeClient() = default;
+  NodeClient(NodeClient&&) = default;
+  NodeClient& operator=(NodeClient&&) = default;
+
+  static Result<NodeClient> Connect(
+      const std::string& host, uint16_t port,
+      const NodeClientOptions& options = NodeClientOptions());
+
+  /// Liveness round trip.
+  Status Ping();
+
+  /// Fetches the node's description of `name` (geometry + read bound).
+  Result<WireDatasetInfo> OpenDataset(const std::string& name);
+
+  /// Fires a `kReadRange` request WITHOUT waiting for the response — the
+  /// pipelining half. Responses arrive in request order; collect each one
+  /// with `ReceiveRange`.
+  Status SendReadRange(const std::string& name, uint64_t first,
+                       uint64_t count);
+
+  /// Receives the response to the oldest in-flight `SendReadRange`,
+  /// directly into `out` (`expected_bytes` = count * element_size). An
+  /// error frame decodes into the `Status` the node sent.
+  Status ReceiveRange(void* out, size_t expected_bytes);
+
+  /// Blocking convenience: request + response in one call.
+  Status ReadRange(const std::string& name, uint64_t first, uint64_t count,
+                   void* out, size_t out_bytes);
+
+  /// Wakes any blocked transfer on this connection (callable from another
+  /// thread while the client stays alive).
+  void ShutdownNow() { conn_.ShutdownNow(); }
+
+  bool connected() const { return conn_.connected(); }
+  const std::string& peer() const { return conn_.peer(); }
+
+ private:
+  explicit NodeClient(TcpConnection conn) : conn_(std::move(conn)) {}
+
+  TcpConnection conn_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_NET_CLIENT_H_

@@ -1,0 +1,94 @@
+#include "net/frame_io.h"
+
+#include <cstring>
+#include <string>
+
+namespace opaq {
+namespace {
+
+Result<WireFrameHeader> ReceiveHeader(TcpConnection& conn) {
+  WireFrameHeader header;
+  OPAQ_RETURN_IF_ERROR(conn.ReadFull(&header, sizeof(header)));
+  OPAQ_RETURN_IF_ERROR(ValidateFrameHeader(header));
+  return header;
+}
+
+Status ProtocolViolation(const WireFrameHeader& header, WireOp expected) {
+  return Status::IoError(std::string("protocol violation: expected a ") +
+                         WireOpName(static_cast<uint16_t>(expected)) +
+                         " frame, node sent " + WireOpName(header.op));
+}
+
+}  // namespace
+
+Status SendFrame(TcpConnection& conn, WireOp op, const void* payload,
+                 size_t len) {
+  std::vector<uint8_t> frame = EncodeFrame(op, payload, len);
+  return conn.WriteFull(frame.data(), frame.size());
+}
+
+Result<WireFrame> ReceiveFrame(TcpConnection& conn) {
+  OPAQ_ASSIGN_OR_RETURN(WireFrameHeader header, ReceiveHeader(conn));
+  WireFrame frame;
+  frame.op = header.op;
+  frame.payload.resize(header.payload_len);
+  if (header.payload_len != 0) {
+    OPAQ_RETURN_IF_ERROR(
+        conn.ReadFull(frame.payload.data(), frame.payload.size()));
+  }
+  if (Crc32(frame.payload.data(), frame.payload.size()) !=
+      header.payload_crc) {
+    return Status::IoError(std::string("payload CRC mismatch on a ") +
+                           WireOpName(header.op) + " frame from " +
+                           conn.peer());
+  }
+  return frame;
+}
+
+Result<WireFrame> ReceiveExpected(TcpConnection& conn, WireOp expected) {
+  OPAQ_ASSIGN_OR_RETURN(WireFrame frame, ReceiveFrame(conn));
+  if (frame.op == static_cast<uint16_t>(WireOp::kError)) {
+    return DecodeErrorPayload(frame.payload.data(), frame.payload.size());
+  }
+  if (frame.op != static_cast<uint16_t>(expected)) {
+    WireFrameHeader header;
+    header.op = frame.op;
+    return ProtocolViolation(header, expected);
+  }
+  return frame;
+}
+
+Status ReceiveRangeData(TcpConnection& conn, void* out,
+                        size_t expected_bytes) {
+  OPAQ_ASSIGN_OR_RETURN(WireFrameHeader header, ReceiveHeader(conn));
+  if (header.op == static_cast<uint16_t>(WireOp::kError)) {
+    std::vector<uint8_t> payload(header.payload_len);
+    if (!payload.empty()) {
+      OPAQ_RETURN_IF_ERROR(conn.ReadFull(payload.data(), payload.size()));
+    }
+    if (Crc32(payload.data(), payload.size()) != header.payload_crc) {
+      return Status::IoError("payload CRC mismatch on an ERROR frame from " +
+                             conn.peer());
+    }
+    return DecodeErrorPayload(payload.data(), payload.size());
+  }
+  if (header.op != static_cast<uint16_t>(WireOp::kRangeData)) {
+    return ProtocolViolation(header, WireOp::kRangeData);
+  }
+  if (header.payload_len != expected_bytes) {
+    return Status::IoError(
+        "RANGE_DATA length mismatch: requested " +
+        std::to_string(expected_bytes) + " bytes, node sent " +
+        std::to_string(header.payload_len));
+  }
+  if (expected_bytes != 0) {
+    OPAQ_RETURN_IF_ERROR(conn.ReadFull(out, expected_bytes));
+  }
+  if (Crc32(out, expected_bytes) != header.payload_crc) {
+    return Status::IoError("payload CRC mismatch on a RANGE_DATA frame from " +
+                           conn.peer());
+  }
+  return Status::OK();
+}
+
+}  // namespace opaq

@@ -1,0 +1,36 @@
+#ifndef OPAQ_NET_FRAME_IO_H_
+#define OPAQ_NET_FRAME_IO_H_
+
+#include <cstddef>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// Frame transfer over a `TcpConnection` — the thin layer both the node
+/// server and the client share. Every receive path validates the header and
+/// checks the payload CRC before the caller sees a byte, so truncation and
+/// corruption surface as IoError exactly at the frame boundary.
+
+/// Sends one frame (header + payload) atomically from the caller's view.
+Status SendFrame(TcpConnection& conn, WireOp op, const void* payload,
+                 size_t len);
+
+/// Receives the next frame, whatever its op (bounded by `kMaxWirePayload`).
+Result<WireFrame> ReceiveFrame(TcpConnection& conn);
+
+/// Receives the next frame and demands op `expected`, decoding a `kError`
+/// frame into the `Status` it carries (the node's sticky-error channel) and
+/// rejecting any other op as a protocol violation.
+Result<WireFrame> ReceiveExpected(TcpConnection& conn, WireOp expected);
+
+/// Zero-copy receive of a `kRangeData` frame directly into `out` (exactly
+/// `expected_bytes` long). A `kError` frame decodes into its carried
+/// `Status`; a length mismatch or any other op is a protocol violation.
+Status ReceiveRangeData(TcpConnection& conn, void* out, size_t expected_bytes);
+
+}  // namespace opaq
+
+#endif  // OPAQ_NET_FRAME_IO_H_

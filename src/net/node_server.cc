@@ -1,0 +1,271 @@
+#include "net/node_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "net/frame_io.h"
+
+namespace opaq {
+namespace {
+
+/// Answers a request with the error frame carrying `status`. Returns
+/// whether the connection is still usable (i.e. the send itself worked).
+bool SendError(TcpConnection* conn, const Status& status) {
+  std::vector<uint8_t> frame = EncodeErrorFrame(status);
+  return conn->WriteFull(frame.data(), frame.size()).ok();
+}
+
+}  // namespace
+
+NodeServer::NodeServer(NodeServerOptions options)
+    : options_(std::move(options)) {}
+
+NodeServer::~NodeServer() { Stop(); }
+
+void NodeServer::Export(const std::string& name, ExportedDataset dataset) {
+  OPAQ_CHECK(!started_) << "Export after Start: the export map is frozen "
+                           "once connection threads may read it";
+  OPAQ_CHECK(!name.empty()) << "exported dataset needs a name";
+  OPAQ_CHECK(dataset.read != nullptr);
+  OPAQ_CHECK_GT(dataset.element_size, 0u);
+  exports_[name] = std::move(dataset);
+}
+
+void NodeServer::Export(const std::string& name, const DataFile* file) {
+  OPAQ_CHECK(file != nullptr);
+  ExportedDataset dataset;
+  dataset.key_type = static_cast<uint32_t>(file->key_type());
+  dataset.element_size = file->element_size();
+  dataset.element_count = file->element_count();
+  dataset.read = [file](uint64_t first, uint64_t count, void* out) {
+    return file->ReadElements(first, count, out);
+  };
+  Export(name, std::move(dataset));
+}
+
+Status NodeServer::Start() {
+  OPAQ_CHECK(!started_) << "NodeServer::Start called twice";
+  if (exports_.empty()) {
+    return Status::FailedPrecondition(
+        "a data node with nothing exported serves no purpose; call Export "
+        "before Start");
+  }
+  if (options_.max_read_bytes == 0) {
+    return Status::InvalidArgument("max_read_bytes must be positive");
+  }
+  if (options_.max_read_bytes > kMaxWirePayload) {
+    return Status::InvalidArgument(
+        "max_read_bytes of " + std::to_string(options_.max_read_bytes) +
+        " exceeds the wire protocol's frame payload cap (" +
+        std::to_string(kMaxWirePayload) + "); responses could not be framed");
+  }
+  auto listener = TcpListener::Bind(options_.bind_address, options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void NodeServer::Stop() {
+  if (!started_) return;
+  if (!stopping_.exchange(true)) {
+    listener_.ShutdownNow();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  // The accept loop is down, so connections_ gains no new entries; shake
+  // every handler out of its blocking read, then join.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) connection->conn.ShutdownNow();
+  }
+  for (;;) {
+    std::unique_ptr<Connection> connection;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connections_.empty()) break;
+      connection = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+std::string NodeServer::address() const {
+  return options_.bind_address + ":" + std::to_string(port_);
+}
+
+void NodeServer::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void NodeServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    ReapFinishedConnections();
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // Transient accept failure (fd pressure, aborted handshake): keep
+      // serving, but do not spin hot.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_unique<Connection>();
+    connection->conn = std::move(accepted).value();
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] {
+      Serve(&raw->conn);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void NodeServer::Serve(TcpConnection* conn) {
+  for (;;) {
+    WireFrameHeader header;
+    if (!conn->ReadFull(&header, sizeof(header)).ok()) {
+      return;  // peer went away (or Stop shut us down): normal end of stream
+    }
+    Status valid = ValidateFrameHeader(header);
+    if (!valid.ok()) {
+      // The stream cannot be trusted past a malformed header (we may be
+      // mid-garbage); answer once and hang up.
+      SendError(conn, valid);
+      conn->ShutdownNow();
+      return;
+    }
+    WireFrame frame;
+    frame.op = header.op;
+    frame.payload.resize(header.payload_len);
+    if (header.payload_len != 0 &&
+        !conn->ReadFull(frame.payload.data(), frame.payload.size()).ok()) {
+      return;  // truncated mid-frame: nothing sane left to answer
+    }
+    if (Crc32(frame.payload.data(), frame.payload.size()) !=
+        header.payload_crc) {
+      SendError(conn, Status::IoError(
+                          std::string("payload CRC mismatch on a ") +
+                          WireOpName(header.op) + " request"));
+      conn->ShutdownNow();
+      return;
+    }
+    if (!HandleFrame(conn, frame)) {
+      conn->ShutdownNow();
+      return;
+    }
+  }
+}
+
+bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.response_delay_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options_.response_delay_seconds));
+  }
+  switch (static_cast<WireOp>(frame.op)) {
+    case WireOp::kPing:
+      return SendFrame(*conn, WireOp::kPong, nullptr, 0).ok();
+
+    case WireOp::kOpenDataset: {
+      const std::string name(frame.payload.begin(), frame.payload.end());
+      auto it = exports_.find(name);
+      if (it == exports_.end()) {
+        // Recoverable: a client probing names keeps its connection.
+        return SendError(conn, Status::NotFound(
+                                   "node exports no dataset named '" + name +
+                                   "'"));
+      }
+      const ExportedDataset& dataset = it->second;
+      WireDatasetInfo info;
+      info.key_type = dataset.key_type;
+      info.element_size = dataset.element_size;
+      info.element_count = dataset.element_count;
+      info.max_read_elements =
+          std::max<uint64_t>(1, options_.max_read_bytes / dataset.element_size);
+      return SendFrame(*conn, WireOp::kDatasetInfo, &info, sizeof(info)).ok();
+    }
+
+    case WireOp::kReadRange: {
+      if (frame.payload.size() < sizeof(WireReadRange)) {
+        SendError(conn, Status::IoError("READ_RANGE payload shorter than its "
+                                        "fixed prefix"));
+        return false;  // framing is off; close
+      }
+      WireReadRange range;
+      std::memcpy(&range, frame.payload.data(), sizeof(range));
+      const std::string name(frame.payload.begin() + sizeof(range),
+                             frame.payload.end());
+      auto it = exports_.find(name);
+      if (it == exports_.end()) {
+        return SendError(conn, Status::NotFound(
+                                   "node exports no dataset named '" + name +
+                                   "'"));
+      }
+      const ExportedDataset& dataset = it->second;
+      if (range.count == 0) {
+        return SendError(conn, Status::InvalidArgument(
+                                   "READ_RANGE of zero elements"));
+      }
+      // Enforce exactly the bound OpenDataset advertised (so a client
+      // slicing at max_read_elements is never rejected), plus the frame
+      // cap for exotic element sizes.
+      const uint64_t max_elements = std::max<uint64_t>(
+          1, options_.max_read_bytes / dataset.element_size);
+      if (range.count > max_elements ||
+          range.count > kMaxWirePayload / dataset.element_size) {
+        return SendError(
+            conn, Status::InvalidArgument(
+                      "READ_RANGE of " + std::to_string(range.count) +
+                      " elements exceeds this node's per-request bound of " +
+                      std::to_string(max_elements) + " elements"));
+      }
+      if (range.first > dataset.element_count ||
+          range.count > dataset.element_count - range.first) {
+        return SendError(
+            conn, Status::OutOfRange(
+                      "READ_RANGE [" + std::to_string(range.first) + ", +" +
+                      std::to_string(range.count) + ") passes the end (" +
+                      std::to_string(dataset.element_count) + " elements)"));
+      }
+      std::vector<uint8_t> data(range.count * dataset.element_size);
+      Status read = dataset.read(range.first, range.count, data.data());
+      if (!read.ok()) {
+        // The disk under the dataset failed; the connection itself is fine.
+        return SendError(conn, read);
+      }
+      return SendFrame(*conn, WireOp::kRangeData, data.data(), data.size())
+          .ok();
+    }
+
+    default:
+      SendError(conn, Status::Unimplemented(
+                          std::string("node does not speak op ") +
+                          WireOpName(frame.op) + " (" +
+                          std::to_string(frame.op) + ")"));
+      return false;  // unknown op: assume version skew and close
+  }
+}
+
+}  // namespace opaq

@@ -1,0 +1,172 @@
+#ifndef OPAQ_NET_NODE_SERVER_H_
+#define OPAQ_NET_NODE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "io/data_file.h"
+#include "io/striped_data_file.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// One dataset a node exports, type-erased: the server only needs the
+/// geometry plus a bounds-checked element reader — it never interprets the
+/// elements, so a single node can serve any key type (and any storage
+/// layout: plain files, striped arrays, custom devices) uniformly.
+struct ExportedDataset {
+  uint32_t key_type = 0;
+  uint32_t element_size = 0;
+  uint64_t element_count = 0;
+  /// Reads `count` elements starting at `first` into `out` (already
+  /// bounds-checked by the server against `element_count`).
+  std::function<Status(uint64_t first, uint64_t count, void* out)> read;
+  /// Optional ownership hook: keeps backing objects (devices, files) alive
+  /// for exports the caller does not keep alive itself (`opaq_noded` uses
+  /// this; the borrow-style `Export` overloads leave it empty).
+  std::shared_ptr<void> owner;
+};
+
+struct NodeServerOptions {
+  /// IPv4 literal to bind. The protocol is unauthenticated, so the default
+  /// stays on loopback; bind 0.0.0.0 only on trusted networks.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = pick an ephemeral port (see `port()` after `Start`).
+  uint16_t port = 0;
+  /// Per-request read bound: a `kReadRange` may ask for at most this many
+  /// bytes of elements (at least one element is always readable, so tiny
+  /// bounds degrade throughput, never availability). Bounds both the
+  /// node's buffer and the client's pipelining grain (disclosed as
+  /// `WireDatasetInfo::max_read_elements`). Must not exceed
+  /// `kMaxWirePayload` — `Start` rejects configs whose responses could
+  /// not be framed.
+  uint64_t max_read_bytes = 4u << 20;
+  /// Artificial delay before every response frame — the latency-injectable
+  /// loopback transport the remote-vs-local benches are built on. 0 = off.
+  double response_delay_seconds = 0;
+};
+
+/// `opaq_noded`'s engine: serves exported datasets over the v1 wire
+/// protocol with one thread per connection (the paper's workload is few
+/// long sequential streams per node, not thousands of short ones).
+///
+/// Lifecycle: construct, `Export` every dataset, `Start()`, eventually
+/// `Stop()` (idempotent; the destructor calls it). Exports are frozen at
+/// `Start` — the map is read concurrently by connection threads without
+/// locking afterwards. Per-request failures (unknown dataset, out-of-range
+/// or oversized reads, a dying disk) answer with an error frame and keep
+/// the connection open; protocol violations (bad magic/version/CRC) answer
+/// with an error frame and close, since the byte stream can no longer be
+/// trusted.
+class NodeServer {
+ public:
+  explicit NodeServer(NodeServerOptions options = NodeServerOptions());
+  ~NodeServer();
+
+  NodeServer(const NodeServer&) = delete;
+  NodeServer& operator=(const NodeServer&) = delete;
+
+  /// Registers `dataset` under `name` (before `Start` only).
+  void Export(const std::string& name, ExportedDataset dataset);
+
+  /// Exports a typed plain data file, borrowed (caller keeps it alive).
+  template <typename K>
+  void Export(const std::string& name, const TypedDataFile<K>* file) {
+    OPAQ_CHECK(file != nullptr);
+    ExportedDataset dataset;
+    dataset.key_type = static_cast<uint32_t>(KeyTraits<K>::kType);
+    dataset.element_size = sizeof(K);
+    dataset.element_count = file->size();
+    dataset.read = [file](uint64_t first, uint64_t count, void* out) {
+      return file->Read(first, count, static_cast<K*>(out));
+    };
+    Export(name, std::move(dataset));
+  }
+
+  /// Exports a striped multi-disk data file, borrowed. The node gathers
+  /// across stripes locally and serves one flat logical element space — a
+  /// client cannot tell (and need not care) how a node lays its data out.
+  template <typename K>
+  void Export(const std::string& name, const StripedDataFile<K>* file) {
+    OPAQ_CHECK(file != nullptr);
+    ExportedDataset dataset;
+    dataset.key_type = static_cast<uint32_t>(KeyTraits<K>::kType);
+    dataset.element_size = sizeof(K);
+    dataset.element_count = file->size();
+    dataset.read = [file](uint64_t first, uint64_t count, void* out) {
+      return file->Read(first, count, static_cast<K*>(out));
+    };
+    Export(name, std::move(dataset));
+  }
+
+  /// Exports an untyped data file, borrowed (what `opaq_noded` uses for
+  /// plain files: any key type without template dispatch).
+  void Export(const std::string& name, const DataFile* file);
+
+  /// Binds, listens, and spawns the accept loop. Fails (without aborting)
+  /// on an unusable address/port or an empty export map.
+  Status Start();
+
+  /// Shuts the listener and every live connection down and joins all
+  /// threads. Safe to call more than once, and from any thread but a
+  /// connection handler.
+  void Stop();
+
+  /// The bound port (real one when options asked for 0). Valid after Start.
+  uint16_t port() const { return port_; }
+  /// "bind_address:port" — prepend to "/dataset" for `Source::OpenRemote`.
+  std::string address() const;
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    TcpConnection conn;
+    std::thread thread;
+    /// Set by the handler thread on exit; the accept loop reaps done
+    /// entries so a long-running node's fd/thread footprint tracks LIVE
+    /// connections, not historical ones.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  /// Joins and discards every finished connection (never blocks on a live
+  /// one).
+  void ReapFinishedConnections();
+  void Serve(TcpConnection* conn);
+  /// Handles one request frame; returns false when the connection must
+  /// close (protocol violation or transport failure).
+  bool HandleFrame(TcpConnection* conn, const WireFrame& frame);
+
+  NodeServerOptions options_;
+  std::map<std::string, ExportedDataset> exports_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_served_{0};
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_NET_NODE_SERVER_H_

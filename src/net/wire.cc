@@ -1,0 +1,135 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace opaq {
+namespace {
+
+/// Builds the reflected CRC-32 table once (thread-safe static init).
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  static const Crc32Table table;
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+const char* WireOpName(uint16_t op) {
+  switch (static_cast<WireOp>(op)) {
+    case WireOp::kPing: return "PING";
+    case WireOp::kPong: return "PONG";
+    case WireOp::kOpenDataset: return "OPEN_DATASET";
+    case WireOp::kDatasetInfo: return "DATASET_INFO";
+    case WireOp::kReadRange: return "READ_RANGE";
+    case WireOp::kRangeData: return "RANGE_DATA";
+    case WireOp::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> EncodeFrame(WireOp op, const void* payload, size_t len) {
+  OPAQ_CHECK_LE(len, static_cast<size_t>(kMaxWirePayload));
+  WireFrameHeader header;
+  header.op = static_cast<uint16_t>(op);
+  header.payload_len = static_cast<uint32_t>(len);
+  header.payload_crc = Crc32(payload, len);
+  std::vector<uint8_t> out(sizeof(header) + len);
+  std::memcpy(out.data(), &header, sizeof(header));
+  if (len != 0) std::memcpy(out.data() + sizeof(header), payload, len);
+  return out;
+}
+
+std::vector<uint8_t> EncodeFrame(WireOp op,
+                                 const std::vector<uint8_t>& payload) {
+  return EncodeFrame(op, payload.data(), payload.size());
+}
+
+std::vector<uint8_t> EncodeErrorFrame(const Status& status) {
+  std::vector<uint8_t> payload(sizeof(uint32_t) + status.message().size());
+  const uint32_t code = static_cast<uint32_t>(status.code());
+  std::memcpy(payload.data(), &code, sizeof(code));
+  std::memcpy(payload.data() + sizeof(code), status.message().data(),
+              status.message().size());
+  return EncodeFrame(WireOp::kError, payload);
+}
+
+Status DecodeErrorPayload(const uint8_t* payload, size_t len) {
+  if (len < sizeof(uint32_t)) {
+    return Status::IoError("error frame payload shorter than a status code");
+  }
+  uint32_t code = 0;
+  std::memcpy(&code, payload, sizeof(code));
+  if (code == static_cast<uint32_t>(StatusCode::kOk) ||
+      code > static_cast<uint32_t>(StatusCode::kUnimplemented)) {
+    return Status::IoError("error frame carries an invalid status code " +
+                           std::to_string(code));
+  }
+  std::string message(reinterpret_cast<const char*>(payload) + sizeof(code),
+                      len - sizeof(code));
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+Status ValidateFrameHeader(const WireFrameHeader& header) {
+  if (header.magic != WireFrameHeader::kMagic) {
+    return Status::IoError("bad frame magic: not OPAQ node traffic");
+  }
+  if (header.version != kWireVersion) {
+    return Status::IoError("unsupported wire protocol version " +
+                           std::to_string(header.version) + " (this build speaks " +
+                           std::to_string(kWireVersion) + ")");
+  }
+  if (header.payload_len > kMaxWirePayload) {
+    return Status::IoError("frame payload of " +
+                           std::to_string(header.payload_len) +
+                           " bytes exceeds the protocol cap");
+  }
+  return Status::OK();
+}
+
+Result<WireFrame> DecodeFrame(const uint8_t* data, size_t size,
+                              size_t* consumed) {
+  if (size < sizeof(WireFrameHeader)) {
+    return Status::IoError("truncated frame: " + std::to_string(size) +
+                           " bytes is shorter than a frame header");
+  }
+  WireFrameHeader header;
+  std::memcpy(&header, data, sizeof(header));
+  OPAQ_RETURN_IF_ERROR(ValidateFrameHeader(header));
+  if (size - sizeof(header) < header.payload_len) {
+    return Status::IoError(
+        "truncated frame: header promises " +
+        std::to_string(header.payload_len) + " payload bytes, only " +
+        std::to_string(size - sizeof(header)) + " present");
+  }
+  const uint8_t* payload = data + sizeof(header);
+  if (Crc32(payload, header.payload_len) != header.payload_crc) {
+    return Status::IoError(std::string("payload CRC mismatch on a ") +
+                           WireOpName(header.op) + " frame");
+  }
+  WireFrame frame;
+  frame.op = header.op;
+  frame.payload.assign(payload, payload + header.payload_len);
+  if (consumed != nullptr) {
+    *consumed = sizeof(header) + header.payload_len;
+  }
+  return frame;
+}
+
+}  // namespace opaq

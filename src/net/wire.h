@@ -1,0 +1,131 @@
+#ifndef OPAQ_NET_WIRE_H_
+#define OPAQ_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace opaq {
+
+/// OPAQ data-node wire protocol, version 1.
+///
+/// Every message is one length-prefixed frame: a fixed 16-byte header
+/// followed by `payload_len` payload bytes. The header carries a magic, the
+/// protocol version, the operation code, and a CRC-32 (IEEE) of the payload,
+/// so a receiver can reject foreign traffic, version skew, truncation and
+/// corruption before interpreting a single payload byte. Multi-byte fields
+/// are little-endian on the wire (the repo's on-disk headers share this
+/// convention); the frame layout is pinned by a committed golden byte
+/// stream (`tests/golden/wire_v1.bin`).
+///
+/// The protocol is a strict request/response alternation per frame, but
+/// clients may PIPELINE requests: send k `kReadRange` frames back to back,
+/// then consume the k responses in order. The server answers frames in
+/// arrival order on each connection, which is what makes pipelining safe
+/// and what `RemoteRunSource` exploits to overlap network latency with
+/// compute.
+///
+/// Security caveat: v1 is UNAUTHENTICATED and unencrypted — a data node
+/// trusts every peer that can reach its port. Deploy on trusted/loopback
+/// networks only (see README "Distributed mode").
+struct WireFrameHeader {
+  static constexpr uint32_t kMagic = 0x4e51504f;  // "OPQN" little-endian
+  uint32_t magic = kMagic;
+  uint16_t version = 1;
+  uint16_t op = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;  // CRC-32 (IEEE 802.3) of the payload bytes
+};
+static_assert(sizeof(WireFrameHeader) == 16);
+static_assert(std::is_trivially_copyable_v<WireFrameHeader>);
+
+/// The wire protocol version this build speaks.
+inline constexpr uint16_t kWireVersion = 1;
+
+/// Hard cap on a frame payload: protects both sides from allocation bombs
+/// when a corrupted or hostile header claims an absurd length. The server's
+/// per-request read bound (`NodeServerOptions::max_read_bytes`) is far
+/// below this.
+inline constexpr uint32_t kMaxWirePayload = 64u << 20;
+
+/// Operation codes of protocol v1. Requests flow client -> node, responses
+/// node -> client. `kError` may answer any request; its payload carries a
+/// `Status` the client latches as a sticky stream error.
+enum class WireOp : uint16_t {
+  kPing = 1,         // -> empty; liveness probe
+  kPong = 2,         // <- empty
+  kOpenDataset = 3,  // -> payload: dataset name (raw bytes)
+  kDatasetInfo = 4,  // <- payload: WireDatasetInfo
+  kReadRange = 5,    // -> payload: WireReadRange + dataset name bytes
+  kRangeData = 6,    // <- payload: count * element_size raw element bytes
+  kError = 7,        // <- payload: u32 StatusCode + message bytes
+};
+
+/// Stable short name for an op ("PING", "READ_RANGE", ...); "?" when
+/// unknown.
+const char* WireOpName(uint16_t op);
+
+/// `kDatasetInfo` payload: what a node discloses about one exported
+/// dataset. `max_read_elements` is the node's per-request read bound for
+/// this dataset — clients must split larger ranges into that many elements
+/// per `kReadRange` (which is also the natural pipelining grain).
+struct WireDatasetInfo {
+  uint32_t key_type = 0;      // KeyType tag, matches data-file headers
+  uint32_t element_size = 0;  // bytes per element
+  uint64_t element_count = 0;
+  uint64_t max_read_elements = 0;
+};
+static_assert(sizeof(WireDatasetInfo) == 24);
+static_assert(std::is_trivially_copyable_v<WireDatasetInfo>);
+
+/// Fixed prefix of a `kReadRange` payload; the dataset name (raw bytes)
+/// follows so the protocol stays stateless per request.
+struct WireReadRange {
+  uint64_t first = 0;
+  uint64_t count = 0;
+};
+static_assert(sizeof(WireReadRange) == 16);
+static_assert(std::is_trivially_copyable_v<WireReadRange>);
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of `len` bytes.
+/// The classic check value: Crc32("123456789", 9) == 0xCBF43926.
+uint32_t Crc32(const void* data, size_t len);
+
+/// One decoded frame.
+struct WireFrame {
+  uint16_t op = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Encodes a frame (header + payload copy) ready to put on the wire.
+std::vector<uint8_t> EncodeFrame(WireOp op, const void* payload, size_t len);
+std::vector<uint8_t> EncodeFrame(WireOp op,
+                                 const std::vector<uint8_t>& payload);
+
+/// Encodes the `kError` frame carrying `status`.
+std::vector<uint8_t> EncodeErrorFrame(const Status& status);
+
+/// Decodes the `kError` payload back into the `Status` it carries; a
+/// malformed payload decodes to an IoError describing the malformation.
+/// Never returns OK (error frames carry errors by construction).
+Status DecodeErrorPayload(const uint8_t* payload, size_t len);
+
+/// Validates a received header: magic, version, and payload-length cap.
+/// (Op codes are NOT validated here — an unknown op is a dispatch-level
+/// error so that the receiver can answer it with a clean error frame.)
+Status ValidateFrameHeader(const WireFrameHeader& header);
+
+/// Decodes one frame off the front of `data` (header validation + CRC
+/// check). On success stores the frame and sets `*consumed` to the bytes
+/// eaten; fails with IoError on truncation, corruption, or a foreign/
+/// incompatible header.
+Result<WireFrame> DecodeFrame(const uint8_t* data, size_t size,
+                              size_t* consumed);
+
+}  // namespace opaq
+
+#endif  // OPAQ_NET_WIRE_H_

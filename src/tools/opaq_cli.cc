@@ -19,7 +19,10 @@
 // Datasets may live on one file or striped round-robin across several
 // disks: pass `--stripes=D` (derives `PATH.s0..s{D-1}`) or explicit
 // `--stripe-paths=/disk0/d.opaq,/disk1/d.opaq` to generate/sketch/exact,
-// and the striped backend reads all stripes concurrently.
+// and the striped backend reads all stripes concurrently. Or they live on
+// remote `opaq_noded` data nodes: `sketch`/`exact` take
+// `--remote=host:port/ds[,host2:port2/ds2,...]` instead of `--data`, with
+// several specs forming one multi-shard Engine run (one shard per node).
 //
 // Every subcommand's flags live in ONE table (kCommands below) that drives
 // flag lookup defaults, unknown-flag rejection, and the generated --help
@@ -90,6 +93,16 @@ std::vector<FlagSpec> StripeFlags() {
   };
 }
 
+/// Remote-backend flag shared by the scanning commands: datasets served by
+/// `opaq_noded` data nodes instead of local files.
+std::vector<FlagSpec> RemoteFlags() {
+  return {
+      {"remote", "", "remote data-node shards",
+       "comma-separated host:port/dataset specs (replaces --data; several "
+       "specs = one Engine shard per node)"},
+  };
+}
+
 /// I/O-mode flags shared by the scanning commands (sketch, exact).
 std::vector<FlagSpec> IoFlags() {
   return {
@@ -131,7 +144,8 @@ const std::vector<CommandSpec>& Commands() {
        nullptr,
        Concat(
            {
-               {"data", "", "input data file", "dataset to sketch", true},
+               {"data", "", "input data file",
+                "dataset to sketch (or --remote)"},
                {"out", "", "output sketch file",
                 "where to persist the sorted sample list", true},
                {"samples", "1024", "OpaqConfig::samples_per_run",
@@ -139,7 +153,7 @@ const std::vector<CommandSpec>& Commands() {
                {"select", "intro", "OpaqConfig::select_algorithm",
                 "intro | fr | mom | std (selection algorithm)"},
            },
-           Concat(IoFlags(), StripeFlags())),
+           Concat(RemoteFlags(), Concat(IoFlags(), StripeFlags()))),
        CmdSketch},
       {"quantile",
        "certified quantile brackets from a sketch (no data access)",
@@ -157,8 +171,8 @@ const std::vector<CommandSpec>& Commands() {
        nullptr,
        Concat(
            {
-               {"data", "", "input data file", "dataset the sketch came from",
-                true},
+               {"data", "", "input data file",
+                "dataset the sketch came from (or --remote)"},
                {"sketch", "", "input sketch file", "sketch to query", true},
                {"phi", "", "quantile fractions",
                 "comma-separated phi list in (0, 1]"},
@@ -168,7 +182,7 @@ const std::vector<CommandSpec>& Commands() {
                 "max bracket elements held in memory "
                 "(0 = 4*q*max_rank_error; raise for duplicate-heavy data)"},
            },
-           Concat(IoFlags(), StripeFlags())),
+           Concat(RemoteFlags(), Concat(IoFlags(), StripeFlags()))),
        CmdExact},
       {"rank",
        "certified rank bracket of an arbitrary value (no data access)",
@@ -307,7 +321,9 @@ int Usage(std::ostream& os = std::cerr, int code = 2) {
   }
   os << "\nrun `opaq <command> --help` for that command's flag table.\n"
      << "striping: --stripes=D spreads/reads PATH.s0..PATH.s{D-1};\n"
-     << "--stripe-paths lists the per-disk stripe files explicitly.\n";
+     << "--stripe-paths lists the per-disk stripe files explicitly.\n"
+     << "remote: sketch/exact read opaq_noded data nodes via\n"
+     << "--remote=host:port/dataset[,...] instead of --data.\n";
   return code;
 }
 
@@ -389,18 +405,55 @@ Result<std::vector<std::string>> StripePaths(const CommandFlags& flags,
   return paths;
 }
 
-/// Opens --data on whichever storage backend the striping flags name, as
-/// one self-contained `Source` (this is what replaced the CLI's old
-/// device/file/provider juggling).
-Result<Source<Key>> OpenDataSource(const CommandFlags& flags) {
+/// Opens the dataset(s) the scanning flags name — local (--data, plain or
+/// striped per the striping flags) or served by data nodes (--remote, one
+/// Engine shard per comma-separated host:port/dataset spec) — as
+/// self-contained `Source` shards.
+Result<std::vector<Source<Key>>> OpenDataSources(const CommandFlags& flags) {
+  const bool remote = flags.Has("remote");
   const std::string path = flags.GetString("data");
+  if (remote && !path.empty()) {
+    return Status::InvalidArgument(
+        "--data and --remote are mutually exclusive; the dataset lives "
+        "either on local files or on data nodes");
+  }
+  if (remote && (flags.Has("stripes") || flags.Has("stripe-paths"))) {
+    return Status::InvalidArgument(
+        "striping flags describe local --data layouts; a remote dataset's "
+        "layout (plain or striped) is the serving node's concern");
+  }
+  std::vector<Source<Key>> sources;
+  if (remote) {
+    std::stringstream ss(flags.GetString("remote"));
+    std::string spec;
+    while (std::getline(ss, spec, ',')) {
+      if (spec.empty()) {
+        return Status::InvalidArgument("empty entry in --remote");
+      }
+      auto source = Source<Key>::OpenRemote(spec);
+      if (!source.ok()) {
+        return Status(source.status().code(),
+                      spec + ": " + source.status().message());
+      }
+      sources.push_back(std::move(source).value());
+    }
+    if (sources.empty()) {
+      return Status::InvalidArgument("--remote names no data nodes");
+    }
+    return sources;
+  }
   auto paths = StripePaths(flags, path);
   if (!paths.ok()) return paths.status();
-  if (!paths->empty()) return Source<Key>::OpenStriped(*paths);
-  if (path.empty()) {
-    return Status::InvalidArgument("missing a required file path flag");
-  }
-  return Source<Key>::Open(path);
+  auto source = paths->empty()
+                    ? (path.empty()
+                           ? Result<Source<Key>>(Status::InvalidArgument(
+                                 "need --data (a local dataset) or --remote "
+                                 "(data-node shards)"))
+                           : Source<Key>::Open(path))
+                    : Source<Key>::OpenStriped(*paths);
+  if (!source.ok()) return source.status();
+  sources.push_back(std::move(source).value());
+  return sources;
 }
 
 Result<SampleList<Key>> LoadSketch(const CommandFlags& flags) {
@@ -467,7 +520,7 @@ int CmdGenerate(const CommandFlags& flags) {
 
 /// Builds the OpaqConfig the scanning commands share (sketch, exact).
 Result<OpaqConfig> ScanConfig(const CommandFlags& flags,
-                              const Source<Key>& source) {
+                              const std::vector<Source<Key>>& sources) {
   OpaqConfig config;
   config.run_size = static_cast<uint64_t>(flags.GetInt("run-size"));
   auto parsed_mode = ParseIoMode(flags.GetString("io-mode"));
@@ -475,14 +528,16 @@ Result<OpaqConfig> ScanConfig(const CommandFlags& flags,
   config.io_mode = *parsed_mode;
   config.prefetch_depth =
       static_cast<uint64_t>(flags.GetInt("prefetch-depth"));
-  config.stripes = source.stripes();
+  for (const Source<Key>& source : sources) {
+    config.stripes = std::max<uint64_t>(config.stripes, source.stripes());
+  }
   return config;
 }
 
 int CmdSketch(const CommandFlags& flags) {
-  auto source = OpenDataSource(flags);
-  if (!source.ok()) return Fail(source.status());
-  auto config = ScanConfig(flags, *source);
+  auto sources = OpenDataSources(flags);
+  if (!sources.ok()) return Fail(sources.status());
+  auto config = ScanConfig(flags, *sources);
   if (!config.ok()) return Fail(config.status());
   config->samples_per_run = static_cast<uint64_t>(flags.GetInt("samples"));
   const std::string select = flags.GetString("select");
@@ -499,7 +554,7 @@ int CmdSketch(const CommandFlags& flags) {
   }
 
   WallTimer timer;
-  Engine<Key> engine(*config, *source);
+  Engine<Key> engine(*config, *sources);
   auto session = engine.Build();
   if (!session.ok()) return Fail(session.status());
   const SampleList<Key>& list = session->sample_list();
@@ -518,6 +573,10 @@ int CmdSketch(const CommandFlags& flags) {
                                                   : "I/O")
             << (config->stripes > 1
                     ? ", " + std::to_string(config->stripes) + " stripes"
+                    : "")
+            << (sources->size() > 1
+                    ? ", " + std::to_string(sources->size()) +
+                          " remote shards"
                     : "")
             << "); rank error <= " << session->max_rank_error() << "\n";
   return 0;
@@ -548,11 +607,11 @@ int CmdQuantile(const CommandFlags& flags) {
 int CmdExact(const CommandFlags& flags) {
   auto list = LoadSketch(flags);
   if (!list.ok()) return Fail(list.status());
-  auto source = OpenDataSource(flags);
-  if (!source.ok()) return Fail(source.status());
+  auto sources = OpenDataSources(flags);
+  if (!sources.ok()) return Fail(sources.status());
   auto phis = ParsePhis(flags);
   if (!phis.ok()) return Fail(phis.status());
-  auto config = ScanConfig(flags, *source);
+  auto config = ScanConfig(flags, *sources);
   if (!config.ok()) return Fail(config.status());
   // samples_per_run = 1 neutralizes the divisibility rule the second pass
   // does not have, while still validating the raw flag values cleanly.
@@ -561,7 +620,7 @@ int CmdExact(const CommandFlags& flags) {
   if (!valid.ok()) return Fail(valid);
 
   // One batched query, every request exact: all quantiles share ONE pass.
-  QuerySession<Key> session(std::move(list).value(), {*source}, *config);
+  QuerySession<Key> session(std::move(list).value(), *sources, *config);
   const int64_t budget = flags.GetInt("budget");
   if (budget < 0) {
     return Fail(Status::InvalidArgument(

@@ -1,0 +1,261 @@
+// opaq_noded — the OPAQ data-node daemon: exports local datasets (plain or
+// striped data files, any key type) over the v1 wire protocol so remote
+// `Engine`s can consume them as shards via `Source::OpenRemote`.
+//
+//   opaq_noded --export=sales=/data/sales.opaq --port=34601
+//   opaq_noded --export=logs=/d0/l.s0+/d1/l.s1+/d2/l.s2   # striped dataset
+//   opaq_noded --export=a=a.opaq,b=b.opaq --port=0        # 0 = ephemeral
+//
+// Each --export entry is name=path (plain file) or name=p0+p1+... (the
+// stripes of one striped file, logical order). The node prints one line per
+// dataset plus its bound address, then serves until killed (or for
+// --duration seconds, for scripted runs).
+//
+// SECURITY: the protocol is unauthenticated — the default bind address
+// stays on 127.0.0.1; bind 0.0.0.0 only on networks where every peer is
+// trusted (see README "Distributed mode").
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "opaq/io.h"
+#include "opaq/net.h"
+#include "opaq/status.h"
+#include "opaq/util.h"
+
+namespace opaq {
+namespace noded {
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "opaq_noded: error: " << status.ToString() << std::endl;
+  return 1;
+}
+
+/// One name=path[+path...] export entry, split.
+struct ExportEntry {
+  std::string name;
+  std::vector<std::string> paths;
+};
+
+Result<std::vector<ExportEntry>> ParseExports(const std::string& text) {
+  std::vector<ExportEntry> entries;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      return Status::InvalidArgument("bad --export entry '" + item +
+                                     "': want name=path[+path...]");
+    }
+    ExportEntry entry;
+    entry.name = item.substr(0, eq);
+    std::stringstream paths(item.substr(eq + 1));
+    std::string path;
+    while (std::getline(paths, path, '+')) {
+      if (path.empty()) {
+        return Status::InvalidArgument("empty stripe path in --export entry '" +
+                                       item + "'");
+      }
+      entry.paths.push_back(path);
+    }
+    if (entry.paths.empty()) {
+      return Status::InvalidArgument("no paths in --export entry '" + item +
+                                     "'");
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("--export names no datasets");
+  }
+  return entries;
+}
+
+/// Opens a plain data file export; the returned dataset owns device + file.
+Result<ExportedDataset> OpenPlainExport(const std::string& path) {
+  struct Bundle {
+    std::unique_ptr<FileBlockDevice> device;
+    std::unique_ptr<DataFile> file;
+  };
+  auto bundle = std::make_shared<Bundle>();
+  auto device = FileBlockDevice::Make(path, FileBlockDevice::Mode::kOpen);
+  if (!device.ok()) return device.status();
+  bundle->device = std::move(device).value();
+  auto file = DataFile::Open(bundle->device.get());
+  if (!file.ok()) return file.status();
+  bundle->file = std::make_unique<DataFile>(std::move(file).value());
+  ExportedDataset dataset;
+  dataset.key_type = static_cast<uint32_t>(bundle->file->key_type());
+  dataset.element_size = bundle->file->element_size();
+  dataset.element_count = bundle->file->element_count();
+  const DataFile* raw = bundle->file.get();
+  dataset.read = [raw](uint64_t first, uint64_t count, void* out) {
+    return raw->ReadElements(first, count, out);
+  };
+  dataset.owner = std::move(bundle);
+  return dataset;
+}
+
+/// Opens the stripes as a typed striped file of key type `K`; the returned
+/// dataset owns every device and the file.
+template <typename K>
+Result<ExportedDataset> OpenStripedExportTyped(
+    std::vector<std::unique_ptr<FileBlockDevice>> devices) {
+  struct Bundle {
+    std::vector<std::unique_ptr<FileBlockDevice>> devices;
+    std::unique_ptr<StripedDataFile<K>> file;
+  };
+  auto bundle = std::make_shared<Bundle>();
+  bundle->devices = std::move(devices);
+  std::vector<BlockDevice*> raw;
+  raw.reserve(bundle->devices.size());
+  for (auto& device : bundle->devices) raw.push_back(device.get());
+  auto file = StripedDataFile<K>::Open(std::move(raw));
+  if (!file.ok()) return file.status();
+  bundle->file =
+      std::make_unique<StripedDataFile<K>>(std::move(file).value());
+  ExportedDataset dataset;
+  dataset.key_type = static_cast<uint32_t>(KeyTraits<K>::kType);
+  dataset.element_size = sizeof(K);
+  dataset.element_count = bundle->file->size();
+  const StripedDataFile<K>* fptr = bundle->file.get();
+  dataset.read = [fptr](uint64_t first, uint64_t count, void* out) {
+    return fptr->Read(first, count, static_cast<K*>(out));
+  };
+  dataset.owner = std::move(bundle);
+  return dataset;
+}
+
+/// Opens a striped export, dispatching on the key type the stripe headers
+/// declare (a node serves any key type; clients type-check at handshake).
+Result<ExportedDataset> OpenStripedExport(
+    const std::vector<std::string>& paths) {
+  std::vector<std::unique_ptr<FileBlockDevice>> devices;
+  for (const std::string& path : paths) {
+    auto device = FileBlockDevice::Make(path, FileBlockDevice::Mode::kOpen);
+    if (!device.ok()) return device.status();
+    devices.push_back(std::move(device).value());
+  }
+  StripeFileHeader header;
+  OPAQ_RETURN_IF_ERROR(devices[0]->ReadAt(0, &header, sizeof(header)));
+  switch (static_cast<KeyType>(header.key_type)) {
+    case KeyType::kU32:
+      return OpenStripedExportTyped<uint32_t>(std::move(devices));
+    case KeyType::kU64:
+      return OpenStripedExportTyped<uint64_t>(std::move(devices));
+    case KeyType::kI64:
+      return OpenStripedExportTyped<int64_t>(std::move(devices));
+    case KeyType::kF32:
+      return OpenStripedExportTyped<float>(std::move(devices));
+    case KeyType::kF64:
+      return OpenStripedExportTyped<double>(std::move(devices));
+  }
+  return Status::InvalidArgument(
+      paths[0] + ": unknown key type tag " + std::to_string(header.key_type) +
+      " (not an OPAQ stripe file?)");
+}
+
+int Usage(std::ostream& os, int code) {
+  os << "usage: opaq_noded --export=NAME=PATH[+PATH...][,NAME=PATH...] "
+        "[flags]\n\n"
+        "serves local OPAQ datasets to remote engines over TCP (wire "
+        "protocol v1).\n\nflags:\n"
+        "  --export=...        datasets to serve: name=path for a plain data "
+        "file,\n"
+        "                      name=p0+p1+... for the stripes of a striped "
+        "file\n"
+        "  --bind=127.0.0.1    IPv4 address to bind (UNAUTHENTICATED "
+        "protocol:\n"
+        "                      bind non-loopback only on trusted networks)\n"
+        "  --port=34601        TCP port (0 = pick an ephemeral port)\n"
+        "  --max-read-bytes=4194304  per-request read bound\n"
+        "  --delay-ms=0        artificial response latency (bench/testing)\n"
+        "  --duration=0        serve this many seconds, then exit (0 = "
+        "forever)\n";
+  return code;
+}
+
+int Main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) return Fail(flags.status());
+  if (flags->GetBool("help", false)) return Usage(std::cout, 0);
+  for (const std::string& key : flags->keys()) {
+    if (key != "export" && key != "bind" && key != "port" &&
+        key != "max-read-bytes" && key != "delay-ms" && key != "duration" &&
+        key != "help") {
+      std::cerr << "opaq_noded: unknown flag --" << key << "\n";
+      return Usage(std::cerr, 2);
+    }
+  }
+  if (!flags->positional().empty()) {
+    std::cerr << "opaq_noded: unexpected positional argument '"
+              << flags->positional()[0] << "'\n";
+    return Usage(std::cerr, 2);
+  }
+  if (!flags->Has("export")) {
+    std::cerr << "opaq_noded: nothing to serve\n";
+    return Usage(std::cerr, 2);
+  }
+
+  auto entries = ParseExports(flags->GetString("export", ""));
+  if (!entries.ok()) return Fail(entries.status());
+
+  NodeServerOptions options;
+  options.bind_address = flags->GetString("bind", "127.0.0.1");
+  const int64_t port = flags->GetInt("port", 34601);
+  if (port < 0 || port > 65535) {
+    return Fail(Status::InvalidArgument("--port must be in [0, 65535]"));
+  }
+  options.port = static_cast<uint16_t>(port);
+  const int64_t max_read = flags->GetInt("max-read-bytes", 4 << 20);
+  if (max_read < 1) {
+    return Fail(Status::InvalidArgument("--max-read-bytes must be >= 1"));
+  }
+  options.max_read_bytes = static_cast<uint64_t>(max_read);
+  options.response_delay_seconds = flags->GetDouble("delay-ms", 0) / 1000.0;
+
+  NodeServer server(options);
+  for (const ExportEntry& entry : *entries) {
+    auto dataset = entry.paths.size() == 1 ? OpenPlainExport(entry.paths[0])
+                                           : OpenStripedExport(entry.paths);
+    if (!dataset.ok()) {
+      return Fail(Status(dataset.status().code(),
+                         "export '" + entry.name + "': " +
+                             dataset.status().message()));
+    }
+    std::cout << "export " << entry.name << ": " << dataset->element_count
+              << " elements x " << dataset->element_size << " bytes ("
+              << entry.paths.size()
+              << (entry.paths.size() == 1 ? " file" : " stripes") << ")\n";
+    server.Export(entry.name, std::move(dataset).value());
+  }
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::cout << "serving on " << server.address()
+            << " (protocol v1, unauthenticated; trusted networks only)"
+            << std::endl;
+
+  const double duration = flags->GetDouble("duration", 0);
+  if (duration > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(duration));
+    server.Stop();
+    std::cout << "served " << server.connections_accepted()
+              << " connections, " << server.requests_served()
+              << " requests\n";
+    return 0;
+  }
+  for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+}
+
+}  // namespace
+}  // namespace noded
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::noded::Main(argc, argv); }

@@ -1,8 +1,9 @@
-// Cross-backend conformance harness: for ANY config, the sync, async and
-// striped storage backends must be indistinguishable in their output —
-// byte-identical serialized sketches and identical final quantiles (both
-// estimated brackets and exact second-pass values). Prefetch threads and
-// stripe fan-out may reorder time, never data.
+// Cross-backend conformance harness: for ANY config, the sync, async,
+// striped and REMOTE (loopback data-node) storage backends must be
+// indistinguishable in their output — byte-identical serialized sketches
+// and identical final quantiles (both estimated brackets and exact
+// second-pass values). Prefetch threads, stripe fan-out and the network
+// may reorder time, never data.
 //
 // The sweep is a seeded pseudo-random walk over the config space {n, run
 // length, key distribution, stripes 1/2/4, chunk size, prefetch depth},
@@ -23,6 +24,8 @@
 #include "io/block_device.h"
 #include "io/striped_data_file.h"
 #include "io/striped_run_source.h"
+#include "net/node_server.h"
+#include "net/remote_source.h"
 #include "opaq/engine.h"
 #include "opaq/query.h"
 #include "opaq/source.h"
@@ -160,6 +163,22 @@ void ExpectAllBackendsAgree(const SweepCase& c) {
     EXPECT_EQ(SketchBytes(*backends.striped, c, IoMode::kSync, 2), reference)
         << c.Describe() << " striped-inline x" << stripes;
 
+    // Remote: a loopback node serving the SAME layouts must leave the
+    // same bytes — the wire moves data, never changes it. Plain export at
+    // stripes == 1, the striped export at each wider fan-out.
+    NodeServer node;
+    node.Export("plain", backends.plain_file.get());
+    node.Export("striped", backends.striped_file.get());
+    OPAQ_CHECK_OK(node.Start());
+    const std::string remote_name = stripes == 1 ? "plain" : "striped";
+    auto remote =
+        RemoteRunProvider<Key>::Connect(node.address() + "/" + remote_name);
+    OPAQ_CHECK_OK(remote.status());
+    EXPECT_EQ(SketchBytes(*remote, c, IoMode::kSync, 2), reference)
+        << c.Describe() << " remote/" << remote_name << " sync";
+    EXPECT_EQ(SketchBytes(*remote, c, IoMode::kAsync, 2), reference)
+        << c.Describe() << " remote/" << remote_name << " async";
+
     // The same equalities must hold when the facade drives the pass: an
     // Engine over a Source wrapping each backend — plain file, striped
     // file, and the in-memory vector — leaves byte-identical sketches.
@@ -189,6 +208,11 @@ void ExpectAllBackendsAgree(const SweepCase& c) {
                                   IoMode::kSync, 2),
                 reference)
           << c.Describe() << " Engine/Source in-memory";
+      auto remote_source = Source<Key>::OpenRemote(node.address() + "/plain");
+      OPAQ_CHECK_OK(remote_source.status());
+      EXPECT_EQ(EngineSketchBytes(*remote_source, c, IoMode::kAsync, 2),
+                reference)
+          << c.Describe() << " Engine/Source remote";
     }
   }
 }
@@ -290,6 +314,33 @@ TEST(BackendConformanceTest, QuantilesAndExactPassAgreeAcrossBackends) {
   ASSERT_TRUE(exact_async.ok());
   EXPECT_EQ(*exact_async, *exact_plain);
 
+  // Remote backend: a loopback node serving the striped layout must agree
+  // on brackets AND on the exact pass — with the §4 second pass itself
+  // streaming over the wire, sync and pipelined.
+  NodeServer node;
+  node.Export("data", backends.striped_file.get());
+  ASSERT_TRUE(node.Start().ok());
+  auto remote = RemoteRunProvider<Key>::Connect(node.address() + "/data");
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  OpaqSketch<Key> remote_sketch(config);
+  ASSERT_TRUE(remote_sketch.Consume(*remote).ok());
+  auto remote_estimates = remote_sketch.Finalize().EquiQuantiles(10);
+  ASSERT_EQ(remote_estimates.size(), reference_estimates.size());
+  for (size_t i = 0; i < reference_estimates.size(); ++i) {
+    EXPECT_EQ(remote_estimates[i].lower, reference_estimates[i].lower);
+    EXPECT_EQ(remote_estimates[i].upper, reference_estimates[i].upper);
+  }
+  for (IoMode mode : {IoMode::kSync, IoMode::kAsync}) {
+    ReadOptions options = sync_options;
+    options.io_mode = mode;
+    options.prefetch_depth = 2;
+    auto exact_remote = ExactQuantilesSecondPass(*remote,
+                                                 reference_estimates,
+                                                 options);
+    ASSERT_TRUE(exact_remote.ok()) << exact_remote.status().ToString();
+    EXPECT_EQ(*exact_remote, *exact_plain) << "remote " << IoModeName(mode);
+  }
+
   // Finally, the facade end to end: an Engine-built QuerySession over the
   // striped source answers the same batch — same brackets, same exact
   // values — as the direct plain-file pipeline above.
@@ -309,6 +360,25 @@ TEST(BackendConformanceTest, QuantilesAndExactPassAgreeAcrossBackends) {
     EXPECT_EQ(facade_estimates[i].upper, reference_estimates[i].upper);
   }
   EXPECT_EQ(batch->results[0].exact, *exact_plain);
+
+  // And once more with the facade on the WIRE: an Engine over
+  // Source::OpenRemote answers the identical batch, exact pass included.
+  auto remote_session =
+      Engine<Key>(striped_config,
+                  Source<Key>::OpenRemote(node.address() + "/data").value())
+          .Build();
+  ASSERT_TRUE(remote_session.ok()) << remote_session.status().ToString();
+  auto remote_batch = remote_session->Query({
+      QueryRequest<Key>::EquiQuantiles(10, /*exact=*/true),
+  });
+  ASSERT_TRUE(remote_batch.ok()) << remote_batch.status().ToString();
+  const auto& wire_estimates = remote_batch->results[0].estimates;
+  ASSERT_EQ(wire_estimates.size(), reference_estimates.size());
+  for (size_t i = 0; i < reference_estimates.size(); ++i) {
+    EXPECT_EQ(wire_estimates[i].lower, reference_estimates[i].lower);
+    EXPECT_EQ(wire_estimates[i].upper, reference_estimates[i].upper);
+  }
+  EXPECT_EQ(remote_batch->results[0].exact, *exact_plain);
 }
 
 TEST(BackendConformanceTest, ParallelHarnessAgreesOnStripedShards) {

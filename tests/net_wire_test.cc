@@ -1,0 +1,221 @@
+// Wire-protocol codec tests: CRC correctness, frame round trips, rejection
+// of truncation/corruption/foreign traffic, and the committed golden byte
+// stream (`tests/golden/wire_v1.bin`) that pins frame format v1 — if the
+// header layout, op codes, CRC polynomial or payload encodings ever drift,
+// these fail in tier-1 instead of silently orphaning every deployed node.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace opaq {
+namespace {
+
+TEST(Crc32Test, KnownAnswers) {
+  // The classic CRC-32 (IEEE 802.3) check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0x00000000u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(WireFrameTest, HeaderLayoutIsPinned) {
+  static_assert(sizeof(WireFrameHeader) == 16);
+  static_assert(offsetof(WireFrameHeader, magic) == 0);
+  static_assert(offsetof(WireFrameHeader, version) == 4);
+  static_assert(offsetof(WireFrameHeader, op) == 6);
+  static_assert(offsetof(WireFrameHeader, payload_len) == 8);
+  static_assert(offsetof(WireFrameHeader, payload_crc) == 12);
+  static_assert(sizeof(WireDatasetInfo) == 24);
+  static_assert(sizeof(WireReadRange) == 16);
+  EXPECT_EQ(WireFrameHeader::kMagic, 0x4e51504fu);
+  EXPECT_EQ(kWireVersion, 1);
+}
+
+TEST(WireFrameTest, EncodeDecodeRoundTrip) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  std::vector<uint8_t> bytes = EncodeFrame(WireOp::kRangeData, payload);
+  ASSERT_EQ(bytes.size(), sizeof(WireFrameHeader) + payload.size());
+  size_t consumed = 0;
+  auto frame = DecodeFrame(bytes.data(), bytes.size(), &consumed);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(frame->op, static_cast<uint16_t>(WireOp::kRangeData));
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(WireFrameTest, EmptyPayloadRoundTrip) {
+  std::vector<uint8_t> bytes = EncodeFrame(WireOp::kPing, nullptr, 0);
+  ASSERT_EQ(bytes.size(), sizeof(WireFrameHeader));
+  size_t consumed = 0;
+  auto frame = DecodeFrame(bytes.data(), bytes.size(), &consumed);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(WireFrameTest, ErrorFrameCarriesStatus) {
+  const Status original = Status::NotFound("no such dataset");
+  std::vector<uint8_t> bytes = EncodeErrorFrame(original);
+  auto frame = DecodeFrame(bytes.data(), bytes.size(), nullptr);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->op, static_cast<uint16_t>(WireOp::kError));
+  Status carried =
+      DecodeErrorPayload(frame->payload.data(), frame->payload.size());
+  EXPECT_EQ(carried.code(), StatusCode::kNotFound);
+  EXPECT_EQ(carried.message(), "no such dataset");
+}
+
+TEST(WireFrameTest, ErrorPayloadNeverDecodesToOk) {
+  // A malformed (short, or OK-coded) error payload must still be an error.
+  EXPECT_FALSE(DecodeErrorPayload(nullptr, 0).ok());
+  const uint32_t ok_code = 0;
+  EXPECT_FALSE(
+      DecodeErrorPayload(reinterpret_cast<const uint8_t*>(&ok_code),
+                         sizeof(ok_code))
+          .ok());
+}
+
+TEST(WireFrameTest, RejectsTruncation) {
+  std::vector<uint8_t> bytes =
+      EncodeFrame(WireOp::kRangeData, std::vector<uint8_t>(100, 7));
+  // Shorter than a header, and shorter than the promised payload.
+  for (size_t len : {size_t{0}, size_t{8}, sizeof(WireFrameHeader),
+                     sizeof(WireFrameHeader) + 50}) {
+    auto frame = DecodeFrame(bytes.data(), len, nullptr);
+    EXPECT_FALSE(frame.ok()) << "length " << len;
+    EXPECT_EQ(frame.status().code(), StatusCode::kIoError);
+  }
+}
+
+TEST(WireFrameTest, RejectsCorruption) {
+  std::vector<uint8_t> bytes =
+      EncodeFrame(WireOp::kRangeData, std::vector<uint8_t>(32, 9));
+  // Flip one payload byte: CRC must catch it.
+  std::vector<uint8_t> corrupt = bytes;
+  corrupt[sizeof(WireFrameHeader) + 5] ^= 0x40;
+  auto frame = DecodeFrame(corrupt.data(), corrupt.size(), nullptr);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("CRC"), std::string::npos);
+
+  // Foreign magic.
+  corrupt = bytes;
+  corrupt[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeFrame(corrupt.data(), corrupt.size(), nullptr).ok());
+
+  // Future version.
+  corrupt = bytes;
+  corrupt[4] = 99;
+  auto skew = DecodeFrame(corrupt.data(), corrupt.size(), nullptr);
+  EXPECT_FALSE(skew.ok());
+  EXPECT_NE(skew.status().message().find("version"), std::string::npos);
+}
+
+TEST(WireFrameTest, RejectsOversizedPayloadClaim) {
+  WireFrameHeader header;
+  header.op = static_cast<uint16_t>(WireOp::kRangeData);
+  header.payload_len = kMaxWirePayload + 1;
+  std::vector<uint8_t> bytes(sizeof(header));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  auto frame = DecodeFrame(bytes.data(), bytes.size(), nullptr);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("cap"), std::string::npos);
+}
+
+// ------------------------------------------------ Golden byte stream ----
+
+/// The canned request/response conversation committed as
+/// tests/golden/wire_v1.bin: every op of protocol v1, fixed payloads.
+/// `MakeGoldenStream` must keep producing these exact bytes forever (or
+/// the protocol version must be bumped and a new blob committed).
+std::vector<uint8_t> MakeGoldenStream() {
+  std::vector<uint8_t> stream;
+  auto append = [&stream](const std::vector<uint8_t>& frame) {
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  // 1. PING / 7. PONG bracket the conversation.
+  append(EncodeFrame(WireOp::kPing, nullptr, 0));
+  // 2. OPEN_DATASET "sales"
+  const std::string name = "sales";
+  append(EncodeFrame(WireOp::kOpenDataset, name.data(), name.size()));
+  // 3. DATASET_INFO: 1000 u64 elements, 4096-element read bound.
+  WireDatasetInfo info;
+  info.key_type = 2;  // KeyType::kU64
+  info.element_size = 8;
+  info.element_count = 1000;
+  info.max_read_elements = 4096;
+  append(EncodeFrame(WireOp::kDatasetInfo, &info, sizeof(info)));
+  // 4. READ_RANGE [40, +4) of "sales"
+  WireReadRange range;
+  range.first = 40;
+  range.count = 4;
+  std::vector<uint8_t> request(sizeof(range) + name.size());
+  std::memcpy(request.data(), &range, sizeof(range));
+  std::memcpy(request.data() + sizeof(range), name.data(), name.size());
+  append(EncodeFrame(WireOp::kReadRange, request.data(), request.size()));
+  // 5. RANGE_DATA: the four u64 values {2, 3, 5, 7}.
+  const uint64_t values[] = {2, 3, 5, 7};
+  append(EncodeFrame(WireOp::kRangeData, values, sizeof(values)));
+  // 6. ERROR: NOT_FOUND for a missing dataset.
+  append(EncodeErrorFrame(
+      Status::NotFound("node exports no dataset named 'tmp'")));
+  append(EncodeFrame(WireOp::kPong, nullptr, 0));
+  return stream;
+}
+
+std::vector<uint8_t> GoldenBlobBytes() {
+  const std::string path = std::string(OPAQ_GOLDEN_DIR) + "/wire_v1.bin";
+  std::ifstream in(path, std::ios::binary);
+  OPAQ_CHECK(in.good()) << "missing golden blob: " << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+TEST(WireGoldenTest, EncoderProducesExactGoldenBytes) {
+  EXPECT_EQ(MakeGoldenStream(), GoldenBlobBytes())
+      << "the wire frame encoding changed; deployed nodes and clients "
+         "would no longer interoperate. If intentional, bump kWireVersion "
+         "and commit a new golden blob.";
+}
+
+TEST(WireGoldenTest, GoldenStreamDecodesFrameByFrame) {
+  const std::vector<uint8_t> blob = GoldenBlobBytes();
+  const uint16_t expected_ops[] = {
+      static_cast<uint16_t>(WireOp::kPing),
+      static_cast<uint16_t>(WireOp::kOpenDataset),
+      static_cast<uint16_t>(WireOp::kDatasetInfo),
+      static_cast<uint16_t>(WireOp::kReadRange),
+      static_cast<uint16_t>(WireOp::kRangeData),
+      static_cast<uint16_t>(WireOp::kError),
+      static_cast<uint16_t>(WireOp::kPong),
+  };
+  size_t offset = 0;
+  for (uint16_t expected : expected_ops) {
+    size_t consumed = 0;
+    auto frame =
+        DecodeFrame(blob.data() + offset, blob.size() - offset, &consumed);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->op, expected);
+    offset += consumed;
+  }
+  EXPECT_EQ(offset, blob.size()) << "golden stream has trailing bytes";
+
+  // Spot-check decoded payload contents, not just op codes.
+  size_t consumed = 0;
+  auto info_frame = DecodeFrame(
+      blob.data() + 2 * sizeof(WireFrameHeader) + 5,  // past PING + OPEN
+      blob.size(), &consumed);
+  ASSERT_TRUE(info_frame.ok());
+  WireDatasetInfo info;
+  ASSERT_EQ(info_frame->payload.size(), sizeof(info));
+  std::memcpy(&info, info_frame->payload.data(), sizeof(info));
+  EXPECT_EQ(info.element_count, 1000u);
+  EXPECT_EQ(info.max_read_elements, 4096u);
+}
+
+}  // namespace
+}  // namespace opaq
