@@ -1,16 +1,19 @@
 // Distributed quantiles over OPAQ data nodes: N loopback `NodeServer`s
-// (the engine inside `opaq_noded`) each serve one shard of the data over
-// the v1 wire protocol; one multi-shard `Engine` consumes them through
-// `Source::OpenRemote` — pipelined request-ahead streaming per shard — and
+// (the engine inside `opaq_noded`) each serve one shard of the data; one
+// multi-shard `Engine` consumes them through `Source::OpenRemote` and
 // answers a batched query with certified brackets plus exact values.
 //
-// The punchline of the RunProvider seam: the distributed answers are
-// asserted IDENTICAL (bracket-for-bracket, value-for-value) to a
-// single-process run over the same logical data. The network, like
-// prefetching and striping before it, reorders time — never data.
+// Under wire v2 (the default) each node runs the paper's sample phase and
+// §4 filter scan itself and ships only sample lists and bracket survivors;
+// under `--wire-version=1` the client streams every run over the wire and
+// computes locally. Either way the punchline of the RunProvider seam
+// holds: the distributed answers are asserted IDENTICAL
+// (bracket-for-bracket, value-for-value) to a single-process run over the
+// same logical data. The network, like prefetching and striping before
+// it, moves time and bytes — never data values.
 //
 // Run:  ./distributed_quantiles [--shards=3] [--per-shard=200000]
-//       [--samples=256]
+//       [--samples=256] [--wire-version=2]
 
 #include <iostream>
 #include <memory>
@@ -26,7 +29,11 @@ int main(int argc, char** argv) {
   const int shards = static_cast<int>(flags->GetInt("shards", 3));
   const uint64_t per_shard = flags->GetInt("per-shard", 200000);
   const uint64_t samples = flags->GetInt("samples", 256);
+  const int wire_version = static_cast<int>(flags->GetInt("wire-version", 2));
   OPAQ_CHECK(shards >= 1);
+  OPAQ_CHECK(wire_version >= 1 && wire_version <= 2);
+  NodeClientOptions client_options;
+  client_options.max_wire_version = static_cast<uint16_t>(wire_version);
 
   OpaqConfig config;
   config.run_size = 1 << 14;
@@ -61,8 +68,13 @@ int main(int argc, char** argv) {
     std::cout << "node " << s << ": serving " << per_shard << " keys at "
               << spec_text << "\n";
 
-    auto remote = Source<uint64_t>::OpenRemote(spec_text);
+    auto remote = Source<uint64_t>::OpenRemote(spec_text, client_options);
     OPAQ_CHECK_OK(remote.status());
+    std::cout << "       wire v"
+              << (remote->remote_compute() ? 2 : 1) << " ("
+              << (remote->remote_compute() ? "node-side compute"
+                                           : "range streaming")
+              << ")\n";
     remote_shards.push_back(std::move(remote).value());
     local_shards.push_back(Source<uint64_t>::FromFile(files.back().get()));
   }

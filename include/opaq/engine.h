@@ -98,6 +98,27 @@ class Engine {
           std::max<uint64_t>(config_.stripes, shards_[rank].stripes());
       statuses[rank] = shard_config.Validate();
       if (!statuses[rank].ok()) return;
+      // A v2 remote shard samples NODE-SIDE: one RPC ships the config, the
+      // node runs the identical sketch over its own disks, and only the
+      // O(s) sample list comes back. The RPC wall time is this shard's I/O
+      // stall (the thread blocks on it exactly as it would on reads).
+      if (const RemoteComputeClient<K>* compute =
+              shards_[rank].remote_compute()) {
+        WallTimer rpc_timer;
+        auto list = compute->SampleRuns(shard_config);
+        if (list.ok()) {
+          io_seconds[rank] += rpc_timer.ElapsedSeconds();
+          runs[rank] = list->accounting().num_runs;
+          lists[rank] = std::move(list).value();
+          return;
+        }
+        if (list.status().code() != StatusCode::kUnimplemented) {
+          statuses[rank] = list.status();
+          return;
+        }
+        // Unimplemented = the node cannot compute over this dataset
+        // (untyped export); stream its runs over v1 instead.
+      }
       OpaqSketch<K> sketch(shard_config);
       statuses[rank] =
           sketch.Consume(shards_[rank].provider(), &io_seconds[rank]);

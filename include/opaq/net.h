@@ -9,19 +9,31 @@
 ///    `StripedDataFile` datasets on a port; thread per connection, bounded
 ///    reads, error frames instead of crashes. `opaq_noded` is its CLI.
 ///  - `RemoteRunProvider<K>` / `RemoteRunSource<K>`
-///    (net/remote_source.h) — the client backend: pipelined request-ahead
-///    run streaming that overlaps network latency with compute exactly as
-///    async disk I/O does. Most users reach it through
-///    `Source<K>::OpenRemote("host:port/dataset")`.
-///  - The v1 wire protocol (net/wire.h): versioned length-prefixed frames,
-///    CRC-protected payloads, sticky error frames. UNAUTHENTICATED — for
-///    trusted/loopback networks only (see README "Distributed mode").
+///    (net/remote_source.h) — the v1 client backend: pipelined
+///    request-ahead run streaming that overlaps network latency with
+///    compute exactly as async disk I/O does.
+///  - `RemoteComputeClient<K>` (net/remote_compute.h) — the v2 client:
+///    pushes the paper's sample phase (`SampleRuns`) and §4 filter scan
+///    (`ExactPass`) to the node, shipping O(s) results instead of O(n)
+///    raw runs. Most users reach both through
+///    `Source<K>::OpenRemote("host:port/dataset")`, which negotiates the
+///    version per node and falls back to v1 streaming automatically.
+///  - The wire protocol (net/wire.h, payload codecs in
+///    net/wire_compute.h): versioned length-prefixed frames,
+///    CRC-protected payloads, sticky error frames, per-op version stamps
+///    so v1 nodes cleanly reject v2 compute frames. UNAUTHENTICATED — for
+///    trusted/loopback networks only (see README "Distributed mode" and
+///    its v1/v2 compatibility matrix).
 
 #include "net/client.h"
+#include "net/export_spec.h"
 #include "net/frame_io.h"
+#include "net/node_compute.h"
 #include "net/node_server.h"
+#include "net/remote_compute.h"
 #include "net/remote_source.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "net/wire_compute.h"
 
 #endif  // OPAQ_INCLUDE_OPAQ_NET_H_

@@ -262,11 +262,55 @@ class QuerySession {
     const uint64_t budget = exact_memory_budget_ != 0
                                 ? exact_memory_budget_
                                 : internal_exact::DefaultExactBudget(estimates);
+    // One shard's scan, compute-first: a v2 remote shard runs the filter
+    // pass NODE-SIDE (one RPC, only counts + candidates come back) and the
+    // result folds into the accumulator exactly as a local scan's would;
+    // Unimplemented (untyped export) falls back to streaming the shard's
+    // runs. Node-side the budget bounds each node's own kept sets; the
+    // shared counter keeps bounding the cross-shard total here.
+    auto scan_shard = [&](const Source<K>& source,
+                          internal_exact::BracketAccumulator<K>* acc,
+                          std::atomic<uint64_t>* shared_held) -> Status {
+      if (const RemoteComputeClient<K>* compute = source.remote_compute()) {
+        auto scan =
+            compute->ExactPass(estimates, config_.read_options(), budget);
+        if (scan.ok()) {
+          uint64_t added = 0;
+          for (size_t q = 0; q < estimates.size(); ++q) {
+            acc->below[q] += scan->below[q];
+            added += scan->kept[q].size();
+            if (acc->kept[q].empty()) {
+              acc->kept[q] = std::move(scan->kept[q]);
+            } else {
+              acc->kept[q].insert(acc->kept[q].end(), scan->kept[q].begin(),
+                                  scan->kept[q].end());
+            }
+          }
+          acc->held += added;
+          const uint64_t held_now =
+              shared_held != nullptr
+                  ? shared_held->fetch_add(added,
+                                           std::memory_order_relaxed) +
+                        added
+                  : acc->held;
+          if (held_now > budget) {
+            return Status::ResourceExhausted(
+                "brackets hold more elements than the memory budget; "
+                "increase samples_per_run or the budget");
+          }
+          return Status::OK();
+        }
+        if (scan.status().code() != StatusCode::kUnimplemented) {
+          return scan.status();
+        }
+      }
+      return internal_exact::AccumulateBrackets(source.provider(), estimates,
+                                                config_.read_options(),
+                                                budget, acc, shared_held);
+    };
     if (sources_.size() == 1) {
       internal_exact::BracketAccumulator<K> acc(estimates.size());
-      OPAQ_RETURN_IF_ERROR(internal_exact::AccumulateBrackets(
-          sources_[0].provider(), estimates, config_.read_options(), budget,
-          &acc));
+      OPAQ_RETURN_IF_ERROR(scan_shard(sources_[0], &acc, nullptr));
       return internal_exact::SelectWithinBrackets(estimates, &acc);
     }
     // Each shard filters into its own accumulator, but the memory budget
@@ -282,9 +326,8 @@ class QuerySession {
     threads.reserve(sources_.size());
     for (size_t shard = 0; shard < sources_.size(); ++shard) {
       threads.emplace_back([&, shard] {
-        statuses[shard] = internal_exact::AccumulateBrackets(
-            sources_[shard].provider(), estimates, config_.read_options(),
-            budget, &accs[shard], &shared_held);
+        statuses[shard] =
+            scan_shard(sources_[shard], &accs[shard], &shared_held);
       });
     }
     for (std::thread& thread : threads) thread.join();

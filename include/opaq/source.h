@@ -14,6 +14,7 @@
 #include "io/run_reader.h"
 #include "io/striped_data_file.h"
 #include "io/striped_run_source.h"
+#include "net/remote_compute.h"
 #include "net/remote_source.h"
 #include "util/status.h"
 
@@ -123,15 +124,31 @@ class Source {
   /// `RunProvider` seam as every local backend — under `IoMode::kAsync`
   /// with pipelined request-ahead — so engines, exact passes and parallel
   /// harnesses consume remote shards unchanged.
+  ///
+  /// After the handshake the wire version is negotiated (one `kHello`
+  /// round trip, skipped when `options.max_wire_version <= 1`): against a
+  /// v2 node the source also carries a `RemoteComputeClient`, and engines /
+  /// exact passes push the sample phase and §4 filter scan to the node
+  /// instead of streaming raw runs — same results, O(s) instead of O(n)
+  /// bytes on the wire. Against a v1 node (or when forced to v1) the
+  /// source works exactly as before.
   static Result<Source> OpenRemote(
       const std::string& spec,
       const NodeClientOptions& options = NodeClientOptions()) {
     auto provider = RemoteRunProvider<K>::Connect(spec, options);
     if (!provider.ok()) return provider.status();
+    auto negotiated = NegotiateWireVersion(provider->spec(), options);
+    if (!negotiated.ok()) return negotiated.status();
+    const RemoteSpec parsed = provider->spec();
     auto owned = std::make_shared<OwnedBackend>();
     owned->provider = std::make_unique<RemoteRunProvider<K>>(
         std::move(provider).value());
-    return FromOwned(std::move(owned), 1);
+    Source s = FromOwned(std::move(owned), 1);
+    if (*negotiated >= 2) {
+      s.compute_ = std::make_shared<const RemoteComputeClient<K>>(parsed,
+                                                                  options);
+    }
+    return s;
   }
 
   /// Logical element count of the dataset.
@@ -143,6 +160,15 @@ class Source {
 
   /// The backend-independent view every run consumer is written against.
   const RunProvider<K>& provider() const { return *provider_; }
+
+  /// The v2 compute handle of a remote source whose node negotiated
+  /// version >= 2; nullptr for every local backend and for remote sources
+  /// speaking v1. Consumers (Engine, QuerySession) try this first and fall
+  /// back to streaming `provider()` when the node answers Unimplemented
+  /// for the dataset (e.g. an untyped export).
+  const RemoteComputeClient<K>* remote_compute() const {
+    return compute_.get();
+  }
 
   /// Opens a run stream over `[first, first + count)` (clamped to EOF) —
   /// the single factory that subsumed the old per-backend `MakeRunSource`
@@ -174,6 +200,7 @@ class Source {
   }
 
   std::shared_ptr<const RunProvider<K>> provider_;
+  std::shared_ptr<const RemoteComputeClient<K>> compute_;
   uint64_t stripes_ = 1;
 };
 

@@ -1,20 +1,39 @@
 #include "net/client.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
 namespace opaq {
 
 Result<RemoteSpec> ParseRemoteSpec(const std::string& spec) {
-  const auto colon = spec.find(':');
-  const auto slash = spec.find('/', colon == std::string::npos ? 0 : colon);
-  if (colon == std::string::npos || slash == std::string::npos ||
-      colon == 0 || slash < colon + 2 || slash + 1 >= spec.size()) {
+  // The dataset starts at the first '/' (names may contain further '/');
+  // the port is delimited by the LAST colon before it, so IPv6 literals —
+  // whose host part is full of colons — parse whether bracketed
+  // ("[::1]:9000/ds") or bare ("::1:9000/ds").
+  const auto slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0) {
+    return Status::InvalidArgument(
+        "bad remote spec '" + spec + "': want host:port/dataset");
+  }
+  const auto colon = spec.rfind(':', slash - 1);
+  if (colon == std::string::npos || colon == 0 || colon + 1 == slash) {
     return Status::InvalidArgument(
         "bad remote spec '" + spec + "': want host:port/dataset");
   }
   RemoteSpec out;
   out.host = spec.substr(0, colon);
+  if (out.host.size() >= 2 && out.host.front() == '[' &&
+      out.host.back() == ']') {
+    out.host = out.host.substr(1, out.host.size() - 2);
+  } else if (out.host.front() == '[' || out.host.back() == ']') {
+    return Status::InvalidArgument("unbalanced '[' in remote spec '" + spec +
+                                   "'");
+  }
+  if (out.host.empty()) {
+    return Status::InvalidArgument("empty host in remote spec '" + spec +
+                                   "'");
+  }
   const std::string port_text = spec.substr(colon + 1, slash - colon - 1);
   char* end = nullptr;
   const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
@@ -24,6 +43,10 @@ Result<RemoteSpec> ParseRemoteSpec(const std::string& spec) {
   }
   out.port = static_cast<uint16_t>(port);
   out.dataset = spec.substr(slash + 1);
+  if (out.dataset.empty()) {
+    return Status::InvalidArgument("empty dataset name in remote spec '" +
+                                   spec + "'");
+  }
   return out;
 }
 
@@ -39,6 +62,40 @@ Status NodeClient::Ping() {
   OPAQ_RETURN_IF_ERROR(SendFrame(conn_, WireOp::kPing, nullptr, 0));
   auto pong = ReceiveExpected(conn_, WireOp::kPong);
   return pong.status();
+}
+
+Result<uint16_t> NodeClient::Hello(uint16_t my_max_version) {
+  WireHello hello;
+  hello.max_version = my_max_version;
+  OPAQ_RETURN_IF_ERROR(
+      SendFrame(conn_, WireOp::kHello, &hello, sizeof(hello)));
+  OPAQ_ASSIGN_OR_RETURN(WireFrame frame,
+                        ReceiveExpected(conn_, WireOp::kHelloAck));
+  if (frame.payload.size() < sizeof(WireHello)) {
+    return Status::IoError("HELLO_ACK payload shorter than its header");
+  }
+  WireHello ack;
+  std::memcpy(&ack, frame.payload.data(), sizeof(ack));
+  if (ack.max_version < kWireVersion) {
+    return Status::IoError("node announced nonsensical wire version " +
+                           std::to_string(ack.max_version));
+  }
+  return ack.max_version;
+}
+
+Result<uint16_t> NegotiateWireVersion(const RemoteSpec& spec,
+                                      const NodeClientOptions& options) {
+  if (options.max_wire_version <= kWireVersion) return kWireVersion;
+  OPAQ_ASSIGN_OR_RETURN(NodeClient probe,
+                        NodeClient::Connect(spec.host, spec.port, options));
+  auto node_max = probe.Hello(options.max_wire_version);
+  if (!node_max.ok()) {
+    // The kHello frame is itself a version-2 artifact: a v1-only node
+    // rejects its header and hangs up. That is the fallback signal, not a
+    // failure — the node is alive (Connect succeeded) and speaks v1.
+    return kWireVersion;
+  }
+  return std::min<uint16_t>(options.max_wire_version, *node_max);
 }
 
 Result<WireDatasetInfo> NodeClient::OpenDataset(const std::string& name) {

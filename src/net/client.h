@@ -13,18 +13,24 @@
 namespace opaq {
 
 /// A parsed "host:port/dataset" remote-dataset spec (the string form
-/// `Source<K>::OpenRemote` and `opaq_cli --remote` take).
+/// `Source<K>::OpenRemote` and `opaq_cli --remote` take). Hosts containing
+/// ':' (IPv6 literals) are written bracketed: "[::1]:9000/ds".
 struct RemoteSpec {
   std::string host;
   uint16_t port = 0;
   std::string dataset;
 
   std::string ToString() const {
-    return host + ":" + std::to_string(port) + "/" + dataset;
+    const bool bracket = host.find(':') != std::string::npos;
+    return (bracket ? "[" + host + "]" : host) + ":" +
+           std::to_string(port) + "/" + dataset;
   }
 };
 
 /// Parses "host:port/dataset" (dataset names may contain further '/').
+/// Accepts bracketed IPv6 hosts ("[::1]:9000/ds") and bare hosts with
+/// extra colons by splitting on the LAST colon before the first '/'; an
+/// empty host, port, or dataset name is an InvalidArgument.
 Result<RemoteSpec> ParseRemoteSpec(const std::string& spec);
 
 /// Client-side connection knobs.
@@ -33,6 +39,10 @@ struct NodeClientOptions {
   /// as IoError after this long instead of hanging the consumer. 0 = wait
   /// forever.
   double receive_timeout_seconds = 60;
+  /// Newest protocol version this client will speak. Lower to 1 to force
+  /// v1 range streaming even against a v2 node (the bench's apples-to-
+  /// apples bytes-on-wire rows do).
+  uint16_t max_wire_version = kMaxWireVersion;
 };
 
 /// One client connection to a data node: typed request/response (and
@@ -53,6 +63,14 @@ class NodeClient {
   /// Liveness round trip.
   Status Ping();
 
+  /// v2 version probe: announces `my_max_version` and returns the node's
+  /// newest version. Against a v1-only node the `kHello` frame itself is
+  /// rejected (its header already says version 2) — that surfaces here as
+  /// an error `Status` mentioning "version", and the node hangs up, so
+  /// callers probe on a disposable connection (`NegotiateWireVersion`
+  /// does).
+  Result<uint16_t> Hello(uint16_t my_max_version = kMaxWireVersion);
+
   /// Fetches the node's description of `name` (geometry + read bound).
   Result<WireDatasetInfo> OpenDataset(const std::string& name);
 
@@ -71,6 +89,17 @@ class NodeClient {
   Status ReadRange(const std::string& name, uint64_t first, uint64_t count,
                    void* out, size_t out_bytes);
 
+  /// Generic frame round-trip halves for ops whose payloads the caller
+  /// codes itself (the v2 compute layer does): send any request frame,
+  /// then receive a response demanding op `expected` — a `kError` response
+  /// decodes into the `Status` the node sent.
+  Status SendRequest(WireOp op, const void* payload, size_t len) {
+    return SendFrame(conn_, op, payload, len);
+  }
+  Result<WireFrame> ReceiveResponse(WireOp expected) {
+    return ReceiveExpected(conn_, expected);
+  }
+
   /// Wakes any blocked transfer on this connection (callable from another
   /// thread while the client stays alive).
   void ShutdownNow() { conn_.ShutdownNow(); }
@@ -83,6 +112,16 @@ class NodeClient {
 
   TcpConnection conn_;
 };
+
+/// Determines the wire version to speak to `spec`'s node: dials a
+/// disposable connection, probes with `Hello`, and returns
+/// min(client max, node max). A node that rejects the probe as a version
+/// it does not speak negotiates down to 1 (that IS the v1 fallback, not an
+/// error); failing to reach the node at all is a real error. With
+/// `options.max_wire_version <= 1` no probe is sent — the answer is 1 by
+/// configuration.
+Result<uint16_t> NegotiateWireVersion(const RemoteSpec& spec,
+                                      const NodeClientOptions& options);
 
 }  // namespace opaq
 

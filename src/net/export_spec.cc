@@ -1,0 +1,55 @@
+#include "net/export_spec.h"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace opaq {
+
+Result<std::vector<ExportSpecEntry>> ParseExportSpecs(
+    const std::string& text) {
+  std::vector<ExportSpecEntry> entries;
+  std::set<std::string> seen;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      return Status::InvalidArgument("bad --export entry '" + item +
+                                     "': want name=path[+path...]");
+    }
+    ExportSpecEntry entry;
+    entry.name = item.substr(0, eq);
+    if (!seen.insert(entry.name).second) {
+      return Status::InvalidArgument(
+          "duplicate dataset name '" + entry.name +
+          "' in --export: each name must map to exactly one dataset");
+    }
+    const std::string path_list = item.substr(eq + 1);
+    if (path_list.back() == '+') {
+      // getline() would silently drop the empty token after a trailing '+'.
+      return Status::InvalidArgument(
+          "empty stripe path in --export entry '" + item + "'");
+    }
+    std::stringstream paths(path_list);
+    std::string path;
+    while (std::getline(paths, path, '+')) {
+      if (path.empty()) {
+        return Status::InvalidArgument(
+            "empty stripe path in --export entry '" + item + "'");
+      }
+      entry.paths.push_back(path);
+    }
+    if (entry.paths.empty()) {
+      return Status::InvalidArgument("no paths in --export entry '" + item +
+                                     "'");
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("--export names no datasets");
+  }
+  return entries;
+}
+
+}  // namespace opaq

@@ -1,0 +1,30 @@
+#ifndef OPAQ_NET_EXPORT_SPEC_H_
+#define OPAQ_NET_EXPORT_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace opaq {
+
+/// One parsed `--export` entry: a dataset name plus the path(s) backing it
+/// (one path = a plain data file, several = the stripes of one striped
+/// file, logical order).
+struct ExportSpecEntry {
+  std::string name;
+  std::vector<std::string> paths;
+};
+
+/// Parses `opaq_noded`'s `--export` value:
+/// "name=path[+path...][,name=path...]". Each entry splits on its FIRST
+/// '=' — names cannot contain '=', but paths can ("ds=/data/run=3.opaq"
+/// works). Duplicate dataset names are a hard error (silently letting the
+/// last one win would serve different bytes than the operator listed), as
+/// are empty names, empty path lists, and empty stripe paths.
+Result<std::vector<ExportSpecEntry>> ParseExportSpecs(
+    const std::string& text);
+
+}  // namespace opaq
+
+#endif  // OPAQ_NET_EXPORT_SPEC_H_

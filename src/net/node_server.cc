@@ -7,19 +7,24 @@
 #include "net/frame_io.h"
 
 namespace opaq {
-namespace {
-
-/// Answers a request with the error frame carrying `status`. Returns
-/// whether the connection is still usable (i.e. the send itself worked).
-bool SendError(TcpConnection* conn, const Status& status) {
-  std::vector<uint8_t> frame = EncodeErrorFrame(status);
-  return conn->WriteFull(frame.data(), frame.size()).ok();
-}
-
-}  // namespace
 
 NodeServer::NodeServer(NodeServerOptions options)
     : options_(std::move(options)) {}
+
+bool NodeServer::SendCounted(TcpConnection* conn, WireOp op,
+                             const void* payload, size_t len) {
+  std::vector<uint8_t> frame = EncodeFrame(op, payload, len);
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  return conn->WriteFull(frame.data(), frame.size()).ok();
+}
+
+/// Answers a request with the error frame carrying `status`. Returns
+/// whether the connection is still usable (i.e. the send itself worked).
+bool NodeServer::SendErrorCounted(TcpConnection* conn, const Status& status) {
+  std::vector<uint8_t> frame = EncodeErrorFrame(status);
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  return conn->WriteFull(frame.data(), frame.size()).ok();
+}
 
 NodeServer::~NodeServer() { Stop(); }
 
@@ -59,6 +64,17 @@ Status NodeServer::Start() {
         "max_read_bytes of " + std::to_string(options_.max_read_bytes) +
         " exceeds the wire protocol's frame payload cap (" +
         std::to_string(kMaxWirePayload) + "); responses could not be framed");
+  }
+  if (options_.max_wire_version < kWireVersion ||
+      options_.max_wire_version > kMaxWireVersion) {
+    return Status::InvalidArgument(
+        "max_wire_version of " + std::to_string(options_.max_wire_version) +
+        " is outside this build's supported range [" +
+        std::to_string(kWireVersion) + ", " +
+        std::to_string(kMaxWireVersion) + "]");
+  }
+  if (options_.max_compute_run_bytes == 0) {
+    return Status::InvalidArgument("max_compute_run_bytes must be positive");
   }
   auto listener = TcpListener::Bind(options_.bind_address, options_.port);
   if (!listener.ok()) return listener.status();
@@ -148,11 +164,22 @@ void NodeServer::Serve(TcpConnection* conn) {
     if (!conn->ReadFull(&header, sizeof(header)).ok()) {
       return;  // peer went away (or Stop shut us down): normal end of stream
     }
+    bytes_received_.fetch_add(sizeof(header), std::memory_order_relaxed);
     Status valid = ValidateFrameHeader(header);
+    if (valid.ok() && header.version > options_.max_wire_version) {
+      // This build could parse the frame, but the operator capped the node
+      // below it — reject exactly as an old build would, so version-capped
+      // nodes are faithful stand-ins for real v1 nodes (and v2 clients
+      // read the "version" error as "fall back to v1").
+      valid = Status::IoError(
+          "unsupported wire protocol version " +
+          std::to_string(header.version) + " (this node speaks at most " +
+          std::to_string(options_.max_wire_version) + ")");
+    }
     if (!valid.ok()) {
       // The stream cannot be trusted past a malformed header (we may be
       // mid-garbage); answer once and hang up.
-      SendError(conn, valid);
+      SendErrorCounted(conn, valid);
       conn->ShutdownNow();
       return;
     }
@@ -163,11 +190,12 @@ void NodeServer::Serve(TcpConnection* conn) {
         !conn->ReadFull(frame.payload.data(), frame.payload.size()).ok()) {
       return;  // truncated mid-frame: nothing sane left to answer
     }
+    bytes_received_.fetch_add(header.payload_len, std::memory_order_relaxed);
     if (Crc32(frame.payload.data(), frame.payload.size()) !=
         header.payload_crc) {
-      SendError(conn, Status::IoError(
-                          std::string("payload CRC mismatch on a ") +
-                          WireOpName(header.op) + " request"));
+      SendErrorCounted(conn, Status::IoError(
+                                 std::string("payload CRC mismatch on a ") +
+                                 WireOpName(header.op) + " request"));
       conn->ShutdownNow();
       return;
     }
@@ -186,16 +214,16 @@ bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
   }
   switch (static_cast<WireOp>(frame.op)) {
     case WireOp::kPing:
-      return SendFrame(*conn, WireOp::kPong, nullptr, 0).ok();
+      return SendCounted(conn, WireOp::kPong, nullptr, 0);
 
     case WireOp::kOpenDataset: {
       const std::string name(frame.payload.begin(), frame.payload.end());
       auto it = exports_.find(name);
       if (it == exports_.end()) {
         // Recoverable: a client probing names keeps its connection.
-        return SendError(conn, Status::NotFound(
-                                   "node exports no dataset named '" + name +
-                                   "'"));
+        return SendErrorCounted(
+            conn,
+            Status::NotFound("node exports no dataset named '" + name + "'"));
       }
       const ExportedDataset& dataset = it->second;
       WireDatasetInfo info;
@@ -204,13 +232,14 @@ bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
       info.element_count = dataset.element_count;
       info.max_read_elements =
           std::max<uint64_t>(1, options_.max_read_bytes / dataset.element_size);
-      return SendFrame(*conn, WireOp::kDatasetInfo, &info, sizeof(info)).ok();
+      return SendCounted(conn, WireOp::kDatasetInfo, &info, sizeof(info));
     }
 
     case WireOp::kReadRange: {
       if (frame.payload.size() < sizeof(WireReadRange)) {
-        SendError(conn, Status::IoError("READ_RANGE payload shorter than its "
-                                        "fixed prefix"));
+        SendErrorCounted(conn,
+                         Status::IoError("READ_RANGE payload shorter than its "
+                                         "fixed prefix"));
         return false;  // framing is off; close
       }
       WireReadRange range;
@@ -219,14 +248,14 @@ bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
                              frame.payload.end());
       auto it = exports_.find(name);
       if (it == exports_.end()) {
-        return SendError(conn, Status::NotFound(
-                                   "node exports no dataset named '" + name +
-                                   "'"));
+        return SendErrorCounted(
+            conn,
+            Status::NotFound("node exports no dataset named '" + name + "'"));
       }
       const ExportedDataset& dataset = it->second;
       if (range.count == 0) {
-        return SendError(conn, Status::InvalidArgument(
-                                   "READ_RANGE of zero elements"));
+        return SendErrorCounted(
+            conn, Status::InvalidArgument("READ_RANGE of zero elements"));
       }
       // Enforce exactly the bound OpenDataset advertised (so a client
       // slicing at max_read_elements is never rejected), plus the frame
@@ -235,7 +264,7 @@ bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
           1, options_.max_read_bytes / dataset.element_size);
       if (range.count > max_elements ||
           range.count > kMaxWirePayload / dataset.element_size) {
-        return SendError(
+        return SendErrorCounted(
             conn, Status::InvalidArgument(
                       "READ_RANGE of " + std::to_string(range.count) +
                       " elements exceeds this node's per-request bound of " +
@@ -243,7 +272,7 @@ bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
       }
       if (range.first > dataset.element_count ||
           range.count > dataset.element_count - range.first) {
-        return SendError(
+        return SendErrorCounted(
             conn, Status::OutOfRange(
                       "READ_RANGE [" + std::to_string(range.first) + ", +" +
                       std::to_string(range.count) + ") passes the end (" +
@@ -253,17 +282,123 @@ bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
       Status read = dataset.read(range.first, range.count, data.data());
       if (!read.ok()) {
         // The disk under the dataset failed; the connection itself is fine.
-        return SendError(conn, read);
+        return SendErrorCounted(conn, read);
       }
-      return SendFrame(*conn, WireOp::kRangeData, data.data(), data.size())
-          .ok();
+      return SendCounted(conn, WireOp::kRangeData, data.data(), data.size());
+    }
+
+    case WireOp::kHello: {
+      if (frame.payload.size() < sizeof(WireHello)) {
+        SendErrorCounted(conn, Status::IoError(
+                                   "HELLO payload shorter than its header"));
+        return false;  // framing is off; close
+      }
+      // The peer's announced version needs no inspection: each side simply
+      // discloses its own newest, and both use the minimum.
+      WireHello ack;
+      ack.max_version = options_.max_wire_version;
+      return SendCounted(conn, WireOp::kHelloAck, &ack, sizeof(ack));
+    }
+
+    case WireOp::kSampleRuns: {
+      if (frame.payload.size() < sizeof(WireSampleRunsRequest)) {
+        SendErrorCounted(
+            conn, Status::IoError(
+                      "SAMPLE_RUNS payload shorter than its fixed prefix"));
+        return false;  // framing is off; close
+      }
+      WireSampleRunsRequest request;
+      std::memcpy(&request, frame.payload.data(), sizeof(request));
+      const std::string name(frame.payload.begin() + sizeof(request),
+                             frame.payload.end());
+      auto it = exports_.find(name);
+      if (it == exports_.end()) {
+        return SendErrorCounted(
+            conn,
+            Status::NotFound("node exports no dataset named '" + name + "'"));
+      }
+      const ExportedDataset& dataset = it->second;
+      if (!dataset.sample_runs) {
+        // Untyped export: the node cannot sample what it cannot interpret.
+        // Recoverable — the client falls back to v1 range streaming.
+        return SendErrorCounted(
+            conn, Status::Unimplemented(
+                      "dataset '" + name +
+                      "' is exported untyped; this node can only serve its "
+                      "raw ranges, not compute over it"));
+      }
+      auto payload =
+          dataset.sample_runs(request, options_.max_compute_run_bytes);
+      if (!payload.ok()) {
+        // A bad request or a failing disk; the connection itself is fine.
+        return SendErrorCounted(conn, payload.status());
+      }
+      return SendCounted(conn, WireOp::kSampleListData, payload->data(),
+                         payload->size());
+    }
+
+    case WireOp::kExactPass: {
+      if (frame.payload.size() < sizeof(WireExactPassRequest)) {
+        SendErrorCounted(
+            conn, Status::IoError(
+                      "EXACT_PASS payload shorter than its fixed prefix"));
+        return false;  // framing is off; close
+      }
+      WireExactPassRequest request;
+      std::memcpy(&request, frame.payload.data(), sizeof(request));
+      if (frame.payload.size() - sizeof(request) < request.name_len) {
+        SendErrorCounted(
+            conn, Status::IoError("EXACT_PASS name_len passes the end of "
+                                  "the payload"));
+        return false;  // framing is off; close
+      }
+      const std::string name(frame.payload.begin() + sizeof(request),
+                             frame.payload.begin() + sizeof(request) +
+                                 request.name_len);
+      auto it = exports_.find(name);
+      if (it == exports_.end()) {
+        return SendErrorCounted(
+            conn,
+            Status::NotFound("node exports no dataset named '" + name + "'"));
+      }
+      const ExportedDataset& dataset = it->second;
+      if (!dataset.exact_pass) {
+        return SendErrorCounted(
+            conn, Status::Unimplemented(
+                      "dataset '" + name +
+                      "' is exported untyped; this node can only serve its "
+                      "raw ranges, not compute over it"));
+      }
+      const uint64_t bracket_bytes =
+          frame.payload.size() - sizeof(request) - request.name_len;
+      if (bracket_bytes !=
+          uint64_t{request.num_brackets} * 2 * dataset.element_size) {
+        return SendErrorCounted(
+            conn, Status::InvalidArgument(
+                      "EXACT_PASS carries " + std::to_string(bracket_bytes) +
+                      " bracket bytes where " +
+                      std::to_string(request.num_brackets) + " brackets of " +
+                      std::to_string(dataset.element_size) +
+                      "-byte elements need " +
+                      std::to_string(uint64_t{request.num_brackets} * 2 *
+                                     dataset.element_size)));
+      }
+      auto payload = dataset.exact_pass(
+          request,
+          frame.payload.data() + sizeof(request) + request.name_len,
+          options_.max_compute_run_bytes);
+      if (!payload.ok()) {
+        return SendErrorCounted(conn, payload.status());
+      }
+      return SendCounted(conn, WireOp::kExactPassData, payload->data(),
+                         payload->size());
     }
 
     default:
-      SendError(conn, Status::Unimplemented(
-                          std::string("node does not speak op ") +
-                          WireOpName(frame.op) + " (" +
-                          std::to_string(frame.op) + ")"));
+      SendErrorCounted(conn, Status::Unimplemented(
+                                 std::string("node does not speak op ") +
+                                 WireOpName(frame.op) + " (" +
+                                 std::to_string(frame.op) + ")"));
       return false;  // unknown op: assume version skew and close
   }
 }

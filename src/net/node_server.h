@@ -14,6 +14,7 @@
 
 #include "io/data_file.h"
 #include "io/striped_data_file.h"
+#include "net/node_compute.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "util/status.h"
@@ -31,6 +32,20 @@ struct ExportedDataset {
   /// Reads `count` elements starting at `first` into `out` (already
   /// bounds-checked by the server against `element_count`).
   std::function<Status(uint64_t first, uint64_t count, void* out)> read;
+  /// Optional v2 compute hooks: run the paper's sample phase / §4 filter
+  /// scan over this dataset's runs and return the complete response payload
+  /// (see node_compute.h). The typed `Export` overloads bind these; an
+  /// untyped export leaves them empty, and the node then answers compute
+  /// requests with Unimplemented so a v2 client falls back to v1 range
+  /// streaming for that dataset. `max_run_bytes` is the server's
+  /// `max_compute_run_bytes` bound.
+  std::function<Result<std::vector<uint8_t>>(
+      const WireSampleRunsRequest& request, uint64_t max_run_bytes)>
+      sample_runs;
+  std::function<Result<std::vector<uint8_t>>(
+      const WireExactPassRequest& request, const uint8_t* bracket_bytes,
+      uint64_t max_run_bytes)>
+      exact_pass;
   /// Optional ownership hook: keeps backing objects (devices, files) alive
   /// for exports the caller does not keep alive itself (`opaq_noded` uses
   /// this; the borrow-style `Export` overloads leave it empty).
@@ -54,11 +69,23 @@ struct NodeServerOptions {
   /// Artificial delay before every response frame — the latency-injectable
   /// loopback transport the remote-vs-local benches are built on. 0 = off.
   double response_delay_seconds = 0;
+  /// Newest protocol version this node answers. Frames announcing a newer
+  /// version are rejected with an error frame mentioning "version" — the
+  /// signal a v2 client's `kHello` probe reads as "speak v1". Lower to 1 to
+  /// emulate a pre-compute node (tests and the bench's v1 rows do). Must be
+  /// in [1, kMaxWireVersion]; `Start` rejects anything else.
+  uint16_t max_wire_version = kMaxWireVersion;
+  /// Per-request bound on the node-side run buffer a `kSampleRuns` /
+  /// `kExactPass` may ask for (`run_size * element_size`). Compute runs
+  /// node-side, so this is a memory bound, not a frame bound — hence far
+  /// above `max_read_bytes`.
+  uint64_t max_compute_run_bytes = 256u << 20;
 };
 
-/// `opaq_noded`'s engine: serves exported datasets over the v1 wire
-/// protocol with one thread per connection (the paper's workload is few
-/// long sequential streams per node, not thousands of short ones).
+/// `opaq_noded`'s engine: serves exported datasets over the wire protocol
+/// (v1 range streaming, and — for typed exports — the v2 compute ops) with
+/// one thread per connection (the paper's workload is few long sequential
+/// streams per node, not thousands of short ones).
 ///
 /// Lifecycle: construct, `Export` every dataset, `Start()`, eventually
 /// `Stop()` (idempotent; the destructor calls it). Exports are frozen at
@@ -80,6 +107,9 @@ class NodeServer {
   void Export(const std::string& name, ExportedDataset dataset);
 
   /// Exports a typed plain data file, borrowed (caller keeps it alive).
+  /// Typed exports are full compute nodes: the v2 `kSampleRuns` /
+  /// `kExactPass` hooks run over the same `FileRunProvider` local mode
+  /// uses (sync and async alike).
   template <typename K>
   void Export(const std::string& name, const TypedDataFile<K>* file) {
     OPAQ_CHECK(file != nullptr);
@@ -90,12 +120,26 @@ class NodeServer {
     dataset.read = [file](uint64_t first, uint64_t count, void* out) {
       return file->Read(first, count, static_cast<K*>(out));
     };
+    dataset.sample_runs = [file](const WireSampleRunsRequest& request,
+                                 uint64_t max_run_bytes) {
+      return NodeSampleRuns<K>(FileRunProvider<K>(file), request,
+                               max_run_bytes);
+    };
+    dataset.exact_pass = [file](const WireExactPassRequest& request,
+                                const uint8_t* bracket_bytes,
+                                uint64_t max_run_bytes) {
+      return NodeExactPass<K>(FileRunProvider<K>(file), request,
+                              bracket_bytes, max_run_bytes);
+    };
     Export(name, std::move(dataset));
   }
 
   /// Exports a striped multi-disk data file, borrowed. The node gathers
   /// across stripes locally and serves one flat logical element space — a
   /// client cannot tell (and need not care) how a node lays its data out.
+  /// Compute requests drive the striped readers directly (kAsync = one
+  /// thread per stripe), so node-side sampling enjoys the full array
+  /// bandwidth.
   template <typename K>
   void Export(const std::string& name, const StripedDataFile<K>* file) {
     OPAQ_CHECK(file != nullptr);
@@ -105,6 +149,17 @@ class NodeServer {
     dataset.element_count = file->size();
     dataset.read = [file](uint64_t first, uint64_t count, void* out) {
       return file->Read(first, count, static_cast<K*>(out));
+    };
+    dataset.sample_runs = [file](const WireSampleRunsRequest& request,
+                                 uint64_t max_run_bytes) {
+      return NodeSampleRuns<K>(StripedFileProvider<K>(file), request,
+                               max_run_bytes);
+    };
+    dataset.exact_pass = [file](const WireExactPassRequest& request,
+                                const uint8_t* bracket_bytes,
+                                uint64_t max_run_bytes) {
+      return NodeExactPass<K>(StripedFileProvider<K>(file), request,
+                              bracket_bytes, max_run_bytes);
     };
     Export(name, std::move(dataset));
   }
@@ -133,6 +188,15 @@ class NodeServer {
   uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  /// Application bytes this node put on / took off the wire (headers and
+  /// payloads of every frame) — what the remote_comparison bench reads to
+  /// show the v2 bytes-on-wire win without packet capture.
+  uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Connection {
@@ -152,6 +216,11 @@ class NodeServer {
   /// Handles one request frame; returns false when the connection must
   /// close (protocol violation or transport failure).
   bool HandleFrame(TcpConnection* conn, const WireFrame& frame);
+  /// All response traffic funnels through these so `bytes_sent_` counts
+  /// every frame (header + payload) exactly once.
+  bool SendCounted(TcpConnection* conn, WireOp op, const void* payload,
+                   size_t len);
+  bool SendErrorCounted(TcpConnection* conn, const Status& status);
 
   NodeServerOptions options_;
   std::map<std::string, ExportedDataset> exports_;
@@ -162,6 +231,8 @@ class NodeServer {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
 
   std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;

@@ -40,13 +40,26 @@ const char* WireOpName(uint16_t op) {
     case WireOp::kReadRange: return "READ_RANGE";
     case WireOp::kRangeData: return "RANGE_DATA";
     case WireOp::kError: return "ERROR";
+    case WireOp::kHello: return "HELLO";
+    case WireOp::kHelloAck: return "HELLO_ACK";
+    case WireOp::kSampleRuns: return "SAMPLE_RUNS";
+    case WireOp::kSampleListData: return "SAMPLE_LIST_DATA";
+    case WireOp::kExactPass: return "EXACT_PASS";
+    case WireOp::kExactPassData: return "EXACT_PASS_DATA";
   }
   return "?";
+}
+
+uint16_t WireOpVersion(WireOp op) {
+  return static_cast<uint16_t>(op) >= static_cast<uint16_t>(WireOp::kHello)
+             ? kMaxWireVersion
+             : kWireVersion;
 }
 
 std::vector<uint8_t> EncodeFrame(WireOp op, const void* payload, size_t len) {
   OPAQ_CHECK_LE(len, static_cast<size_t>(kMaxWirePayload));
   WireFrameHeader header;
+  header.version = WireOpVersion(op);
   header.op = static_cast<uint16_t>(op);
   header.payload_len = static_cast<uint32_t>(len);
   header.payload_crc = Crc32(payload, len);
@@ -90,10 +103,12 @@ Status ValidateFrameHeader(const WireFrameHeader& header) {
   if (header.magic != WireFrameHeader::kMagic) {
     return Status::IoError("bad frame magic: not OPAQ node traffic");
   }
-  if (header.version != kWireVersion) {
+  if (header.version < kWireVersion || header.version > kMaxWireVersion) {
     return Status::IoError("unsupported wire protocol version " +
-                           std::to_string(header.version) + " (this build speaks " +
-                           std::to_string(kWireVersion) + ")");
+                           std::to_string(header.version) +
+                           " (this build speaks " +
+                           std::to_string(kWireVersion) + ".." +
+                           std::to_string(kMaxWireVersion) + ")");
   }
   if (header.payload_len > kMaxWirePayload) {
     return Status::IoError("frame payload of " +

@@ -11,7 +11,7 @@
 
 namespace opaq {
 
-/// OPAQ data-node wire protocol, version 1.
+/// OPAQ data-node wire protocol, versions 1 and 2.
 ///
 /// Every message is one length-prefixed frame: a fixed 16-byte header
 /// followed by `payload_len` payload bytes. The header carries a magic, the
@@ -19,8 +19,19 @@ namespace opaq {
 /// so a receiver can reject foreign traffic, version skew, truncation and
 /// corruption before interpreting a single payload byte. Multi-byte fields
 /// are little-endian on the wire (the repo's on-disk headers share this
-/// convention); the frame layout is pinned by a committed golden byte
-/// stream (`tests/golden/wire_v1.bin`).
+/// convention); the frame layouts are pinned by committed golden byte
+/// streams (`tests/golden/wire_v1.bin`, `tests/golden/wire_v2.bin`).
+///
+/// Version 1 is the byte-serving protocol: open a dataset, stream element
+/// ranges. Version 2 adds COMPUTE ops that push the paper's work to the
+/// data node: `kSampleRuns` runs the one-pass sample phase node-side and
+/// returns only the O(s) serialized sample list, and `kExactPass` runs the
+/// §4 bracket filter scan node-side and returns per-bracket counts plus
+/// candidates — turning O(n) bytes on the wire into O(s). Each op's frame
+/// header carries the op's own minimum version (v1 ops stay version 1), so
+/// a v1-only node rejects exactly the frames it cannot serve: a v2 client
+/// probes with `kHello` and falls back to v1 range streaming when the node
+/// answers with a version error (see README's compatibility matrix).
 ///
 /// The protocol is a strict request/response alternation per frame, but
 /// clients may PIPELINE requests: send k `kReadRange` frames back to back,
@@ -29,9 +40,9 @@ namespace opaq {
 /// and what `RemoteRunSource` exploits to overlap network latency with
 /// compute.
 ///
-/// Security caveat: v1 is UNAUTHENTICATED and unencrypted — a data node
-/// trusts every peer that can reach its port. Deploy on trusted/loopback
-/// networks only (see README "Distributed mode").
+/// Security caveat: the protocol is UNAUTHENTICATED and unencrypted — a
+/// data node trusts every peer that can reach its port. Deploy on
+/// trusted/loopback networks only (see README "Distributed mode").
 struct WireFrameHeader {
   static constexpr uint32_t kMagic = 0x4e51504f;  // "OPQN" little-endian
   uint32_t magic = kMagic;
@@ -43,8 +54,11 @@ struct WireFrameHeader {
 static_assert(sizeof(WireFrameHeader) == 16);
 static_assert(std::is_trivially_copyable_v<WireFrameHeader>);
 
-/// The wire protocol version this build speaks.
+/// The baseline (byte-serving) protocol version every build speaks.
 inline constexpr uint16_t kWireVersion = 1;
+
+/// The newest protocol version this build speaks (v2 = compute ops).
+inline constexpr uint16_t kMaxWireVersion = 2;
 
 /// Hard cap on a frame payload: protects both sides from allocation bombs
 /// when a corrupted or hostile header claims an absurd length. The server's
@@ -52,9 +66,11 @@ inline constexpr uint16_t kWireVersion = 1;
 /// below this.
 inline constexpr uint32_t kMaxWirePayload = 64u << 20;
 
-/// Operation codes of protocol v1. Requests flow client -> node, responses
-/// node -> client. `kError` may answer any request; its payload carries a
-/// `Status` the client latches as a sticky stream error.
+/// Operation codes. Requests flow client -> node, responses node -> client.
+/// `kError` may answer any request; its payload carries a `Status` the
+/// client latches as a sticky stream error. Ops 1-7 are protocol v1; ops
+/// 8+ are the v2 compute extension and travel in version-2 frames (see
+/// `WireOpVersion`).
 enum class WireOp : uint16_t {
   kPing = 1,         // -> empty; liveness probe
   kPong = 2,         // <- empty
@@ -63,11 +79,27 @@ enum class WireOp : uint16_t {
   kReadRange = 5,    // -> payload: WireReadRange + dataset name bytes
   kRangeData = 6,    // <- payload: count * element_size raw element bytes
   kError = 7,        // <- payload: u32 StatusCode + message bytes
+  // ----- v2: compute ops -----
+  kHello = 8,           // -> payload: WireHello (client's newest version)
+  kHelloAck = 9,        // <- payload: WireHello (node's newest version)
+  kSampleRuns = 10,     // -> payload: WireSampleRunsRequest + dataset name
+  kSampleListData = 11, // <- payload: WireSampleListHeader + sorted samples
+  kExactPass = 12,      // -> payload: WireExactPassRequest + dataset name
+                        //    (name_len bytes) + bracket bounds ((lower,
+                        //    upper) element pairs)
+  kExactPassData = 13,  // <- payload: WireExactPassHeader + u64 below[] +
+                        //    u64 kept_count[] + kept element bytes
 };
 
 /// Stable short name for an op ("PING", "READ_RANGE", ...); "?" when
 /// unknown.
 const char* WireOpName(uint16_t op);
+
+/// The minimum protocol version that carries `op` — and the version
+/// `EncodeFrame` stamps into the frame header, so v1 ops stay byte-stable
+/// (golden `wire_v1.bin`) while compute ops announce themselves as v2 and
+/// are cleanly rejected by v1-only peers.
+uint16_t WireOpVersion(WireOp op);
 
 /// `kDatasetInfo` payload: what a node discloses about one exported
 /// dataset. `max_read_elements` is the node's per-request read bound for
@@ -91,6 +123,80 @@ struct WireReadRange {
 static_assert(sizeof(WireReadRange) == 16);
 static_assert(std::is_trivially_copyable_v<WireReadRange>);
 
+/// `kHello` / `kHelloAck` payload: each side announces the newest protocol
+/// version it speaks; the effective version is the minimum of the two. A
+/// v1-only node never parses this — it rejects the version-2 frame header
+/// itself with an error frame mentioning "version", which a v2 client
+/// treats as "speak v1" (fallback to range streaming).
+struct WireHello {
+  uint16_t max_version = kMaxWireVersion;
+  uint16_t reserved = 0;
+};
+static_assert(sizeof(WireHello) == 4);
+static_assert(std::is_trivially_copyable_v<WireHello>);
+
+/// Fixed prefix of a `kSampleRuns` payload (the dataset name follows): the
+/// full `OpaqConfig` of the sample phase the node must run, so the node-side
+/// sketch is the SAME computation the client would have run locally — the
+/// returned sample list is byte-identical to client-side sketching of the
+/// same data (samples are order statistics; the seed only steers selection
+/// pivots, never results).
+struct WireSampleRunsRequest {
+  uint64_t run_size = 0;
+  uint64_t samples_per_run = 0;
+  uint64_t seed = 0;
+  uint32_t select_algorithm = 0;  // SelectAlgorithm tag
+  uint32_t io_mode = 0;           // 0 = sync, 1 = async
+  uint32_t prefetch_depth = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(WireSampleRunsRequest) == 40);
+static_assert(std::is_trivially_copyable_v<WireSampleRunsRequest>);
+
+/// Fixed prefix of a `kSampleListData` payload; `num_samples` raw sorted
+/// element bytes follow. Mirrors `SampleAccounting` field for field, so a
+/// received list reconstructs losslessly (and merges with any other list of
+/// the same sub-run size).
+struct WireSampleListHeader {
+  uint64_t subrun_size = 0;
+  uint64_t num_runs = 0;
+  uint64_t num_samples = 0;
+  uint64_t num_uncovered = 0;
+  uint64_t total_elements = 0;
+};
+static_assert(sizeof(WireSampleListHeader) == 40);
+static_assert(std::is_trivially_copyable_v<WireSampleListHeader>);
+
+/// Fixed prefix of a `kExactPass` payload; the dataset name (`name_len`
+/// bytes) follows, then `num_brackets` (lower, upper) element pairs. The
+/// name travels with its own length because the bracket region's size
+/// depends on the dataset's element size — which the node only knows after
+/// resolving the name. The node scans its runs once, counting elements
+/// below each bracket and keeping the elements inside it (the paper's §4
+/// filter pass), under `memory_budget` kept elements.
+struct WireExactPassRequest {
+  uint64_t memory_budget = 0;  // max kept elements node-side (0 invalid)
+  uint64_t run_size = 0;
+  uint32_t num_brackets = 0;
+  uint32_t io_mode = 0;  // 0 = sync, 1 = async
+  uint32_t prefetch_depth = 0;
+  uint32_t name_len = 0;  // dataset-name bytes following this prefix
+};
+static_assert(sizeof(WireExactPassRequest) == 32);
+static_assert(std::is_trivially_copyable_v<WireExactPassRequest>);
+
+/// Fixed prefix of a `kExactPassData` payload; `num_brackets` u64
+/// below-counts follow, then `num_brackets` u64 kept-counts, then the kept
+/// elements of every bracket concatenated in bracket order (`kept_total`
+/// elements in all).
+struct WireExactPassHeader {
+  uint64_t kept_total = 0;
+  uint32_t num_brackets = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(WireExactPassHeader) == 16);
+static_assert(std::is_trivially_copyable_v<WireExactPassHeader>);
+
 /// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of `len` bytes.
 /// The classic check value: Crc32("123456789", 9) == 0xCBF43926.
 uint32_t Crc32(const void* data, size_t len);
@@ -101,7 +207,9 @@ struct WireFrame {
   std::vector<uint8_t> payload;
 };
 
-/// Encodes a frame (header + payload copy) ready to put on the wire.
+/// Encodes a frame (header + payload copy) ready to put on the wire. The
+/// header's version field is `WireOpVersion(op)`: v1 ops encode exactly as
+/// they always have, v2 ops stamp version 2.
 std::vector<uint8_t> EncodeFrame(WireOp op, const void* payload, size_t len);
 std::vector<uint8_t> EncodeFrame(WireOp op,
                                  const std::vector<uint8_t>& payload);
@@ -114,9 +222,10 @@ std::vector<uint8_t> EncodeErrorFrame(const Status& status);
 /// Never returns OK (error frames carry errors by construction).
 Status DecodeErrorPayload(const uint8_t* payload, size_t len);
 
-/// Validates a received header: magic, version, and payload-length cap.
-/// (Op codes are NOT validated here — an unknown op is a dispatch-level
-/// error so that the receiver can answer it with a clean error frame.)
+/// Validates a received header: magic, version (1..kMaxWireVersion), and
+/// payload-length cap. (Op codes are NOT validated here — an unknown op is
+/// a dispatch-level error so that the receiver can answer it with a clean
+/// error frame.)
 Status ValidateFrameHeader(const WireFrameHeader& header);
 
 /// Decodes one frame off the front of `data` (header validation + CRC

@@ -100,6 +100,9 @@ std::vector<FlagSpec> RemoteFlags() {
       {"remote", "", "remote data-node shards",
        "comma-separated host:port/dataset specs (replaces --data; several "
        "specs = one Engine shard per node)"},
+      {"wire-version", "2", "NodeClientOptions::max_wire_version",
+       "newest wire version to speak: 2 = node-side compute when the node "
+       "supports it, 1 = force v1 range streaming"},
   };
 }
 
@@ -424,13 +427,21 @@ Result<std::vector<Source<Key>>> OpenDataSources(const CommandFlags& flags) {
   }
   std::vector<Source<Key>> sources;
   if (remote) {
+    const int64_t wire_version = flags.GetInt("wire-version");
+    if (wire_version < kWireVersion || wire_version > kMaxWireVersion) {
+      return Status::InvalidArgument(
+          "--wire-version must be in [" + std::to_string(kWireVersion) +
+          ", " + std::to_string(kMaxWireVersion) + "]");
+    }
+    NodeClientOptions client_options;
+    client_options.max_wire_version = static_cast<uint16_t>(wire_version);
     std::stringstream ss(flags.GetString("remote"));
     std::string spec;
     while (std::getline(ss, spec, ',')) {
       if (spec.empty()) {
         return Status::InvalidArgument("empty entry in --remote");
       }
-      auto source = Source<Key>::OpenRemote(spec);
+      auto source = Source<Key>::OpenRemote(spec, client_options);
       if (!source.ok()) {
         return Status(source.status().code(),
                       spec + ": " + source.status().message());

@@ -1,15 +1,21 @@
 // opaq_noded — the OPAQ data-node daemon: exports local datasets (plain or
-// striped data files, any key type) over the v1 wire protocol so remote
-// `Engine`s can consume them as shards via `Source::OpenRemote`.
+// striped data files, any key type) over the wire protocol so remote
+// `Engine`s can consume them as shards via `Source::OpenRemote`. Every
+// export is typed, so the node is a full v2 COMPUTE node: it answers
+// `SampleRuns` / `ExactPass` by running the paper's sample phase and §4
+// filter scan over its own disks and shipping only the O(s) results; v1
+// clients (and `--max-wire-version=1` nodes) still stream raw ranges.
 //
 //   opaq_noded --export=sales=/data/sales.opaq --port=34601
 //   opaq_noded --export=logs=/d0/l.s0+/d1/l.s1+/d2/l.s2   # striped dataset
 //   opaq_noded --export=a=a.opaq,b=b.opaq --port=0        # 0 = ephemeral
 //
 // Each --export entry is name=path (plain file) or name=p0+p1+... (the
-// stripes of one striped file, logical order). The node prints one line per
-// dataset plus its bound address, then serves until killed (or for
-// --duration seconds, for scripted runs).
+// stripes of one striped file, logical order); paths may contain '=' —
+// only the first '=' of an entry separates the name. Duplicate dataset
+// names are a startup error. The node prints one line per dataset plus its
+// bound address, then serves until killed (or for --duration seconds, for
+// scripted runs).
 //
 // SECURITY: the protocol is unauthenticated — the default bind address
 // stays on 127.0.0.1; bind 0.0.0.0 only on networks where every peer is
@@ -39,72 +45,71 @@ int Fail(const Status& status) {
   return 1;
 }
 
-/// One name=path[+path...] export entry, split.
-struct ExportEntry {
-  std::string name;
-  std::vector<std::string> paths;
-};
-
-Result<std::vector<ExportEntry>> ParseExports(const std::string& text) {
-  std::vector<ExportEntry> entries;
-  std::stringstream ss(text);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    const auto eq = item.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
-      return Status::InvalidArgument("bad --export entry '" + item +
-                                     "': want name=path[+path...]");
-    }
-    ExportEntry entry;
-    entry.name = item.substr(0, eq);
-    std::stringstream paths(item.substr(eq + 1));
-    std::string path;
-    while (std::getline(paths, path, '+')) {
-      if (path.empty()) {
-        return Status::InvalidArgument("empty stripe path in --export entry '" +
-                                       item + "'");
-      }
-      entry.paths.push_back(path);
-    }
-    if (entry.paths.empty()) {
-      return Status::InvalidArgument("no paths in --export entry '" + item +
-                                     "'");
-    }
-    entries.push_back(std::move(entry));
-  }
-  if (entries.empty()) {
-    return Status::InvalidArgument("--export names no datasets");
-  }
-  return entries;
-}
-
-/// Opens a plain data file export; the returned dataset owns device + file.
-Result<ExportedDataset> OpenPlainExport(const std::string& path) {
+/// Opens the plain data file as a typed export of key type `K`; the
+/// returned dataset owns device + file and carries the v2 compute hooks
+/// over the same `FileRunProvider` local mode uses.
+template <typename K>
+Result<ExportedDataset> OpenPlainExportTyped(
+    std::unique_ptr<FileBlockDevice> device) {
   struct Bundle {
     std::unique_ptr<FileBlockDevice> device;
-    std::unique_ptr<DataFile> file;
+    std::unique_ptr<TypedDataFile<K>> file;
   };
   auto bundle = std::make_shared<Bundle>();
-  auto device = FileBlockDevice::Make(path, FileBlockDevice::Mode::kOpen);
-  if (!device.ok()) return device.status();
-  bundle->device = std::move(device).value();
-  auto file = DataFile::Open(bundle->device.get());
+  bundle->device = std::move(device);
+  auto file = TypedDataFile<K>::Open(bundle->device.get());
   if (!file.ok()) return file.status();
-  bundle->file = std::make_unique<DataFile>(std::move(file).value());
+  bundle->file = std::make_unique<TypedDataFile<K>>(std::move(file).value());
   ExportedDataset dataset;
-  dataset.key_type = static_cast<uint32_t>(bundle->file->key_type());
-  dataset.element_size = bundle->file->element_size();
-  dataset.element_count = bundle->file->element_count();
-  const DataFile* raw = bundle->file.get();
-  dataset.read = [raw](uint64_t first, uint64_t count, void* out) {
-    return raw->ReadElements(first, count, out);
+  dataset.key_type = static_cast<uint32_t>(KeyTraits<K>::kType);
+  dataset.element_size = sizeof(K);
+  dataset.element_count = bundle->file->size();
+  const TypedDataFile<K>* fptr = bundle->file.get();
+  dataset.read = [fptr](uint64_t first, uint64_t count, void* out) {
+    return fptr->Read(first, count, static_cast<K*>(out));
+  };
+  dataset.sample_runs = [fptr](const WireSampleRunsRequest& request,
+                               uint64_t max_run_bytes) {
+    return NodeSampleRuns<K>(FileRunProvider<K>(fptr), request,
+                             max_run_bytes);
+  };
+  dataset.exact_pass = [fptr](const WireExactPassRequest& request,
+                              const uint8_t* bracket_bytes,
+                              uint64_t max_run_bytes) {
+    return NodeExactPass<K>(FileRunProvider<K>(fptr), request, bracket_bytes,
+                            max_run_bytes);
   };
   dataset.owner = std::move(bundle);
   return dataset;
 }
 
+/// Opens a plain data file export, dispatching on the key type its header
+/// declares (a node serves any key type; clients type-check at handshake).
+Result<ExportedDataset> OpenPlainExport(const std::string& path) {
+  auto device = FileBlockDevice::Make(path, FileBlockDevice::Mode::kOpen);
+  if (!device.ok()) return device.status();
+  DataFileHeader header;
+  OPAQ_RETURN_IF_ERROR((*device)->ReadAt(0, &header, sizeof(header)));
+  switch (static_cast<KeyType>(header.key_type)) {
+    case KeyType::kU32:
+      return OpenPlainExportTyped<uint32_t>(std::move(device).value());
+    case KeyType::kU64:
+      return OpenPlainExportTyped<uint64_t>(std::move(device).value());
+    case KeyType::kI64:
+      return OpenPlainExportTyped<int64_t>(std::move(device).value());
+    case KeyType::kF32:
+      return OpenPlainExportTyped<float>(std::move(device).value());
+    case KeyType::kF64:
+      return OpenPlainExportTyped<double>(std::move(device).value());
+  }
+  return Status::InvalidArgument(
+      path + ": unknown key type tag " + std::to_string(header.key_type) +
+      " (not an OPAQ data file?)");
+}
+
 /// Opens the stripes as a typed striped file of key type `K`; the returned
-/// dataset owns every device and the file.
+/// dataset owns every device and the file, and computes over the striped
+/// readers directly (kAsync = one thread per stripe).
 template <typename K>
 Result<ExportedDataset> OpenStripedExportTyped(
     std::vector<std::unique_ptr<FileBlockDevice>> devices) {
@@ -128,6 +133,17 @@ Result<ExportedDataset> OpenStripedExportTyped(
   const StripedDataFile<K>* fptr = bundle->file.get();
   dataset.read = [fptr](uint64_t first, uint64_t count, void* out) {
     return fptr->Read(first, count, static_cast<K*>(out));
+  };
+  dataset.sample_runs = [fptr](const WireSampleRunsRequest& request,
+                               uint64_t max_run_bytes) {
+    return NodeSampleRuns<K>(StripedFileProvider<K>(fptr), request,
+                             max_run_bytes);
+  };
+  dataset.exact_pass = [fptr](const WireExactPassRequest& request,
+                              const uint8_t* bracket_bytes,
+                              uint64_t max_run_bytes) {
+    return NodeExactPass<K>(StripedFileProvider<K>(fptr), request,
+                            bracket_bytes, max_run_bytes);
   };
   dataset.owner = std::move(bundle);
   return dataset;
@@ -166,16 +182,21 @@ int Usage(std::ostream& os, int code) {
   os << "usage: opaq_noded --export=NAME=PATH[+PATH...][,NAME=PATH...] "
         "[flags]\n\n"
         "serves local OPAQ datasets to remote engines over TCP (wire "
-        "protocol v1).\n\nflags:\n"
+        "protocol v1 range\nstreaming + v2 node-side compute).\n\nflags:\n"
         "  --export=...        datasets to serve: name=path for a plain data "
         "file,\n"
         "                      name=p0+p1+... for the stripes of a striped "
         "file\n"
+        "                      (first '=' separates the name; duplicate "
+        "names are\n"
+        "                      an error)\n"
         "  --bind=127.0.0.1    IPv4 address to bind (UNAUTHENTICATED "
         "protocol:\n"
         "                      bind non-loopback only on trusted networks)\n"
         "  --port=34601        TCP port (0 = pick an ephemeral port)\n"
         "  --max-read-bytes=4194304  per-request read bound\n"
+        "  --max-wire-version=2  cap the protocol (1 = emulate a v1-only "
+        "node)\n"
         "  --delay-ms=0        artificial response latency (bench/testing)\n"
         "  --duration=0        serve this many seconds, then exit (0 = "
         "forever)\n";
@@ -188,8 +209,8 @@ int Main(int argc, char** argv) {
   if (flags->GetBool("help", false)) return Usage(std::cout, 0);
   for (const std::string& key : flags->keys()) {
     if (key != "export" && key != "bind" && key != "port" &&
-        key != "max-read-bytes" && key != "delay-ms" && key != "duration" &&
-        key != "help") {
+        key != "max-read-bytes" && key != "max-wire-version" &&
+        key != "delay-ms" && key != "duration" && key != "help") {
       std::cerr << "opaq_noded: unknown flag --" << key << "\n";
       return Usage(std::cerr, 2);
     }
@@ -204,7 +225,7 @@ int Main(int argc, char** argv) {
     return Usage(std::cerr, 2);
   }
 
-  auto entries = ParseExports(flags->GetString("export", ""));
+  auto entries = ParseExportSpecs(flags->GetString("export", ""));
   if (!entries.ok()) return Fail(entries.status());
 
   NodeServerOptions options;
@@ -219,10 +240,18 @@ int Main(int argc, char** argv) {
     return Fail(Status::InvalidArgument("--max-read-bytes must be >= 1"));
   }
   options.max_read_bytes = static_cast<uint64_t>(max_read);
+  const int64_t max_version =
+      flags->GetInt("max-wire-version", kMaxWireVersion);
+  if (max_version < kWireVersion || max_version > kMaxWireVersion) {
+    return Fail(Status::InvalidArgument(
+        "--max-wire-version must be in [" + std::to_string(kWireVersion) +
+        ", " + std::to_string(kMaxWireVersion) + "]"));
+  }
+  options.max_wire_version = static_cast<uint16_t>(max_version);
   options.response_delay_seconds = flags->GetDouble("delay-ms", 0) / 1000.0;
 
   NodeServer server(options);
-  for (const ExportEntry& entry : *entries) {
+  for (const ExportSpecEntry& entry : *entries) {
     auto dataset = entry.paths.size() == 1 ? OpenPlainExport(entry.paths[0])
                                            : OpenStripedExport(entry.paths);
     if (!dataset.ok()) {
@@ -238,9 +267,9 @@ int Main(int argc, char** argv) {
   }
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
-  std::cout << "serving on " << server.address()
-            << " (protocol v1, unauthenticated; trusted networks only)"
-            << std::endl;
+  std::cout << "serving on " << server.address() << " (protocol v1.."
+            << options.max_wire_version
+            << ", unauthenticated; trusted networks only)" << std::endl;
 
   const double duration = flags->GetDouble("duration", 0);
   if (duration > 0) {

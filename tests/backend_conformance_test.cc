@@ -208,11 +208,25 @@ void ExpectAllBackendsAgree(const SweepCase& c) {
                                   IoMode::kSync, 2),
                 reference)
           << c.Describe() << " Engine/Source in-memory";
+      // Wire v2 (default: the node computes the sample list itself and
+      // ships O(s) bytes) and forced v1 (the client streams raw runs) must
+      // BOTH leave the reference bytes — the strongest statement that the
+      // distributed sample phase is the same computation.
       auto remote_source = Source<Key>::OpenRemote(node.address() + "/plain");
       OPAQ_CHECK_OK(remote_source.status());
+      EXPECT_NE(remote_source->remote_compute(), nullptr) << c.Describe();
       EXPECT_EQ(EngineSketchBytes(*remote_source, c, IoMode::kAsync, 2),
                 reference)
-          << c.Describe() << " Engine/Source remote";
+          << c.Describe() << " Engine/Source remote (wire v2)";
+      NodeClientOptions v1_only;
+      v1_only.max_wire_version = 1;
+      auto remote_v1 =
+          Source<Key>::OpenRemote(node.address() + "/plain", v1_only);
+      OPAQ_CHECK_OK(remote_v1.status());
+      EXPECT_EQ(remote_v1->remote_compute(), nullptr) << c.Describe();
+      EXPECT_EQ(EngineSketchBytes(*remote_v1, c, IoMode::kAsync, 2),
+                reference)
+          << c.Describe() << " Engine/Source remote (forced v1)";
     }
   }
 }
@@ -361,24 +375,35 @@ TEST(BackendConformanceTest, QuantilesAndExactPassAgreeAcrossBackends) {
   }
   EXPECT_EQ(batch->results[0].exact, *exact_plain);
 
-  // And once more with the facade on the WIRE: an Engine over
-  // Source::OpenRemote answers the identical batch, exact pass included.
-  auto remote_session =
-      Engine<Key>(striped_config,
-                  Source<Key>::OpenRemote(node.address() + "/data").value())
-          .Build();
-  ASSERT_TRUE(remote_session.ok()) << remote_session.status().ToString();
-  auto remote_batch = remote_session->Query({
-      QueryRequest<Key>::EquiQuantiles(10, /*exact=*/true),
-  });
-  ASSERT_TRUE(remote_batch.ok()) << remote_batch.status().ToString();
-  const auto& wire_estimates = remote_batch->results[0].estimates;
-  ASSERT_EQ(wire_estimates.size(), reference_estimates.size());
-  for (size_t i = 0; i < reference_estimates.size(); ++i) {
-    EXPECT_EQ(wire_estimates[i].lower, reference_estimates[i].lower);
-    EXPECT_EQ(wire_estimates[i].upper, reference_estimates[i].upper);
+  // And once more with the facade on the WIRE, under BOTH protocol
+  // versions: wire v2 (node-side sampling + distributed §4 exact pass) and
+  // forced v1 (range streaming) answer the identical batch, exact values
+  // included — the wire moves the work OR the data, never the answers.
+  NodeClientOptions client_options;
+  for (uint16_t version : {uint16_t{2}, uint16_t{1}}) {
+    client_options.max_wire_version = version;
+    auto remote_source =
+        Source<Key>::OpenRemote(node.address() + "/data", client_options);
+    ASSERT_TRUE(remote_source.ok()) << remote_source.status().ToString();
+    EXPECT_EQ(remote_source->remote_compute() != nullptr, version >= 2);
+    auto remote_session =
+        Engine<Key>(striped_config, *remote_source).Build();
+    ASSERT_TRUE(remote_session.ok()) << remote_session.status().ToString();
+    auto remote_batch = remote_session->Query({
+        QueryRequest<Key>::EquiQuantiles(10, /*exact=*/true),
+    });
+    ASSERT_TRUE(remote_batch.ok()) << remote_batch.status().ToString();
+    const auto& wire_estimates = remote_batch->results[0].estimates;
+    ASSERT_EQ(wire_estimates.size(), reference_estimates.size());
+    for (size_t i = 0; i < reference_estimates.size(); ++i) {
+      EXPECT_EQ(wire_estimates[i].lower, reference_estimates[i].lower)
+          << "wire v" << version;
+      EXPECT_EQ(wire_estimates[i].upper, reference_estimates[i].upper)
+          << "wire v" << version;
+    }
+    EXPECT_EQ(remote_batch->results[0].exact, *exact_plain)
+        << "wire v" << version;
   }
-  EXPECT_EQ(remote_batch->results[0].exact, *exact_plain);
 }
 
 TEST(BackendConformanceTest, ParallelHarnessAgreesOnStripedShards) {

@@ -1,0 +1,681 @@
+// The v2 compute path end to end: version negotiation (v2 <-> v2, v2 <->
+// v1-capped node, v1-forced client), node-side sampling and §4 exact scans
+// answering byte-identically to the local pipeline over the same data,
+// Unimplemented fallback for untyped exports, hostile/corrupt compute
+// payloads surfacing as Status (never aborts), node death mid-RPC, and the
+// whole point of the extension: an Engine over v2 sources moving an order
+// of magnitude fewer bytes than v1 range streaming.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/exact.h"
+#include "core/opaq.h"
+#include "data/dataset.h"
+#include "io/block_device.h"
+#include "io/data_file.h"
+#include "io/striped_data_file.h"
+#include "io/striped_run_source.h"
+#include "net/client.h"
+#include "net/node_server.h"
+#include "net/remote_compute.h"
+#include "net/wire_compute.h"
+#include "opaq/engine.h"
+#include "opaq/query.h"
+#include "opaq/source.h"
+
+namespace opaq {
+namespace {
+
+using Key = uint64_t;
+
+/// One loopback compute node: typed plain export "data" (plus a striped
+/// export "striped" when `stripes` > 1, and the same file re-exported
+/// untyped as "raw" — the node that can only serve bytes for it).
+struct ComputeNode {
+  std::vector<Key> data;
+  std::vector<std::unique_ptr<MemoryBlockDevice>> devices;
+  std::unique_ptr<TypedDataFile<Key>> file;
+  std::unique_ptr<DataFile> untyped;
+  std::unique_ptr<StripedDataFile<Key>> striped;
+  NodeServer server;
+
+  explicit ComputeNode(uint64_t n, NodeServerOptions options = {},
+                       int stripes = 1)
+      : server(options) {
+    DatasetSpec spec;
+    spec.n = n;
+    spec.seed = 91;
+    spec.distribution = Distribution::kZipf;
+    data = GenerateDataset<Key>(spec);
+    devices.push_back(std::make_unique<MemoryBlockDevice>());
+    OPAQ_CHECK_OK(WriteDataset(data, devices.back().get()));
+    auto opened = TypedDataFile<Key>::Open(devices.back().get());
+    OPAQ_CHECK_OK(opened.status());
+    file = std::make_unique<TypedDataFile<Key>>(std::move(opened).value());
+    server.Export("data", file.get());
+    auto raw = DataFile::Open(devices.back().get());
+    OPAQ_CHECK_OK(raw.status());
+    untyped = std::make_unique<DataFile>(std::move(raw).value());
+    server.Export("raw", static_cast<const DataFile*>(untyped.get()));
+    if (stripes > 1) {
+      std::vector<BlockDevice*> raw_devices;
+      for (int s = 0; s < stripes; ++s) {
+        devices.push_back(std::make_unique<MemoryBlockDevice>());
+        raw_devices.push_back(devices.back().get());
+      }
+      auto written = WriteStriped(data, std::move(raw_devices), 333);
+      OPAQ_CHECK_OK(written.status());
+      striped = std::make_unique<StripedDataFile<Key>>(
+          std::move(written).value());
+      server.Export("striped", striped.get());
+    }
+    OPAQ_CHECK_OK(server.Start());
+  }
+
+  RemoteSpec spec(const std::string& name = "data") const {
+    auto parsed = ParseRemoteSpec(server.address() + "/" + name);
+    OPAQ_CHECK_OK(parsed.status());
+    return std::move(parsed).value();
+  }
+};
+
+OpaqConfig SmallConfig(IoMode io_mode = IoMode::kSync) {
+  OpaqConfig config;
+  config.run_size = 1000;
+  config.samples_per_run = 50;
+  config.seed = 7;
+  config.io_mode = io_mode;
+  config.prefetch_depth = 2;
+  return config;
+}
+
+SampleList<Key> LocalList(const RunProvider<Key>& provider,
+                          const OpaqConfig& config) {
+  OpaqSketch<Key> sketch(config);
+  OPAQ_CHECK_OK(sketch.Consume(provider));
+  return sketch.FinalizeSampleList();
+}
+
+void ExpectListsEqual(const SampleList<Key>& got, const SampleList<Key>& want,
+                      const std::string& what) {
+  EXPECT_EQ(got.samples(), want.samples()) << what;
+  EXPECT_EQ(got.accounting().subrun_size, want.accounting().subrun_size)
+      << what;
+  EXPECT_EQ(got.accounting().num_runs, want.accounting().num_runs) << what;
+  EXPECT_EQ(got.accounting().num_samples, want.accounting().num_samples)
+      << what;
+  EXPECT_EQ(got.accounting().num_uncovered, want.accounting().num_uncovered)
+      << what;
+  EXPECT_EQ(got.accounting().total_elements,
+            want.accounting().total_elements)
+      << what;
+}
+
+// ------------------------------------------------ version negotiation ----
+
+TEST(NegotiateWireVersionTest, TwoV2PeersSpeakV2) {
+  ComputeNode node(100);
+  auto version = NegotiateWireVersion(node.spec(), NodeClientOptions());
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(*version, 2);
+}
+
+TEST(NegotiateWireVersionTest, V1CappedNodeNegotiatesDownToV1) {
+  // A node capped at v1 rejects the version-2 kHello header itself —
+  // exactly what a real pre-compute build does — and the client reads that
+  // as "speak v1", not as an error.
+  NodeServerOptions options;
+  options.max_wire_version = 1;
+  ComputeNode node(100, options);
+  auto version = NegotiateWireVersion(node.spec(), NodeClientOptions());
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(*version, 1);
+}
+
+TEST(NegotiateWireVersionTest, V1ForcedClientSkipsTheProbe) {
+  // With the client capped at v1 no probe is sent at all — negotiation
+  // succeeds even against a port nobody listens on.
+  auto listener = TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t dead_port = listener->port();
+  listener->Close();
+  RemoteSpec spec;
+  spec.host = "127.0.0.1";
+  spec.port = dead_port;
+  spec.dataset = "data";
+  NodeClientOptions v1_only;
+  v1_only.max_wire_version = 1;
+  auto version = NegotiateWireVersion(spec, v1_only);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1);
+  // A v2 client, by contrast, must surface the unreachable node.
+  EXPECT_FALSE(NegotiateWireVersion(spec, NodeClientOptions()).ok());
+}
+
+TEST(NegotiateWireVersionTest, HelloRoundTripReportsNodeMax) {
+  ComputeNode node(100);
+  auto client = NodeClient::Connect(node.spec().host, node.spec().port);
+  ASSERT_TRUE(client.ok());
+  auto node_max = client->Hello();
+  ASSERT_TRUE(node_max.ok()) << node_max.status().ToString();
+  EXPECT_EQ(*node_max, kMaxWireVersion);
+  // The same connection keeps serving v1 ops after the probe.
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+// ------------------------------------- node-side sampling conformance ----
+
+TEST(NodeSampleRunsTest, MatchesLocalSketchAcrossBackendsAndModes) {
+  ComputeNode node(10007, NodeServerOptions(), /*stripes=*/3);  // ragged tail
+  FileRunProvider<Key> local_provider(node.file.get());
+  for (IoMode mode : {IoMode::kSync, IoMode::kAsync}) {
+    const OpaqConfig config = SmallConfig(mode);
+    SampleList<Key> reference = LocalList(local_provider, config);
+    for (const char* name : {"data", "striped"}) {
+      RemoteComputeClient<Key> compute(node.spec(name), NodeClientOptions());
+      auto remote = compute.SampleRuns(config);
+      ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+      ExpectListsEqual(*remote, reference,
+                       std::string(name) + " " + IoModeName(mode));
+    }
+  }
+}
+
+TEST(NodeExactPassTest, MatchesLocalScan) {
+  ComputeNode node(20000);
+  FileRunProvider<Key> local_provider(node.file.get());
+  const OpaqConfig config = SmallConfig();
+  OpaqSketch<Key> sketch(config);
+  ASSERT_TRUE(sketch.Consume(local_provider).ok());
+  auto estimates = sketch.Finalize().EquiQuantiles(8);
+
+  ReadOptions options = config.read_options();
+  const uint64_t budget = 1u << 20;
+  internal_exact::BracketAccumulator<Key> local_acc(estimates.size());
+  ASSERT_TRUE(internal_exact::AccumulateBrackets(local_provider, estimates,
+                                                 options, budget, &local_acc)
+                  .ok());
+
+  RemoteComputeClient<Key> compute(node.spec(), NodeClientOptions());
+  for (IoMode mode : {IoMode::kSync, IoMode::kAsync}) {
+    ReadOptions remote_options = options;
+    remote_options.io_mode = mode;
+    auto scan = compute.ExactPass(estimates, remote_options, budget);
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    EXPECT_EQ(scan->below, local_acc.below) << IoModeName(mode);
+    EXPECT_EQ(scan->kept, local_acc.kept) << IoModeName(mode);
+  }
+}
+
+TEST(NodeExactPassTest, NodeSideBudgetIsEnforced) {
+  ComputeNode node(20000);
+  FileRunProvider<Key> local_provider(node.file.get());
+  const OpaqConfig config = SmallConfig();
+  OpaqSketch<Key> sketch(config);
+  ASSERT_TRUE(sketch.Consume(local_provider).ok());
+  auto estimates = sketch.Finalize().EquiQuantiles(8);
+  RemoteComputeClient<Key> compute(node.spec(), NodeClientOptions());
+  auto scan = compute.ExactPass(estimates, config.read_options(),
+                                /*memory_budget=*/1);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ------------------------------------------------- fallback behaviour ----
+
+TEST(ComputeFallbackTest, UntypedExportAnswersUnimplemented) {
+  ComputeNode node(5000);
+  RemoteComputeClient<Key> compute(node.spec("raw"), NodeClientOptions());
+  auto list = compute.SampleRuns(SmallConfig());
+  ASSERT_FALSE(list.ok());
+  EXPECT_EQ(list.status().code(), StatusCode::kUnimplemented);
+  auto scan = compute.ExactPass({}, ReadOptions(), 1000);
+  EXPECT_EQ(scan.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ComputeFallbackTest, EngineFallsBackToStreamingForUntypedExports) {
+  // The node speaks v2, so OpenRemote attaches a compute client — but the
+  // dataset is exported untyped, so every compute RPC answers
+  // Unimplemented and the engine must quietly stream ranges instead,
+  // with identical results.
+  ComputeNode node(12000);
+  auto typed = Source<Key>::OpenRemote(node.spec().ToString());
+  auto raw = Source<Key>::OpenRemote(node.spec("raw").ToString());
+  ASSERT_TRUE(typed.ok()) << typed.status().ToString();
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_NE(typed->remote_compute(), nullptr);
+  EXPECT_NE(raw->remote_compute(), nullptr);
+
+  const OpaqConfig config = SmallConfig(IoMode::kAsync);
+  auto typed_session = Engine<Key>(config, *typed).Build();
+  auto raw_session = Engine<Key>(config, *raw).Build();
+  ASSERT_TRUE(typed_session.ok()) << typed_session.status().ToString();
+  ASSERT_TRUE(raw_session.ok()) << raw_session.status().ToString();
+  ExpectListsEqual(raw_session->sample_list(), typed_session->sample_list(),
+                   "untyped-export fallback");
+
+  auto query = [](QuerySession<Key>& session) {
+    auto batch = session.Query({
+        QueryRequest<Key>::EquiQuantiles(10),
+        QueryRequest<Key>::Quantile(0.5, /*exact=*/true),
+    });
+    OPAQ_CHECK_OK(batch.status());
+    return std::move(batch).value();
+  };
+  auto typed_batch = query(*typed_session);
+  auto raw_batch = query(*raw_session);
+  EXPECT_EQ(typed_batch.results[1].exact, raw_batch.results[1].exact);
+}
+
+TEST(ComputeFallbackTest, V1PathsCarryNoComputeClient) {
+  NodeServerOptions v1_node;
+  v1_node.max_wire_version = 1;
+  ComputeNode old_node(3000, v1_node);
+  auto against_old = Source<Key>::OpenRemote(old_node.spec().ToString());
+  ASSERT_TRUE(against_old.ok()) << against_old.status().ToString();
+  EXPECT_EQ(against_old->remote_compute(), nullptr);
+
+  ComputeNode new_node(3000);
+  NodeClientOptions v1_client;
+  v1_client.max_wire_version = 1;
+  auto forced_v1 = Source<Key>::OpenRemote(new_node.spec().ToString(),
+                                           v1_client);
+  ASSERT_TRUE(forced_v1.ok());
+  EXPECT_EQ(forced_v1->remote_compute(), nullptr);
+
+  // Both still answer correctly through v1 range streaming.
+  const OpaqConfig config = SmallConfig();
+  FileRunProvider<Key> local(old_node.file.get());
+  SampleList<Key> reference = LocalList(local, config);
+  auto session = Engine<Key>(config, *against_old).Build();
+  ASSERT_TRUE(session.ok());
+  ExpectListsEqual(session->sample_list(), reference, "v1 node");
+}
+
+// --------------------------------------- distributed engine + savings ----
+
+uint64_t SamplePhaseBytes(ComputeNode& a, ComputeNode& b,
+                          const NodeClientOptions& client_options,
+                          const OpaqConfig& config,
+                          const QuerySession<Key>* reference) {
+  const uint64_t before = a.server.bytes_sent() + b.server.bytes_sent();
+  auto source_a = Source<Key>::OpenRemote(a.spec().ToString(),
+                                          client_options);
+  auto source_b = Source<Key>::OpenRemote(b.spec().ToString(),
+                                          client_options);
+  OPAQ_CHECK_OK(source_a.status());
+  OPAQ_CHECK_OK(source_b.status());
+  auto session = Engine<Key>(config, {*source_a, *source_b}).Build();
+  OPAQ_CHECK_OK(session.status());
+  if (reference != nullptr) {
+    EXPECT_EQ(session->sample_list().samples(),
+              reference->sample_list().samples());
+  }
+  return a.server.bytes_sent() + b.server.bytes_sent() - before;
+}
+
+TEST(EngineComputeTest, DistributedAnswersMatchLocalAndSaveWireBytes) {
+  ComputeNode a(60000), b(44000);
+  OpaqConfig config;
+  config.run_size = 4000;
+  config.samples_per_run = 100;
+  config.io_mode = IoMode::kAsync;
+
+  // Reference: a single-process Engine over the same shards in order.
+  auto local_session =
+      Engine<Key>(config, {Source<Key>::FromFile(a.file.get()),
+                           Source<Key>::FromFile(b.file.get())})
+          .Build();
+  ASSERT_TRUE(local_session.ok());
+
+  // v2 (default) and forced-v1 engines leave identical sample lists...
+  NodeClientOptions v1_client;
+  v1_client.max_wire_version = 1;
+  const uint64_t v2_bytes =
+      SamplePhaseBytes(a, b, NodeClientOptions(), config, &*local_session);
+  const uint64_t v1_bytes =
+      SamplePhaseBytes(a, b, v1_client, config, &*local_session);
+
+  // ...but v2 ships O(s) sample bytes instead of O(n) raw elements: with
+  // 104k elements vs ~2.6k samples the win must clear 10x easily.
+  EXPECT_GE(v1_bytes, 10 * v2_bytes)
+      << "v1=" << v1_bytes << " bytes, v2=" << v2_bytes << " bytes";
+
+  // And the full query path (distributed exact pass included) agrees with
+  // the local run bracket for bracket, value for value.
+  auto remote_a = Source<Key>::OpenRemote(a.spec().ToString());
+  auto remote_b = Source<Key>::OpenRemote(b.spec().ToString());
+  ASSERT_TRUE(remote_a.ok());
+  ASSERT_TRUE(remote_b.ok());
+  ASSERT_NE(remote_a->remote_compute(), nullptr);
+  auto remote_session = Engine<Key>(config, {*remote_a, *remote_b}).Build();
+  ASSERT_TRUE(remote_session.ok());
+  auto query = [](QuerySession<Key>& session) {
+    auto batch = session.Query({
+        QueryRequest<Key>::EquiQuantiles(10),
+        QueryRequest<Key>::Quantile(0.1, /*exact=*/true),
+        QueryRequest<Key>::Quantile(0.9, /*exact=*/true),
+    });
+    OPAQ_CHECK_OK(batch.status());
+    return std::move(batch).value();
+  };
+  auto remote_batch = query(*remote_session);
+  auto local_batch = query(*local_session);
+  ASSERT_EQ(remote_batch.results[0].estimates.size(),
+            local_batch.results[0].estimates.size());
+  for (size_t i = 0; i < local_batch.results[0].estimates.size(); ++i) {
+    EXPECT_EQ(remote_batch.results[0].estimates[i].lower,
+              local_batch.results[0].estimates[i].lower);
+    EXPECT_EQ(remote_batch.results[0].estimates[i].upper,
+              local_batch.results[0].estimates[i].upper);
+  }
+  EXPECT_EQ(remote_batch.results[1].exact, local_batch.results[1].exact);
+  EXPECT_EQ(remote_batch.results[2].exact, local_batch.results[2].exact);
+}
+
+// ------------------------------------------------ hostile peers/faults ----
+
+/// A fake node that runs one script per accepted connection, in order —
+/// enough to scriptedly survive OpenRemote's handshake + kHello probe and
+/// then misbehave on the compute RPC itself.
+class ScriptedNode {
+ public:
+  explicit ScriptedNode(std::function<void(TcpConnection&)> script)
+      : ScriptedNode(std::vector<std::function<void(TcpConnection&)>>{
+            std::move(script)}) {}
+
+  explicit ScriptedNode(
+      std::vector<std::function<void(TcpConnection&)>> scripts) {
+    auto listener = TcpListener::Bind("127.0.0.1", 0);
+    OPAQ_CHECK_OK(listener.status());
+    listener_ = std::move(listener).value();
+    thread_ = std::thread([this, scripts = std::move(scripts)] {
+      for (const auto& script : scripts) {
+        auto conn = listener_.Accept();
+        if (!conn.ok()) return;
+        script(*conn);
+      }
+    });
+  }
+
+  ~ScriptedNode() {
+    listener_.ShutdownNow();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  RemoteSpec spec() const {
+    RemoteSpec s;
+    s.host = "127.0.0.1";
+    s.port = listener_.port();
+    s.dataset = "data";
+    return s;
+  }
+
+ private:
+  TcpListener listener_;
+  std::thread thread_;
+};
+
+void ConsumeFrame(TcpConnection& conn) {
+  WireFrameHeader header;
+  OPAQ_CHECK_OK(conn.ReadFull(&header, sizeof(header)));
+  std::vector<uint8_t> payload(header.payload_len);
+  if (!payload.empty()) {
+    OPAQ_CHECK_OK(conn.ReadFull(payload.data(), payload.size()));
+  }
+}
+
+TEST(ComputeFaultTest, NodeDeathMidSampleRunsSurfaces) {
+  // The node dies after consuming the request — mid-"computation", before
+  // any response byte. The client must see an IoError, never hang.
+  ScriptedNode fake([](TcpConnection& conn) {
+    ConsumeFrame(conn);  // the SAMPLE_RUNS request
+    WireFrameHeader header;
+    header.op = static_cast<uint16_t>(WireOp::kSampleListData);
+    conn.WriteFull(&header, sizeof(header) / 2);  // half a header, then EOF
+  });
+  RemoteComputeClient<Key> compute(fake.spec(), NodeClientOptions());
+  auto list = compute.SampleRuns(SmallConfig());
+  ASSERT_FALSE(list.ok());
+  EXPECT_EQ(list.status().code(), StatusCode::kIoError);
+}
+
+std::vector<uint8_t> SampleListPayload(const WireSampleListHeader& header,
+                                       const std::vector<Key>& samples) {
+  std::vector<uint8_t> payload(sizeof(header) +
+                               samples.size() * sizeof(Key));
+  std::memcpy(payload.data(), &header, sizeof(header));
+  if (!samples.empty()) {
+    std::memcpy(payload.data() + sizeof(header), samples.data(),
+                samples.size() * sizeof(Key));
+  }
+  return payload;
+}
+
+Status SampleRunsAgainst(std::function<void(TcpConnection&)> script) {
+  ScriptedNode fake(std::move(script));
+  RemoteComputeClient<Key> compute(fake.spec(), NodeClientOptions());
+  return compute.SampleRuns(SmallConfig()).status();
+}
+
+TEST(ComputeFaultTest, CorruptSampleListPayloadsSurfaceAsStatus) {
+  // Every invariant the SampleList constructor CHECKs must be caught by
+  // the decoder first: a hostile node yields a Status, not an abort.
+  auto reply = [](const std::vector<uint8_t>& payload) {
+    return [payload](TcpConnection& conn) {
+      ConsumeFrame(conn);
+      std::vector<uint8_t> frame =
+          EncodeFrame(WireOp::kSampleListData, payload);
+      conn.WriteFull(frame.data(), frame.size());
+    };
+  };
+
+  // Unsorted samples.
+  WireSampleListHeader header;
+  header.subrun_size = 20;
+  header.num_runs = 1;
+  header.num_samples = 3;
+  header.total_elements = 60;
+  Status unsorted =
+      SampleRunsAgainst(reply(SampleListPayload(header, {9, 4, 7})));
+  ASSERT_FALSE(unsorted.ok());
+  EXPECT_EQ(unsorted.code(), StatusCode::kIoError);
+  EXPECT_NE(unsorted.message().find("sorted"), std::string::npos);
+
+  // Sample count disagreeing with the payload length.
+  header.num_samples = 5;
+  Status short_count =
+      SampleRunsAgainst(reply(SampleListPayload(header, {1, 2, 3})));
+  ASSERT_FALSE(short_count.ok());
+  EXPECT_EQ(short_count.code(), StatusCode::kIoError);
+
+  // Inconsistent accounting (samples without any covering run).
+  header.num_samples = 3;
+  header.num_runs = 0;
+  header.total_elements = 0;
+  Status bad_accounting =
+      SampleRunsAgainst(reply(SampleListPayload(header, {1, 2, 3})));
+  ASSERT_FALSE(bad_accounting.ok());
+  EXPECT_EQ(bad_accounting.code(), StatusCode::kIoError);
+
+  // A payload shorter than its own header.
+  Status truncated = SampleRunsAgainst(reply(std::vector<uint8_t>(8, 0)));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.code(), StatusCode::kIoError);
+}
+
+TEST(ComputeFaultTest, CorruptExactScanPayloadsSurfaceAsStatus) {
+  std::vector<QuantileEstimate<Key>> estimates(2);
+  estimates[0].lower = 10;
+  estimates[0].upper = 20;
+  estimates[1].lower = 30;
+  estimates[1].upper = 40;
+  auto exact_against = [&](std::vector<uint8_t> payload) {
+    ScriptedNode fake([payload](TcpConnection& conn) {
+      ConsumeFrame(conn);
+      std::vector<uint8_t> frame =
+          EncodeFrame(WireOp::kExactPassData, payload);
+      conn.WriteFull(frame.data(), frame.size());
+    });
+    RemoteComputeClient<Key> compute(fake.spec(), NodeClientOptions());
+    return compute.ExactPass(estimates, ReadOptions(), 1000).status();
+  };
+
+  // Wrong bracket count.
+  WireExactPassHeader header;
+  header.num_brackets = 1;
+  header.kept_total = 0;
+  std::vector<uint8_t> wrong_brackets(sizeof(header) + 2 * sizeof(uint64_t));
+  std::memcpy(wrong_brackets.data(), &header, sizeof(header));
+  Status mismatch = exact_against(wrong_brackets);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.code(), StatusCode::kIoError);
+
+  // Kept counts that do not sum to the header's total.
+  header.num_brackets = 2;
+  header.kept_total = 3;
+  const uint64_t below[2] = {1, 2};
+  const uint64_t kept_counts[2] = {1, 1};  // sums to 2, header says 3
+  const Key kept[3] = {5, 6, 7};
+  std::vector<uint8_t> bad_sum(sizeof(header) + sizeof(below) +
+                               sizeof(kept_counts) + sizeof(kept));
+  uint8_t* out = bad_sum.data();
+  std::memcpy(out, &header, sizeof(header));
+  out += sizeof(header);
+  std::memcpy(out, below, sizeof(below));
+  out += sizeof(below);
+  std::memcpy(out, kept_counts, sizeof(kept_counts));
+  out += sizeof(kept_counts);
+  std::memcpy(out, kept, sizeof(kept));
+  Status sum = exact_against(bad_sum);
+  ASSERT_FALSE(sum.ok());
+  EXPECT_EQ(sum.code(), StatusCode::kIoError);
+  EXPECT_NE(sum.message().find("sum"), std::string::npos);
+}
+
+TEST(ComputeFaultTest, NodeValidatesComputeRequests) {
+  // Malformed compute requests answer with a per-request error frame; the
+  // connection survives and keeps serving.
+  ComputeNode node(5000);
+  auto client = NodeClient::Connect(node.spec().host, node.spec().port);
+  ASSERT_TRUE(client.ok());
+
+  // Unknown select-algorithm tag.
+  WireSampleRunsRequest request;
+  request.run_size = 1000;
+  request.samples_per_run = 50;
+  request.select_algorithm = 99;
+  const std::string name = "data";
+  std::vector<uint8_t> payload = EncodeSampleRunsPayload(request, name);
+  ASSERT_TRUE(client
+                  ->SendRequest(WireOp::kSampleRuns, payload.data(),
+                                payload.size())
+                  .ok());
+  auto answer = client->ReceiveResponse(WireOp::kSampleListData);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client->Ping().ok()) << "connection should survive";
+
+  // A run size that would blow the node's compute memory bound.
+  request.select_algorithm = 0;
+  request.run_size = UINT64_MAX / sizeof(Key);
+  payload = EncodeSampleRunsPayload(request, name);
+  ASSERT_TRUE(client
+                  ->SendRequest(WireOp::kSampleRuns, payload.data(),
+                                payload.size())
+                  .ok());
+  answer = client->ReceiveResponse(WireOp::kSampleListData);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(client->Ping().ok());
+
+  // An exact pass whose brackets are inverted (upper < lower).
+  WireExactPassRequest exact;
+  exact.memory_budget = 1000;
+  exact.run_size = 1000;
+  std::vector<QuantileEstimate<Key>> inverted(1);
+  inverted[0].lower = 50;
+  inverted[0].upper = 10;
+  payload = EncodeExactPassPayload(exact, inverted, name);
+  ASSERT_TRUE(client
+                  ->SendRequest(WireOp::kExactPass, payload.data(),
+                                payload.size())
+                  .ok());
+  answer = client->ReceiveResponse(WireOp::kExactPassData);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client->Ping().ok());
+
+  // An exact pass whose bracket region disagrees with num_brackets.
+  std::vector<QuantileEstimate<Key>> brackets(1);
+  brackets[0].lower = 10;
+  brackets[0].upper = 50;
+  payload = EncodeExactPassPayload(exact, brackets, name);
+  payload.resize(payload.size() - sizeof(Key));  // truncate the region
+  ASSERT_TRUE(client
+                  ->SendRequest(WireOp::kExactPass, payload.data(),
+                                payload.size())
+                  .ok());
+  answer = client->ReceiveResponse(WireOp::kExactPassData);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client->Ping().ok());
+
+  // Unknown dataset: NotFound, connection survives.
+  payload = EncodeSampleRunsPayload(WireSampleRunsRequest(), "nope");
+  ASSERT_TRUE(client
+                  ->SendRequest(WireOp::kSampleRuns, payload.data(),
+                                payload.size())
+                  .ok());
+  answer = client->ReceiveResponse(WireOp::kSampleListData);
+  EXPECT_EQ(answer.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST(ComputeFaultTest, EngineSurfacesNodeDeathMidSampleRuns) {
+  // A scripted node that passes OpenRemote's handshake and negotiates v2,
+  // then dies after consuming the SAMPLE_RUNS request: the engine must
+  // report the failure (a non-Unimplemented compute error is NOT silently
+  // retried as v1 — the node is misbehaving, not old).
+  auto handshake = [](TcpConnection& conn) {
+    ConsumeFrame(conn);  // OPEN_DATASET
+    WireDatasetInfo info;
+    info.key_type = static_cast<uint32_t>(KeyTraits<Key>::kType);
+    info.element_size = sizeof(Key);
+    info.element_count = 4000;
+    info.max_read_elements = 4096;
+    std::vector<uint8_t> frame =
+        EncodeFrame(WireOp::kDatasetInfo, &info, sizeof(info));
+    conn.WriteFull(frame.data(), frame.size());
+  };
+  auto hello = [](TcpConnection& conn) {
+    ConsumeFrame(conn);  // HELLO
+    WireHello ack;
+    ack.max_version = 2;
+    std::vector<uint8_t> frame =
+        EncodeFrame(WireOp::kHelloAck, &ack, sizeof(ack));
+    conn.WriteFull(frame.data(), frame.size());
+  };
+  auto die_mid_compute = [](TcpConnection& conn) {
+    ConsumeFrame(conn);  // SAMPLE_RUNS — then hang up without answering
+  };
+  ScriptedNode fake(std::vector<std::function<void(TcpConnection&)>>{
+      handshake, hello, die_mid_compute});
+
+  auto source = Source<Key>::OpenRemote(fake.spec().ToString());
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  ASSERT_NE(source->remote_compute(), nullptr);
+  auto session = Engine<Key>(SmallConfig(), *source).Build();
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace opaq

@@ -341,6 +341,47 @@ TEST(NetFailureTest, CorruptRangeDataSurfacesThroughRunSource) {
   EXPECT_NE(read.message().find("CRC"), std::string::npos);
 }
 
+TEST(NetFailureTest, NodeClampsReadBoundToAtLeastOneElement) {
+  // A read bound below one element must clamp to 1, never advertise 0 —
+  // a zero bound would tell clients no read can ever succeed (and a
+  // conforming client rejects it, see below).
+  NodeServerOptions tiny;
+  tiny.max_read_bytes = 1;  // below any element size
+  FaultyNode node(50, FaultyDevice::Options(), tiny);
+  auto client = NodeClient::Connect("127.0.0.1", node.server.port());
+  ASSERT_TRUE(client.ok());
+  auto info = client->OpenDataset("data");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->max_read_elements, 1u);
+  Key value = 0;
+  ASSERT_TRUE(client->ReadRange("data", 7, 1, &value, sizeof(value)).ok());
+  EXPECT_EQ(value, node.data[7]);
+}
+
+TEST(NetFailureTest, ClientRejectsZeroReadBoundFromNode) {
+  // The other side of the clamp: a (broken or hostile) node advertising
+  // max_read_elements == 0 must be rejected at OpenDataset with a clear
+  // Status — the slice loop would otherwise divide the stream into
+  // zero-element requests forever.
+  ScriptedNode fake([](TcpConnection& conn) {
+    ConsumeFrame(conn);  // OPEN_DATASET
+    WireDatasetInfo info;
+    info.key_type = static_cast<uint32_t>(KeyTraits<Key>::kType);
+    info.element_size = sizeof(Key);
+    info.element_count = 100;
+    info.max_read_elements = 0;
+    std::vector<uint8_t> frame =
+        EncodeFrame(WireOp::kDatasetInfo, &info, sizeof(info));
+    conn.WriteFull(frame.data(), frame.size());
+  });
+  auto client = NodeClient::Connect("127.0.0.1", fake.port());
+  ASSERT_TRUE(client.ok());
+  auto info = client->OpenDataset("data");
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kIoError);
+  EXPECT_NE(info.status().message().find("geometry"), std::string::npos);
+}
+
 TEST(NetFailureTest, NodeSurvivesGarbageClient) {
   FaultyNode node(1000, FaultyDevice::Options());
   {

@@ -19,6 +19,7 @@
 #include "io/run_reader.h"
 #include "io/striped_data_file.h"
 #include "net/client.h"
+#include "net/export_spec.h"
 #include "net/node_server.h"
 #include "net/remote_source.h"
 #include "opaq/engine.h"
@@ -101,6 +102,71 @@ TEST(ParseRemoteSpecTest, ValidAndInvalid) {
        {"", "host", "host:123", "host:123/", ":123/ds", "host:/ds",
         "host:0/ds", "host:65536/ds", "host:9x/ds"}) {
     EXPECT_FALSE(ParseRemoteSpec(bad).ok()) << bad;
+  }
+}
+
+TEST(ParseRemoteSpecTest, HostsWithColons) {
+  // Regression: hosts containing ':' (IPv6 literals) used to mis-split on
+  // the FIRST colon, truncating the host and garbling the port. The spec
+  // splits on the LAST colon before the '/', with optional brackets.
+  auto bracketed = ParseRemoteSpec("[::1]:9000/ds");
+  ASSERT_TRUE(bracketed.ok()) << bracketed.status().ToString();
+  EXPECT_EQ(bracketed->host, "::1");
+  EXPECT_EQ(bracketed->port, 9000);
+  EXPECT_EQ(bracketed->dataset, "ds");
+  // ToString re-brackets, and the round trip is the identity.
+  EXPECT_EQ(bracketed->ToString(), "[::1]:9000/ds");
+  auto round = ParseRemoteSpec(bracketed->ToString());
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->host, bracketed->host);
+  EXPECT_EQ(round->port, bracketed->port);
+  EXPECT_EQ(round->dataset, bracketed->dataset);
+
+  // Bare (unbracketed) colon hosts parse too: last colon wins.
+  auto bare = ParseRemoteSpec("fe80::21:9000/metrics");
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  EXPECT_EQ(bare->host, "fe80::21");
+  EXPECT_EQ(bare->port, 9000);
+  EXPECT_EQ(bare->dataset, "metrics");
+
+  // Malformed colon-host specs stay rejected, with the dataset-name rule
+  // enforced for every host shape.
+  for (const char* bad : {"[::1]:9000/", "[::1:9000/ds", "::1]:9000/ds",
+                          "[]:9000/ds", "[::1]:/ds", "[::1]/ds"}) {
+    EXPECT_FALSE(ParseRemoteSpec(bad).ok()) << bad;
+  }
+  auto empty_name = ParseRemoteSpec("[::1]:9000/");
+  ASSERT_FALSE(empty_name.ok());
+  EXPECT_EQ(empty_name.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty_name.status().message().find("dataset"),
+            std::string::npos);
+}
+
+TEST(ParseExportSpecsTest, SplitsOnFirstEqualsOnly) {
+  // Regression: paths containing '=' (date-partitioned layouts and the
+  // like) used to split the entry at the wrong place.
+  auto specs = ParseExportSpecs("ds=/data/run=3.opaq,arr=/a/d=1+/b/d=2");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 2u);
+  EXPECT_EQ((*specs)[0].name, "ds");
+  EXPECT_EQ((*specs)[0].paths,
+            (std::vector<std::string>{"/data/run=3.opaq"}));
+  EXPECT_EQ((*specs)[1].name, "arr");
+  EXPECT_EQ((*specs)[1].paths,
+            (std::vector<std::string>{"/a/d=1", "/b/d=2"}));
+}
+
+TEST(ParseExportSpecsTest, DuplicateNamesAreAStartupError) {
+  // Regression: a duplicate dataset name silently let the last entry win —
+  // the node then served different bytes than the operator listed.
+  auto dup = ParseExportSpecs("ds=/a.opaq,ds=/b.opaq");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos);
+  EXPECT_NE(dup.status().message().find("ds"), std::string::npos);
+
+  for (const char* bad : {"", "=x", "ds=", "ds", "ds=a+,x=b", "ds=a,,x=b"}) {
+    EXPECT_FALSE(ParseExportSpecs(bad).ok()) << "'" << bad << "'";
   }
 }
 

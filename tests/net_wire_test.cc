@@ -1,8 +1,9 @@
 // Wire-protocol codec tests: CRC correctness, frame round trips, rejection
 // of truncation/corruption/foreign traffic, and the committed golden byte
-// stream (`tests/golden/wire_v1.bin`) that pins frame format v1 — if the
-// header layout, op codes, CRC polynomial or payload encodings ever drift,
-// these fail in tier-1 instead of silently orphaning every deployed node.
+// streams (`tests/golden/wire_v1.bin`, `wire_v2.bin`) that pin frame
+// formats v1 and v2 — if the header layout, op codes, CRC polynomial or
+// payload encodings ever drift, these fail in tier-1 instead of silently
+// orphaning every deployed node.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "net/wire.h"
+#include "net/wire_compute.h"
 
 namespace opaq {
 namespace {
@@ -35,6 +37,78 @@ TEST(WireFrameTest, HeaderLayoutIsPinned) {
   static_assert(sizeof(WireReadRange) == 16);
   EXPECT_EQ(WireFrameHeader::kMagic, 0x4e51504fu);
   EXPECT_EQ(kWireVersion, 1);
+}
+
+TEST(WireFrameTest, V2LayoutIsPinned) {
+  EXPECT_EQ(kMaxWireVersion, 2);
+  static_assert(sizeof(WireHello) == 4);
+  static_assert(sizeof(WireSampleRunsRequest) == 40);
+  static_assert(sizeof(WireSampleListHeader) == 40);
+  static_assert(sizeof(WireExactPassRequest) == 32);
+  static_assert(offsetof(WireExactPassRequest, name_len) == 28);
+  static_assert(sizeof(WireExactPassHeader) == 16);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kHello), 8);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kHelloAck), 9);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kSampleRuns), 10);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kSampleListData), 11);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kExactPass), 12);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kExactPassData), 13);
+}
+
+TEST(WireFrameTest, FramesCarryPerOpVersions) {
+  // v1 ops must keep encoding version 1 forever (that is what keeps the
+  // committed wire_v1.bin stable and lets old nodes serve new clients);
+  // compute ops announce themselves as v2 so v1-only peers reject exactly
+  // the frames they cannot serve.
+  for (WireOp op : {WireOp::kPing, WireOp::kPong, WireOp::kOpenDataset,
+                    WireOp::kDatasetInfo, WireOp::kReadRange,
+                    WireOp::kRangeData, WireOp::kError}) {
+    EXPECT_EQ(WireOpVersion(op), 1u) << WireOpName(static_cast<uint16_t>(op));
+  }
+  for (WireOp op : {WireOp::kHello, WireOp::kHelloAck, WireOp::kSampleRuns,
+                    WireOp::kSampleListData, WireOp::kExactPass,
+                    WireOp::kExactPassData}) {
+    EXPECT_EQ(WireOpVersion(op), 2u) << WireOpName(static_cast<uint16_t>(op));
+  }
+  // And EncodeFrame stamps that version into the header.
+  std::vector<uint8_t> v1 = EncodeFrame(WireOp::kPing, nullptr, 0);
+  std::vector<uint8_t> v2 = EncodeFrame(WireOp::kHello, nullptr, 0);
+  WireFrameHeader header;
+  std::memcpy(&header, v1.data(), sizeof(header));
+  EXPECT_EQ(header.version, 1);
+  std::memcpy(&header, v2.data(), sizeof(header));
+  EXPECT_EQ(header.version, 2);
+  size_t consumed = 0;
+  EXPECT_TRUE(DecodeFrame(v2.data(), v2.size(), &consumed).ok());
+}
+
+TEST(WireFrameTest, PayloadCapBoundaryIsExact) {
+  // Exactly kMaxWirePayload is framable; one byte more is rejected before
+  // any allocation happens.
+  WireFrameHeader header;
+  header.op = static_cast<uint16_t>(WireOp::kRangeData);
+  header.payload_len = kMaxWirePayload;
+  EXPECT_TRUE(ValidateFrameHeader(header).ok());
+  header.payload_len = kMaxWirePayload + 1;
+  Status over = ValidateFrameHeader(header);
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.message().find("cap"), std::string::npos);
+}
+
+TEST(WireFrameTest, ZeroLengthPayloadFrameIsWellFormed) {
+  // CRC-32 of empty input is 0 by definition; an empty-payload frame must
+  // encode that, survive the round trip, and consume exactly one header.
+  std::vector<uint8_t> bytes = EncodeFrame(WireOp::kHello, nullptr, 0);
+  WireFrameHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  EXPECT_EQ(header.payload_len, 0u);
+  EXPECT_EQ(header.payload_crc, Crc32(nullptr, 0));
+  EXPECT_EQ(header.payload_crc, 0u);
+  size_t consumed = 0;
+  auto frame = DecodeFrame(bytes.data(), bytes.size(), &consumed);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(consumed, sizeof(WireFrameHeader));
+  EXPECT_TRUE(frame->payload.empty());
 }
 
 TEST(WireFrameTest, EncodeDecodeRoundTrip) {
@@ -167,8 +241,8 @@ std::vector<uint8_t> MakeGoldenStream() {
   return stream;
 }
 
-std::vector<uint8_t> GoldenBlobBytes() {
-  const std::string path = std::string(OPAQ_GOLDEN_DIR) + "/wire_v1.bin";
+std::vector<uint8_t> GoldenBlobBytes(const std::string& name = "wire_v1.bin") {
+  const std::string path = std::string(OPAQ_GOLDEN_DIR) + "/" + name;
   std::ifstream in(path, std::ios::binary);
   OPAQ_CHECK(in.good()) << "missing golden blob: " << path;
   return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
@@ -215,6 +289,124 @@ TEST(WireGoldenTest, GoldenStreamDecodesFrameByFrame) {
   std::memcpy(&info, info_frame->payload.data(), sizeof(info));
   EXPECT_EQ(info.element_count, 1000u);
   EXPECT_EQ(info.max_read_elements, 4096u);
+}
+
+// ------------------------------------------- v2 golden byte stream ----
+
+/// The canned compute conversation committed as tests/golden/wire_v2.bin:
+/// every v2 op once, fixed payloads, over a u64 dataset "sales". Must
+/// keep producing these exact bytes forever (or kMaxWireVersion must be
+/// bumped and a new blob committed).
+std::vector<uint8_t> MakeGoldenV2Stream() {
+  std::vector<uint8_t> stream;
+  auto append = [&stream](const std::vector<uint8_t>& frame) {
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  const std::string name = "sales";
+  // 1./2. HELLO / HELLO_ACK: both sides announce version 2.
+  WireHello hello;
+  hello.max_version = 2;
+  append(EncodeFrame(WireOp::kHello, &hello, sizeof(hello)));
+  append(EncodeFrame(WireOp::kHelloAck, &hello, sizeof(hello)));
+  // 3. SAMPLE_RUNS: m=8, s=2, seed 7, intro-select, sync.
+  WireSampleRunsRequest request;
+  request.run_size = 8;
+  request.samples_per_run = 2;
+  request.seed = 7;
+  request.select_algorithm = 3;  // SelectAlgorithm::kIntroSelect
+  request.io_mode = 0;
+  request.prefetch_depth = 2;
+  append(EncodeFrame(WireOp::kSampleRuns,
+                     EncodeSampleRunsPayload(request, name)));
+  // 4. SAMPLE_LIST_DATA: one run of 8 elements, samples {11, 22}.
+  WireSampleListHeader list_header;
+  list_header.subrun_size = 4;
+  list_header.num_runs = 1;
+  list_header.num_samples = 2;
+  list_header.num_uncovered = 0;
+  list_header.total_elements = 8;
+  const uint64_t samples[] = {11, 22};
+  std::vector<uint8_t> list_payload(sizeof(list_header) + sizeof(samples));
+  std::memcpy(list_payload.data(), &list_header, sizeof(list_header));
+  std::memcpy(list_payload.data() + sizeof(list_header), samples,
+              sizeof(samples));
+  append(EncodeFrame(WireOp::kSampleListData, list_payload));
+  // 5. EXACT_PASS: one bracket [10, 30], budget 64, m=8.
+  WireExactPassRequest exact;
+  exact.memory_budget = 64;
+  exact.run_size = 8;
+  exact.io_mode = 0;
+  exact.prefetch_depth = 2;
+  std::vector<QuantileEstimate<uint64_t>> brackets(1);
+  brackets[0].lower = 10;
+  brackets[0].upper = 30;
+  append(EncodeFrame(WireOp::kExactPass,
+                     EncodeExactPassPayload(exact, brackets, name)));
+  // 6. EXACT_PASS_DATA: 3 below, kept {11, 22}.
+  WireExactScan<uint64_t> scan;
+  scan.below = {3};
+  scan.kept = {{11, 22}};
+  auto scan_payload = EncodeExactScanPayload(scan);
+  OPAQ_CHECK_OK(scan_payload.status());
+  append(EncodeFrame(WireOp::kExactPassData, *scan_payload));
+  return stream;
+}
+
+TEST(WireGoldenTest, EncoderProducesExactGoldenV2Bytes) {
+  EXPECT_EQ(MakeGoldenV2Stream(), GoldenBlobBytes("wire_v2.bin"))
+      << "the v2 compute frame encoding changed; deployed v2 nodes and "
+         "clients would no longer interoperate. If intentional, bump "
+         "kMaxWireVersion and commit a new golden blob.";
+}
+
+TEST(WireGoldenTest, GoldenV2StreamDecodesFrameByFrame) {
+  const std::vector<uint8_t> blob = GoldenBlobBytes("wire_v2.bin");
+  const uint16_t expected_ops[] = {
+      static_cast<uint16_t>(WireOp::kHello),
+      static_cast<uint16_t>(WireOp::kHelloAck),
+      static_cast<uint16_t>(WireOp::kSampleRuns),
+      static_cast<uint16_t>(WireOp::kSampleListData),
+      static_cast<uint16_t>(WireOp::kExactPass),
+      static_cast<uint16_t>(WireOp::kExactPassData),
+  };
+  size_t offset = 0;
+  std::vector<WireFrame> frames;
+  for (uint16_t expected : expected_ops) {
+    WireFrameHeader header;
+    ASSERT_GE(blob.size() - offset, sizeof(header));
+    std::memcpy(&header, blob.data() + offset, sizeof(header));
+    EXPECT_EQ(header.version, 2) << WireOpName(expected);
+    size_t consumed = 0;
+    auto frame =
+        DecodeFrame(blob.data() + offset, blob.size() - offset, &consumed);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->op, expected);
+    frames.push_back(std::move(frame).value());
+    offset += consumed;
+  }
+  EXPECT_EQ(offset, blob.size()) << "golden stream has trailing bytes";
+
+  // The payloads decode through the real codecs, not just frame-wise.
+  auto list = DecodeSampleListPayload<uint64_t>(frames[3].payload.data(),
+                                                frames[3].payload.size());
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  EXPECT_EQ(list->samples(), (std::vector<uint64_t>{11, 22}));
+  EXPECT_EQ(list->accounting().total_elements, 8u);
+
+  WireExactPassRequest exact;
+  ASSERT_GE(frames[4].payload.size(), sizeof(exact));
+  std::memcpy(&exact, frames[4].payload.data(), sizeof(exact));
+  EXPECT_EQ(exact.name_len, 5u);  // "sales"
+  EXPECT_EQ(exact.num_brackets, 1u);
+  EXPECT_EQ(frames[4].payload.size(),
+            sizeof(exact) + exact.name_len + 2 * sizeof(uint64_t));
+
+  auto scan = DecodeExactScanPayload<uint64_t>(frames[5].payload.data(),
+                                               frames[5].payload.size(),
+                                               /*expected_brackets=*/1);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan->below, (std::vector<uint64_t>{3}));
+  EXPECT_EQ(scan->kept[0], (std::vector<uint64_t>{11, 22}));
 }
 
 }  // namespace
