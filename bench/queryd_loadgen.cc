@@ -1,0 +1,389 @@
+// Load generator + conformance gate for the query-serving daemon path
+// (`QueryServer` / `opaq_queryd`): sketch once, serve millions.
+//
+// Two jobs, in order:
+//
+// 1. CONFORMANCE GATE (the part that can fail the build): every batch the
+//    daemon answers over TCP must be BYTE-IDENTICAL to what a
+//    single-process `QuerySession::Query` + `EncodeQueryResultsPayload`
+//    produces for the same batch — including exact-flagged batches fired
+//    concurrently from several connections, which the server folds into
+//    ONE shared §4 second pass (verified via the server's `exact_passes`
+//    counter). Any memcmp mismatch exits 1.
+//
+// 2. LOAD: N worker threads each dial their own connection and fire
+//    batched quantile/rank requests back-to-back for a fixed batch count,
+//    then the harness reports achieved QPS and latency quantiles. The
+//    latency quantiles are measured by OPAQ ITSELF — the per-batch
+//    latencies are fed through an `Engine` and queried as certified
+//    brackets, so the bench is its own demo.
+//
+// Default mode self-hosts: it builds a deterministic dataset, serves it
+// from an in-process `QueryServer` over real loopback TCP, and builds the
+// local reference session from the same spec. `--target=host:port`
+// points the load at an external `opaq_queryd` instead (the conformance
+// gate then needs `--data=PATH` naming the same data file the daemon
+// serves; without it the gate is skipped and only load runs).
+//
+//   queryd_loadgen [--n=1000000] [--threads=8] [--batches=200] [--batch=8]
+//                  [--samples=1024] [--run-size=1048576]
+//                  [--exact-delay-ms=50] [--exact-every=0]
+//                  [--target=host:port --session=NAME [--data=PATH]]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "net/query_client.h"
+#include "net/query_server.h"
+#include "opaq/engine.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+using Request = QueryRequest<Key>;
+using Client = QueryClient<Key>;
+
+/// The request mix of one load-phase batch, varied deterministically by
+/// batch index so every worker exercises quantiles, ranks, and equi-depth
+/// without two runs ever disagreeing.
+std::vector<Request> LoadBatch(uint64_t index, int batch_size, uint64_t n,
+                               int exact_every) {
+  std::vector<Request> batch;
+  batch.reserve(static_cast<size_t>(batch_size));
+  for (int i = 0; i < batch_size; ++i) {
+    const uint64_t salt = index * 1315423911u + static_cast<uint64_t>(i);
+    switch (salt % 3) {
+      case 0:
+        batch.push_back(Request::Quantile(
+            static_cast<double>(salt % 997 + 1) / 998.0));
+        break;
+      case 1:
+        batch.push_back(Request::RankOf(salt * 2654435761u));
+        break;
+      default:
+        batch.push_back(Request::QuantileByRank(salt % n + 1));
+        break;
+    }
+  }
+  if (exact_every > 0 && index % static_cast<uint64_t>(exact_every) == 0) {
+    batch[0].exact = true;
+  }
+  return batch;
+}
+
+/// One daemon-vs-local byte comparison. Returns false (and reports) on any
+/// divergence — size or content.
+bool ConformBatch(Client& client, const QuerySession<Key>& local,
+                  const std::vector<Request>& batch, const char* label) {
+  auto remote = client.QueryPayload({batch.data(), batch.size()});
+  OPAQ_CHECK_OK(remote.status());
+  auto answers = local.Query({batch.data(), batch.size()});
+  OPAQ_CHECK_OK(answers.status());
+  auto expected = EncodeQueryResultsPayload(*answers);
+  OPAQ_CHECK_OK(expected.status());
+  if (remote->size() != expected->size() ||
+      std::memcmp(remote->data(), expected->data(), expected->size()) != 0) {
+    std::fprintf(stderr,
+                 "FAIL: conformance batch '%s': daemon payload (%zu bytes) "
+                 "!= local QuerySession payload (%zu bytes)\n",
+                 label, remote->size(), expected->size());
+    return false;
+  }
+  return true;
+}
+
+struct TargetSpec {
+  std::string host;
+  uint16_t port = 0;
+};
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  auto flags = Flags::Parse(argc, argv);
+  OPAQ_CHECK_OK(flags.status());
+  const uint64_t n =
+      options.Scaled(static_cast<uint64_t>(flags->GetInt("n", 1000000)), 1);
+  const int threads = static_cast<int>(flags->GetInt("threads", 8));
+  const uint64_t batches =
+      static_cast<uint64_t>(flags->GetInt("batches", 200));
+  const int batch_size = static_cast<int>(flags->GetInt("batch", 8));
+  const int exact_every = static_cast<int>(flags->GetInt("exact-every", 0));
+  const double exact_delay_ms = flags->GetDouble("exact-delay-ms", 50.0);
+  const std::string target = flags->GetString("target", "");
+  const std::string session_name = flags->GetString("session", "bench");
+  const std::string data_path = flags->GetString("data", "");
+  OPAQ_CHECK(threads >= 1 && batch_size >= 1 && batches >= 1);
+
+  OpaqConfig config;
+  config.run_size =
+      static_cast<uint64_t>(flags->GetInt("run-size", 1048576));
+  config.samples_per_run =
+      static_cast<uint64_t>(flags->GetInt("samples", 1024));
+  OPAQ_CHECK_OK(config.Validate());
+
+  // ------------------------------------------------------ the daemon ----
+  // Self-hosted by default: an in-process QueryServer over real loopback
+  // TCP, built from the same deterministic spec as the local reference.
+  TargetSpec spec;
+  std::unique_ptr<QueryServer> hosted;
+  std::unique_ptr<QuerySession<Key>> local;
+  if (target.empty()) {
+    DatasetSpec dataset;
+    dataset.n = n;
+    dataset.seed = options.seed;
+    dataset.distribution = Distribution::kZipf;
+    auto data = std::make_shared<const std::vector<Key>>(
+        GenerateDataset<Key>(dataset));
+    auto builder = [data, config]() -> Result<QuerySession<Key>> {
+      Source<Key> source = Source<Key>::FromVector(*data);
+      Engine<Key> engine(config, source);
+      return engine.Build();
+    };
+    auto reference = builder();
+    OPAQ_CHECK_OK(reference.status());
+    local = std::make_unique<QuerySession<Key>>(
+        std::move(reference).value());
+    QueryServerOptions server_options;
+    server_options.exact_admission_delay_seconds = exact_delay_ms / 1000.0;
+    hosted = std::make_unique<QueryServer>(server_options);
+    OPAQ_CHECK_OK(hosted->Serve<Key>(session_name, builder));
+    OPAQ_CHECK_OK(hosted->Start());
+    spec.host = "127.0.0.1";
+    spec.port = hosted->port();
+  } else {
+    const size_t colon = target.rfind(':');
+    OPAQ_CHECK(colon != std::string::npos) << "--target must be host:port";
+    spec.host = target.substr(0, colon);
+    spec.port = static_cast<uint16_t>(
+        std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+    if (!data_path.empty()) {
+      // External conformance: the reference reads the SAME file the
+      // daemon serves, through the same config.
+      auto source = Source<Key>::Open(data_path);
+      OPAQ_CHECK_OK(source.status());
+      Engine<Key> engine(config, *source);
+      auto reference = engine.Build();
+      OPAQ_CHECK_OK(reference.status());
+      local = std::make_unique<QuerySession<Key>>(
+          std::move(reference).value());
+    }
+  }
+
+  auto probe = Client::Connect(spec.host, spec.port, session_name);
+  OPAQ_CHECK_OK(probe.status());
+  const uint64_t served_n = probe->info().total_elements;
+  std::printf("session '%s' @ %s:%u: %llu elements, %llu samples, "
+              "rank error <= %llu, epoch %llu%s\n",
+              session_name.c_str(), spec.host.c_str(), unsigned{spec.port},
+              static_cast<unsigned long long>(served_n),
+              static_cast<unsigned long long>(probe->info().num_samples),
+              static_cast<unsigned long long>(probe->info().max_rank_error),
+              static_cast<unsigned long long>(probe->info().epoch),
+              probe->info().exact_enabled ? ", exact enabled" : "");
+
+  // ------------------------------------------------ conformance gate ----
+  if (local != nullptr) {
+    struct Named {
+      const char* label;
+      std::vector<Request> batch;
+    };
+    std::vector<Named> gates = {
+        {"quantiles",
+         {Request::Quantile(0.5), Request::Quantile(0.99),
+          Request::Quantile(0.001)}},
+        {"ranks",
+         {Request::RankOf(0), Request::RankOf(served_n / 2),
+          Request::RankOf(UINT64_MAX)}},
+        {"by-rank + equi-depth",
+         {Request::QuantileByRank(1), Request::QuantileByRank(served_n),
+          Request::EquiQuantiles(10)}},
+        {"mixed",
+         {Request::Quantile(0.25), Request::RankOf(7),
+          Request::EquiQuantiles(4)}},
+    };
+    if (probe->info().exact_enabled != 0) {
+      gates.push_back({"exact quantiles",
+                       {Request::Quantile(0.5, /*exact=*/true),
+                        Request::Quantile(0.9, /*exact=*/true)}});
+    }
+    for (const Named& gate : gates) {
+      if (!ConformBatch(*probe, *local, gate.batch, gate.label)) return 1;
+    }
+
+    // Concurrent exact-flagged batches from distinct connections must (a)
+    // still answer byte-identically and (b) coalesce into fewer shared §4
+    // passes than there are batches (observable on the self-hosted
+    // server's counter; the admission window makes it deterministic).
+    if (probe->info().exact_enabled != 0 && hosted != nullptr) {
+      const int exact_clients = std::max(2, std::min(threads, 4));
+      std::vector<Request> exact_batch = {
+          Request::Quantile(0.5, /*exact=*/true),
+          Request::EquiQuantiles(4, /*exact=*/true)};
+      auto answers =
+          local->Query({exact_batch.data(), exact_batch.size()});
+      OPAQ_CHECK_OK(answers.status());
+      auto expected = EncodeQueryResultsPayload(*answers);
+      OPAQ_CHECK_OK(expected.status());
+      const uint64_t passes_before = hosted->exact_passes();
+      std::atomic<bool> go{false};
+      std::atomic<int> mismatches{0};
+      std::vector<std::thread> workers;
+      for (int t = 0; t < exact_clients; ++t) {
+        workers.emplace_back([&, t]() {
+          auto client =
+              Client::Connect(spec.host, spec.port, session_name);
+          OPAQ_CHECK_OK(client.status());
+          while (!go.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+          auto payload = client->QueryPayload(
+              {exact_batch.data(), exact_batch.size()});
+          OPAQ_CHECK_OK(payload.status());
+          if (payload->size() != expected->size() ||
+              std::memcmp(payload->data(), expected->data(),
+                          expected->size()) != 0) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          (void)t;
+        });
+      }
+      go.store(true, std::memory_order_release);
+      for (std::thread& worker : workers) worker.join();
+      const uint64_t passes =
+          hosted->exact_passes() - passes_before;
+      if (mismatches.load() != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %d concurrent exact batches diverged from the "
+                     "local QuerySession bytes\n",
+                     mismatches.load());
+        return 1;
+      }
+      if (passes >= static_cast<uint64_t>(exact_clients)) {
+        std::fprintf(stderr,
+                     "FAIL: %d concurrent exact batches ran %llu §4 "
+                     "passes; admission control should coalesce them\n",
+                     exact_clients,
+                     static_cast<unsigned long long>(passes));
+        return 1;
+      }
+      std::printf("conformance: all batches byte-identical; %d concurrent "
+                  "exact batches shared %llu §4 pass(es)\n",
+                  exact_clients, static_cast<unsigned long long>(passes));
+    } else {
+      std::printf("conformance: all batches byte-identical\n");
+    }
+  } else {
+    std::printf("conformance: SKIPPED (external --target without --data)\n");
+  }
+
+  // ------------------------------------------------------- load phase ----
+  std::vector<std::vector<uint64_t>> latencies_us(
+      static_cast<size_t>(threads));
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      auto client = Client::Connect(spec.host, spec.port, session_name);
+      OPAQ_CHECK_OK(client.status());
+      std::vector<uint64_t>& out = latencies_us[static_cast<size_t>(t)];
+      out.reserve(batches);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (uint64_t b = 0; b < batches; ++b) {
+        std::vector<Request> batch =
+            LoadBatch(static_cast<uint64_t>(t) * batches + b, batch_size,
+                      served_n, exact_every);
+        const auto start = std::chrono::steady_clock::now();
+        auto results = client->Query({batch.data(), batch.size()});
+        OPAQ_CHECK_OK(results.status());
+        const auto stop = std::chrono::steady_clock::now();
+        out.push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(stop -
+                                                                  start)
+                .count()));
+      }
+    });
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<uint64_t> all_latencies;
+  for (const std::vector<uint64_t>& per_thread : latencies_us) {
+    all_latencies.insert(all_latencies.end(), per_thread.begin(),
+                         per_thread.end());
+  }
+  const uint64_t total_requests =
+      static_cast<uint64_t>(threads) * batches *
+      static_cast<uint64_t>(batch_size);
+  const double qps =
+      wall_seconds > 0 ? static_cast<double>(total_requests) / wall_seconds
+                       : 0;
+
+  TextTable table;
+  table.SetTitle("queryd loadgen: " + std::to_string(threads) +
+                 " threads x " + std::to_string(batches) + " batches x " +
+                 std::to_string(batch_size) + " requests");
+  table.AddHeader({"metric", "value"});
+  table.AddRow({"requests answered", std::to_string(total_requests)});
+  table.AddRow({"wall seconds", TextTable::Num(wall_seconds, 3)});
+  table.AddRow({"achieved QPS", TextTable::Num(qps, 0)});
+  Emit(table, options);
+
+  // Self-hosting: the batch latencies are themselves a dataset — sketch
+  // them with OPAQ and report certified quantile brackets.
+  OpaqConfig latency_config;
+  latency_config.run_size = 4096;
+  latency_config.samples_per_run = 64;
+  Source<uint64_t> latency_source =
+      Source<uint64_t>::FromVector(std::move(all_latencies));
+  Engine<uint64_t> latency_engine(latency_config, latency_source);
+  auto latency_session = latency_engine.Build();
+  OPAQ_CHECK_OK(latency_session.status());
+  std::vector<QueryRequest<uint64_t>> latency_requests = {
+      QueryRequest<uint64_t>::Quantile(0.50),
+      QueryRequest<uint64_t>::Quantile(0.90),
+      QueryRequest<uint64_t>::Quantile(0.99),
+      QueryRequest<uint64_t>::Quantile(1.0),
+  };
+  auto latency_answers = latency_session->Query(
+      {latency_requests.data(), latency_requests.size()});
+  OPAQ_CHECK_OK(latency_answers.status());
+
+  TextTable latency_table;
+  latency_table.SetTitle(
+      "batch latency quantiles, measured by OPAQ's own estimator (rank "
+      "error <= " +
+      std::to_string(latency_answers->max_rank_error) + " of " +
+      std::to_string(latency_answers->total_elements) + " batches)");
+  latency_table.AddHeader({"phi", "bracket [us]"});
+  const char* labels[] = {"p50", "p90", "p99", "max"};
+  for (size_t i = 0; i < latency_requests.size(); ++i) {
+    const QuantileEstimate<uint64_t>& estimate =
+        latency_answers->results[i].estimates[0];
+    latency_table.AddRow(
+        {labels[i], "[" + std::to_string(estimate.lower) + ", " +
+                        std::to_string(estimate.upper) + "]"});
+  }
+  Emit(latency_table, options);
+
+  if (hosted != nullptr) hosted->Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

@@ -18,22 +18,32 @@
 ///    raw runs. Most users reach both through
 ///    `Source<K>::OpenRemote("host:port/dataset")`, which negotiates the
 ///    version per node and falls back to v1 streaming automatically.
+///  - `QueryServer` (net/query_server.h) / `QueryClient<K>`
+///    (net/query_client.h) — the v3 query-serving layer: sketch once at
+///    startup, then answer millions of batched quantile / rank /
+///    equi-depth requests off the in-memory sample list, with exact
+///    requests coalesced into one shared §4 pass per round and epoch-style
+///    background refresh. `opaq_queryd` is its CLI.
 ///  - The wire protocol (net/wire.h, payload codecs in
-///    net/wire_compute.h): versioned length-prefixed frames,
-///    CRC-protected payloads, sticky error frames, per-op version stamps
-///    so v1 nodes cleanly reject v2 compute frames. UNAUTHENTICATED — for
-///    trusted/loopback networks only (see README "Distributed mode" and
-///    its v1/v2 compatibility matrix).
+///    net/wire_compute.h and net/wire_query.h): versioned length-prefixed
+///    frames, CRC-protected payloads, sticky error frames, per-op version
+///    stamps so older nodes cleanly reject newer frames. UNAUTHENTICATED —
+///    for trusted/loopback networks only (see README "Distributed mode",
+///    "Query serving", and the compatibility matrix).
 
 #include "net/client.h"
 #include "net/export_spec.h"
 #include "net/frame_io.h"
+#include "net/frame_server.h"
 #include "net/node_compute.h"
 #include "net/node_server.h"
+#include "net/query_client.h"
+#include "net/query_server.h"
 #include "net/remote_compute.h"
 #include "net/remote_source.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "net/wire_compute.h"
+#include "net/wire_query.h"
 
 #endif  // OPAQ_INCLUDE_OPAQ_NET_H_

@@ -2,10 +2,12 @@
 #define OPAQ_INCLUDE_OPAQ_UTIL_H_
 
 /// Public utility surface for tools and demos: the `--key=value` flag
-/// parser, wall/phase timers, project PRNGs, and text-table formatting.
+/// parser, the daemons' SIGINT/SIGTERM latch, wall/phase timers, project
+/// PRNGs, and text-table formatting.
 
 #include "util/flags.h"
 #include "util/random.h"
+#include "util/shutdown.h"
 #include "util/table.h"
 #include "util/timer.h"
 

@@ -1,0 +1,176 @@
+#include "net/frame_server.h"
+
+#include <chrono>
+#include <utility>
+
+namespace opaq {
+
+FrameServer::FrameServer(FrameServerOptions options)
+    : options_(std::move(options)) {}
+
+FrameServer::~FrameServer() {
+  // By contract the derived destructor already called Stop(); this repeat is
+  // an idempotent no-op that still covers a FrameServer that never Started.
+  Stop();
+}
+
+bool FrameServer::SendCounted(TcpConnection* conn, WireOp op,
+                              const void* payload, size_t len) {
+  std::vector<uint8_t> frame = EncodeFrame(op, payload, len);
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  return conn->WriteFull(frame.data(), frame.size()).ok();
+}
+
+bool FrameServer::SendErrorCounted(TcpConnection* conn, const Status& status) {
+  std::vector<uint8_t> frame = EncodeErrorFrame(status);
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  return conn->WriteFull(frame.data(), frame.size()).ok();
+}
+
+Status FrameServer::Start() {
+  OPAQ_CHECK(!started_) << "FrameServer::Start called twice";
+  if (options_.max_wire_version < kWireVersion ||
+      options_.max_wire_version > kMaxWireVersion) {
+    return Status::InvalidArgument(
+        "max_wire_version of " + std::to_string(options_.max_wire_version) +
+        " is outside this build's supported range [" +
+        std::to_string(kWireVersion) + ", " +
+        std::to_string(kMaxWireVersion) + "]");
+  }
+  OPAQ_RETURN_IF_ERROR(ValidateStart());
+  auto listener = TcpListener::Bind(options_.bind_address, options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void FrameServer::Stop() {
+  if (!started_) return;
+  if (!stopping_.exchange(true)) {
+    listener_.ShutdownNow();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  // The accept loop is down, so connections_ gains no new entries; shake
+  // every handler out of its blocking read, then join.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) connection->conn.ShutdownNow();
+  }
+  for (;;) {
+    std::unique_ptr<Connection> connection;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connections_.empty()) break;
+      connection = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+std::string FrameServer::address() const {
+  return options_.bind_address + ":" + std::to_string(port_);
+}
+
+void FrameServer::ReapFinishedConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void FrameServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    ReapFinishedConnections();
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // Transient accept failure (fd pressure, aborted handshake): keep
+      // serving, but do not spin hot.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_unique<Connection>();
+    connection->conn = std::move(accepted).value();
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] {
+      Serve(&raw->conn);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void FrameServer::Serve(TcpConnection* conn) {
+  for (;;) {
+    WireFrameHeader header;
+    if (!conn->ReadFull(&header, sizeof(header)).ok()) {
+      return;  // peer went away (or Stop shut us down): normal end of stream
+    }
+    bytes_received_.fetch_add(sizeof(header), std::memory_order_relaxed);
+    Status valid = ValidateFrameHeader(header);
+    if (valid.ok() && header.version > options_.max_wire_version) {
+      // This build could parse the frame, but the operator capped the server
+      // below it — reject exactly as an old build would, so version-capped
+      // servers are faithful stand-ins for real old nodes (and newer clients
+      // read the "version" error as "fall back").
+      valid = Status::IoError(
+          "unsupported wire protocol version " +
+          std::to_string(header.version) + " (this node speaks at most " +
+          std::to_string(options_.max_wire_version) + ")");
+    }
+    if (!valid.ok()) {
+      // The stream cannot be trusted past a malformed header (we may be
+      // mid-garbage); answer once and hang up.
+      SendErrorCounted(conn, valid);
+      conn->ShutdownNow();
+      return;
+    }
+    WireFrame frame;
+    frame.op = header.op;
+    frame.payload.resize(header.payload_len);
+    if (header.payload_len != 0 &&
+        !conn->ReadFull(frame.payload.data(), frame.payload.size()).ok()) {
+      return;  // truncated mid-frame: nothing sane left to answer
+    }
+    bytes_received_.fetch_add(header.payload_len, std::memory_order_relaxed);
+    if (Crc32(frame.payload.data(), frame.payload.size()) !=
+        header.payload_crc) {
+      SendErrorCounted(conn, Status::IoError(
+                                 std::string("payload CRC mismatch on a ") +
+                                 WireOpName(header.op) + " request"));
+      conn->ShutdownNow();
+      return;
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.response_delay_seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options_.response_delay_seconds));
+    }
+    if (!HandleFrame(conn, frame)) {
+      conn->ShutdownNow();
+      return;
+    }
+  }
+}
+
+}  // namespace opaq

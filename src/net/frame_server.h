@@ -1,0 +1,144 @@
+#ifndef OPAQ_NET_FRAME_SERVER_H_
+#define OPAQ_NET_FRAME_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace opaq {
+
+struct FrameServerOptions {
+  /// IPv4 literal to bind. The protocol is unauthenticated, so the default
+  /// stays on loopback; bind 0.0.0.0 only on trusted networks.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = pick an ephemeral port (see `port()` after `Start`).
+  uint16_t port = 0;
+  /// Artificial delay before every response frame — the latency-injectable
+  /// loopback transport the remote-vs-local benches are built on. 0 = off.
+  double response_delay_seconds = 0;
+  /// Newest protocol version this server answers. Frames announcing a newer
+  /// version are rejected with an error frame mentioning "version" — the
+  /// signal a client's `kHello` probe reads as "speak older". Must be in
+  /// [1, kMaxWireVersion]; `Start` rejects anything else.
+  uint16_t max_wire_version = kMaxWireVersion;
+};
+
+/// The transport half every OPAQ wire daemon shares: bind/listen, one
+/// thread per connection, bounded frame reads with CRC and version checks,
+/// per-frame response delay injection, traffic counters, and an ordered
+/// `Stop()` that joins every thread. `NodeServer` (data/compute ops) and
+/// `QueryServer` (query-serving ops) are thin `HandleFrame` overrides on
+/// top — the byte-level discipline lives here exactly once.
+///
+/// Per-request failures answer with an error frame and keep the connection
+/// open (HandleFrame returns true); protocol violations (bad magic /
+/// version / CRC, unknown op) answer with an error frame and close, since
+/// the byte stream can no longer be trusted.
+///
+/// Derived classes MUST call `Stop()` from their own destructor: the base
+/// destructor runs after the derived object is gone, and a connection
+/// thread still inside `HandleFrame` by then would be a virtual call into
+/// a destroyed object.
+class FrameServer {
+ public:
+  explicit FrameServer(FrameServerOptions options);
+  virtual ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop. Fails (without aborting)
+  /// on an unusable address/port, an out-of-range `max_wire_version`, or
+  /// whatever the derived `ValidateStart` rejects.
+  Status Start();
+
+  /// Shuts the listener and every live connection down and joins all
+  /// threads. Safe to call more than once, and from any thread but a
+  /// connection handler.
+  void Stop();
+
+  /// The bound port (real one when options asked for 0). Valid after Start.
+  uint16_t port() const { return port_; }
+  /// "bind_address:port" — prepend to "/dataset" for remote specs.
+  std::string address() const;
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  /// Application bytes this server put on / took off the wire (headers and
+  /// payloads of every frame) — what the benches read to show bytes-on-wire
+  /// without packet capture.
+  uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_received() const {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  /// Derived-class config checks, run by `Start` before binding. Also the
+  /// freeze point: once it returns OK, connection threads may be reading
+  /// derived state without locks.
+  virtual Status ValidateStart() { return Status::OK(); }
+
+  /// Handles one request frame (header already validated, CRC checked,
+  /// `requests_served` counted, response delay applied). Returns false when
+  /// the connection must close (protocol violation or transport failure).
+  virtual bool HandleFrame(TcpConnection* conn, const WireFrame& frame) = 0;
+
+  /// All response traffic funnels through these so `bytes_sent` counts
+  /// every frame (header + payload) exactly once.
+  bool SendCounted(TcpConnection* conn, WireOp op, const void* payload,
+                   size_t len);
+  /// Answers a request with the error frame carrying `status`. Returns
+  /// whether the connection is still usable (i.e. the send itself worked).
+  bool SendErrorCounted(TcpConnection* conn, const Status& status);
+
+  bool started() const { return started_; }
+  const FrameServerOptions& frame_options() const { return options_; }
+
+ private:
+  struct Connection {
+    TcpConnection conn;
+    std::thread thread;
+    /// Set by the handler thread on exit; the accept loop reaps done
+    /// entries so a long-running daemon's fd/thread footprint tracks LIVE
+    /// connections, not historical ones.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  /// Joins and discards every finished connection (never blocks on a live
+  /// one).
+  void ReapFinishedConnections();
+  void Serve(TcpConnection* conn);
+
+  FrameServerOptions options_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_NET_FRAME_SERVER_H_

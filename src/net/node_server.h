@@ -1,19 +1,17 @@
 #ifndef OPAQ_NET_NODE_SERVER_H_
 #define OPAQ_NET_NODE_SERVER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "io/data_file.h"
 #include "io/striped_data_file.h"
+#include "net/frame_server.h"
 #include "net/node_compute.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -85,7 +83,10 @@ struct NodeServerOptions {
 /// `opaq_noded`'s engine: serves exported datasets over the wire protocol
 /// (v1 range streaming, and — for typed exports — the v2 compute ops) with
 /// one thread per connection (the paper's workload is few long sequential
-/// streams per node, not thousands of short ones).
+/// streams per node, not thousands of short ones). The transport half —
+/// accept loop, frame validation, counters, ordered shutdown — lives in
+/// `FrameServer`; this class is the dataset registry plus the per-op
+/// handlers.
 ///
 /// Lifecycle: construct, `Export` every dataset, `Start()`, eventually
 /// `Stop()` (idempotent; the destructor calls it). Exports are frozen at
@@ -95,13 +96,10 @@ struct NodeServerOptions {
 /// the connection open; protocol violations (bad magic/version/CRC) answer
 /// with an error frame and close, since the byte stream can no longer be
 /// trusted.
-class NodeServer {
+class NodeServer : public FrameServer {
  public:
   explicit NodeServer(NodeServerOptions options = NodeServerOptions());
-  ~NodeServer();
-
-  NodeServer(const NodeServer&) = delete;
-  NodeServer& operator=(const NodeServer&) = delete;
+  ~NodeServer() override;
 
   /// Registers `dataset` under `name` (before `Start` only).
   void Export(const std::string& name, ExportedDataset dataset);
@@ -168,74 +166,15 @@ class NodeServer {
   /// plain files: any key type without template dispatch).
   void Export(const std::string& name, const DataFile* file);
 
-  /// Binds, listens, and spawns the accept loop. Fails (without aborting)
-  /// on an unusable address/port or an empty export map.
-  Status Start();
-
-  /// Shuts the listener and every live connection down and joins all
-  /// threads. Safe to call more than once, and from any thread but a
-  /// connection handler.
-  void Stop();
-
-  /// The bound port (real one when options asked for 0). Valid after Start.
-  uint16_t port() const { return port_; }
-  /// "bind_address:port" — prepend to "/dataset" for `Source::OpenRemote`.
-  std::string address() const;
-
-  uint64_t connections_accepted() const {
-    return connections_accepted_.load(std::memory_order_relaxed);
-  }
-  uint64_t requests_served() const {
-    return requests_served_.load(std::memory_order_relaxed);
-  }
-  /// Application bytes this node put on / took off the wire (headers and
-  /// payloads of every frame) — what the remote_comparison bench reads to
-  /// show the v2 bytes-on-wire win without packet capture.
-  uint64_t bytes_sent() const {
-    return bytes_sent_.load(std::memory_order_relaxed);
-  }
-  uint64_t bytes_received() const {
-    return bytes_received_.load(std::memory_order_relaxed);
-  }
-
- private:
-  struct Connection {
-    TcpConnection conn;
-    std::thread thread;
-    /// Set by the handler thread on exit; the accept loop reaps done
-    /// entries so a long-running node's fd/thread footprint tracks LIVE
-    /// connections, not historical ones.
-    std::atomic<bool> done{false};
-  };
-
-  void AcceptLoop();
-  /// Joins and discards every finished connection (never blocks on a live
-  /// one).
-  void ReapFinishedConnections();
-  void Serve(TcpConnection* conn);
+ protected:
+  Status ValidateStart() override;
   /// Handles one request frame; returns false when the connection must
   /// close (protocol violation or transport failure).
-  bool HandleFrame(TcpConnection* conn, const WireFrame& frame);
-  /// All response traffic funnels through these so `bytes_sent_` counts
-  /// every frame (header + payload) exactly once.
-  bool SendCounted(TcpConnection* conn, WireOp op, const void* payload,
-                   size_t len);
-  bool SendErrorCounted(TcpConnection* conn, const Status& status);
+  bool HandleFrame(TcpConnection* conn, const WireFrame& frame) override;
 
+ private:
   NodeServerOptions options_;
   std::map<std::string, ExportedDataset> exports_;
-  TcpListener listener_;
-  std::thread accept_thread_;
-  uint16_t port_ = 0;
-  bool started_ = false;
-  std::atomic<bool> stopping_{false};
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> requests_served_{0};
-  std::atomic<uint64_t> bytes_sent_{0};
-  std::atomic<uint64_t> bytes_received_{0};
-
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
 };
 
 }  // namespace opaq

@@ -1,0 +1,130 @@
+#include "net/query_server.h"
+
+namespace opaq {
+
+namespace {
+FrameServerOptions ToFrameOptions(const QueryServerOptions& options) {
+  FrameServerOptions frame_options;
+  frame_options.bind_address = options.bind_address;
+  frame_options.port = options.port;
+  frame_options.response_delay_seconds = options.response_delay_seconds;
+  frame_options.max_wire_version = options.max_wire_version;
+  return frame_options;
+}
+}  // namespace
+
+QueryServer::QueryServer(QueryServerOptions options)
+    : FrameServer(ToFrameOptions(options)), options_(std::move(options)) {}
+
+QueryServer::~QueryServer() {
+  // Joined here, not in ~FrameServer: connection threads virtual-call
+  // HandleFrame, which must still exist while they run.
+  Stop();
+}
+
+Status QueryServer::ValidateStart() {
+  if (sessions_.empty()) {
+    return Status::FailedPrecondition(
+        "a query daemon with nothing to serve serves no purpose; call "
+        "Serve before Start");
+  }
+  if (options_.max_wire_version < kQueryWireVersion) {
+    return Status::InvalidArgument(
+        "max_wire_version of " + std::to_string(options_.max_wire_version) +
+        " cannot carry the query ops; they need version " +
+        std::to_string(kQueryWireVersion));
+  }
+  if (options_.exact_admission_delay_seconds < 0) {
+    return Status::InvalidArgument(
+        "exact_admission_delay_seconds must be non-negative");
+  }
+  return Status::OK();
+}
+
+Status QueryServer::Refresh(const std::string& name) {
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::NotFound("query server serves no session named '" + name +
+                            "'");
+  }
+  return it->second->Rebuild();
+}
+
+Result<WireSessionInfo> QueryServer::SessionInfo(
+    const std::string& name) const {
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::NotFound("query server serves no session named '" + name +
+                            "'");
+  }
+  return it->second->Info();
+}
+
+bool QueryServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
+  switch (static_cast<WireOp>(frame.op)) {
+    case WireOp::kPing:
+      return SendCounted(conn, WireOp::kPong, nullptr, 0);
+
+    case WireOp::kHello: {
+      if (frame.payload.size() < sizeof(WireHello)) {
+        SendErrorCounted(conn, Status::IoError(
+                                   "HELLO payload shorter than its header"));
+        return false;  // framing is off; close
+      }
+      WireHello ack;
+      ack.max_version = frame_options().max_wire_version;
+      return SendCounted(conn, WireOp::kHelloAck, &ack, sizeof(ack));
+    }
+
+    case WireOp::kOpenSession: {
+      const std::string name(frame.payload.begin(), frame.payload.end());
+      auto it = sessions_.find(name);
+      if (it == sessions_.end()) {
+        // Recoverable: a client probing names keeps its connection.
+        return SendErrorCounted(
+            conn, Status::NotFound("query server serves no session named '" +
+                                   name + "'"));
+      }
+      WireSessionInfo info = it->second->Info();
+      return SendCounted(conn, WireOp::kSessionInfo, &info, sizeof(info));
+    }
+
+    case WireOp::kQuery: {
+      auto decoded = DecodeQueryName(frame.payload.data(),
+                                     frame.payload.size());
+      if (!decoded.ok()) {
+        // IoError means the framing itself lies (name_len past the end);
+        // a bad-but-well-framed batch (0 or too many requests) keeps the
+        // connection.
+        SendErrorCounted(conn, decoded.status());
+        return decoded.status().code() != StatusCode::kIoError;
+      }
+      auto it = sessions_.find(decoded->second);
+      if (it == sessions_.end()) {
+        return SendErrorCounted(
+            conn, Status::NotFound("query server serves no session named '" +
+                                   decoded->second + "'"));
+      }
+      auto answer = it->second->Answer(frame.payload.data(),
+                                       frame.payload.size(), decoded->first);
+      if (!answer.ok()) {
+        // Same split: length lies close the stream, per-request rejections
+        // (bad phi / rank / q, exact without sources) keep it.
+        SendErrorCounted(conn, answer.status());
+        return answer.status().code() != StatusCode::kIoError;
+      }
+      return SendCounted(conn, WireOp::kQueryResult, answer->data(),
+                         answer->size());
+    }
+
+    default:
+      SendErrorCounted(conn, Status::Unimplemented(
+                                 std::string("query server does not speak "
+                                             "op ") +
+                                 WireOpName(frame.op) + " (" +
+                                 std::to_string(frame.op) + ")"));
+      return false;  // unknown op: assume version skew and close
+  }
+}
+
+}  // namespace opaq

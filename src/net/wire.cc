@@ -46,14 +46,42 @@ const char* WireOpName(uint16_t op) {
     case WireOp::kSampleListData: return "SAMPLE_LIST_DATA";
     case WireOp::kExactPass: return "EXACT_PASS";
     case WireOp::kExactPassData: return "EXACT_PASS_DATA";
+    case WireOp::kOpenSession: return "OPEN_SESSION";
+    case WireOp::kSessionInfo: return "SESSION_INFO";
+    case WireOp::kQuery: return "QUERY";
+    case WireOp::kQueryResult: return "QUERY_RESULT";
   }
   return "?";
 }
 
 uint16_t WireOpVersion(WireOp op) {
-  return static_cast<uint16_t>(op) >= static_cast<uint16_t>(WireOp::kHello)
-             ? kMaxWireVersion
-             : kWireVersion;
+  // Explicit per-op mapping: the version an op stamps is fixed at the
+  // protocol revision that introduced it, so bumping kMaxWireVersion never
+  // re-stamps older frames (goldens wire_v1.bin / wire_v2.bin stay
+  // byte-stable).
+  switch (op) {
+    case WireOp::kPing:
+    case WireOp::kPong:
+    case WireOp::kOpenDataset:
+    case WireOp::kDatasetInfo:
+    case WireOp::kReadRange:
+    case WireOp::kRangeData:
+    case WireOp::kError:
+      return kWireVersion;
+    case WireOp::kHello:
+    case WireOp::kHelloAck:
+    case WireOp::kSampleRuns:
+    case WireOp::kSampleListData:
+    case WireOp::kExactPass:
+    case WireOp::kExactPassData:
+      return kComputeWireVersion;
+    case WireOp::kOpenSession:
+    case WireOp::kSessionInfo:
+    case WireOp::kQuery:
+    case WireOp::kQueryResult:
+      return kQueryWireVersion;
+  }
+  return kMaxWireVersion;
 }
 
 std::vector<uint8_t> EncodeFrame(WireOp op, const void* payload, size_t len) {

@@ -11,7 +11,7 @@
 
 namespace opaq {
 
-/// OPAQ data-node wire protocol, versions 1 and 2.
+/// OPAQ data-node wire protocol, versions 1, 2 and 3.
 ///
 /// Every message is one length-prefixed frame: a fixed 16-byte header
 /// followed by `payload_len` payload bytes. The header carries a magic, the
@@ -20,18 +20,24 @@ namespace opaq {
 /// corruption before interpreting a single payload byte. Multi-byte fields
 /// are little-endian on the wire (the repo's on-disk headers share this
 /// convention); the frame layouts are pinned by committed golden byte
-/// streams (`tests/golden/wire_v1.bin`, `tests/golden/wire_v2.bin`).
+/// streams (`tests/golden/wire_v1.bin`, `wire_v2.bin`, `wire_v3.bin`).
 ///
 /// Version 1 is the byte-serving protocol: open a dataset, stream element
 /// ranges. Version 2 adds COMPUTE ops that push the paper's work to the
 /// data node: `kSampleRuns` runs the one-pass sample phase node-side and
 /// returns only the O(s) serialized sample list, and `kExactPass` runs the
 /// §4 bracket filter scan node-side and returns per-bracket counts plus
-/// candidates — turning O(n) bytes on the wire into O(s). Each op's frame
-/// header carries the op's own minimum version (v1 ops stay version 1), so
-/// a v1-only node rejects exactly the frames it cannot serve: a v2 client
-/// probes with `kHello` and falls back to v1 range streaming when the node
-/// answers with a version error (see README's compatibility matrix).
+/// candidates — turning O(n) bytes on the wire into O(s). Version 3 adds
+/// QUERY ops for the long-lived serving daemon (`opaq_queryd` /
+/// `QueryServer`): `kOpenSession` resolves a named, already-built
+/// `QuerySession` and `kQuery` answers a whole batch of phi-quantile /
+/// rank-bracket / equi-depth requests against it — sketch once, serve
+/// millions, each answer O(1) off the sample list. Each op's frame header
+/// carries the op's own minimum version (v1 ops stay version 1, compute
+/// ops stay version 2), so an older peer rejects exactly the frames it
+/// cannot serve: a newer client probes with `kHello` and downgrades when
+/// the node answers with a version error (see README's compatibility
+/// matrix).
 ///
 /// The protocol is a strict request/response alternation per frame, but
 /// clients may PIPELINE requests: send k `kReadRange` frames back to back,
@@ -57,8 +63,16 @@ static_assert(std::is_trivially_copyable_v<WireFrameHeader>);
 /// The baseline (byte-serving) protocol version every build speaks.
 inline constexpr uint16_t kWireVersion = 1;
 
-/// The newest protocol version this build speaks (v2 = compute ops).
-inline constexpr uint16_t kMaxWireVersion = 2;
+/// The version that introduced the compute ops (`kHello`..`kExactPassData`)
+/// — their frames stamp this forever, keeping `wire_v2.bin` byte-stable.
+inline constexpr uint16_t kComputeWireVersion = 2;
+
+/// The version that introduced the query-serving ops
+/// (`kOpenSession`..`kQueryResult`).
+inline constexpr uint16_t kQueryWireVersion = 3;
+
+/// The newest protocol version this build speaks.
+inline constexpr uint16_t kMaxWireVersion = kQueryWireVersion;
 
 /// Hard cap on a frame payload: protects both sides from allocation bombs
 /// when a corrupted or hostile header claims an absurd length. The server's
@@ -89,6 +103,14 @@ enum class WireOp : uint16_t {
                         //    upper) element pairs)
   kExactPassData = 13,  // <- payload: WireExactPassHeader + u64 below[] +
                         //    u64 kept_count[] + kept element bytes
+  // ----- v3: query-serving ops (opaq_queryd / QueryServer) -----
+  kOpenSession = 14,  // -> payload: session name (raw bytes)
+  kSessionInfo = 15,  // <- payload: WireSessionInfo
+  kQuery = 16,        // -> payload: WireQueryHeader + session name +
+                      //    num_requests * (WireQueryRequest + one element)
+  kQueryResult = 17,  // <- payload: WireQueryResultHeader + per result
+                      //    (WireQueryResultRecord + estimates + exact
+                      //    values); see net/wire_query.h
 };
 
 /// Stable short name for an op ("PING", "READ_RANGE", ...); "?" when
@@ -97,8 +119,9 @@ const char* WireOpName(uint16_t op);
 
 /// The minimum protocol version that carries `op` — and the version
 /// `EncodeFrame` stamps into the frame header, so v1 ops stay byte-stable
-/// (golden `wire_v1.bin`) while compute ops announce themselves as v2 and
-/// are cleanly rejected by v1-only peers.
+/// (golden `wire_v1.bin`), compute ops stamp exactly 2 forever (golden
+/// `wire_v2.bin`), and query ops announce themselves as v3 — each cleanly
+/// rejected by peers too old to speak it.
 uint16_t WireOpVersion(WireOp op);
 
 /// `kDatasetInfo` payload: what a node discloses about one exported
@@ -196,6 +219,97 @@ struct WireExactPassHeader {
 };
 static_assert(sizeof(WireExactPassHeader) == 16);
 static_assert(std::is_trivially_copyable_v<WireExactPassHeader>);
+
+/// `kSessionInfo` payload: what `opaq_queryd` discloses about one served
+/// session — the dataset geometry plus the session-level certificates every
+/// answer will carry. `epoch` counts atomic session swaps (startup build =
+/// 1); a client seeing it change knows the dataset was refreshed.
+/// `exact_enabled` is 0 when the session was built without attached
+/// sources, in which case exact-flagged requests answer FailedPrecondition.
+struct WireSessionInfo {
+  uint32_t key_type = 0;      // KeyType tag, matches data-file headers
+  uint32_t element_size = 0;  // bytes per element
+  uint64_t total_elements = 0;
+  uint64_t max_rank_error = 0;  // Lemma 1-3 budget (~ n/s)
+  uint64_t num_samples = 0;
+  uint64_t epoch = 0;
+  uint32_t exact_enabled = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(WireSessionInfo) == 48);
+static_assert(std::is_trivially_copyable_v<WireSessionInfo>);
+
+/// Fixed prefix of a `kQuery` payload; the session name (`name_len` bytes)
+/// follows, then `num_requests` request records. The name travels with its
+/// own length because each record carries one element-sized probe value —
+/// whose size the server only knows after resolving the name.
+struct WireQueryHeader {
+  uint32_t name_len = 0;
+  uint32_t num_requests = 0;
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(WireQueryHeader) == 16);
+static_assert(std::is_trivially_copyable_v<WireQueryHeader>);
+
+/// One request record of a `kQuery` payload: the wire form of
+/// `QueryRequest<K>` (opaq/query.h). One element of probe-value bytes
+/// follows each record (meaningful for kind 2 = rank-of; zero-filled
+/// otherwise, so every record has the same size and the payload length is
+/// checkable before interpreting a single field).
+struct WireQueryRequest {
+  uint32_t kind = 0;   // 0 quantile(phi) | 1 by-rank | 2 rank-of | 3 equi-q
+  uint32_t flags = 0;  // bit 0: exact (§4 second pass; shared per batch)
+  double phi = 0;      // kind 0
+  uint64_t rank = 0;   // kind 1
+  uint32_t q = 0;      // kind 3
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(WireQueryRequest) == 32);
+static_assert(std::is_trivially_copyable_v<WireQueryRequest>);
+
+/// Fixed prefix of a `kQueryResult` payload: the batch-level certificates,
+/// then `num_results` results (one `WireQueryResultRecord` each, in request
+/// order).
+struct WireQueryResultHeader {
+  uint64_t total_elements = 0;
+  uint64_t max_rank_error = 0;
+  uint32_t num_results = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(WireQueryResultHeader) == 24);
+static_assert(std::is_trivially_copyable_v<WireQueryResultHeader>);
+
+/// One result of a `kQueryResult` payload: the wire form of
+/// `QueryResult<K>`. After each record come `num_estimates` estimate
+/// records (`WireQuantileEstimate` + the two element-sized bracket bounds
+/// each), then `num_exact` element-sized exact values (0 or num_estimates).
+/// The rank-bracket fields are meaningful for kind 2 only.
+struct WireQueryResultRecord {
+  uint32_t kind = 0;
+  uint32_t num_estimates = 0;
+  uint32_t num_exact = 0;
+  uint32_t reserved = 0;
+  uint64_t min_rank_le = 0;
+  uint64_t max_rank_le = 0;
+  uint64_t min_rank_lt = 0;
+  uint64_t max_rank_lt = 0;
+};
+static_assert(sizeof(WireQueryResultRecord) == 48);
+static_assert(std::is_trivially_copyable_v<WireQueryResultRecord>);
+
+/// One quantile estimate inside a `kQueryResult` payload: the wire form of
+/// `QuantileEstimate<K>` minus the bounds, which follow as two element-sized
+/// values (lower, upper) right after the record.
+struct WireQuantileEstimate {
+  uint64_t target_rank = 0;
+  uint64_t lower_index = 0;
+  uint64_t upper_index = 0;
+  uint64_t max_rank_error = 0;
+  uint32_t clamp_flags = 0;  // bit 0: lower_clamped, bit 1: upper_clamped
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(WireQuantileEstimate) == 40);
+static_assert(std::is_trivially_copyable_v<WireQuantileEstimate>);
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of `len` bytes.
 /// The classic check value: Crc32("123456789", 9) == 0xCBF43926.

@@ -47,17 +47,23 @@ using Request = QueryRequest<Key>;
 
 // ------------------------------------------------------------ flag table ----
 
+/// How a flag's text value must parse. Typed entries are pre-validated by
+/// `ValidateFlags` before any handler runs, so `--n=` or `--budget=lots`
+/// is a usage error (help + exit 2), never an abort inside a getter.
+enum class FlagType { kString, kInt, kDouble };
+
 /// One flag of one subcommand: its name (dash style), its default as text
 /// ("" = no default), the config field or call it maps to, a one-line
-/// description, and whether the command refuses to run without it. This
-/// table is the single source of truth — lookup defaults, validation, and
-/// --help are all generated from it.
+/// description, whether the command refuses to run without it, and how its
+/// value must parse. This table is the single source of truth — lookup
+/// defaults, validation, and --help are all generated from it.
 struct FlagSpec {
   const char* name;
   const char* def;
   const char* maps_to;
   const char* help;
   bool required = false;
+  FlagType type = FlagType::kString;
 };
 
 class CommandFlags;
@@ -87,7 +93,8 @@ std::vector<FlagSpec> Concat(std::vector<FlagSpec> a,
 std::vector<FlagSpec> StripeFlags() {
   return {
       {"stripes", "1", "stripe count D",
-       "lay the dataset out across D stripe files PATH.s0..PATH.s{D-1}"},
+       "lay the dataset out across D stripe files PATH.s0..PATH.s{D-1}",
+       false, FlagType::kInt},
       {"stripe-paths", "", "per-disk stripe files",
        "comma-separated stripe file list (overrides --stripes derivation)"},
   };
@@ -102,7 +109,8 @@ std::vector<FlagSpec> RemoteFlags() {
        "specs = one Engine shard per node)"},
       {"wire-version", "2", "NodeClientOptions::max_wire_version",
        "newest wire version to speak: 2 = node-side compute when the node "
-       "supports it, 1 = force v1 range streaming"},
+       "supports it, 1 = force v1 range streaming",
+       false, FlagType::kInt},
   };
 }
 
@@ -114,9 +122,11 @@ std::vector<FlagSpec> IoFlags() {
        "thread(s)"},
       {"prefetch-depth", "2", "OpaqConfig::prefetch_depth",
        "prefetch buffers (runs, or chunks per stripe) in flight under "
-       "async"},
+       "async",
+       false, FlagType::kInt},
       {"run-size", "1048576", "OpaqConfig::run_size",
-       "elements per run (m): how many keys are memory-resident at once"},
+       "elements per run (m): how many keys are memory-resident at once",
+       false, FlagType::kInt},
   };
 }
 
@@ -128,17 +138,22 @@ const std::vector<CommandSpec>& Commands() {
        Concat(
            {
                {"out", "", "output data file", "path of the data file", true},
-               {"n", "1000000", "DatasetSpec::n", "number of keys"},
+               {"n", "1000000", "DatasetSpec::n", "number of keys", false,
+                FlagType::kInt},
                {"dist", "uniform", "DatasetSpec::distribution",
                 "uniform | zipf | normal | sequential"},
                {"seed", "42", "DatasetSpec::seed",
-                "generator seed (one spec + seed => bit-identical data)"},
+                "generator seed (one spec + seed => bit-identical data)",
+                false, FlagType::kInt},
                {"dup", "0.1", "DatasetSpec::duplicate_fraction",
-                "fraction of duplicated keys (uniform/normal)"},
+                "fraction of duplicated keys (uniform/normal)", false,
+                FlagType::kDouble},
                {"zipf-z", "0.86", "DatasetSpec::zipf_z",
-                "zipf skew z (1 = uniform, 0 = max skew)"},
+                "zipf skew z (1 = uniform, 0 = max skew)", false,
+                FlagType::kDouble},
                {"chunk", "65536", "stripe chunk elements",
-                "round-robin chunk size when striping"},
+                "round-robin chunk size when striping", false,
+                FlagType::kInt},
            },
            StripeFlags()),
        CmdGenerate},
@@ -152,7 +167,8 @@ const std::vector<CommandSpec>& Commands() {
                {"out", "", "output sketch file",
                 "where to persist the sorted sample list", true},
                {"samples", "1024", "OpaqConfig::samples_per_run",
-                "samples kept per run (s): accuracy ~ n/s"},
+                "samples kept per run (s): accuracy ~ n/s", false,
+                FlagType::kInt},
                {"select", "intro", "OpaqConfig::select_algorithm",
                 "intro | fr | mom | std (selection algorithm)"},
            },
@@ -166,7 +182,8 @@ const std::vector<CommandSpec>& Commands() {
            {"phi", "", "quantile fractions",
             "comma-separated phi list in (0, 1], e.g. 0.5,0.99"},
            {"q", "10", "equi-quantile count",
-            "when --phi is absent: the q-1 equi-spaced quantiles"},
+            "when --phi is absent: the q-1 equi-spaced quantiles", false,
+            FlagType::kInt},
        },
        CmdQuantile},
       {"exact",
@@ -180,10 +197,12 @@ const std::vector<CommandSpec>& Commands() {
                {"phi", "", "quantile fractions",
                 "comma-separated phi list in (0, 1]"},
                {"q", "10", "equi-quantile count",
-                "when --phi is absent: the q-1 equi-spaced quantiles"},
+                "when --phi is absent: the q-1 equi-spaced quantiles", false,
+                FlagType::kInt},
                {"budget", "0", "QuerySession::set_exact_memory_budget",
                 "max bracket elements held in memory "
-                "(0 = 4*q*max_rank_error; raise for duplicate-heavy data)"},
+                "(0 = 4*q*max_rank_error; raise for duplicate-heavy data)",
+                false, FlagType::kInt},
            },
            Concat(RemoteFlags(), Concat(IoFlags(), StripeFlags()))),
        CmdExact},
@@ -193,7 +212,7 @@ const std::vector<CommandSpec>& Commands() {
        {
            {"sketch", "", "input sketch file", "sketch to query", true},
            {"value", "", "probe value", "the key whose rank to bracket",
-            true},
+            true, FlagType::kInt},
        },
        CmdRank},
       {"merge",
@@ -254,8 +273,10 @@ class CommandFlags {
   const CommandSpec& spec_;
 };
 
-/// Rejects flags the command's table does not declare, and refuses to run
-/// without the table's required flags — up front, before any data access.
+/// Rejects flags the command's table does not declare, refuses to run
+/// without the table's required flags, and parse-checks every provided
+/// numeric value — up front, before any data access, so the CommandFlags
+/// getters below can never abort on user input.
 Status ValidateFlags(const Flags& flags, const CommandSpec& spec) {
   for (const std::string& key : flags.keys()) {
     if (key == "help") continue;
@@ -274,6 +295,14 @@ Status ValidateFlags(const Flags& flags, const CommandSpec& spec) {
       return Status::InvalidArgument(
           "'" + std::string(spec.name) + "' needs --" + flag.name + " (" +
           flag.maps_to + "); see: opaq " + spec.name + " --help");
+    }
+    if (!flags.Has(flag.name)) continue;
+    if (flag.type == FlagType::kInt) {
+      auto value = flags.TryGetInt(flag.name, 0);
+      if (!value.ok()) return value.status();
+    } else if (flag.type == FlagType::kDouble) {
+      auto value = flags.TryGetDouble(flag.name, 0.0);
+      if (!value.ok()) return value.status();
     }
   }
   // positional()[0] is the command itself; anything further is only legal
@@ -737,7 +766,13 @@ int Main(int argc, char** argv) {
     return 0;
   }
   Status valid = ValidateFlags(*flags, *spec);
-  if (!valid.ok()) return Fail(valid);
+  if (!valid.ok()) {
+    // Bad input is usage, not an internal error: name the problem, show the
+    // command's flag table, and exit 2 like the daemons do.
+    std::cerr << "error: " << valid.message() << "\n\n";
+    PrintCommandHelp(*spec, std::cerr);
+    return 2;
+  }
   CommandFlags command_flags(*flags, *spec);
   // The handler lives in the same table as the flags and help text, so a
   // new command cannot be added without its dispatch.

@@ -14,8 +14,9 @@
 // stripes of one striped file, logical order); paths may contain '=' —
 // only the first '=' of an entry separates the name. Duplicate dataset
 // names are a startup error. The node prints one line per dataset plus its
-// bound address, then serves until killed (or for --duration seconds, for
-// scripted runs).
+// bound address, then serves until SIGINT/SIGTERM (or for --duration
+// seconds, for scripted runs); shutdown is ordered — every connection
+// thread is joined and the final traffic counters print.
 //
 // SECURITY: the protocol is unauthenticated — the default bind address
 // stays on 127.0.0.1; bind 0.0.0.0 only on networks where every peer is
@@ -199,14 +200,29 @@ int Usage(std::ostream& os, int code) {
         "node)\n"
         "  --delay-ms=0        artificial response latency (bench/testing)\n"
         "  --duration=0        serve this many seconds, then exit (0 = "
-        "forever)\n";
+        "until\n"
+        "                      SIGINT/SIGTERM; either way shutdown is clean "
+        "and the\n"
+        "                      final counters print)\n";
   return code;
+}
+
+/// A bad flag VALUE (--port=, --port=999999999999999999999, --delay-ms=fast)
+/// is usage, not an internal error: say what was wrong, show the help, exit
+/// 2 — never abort, never silently bind port 0.
+int BadFlag(const Status& status) {
+  std::cerr << "opaq_noded: " << status.message() << "\n";
+  return Usage(std::cerr, 2);
 }
 
 int Main(int argc, char** argv) {
   auto flags = Flags::Parse(argc, argv);
   if (!flags.ok()) return Fail(flags.status());
-  if (flags->GetBool("help", false)) return Usage(std::cout, 0);
+  {
+    auto help = flags->TryGetBool("help", false);
+    if (!help.ok()) return BadFlag(help.status());
+    if (*help) return Usage(std::cout, 0);
+  }
   for (const std::string& key : flags->keys()) {
     if (key != "export" && key != "bind" && key != "port" &&
         key != "max-read-bytes" && key != "max-wire-version" &&
@@ -230,25 +246,32 @@ int Main(int argc, char** argv) {
 
   NodeServerOptions options;
   options.bind_address = flags->GetString("bind", "127.0.0.1");
-  const int64_t port = flags->GetInt("port", 34601);
-  if (port < 0 || port > 65535) {
-    return Fail(Status::InvalidArgument("--port must be in [0, 65535]"));
+  const auto port = flags->TryGetInt("port", 34601);
+  if (!port.ok()) return BadFlag(port.status());
+  if (*port < 0 || *port > 65535) {
+    return BadFlag(Status::InvalidArgument("--port must be in [0, 65535]"));
   }
-  options.port = static_cast<uint16_t>(port);
-  const int64_t max_read = flags->GetInt("max-read-bytes", 4 << 20);
-  if (max_read < 1) {
-    return Fail(Status::InvalidArgument("--max-read-bytes must be >= 1"));
+  options.port = static_cast<uint16_t>(*port);
+  const auto max_read = flags->TryGetInt("max-read-bytes", 4 << 20);
+  if (!max_read.ok()) return BadFlag(max_read.status());
+  if (*max_read < 1) {
+    return BadFlag(Status::InvalidArgument("--max-read-bytes must be >= 1"));
   }
-  options.max_read_bytes = static_cast<uint64_t>(max_read);
-  const int64_t max_version =
-      flags->GetInt("max-wire-version", kMaxWireVersion);
-  if (max_version < kWireVersion || max_version > kMaxWireVersion) {
-    return Fail(Status::InvalidArgument(
+  options.max_read_bytes = static_cast<uint64_t>(*max_read);
+  const auto max_version =
+      flags->TryGetInt("max-wire-version", kMaxWireVersion);
+  if (!max_version.ok()) return BadFlag(max_version.status());
+  if (*max_version < kWireVersion || *max_version > kMaxWireVersion) {
+    return BadFlag(Status::InvalidArgument(
         "--max-wire-version must be in [" + std::to_string(kWireVersion) +
         ", " + std::to_string(kMaxWireVersion) + "]"));
   }
-  options.max_wire_version = static_cast<uint16_t>(max_version);
-  options.response_delay_seconds = flags->GetDouble("delay-ms", 0) / 1000.0;
+  options.max_wire_version = static_cast<uint16_t>(*max_version);
+  const auto delay_ms = flags->TryGetDouble("delay-ms", 0);
+  if (!delay_ms.ok()) return BadFlag(delay_ms.status());
+  options.response_delay_seconds = *delay_ms / 1000.0;
+  const auto duration = flags->TryGetDouble("duration", 0);
+  if (!duration.ok()) return BadFlag(duration.status());
 
   NodeServer server(options);
   for (const ExportSpecEntry& entry : *entries) {
@@ -265,22 +288,26 @@ int Main(int argc, char** argv) {
               << (entry.paths.size() == 1 ? " file" : " stripes") << ")\n";
     server.Export(entry.name, std::move(dataset).value());
   }
+  // Latch SIGINT/SIGTERM BEFORE Start so no window exists where a signal
+  // kills the daemon mid-setup with connection threads unjoined.
+  Status signals = ShutdownSignal::Install();
+  if (!signals.ok()) return Fail(signals);
   Status started = server.Start();
   if (!started.ok()) return Fail(started);
   std::cout << "serving on " << server.address() << " (protocol v1.."
             << options.max_wire_version
             << ", unauthenticated; trusted networks only)" << std::endl;
 
-  const double duration = flags->GetDouble("duration", 0);
-  if (duration > 0) {
-    std::this_thread::sleep_for(std::chrono::duration<double>(duration));
-    server.Stop();
-    std::cout << "served " << server.connections_accepted()
-              << " connections, " << server.requests_served()
-              << " requests\n";
-    return 0;
-  }
-  for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+  // Serve until --duration elapses or a signal arrives, whichever first;
+  // either way Stop() joins every connection thread and the counters print.
+  const bool signalled = ShutdownSignal::Wait(*duration);
+  server.Stop();
+  std::cout << (signalled ? "shutdown: signal received; " : "shutdown: ")
+            << "served " << server.connections_accepted() << " connections, "
+            << server.requests_served() << " requests, "
+            << server.bytes_sent() << " bytes out, "
+            << server.bytes_received() << " bytes in" << std::endl;
+  return 0;
 }
 
 }  // namespace

@@ -1,0 +1,300 @@
+// opaq_queryd — the OPAQ query-serving daemon: sketch once, serve millions.
+// At startup it runs the paper's one pass over every --serve dataset (plain
+// or striped data files, any key type) and keeps the finished QuerySession
+// in memory; from then on every batched phi-quantile / rank-bracket /
+// equi-depth request is answered off the sample list in O(1) per bracket —
+// no data I/O on the query path. Exact-flagged requests are admission-
+// controlled: concurrent arrivals coalesce into ONE shared §4 second pass
+// per round (the paper's "additional quantiles cost one extra pass",
+// lifted across connections).
+//
+//   opaq_queryd --serve=sales=/data/sales.opaq --port=34602
+//   opaq_queryd --serve=logs=/d0/l.s0+/d1/l.s1      # striped dataset
+//   opaq_queryd --serve=a=a.opaq --refresh-interval=300   # epoch rebuilds
+//
+// Each --serve entry is name=path (plain file) or name=p0+p1+... (stripes,
+// logical order), exactly like opaq_noded --export. With
+// --refresh-interval=N the daemon re-sketches every session every N
+// seconds in the background and atomically swaps the new epoch in;
+// in-flight queries finish against the epoch they started with. The
+// daemon serves until SIGINT/SIGTERM (or --duration seconds); shutdown is
+// ordered — every connection thread is joined and the final counters
+// print.
+//
+// SECURITY: the protocol is unauthenticated — the default bind address
+// stays on 127.0.0.1; bind 0.0.0.0 only on networks where every peer is
+// trusted (see README "Query serving").
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "opaq/io.h"
+#include "opaq/net.h"
+#include "opaq/opaq.h"
+#include "opaq/status.h"
+#include "opaq/util.h"
+
+namespace opaq {
+namespace queryd {
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "opaq_queryd: error: " << status.ToString() << std::endl;
+  return 1;
+}
+
+/// Registers one session of key type `K` with the server: the builder
+/// re-opens the file(s) and re-runs the one sketching pass on every call,
+/// so each Refresh sees the bytes currently on disk (that IS the epoch
+/// semantics — a rewritten dataset is picked up at the next refresh).
+template <typename K>
+Status ServeTyped(QueryServer* server, const std::string& name,
+                  std::vector<std::string> paths, OpaqConfig config) {
+  return server->Serve<K>(name, [paths = std::move(paths),
+                                 config = std::move(config)]()
+                                    -> Result<QuerySession<K>> {
+    auto source = paths.size() == 1 ? Source<K>::Open(paths[0])
+                                    : Source<K>::OpenStriped(paths);
+    if (!source.ok()) return source.status();
+    return Engine<K>(config, std::move(source).value()).Build();
+  });
+}
+
+/// Dispatches on the key type the file header declares (a daemon serves
+/// any key type; clients type-check when they open the session).
+Status ServeEntry(QueryServer* server, const ExportSpecEntry& entry,
+                  const OpaqConfig& config) {
+  auto device =
+      FileBlockDevice::Make(entry.paths[0], FileBlockDevice::Mode::kOpen);
+  if (!device.ok()) return device.status();
+  // Plain and stripe headers both lead with a magic and carry a key_type
+  // tag; which struct to read depends on how many paths the entry names.
+  uint32_t key_type = 0;
+  if (entry.paths.size() == 1) {
+    DataFileHeader header;
+    OPAQ_RETURN_IF_ERROR((*device)->ReadAt(0, &header, sizeof(header)));
+    key_type = header.key_type;
+  } else {
+    StripeFileHeader header;
+    OPAQ_RETURN_IF_ERROR((*device)->ReadAt(0, &header, sizeof(header)));
+    key_type = header.key_type;
+  }
+  switch (static_cast<KeyType>(key_type)) {
+    case KeyType::kU32:
+      return ServeTyped<uint32_t>(server, entry.name, entry.paths, config);
+    case KeyType::kU64:
+      return ServeTyped<uint64_t>(server, entry.name, entry.paths, config);
+    case KeyType::kI64:
+      return ServeTyped<int64_t>(server, entry.name, entry.paths, config);
+    case KeyType::kF32:
+      return ServeTyped<float>(server, entry.name, entry.paths, config);
+    case KeyType::kF64:
+      return ServeTyped<double>(server, entry.name, entry.paths, config);
+  }
+  return Status::InvalidArgument(
+      entry.paths[0] + ": unknown key type tag " + std::to_string(key_type) +
+      " (not an OPAQ data file?)");
+}
+
+int Usage(std::ostream& os, int code) {
+  os << "usage: opaq_queryd --serve=NAME=PATH[+PATH...][,NAME=PATH...] "
+        "[flags]\n\n"
+        "sketches local OPAQ datasets once at startup, then serves batched "
+        "quantile /\nrank / equi-depth queries over TCP (wire protocol v3) "
+        "off the in-memory\nsample lists.\n\nflags:\n"
+        "  --serve=...         sessions to build and serve: name=path for a "
+        "plain\n"
+        "                      data file, name=p0+p1+... for a striped one\n"
+        "  --bind=127.0.0.1    IPv4 address to bind (UNAUTHENTICATED "
+        "protocol:\n"
+        "                      bind non-loopback only on trusted networks)\n"
+        "  --port=34602        TCP port (0 = pick an ephemeral port)\n"
+        "  --run-size=1048576  sketch run size (elements per run)\n"
+        "  --samples=1024      samples kept per run (s; rank error ~ n/s)\n"
+        "  --seed=1            sampling offset seed\n"
+        "  --refresh-interval=0  seconds between background session "
+        "rebuilds\n"
+        "                      (epoch swap; 0 = never refresh)\n"
+        "  --exact-delay-ms=0  batching window for exact-flagged requests\n"
+        "  --delay-ms=0        artificial response latency (bench/testing)\n"
+        "  --duration=0        serve this many seconds, then exit (0 = "
+        "until\n"
+        "                      SIGINT/SIGTERM; either way shutdown is clean "
+        "and the\n"
+        "                      final counters print)\n";
+  return code;
+}
+
+/// A bad flag VALUE (--port=, --run-size=huge, --duration=long) is usage,
+/// not an internal error: say what was wrong, show the help, exit 2 —
+/// never abort, never silently bind port 0.
+int BadFlag(const Status& status) {
+  std::cerr << "opaq_queryd: " << status.message() << "\n";
+  return Usage(std::cerr, 2);
+}
+
+int Main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) return Fail(flags.status());
+  {
+    auto help = flags->TryGetBool("help", false);
+    if (!help.ok()) return BadFlag(help.status());
+    if (*help) return Usage(std::cout, 0);
+  }
+  for (const std::string& key : flags->keys()) {
+    if (key != "serve" && key != "bind" && key != "port" &&
+        key != "run-size" && key != "samples" && key != "seed" &&
+        key != "refresh-interval" && key != "exact-delay-ms" &&
+        key != "delay-ms" && key != "duration" && key != "help") {
+      std::cerr << "opaq_queryd: unknown flag --" << key << "\n";
+      return Usage(std::cerr, 2);
+    }
+  }
+  if (!flags->positional().empty()) {
+    std::cerr << "opaq_queryd: unexpected positional argument '"
+              << flags->positional()[0] << "'\n";
+    return Usage(std::cerr, 2);
+  }
+  if (!flags->Has("serve")) {
+    std::cerr << "opaq_queryd: nothing to serve\n";
+    return Usage(std::cerr, 2);
+  }
+
+  auto entries = ParseExportSpecs(flags->GetString("serve", ""));
+  if (!entries.ok()) return Fail(entries.status());
+
+  QueryServerOptions options;
+  options.bind_address = flags->GetString("bind", "127.0.0.1");
+  const auto port = flags->TryGetInt("port", 34602);
+  if (!port.ok()) return BadFlag(port.status());
+  if (*port < 0 || *port > 65535) {
+    return BadFlag(Status::InvalidArgument("--port must be in [0, 65535]"));
+  }
+  options.port = static_cast<uint16_t>(*port);
+  const auto delay_ms = flags->TryGetDouble("delay-ms", 0);
+  if (!delay_ms.ok()) return BadFlag(delay_ms.status());
+  options.response_delay_seconds = *delay_ms / 1000.0;
+  const auto exact_delay_ms = flags->TryGetDouble("exact-delay-ms", 0);
+  if (!exact_delay_ms.ok()) return BadFlag(exact_delay_ms.status());
+  if (*exact_delay_ms < 0) {
+    return BadFlag(
+        Status::InvalidArgument("--exact-delay-ms must be non-negative"));
+  }
+  options.exact_admission_delay_seconds = *exact_delay_ms / 1000.0;
+  const auto refresh_interval = flags->TryGetDouble("refresh-interval", 0);
+  if (!refresh_interval.ok()) return BadFlag(refresh_interval.status());
+  if (*refresh_interval < 0) {
+    return BadFlag(
+        Status::InvalidArgument("--refresh-interval must be non-negative"));
+  }
+  const auto duration = flags->TryGetDouble("duration", 0);
+  if (!duration.ok()) return BadFlag(duration.status());
+
+  OpaqConfig config;
+  const auto run_size = flags->TryGetInt("run-size", config.run_size);
+  if (!run_size.ok()) return BadFlag(run_size.status());
+  const auto samples = flags->TryGetInt("samples", config.samples_per_run);
+  if (!samples.ok()) return BadFlag(samples.status());
+  const auto seed = flags->TryGetInt("seed", config.seed);
+  if (!seed.ok()) return BadFlag(seed.status());
+  config.run_size = static_cast<uint64_t>(*run_size);
+  config.samples_per_run = static_cast<uint64_t>(*samples);
+  config.seed = static_cast<uint64_t>(*seed);
+  Status config_valid = config.Validate();
+  if (!config_valid.ok()) return BadFlag(config_valid);
+
+  QueryServer server(options);
+  for (const ExportSpecEntry& entry : *entries) {
+    WallTimer build_timer;
+    Status served = ServeEntry(&server, entry, config);
+    if (!served.ok()) {
+      return Fail(Status(served.code(), "session '" + entry.name + "': " +
+                                            served.message()));
+    }
+    auto info = server.SessionInfo(entry.name);
+    if (!info.ok()) return Fail(info.status());
+    std::cout << "session " << entry.name << ": " << info->total_elements
+              << " elements sketched to " << info->num_samples
+              << " samples (max rank error " << info->max_rank_error
+              << ") in " << build_timer.ElapsedSeconds() << " s\n";
+  }
+
+  // Latch SIGINT/SIGTERM BEFORE Start so no window exists where a signal
+  // kills the daemon mid-setup with connection threads unjoined.
+  Status signals = ShutdownSignal::Install();
+  if (!signals.ok()) return Fail(signals);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::cout << "serving on " << server.address()
+            << " (protocol v3, unauthenticated; trusted networks only)"
+            << std::endl;
+
+  // Background epoch refresher: rebuild every session each interval and
+  // swap atomically; queries keep being answered from the old epoch while
+  // a build runs. Stopped via its own cv (the shutdown latch's pipe has
+  // exactly one waiter: main).
+  std::mutex refresh_mutex;
+  std::condition_variable refresh_cv;
+  bool refresh_stop = false;
+  uint64_t refreshes = 0;
+  std::thread refresher;
+  if (*refresh_interval > 0) {
+    refresher = std::thread([&] {
+      std::unique_lock<std::mutex> lock(refresh_mutex);
+      for (;;) {
+        if (refresh_cv.wait_for(
+                lock, std::chrono::duration<double>(*refresh_interval),
+                [&] { return refresh_stop; })) {
+          return;
+        }
+        lock.unlock();
+        for (const ExportSpecEntry& entry : *entries) {
+          Status refreshed = server.Refresh(entry.name);
+          if (!refreshed.ok()) {
+            // The old epoch keeps serving; just log and retry next tick.
+            std::cerr << "opaq_queryd: refresh of '" << entry.name
+                      << "' failed (still serving the previous epoch): "
+                      << refreshed.ToString() << std::endl;
+          }
+        }
+        lock.lock();
+        ++refreshes;
+      }
+    });
+  }
+
+  // Serve until --duration elapses or a signal arrives, whichever first;
+  // either way Stop() joins every connection thread and the counters print.
+  const bool signalled = ShutdownSignal::Wait(*duration);
+  if (refresher.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(refresh_mutex);
+      refresh_stop = true;
+    }
+    refresh_cv.notify_all();
+    refresher.join();
+  }
+  server.Stop();
+  std::cout << (signalled ? "shutdown: signal received; " : "shutdown: ")
+            << "served " << server.connections_accepted() << " connections, "
+            << server.requests_served() << " requests, "
+            << server.exact_passes() << " exact passes, " << refreshes
+            << " refreshes, " << server.bytes_sent() << " bytes out, "
+            << server.bytes_received() << " bytes in" << std::endl;
+  return 0;
+}
+
+}  // namespace
+}  // namespace queryd
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::queryd::Main(argc, argv); }

@@ -1,6 +1,8 @@
 #include "util/flags.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -44,35 +46,87 @@ Result<Flags> Flags::Parse(int argc, char** argv) {
   return flags;
 }
 
-int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+Result<int64_t> Flags::TryGetInt(const std::string& key,
+                                 int64_t default_value) const {
   auto it = values_.find(key);
   if (it == values_.end()) return default_value;
+  // strtoll quietly "parses" an empty string to 0 (end == begin == '\0'),
+  // so --port= would bind port 0; and it reports overflow only via errno,
+  // which a bare end-pointer check never sees. Demand at least one digit
+  // consumed, a clean errno, and no trailing junk.
+  if (it->second.empty()) {
+    return Status::InvalidArgument("flag --" + key +
+                                   " has an empty value; expected an integer");
+  }
+  const char* begin = it->second.c_str();
   char* end = nullptr;
-  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
-  OPAQ_CHECK(end != nullptr && *end == '\0')
-      << "flag --" << key << " expects an integer, got '" << it->second << "'";
+  errno = 0;
+  int64_t value = std::strtoll(begin, &end, 10);
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("flag --" + key + " value '" + it->second +
+                                   "' overflows a 64-bit integer");
+  }
+  if (end == begin || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("flag --" + key +
+                                   " expects an integer, got '" + it->second +
+                                   "'");
+  }
   return value;
 }
 
-double Flags::GetDouble(const std::string& key, double default_value) const {
+Result<double> Flags::TryGetDouble(const std::string& key,
+                                   double default_value) const {
   auto it = values_.find(key);
   if (it == values_.end()) return default_value;
+  if (it->second.empty()) {
+    return Status::InvalidArgument("flag --" + key +
+                                   " has an empty value; expected a number");
+  }
+  const char* begin = it->second.c_str();
   char* end = nullptr;
-  double value = std::strtod(it->second.c_str(), &end);
-  OPAQ_CHECK(end != nullptr && *end == '\0')
-      << "flag --" << key << " expects a number, got '" << it->second << "'";
+  errno = 0;
+  double value = std::strtod(begin, &end);
+  // ERANGE covers overflow (+-HUGE_VAL) and underflow (denormal/0); only
+  // overflow loses the magnitude entirely, so only overflow is rejected.
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return Status::InvalidArgument("flag --" + key + " value '" + it->second +
+                                   "' overflows a double");
+  }
+  if (end == begin || end == nullptr || *end != '\0' || std::isnan(value)) {
+    return Status::InvalidArgument("flag --" + key +
+                                   " expects a number, got '" + it->second +
+                                   "'");
+  }
   return value;
 }
 
-bool Flags::GetBool(const std::string& key, bool default_value) const {
+Result<bool> Flags::TryGetBool(const std::string& key,
+                               bool default_value) const {
   auto it = values_.find(key);
   if (it == values_.end()) return default_value;
   const std::string& v = it->second;
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no") return false;
-  OPAQ_CHECK(false) << "flag --" << key << " expects a boolean, got '" << v
-                    << "'";
-  return default_value;
+  return Status::InvalidArgument("flag --" + key + " expects a boolean, got '" +
+                                 v + "'");
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  auto value = TryGetInt(key, default_value);
+  OPAQ_CHECK(value.ok()) << value.status().message();
+  return *value;
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  auto value = TryGetDouble(key, default_value);
+  OPAQ_CHECK(value.ok()) << value.status().message();
+  return *value;
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  auto value = TryGetBool(key, default_value);
+  OPAQ_CHECK(value.ok()) << value.status().message();
+  return *value;
 }
 
 std::string Flags::GetString(const std::string& key,

@@ -21,6 +21,17 @@ class Flags {
   /// Parses argv; returns InvalidArgument on malformed input (e.g. `--=x`).
   static Result<Flags> Parse(int argc, char** argv);
 
+  /// Status-returning typed getters with defaults: the daemon/CLI path.
+  /// A present-but-unparseable value — empty (`--port=`), out of range
+  /// (ERANGE overflow), no digits, or trailing junk — is an
+  /// InvalidArgument naming the flag, never a silent 0 and never an abort,
+  /// so tools can print their usage text and exit cleanly.
+  Result<int64_t> TryGetInt(const std::string& key,
+                            int64_t default_value) const;
+  Result<double> TryGetDouble(const std::string& key,
+                              double default_value) const;
+  Result<bool> TryGetBool(const std::string& key, bool default_value) const;
+
   /// Typed getters with defaults. Die (OPAQ_CHECK) if the value is present
   /// but unparseable — bad CLI input should fail loudly in a bench harness.
   int64_t GetInt(const std::string& key, int64_t default_value) const;

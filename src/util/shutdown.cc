@@ -1,0 +1,113 @@
+#include "util/shutdown.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace opaq {
+namespace {
+
+std::atomic<bool> g_triggered{false};
+int g_pipe_read = -1;
+int g_pipe_write = -1;
+
+// Async-signal-safe by construction: one write to a non-blocking pipe, no
+// locks, no allocation. A full pipe (signal storm) just drops the byte —
+// the first one already woke the waiter.
+void OnSignal(int /*signo*/) {
+  const int saved_errno = errno;
+  g_triggered.store(true, std::memory_order_release);
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = write(g_pipe_write, &byte, 1);
+  errno = saved_errno;
+}
+
+Status SetCloexecNonblock(int fd) {
+  if (fcntl(fd, F_SETFD, FD_CLOEXEC) != 0 ||
+      fcntl(fd, F_SETFL, O_NONBLOCK) != 0) {
+    return Status::IoError(std::string("fcntl on the shutdown pipe: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ShutdownSignal::Install() {
+  if (g_pipe_read >= 0) return Status::OK();
+  int fds[2];
+  if (pipe(fds) != 0) {
+    return Status::IoError(std::string("pipe for the shutdown latch: ") +
+                           std::strerror(errno));
+  }
+  OPAQ_RETURN_IF_ERROR(SetCloexecNonblock(fds[0]));
+  OPAQ_RETURN_IF_ERROR(SetCloexecNonblock(fds[1]));
+  g_pipe_read = fds[0];
+  g_pipe_write = fds[1];
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnSignal;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART keeps unrelated slow syscalls (accept, read) from spraying
+  // EINTR; the self-pipe wakes our poll regardless.
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SIGINT, &action, nullptr) != 0 ||
+      sigaction(SIGTERM, &action, nullptr) != 0) {
+    return Status::IoError(std::string("sigaction: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool ShutdownSignal::Wait(double duration_seconds) {
+  OPAQ_CHECK(g_pipe_read >= 0) << "ShutdownSignal::Wait before Install";
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(duration_seconds));
+  for (;;) {
+    if (g_triggered.load(std::memory_order_acquire)) return true;
+    int timeout_ms = -1;  // poll forever
+    if (duration_seconds > 0) {
+      const auto remaining = deadline - std::chrono::steady_clock::now();
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          remaining)
+                          .count();
+      if (ms <= 0) return g_triggered.load(std::memory_order_acquire);
+      timeout_ms = static_cast<int>(ms);
+    }
+    struct pollfd pfd;
+    pfd.fd = g_pipe_read;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno != EINTR && errno != EAGAIN) {
+      // poll on a private pipe "cannot" fail; treat it as a wakeup so the
+      // daemon shuts down rather than spinning.
+      return true;
+    }
+    if (ready > 0) {
+      char drain[64];
+      while (read(g_pipe_read, drain, sizeof(drain)) > 0) {
+      }
+      return true;
+    }
+    // ready == 0 (timeout) loops once more to re-check the deadline; EINTR
+    // retries.
+    if (ready == 0 && duration_seconds > 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return g_triggered.load(std::memory_order_acquire);
+    }
+  }
+}
+
+bool ShutdownSignal::triggered() {
+  return g_triggered.load(std::memory_order_acquire);
+}
+
+}  // namespace opaq

@@ -1,0 +1,35 @@
+#ifndef OPAQ_UTIL_SHUTDOWN_H_
+#define OPAQ_UTIL_SHUTDOWN_H_
+
+#include "util/status.h"
+
+namespace opaq {
+
+/// Process-wide SIGINT/SIGTERM latch for the daemons (`opaq_noded`,
+/// `opaq_queryd`), built on the classic self-pipe pattern: the signal
+/// handler does nothing but write one byte to a non-blocking pipe (the only
+/// async-signal-safe thing worth doing), and the main thread sleeps in
+/// `poll` on the read end. That turns "Ctrl-C killed us mid-frame" into a
+/// clean ordered shutdown — the server `Stop()`s, every connection thread
+/// is joined, and the final counters actually get printed.
+///
+/// `Install` once near the top of main, then `Wait` instead of the old
+/// `for (;;) sleep(...)` serving loop.
+class ShutdownSignal {
+ public:
+  /// Creates the self-pipe and installs the SIGINT/SIGTERM handlers.
+  /// Idempotent; fails only when the pipe or sigaction syscalls do.
+  static Status Install();
+
+  /// Blocks until a signal arrives or `duration_seconds` elapses
+  /// (0 = no time limit, signal only). Returns true when a signal ended
+  /// the wait, false on timeout. `Install` must have succeeded first.
+  static bool Wait(double duration_seconds);
+
+  /// Whether SIGINT/SIGTERM has been received since Install.
+  static bool triggered();
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_UTIL_SHUTDOWN_H_

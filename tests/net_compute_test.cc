@@ -120,11 +120,12 @@ void ExpectListsEqual(const SampleList<Key>& got, const SampleList<Key>& want,
 
 // ------------------------------------------------ version negotiation ----
 
-TEST(NegotiateWireVersionTest, TwoV2PeersSpeakV2) {
+TEST(NegotiateWireVersionTest, DefaultPeersSpeakTheNewestVersion) {
   ComputeNode node(100);
   auto version = NegotiateWireVersion(node.spec(), NodeClientOptions());
   ASSERT_TRUE(version.ok()) << version.status().ToString();
-  EXPECT_EQ(*version, 2);
+  EXPECT_EQ(*version, kMaxWireVersion);
+  EXPECT_GE(*version, kComputeWireVersion);  // compute ops stay available
 }
 
 TEST(NegotiateWireVersionTest, V1CappedNodeNegotiatesDownToV1) {

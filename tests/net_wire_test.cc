@@ -1,9 +1,9 @@
 // Wire-protocol codec tests: CRC correctness, frame round trips, rejection
 // of truncation/corruption/foreign traffic, and the committed golden byte
-// streams (`tests/golden/wire_v1.bin`, `wire_v2.bin`) that pin frame
-// formats v1 and v2 — if the header layout, op codes, CRC polynomial or
-// payload encodings ever drift, these fail in tier-1 instead of silently
-// orphaning every deployed node.
+// streams (`tests/golden/wire_v1.bin`, `wire_v2.bin`, `wire_v3.bin`) that
+// pin frame formats v1 through v3 — if the header layout, op codes, CRC
+// polynomial or payload encodings ever drift, these fail in tier-1 instead
+// of silently orphaning every deployed node.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +15,7 @@
 
 #include "net/wire.h"
 #include "net/wire_compute.h"
+#include "net/wire_query.h"
 
 namespace opaq {
 namespace {
@@ -40,7 +41,7 @@ TEST(WireFrameTest, HeaderLayoutIsPinned) {
 }
 
 TEST(WireFrameTest, V2LayoutIsPinned) {
-  EXPECT_EQ(kMaxWireVersion, 2);
+  EXPECT_EQ(kComputeWireVersion, 2);
   static_assert(sizeof(WireHello) == 4);
   static_assert(sizeof(WireSampleRunsRequest) == 40);
   static_assert(sizeof(WireSampleListHeader) == 40);
@@ -53,6 +54,21 @@ TEST(WireFrameTest, V2LayoutIsPinned) {
   EXPECT_EQ(static_cast<uint16_t>(WireOp::kSampleListData), 11);
   EXPECT_EQ(static_cast<uint16_t>(WireOp::kExactPass), 12);
   EXPECT_EQ(static_cast<uint16_t>(WireOp::kExactPassData), 13);
+}
+
+TEST(WireFrameTest, V3LayoutIsPinned) {
+  EXPECT_EQ(kQueryWireVersion, 3);
+  EXPECT_EQ(kMaxWireVersion, 3);
+  static_assert(sizeof(WireSessionInfo) == 48);
+  static_assert(sizeof(WireQueryHeader) == 16);
+  static_assert(sizeof(WireQueryRequest) == 32);
+  static_assert(sizeof(WireQueryResultHeader) == 24);
+  static_assert(sizeof(WireQueryResultRecord) == 48);
+  static_assert(sizeof(WireQuantileEstimate) == 40);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kOpenSession), 14);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kSessionInfo), 15);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kQuery), 16);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kQueryResult), 17);
 }
 
 TEST(WireFrameTest, FramesCarryPerOpVersions) {
@@ -69,6 +85,10 @@ TEST(WireFrameTest, FramesCarryPerOpVersions) {
                     WireOp::kSampleListData, WireOp::kExactPass,
                     WireOp::kExactPassData}) {
     EXPECT_EQ(WireOpVersion(op), 2u) << WireOpName(static_cast<uint16_t>(op));
+  }
+  for (WireOp op : {WireOp::kOpenSession, WireOp::kSessionInfo,
+                    WireOp::kQuery, WireOp::kQueryResult}) {
+    EXPECT_EQ(WireOpVersion(op), 3u) << WireOpName(static_cast<uint16_t>(op));
   }
   // And EncodeFrame stamps that version into the header.
   std::vector<uint8_t> v1 = EncodeFrame(WireOp::kPing, nullptr, 0);
@@ -407,6 +427,134 @@ TEST(WireGoldenTest, GoldenV2StreamDecodesFrameByFrame) {
   ASSERT_TRUE(scan.ok()) << scan.status().ToString();
   EXPECT_EQ(scan->below, (std::vector<uint64_t>{3}));
   EXPECT_EQ(scan->kept[0], (std::vector<uint64_t>{11, 22}));
+}
+
+// ------------------------------------------- v3 golden byte stream ----
+
+/// The canned query-serving conversation committed as
+/// tests/golden/wire_v3.bin: every v3 op once, fixed payloads, over a u64
+/// session "sales". Must keep producing these exact bytes forever (or
+/// kMaxWireVersion must be bumped and a new blob committed).
+std::vector<uint8_t> MakeGoldenV3Stream() {
+  std::vector<uint8_t> stream;
+  auto append = [&stream](const std::vector<uint8_t>& frame) {
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  const std::string name = "sales";
+  // 1. OPEN_SESSION "sales" (payload is the bare name).
+  append(EncodeFrame(WireOp::kOpenSession, name.data(), name.size()));
+  // 2. SESSION_INFO: 1000 u64 elements, 125 samples, epoch 1.
+  WireSessionInfo info;
+  info.key_type = 2;  // KeyType::kU64
+  info.element_size = 8;
+  info.total_elements = 1000;
+  info.max_rank_error = 8;
+  info.num_samples = 125;
+  info.epoch = 1;
+  info.exact_enabled = 1;
+  append(EncodeFrame(WireOp::kSessionInfo, &info, sizeof(info)));
+  // 3. QUERY: one batch of all four request kinds (one exact-flagged).
+  std::vector<QueryRequest<uint64_t>> requests = {
+      QueryRequest<uint64_t>::Quantile(0.5),
+      QueryRequest<uint64_t>::QuantileByRank(250, /*exact=*/true),
+      QueryRequest<uint64_t>::RankOf(7),
+      QueryRequest<uint64_t>::EquiQuantiles(4),
+  };
+  append(EncodeFrame(
+      WireOp::kQuery,
+      EncodeQueryPayload<uint64_t>(name, {requests.data(),
+                                          requests.size()})));
+  // 4. QUERY_RESULT: a quantile bracket with an exact value, and a rank
+  // bracket — enough to pin every field of the result records.
+  QueryResults<uint64_t> results;
+  results.total_elements = 1000;
+  results.max_rank_error = 8;
+  QueryResult<uint64_t> quantile;
+  quantile.kind = QueryRequest<uint64_t>::Kind::kQuantile;
+  QuantileEstimate<uint64_t> estimate;
+  estimate.target_rank = 500;
+  estimate.lower_index = 61;
+  estimate.upper_index = 63;
+  estimate.max_rank_error = 8;
+  estimate.lower = 11;
+  estimate.upper = 22;
+  estimate.lower_clamped = false;
+  estimate.upper_clamped = true;
+  quantile.estimates = {estimate};
+  quantile.exact = {17};
+  results.results.push_back(quantile);
+  QueryResult<uint64_t> rank;
+  rank.kind = QueryRequest<uint64_t>::Kind::kRank;
+  rank.rank.min_rank_le = 3;
+  rank.rank.max_rank_le = 19;
+  rank.rank.min_rank_lt = 2;
+  rank.rank.max_rank_lt = 18;
+  results.results.push_back(rank);
+  auto payload = EncodeQueryResultsPayload(results);
+  OPAQ_CHECK_OK(payload.status());
+  append(EncodeFrame(WireOp::kQueryResult, *payload));
+  return stream;
+}
+
+TEST(WireGoldenTest, EncoderProducesExactGoldenV3Bytes) {
+  EXPECT_EQ(MakeGoldenV3Stream(), GoldenBlobBytes("wire_v3.bin"))
+      << "the v3 query frame encoding changed; deployed query daemons and "
+         "clients would no longer interoperate. If intentional, bump "
+         "kMaxWireVersion and commit a new golden blob.";
+}
+
+TEST(WireGoldenTest, GoldenV3StreamDecodesFrameByFrame) {
+  const std::vector<uint8_t> blob = GoldenBlobBytes("wire_v3.bin");
+  const uint16_t expected_ops[] = {
+      static_cast<uint16_t>(WireOp::kOpenSession),
+      static_cast<uint16_t>(WireOp::kSessionInfo),
+      static_cast<uint16_t>(WireOp::kQuery),
+      static_cast<uint16_t>(WireOp::kQueryResult),
+  };
+  size_t offset = 0;
+  std::vector<WireFrame> frames;
+  for (uint16_t expected : expected_ops) {
+    WireFrameHeader header;
+    ASSERT_GE(blob.size() - offset, sizeof(header));
+    std::memcpy(&header, blob.data() + offset, sizeof(header));
+    EXPECT_EQ(header.version, 3) << WireOpName(expected);
+    size_t consumed = 0;
+    auto frame =
+        DecodeFrame(blob.data() + offset, blob.size() - offset, &consumed);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->op, expected);
+    frames.push_back(std::move(frame).value());
+    offset += consumed;
+  }
+  EXPECT_EQ(offset, blob.size()) << "golden stream has trailing bytes";
+
+  // The payloads decode through the real codecs, not just frame-wise.
+  auto named = DecodeQueryName(frames[2].payload.data(),
+                               frames[2].payload.size());
+  ASSERT_TRUE(named.ok()) << named.status().ToString();
+  EXPECT_EQ(named->second, "sales");
+  auto requests = DecodeQueryRequests<uint64_t>(
+      frames[2].payload.data(), frames[2].payload.size(), named->first);
+  ASSERT_TRUE(requests.ok()) << requests.status().ToString();
+  ASSERT_EQ(requests->size(), 4u);
+  EXPECT_EQ((*requests)[0].kind, QueryRequest<uint64_t>::Kind::kQuantile);
+  EXPECT_EQ((*requests)[0].phi, 0.5);
+  EXPECT_TRUE((*requests)[1].exact);
+  EXPECT_EQ((*requests)[1].rank, 250u);
+  EXPECT_EQ((*requests)[2].value, 7u);
+  EXPECT_EQ((*requests)[3].q, 4);
+
+  auto results = DecodeQueryResultsPayload<uint64_t>(
+      frames[3].payload.data(), frames[3].payload.size());
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(results->total_elements, 1000u);
+  ASSERT_EQ(results->results.size(), 2u);
+  ASSERT_EQ(results->results[0].estimates.size(), 1u);
+  EXPECT_EQ(results->results[0].estimates[0].lower, 11u);
+  EXPECT_EQ(results->results[0].estimates[0].upper, 22u);
+  EXPECT_TRUE(results->results[0].estimates[0].upper_clamped);
+  EXPECT_EQ(results->results[0].exact, (std::vector<uint64_t>{17}));
+  EXPECT_EQ(results->results[1].rank.max_rank_le, 19u);
 }
 
 }  // namespace

@@ -149,6 +149,57 @@ TEST(FlagsTest, BooleanSpellings) {
   EXPECT_FALSE(flags->GetBool("d", true));
 }
 
+TEST(FlagsTest, TryGetIntRejectsBadValues) {
+  // The daemon-hardening rows: `--port=` used to parse as 0 and silently
+  // bind an ephemeral port; overflow and trailing junk likewise slid
+  // through strtoll. All three must now be InvalidArgument naming the flag.
+  const char* argv[] = {"prog", "--empty=", "--over=99999999999999999999999",
+                        "--junk=12x", "--neg=-3", "--ok=42", "--bare"};
+  auto flags = Flags::Parse(7, const_cast<char**>(argv));
+  ASSERT_TRUE(flags.ok());
+  auto empty = flags->TryGetInt("empty", 1);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty.status().message().find("empty"), std::string::npos);
+  auto over = flags->TryGetInt("over", 1);
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().message().find("overflow"), std::string::npos);
+  EXPECT_FALSE(flags->TryGetInt("junk", 1).ok());
+  EXPECT_FALSE(flags->TryGetInt("bare", 1).ok());  // no digits at all
+  auto neg = flags->TryGetInt("neg", 1);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(*neg, -3);
+  EXPECT_EQ(*flags->TryGetInt("ok", 1), 42);
+  EXPECT_EQ(*flags->TryGetInt("missing", 13), 13);  // default untouched
+}
+
+TEST(FlagsTest, TryGetDoubleRejectsBadValues) {
+  const char* argv[] = {"prog", "--empty=", "--junk=fast", "--nan=nan",
+                        "--huge=1e999", "--ok=0.5", "--tiny=1e-999"};
+  auto flags = Flags::Parse(7, const_cast<char**>(argv));
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags->TryGetDouble("empty", 1.0).ok());
+  EXPECT_FALSE(flags->TryGetDouble("junk", 1.0).ok());
+  EXPECT_FALSE(flags->TryGetDouble("nan", 1.0).ok());
+  EXPECT_FALSE(flags->TryGetDouble("huge", 1.0).ok());
+  EXPECT_DOUBLE_EQ(*flags->TryGetDouble("ok", 1.0), 0.5);
+  // Underflow-to-zero is a representable answer, not an error.
+  auto tiny = flags->TryGetDouble("tiny", 1.0);
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(*tiny, 0.0);
+  EXPECT_DOUBLE_EQ(*flags->TryGetDouble("missing", 2.5), 2.5);
+}
+
+TEST(FlagsTest, TryGetBoolRejectsBadValues) {
+  const char* argv[] = {"prog", "--bad=maybe", "--empty=", "--yes=yes"};
+  auto flags = Flags::Parse(4, const_cast<char**>(argv));
+  ASSERT_TRUE(flags.ok());
+  EXPECT_FALSE(flags->TryGetBool("bad", false).ok());
+  EXPECT_FALSE(flags->TryGetBool("empty", false).ok());
+  EXPECT_TRUE(*flags->TryGetBool("yes", false));
+  EXPECT_FALSE(*flags->TryGetBool("missing", false));
+}
+
 // ---------------------------------------------------------------- Random --
 
 TEST(RandomTest, SplitMix64IsDeterministic) {
