@@ -95,9 +95,11 @@ class QueryServer : public FrameServer {
   /// What `kOpenSession` would disclose about `name` — for tools and tests.
   Result<WireSessionInfo> SessionInfo(const std::string& name) const;
 
-  /// Shared §4 second passes run so far (across all sessions). N
+  /// §4 second passes attempted so far (across all sessions). N
   /// concurrent exact-flagged batches coalescing into one pass leave this
-  /// at 1 — the coalescing tests' observable.
+  /// at 1 — the coalescing tests' observable. When a combined pass fails
+  /// and the round falls back to per-waiter queries, each retry counts
+  /// too, so the counter tracks physical passes on every path.
   uint64_t exact_passes() const {
     return exact_passes_.load(std::memory_order_relaxed);
   }
@@ -217,52 +219,65 @@ class QueryServer : public FrameServer {
         std::vector<Waiter*> round(exact_queue.begin(), exact_queue.end());
         exact_queue.clear();
         lock.unlock();
-        RunRound(round);
+        std::vector<Result<QueryResults<K>>> answers = RunRound(round);
         lock.lock();
+        // Publish under exact_mutex: waiters re-evaluate their predicate
+        // (self.done) under this mutex, so writing result/done anywhere
+        // else would race with a spurious or previous-round wakeup.
+        for (size_t i = 0; i < round.size(); ++i) {
+          round[i]->result = std::move(answers[i]);
+          round[i]->done = true;
+        }
         exact_cv.notify_all();
       }
       pass_running = false;
       return std::move(self.result);
     }
 
-    /// Runs one shared pass for every batch of `round` and fills in their
-    /// results. Requests are answered independently by QuerySession, so
-    /// concatenating batches, querying once, and slicing the answers back
-    /// apart is byte-identical to querying each batch alone.
-    void RunRound(const std::vector<Waiter*>& round) {
+    /// Runs one shared pass for every batch of `round` and returns one
+    /// result per waiter, in round order. Requests are answered
+    /// independently by QuerySession, so concatenating batches, querying
+    /// once, and slicing the answers back apart is byte-identical to
+    /// querying each batch alone. Runs with exact_mutex RELEASED — it
+    /// must not touch waiter result/done fields; the leader publishes
+    /// the returned results under the mutex.
+    std::vector<Result<QueryResults<K>>> RunRound(
+        const std::vector<Waiter*>& round) {
       std::shared_ptr<const QuerySession<K>> snapshot = Snapshot();
       std::vector<QueryRequest<K>> combined;
       for (const Waiter* waiter : round) {
         combined.insert(combined.end(), waiter->requests.begin(),
                         waiter->requests.end());
       }
+      std::vector<Result<QueryResults<K>>> answers;
+      answers.reserve(round.size());
       exact_passes->fetch_add(1, std::memory_order_relaxed);
-      auto answers =
-          snapshot->Query({combined.data(), combined.size()});
-      if (answers.ok()) {
+      auto batch = snapshot->Query({combined.data(), combined.size()});
+      if (batch.ok()) {
         size_t offset = 0;
-        for (Waiter* waiter : round) {
+        for (const Waiter* waiter : round) {
           QueryResults<K> sliced;
-          sliced.total_elements = answers->total_elements;
-          sliced.max_rank_error = answers->max_rank_error;
+          sliced.total_elements = batch->total_elements;
+          sliced.max_rank_error = batch->max_rank_error;
           sliced.results.assign(
-              std::make_move_iterator(answers->results.begin() + offset),
-              std::make_move_iterator(answers->results.begin() + offset +
+              std::make_move_iterator(batch->results.begin() + offset),
+              std::make_move_iterator(batch->results.begin() + offset +
                                       waiter->requests.size()));
           offset += waiter->requests.size();
-          waiter->result = std::move(sliced);
-          waiter->done = true;
+          answers.push_back(std::move(sliced));
         }
-        return;
+        return answers;
       }
       // One batch's bad request (or a failing source) poisoned the
       // combined pass; isolate the guilty by answering each batch alone,
       // so innocent concurrent clients get their answers, just slower.
-      for (Waiter* waiter : round) {
-        waiter->result = snapshot->Query(
-            {waiter->requests.data(), waiter->requests.size()});
-        waiter->done = true;
+      // Each retry is its own §4 pass, so each bumps the counter.
+      for (const Waiter* waiter : round) {
+        exact_passes->fetch_add(1, std::memory_order_relaxed);
+        answers.push_back(snapshot->Query(
+            {waiter->requests.data(), waiter->requests.size()}));
       }
+      return answers;
     }
   };
 

@@ -232,9 +232,18 @@ Result<QueryResults<K>> DecodeQueryResultsPayload(const uint8_t* payload,
   QueryResults<K> out;
   out.total_elements = header.total_elements;
   out.max_rank_error = header.max_rank_error;
-  out.results.reserve(header.num_results);
   const uint8_t* in = payload + sizeof(header);
   size_t remaining = len - sizeof(header);
+  // Bound num_results by the bytes actually present BEFORE reserving:
+  // the count is attacker-controlled, and an unchecked reserve of up to
+  // 2^32 records is an allocation bomb, not a Status.
+  if (header.num_results > remaining / sizeof(WireQueryResultRecord)) {
+    return Status::IoError(
+        "QUERY_RESULT claims " + std::to_string(header.num_results) +
+        " results but carries only " + std::to_string(remaining) +
+        " payload bytes");
+  }
+  out.results.reserve(header.num_results);
   for (uint32_t r = 0; r < header.num_results; ++r) {
     WireQueryResultRecord record;
     if (remaining < sizeof(record)) {

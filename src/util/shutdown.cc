@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 
 namespace opaq {
 namespace {
@@ -79,7 +80,13 @@ bool ShutdownSignal::Wait(double duration_seconds) {
                           remaining)
                           .count();
       if (ms <= 0) return g_triggered.load(std::memory_order_acquire);
-      timeout_ms = static_cast<int>(ms);
+      // Clamp before narrowing: a --duration past ~24.8 days would
+      // otherwise overflow int and hand poll a negative (infinite)
+      // timeout. The loop re-checks the deadline after each wakeup, so
+      // clamped waits still honor the full duration.
+      timeout_ms = ms > std::numeric_limits<int>::max()
+                       ? std::numeric_limits<int>::max()
+                       : static_cast<int>(ms);
     }
     struct pollfd pfd;
     pfd.fd = g_pipe_read;

@@ -184,6 +184,17 @@ TEST(WireQueryCodecTest, QueryResultsRejectHostileBytes) {
     EXPECT_EQ(cut.status().code(), StatusCode::kIoError) << "len " << len;
   }
 
+  // Allocation-bomb num_results: a count near 2^32 with a tiny payload
+  // must be rejected by arithmetic BEFORE any reserve, not by bad_alloc.
+  std::vector<uint8_t> bomb = *payload;
+  WireQueryResultHeader bomb_header;
+  std::memcpy(&bomb_header, bomb.data(), sizeof(bomb_header));
+  bomb_header.num_results = 0xFFFFFFFFu;
+  std::memcpy(bomb.data(), &bomb_header, sizeof(bomb_header));
+  auto bombed = DecodeQueryResultsPayload<Key>(bomb.data(), bomb.size());
+  EXPECT_EQ(bombed.status().code(), StatusCode::kIoError);
+  EXPECT_NE(bombed.status().message().find("claims"), std::string::npos);
+
   // Trailing bytes past the last result.
   std::vector<uint8_t> padded = *payload;
   padded.push_back(0);
