@@ -76,6 +76,41 @@ SimulatedStripedDisk MakeSimulatedStripedDisk(const std::vector<Key>& data,
   return out;
 }
 
+SimulatedExtentDisk MakeSimulatedExtentDisk(const std::vector<Key>& data,
+                                            bool sleep_mode, int stripes,
+                                            uint64_t extent_elements,
+                                            ExtentCodec codec,
+                                            const DiskModel& model) {
+  // Same populate-then-wrap order as MakeSimulatedStripedDisk: pack the
+  // extents into plain memory devices first, then put each stripe behind
+  // its own independently-charged throttle so only reads are billed — and
+  // the bill is for the PACKED bytes the devices actually hold.
+  std::vector<std::unique_ptr<MemoryBlockDevice>> memory;
+  std::vector<BlockDevice*> raw;
+  for (int s = 0; s < stripes; ++s) {
+    memory.push_back(std::make_unique<MemoryBlockDevice>());
+    raw.push_back(memory.back().get());
+  }
+  ExtentWriterOptions writer_options;
+  writer_options.extent_elements = extent_elements;
+  writer_options.codec = codec;
+  OPAQ_CHECK_OK(WriteExtents(data, raw, writer_options).status());
+  SimulatedExtentDisk out;
+  std::vector<BlockDevice*> throttled;
+  for (int s = 0; s < stripes; ++s) {
+    out.devices.push_back(std::make_unique<ThrottledDevice>(
+        std::move(memory[static_cast<size_t>(s)]), model,
+        sleep_mode ? ThrottledDevice::Mode::kSleep
+                   : ThrottledDevice::Mode::kAccount));
+    throttled.push_back(out.devices.back().get());
+  }
+  auto file = ExtentFile::Open(throttled);
+  OPAQ_CHECK_OK(file.status());
+  out.file = std::make_unique<ExtentFile>(std::move(file).value());
+  out.provider = std::make_unique<ExtentFileProvider<Key>>(out.file.get());
+  return out;
+}
+
 // Per-rank dataset shape. One definition so every backend's rows in tables
 // 11/12 measure exactly the same data.
 static DatasetSpec RankSpec(uint64_t per_rank, Distribution distribution,
@@ -111,6 +146,18 @@ TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
                                   uint64_t run_size, uint64_t samples_per_run,
                                   IoMode io_mode, uint64_t prefetch_depth,
                                   int stripes) {
+  BenchIoMode mode;
+  mode.io_mode = io_mode;
+  mode.stripes = stripes;
+  return RunTimedParallel(p, per_rank, seed, run_size, samples_per_run, mode,
+                          prefetch_depth);
+}
+
+TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
+                                  uint64_t run_size, uint64_t samples_per_run,
+                                  const BenchIoMode& mode,
+                                  uint64_t prefetch_depth) {
+  const int stripes = mode.stripes;
   Cluster::Options cluster_options;
   cluster_options.num_processors = p;
   cluster_options.comm_mode = Cluster::CommMode::kSleep;
@@ -118,7 +165,7 @@ TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
   ParallelOpaqOptions opaq_options;
   opaq_options.config.run_size = run_size;
   opaq_options.config.samples_per_run = samples_per_run;
-  opaq_options.config.io_mode = io_mode;
+  opaq_options.config.io_mode = mode.io_mode;
   opaq_options.config.prefetch_depth = prefetch_depth;
   opaq_options.config.stripes = stripes < 1 ? 1
                                             : static_cast<uint64_t>(stripes);
@@ -127,9 +174,31 @@ TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
   opaq_options.merge_method = MergeMethod::kSample;
 
   TimedParallelRun out;
-  if (stripes < 1) {
+  if (mode.packed) {
+    // Compression on: the shard lives as packed extents of run_size /
+    // stripes elements each, so a run read fans out across the array
+    // exactly like the striped backend — but the throttled disks only
+    // serve the packed bytes.
+    const int extent_stripes = stripes < 1 ? 1 : stripes;
+    const uint64_t extent_elements = std::max<uint64_t>(
+        1024, run_size / static_cast<uint64_t>(extent_stripes));
+    std::vector<SimulatedExtentDisk> disks;
+    std::vector<const RunProvider<Key>*> providers;
+    for (int r = 0; r < p; ++r) {
+      disks.push_back(MakeSimulatedExtentDisk(
+          GenerateDataset<Key>(
+              RankSpec(per_rank, mode.distribution, seed, r)),
+          /*sleep_mode=*/true, extent_stripes, extent_elements, mode.codec));
+    }
+    for (const SimulatedExtentDisk& disk : disks) {
+      providers.push_back(disk.provider.get());
+    }
+    auto result = RunParallelOpaq(cluster, providers, opaq_options);
+    OPAQ_CHECK_OK(result.status());
+    out.total_seconds = result->total_wall_seconds;
+  } else if (stripes < 1) {
     ParallelDataset dataset =
-        MakeParallelDataset(p, per_rank, Distribution::kUniform, seed,
+        MakeParallelDataset(p, per_rank, mode.distribution, seed,
                             /*sleep_mode=*/true, /*keep_union=*/false);
     auto result = RunParallelOpaq(cluster, dataset.sources, opaq_options);
     OPAQ_CHECK_OK(result.status());
@@ -146,7 +215,7 @@ TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
     for (int r = 0; r < p; ++r) {
       disks.push_back(MakeSimulatedStripedDisk(
           GenerateDataset<Key>(
-              RankSpec(per_rank, Distribution::kUniform, seed, r)),
+              RankSpec(per_rank, mode.distribution, seed, r)),
           /*sleep_mode=*/true, stripes, chunk));
     }
     for (const SimulatedStripedDisk& disk : disks) {

@@ -10,6 +10,8 @@
 #include "core/opaq.h"
 #include "data/dataset.h"
 #include "io/block_device.h"
+#include "io/codec.h"
+#include "io/extent.h"
 #include "io/striped_data_file.h"
 #include "io/striped_run_source.h"
 #include "opaq/source.h"
@@ -109,6 +111,20 @@ SimulatedStripedDisk MakeSimulatedStripedDisk(
     const std::vector<Key>& data, bool sleep_mode, int stripes,
     uint64_t chunk_elements, const DiskModel& model = DiskModel());
 
+/// A simulated disk (array) holding `data` as COMPRESSED extents: the
+/// compression-on rows of Table 11. Same independently-throttled-stripe
+/// charging as `SimulatedStripedDisk`, but the throttle now bills the
+/// *packed* bytes — which is the entire point of the extent layer.
+struct SimulatedExtentDisk {
+  std::vector<std::unique_ptr<ThrottledDevice>> devices;
+  std::unique_ptr<ExtentFile> file;
+  std::unique_ptr<ExtentFileProvider<Key>> provider;
+};
+SimulatedExtentDisk MakeSimulatedExtentDisk(
+    const std::vector<Key>& data, bool sleep_mode, int stripes,
+    uint64_t extent_elements, ExtentCodec codec,
+    const DiskModel& model = DiskModel());
+
 /// Per-rank datasets + disks for a parallel run. The union of the per-rank
 /// data is kept for ground-truth scoring when `keep_union` is set.
 struct ParallelDataset {
@@ -133,6 +149,25 @@ struct TimedParallelRun {
                                              "global_merge", "quantile",
                                              "other"}};
 };
+/// One storage/I-O configuration of the side-by-side tables 11/12.
+/// `stripes` uses the RunTimedParallel convention: 0 = plain file, >= 1 =
+/// a striped array of that many disks.
+struct BenchIoMode {
+  std::string label;
+  IoMode io_mode;
+  int stripes;
+  /// Compression on: store each rank's shard as packed extents (the extent
+  /// backend, one read+decode thread per stripe under kAsync) instead of
+  /// plain rows, so the throttled disks serve the packed bytes.
+  bool packed = false;
+  ExtentCodec codec = ExtentCodec::kDelta;
+  /// Dataset distribution for this row. The standard rows use the paper's
+  /// uniform keys; the compression on/off pair uses zipf (values bounded
+  /// by n, so the delta codec has redundancy to remove — uniform 63-bit
+  /// keys are incompressible and only exercise the raw fallback).
+  Distribution distribution = Distribution::kUniform;
+};
+
 /// `stripes` >= 1 puts every rank's shard on its own `stripes`-disk array
 /// (chunk = run_size / stripes, so each run read fans out to all stripes;
 /// x1 is the degenerate one-disk array) and `io_mode` then selects inline
@@ -144,14 +179,15 @@ TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
                                   uint64_t prefetch_depth = 2,
                                   int stripes = 0);
 
-/// One storage/I-O configuration of the side-by-side tables 11/12.
-/// `stripes` uses the RunTimedParallel convention: 0 = plain file, >= 1 =
-/// a striped array of that many disks.
-struct BenchIoMode {
-  std::string label;
-  IoMode io_mode;
-  int stripes;
-};
+/// Full-row variant: honours `mode.packed`/`mode.codec`/`mode.distribution`
+/// in addition to the io_mode/stripes the legacy overload takes. Packed
+/// rows store the shard as extents of run_size / max(stripes, 1) elements,
+/// so each run read fans out across the array exactly like the striped
+/// backend it is compared against.
+TimedParallelRun RunTimedParallel(int p, uint64_t per_rank, uint64_t seed,
+                                  uint64_t run_size, uint64_t samples_per_run,
+                                  const BenchIoMode& mode,
+                                  uint64_t prefetch_depth = 2);
 
 /// The canonical sync / async / striped x<options.stripes> row set, shared
 /// by every bench that breaks results out per mode so labels stay joinable

@@ -29,6 +29,12 @@ struct EngineStats {
   uint64_t runs = 0;
   uint64_t elements = 0;
   size_t shards = 0;
+  /// Pack/unpack accounting over the build, summed across compressed-extent
+  /// shards (all-zero when no shard is compressed): how many extents were
+  /// decoded, and how `packed_bytes` read from disk expanded to
+  /// `unpacked_bytes` fed to sampling. This is the "bytes-from-disk cut"
+  /// the codecs exist for.
+  ExtentStatsSnapshot extents;
 };
 
 /// The front door of the public API: owns an `OpaqConfig` and the
@@ -80,6 +86,16 @@ class Engine {
     stats_ = EngineStats{};
     stats_.shards = shards_.size();
     WallTimer total_timer;
+
+    // Compressed-extent backends keep cumulative pack/unpack counters;
+    // snapshot them now so the post-build delta attributes exactly this
+    // build's decodes to stats_.extents.
+    std::vector<ExtentStatsSnapshot> extents_before(shards_.size());
+    for (size_t rank = 0; rank < shards_.size(); ++rank) {
+      if (const ExtentStats* pack = shards_[rank].pack_stats()) {
+        extents_before[rank] = pack->Snapshot();
+      }
+    }
 
     std::vector<SampleList<K>> lists(shards_.size());
     std::vector<Status> statuses(shards_.size());
@@ -145,6 +161,11 @@ class Engine {
       }
       stats_.io_stall_seconds += io_seconds[rank];
       stats_.runs += runs[rank];
+      if (const ExtentStats* pack = shards_[rank].pack_stats()) {
+        ExtentStatsSnapshot delta = pack->Snapshot();
+        delta.Subtract(extents_before[rank]);
+        stats_.extents.Add(delta);
+      }
     }
 
     // Global merge, in shard order (associative: equals the paper's §4

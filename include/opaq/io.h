@@ -10,7 +10,9 @@
 
 #include "io/async_run_reader.h"
 #include "io/block_device.h"
+#include "io/codec.h"
 #include "io/data_file.h"
+#include "io/extent.h"
 #include "io/faulty_device.h"
 #include "io/run_reader.h"
 #include "io/striped_data_file.h"

@@ -11,10 +11,12 @@
 #include "io/async_run_reader.h"
 #include "io/block_device.h"
 #include "io/data_file.h"
+#include "io/extent.h"
 #include "io/run_reader.h"
 #include "io/striped_data_file.h"
 #include "io/striped_run_source.h"
 #include "net/remote_compute.h"
+#include "net/remote_extent_source.h"
 #include "net/remote_source.h"
 #include "util/status.h"
 
@@ -53,6 +55,18 @@ class Source {
     return s;
   }
 
+  /// A compressed extent file (plain or striped — an `ExtentFile` covers
+  /// both), borrowed. Decode rides the prefetch threads; the pack/unpack
+  /// accounting surfaces through `Engine`'s stats.
+  static Result<Source> FromFile(const ExtentFile* file) {
+    OPAQ_CHECK(file != nullptr);
+    OPAQ_RETURN_IF_ERROR(CheckExtentKeyType(*file));
+    Source s;
+    s.provider_ = std::make_shared<ExtentFileProvider<K>>(file);
+    s.stripes_ = file->num_stripes();
+    return s;
+  }
+
   /// Any storage backend, borrowed — the extension point for custom
   /// backends (io_uring, networked block devices, ...): implement
   /// `RunProvider<K>` and every consumer of `Source` works unchanged.
@@ -77,13 +91,21 @@ class Source {
     return FromVector(GenerateDataset<K>(spec));
   }
 
-  /// Opens the plain data file at `path`; the source owns the device and
-  /// file handles.
+  /// Opens the data file at `path`, sniffing the on-disk format from its
+  /// magic: plain data files ("OPAQDAT1") and compressed extent files
+  /// ("OPAQEXT1") both open through here, so readers never need to be told
+  /// whether a dataset is compressed. The source owns the device and file
+  /// handles.
   static Result<Source> Open(const std::string& path) {
     auto owned = std::make_shared<OwnedBackend>();
     auto device = FileBlockDevice::Make(path, FileBlockDevice::Mode::kOpen);
     if (!device.ok()) return device.status();
     owned->devices.push_back(std::move(device).value());
+    auto magic = SniffMagic(owned->devices.back().get());
+    if (!magic.ok()) return magic.status();
+    if (*magic == ExtentFileHeader::kMagic) {
+      return OpenExtentOwned(std::move(owned));
+    }
     auto file = TypedDataFile<K>::Open(owned->devices.back().get());
     if (!file.ok()) return file.status();
     owned->plain =
@@ -95,6 +117,8 @@ class Source {
 
   /// Opens the striped data file whose stripes live at `stripe_paths` (one
   /// per disk, logical order); the source owns all devices and handles.
+  /// Format-sniffing like `Open`: striped plain files ("OPAQSTP1") and
+  /// striped extent files ("OPAQEXT1") both open through here.
   static Result<Source> OpenStriped(
       const std::vector<std::string>& stripe_paths) {
     if (stripe_paths.empty()) {
@@ -107,6 +131,11 @@ class Source {
       if (!device.ok()) return device.status();
       owned->devices.push_back(std::move(device).value());
       raw.push_back(owned->devices.back().get());
+    }
+    auto magic = SniffMagic(owned->devices.front().get());
+    if (!magic.ok()) return magic.status();
+    if (*magic == ExtentFileHeader::kMagic) {
+      return OpenExtentOwned(std::move(owned));
     }
     auto file = StripedDataFile<K>::Open(std::move(raw));
     if (!file.ok()) return file.status();
@@ -141,10 +170,26 @@ class Source {
     if (!negotiated.ok()) return negotiated.status();
     const RemoteSpec parsed = provider->spec();
     auto owned = std::make_shared<OwnedBackend>();
-    owned->provider = std::make_unique<RemoteRunProvider<K>>(
-        std::move(provider).value());
+    // Against a v4 node, probe for an extent export: when the dataset is
+    // stored as compressed extents, every stream from this source ships
+    // PACKED extents decoded client-side (RemoteExtentProvider). A node
+    // answering Unimplemented stores it uncompressed — range streaming as
+    // always.
+    if (*negotiated >= kExtentWireVersion) {
+      auto extents = RemoteExtentProvider<K>::Connect(parsed, options);
+      if (extents.ok()) {
+        owned->provider = std::make_unique<RemoteExtentProvider<K>>(
+            std::move(extents).value());
+      } else if (extents.status().code() != StatusCode::kUnimplemented) {
+        return extents.status();
+      }
+    }
+    if (owned->provider == nullptr) {
+      owned->provider = std::make_unique<RemoteRunProvider<K>>(
+          std::move(provider).value());
+    }
     Source s = FromOwned(std::move(owned), 1);
-    if (*negotiated >= 2) {
+    if (*negotiated >= 2 && options.node_compute) {
       s.compute_ = std::make_shared<const RemoteComputeClient<K>>(parsed,
                                                                   options);
     }
@@ -179,14 +224,57 @@ class Source {
     return provider_->OpenRuns(options, first, count);
   }
 
+  /// Pack/unpack accounting of a compressed backend; nullptr for
+  /// uncompressed ones (see RunProvider::pack_stats).
+  const ExtentStats* pack_stats() const { return provider_->pack_stats(); }
+
  private:
   /// Ownership closure for the `Open*` factories.
   struct OwnedBackend {
     std::vector<std::unique_ptr<FileBlockDevice>> devices;
     std::unique_ptr<TypedDataFile<K>> plain;
     std::unique_ptr<StripedDataFile<K>> striped;
+    std::unique_ptr<ExtentFile> extent;
     std::unique_ptr<RunProvider<K>> provider;
   };
+
+  static Status CheckExtentKeyType(const ExtentFile& file) {
+    if (file.key_type() != static_cast<uint32_t>(KeyTraits<K>::kType)) {
+      return Status::InvalidArgument(
+          std::string("extent file holds a different key type than ") +
+          KeyTraits<K>::kName);
+    }
+    return Status::OK();
+  }
+
+  /// First 8 bytes of the device (0 when shorter) — enough to dispatch on
+  /// every OPAQ on-disk magic; full validation happens in the format's own
+  /// Open.
+  static Result<uint64_t> SniffMagic(BlockDevice* device) {
+    auto size = device->Size();
+    if (!size.ok()) return size.status();
+    uint64_t magic = 0;
+    if (*size >= sizeof(magic)) {
+      OPAQ_RETURN_IF_ERROR(device->ReadAt(0, &magic, sizeof(magic)));
+    }
+    return magic;
+  }
+
+  /// Finishes `Open`/`OpenStriped` for the extent format: the devices are
+  /// already in `owned`, in stripe order.
+  static Result<Source> OpenExtentOwned(std::shared_ptr<OwnedBackend> owned) {
+    std::vector<BlockDevice*> raw;
+    raw.reserve(owned->devices.size());
+    for (auto& device : owned->devices) raw.push_back(device.get());
+    auto file = ExtentFile::Open(std::move(raw));
+    if (!file.ok()) return file.status();
+    OPAQ_RETURN_IF_ERROR(CheckExtentKeyType(*file));
+    owned->extent = std::make_unique<ExtentFile>(std::move(file).value());
+    owned->provider =
+        std::make_unique<ExtentFileProvider<K>>(owned->extent.get());
+    const uint64_t stripes = owned->extent->num_stripes();
+    return FromOwned(std::move(owned), stripes);
+  }
 
   static Source FromOwned(std::shared_ptr<OwnedBackend> owned,
                           uint64_t stripes) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "io/codec.h"
 #include "io/io_mode.h"
 #include "select/select.h"
 #include "util/status.h"
@@ -51,6 +52,21 @@ struct OpaqConfig {
   /// Validate() requires it in [1, kMaxStripes].
   uint64_t stripes = 1;
 
+  /// Codec for compressed-extent output (io/extent.h). Like `stripes`, only
+  /// the writer paths (CLI generate, benches) consume it — extent files are
+  /// self-describing, so reading never needs it. Validate() requires the
+  /// codec to be available in this build.
+  ExtentCodec codec = ExtentCodec::kRaw;
+
+  /// Logical elements per extent for compressed-extent output (the CLI's
+  /// `--extent-size`). The extent is the unit of compression, prefetch and
+  /// wire streaming. Validate() bounds it against `kMaxExtentBytes`.
+  uint64_t extent_elements = 64u << 10;
+
+  /// Verify per-extent payload CRCs when reading compressed extents;
+  /// uncompressed backends ignore it (see ReadOptions::verify_checksums).
+  bool verify_checksums = true;
+
   /// Sub-run size c = m/s.
   uint64_t subrun_size() const { return run_size / samples_per_run; }
 
@@ -61,6 +77,7 @@ struct OpaqConfig {
     options.run_size = run_size;
     options.io_mode = io_mode;
     options.prefetch_depth = prefetch_depth;
+    options.verify_checksums = verify_checksums;
     return options;
   }
 

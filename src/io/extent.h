@@ -1,0 +1,494 @@
+#ifndef OPAQ_IO_EXTENT_H_
+#define OPAQ_IO_EXTENT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "io/block_device.h"
+#include "io/codec.h"
+#include "io/data_file.h"
+#include "io/extent_stats.h"
+#include "io/io_mode.h"
+#include "io/run_reader.h"
+#include "parallel/channel.h"
+#include "util/math.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// The compressed extent format: a dataset stored as fixed-size,
+/// independently compressed, self-describing extents (the DataSeries idea),
+/// optionally striped round-robin across D devices exactly like
+/// `StripedDataFile` stripes chunks — logical extent e lives on stripe
+/// e % D. Each stripe file is laid out as
+///
+///   ExtentFileHeader (64 bytes, offset 0)
+///   extent: ExtentHeader (40 bytes) + packed payload   } repeated, in
+///   extent: ExtentHeader + packed payload              } ascending local
+///   ...                                                } order
+///   directory: u64 byte offset of each local extent's header,
+///              then CRC-32 of those offset bytes (4 bytes)
+///
+/// Every layer is independently verifiable: the file header pins the
+/// geometry (validated across stripes on open), the directory pins where
+/// every extent starts (CRC'd, bounds-checked on open — which also bounds
+/// every later read, so a corrupt directory cannot become an allocation
+/// bomb), and each extent header pins its own codec, lengths, logical index
+/// and payload CRC (validated on every read). Because extents compress
+/// independently, decode parallelizes per extent and rides the existing
+/// prefetch threads — the sampling thread only ever touches decoded runs.
+
+/// Fixed 64-byte header at offset 0 of EVERY stripe of an extent file.
+struct ExtentFileHeader {
+  static constexpr uint64_t kMagic = 0x4f50415145585431ULL;  // "OPAQEXT1"
+  uint64_t magic = kMagic;
+  uint32_t version = 1;
+  uint32_t key_type = 0;
+  uint32_t element_size = 0;
+  uint32_t num_stripes = 0;
+  uint32_t stripe_index = 0;
+  uint32_t default_codec = 0;    // ExtentCodec the writer was configured with
+  uint64_t extent_elements = 0;  // logical elements per full extent
+  uint64_t total_elements = 0;   // whole dataset, across all stripes
+  uint64_t num_extents = 0;      // global: ceil(total / extent_elements)
+  uint64_t directory_offset = 0; // byte offset of THIS stripe's directory
+};
+static_assert(sizeof(ExtentFileHeader) == 64);
+static_assert(std::is_trivially_copyable_v<ExtentFileHeader>);
+
+/// Fixed 40-byte header in front of every stored extent payload. Fully
+/// self-describing: a reader can validate codec, lengths, position and
+/// payload integrity without consulting anything but trusted geometry.
+struct ExtentHeader {
+  static constexpr uint32_t kMagic = 0x54584f45u;  // "EOXT"
+  uint32_t magic = kMagic;
+  uint16_t version = 1;
+  uint16_t codec = 0;        // ExtentCodec tag of THIS extent
+  uint32_t payload_crc = 0;  // CRC-32 of the packed payload bytes
+  uint32_t reserved = 0;
+  uint64_t extent_index = 0; // global logical index (catches misdirected reads)
+  uint64_t unpacked_len = 0; // payload bytes after decode
+  uint64_t packed_len = 0;   // payload bytes stored on disk
+};
+static_assert(sizeof(ExtentHeader) == 40);
+static_assert(std::is_trivially_copyable_v<ExtentHeader>);
+
+/// Validates one stored extent (`len` bytes at `data`: ExtentHeader + packed
+/// payload) and decodes its payload into `out` (exactly `expected_unpacked`
+/// bytes). `expected_index` and `expected_unpacked` come from TRUSTED
+/// geometry — the caller's directory or negotiated stream position — never
+/// from the stored header, which is what turns a lying length field into a
+/// clean error instead of an allocation bomb: nothing here allocates from
+/// header-claimed sizes. `verify_crc` = false skips only the payload CRC
+/// (ReadOptions::verify_checksums); structural validation always runs.
+/// Records one unpack into `stats` on success (may be null). Shared by the
+/// local extent readers and the remote client's extent stream decode.
+Status DecodeStoredExtent(const uint8_t* data, size_t len,
+                          uint64_t expected_index, uint64_t expected_unpacked,
+                          uint32_t element_size, bool verify_crc, void* out,
+                          ExtentStats* stats);
+
+/// Writer knobs (the CLI's `--compress` / `--extent-size`).
+struct ExtentWriterOptions {
+  /// Logical elements per extent. The extent is the unit of compression,
+  /// prefetch and wire streaming; 64Ki elements = 512 KiB of u64 unpacked.
+  uint64_t extent_elements = 64u << 10;
+  /// Codec to pack extents with. Per extent, the writer falls back to raw
+  /// whenever the codec fails to shrink that extent, so stored payloads are
+  /// never larger than unpacked ones (readers enforce this bound).
+  ExtentCodec codec = ExtentCodec::kRaw;
+};
+
+/// Streams a dataset into an extent file (or the stripes of one — one
+/// writer covers both, exactly like `StripedDataFile` vs `DataFile`).
+/// Untyped so tools can write any key type without template dispatch; the
+/// typed `WriteExtents<K>` below is what tests and benches use.
+///
+/// Lifecycle: Create (writes provisional headers), Append elements in any
+/// batch sizes, Finish (flushes the ragged tail extent, writes the per-
+/// stripe directories, then the final headers). An unfinished file fails
+/// `ExtentFile::Open` — directory_offset stays 0 until Finish commits it.
+class ExtentWriter {
+ public:
+  static Result<ExtentWriter> Create(std::vector<BlockDevice*> devices,
+                                     KeyType key_type, uint32_t element_size,
+                                     const ExtentWriterOptions& options);
+
+  ExtentWriter(ExtentWriter&&) = default;
+  ExtentWriter& operator=(ExtentWriter&&) = default;
+
+  /// Appends `count` elements (buffered; full extents flush as they fill).
+  Status Append(const void* data, uint64_t count);
+
+  /// Flushes the tail extent and commits directories + final headers.
+  Status Finish();
+
+  /// Pack accounting so far (unpacked vs stored bytes, per-codec extents).
+  ExtentStatsSnapshot stats() const { return stats_->Snapshot(); }
+
+  uint64_t total_elements() const { return total_elements_; }
+
+ private:
+  ExtentWriter(std::vector<BlockDevice*> devices, KeyType key_type,
+               uint32_t element_size, const ExtentWriterOptions& options);
+
+  ExtentFileHeader MakeHeader(uint32_t stripe, bool finished) const;
+
+  /// Packs and stores `payload_len` unpacked bytes as the next extent.
+  Status FlushExtent(const uint8_t* payload, uint64_t payload_len);
+
+  std::vector<BlockDevice*> devices_;
+  KeyType key_type_;
+  uint32_t element_size_;
+  ExtentWriterOptions options_;
+  uint64_t extent_bytes_ = 0;          // unpacked bytes of one full extent
+  std::vector<uint64_t> write_offset_; // per stripe: next free byte
+  std::vector<std::vector<uint64_t>> directory_;  // per stripe: local offsets
+  std::vector<uint8_t> buffer_;        // pending unpacked tail (< one extent)
+  std::vector<uint8_t> packed_;        // scratch for codec output
+  uint64_t total_elements_ = 0;
+  uint64_t next_extent_ = 0;
+  bool finished_ = false;
+  std::unique_ptr<ExtentStats> stats_;
+};
+
+/// A validated, opened extent file (all stripes): trusted geometry plus the
+/// per-stripe directories. Read-only; devices are borrowed and must outlive
+/// the file. Thread-safe after Open — readers only call const methods, and
+/// the unpack counters are atomics — which is what lets one `ExtentFile`
+/// feed a reader thread per stripe.
+class ExtentFile {
+ public:
+  /// Opens and fully validates: every stripe header (magic, version,
+  /// geometry consistency, order), every directory (CRC, monotonic offsets,
+  /// per-extent size bounds against the no-expansion invariant, termination
+  /// at the directory itself). After Open, every read is bounds-checked
+  /// against this validated map.
+  static Result<ExtentFile> Open(std::vector<BlockDevice*> devices);
+
+  ExtentFile(ExtentFile&&) = default;
+  ExtentFile& operator=(ExtentFile&&) = default;
+
+  uint64_t size() const { return header_.total_elements; }
+  uint32_t key_type() const { return header_.key_type; }
+  uint32_t element_size() const { return header_.element_size; }
+  uint32_t num_stripes() const {
+    return static_cast<uint32_t>(devices_.size());
+  }
+  uint64_t extent_elements() const { return header_.extent_elements; }
+  uint64_t num_extents() const { return header_.num_extents; }
+  ExtentCodec default_codec() const {
+    return static_cast<ExtentCodec>(header_.default_codec);
+  }
+
+  /// Elements of logical extent `e` (only the last extent may be ragged).
+  uint64_t ExtentLength(uint64_t e) const {
+    const uint64_t start = e * header_.extent_elements;
+    OPAQ_CHECK_LT(start, header_.total_elements);
+    return std::min(header_.extent_elements, header_.total_elements - start);
+  }
+
+  /// Bytes extent `e` occupies on disk (header + packed payload), from the
+  /// validated directory.
+  uint64_t StoredExtentBytes(uint64_t e) const;
+
+  /// Reads extent `e` exactly as stored (ExtentHeader + packed payload) —
+  /// what a data node ships over the wire without decoding.
+  Status ReadStoredExtent(uint64_t e, std::vector<uint8_t>* out) const;
+
+  /// Reads, validates and decodes extent `e` into `out` (ExtentLength(e) *
+  /// element_size bytes). `scratch` is caller-owned reusable packed-byte
+  /// storage so concurrent readers do not share buffers.
+  Status DecodeExtent(uint64_t e, bool verify_checksums,
+                      std::vector<uint8_t>* scratch, void* out) const;
+
+  /// Random-access element read (bounds-checked): decodes the covering
+  /// extents and copies out `[first, first + count)` — how a data node
+  /// serves v1 `kReadRange` clients from an extent export. O(count +
+  /// extent_elements) work per call; sequential consumers should stream
+  /// through `ExtentRunSource` instead.
+  Status ReadElements(uint64_t first, uint64_t count, void* out) const;
+
+  /// Cumulative unpack accounting across all readers of this file.
+  const ExtentStats& stats() const { return *stats_; }
+
+ private:
+  ExtentFile(std::vector<BlockDevice*> devices, ExtentFileHeader header)
+      : devices_(std::move(devices)), header_(header),
+        stats_(std::make_unique<ExtentStats>()) {}
+
+  std::vector<BlockDevice*> devices_;
+  ExtentFileHeader header_;  // stripe 0's (stripe_index/directory_offset vary)
+  std::vector<uint64_t> directory_end_;            // per stripe
+  std::vector<std::vector<uint64_t>> directory_;   // per stripe local offsets
+  std::unique_ptr<ExtentStats> stats_;
+};
+
+/// Writes `values` as an extent file over `devices` in bounded slices — the
+/// extent sibling of `WriteDataset` / `WriteStriped`. Returns the writer's
+/// pack accounting.
+template <typename K>
+Result<ExtentStatsSnapshot> WriteExtents(const std::vector<K>& values,
+                                         std::vector<BlockDevice*> devices,
+                                         const ExtentWriterOptions& options) {
+  auto writer = ExtentWriter::Create(std::move(devices), KeyTraits<K>::kType,
+                                     sizeof(K), options);
+  if (!writer.ok()) return writer.status();
+  constexpr uint64_t kSlice = 1 << 20;
+  for (uint64_t first = 0; first < values.size(); first += kSlice) {
+    const uint64_t len = std::min<uint64_t>(kSlice, values.size() - first);
+    OPAQ_RETURN_IF_ERROR(writer->Append(values.data() + first, len));
+  }
+  OPAQ_RETURN_IF_ERROR(writer->Finish());
+  return writer->stats();
+}
+
+/// Reader knobs of the extent source (what `ReadOptions` maps to).
+struct ExtentReaderOptions {
+  /// Extents each stripe thread may decode ahead of the consumer.
+  uint64_t prefetch_extents = 2;
+  /// True (IoMode::kAsync): one reader thread per stripe reads AND DECODES
+  /// its extents, so decompression overlaps sampling. False (kSync): the
+  /// consumer does both inline — no threads, same bytes.
+  bool threaded = true;
+  /// Verify each extent's payload CRC before decoding (ReadOptions::
+  /// verify_checksums). Structural validation happens regardless.
+  bool verify_checksums = true;
+};
+
+/// Streams the runs of an `ExtentFile` in exact logical order — the extent
+/// sibling of `StripedRunSource`, with the extent as the chunk. Threaded
+/// mode fans one reader thread out per stripe; thread s reads and DECODES
+/// the logical extents e ≡ s (mod D) in ascending order and feeds decoded
+/// element chunks through its own bounded channel, so the payload CRC check
+/// and the codec work both happen off the sampling thread. The consumer
+/// pops chunks in global extent order and splices them into runs, so the
+/// run sequence — and every downstream sketch — is byte-identical to the
+/// plain sync reader over the same logical data, for every codec, extent
+/// size, stripe count and timing.
+///
+/// Error semantics match `AsyncRunReader`/`StripedRunSource`: runs wholly
+/// before the first failing extent are delivered, then the failure surfaces
+/// as the sticky `Status` from `NextRun`. The destructor closes all
+/// channels and joins all threads, so abandoning the source mid-stream can
+/// neither hang nor leak threads.
+template <typename K>
+class ExtentRunSource : public RunSource<K> {
+ public:
+  /// `file` is borrowed and must outlive the source. Same `first`/`count`
+  /// sub-range contract as `RunReader`.
+  ExtentRunSource(const ExtentFile* file, uint64_t run_size,
+                  ExtentReaderOptions options = ExtentReaderOptions(),
+                  uint64_t first = 0, uint64_t count = UINT64_MAX)
+      : file_(file), run_size_(run_size), threaded_(options.threaded),
+        verify_checksums_(options.verify_checksums), begin_(first),
+        next_(first), end_(first) {
+    OPAQ_CHECK(file != nullptr);
+    OPAQ_CHECK_GT(run_size, 0u);
+    OPAQ_CHECK_EQ(sizeof(K), file->element_size());
+    OPAQ_CHECK_LE(first, file->size());
+    end_ = first + std::min(count, file->size() - first);
+    next_extent_ = next_ / file_->extent_elements();
+    if (!threaded_ || next_ >= end_) return;
+    OPAQ_CHECK_GE(options.prefetch_extents, 1u);
+    OPAQ_CHECK_LE(options.prefetch_extents, kMaxPrefetchDepth);
+    const uint64_t end_extent = DivCeil(end_, file_->extent_elements());
+    const uint32_t stripes = file_->num_stripes();
+    channels_.reserve(stripes);
+    for (uint32_t s = 0; s < stripes; ++s) {
+      channels_.push_back(std::make_unique<Channel<ChunkMessage>>(
+          static_cast<size_t>(options.prefetch_extents)));
+    }
+    for (uint32_t s = 0; s < stripes; ++s) {
+      // First extent >= next_extent_ owned by stripe s.
+      uint64_t e =
+          next_extent_ + (s + stripes - next_extent_ % stripes) % stripes;
+      if (e >= end_extent) continue;  // stripe owns nothing in the range
+      threads_.emplace_back([this, s, e, end_extent, stripes] {
+        ReadLoop(s, e, end_extent, stripes);
+      });
+    }
+  }
+
+  ~ExtentRunSource() override {
+    for (auto& channel : channels_) channel->Close();
+    for (std::thread& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+
+  ExtentRunSource(const ExtentRunSource&) = delete;
+  ExtentRunSource& operator=(const ExtentRunSource&) = delete;
+
+  Result<bool> NextRun(std::vector<K>* buffer) override {
+    buffer->clear();
+    if (!status_.ok()) return status_;
+    if (next_ >= end_) return false;
+    const uint64_t len = std::min(run_size_, end_ - next_);
+    while (pending_total_ < len) {
+      ChunkMessage message;
+      if (threaded_) {
+        Channel<ChunkMessage>& channel =
+            *channels_[next_extent_ % file_->num_stripes()];
+        if (!channel.Receive(&message)) {
+          // A reader thread closes its channel only after delivering every
+          // extent it owns (or its error), so running dry means the source
+          // itself is broken.
+          status_ = Status::Internal(
+              "extent reader stopped short of extent " +
+              std::to_string(next_extent_));
+          return status_;
+        }
+      } else {
+        message.status = DecodeChunk(next_extent_, &message.data, &scratch_,
+                                     &extent_buf_);
+      }
+      if (!message.status.ok()) {
+        status_ = message.status;
+        return status_;
+      }
+      pending_total_ += message.data.size();
+      pending_.push_back(std::move(message.data));
+      ++next_extent_;
+    }
+    // Splice the run off the front of the pending chunk queue.
+    buffer->resize(len);
+    uint64_t filled = 0;
+    while (filled < len) {
+      std::vector<K>& front = pending_.front();
+      const uint64_t take =
+          std::min<uint64_t>(len - filled, front.size() - pending_head_);
+      std::copy_n(front.begin() + static_cast<size_t>(pending_head_),
+                  static_cast<size_t>(take),
+                  buffer->begin() + static_cast<size_t>(filled));
+      filled += take;
+      pending_head_ += take;
+      if (pending_head_ == front.size()) {
+        pending_.pop_front();
+        pending_head_ = 0;
+      }
+    }
+    pending_total_ -= len;
+    next_ += len;
+    return true;
+  }
+
+ private:
+  struct ChunkMessage {
+    Status status;
+    std::vector<K> data;
+  };
+
+  /// Reads + decodes extent `e`, trimmed to the requested element range.
+  /// `scratch` holds packed bytes, `extent_buf` a full decoded extent (only
+  /// used when the range clips the extent) — both caller-owned so each
+  /// thread reuses its own.
+  Status DecodeChunk(uint64_t e, std::vector<K>* data,
+                     std::vector<uint8_t>* scratch,
+                     std::vector<K>* extent_buf) const {
+    const uint64_t extent_start = e * file_->extent_elements();
+    const uint64_t extent_len = file_->ExtentLength(e);
+    // Trim against the immutable range bounds (begin_/end_), never the
+    // consumer's moving cursor — reader threads share this object.
+    const uint64_t start = std::max(extent_start, begin_);
+    const uint64_t stop = std::min(extent_start + extent_len, end_);
+    data->resize(stop - start);
+    if (start == extent_start && stop == extent_start + extent_len) {
+      // Whole extent wanted: decode straight into the chunk.
+      return file_->DecodeExtent(e, verify_checksums_, scratch, data->data());
+    }
+    extent_buf->resize(extent_len);
+    OPAQ_RETURN_IF_ERROR(
+        file_->DecodeExtent(e, verify_checksums_, scratch, extent_buf->data()));
+    std::copy_n(extent_buf->begin() +
+                    static_cast<size_t>(start - extent_start),
+                static_cast<size_t>(stop - start), data->begin());
+    return Status::OK();
+  }
+
+  /// Body of stripe `s`'s reader thread: reads and decodes the logical
+  /// extents `first_extent, first_extent + stride, ...` below `end_extent`.
+  void ReadLoop(uint32_t s, uint64_t first_extent, uint64_t end_extent,
+                uint32_t stride) {
+    std::vector<uint8_t> scratch;
+    std::vector<K> extent_buf;
+    for (uint64_t e = first_extent; e < end_extent; e += stride) {
+      ChunkMessage message;
+      message.status = DecodeChunk(e, &message.data, &scratch, &extent_buf);
+      if (!message.status.ok()) {
+        message.data.clear();
+        channels_[s]->Send(std::move(message));
+        break;
+      }
+      if (!channels_[s]->Send(std::move(message))) return;  // consumer gone
+    }
+    channels_[s]->Close();
+  }
+
+  const ExtentFile* file_;
+  uint64_t run_size_;
+  bool threaded_;
+  bool verify_checksums_;
+  uint64_t begin_;        // first element of the range (immutable)
+  uint64_t next_;         // next logical element to deliver (consumer only)
+  uint64_t end_;          // one past the last element (immutable)
+  uint64_t next_extent_;  // next logical extent to pop/decode
+  Status status_;         // sticky failure state
+
+  std::deque<std::vector<K>> pending_;  // chunks popped but not yet spliced
+  uint64_t pending_head_ = 0;           // consumed prefix of pending_.front()
+  uint64_t pending_total_ = 0;          // elements across pending_ minus head
+
+  std::vector<uint8_t> scratch_;  // inline-mode packed bytes
+  std::vector<K> extent_buf_;     // inline-mode clipped-extent decode buffer
+
+  std::vector<std::unique_ptr<Channel<ChunkMessage>>> channels_;
+  std::vector<std::thread> threads_;
+};
+
+/// The compressed storage backend as a `RunProvider`: `IoMode::kAsync` maps
+/// to one read+decode thread per stripe, `IoMode::kSync` to inline decode.
+/// Like every other backend it delivers the exact logical run order, so
+/// sketches are byte-identical to the uncompressed backends — that is the
+/// conformance contract compression must not bend.
+template <typename K>
+class ExtentFileProvider : public RunProvider<K> {
+ public:
+  explicit ExtentFileProvider(const ExtentFile* file) : file_(file) {
+    OPAQ_CHECK(file != nullptr);
+    // Key-type mismatches are caught with a clean Status by the facade
+    // (Source::Open) before a provider is ever constructed.
+    OPAQ_CHECK_EQ(static_cast<uint32_t>(KeyTraits<K>::kType),
+                  file->key_type());
+  }
+
+  uint64_t size() const override { return file_->size(); }
+
+  std::unique_ptr<RunSource<K>> OpenRuns(
+      const ReadOptions& options, uint64_t first = 0,
+      uint64_t count = UINT64_MAX) const override {
+    ExtentReaderOptions extent_options;
+    extent_options.prefetch_extents = options.prefetch_depth;
+    extent_options.threaded = options.io_mode == IoMode::kAsync;
+    extent_options.verify_checksums = options.verify_checksums;
+    return std::make_unique<ExtentRunSource<K>>(file_, options.run_size,
+                                               extent_options, first, count);
+  }
+
+  const ExtentStats* pack_stats() const override { return &file_->stats(); }
+
+  const ExtentFile* file() const { return file_; }
+
+ private:
+  const ExtentFile* file_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_IO_EXTENT_H_

@@ -1,0 +1,89 @@
+#ifndef OPAQ_IO_EXTENT_STATS_H_
+#define OPAQ_IO_EXTENT_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "io/codec.h"
+
+namespace opaq {
+
+/// A point-in-time copy of extent pack/unpack counters — the mergeable,
+/// copyable form that travels through `EngineStats` and prints in the CLI
+/// (the DataSeriesSink::Stats idea: how many bytes would have moved
+/// uncompressed vs how many actually did, and which codec each extent
+/// ended up with).
+struct ExtentStatsSnapshot {
+  uint64_t extents = 0;         // extents packed or unpacked
+  uint64_t unpacked_bytes = 0;  // logical payload bytes
+  uint64_t packed_bytes = 0;    // stored bytes (headers + packed payloads)
+  uint64_t extents_by_codec[kNumExtentCodecs] = {};
+
+  /// Stored/logical ratio; 1.0 when nothing was recorded.
+  double ratio() const {
+    return unpacked_bytes == 0
+               ? 1.0
+               : static_cast<double>(packed_bytes) /
+                     static_cast<double>(unpacked_bytes);
+  }
+
+  void Add(const ExtentStatsSnapshot& other) {
+    extents += other.extents;
+    unpacked_bytes += other.unpacked_bytes;
+    packed_bytes += other.packed_bytes;
+    for (size_t c = 0; c < kNumExtentCodecs; ++c) {
+      extents_by_codec[c] += other.extents_by_codec[c];
+    }
+  }
+
+  /// Counters accrued since `earlier` — how `Engine::Build` turns a file's
+  /// cumulative stats into a per-build delta. `earlier` must be an older
+  /// snapshot of the same counters.
+  void Subtract(const ExtentStatsSnapshot& earlier) {
+    extents -= earlier.extents;
+    unpacked_bytes -= earlier.unpacked_bytes;
+    packed_bytes -= earlier.packed_bytes;
+    for (size_t c = 0; c < kNumExtentCodecs; ++c) {
+      extents_by_codec[c] -= earlier.extents_by_codec[c];
+    }
+  }
+};
+
+/// Cumulative pack/unpack counters for one extent file or remote extent
+/// stream. Thread-safe (relaxed atomics, the `IoStats` pattern): decode runs
+/// concurrently on prefetch threads while the driver thread snapshots.
+struct ExtentStats {
+  std::atomic<uint64_t> extents{0};
+  std::atomic<uint64_t> unpacked_bytes{0};
+  std::atomic<uint64_t> packed_bytes{0};
+  std::atomic<uint64_t> extents_by_codec[kNumExtentCodecs] = {};
+
+  /// Accounts one extent packed or unpacked with `codec`. `packed` counts
+  /// stored bytes including the extent header — the bytes that actually hit
+  /// the disk or the wire.
+  void Record(ExtentCodec codec, uint64_t unpacked, uint64_t packed) {
+    extents.fetch_add(1, std::memory_order_relaxed);
+    unpacked_bytes.fetch_add(unpacked, std::memory_order_relaxed);
+    packed_bytes.fetch_add(packed, std::memory_order_relaxed);
+    const size_t c = static_cast<size_t>(codec);
+    if (c < kNumExtentCodecs) {
+      extents_by_codec[c].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  ExtentStatsSnapshot Snapshot() const {
+    ExtentStatsSnapshot snap;
+    snap.extents = extents.load(std::memory_order_relaxed);
+    snap.unpacked_bytes = unpacked_bytes.load(std::memory_order_relaxed);
+    snap.packed_bytes = packed_bytes.load(std::memory_order_relaxed);
+    for (size_t c = 0; c < kNumExtentCodecs; ++c) {
+      snap.extents_by_codec[c] =
+          extents_by_codec[c].load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_IO_EXTENT_STATS_H_

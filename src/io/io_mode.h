@@ -35,6 +35,15 @@ inline constexpr uint64_t kMaxPrefetchDepth = 1024;
 /// `StripedDataFile`.
 inline constexpr uint64_t kMaxStripes = 64;
 
+/// Hard cap on one extent's unpacked byte size in the compressed extent
+/// format (io/extent.h): extents are the prefetch and wire-streaming grain,
+/// so a huge extent is a configuration error (and an untrusted header
+/// claiming one is an attack). Must stay comfortably below the wire
+/// protocol's `kMaxWirePayload` (64 MiB) so a stored extent always fits one
+/// frame. Enforced by `OpaqConfig::Validate`, `ExtentWriter::Create` and
+/// `ExtentFile::Open`.
+inline constexpr uint64_t kMaxExtentBytes = 32u << 20;
+
 /// How a `RunProvider` should drive its device(s): the backend-independent
 /// subset of OpaqConfig that the io/ layer needs. For the plain-file
 /// backend `io_mode` picks the sync or prefetching reader and
@@ -45,6 +54,11 @@ struct ReadOptions {
   uint64_t run_size = 1 << 20;
   IoMode io_mode = IoMode::kSync;
   uint64_t prefetch_depth = 2;
+  /// Verify per-extent payload CRCs when the backend reads compressed
+  /// extents (io/extent.h); uncompressed backends ignore it. Off buys a few
+  /// percent of decode throughput at the cost of silent-corruption
+  /// detection — structural validation happens regardless.
+  bool verify_checksums = true;
 };
 
 /// Stable short name ("sync" / "async").

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "io/data_file.h"
+#include "io/extent_stats.h"
 #include "io/io_mode.h"
 #include "util/math.h"
 #include "util/status.h"
@@ -47,6 +48,13 @@ class RunProvider {
   virtual std::unique_ptr<RunSource<K>> OpenRuns(
       const ReadOptions& options, uint64_t first = 0,
       uint64_t count = UINT64_MAX) const = 0;
+
+  /// Pack/unpack accounting when this backend decodes compressed extents
+  /// (`ExtentFileProvider`, the remote extent stream); nullptr for
+  /// uncompressed backends. Counters accumulate across every source this
+  /// provider has opened — `Engine::Build` snapshots before and after to
+  /// report per-build deltas.
+  virtual const ExtentStats* pack_stats() const { return nullptr; }
 };
 
 /// Sequentially yields the runs of a disk-resident dataset.

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "io/io_mode.h"
+
 namespace opaq {
 
 Result<RemoteSpec> ParseRemoteSpec(const std::string& spec) {
@@ -133,6 +135,42 @@ Status NodeClient::ReadRange(const std::string& name, uint64_t first,
                              uint64_t count, void* out, size_t out_bytes) {
   OPAQ_RETURN_IF_ERROR(SendReadRange(name, first, count));
   return ReceiveRange(out, out_bytes);
+}
+
+Result<WireExtentInfo> NodeClient::OpenExtents(const std::string& name) {
+  OPAQ_RETURN_IF_ERROR(
+      SendFrame(conn_, WireOp::kOpenExtents, name.data(), name.size()));
+  OPAQ_ASSIGN_OR_RETURN(WireFrame frame,
+                        ReceiveExpected(conn_, WireOp::kExtentInfo));
+  if (frame.payload.size() != sizeof(WireExtentInfo)) {
+    return Status::IoError("EXTENT_INFO payload has the wrong size");
+  }
+  WireExtentInfo info;
+  std::memcpy(&info, frame.payload.data(), sizeof(info));
+  if (info.element_size == 0 || info.extent_elements == 0 ||
+      info.max_extents_per_read == 0 ||
+      info.extent_elements > kMaxExtentBytes / info.element_size) {
+    return Status::IoError("node sent a nonsensical extent geometry");
+  }
+  return info;
+}
+
+Status NodeClient::SendReadExtents(const std::string& name,
+                                   uint64_t first_extent, uint64_t count) {
+  std::vector<uint8_t> payload(sizeof(WireReadExtents) + name.size());
+  WireReadExtents range;
+  range.first_extent = first_extent;
+  range.count = count;
+  std::memcpy(payload.data(), &range, sizeof(range));
+  std::memcpy(payload.data() + sizeof(range), name.data(), name.size());
+  return SendFrame(conn_, WireOp::kReadExtents, payload.data(),
+                   payload.size());
+}
+
+Result<std::vector<uint8_t>> NodeClient::ReceiveExtents() {
+  OPAQ_ASSIGN_OR_RETURN(WireFrame frame,
+                        ReceiveExpected(conn_, WireOp::kExtentData));
+  return std::move(frame.payload);
 }
 
 }  // namespace opaq

@@ -43,6 +43,11 @@ struct NodeClientOptions {
   /// v1 range streaming even against a v2 node (the bench's apples-to-
   /// apples bytes-on-wire rows do).
   uint16_t max_wire_version = kMaxWireVersion;
+  /// When false, `Source::OpenRemote` never attaches the v2+ node-side
+  /// compute handle, so the engine streams the dataset instead — over v4
+  /// packed extents when the node stores it compressed. Bytes-on-wire
+  /// comparisons (compressed vs raw streaming) flip this off.
+  bool node_compute = true;
 };
 
 /// One client connection to a data node: typed request/response (and
@@ -88,6 +93,22 @@ class NodeClient {
   /// Blocking convenience: request + response in one call.
   Status ReadRange(const std::string& name, uint64_t first, uint64_t count,
                    void* out, size_t out_bytes);
+
+  /// v4: fetches the node's extent geometry for `name`. A node answers
+  /// Unimplemented when the dataset is not stored as compressed extents —
+  /// the signal to stream `kReadRange` instead (see `WireExtentInfo`).
+  Result<WireExtentInfo> OpenExtents(const std::string& name);
+
+  /// Fires a `kReadExtents` request WITHOUT waiting for the response — the
+  /// pipelining half, like `SendReadRange`.
+  Status SendReadExtents(const std::string& name, uint64_t first_extent,
+                         uint64_t count);
+
+  /// Receives the response to the oldest in-flight `SendReadExtents`: the
+  /// stored extents back to back, exactly as packed on the node's disk
+  /// (validate + decode with `DecodeStoredExtent`). An error frame decodes
+  /// into the `Status` the node sent.
+  Result<std::vector<uint8_t>> ReceiveExtents();
 
   /// Generic frame round-trip halves for ops whose payloads the caller
   /// codes itself (the v2 compute layer does): send any request frame,

@@ -67,6 +67,14 @@ Status NodeServer::ValidateStart() {
   return Status::OK();
 }
 
+uint64_t NodeServer::MaxExtentsPerRead(const ExportedDataset& dataset) const {
+  const uint64_t worst = sizeof(ExtentHeader) +
+                         dataset.extent_elements * dataset.element_size;
+  const uint64_t cap =
+      std::min<uint64_t>(options_.max_read_bytes, kMaxWirePayload);
+  return std::max<uint64_t>(1, cap / worst);
+}
+
 bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
   switch (static_cast<WireOp>(frame.op)) {
     case WireOp::kPing:
@@ -248,6 +256,95 @@ bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
       }
       return SendCounted(conn, WireOp::kExactPassData, payload->data(),
                          payload->size());
+    }
+
+    case WireOp::kOpenExtents: {
+      const std::string name(frame.payload.begin(), frame.payload.end());
+      auto it = exports_.find(name);
+      if (it == exports_.end()) {
+        return SendErrorCounted(
+            conn,
+            Status::NotFound("node exports no dataset named '" + name + "'"));
+      }
+      const ExportedDataset& dataset = it->second;
+      if (dataset.extent_elements == 0) {
+        // Recoverable: the v4 client falls back to kReadRange streaming.
+        return SendErrorCounted(
+            conn, Status::Unimplemented(
+                      "dataset '" + name +
+                      "' is not stored as compressed extents; stream its "
+                      "ranges instead"));
+      }
+      WireExtentInfo info;
+      info.key_type = dataset.key_type;
+      info.element_size = dataset.element_size;
+      info.element_count = dataset.element_count;
+      info.extent_elements = dataset.extent_elements;
+      info.num_extents = dataset.num_extents;
+      info.max_extents_per_read = MaxExtentsPerRead(dataset);
+      info.default_codec = dataset.extent_codec;
+      return SendCounted(conn, WireOp::kExtentInfo, &info, sizeof(info));
+    }
+
+    case WireOp::kReadExtents: {
+      if (frame.payload.size() < sizeof(WireReadExtents)) {
+        SendErrorCounted(conn, Status::IoError(
+                                   "READ_EXTENTS payload shorter than its "
+                                   "fixed prefix"));
+        return false;  // framing is off; close
+      }
+      WireReadExtents range;
+      std::memcpy(&range, frame.payload.data(), sizeof(range));
+      const std::string name(frame.payload.begin() + sizeof(range),
+                             frame.payload.end());
+      auto it = exports_.find(name);
+      if (it == exports_.end()) {
+        return SendErrorCounted(
+            conn,
+            Status::NotFound("node exports no dataset named '" + name + "'"));
+      }
+      const ExportedDataset& dataset = it->second;
+      if (dataset.extent_elements == 0) {
+        return SendErrorCounted(
+            conn, Status::Unimplemented(
+                      "dataset '" + name +
+                      "' is not stored as compressed extents; stream its "
+                      "ranges instead"));
+      }
+      if (range.count == 0) {
+        return SendErrorCounted(
+            conn, Status::InvalidArgument("READ_EXTENTS of zero extents"));
+      }
+      // Enforce exactly the bound kOpenExtents advertised, so a client
+      // slicing at max_extents_per_read is never rejected.
+      if (range.count > MaxExtentsPerRead(dataset)) {
+        return SendErrorCounted(
+            conn, Status::InvalidArgument(
+                      "READ_EXTENTS of " + std::to_string(range.count) +
+                      " extents exceeds this node's per-request bound of " +
+                      std::to_string(MaxExtentsPerRead(dataset)) +
+                      " extents"));
+      }
+      if (range.first_extent > dataset.num_extents ||
+          range.count > dataset.num_extents - range.first_extent) {
+        return SendErrorCounted(
+            conn, Status::OutOfRange(
+                      "READ_EXTENTS [" + std::to_string(range.first_extent) +
+                      ", +" + std::to_string(range.count) +
+                      ") passes the end (" +
+                      std::to_string(dataset.num_extents) + " extents)"));
+      }
+      std::vector<uint8_t> data;
+      for (uint64_t e = 0; e < range.count; ++e) {
+        Status read =
+            dataset.read_stored_extent(range.first_extent + e, &data);
+        if (!read.ok()) {
+          // The disk under the dataset failed; the connection itself is
+          // fine.
+          return SendErrorCounted(conn, read);
+        }
+      }
+      return SendCounted(conn, WireOp::kExtentData, data.data(), data.size());
     }
 
     default:

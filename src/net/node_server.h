@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "io/data_file.h"
+#include "io/extent.h"
 #include "io/striped_data_file.h"
 #include "net/frame_server.h"
 #include "net/node_compute.h"
@@ -44,6 +45,19 @@ struct ExportedDataset {
       const WireExactPassRequest& request, const uint8_t* bracket_bytes,
       uint64_t max_run_bytes)>
       exact_pass;
+  /// Optional v4 extent hooks, bound when the export is stored as
+  /// compressed extents (io/extent.h): the geometry `kOpenExtents`
+  /// discloses, and a reader that appends the stored (packed) bytes of one
+  /// logical extent to `out` — shipped verbatim, decoded client-side.
+  /// `extent_elements == 0` means "not an extent export"; the node then
+  /// answers `kOpenExtents` with Unimplemented and a v4 client falls back
+  /// to `kReadRange` streaming (extent exports keep a `read` hook too, so
+  /// v1-v3 clients are served decoded ranges as always).
+  uint64_t extent_elements = 0;
+  uint64_t num_extents = 0;
+  uint16_t extent_codec = 0;
+  std::function<Status(uint64_t extent, std::vector<uint8_t>* out)>
+      read_stored_extent;
   /// Optional ownership hook: keeps backing objects (devices, files) alive
   /// for exports the caller does not keep alive itself (`opaq_noded` uses
   /// this; the borrow-style `Export` overloads leave it empty).
@@ -162,6 +176,48 @@ class NodeServer : public FrameServer {
     Export(name, std::move(dataset));
   }
 
+  /// Exports a compressed extent file, borrowed. Serves all four client
+  /// generations of the same logical dataset: v1 `kReadRange` decodes
+  /// node-side (`ExtentFile::ReadElements`), v2 compute runs over the
+  /// extent-decoding provider, and v4 `kReadExtents` ships the stored
+  /// extents verbatim so the wire carries packed bytes and the client
+  /// decodes on its own streaming thread.
+  template <typename K>
+  void Export(const std::string& name, const ExtentFile* file) {
+    OPAQ_CHECK(file != nullptr);
+    OPAQ_CHECK_EQ(static_cast<uint32_t>(KeyTraits<K>::kType),
+                  file->key_type());
+    ExportedDataset dataset;
+    dataset.key_type = file->key_type();
+    dataset.element_size = file->element_size();
+    dataset.element_count = file->size();
+    dataset.read = [file](uint64_t first, uint64_t count, void* out) {
+      return file->ReadElements(first, count, out);
+    };
+    dataset.sample_runs = [file](const WireSampleRunsRequest& request,
+                                 uint64_t max_run_bytes) {
+      return NodeSampleRuns<K>(ExtentFileProvider<K>(file), request,
+                               max_run_bytes);
+    };
+    dataset.exact_pass = [file](const WireExactPassRequest& request,
+                                const uint8_t* bracket_bytes,
+                                uint64_t max_run_bytes) {
+      return NodeExactPass<K>(ExtentFileProvider<K>(file), request,
+                              bracket_bytes, max_run_bytes);
+    };
+    dataset.extent_elements = file->extent_elements();
+    dataset.num_extents = file->num_extents();
+    dataset.extent_codec = static_cast<uint16_t>(file->default_codec());
+    dataset.read_stored_extent = [file](uint64_t extent,
+                                        std::vector<uint8_t>* out) {
+      std::vector<uint8_t> stored;
+      OPAQ_RETURN_IF_ERROR(file->ReadStoredExtent(extent, &stored));
+      out->insert(out->end(), stored.begin(), stored.end());
+      return Status::OK();
+    };
+    Export(name, std::move(dataset));
+  }
+
   /// Exports an untyped data file, borrowed (what `opaq_noded` uses for
   /// plain files: any key type without template dispatch).
   void Export(const std::string& name, const DataFile* file);
@@ -173,6 +229,14 @@ class NodeServer : public FrameServer {
   bool HandleFrame(TcpConnection* conn, const WireFrame& frame) override;
 
  private:
+  /// Per-request `kReadExtents` bound for one extent export: as many
+  /// extents as fit `max_read_bytes` at the worst-case stored size (header
+  /// + unpacked payload — the no-expansion invariant's ceiling), never
+  /// exceeding the frame cap, and at least one so tiny bounds degrade
+  /// throughput, never availability (one extent always fits a frame:
+  /// kMaxExtentBytes < kMaxWirePayload).
+  uint64_t MaxExtentsPerRead(const ExportedDataset& dataset) const;
+
   NodeServerOptions options_;
   std::map<std::string, ExportedDataset> exports_;
 };

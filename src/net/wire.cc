@@ -2,34 +2,9 @@
 
 #include <cstring>
 
+#include "util/crc32.h"
+
 namespace opaq {
-namespace {
-
-/// Builds the reflected CRC-32 table once (thread-safe static init).
-struct Crc32Table {
-  uint32_t entries[256];
-  Crc32Table() {
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t crc = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
-      }
-      entries[i] = crc;
-    }
-  }
-};
-
-}  // namespace
-
-uint32_t Crc32(const void* data, size_t len) {
-  static const Crc32Table table;
-  const uint8_t* bytes = static_cast<const uint8_t*>(data);
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < len; ++i) {
-    crc = (crc >> 8) ^ table.entries[(crc ^ bytes[i]) & 0xFFu];
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 const char* WireOpName(uint16_t op) {
   switch (static_cast<WireOp>(op)) {
@@ -50,6 +25,10 @@ const char* WireOpName(uint16_t op) {
     case WireOp::kSessionInfo: return "SESSION_INFO";
     case WireOp::kQuery: return "QUERY";
     case WireOp::kQueryResult: return "QUERY_RESULT";
+    case WireOp::kOpenExtents: return "OPEN_EXTENTS";
+    case WireOp::kExtentInfo: return "EXTENT_INFO";
+    case WireOp::kReadExtents: return "READ_EXTENTS";
+    case WireOp::kExtentData: return "EXTENT_DATA";
   }
   return "?";
 }
@@ -80,6 +59,11 @@ uint16_t WireOpVersion(WireOp op) {
     case WireOp::kQuery:
     case WireOp::kQueryResult:
       return kQueryWireVersion;
+    case WireOp::kOpenExtents:
+    case WireOp::kExtentInfo:
+    case WireOp::kReadExtents:
+    case WireOp::kExtentData:
+      return kExtentWireVersion;
   }
   return kMaxWireVersion;
 }

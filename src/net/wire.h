@@ -11,7 +11,7 @@
 
 namespace opaq {
 
-/// OPAQ data-node wire protocol, versions 1, 2 and 3.
+/// OPAQ data-node wire protocol, versions 1 through 4.
 ///
 /// Every message is one length-prefixed frame: a fixed 16-byte header
 /// followed by `payload_len` payload bytes. The header carries a magic, the
@@ -20,7 +20,7 @@ namespace opaq {
 /// corruption before interpreting a single payload byte. Multi-byte fields
 /// are little-endian on the wire (the repo's on-disk headers share this
 /// convention); the frame layouts are pinned by committed golden byte
-/// streams (`tests/golden/wire_v1.bin`, `wire_v2.bin`, `wire_v3.bin`).
+/// streams (`tests/golden/wire_v1.bin` .. `wire_v4.bin`).
 ///
 /// Version 1 is the byte-serving protocol: open a dataset, stream element
 /// ranges. Version 2 adds COMPUTE ops that push the paper's work to the
@@ -32,7 +32,12 @@ namespace opaq {
 /// `QueryServer`): `kOpenSession` resolves a named, already-built
 /// `QuerySession` and `kQuery` answers a whole batch of phi-quantile /
 /// rank-bracket / equi-depth requests against it — sketch once, serve
-/// millions, each answer O(1) off the sample list. Each op's frame header
+/// millions, each answer O(1) off the sample list. Version 4 adds EXTENT
+/// ops for datasets stored as compressed extents (io/extent.h):
+/// `kReadExtents` ships stored extents verbatim — packed payloads, CRCs
+/// and all — so the client decodes and verifies on its own streaming
+/// thread and the wire carries the packed byte count, not the logical
+/// one. Each op's frame header
 /// carries the op's own minimum version (v1 ops stay version 1, compute
 /// ops stay version 2), so an older peer rejects exactly the frames it
 /// cannot serve: a newer client probes with `kHello` and downgrades when
@@ -71,8 +76,14 @@ inline constexpr uint16_t kComputeWireVersion = 2;
 /// (`kOpenSession`..`kQueryResult`).
 inline constexpr uint16_t kQueryWireVersion = 3;
 
+/// The version that introduced the compressed-extent streaming ops
+/// (`kOpenExtents`..`kExtentData`): datasets stored as compressed extents
+/// (io/extent.h) ship PACKED over the wire and decode client-side, so the
+/// network sees the same bytes-from-disk cut the codecs buy locally.
+inline constexpr uint16_t kExtentWireVersion = 4;
+
 /// The newest protocol version this build speaks.
-inline constexpr uint16_t kMaxWireVersion = kQueryWireVersion;
+inline constexpr uint16_t kMaxWireVersion = kExtentWireVersion;
 
 /// Hard cap on a frame payload: protects both sides from allocation bombs
 /// when a corrupted or hostile header claims an absurd length. The server's
@@ -111,6 +122,13 @@ enum class WireOp : uint16_t {
   kQueryResult = 17,  // <- payload: WireQueryResultHeader + per result
                       //    (WireQueryResultRecord + estimates + exact
                       //    values); see net/wire_query.h
+  // ----- v4: compressed-extent streaming ops -----
+  kOpenExtents = 18,  // -> payload: dataset name (raw bytes)
+  kExtentInfo = 19,   // <- payload: WireExtentInfo
+  kReadExtents = 20,  // -> payload: WireReadExtents + dataset name bytes
+  kExtentData = 21,   // <- payload: `count` stored extents back to back,
+                      //    each self-describing (40-byte ExtentHeader +
+                      //    packed payload; decode with DecodeStoredExtent)
 };
 
 /// Stable short name for an op ("PING", "READ_RANGE", ...); "?" when
@@ -145,6 +163,37 @@ struct WireReadRange {
 };
 static_assert(sizeof(WireReadRange) == 16);
 static_assert(std::is_trivially_copyable_v<WireReadRange>);
+
+/// `kExtentInfo` payload: what a node discloses about a dataset stored as
+/// compressed extents — the full trusted geometry a client needs to decode
+/// and validate every stored extent it receives (the stored headers are
+/// NEVER trusted for buffer sizing; see `DecodeStoredExtent`). A node
+/// answers `kOpenExtents` with Unimplemented when the dataset is not stored
+/// as extents — the signal to fall back to `kReadRange` streaming.
+/// `max_extents_per_read` is the node's per-request bound on `kReadExtents`.
+struct WireExtentInfo {
+  uint32_t key_type = 0;      // KeyType tag, matches data-file headers
+  uint32_t element_size = 0;  // bytes per element
+  uint64_t element_count = 0;
+  uint64_t extent_elements = 0;  // logical elements per full extent
+  uint64_t num_extents = 0;
+  uint64_t max_extents_per_read = 0;
+  uint16_t default_codec = 0;  // ExtentCodec tag (informational)
+  uint16_t reserved16 = 0;
+  uint32_t reserved32 = 0;
+};
+static_assert(sizeof(WireExtentInfo) == 48);
+static_assert(std::is_trivially_copyable_v<WireExtentInfo>);
+
+/// Fixed prefix of a `kReadExtents` payload; the dataset name (raw bytes)
+/// follows. Requests the stored (packed) bytes of logical extents
+/// `[first_extent, first_extent + count)`.
+struct WireReadExtents {
+  uint64_t first_extent = 0;
+  uint64_t count = 0;
+};
+static_assert(sizeof(WireReadExtents) == 16);
+static_assert(std::is_trivially_copyable_v<WireReadExtents>);
 
 /// `kHello` / `kHelloAck` payload: each side announces the newest protocol
 /// version it speaks; the effective version is the minimum of the two. A

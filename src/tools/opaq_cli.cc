@@ -19,7 +19,11 @@
 // Datasets may live on one file or striped round-robin across several
 // disks: pass `--stripes=D` (derives `PATH.s0..s{D-1}`) or explicit
 // `--stripe-paths=/disk0/d.opaq,/disk1/d.opaq` to generate/sketch/exact,
-// and the striped backend reads all stripes concurrently. Or they live on
+// and the striped backend reads all stripes concurrently. `generate
+// --compress=delta|zlib|raw` (optionally `--extent-size=N`) writes the
+// compressed extent format instead; reads sniff the format, so
+// sketch/exact take compressed and uncompressed files alike, and `sketch`
+// reports pack/unpack accounting for compressed inputs. Or they live on
 // remote `opaq_noded` data nodes: `sketch`/`exact` take
 // `--remote=host:port/ds[,host2:port2/ds2,...]` instead of `--data`, with
 // several specs forming one multi-shard Engine run (one shard per node).
@@ -107,9 +111,30 @@ std::vector<FlagSpec> RemoteFlags() {
       {"remote", "", "remote data-node shards",
        "comma-separated host:port/dataset specs (replaces --data; several "
        "specs = one Engine shard per node)"},
-      {"wire-version", "2", "NodeClientOptions::max_wire_version",
-       "newest wire version to speak: 2 = node-side compute when the node "
-       "supports it, 1 = force v1 range streaming",
+      {"wire-version", "4", "NodeClientOptions::max_wire_version",
+       "newest wire version to speak: 2+ = node-side compute when the node "
+       "supports it, 4 = stream packed extents, 1 = force v1 range "
+       "streaming",
+       false, FlagType::kInt},
+      {"node-compute", "1", "NodeClientOptions::node_compute",
+       "0 = skip v2 node-side compute and stream the dataset instead "
+       "(packed extents when the node stores it compressed)",
+       false, FlagType::kInt},
+  };
+}
+
+/// Compressed-extent flags. On `generate` they switch the output to the
+/// compressed extent format; on the scanning commands they only feed
+/// `OpaqConfig` validation — extent files are self-describing, so reads
+/// always take the codec and geometry from the file itself.
+std::vector<FlagSpec> ExtentFlags() {
+  return {
+      {"compress", "", "OpaqConfig::codec",
+       "write the dataset as compressed extents: raw | delta | zlib "
+       "(reading auto-detects the format; omit for uncompressed output)"},
+      {"extent-size", "65536", "OpaqConfig::extent_elements",
+       "elements per extent (the unit of compression and prefetch) when "
+       "writing compressed extents",
        false, FlagType::kInt},
   };
 }
@@ -155,7 +180,7 @@ const std::vector<CommandSpec>& Commands() {
                 "round-robin chunk size when striping", false,
                 FlagType::kInt},
            },
-           StripeFlags()),
+           Concat(ExtentFlags(), StripeFlags())),
        CmdGenerate},
       {"sketch",
        "one-pass sample phase: stream a dataset into a persistent sketch",
@@ -172,7 +197,8 @@ const std::vector<CommandSpec>& Commands() {
                {"select", "intro", "OpaqConfig::select_algorithm",
                 "intro | fr | mom | std (selection algorithm)"},
            },
-           Concat(RemoteFlags(), Concat(IoFlags(), StripeFlags()))),
+           Concat(RemoteFlags(),
+                  Concat(IoFlags(), Concat(ExtentFlags(), StripeFlags())))),
        CmdSketch},
       {"quantile",
        "certified quantile brackets from a sketch (no data access)",
@@ -204,7 +230,8 @@ const std::vector<CommandSpec>& Commands() {
                 "(0 = 4*q*max_rank_error; raise for duplicate-heavy data)",
                 false, FlagType::kInt},
            },
-           Concat(RemoteFlags(), Concat(IoFlags(), StripeFlags()))),
+           Concat(RemoteFlags(),
+                  Concat(IoFlags(), Concat(ExtentFlags(), StripeFlags())))),
        CmdExact},
       {"rank",
        "certified rank bracket of an arbitrary value (no data access)",
@@ -464,6 +491,7 @@ Result<std::vector<Source<Key>>> OpenDataSources(const CommandFlags& flags) {
     }
     NodeClientOptions client_options;
     client_options.max_wire_version = static_cast<uint16_t>(wire_version);
+    client_options.node_compute = flags.GetInt("node-compute") != 0;
     std::stringstream ss(flags.GetString("remote"));
     std::string spec;
     while (std::getline(ss, spec, ',')) {
@@ -524,6 +552,50 @@ int CmdGenerate(const CommandFlags& flags) {
   auto paths = StripePaths(flags, flags.GetString("out"));
   if (!paths.ok()) return Fail(paths.status());
   WallTimer timer;
+  // --compress (or an explicit --extent-size) switches the output to the
+  // compressed extent format; one writer covers plain and striped layouts.
+  if (flags.Has("compress") || flags.Has("extent-size")) {
+    auto codec = ParseExtentCodec(
+        flags.Has("compress") ? flags.GetString("compress") : "raw");
+    if (!codec.ok()) return Fail(codec.status());
+    ExtentWriterOptions options;
+    options.codec = *codec;
+    const int64_t extent_size = flags.GetInt("extent-size");
+    if (extent_size < 1) {
+      return Fail(Status::InvalidArgument("--extent-size must be >= 1"));
+    }
+    options.extent_elements = static_cast<uint64_t>(extent_size);
+    std::vector<std::string> files =
+        paths->empty() ? std::vector<std::string>{flags.GetString("out")}
+                       : *paths;
+    std::vector<std::unique_ptr<FileBlockDevice>> devices;
+    std::vector<BlockDevice*> raw;
+    for (const std::string& path : files) {
+      auto device = OpenFileDevice(path, FileBlockDevice::Mode::kCreate);
+      if (!device.ok()) return Fail(device.status());
+      devices.push_back(std::move(device).value());
+      raw.push_back(devices.back().get());
+    }
+    auto stats = WriteExtents<Key>(GenerateDataset<Key>(spec),
+                                   std::move(raw), options);
+    if (!stats.ok()) return Fail(stats.status());
+    for (auto& device : devices) {
+      Status s = device->Sync();
+      if (!s.ok()) return Fail(s);
+    }
+    std::cout << "wrote " << spec.ToString() << " as " << stats->extents
+              << " extents (codec " << ExtentCodecName(*codec) << ", "
+              << options.extent_elements << " elements each"
+              << (files.size() > 1
+                      ? ", " + std::to_string(files.size()) + " stripes"
+                      : "")
+              << ") to " << files.front() << " in "
+              << timer.ElapsedSeconds() << "s\n"
+              << "packed " << stats->unpacked_bytes << " bytes into "
+              << stats->packed_bytes << " stored bytes (ratio "
+              << stats->ratio() << ")\n";
+    return 0;
+  }
   if (paths->empty()) {
     auto device = OpenFileDevice(flags.GetString("out"),
                                  FileBlockDevice::Mode::kCreate);
@@ -568,6 +640,14 @@ Result<OpaqConfig> ScanConfig(const CommandFlags& flags,
   config.io_mode = *parsed_mode;
   config.prefetch_depth =
       static_cast<uint64_t>(flags.GetInt("prefetch-depth"));
+  // The extent flags only seed OpaqConfig (validated below by the caller's
+  // Validate()); reads take codec and geometry from the file itself.
+  if (flags.Has("compress")) {
+    auto codec = ParseExtentCodec(flags.GetString("compress"));
+    if (!codec.ok()) return codec.status();
+    config.codec = *codec;
+  }
+  config.extent_elements = static_cast<uint64_t>(flags.GetInt("extent-size"));
   for (const Source<Key>& source : sources) {
     config.stripes = std::max<uint64_t>(config.stripes, source.stripes());
   }
@@ -619,6 +699,21 @@ int CmdSketch(const CommandFlags& flags) {
                           " remote shards"
                     : "")
             << "); rank error <= " << session->max_rank_error() << "\n";
+  // Pack/unpack accounting (nonzero only over compressed-extent shards):
+  // how many bytes would have moved uncompressed vs how many actually did.
+  const ExtentStatsSnapshot& pack = engine.stats().extents;
+  if (pack.extents > 0) {
+    std::cout << "extents: unpacked " << pack.packed_bytes
+              << " stored bytes into " << pack.unpacked_bytes
+              << " logical bytes (ratio " << pack.ratio() << "; "
+              << pack.extents << " extents:";
+    for (size_t c = 0; c < kNumExtentCodecs; ++c) {
+      if (pack.extents_by_codec[c] == 0) continue;
+      std::cout << " " << pack.extents_by_codec[c] << " "
+                << ExtentCodecName(static_cast<uint16_t>(c));
+    }
+    std::cout << ")\n";
+  }
   return 0;
 }
 

@@ -1,10 +1,14 @@
-// opaq_noded — the OPAQ data-node daemon: exports local datasets (plain or
-// striped data files, any key type) over the wire protocol so remote
-// `Engine`s can consume them as shards via `Source::OpenRemote`. Every
-// export is typed, so the node is a full v2 COMPUTE node: it answers
-// `SampleRuns` / `ExactPass` by running the paper's sample phase and §4
-// filter scan over its own disks and shipping only the O(s) results; v1
-// clients (and `--max-wire-version=1` nodes) still stream raw ranges.
+// opaq_noded — the OPAQ data-node daemon: exports local datasets (plain,
+// striped, or compressed-extent files, any key type) over the wire
+// protocol so remote `Engine`s can consume them as shards via
+// `Source::OpenRemote`. Every export is typed, so the node is a full v2
+// COMPUTE node: it answers `SampleRuns` / `ExactPass` by running the
+// paper's sample phase and §4 filter scan over its own disks and shipping
+// only the O(s) results; v1 clients (and `--max-wire-version=1` nodes)
+// still stream raw ranges. Extent exports additionally answer the v4
+// `kReadExtents` op: the stored (packed) extents ship verbatim and the
+// client decodes, so compression cuts bytes-on-wire too. The on-disk
+// format is sniffed per export — point --export at any OPAQ file.
 //
 //   opaq_noded --export=sales=/data/sales.opaq --port=34601
 //   opaq_noded --export=logs=/d0/l.s0+/d1/l.s1+/d2/l.s2   # striped dataset
@@ -150,6 +154,88 @@ Result<ExportedDataset> OpenStripedExportTyped(
   return dataset;
 }
 
+/// Devices + extent file an extent export keeps alive for the server's
+/// lifetime (the typed opener below borrows raw pointers out of it).
+struct ExtentBundle {
+  std::vector<std::unique_ptr<FileBlockDevice>> devices;
+  std::unique_ptr<ExtentFile> file;
+};
+
+/// Binds the compressed-extent file as a typed export of key type `K`.
+/// The dataset serves every client generation: v1 `kReadRange` decodes
+/// node-side, v2 compute runs over the extent-decoding provider, and v4
+/// `kReadExtents` ships the stored extents verbatim so the wire carries
+/// packed bytes and the remote engine decodes on its own streaming thread.
+template <typename K>
+Result<ExportedDataset> OpenExtentExportTyped(
+    std::shared_ptr<ExtentBundle> bundle) {
+  const ExtentFile* fptr = bundle->file.get();
+  ExportedDataset dataset;
+  dataset.key_type = fptr->key_type();
+  dataset.element_size = fptr->element_size();
+  dataset.element_count = fptr->size();
+  dataset.read = [fptr](uint64_t first, uint64_t count, void* out) {
+    return fptr->ReadElements(first, count, out);
+  };
+  dataset.sample_runs = [fptr](const WireSampleRunsRequest& request,
+                               uint64_t max_run_bytes) {
+    return NodeSampleRuns<K>(ExtentFileProvider<K>(fptr), request,
+                             max_run_bytes);
+  };
+  dataset.exact_pass = [fptr](const WireExactPassRequest& request,
+                              const uint8_t* bracket_bytes,
+                              uint64_t max_run_bytes) {
+    return NodeExactPass<K>(ExtentFileProvider<K>(fptr), request,
+                            bracket_bytes, max_run_bytes);
+  };
+  dataset.extent_elements = fptr->extent_elements();
+  dataset.num_extents = fptr->num_extents();
+  dataset.extent_codec = static_cast<uint16_t>(fptr->default_codec());
+  dataset.read_stored_extent = [fptr](uint64_t extent,
+                                      std::vector<uint8_t>* out) {
+    std::vector<uint8_t> stored;
+    OPAQ_RETURN_IF_ERROR(fptr->ReadStoredExtent(extent, &stored));
+    out->insert(out->end(), stored.begin(), stored.end());
+    return Status::OK();
+  };
+  dataset.owner = std::move(bundle);
+  return dataset;
+}
+
+/// Opens a compressed extent export (single file or the stripes of one
+/// extent file), dispatching on the key type its header declares.
+Result<ExportedDataset> OpenExtentExport(
+    const std::vector<std::string>& paths) {
+  auto bundle = std::make_shared<ExtentBundle>();
+  for (const std::string& path : paths) {
+    auto device = FileBlockDevice::Make(path, FileBlockDevice::Mode::kOpen);
+    if (!device.ok()) return device.status();
+    bundle->devices.push_back(std::move(device).value());
+  }
+  std::vector<BlockDevice*> raw;
+  raw.reserve(bundle->devices.size());
+  for (auto& device : bundle->devices) raw.push_back(device.get());
+  auto file = ExtentFile::Open(std::move(raw));
+  if (!file.ok()) return file.status();
+  bundle->file = std::make_unique<ExtentFile>(std::move(file).value());
+  switch (static_cast<KeyType>(bundle->file->key_type())) {
+    case KeyType::kU32:
+      return OpenExtentExportTyped<uint32_t>(std::move(bundle));
+    case KeyType::kU64:
+      return OpenExtentExportTyped<uint64_t>(std::move(bundle));
+    case KeyType::kI64:
+      return OpenExtentExportTyped<int64_t>(std::move(bundle));
+    case KeyType::kF32:
+      return OpenExtentExportTyped<float>(std::move(bundle));
+    case KeyType::kF64:
+      return OpenExtentExportTyped<double>(std::move(bundle));
+  }
+  return Status::InvalidArgument(
+      paths[0] + ": unknown key type tag " +
+      std::to_string(bundle->file->key_type()) +
+      " (not an OPAQ extent file?)");
+}
+
 /// Opens a striped export, dispatching on the key type the stripe headers
 /// declare (a node serves any key type; clients type-check at handshake).
 Result<ExportedDataset> OpenStripedExport(
@@ -179,6 +265,26 @@ Result<ExportedDataset> OpenStripedExport(
       " (not an OPAQ stripe file?)");
 }
 
+/// Opens one --export entry's paths, sniffing the on-disk format from the
+/// first file's magic: compressed extent files (single or striped) get the
+/// extent export, everything else routes to the plain/striped openers
+/// (which still reject non-OPAQ files with a clear message).
+Result<ExportedDataset> OpenExport(const std::vector<std::string>& paths) {
+  uint64_t magic = 0;
+  {
+    auto probe = FileBlockDevice::Make(paths[0], FileBlockDevice::Mode::kOpen);
+    if (!probe.ok()) return probe.status();
+    auto size = (*probe)->Size();
+    if (!size.ok()) return size.status();
+    if (*size >= sizeof(magic)) {
+      OPAQ_RETURN_IF_ERROR((*probe)->ReadAt(0, &magic, sizeof(magic)));
+    }
+  }
+  if (magic == ExtentFileHeader::kMagic) return OpenExtentExport(paths);
+  return paths.size() == 1 ? OpenPlainExport(paths[0])
+                           : OpenStripedExport(paths);
+}
+
 int Usage(std::ostream& os, int code) {
   os << "usage: opaq_noded --export=NAME=PATH[+PATH...][,NAME=PATH...] "
         "[flags]\n\n"
@@ -196,7 +302,7 @@ int Usage(std::ostream& os, int code) {
         "                      bind non-loopback only on trusted networks)\n"
         "  --port=34601        TCP port (0 = pick an ephemeral port)\n"
         "  --max-read-bytes=4194304  per-request read bound\n"
-        "  --max-wire-version=2  cap the protocol (1 = emulate a v1-only "
+        "  --max-wire-version=4  cap the protocol (1 = emulate a v1-only "
         "node)\n"
         "  --delay-ms=0        artificial response latency (bench/testing)\n"
         "  --duration=0        serve this many seconds, then exit (0 = "
@@ -275,8 +381,7 @@ int Main(int argc, char** argv) {
 
   NodeServer server(options);
   for (const ExportSpecEntry& entry : *entries) {
-    auto dataset = entry.paths.size() == 1 ? OpenPlainExport(entry.paths[0])
-                                           : OpenStripedExport(entry.paths);
+    auto dataset = OpenExport(entry.paths);
     if (!dataset.ok()) {
       return Fail(Status(dataset.status().code(),
                          "export '" + entry.name + "': " +
@@ -285,7 +390,12 @@ int Main(int argc, char** argv) {
     std::cout << "export " << entry.name << ": " << dataset->element_count
               << " elements x " << dataset->element_size << " bytes ("
               << entry.paths.size()
-              << (entry.paths.size() == 1 ? " file" : " stripes") << ")\n";
+              << (entry.paths.size() == 1 ? " file" : " stripes");
+    if (dataset->extent_elements > 0) {
+      std::cout << ", " << dataset->num_extents << " extents, codec "
+                << ExtentCodecName(dataset->extent_codec);
+    }
+    std::cout << ")\n";
     server.Export(entry.name, std::move(dataset).value());
   }
   // Latch SIGINT/SIGTERM BEFORE Start so no window exists where a signal

@@ -1,0 +1,17 @@
+#ifndef OPAQ_UTIL_CRC32_H_
+#define OPAQ_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace opaq {
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of `len` bytes.
+/// The classic check value: Crc32("123456789", 9) == 0xCBF43926. Shared by
+/// the wire protocol frames (net/wire.h) and the on-disk extent format
+/// (io/extent.h) — both pin it with golden blobs.
+uint32_t Crc32(const void* data, size_t len);
+
+}  // namespace opaq
+
+#endif  // OPAQ_UTIL_CRC32_H_

@@ -1,9 +1,10 @@
 // Cross-backend conformance harness: for ANY config, the sync, async,
-// striped and REMOTE (loopback data-node) storage backends must be
-// indistinguishable in their output — byte-identical serialized sketches
-// and identical final quantiles (both estimated brackets and exact
-// second-pass values). Prefetch threads, stripe fan-out and the network
-// may reorder time, never data.
+// striped, COMPRESSED-EXTENT and REMOTE (loopback data-node) storage
+// backends must be indistinguishable in their output — byte-identical
+// serialized sketches and identical final quantiles (both estimated
+// brackets and exact second-pass values). Prefetch threads, stripe
+// fan-out, the network and the codecs may reorder time and shrink bytes,
+// never change data.
 //
 // The sweep is a seeded pseudo-random walk over the config space {n, run
 // length, key distribution, stripes 1/2/4, chunk size, prefetch depth},
@@ -22,9 +23,12 @@
 #include "data/dataset.h"
 #include "io/async_run_reader.h"
 #include "io/block_device.h"
+#include "io/codec.h"
+#include "io/extent.h"
 #include "io/striped_data_file.h"
 #include "io/striped_run_source.h"
 #include "net/node_server.h"
+#include "net/remote_extent_source.h"
 #include "net/remote_source.h"
 #include "opaq/engine.h"
 #include "opaq/query.h"
@@ -100,14 +104,19 @@ std::vector<uint8_t> EngineSketchBytes(const Source<Key>& source,
   return bytes;
 }
 
-// One plain file and one D-striped file over the same logical data, with
-// all their devices, kept alive together.
+// One plain file, one D-striped file and one D-striped COMPRESSED extent
+// file over the same logical data, with all their devices, kept alive
+// together. The extent file reuses `chunk` as its extent size so the sweep
+// drags compression through the same ragged geometry as striping, and
+// alternates codecs (delta / zlib when available) across stripe widths.
 struct Backends {
   std::vector<std::unique_ptr<MemoryBlockDevice>> devices;
   std::unique_ptr<TypedDataFile<Key>> plain_file;
   std::unique_ptr<StripedDataFile<Key>> striped_file;
+  std::unique_ptr<ExtentFile> extent_file;
   std::unique_ptr<FileRunProvider<Key>> plain;
   std::unique_ptr<StripedFileProvider<Key>> striped;
+  std::unique_ptr<ExtentFileProvider<Key>> extent;
 
   Backends(const std::vector<Key>& data, int stripes, uint64_t chunk) {
     devices.push_back(std::make_unique<MemoryBlockDevice>());
@@ -128,6 +137,24 @@ struct Backends {
     striped_file = std::make_unique<StripedDataFile<Key>>(
         std::move(striped_result).value());
     striped = std::make_unique<StripedFileProvider<Key>>(striped_file.get());
+
+    std::vector<BlockDevice*> extent_raw;
+    for (int s = 0; s < stripes; ++s) {
+      devices.push_back(std::make_unique<MemoryBlockDevice>());
+      extent_raw.push_back(devices.back().get());
+    }
+    ExtentWriterOptions extent_options;
+    extent_options.extent_elements = chunk;
+    extent_options.codec =
+        stripes % 2 == 0 && CodecAvailable(ExtentCodec::kZlib)
+            ? ExtentCodec::kZlib
+            : ExtentCodec::kDelta;
+    OPAQ_CHECK_OK(WriteExtents(data, extent_raw, extent_options).status());
+    auto extent_result = ExtentFile::Open(extent_raw);
+    OPAQ_CHECK_OK(extent_result.status());
+    extent_file =
+        std::make_unique<ExtentFile>(std::move(extent_result).value());
+    extent = std::make_unique<ExtentFileProvider<Key>>(extent_file.get());
   }
 };
 
@@ -163,12 +190,26 @@ void ExpectAllBackendsAgree(const SweepCase& c) {
     EXPECT_EQ(SketchBytes(*backends.striped, c, IoMode::kSync, 2), reference)
         << c.Describe() << " striped-inline x" << stripes;
 
+    // Compressed extents: the same logical data stored packed — inline
+    // decode and per-stripe decode threads — must leave the exact
+    // reference bytes. Compression must be invisible to the sketch.
+    for (uint64_t depth : {1u, 2u, 5u}) {
+      EXPECT_EQ(SketchBytes(*backends.extent, c, IoMode::kAsync, depth),
+                reference)
+          << c.Describe() << " extent x" << stripes << " ("
+          << ExtentCodecName(backends.extent_file->default_codec())
+          << ") depth=" << depth;
+    }
+    EXPECT_EQ(SketchBytes(*backends.extent, c, IoMode::kSync, 2), reference)
+        << c.Describe() << " extent-inline x" << stripes;
+
     // Remote: a loopback node serving the SAME layouts must leave the
     // same bytes — the wire moves data, never changes it. Plain export at
     // stripes == 1, the striped export at each wider fan-out.
     NodeServer node;
     node.Export("plain", backends.plain_file.get());
     node.Export("striped", backends.striped_file.get());
+    node.Export<Key>("extent", backends.extent_file.get());
     OPAQ_CHECK_OK(node.Start());
     const std::string remote_name = stripes == 1 ? "plain" : "striped";
     auto remote =
@@ -178,6 +219,24 @@ void ExpectAllBackendsAgree(const SweepCase& c) {
         << c.Describe() << " remote/" << remote_name << " sync";
     EXPECT_EQ(SketchBytes(*remote, c, IoMode::kAsync, 2), reference)
         << c.Describe() << " remote/" << remote_name << " async";
+
+    // Wire v4 extent streaming: packed extents on the wire, decoded client
+    // side — and a v1 range stream of the SAME compressed export (the node
+    // decodes server-side). Both must leave the reference bytes.
+    auto remote_extent =
+        RemoteExtentProvider<Key>::Connect(node.address() + "/extent");
+    OPAQ_CHECK_OK(remote_extent.status());
+    EXPECT_EQ(SketchBytes(*remote_extent, c, IoMode::kSync, 2), reference)
+        << c.Describe() << " remote-extent x" << stripes << " sync";
+    EXPECT_EQ(SketchBytes(*remote_extent, c, IoMode::kAsync, 2), reference)
+        << c.Describe() << " remote-extent x" << stripes << " async";
+    auto remote_extent_v1 =
+        RemoteRunProvider<Key>::Connect(node.address() + "/extent");
+    OPAQ_CHECK_OK(remote_extent_v1.status());
+    EXPECT_EQ(SketchBytes(*remote_extent_v1, c, IoMode::kAsync, 2),
+              reference)
+        << c.Describe() << " remote-extent x" << stripes
+        << " via v1 range stream";
 
     // The same equalities must hold when the facade drives the pass: an
     // Engine over a Source wrapping each backend — plain file, striped
@@ -203,6 +262,11 @@ void ExpectAllBackendsAgree(const SweepCase& c) {
                   IoMode::kAsync, 2),
               reference)
         << c.Describe() << " Engine/Source striped x" << stripes;
+    auto extent_source = Source<Key>::FromFile(backends.extent_file.get());
+    OPAQ_CHECK_OK(extent_source.status());
+    EXPECT_EQ(EngineSketchBytes(*extent_source, c, IoMode::kAsync, 2),
+              reference)
+        << c.Describe() << " Engine/Source extent x" << stripes;
     if (stripes == 1) {
       EXPECT_EQ(EngineSketchBytes(Source<Key>::FromVector(data), c,
                                   IoMode::kSync, 2),
@@ -227,6 +291,22 @@ void ExpectAllBackendsAgree(const SweepCase& c) {
       EXPECT_EQ(EngineSketchBytes(*remote_v1, c, IoMode::kAsync, 2),
                 reference)
           << c.Describe() << " Engine/Source remote (forced v1)";
+      // Compressed export, compute disabled: the engine must fall back to
+      // STREAMING the dataset as wire-v4 packed extents, decode them
+      // client side, and still leave the reference bytes — with the
+      // unpack accounting proving the packed path actually ran.
+      NodeClientOptions stream_only;
+      stream_only.node_compute = false;
+      auto remote_packed = Source<Key>::OpenRemote(
+          node.address() + "/extent", stream_only);
+      OPAQ_CHECK_OK(remote_packed.status());
+      EXPECT_EQ(remote_packed->remote_compute(), nullptr) << c.Describe();
+      ASSERT_NE(remote_packed->pack_stats(), nullptr) << c.Describe();
+      EXPECT_EQ(EngineSketchBytes(*remote_packed, c, IoMode::kAsync, 2),
+                reference)
+          << c.Describe() << " Engine/Source remote packed extents";
+      EXPECT_GT(remote_packed->pack_stats()->Snapshot().extents, 0u)
+          << c.Describe() << " extent stream did not actually run";
     }
   }
 }
@@ -328,11 +408,34 @@ TEST(BackendConformanceTest, QuantilesAndExactPassAgreeAcrossBackends) {
   ASSERT_TRUE(exact_async.ok());
   EXPECT_EQ(*exact_async, *exact_plain);
 
+  // Compressed extents: the sketch's brackets AND the §4 exact pass over
+  // the packed layout — inline and with decode threads — agree with the
+  // plain pipeline.
+  OpaqSketch<Key> extent_sketch(striped_config);
+  ASSERT_TRUE(extent_sketch.Consume(*backends.extent).ok());
+  auto extent_estimates = extent_sketch.Finalize().EquiQuantiles(10);
+  ASSERT_EQ(extent_estimates.size(), reference_estimates.size());
+  for (size_t i = 0; i < reference_estimates.size(); ++i) {
+    EXPECT_EQ(extent_estimates[i].lower, reference_estimates[i].lower);
+    EXPECT_EQ(extent_estimates[i].upper, reference_estimates[i].upper);
+  }
+  for (IoMode mode : {IoMode::kSync, IoMode::kAsync}) {
+    ReadOptions options = sync_options;
+    options.io_mode = mode;
+    options.prefetch_depth = 2;
+    auto exact_extent = ExactQuantilesSecondPass(*backends.extent,
+                                                 reference_estimates,
+                                                 options);
+    ASSERT_TRUE(exact_extent.ok()) << exact_extent.status().ToString();
+    EXPECT_EQ(*exact_extent, *exact_plain) << "extent " << IoModeName(mode);
+  }
+
   // Remote backend: a loopback node serving the striped layout must agree
   // on brackets AND on the exact pass — with the §4 second pass itself
   // streaming over the wire, sync and pipelined.
   NodeServer node;
   node.Export("data", backends.striped_file.get());
+  node.Export<Key>("packed", backends.extent_file.get());
   ASSERT_TRUE(node.Start().ok());
   auto remote = RemoteRunProvider<Key>::Connect(node.address() + "/data");
   ASSERT_TRUE(remote.ok()) << remote.status().ToString();
@@ -353,6 +456,23 @@ TEST(BackendConformanceTest, QuantilesAndExactPassAgreeAcrossBackends) {
                                                  options);
     ASSERT_TRUE(exact_remote.ok()) << exact_remote.status().ToString();
     EXPECT_EQ(*exact_remote, *exact_plain) << "remote " << IoModeName(mode);
+  }
+
+  // The §4 exact pass streaming wire-v4 PACKED extents, decoded client
+  // side, lands on the same exact values.
+  auto remote_packed =
+      RemoteExtentProvider<Key>::Connect(node.address() + "/packed");
+  ASSERT_TRUE(remote_packed.ok()) << remote_packed.status().ToString();
+  for (IoMode mode : {IoMode::kSync, IoMode::kAsync}) {
+    ReadOptions options = sync_options;
+    options.io_mode = mode;
+    options.prefetch_depth = 2;
+    auto exact_packed = ExactQuantilesSecondPass(*remote_packed,
+                                                 reference_estimates,
+                                                 options);
+    ASSERT_TRUE(exact_packed.ok()) << exact_packed.status().ToString();
+    EXPECT_EQ(*exact_packed, *exact_plain)
+        << "remote packed " << IoModeName(mode);
   }
 
   // Finally, the facade end to end: an Engine-built QuerySession over the

@@ -10,6 +10,8 @@
 #include "core/sketch_io.h"
 #include "data/dataset.h"
 #include "io/async_run_reader.h"
+#include "io/codec.h"
+#include "io/extent.h"
 #include "io/faulty_device.h"
 #include "io/run_reader.h"
 #include "io/striped_data_file.h"
@@ -493,6 +495,213 @@ TEST(FailureInjectionTest, ParallelRunFailsCleanlyWhenOneStripeDies) {
   auto result = RunParallelOpaq(cluster, shards, options);
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------- Compressed extents --
+
+// A compressed extent file striped over 3 devices with stripe 1 wrapped in
+// a FaultyDevice — one disk of a compressed array dying while the others
+// stay healthy. extent_elements == run_size, so logical extent e IS run e
+// and lives on stripe e % 3. Open costs each stripe exactly 3 reads
+// (header, directory, directory CRC) and every extent exactly 1, so
+// failing stripe 1's read #k kills extent (run) 1 + 3*(k - 4).
+struct FaultyExtentFixture {
+  static constexpr uint64_t kRunSize = 500;
+  static constexpr int kStripes = 3;
+
+  std::vector<std::unique_ptr<BlockDevice>> devices;
+  FaultyDevice* faulty = nullptr;  // borrowed view of devices[1]
+  Result<ExtentFile> file = Status::Internal("unset");
+
+  FaultyExtentFixture(uint64_t n, FaultyDevice::Options options) {
+    std::vector<std::unique_ptr<MemoryBlockDevice>> memory;
+    std::vector<BlockDevice*> raw;
+    for (int s = 0; s < kStripes; ++s) {
+      memory.push_back(std::make_unique<MemoryBlockDevice>());
+      raw.push_back(memory.back().get());
+    }
+    DatasetSpec spec;
+    spec.n = n;
+    spec.distribution = Distribution::kZipf;  // so delta actually packs
+    ExtentWriterOptions writer_options;
+    writer_options.extent_elements = kRunSize;
+    writer_options.codec = ExtentCodec::kDelta;
+    OPAQ_CHECK_OK(WriteExtents(GenerateDataset<uint64_t>(spec), raw,
+                               writer_options)
+                      .status());
+    for (int s = 0; s < kStripes; ++s) {
+      if (s == 1) {
+        auto wrapped = std::make_unique<FaultyDevice>(std::move(memory[1]),
+                                                      options);
+        faulty = wrapped.get();
+        devices.push_back(std::move(wrapped));
+      } else {
+        devices.push_back(std::move(memory[static_cast<size_t>(s)]));
+      }
+    }
+    std::vector<BlockDevice*> opened;
+    for (auto& device : devices) opened.push_back(device.get());
+    file = ExtentFile::Open(opened);
+  }
+};
+
+TEST(FailureInjectionTest, ExtentOpenFailsWhenStripeHeaderDies) {
+  FaultyExtentFixture f(6000, FailReadAt(1));
+  EXPECT_FALSE(f.file.ok());
+  EXPECT_EQ(f.file.status().code(), StatusCode::kIoError);
+}
+
+TEST(FailureInjectionTest, ExtentOpenFailsWhenDirectoryReadDies) {
+  // Reads 2 and 3 are the directory and its CRC — Open must fail cleanly
+  // on either, before any extent is ever served.
+  for (uint64_t read : {2u, 3u}) {
+    FaultyExtentFixture f(6000, FailReadAt(read));
+    EXPECT_FALSE(f.file.ok()) << "read " << read;
+    EXPECT_EQ(f.file.status().code(), StatusCode::kIoError) << "read "
+                                                            << read;
+  }
+}
+
+TEST(FailureInjectionTest, ExtentConsumeSurfacesStripeDeath) {
+  // Kill stripe 1 on its second data extent (read #5 = extent 4): exactly
+  // runs 0-3 must be consumed, the error surfaces as a clean Status from
+  // Consume, and every decode thread is joined by then (asan/tsan gate
+  // leaks) — at every prefetch depth, threaded and inline.
+  for (IoMode io_mode : {IoMode::kSync, IoMode::kAsync}) {
+    for (uint64_t depth : {1u, 2u, 8u}) {
+      FaultyExtentFixture f(6000, FailReadAt(5));
+      ASSERT_TRUE(f.file.ok()) << f.file.status().ToString();
+      OpaqConfig config;
+      config.run_size = FaultyExtentFixture::kRunSize;
+      config.samples_per_run = 100;
+      config.io_mode = io_mode;
+      config.prefetch_depth = depth;
+      OpaqSketch<uint64_t> sketch(config);
+      Status s = sketch.Consume(ExtentFileProvider<uint64_t>(&*f.file));
+      EXPECT_FALSE(s.ok()) << IoModeName(io_mode) << " depth " << depth;
+      EXPECT_EQ(s.code(), StatusCode::kIoError)
+          << IoModeName(io_mode) << " depth " << depth;
+      EXPECT_EQ(sketch.runs_consumed(), 4u)
+          << IoModeName(io_mode) << " depth " << depth;
+      EXPECT_EQ(sketch.elements_consumed(),
+                4 * FaultyExtentFixture::kRunSize)
+          << IoModeName(io_mode) << " depth " << depth;
+      if (io_mode == IoMode::kSync) break;  // depth is a no-op inline
+    }
+  }
+}
+
+TEST(FailureInjectionTest, ExtentReaderKeepsReportingErrorAfterFailure) {
+  // Both decoding modes must latch a mid-extent device error: a retried
+  // NextRun must not silently resume the packed stream.
+  for (bool threaded : {true, false}) {
+    FaultyExtentFixture f(6000, FailReadAt(4));  // stripe 1's 1st extent
+    ASSERT_TRUE(f.file.ok()) << f.file.status().ToString();
+    ExtentReaderOptions options;
+    options.prefetch_extents = 2;
+    options.threaded = threaded;
+    ExtentRunSource<uint64_t> source(&*f.file,
+                                     FaultyExtentFixture::kRunSize,
+                                     options);
+    std::vector<uint64_t> buffer;
+    // Run 0 (extent 0, stripe 0) is intact; run 1 dies; so does every
+    // later call — even though the FaultyDevice poisons only one read.
+    auto first = source.NextRun(&buffer);
+    ASSERT_TRUE(first.ok()) << "threaded=" << threaded;
+    EXPECT_TRUE(*first);
+    EXPECT_EQ(buffer.size(), FaultyExtentFixture::kRunSize);
+    for (int i = 0; i < 3; ++i) {
+      auto failed = source.NextRun(&buffer);
+      EXPECT_FALSE(failed.ok()) << "threaded=" << threaded;
+      EXPECT_EQ(failed.status().code(), StatusCode::kIoError)
+          << "threaded=" << threaded;
+    }
+  }
+}
+
+TEST(FailureInjectionTest, ExtentReaderAbandonedAfterErrorDoesNotHang) {
+  // Let a decode thread fail, never consume, destroy: the destructor must
+  // close every channel and join every thread.
+  FaultyExtentFixture f(6000, FailReadAt(4));
+  ASSERT_TRUE(f.file.ok()) << f.file.status().ToString();
+  ExtentReaderOptions options;
+  options.prefetch_extents = 8;
+  ExtentRunSource<uint64_t> source(&*f.file, 250, options);
+  // No NextRun at all.
+}
+
+TEST(FailureInjectionTest, ExtentShortReadSurfacesAsError) {
+  // The compressed array opens healthy, then one stripe physically shrinks
+  // behind the reader's back: the intact prefix runs arrive, then
+  // OutOfRange — never partial or misdecoded data.
+  FaultyExtentFixture f(6000, {});
+  ASSERT_TRUE(f.file.ok()) << f.file.status().ToString();
+  // Keep stripe 1's header plus its first stored extent (extent 1), so
+  // extent 4 is the first to fall off the end.
+  f.faulty->set_truncate_after_bytes(sizeof(ExtentFileHeader) +
+                                     f.file->StoredExtentBytes(1));
+  OpaqConfig config;
+  config.run_size = FaultyExtentFixture::kRunSize;
+  config.samples_per_run = 100;
+  config.io_mode = IoMode::kAsync;
+  config.prefetch_depth = 2;
+  OpaqSketch<uint64_t> sketch(config);
+  Status s = sketch.Consume(ExtentFileProvider<uint64_t>(&*f.file));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(sketch.runs_consumed(), 4u);  // runs 0-3; run 4 was truncated
+}
+
+TEST(FailureInjectionTest, ExtentExactSecondPassSurfacesError) {
+  FaultyExtentFixture healthy(6000, {});
+  ASSERT_TRUE(healthy.file.ok());
+  OpaqConfig config;
+  config.run_size = FaultyExtentFixture::kRunSize;
+  config.samples_per_run = 100;
+  OpaqSketch<uint64_t> sketch(config);
+  ASSERT_TRUE(
+      sketch.Consume(ExtentFileProvider<uint64_t>(&*healthy.file)).ok());
+  auto estimate = sketch.Finalize().Quantile(0.5);
+
+  FaultyExtentFixture faulty(6000, FailReadAt(5));
+  ASSERT_TRUE(faulty.file.ok());
+  ExtentFileProvider<uint64_t> provider(&*faulty.file);
+  ReadOptions options;
+  options.run_size = FaultyExtentFixture::kRunSize;
+  options.io_mode = IoMode::kAsync;
+  auto exact = ExactQuantileSecondPass(provider, estimate, options);
+  EXPECT_FALSE(exact.ok());
+  EXPECT_EQ(exact.status().code(), StatusCode::kIoError);
+}
+
+TEST(FailureInjectionTest, SingleStripeExtentAsyncSurfacesError) {
+  // The 1-stripe compressed path (one decode thread) must behave exactly
+  // like the striped one: intact prefix, clean sticky error, joined thread.
+  auto memory = std::make_unique<MemoryBlockDevice>();
+  DatasetSpec spec;
+  spec.n = 4000;
+  spec.distribution = Distribution::kZipf;
+  ExtentWriterOptions writer_options;
+  writer_options.extent_elements = 500;
+  writer_options.codec = ExtentCodec::kDelta;
+  OPAQ_CHECK_OK(WriteExtents(GenerateDataset<uint64_t>(spec),
+                             {memory.get()}, writer_options)
+                    .status());
+  // Reads 1-3 open the file; read #6 is extent 2.
+  FaultyDevice faulty(std::move(memory), FailReadAt(6));
+  auto file = ExtentFile::Open({&faulty});
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  OpaqConfig config;
+  config.run_size = 500;
+  config.samples_per_run = 100;
+  config.io_mode = IoMode::kAsync;
+  config.prefetch_depth = 2;
+  OpaqSketch<uint64_t> sketch(config);
+  Status s = sketch.Consume(ExtentFileProvider<uint64_t>(&*file));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(sketch.runs_consumed(), 2u);
+  EXPECT_EQ(sketch.elements_consumed(), 1000u);
 }
 
 }  // namespace

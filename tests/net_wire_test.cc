@@ -1,9 +1,9 @@
 // Wire-protocol codec tests: CRC correctness, frame round trips, rejection
 // of truncation/corruption/foreign traffic, and the committed golden byte
-// streams (`tests/golden/wire_v1.bin`, `wire_v2.bin`, `wire_v3.bin`) that
-// pin frame formats v1 through v3 — if the header layout, op codes, CRC
-// polynomial or payload encodings ever drift, these fail in tier-1 instead
-// of silently orphaning every deployed node.
+// streams (`tests/golden/wire_v1.bin` .. `wire_v4.bin`) that pin frame
+// formats v1 through v4 — if the header layout, op codes, CRC polynomial
+// or payload encodings ever drift, these fail in tier-1 instead of
+// silently orphaning every deployed node.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +13,7 @@
 #include <iterator>
 #include <vector>
 
+#include "io/extent.h"
 #include "net/wire.h"
 #include "net/wire_compute.h"
 #include "net/wire_query.h"
@@ -58,7 +59,6 @@ TEST(WireFrameTest, V2LayoutIsPinned) {
 
 TEST(WireFrameTest, V3LayoutIsPinned) {
   EXPECT_EQ(kQueryWireVersion, 3);
-  EXPECT_EQ(kMaxWireVersion, 3);
   static_assert(sizeof(WireSessionInfo) == 48);
   static_assert(sizeof(WireQueryHeader) == 16);
   static_assert(sizeof(WireQueryRequest) == 32);
@@ -69,6 +69,19 @@ TEST(WireFrameTest, V3LayoutIsPinned) {
   EXPECT_EQ(static_cast<uint16_t>(WireOp::kSessionInfo), 15);
   EXPECT_EQ(static_cast<uint16_t>(WireOp::kQuery), 16);
   EXPECT_EQ(static_cast<uint16_t>(WireOp::kQueryResult), 17);
+}
+
+TEST(WireFrameTest, V4LayoutIsPinned) {
+  EXPECT_EQ(kExtentWireVersion, 4);
+  EXPECT_EQ(kMaxWireVersion, 4);
+  static_assert(sizeof(WireExtentInfo) == 48);
+  static_assert(offsetof(WireExtentInfo, max_extents_per_read) == 32);
+  static_assert(offsetof(WireExtentInfo, default_codec) == 40);
+  static_assert(sizeof(WireReadExtents) == 16);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kOpenExtents), 18);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kExtentInfo), 19);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kReadExtents), 20);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kExtentData), 21);
 }
 
 TEST(WireFrameTest, FramesCarryPerOpVersions) {
@@ -89,6 +102,10 @@ TEST(WireFrameTest, FramesCarryPerOpVersions) {
   for (WireOp op : {WireOp::kOpenSession, WireOp::kSessionInfo,
                     WireOp::kQuery, WireOp::kQueryResult}) {
     EXPECT_EQ(WireOpVersion(op), 3u) << WireOpName(static_cast<uint16_t>(op));
+  }
+  for (WireOp op : {WireOp::kOpenExtents, WireOp::kExtentInfo,
+                    WireOp::kReadExtents, WireOp::kExtentData}) {
+    EXPECT_EQ(WireOpVersion(op), 4u) << WireOpName(static_cast<uint16_t>(op));
   }
   // And EncodeFrame stamps that version into the header.
   std::vector<uint8_t> v1 = EncodeFrame(WireOp::kPing, nullptr, 0);
@@ -555,6 +572,110 @@ TEST(WireGoldenTest, GoldenV3StreamDecodesFrameByFrame) {
   EXPECT_TRUE(results->results[0].estimates[0].upper_clamped);
   EXPECT_EQ(results->results[0].exact, (std::vector<uint64_t>{17}));
   EXPECT_EQ(results->results[1].rank.max_rank_le, 19u);
+}
+
+// ------------------------------------------- v4 golden byte stream ----
+
+/// The canned extent-streaming conversation committed as
+/// tests/golden/wire_v4.bin: every v4 op once, fixed payloads, over a u64
+/// extent dataset "sales" (4 elements per extent, 14 elements, 4 extents).
+/// The EXTENT_DATA frame carries a REAL stored extent — ExtentHeader,
+/// payload CRC and all — so this blob also pins the on-wire stored-extent
+/// layout against the extent codec. Must keep producing these exact bytes
+/// forever (or kMaxWireVersion must be bumped and a new blob committed).
+std::vector<uint8_t> MakeGoldenV4Stream() {
+  std::vector<uint8_t> stream;
+  auto append = [&stream](const std::vector<uint8_t>& frame) {
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  const std::string name = "sales";
+  // 1. OPEN_EXTENTS "sales" (payload is the bare name).
+  append(EncodeFrame(WireOp::kOpenExtents, name.data(), name.size()));
+  // 2. EXTENT_INFO: u64 elements, 4 per extent, 14 total, 4 extents.
+  WireExtentInfo info;
+  info.key_type = 2;  // KeyType::kU64
+  info.element_size = 8;
+  info.element_count = 14;
+  info.extent_elements = 4;
+  info.num_extents = 4;
+  info.max_extents_per_read = 16;
+  info.default_codec = 1;  // ExtentCodec::kDelta
+  append(EncodeFrame(WireOp::kExtentInfo, &info, sizeof(info)));
+  // 3. READ_EXTENTS [0, +1) of "sales".
+  WireReadExtents range;
+  range.first_extent = 0;
+  range.count = 1;
+  std::vector<uint8_t> request(sizeof(range) + name.size());
+  std::memcpy(request.data(), &range, sizeof(range));
+  std::memcpy(request.data() + sizeof(range), name.data(), name.size());
+  append(EncodeFrame(WireOp::kReadExtents, request.data(), request.size()));
+  // 4. EXTENT_DATA: extent 0 stored raw — the four u64 values {2, 3, 5, 7}.
+  const uint64_t values[] = {2, 3, 5, 7};
+  ExtentHeader extent;
+  extent.codec = 0;  // ExtentCodec::kRaw
+  extent.payload_crc = Crc32(values, sizeof(values));
+  extent.extent_index = 0;
+  extent.unpacked_len = sizeof(values);
+  extent.packed_len = sizeof(values);
+  std::vector<uint8_t> stored(sizeof(extent) + sizeof(values));
+  std::memcpy(stored.data(), &extent, sizeof(extent));
+  std::memcpy(stored.data() + sizeof(extent), values, sizeof(values));
+  append(EncodeFrame(WireOp::kExtentData, stored.data(), stored.size()));
+  return stream;
+}
+
+TEST(WireGoldenTest, EncoderProducesExactGoldenV4Bytes) {
+  EXPECT_EQ(MakeGoldenV4Stream(), GoldenBlobBytes("wire_v4.bin"))
+      << "the v4 extent frame encoding changed; deployed nodes and clients "
+         "would no longer interoperate. If intentional, bump "
+         "kMaxWireVersion and commit a new golden blob.";
+}
+
+TEST(WireGoldenTest, GoldenV4StreamDecodesFrameByFrame) {
+  const std::vector<uint8_t> blob = GoldenBlobBytes("wire_v4.bin");
+  const uint16_t expected_ops[] = {
+      static_cast<uint16_t>(WireOp::kOpenExtents),
+      static_cast<uint16_t>(WireOp::kExtentInfo),
+      static_cast<uint16_t>(WireOp::kReadExtents),
+      static_cast<uint16_t>(WireOp::kExtentData),
+  };
+  size_t offset = 0;
+  std::vector<WireFrame> frames;
+  for (uint16_t expected : expected_ops) {
+    WireFrameHeader header;
+    ASSERT_GE(blob.size() - offset, sizeof(header));
+    std::memcpy(&header, blob.data() + offset, sizeof(header));
+    EXPECT_EQ(header.version, 4) << WireOpName(expected);
+    size_t consumed = 0;
+    auto frame =
+        DecodeFrame(blob.data() + offset, blob.size() - offset, &consumed);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->op, expected);
+    frames.push_back(std::move(frame).value());
+    offset += consumed;
+  }
+  EXPECT_EQ(offset, blob.size()) << "golden stream has trailing bytes";
+
+  WireExtentInfo info;
+  ASSERT_EQ(frames[1].payload.size(), sizeof(info));
+  std::memcpy(&info, frames[1].payload.data(), sizeof(info));
+  EXPECT_EQ(info.element_count, 14u);
+  EXPECT_EQ(info.extent_elements, 4u);
+  EXPECT_EQ(info.num_extents, 4u);
+  EXPECT_EQ(info.max_extents_per_read, 16u);
+
+  // The stored extent decodes through the REAL extent validator — the same
+  // code path a v4 client runs on every received extent.
+  uint64_t decoded[4] = {};
+  Status s = DecodeStoredExtent(frames[3].payload.data(),
+                                frames[3].payload.size(),
+                                /*expected_index=*/0,
+                                /*expected_unpacked=*/sizeof(decoded),
+                                /*element_size=*/8, /*verify_crc=*/true,
+                                decoded, nullptr);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(decoded[0], 2u);
+  EXPECT_EQ(decoded[3], 7u);
 }
 
 }  // namespace
