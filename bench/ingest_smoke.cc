@@ -1,0 +1,182 @@
+// Incremental-refresh bench + conformance gate for the streaming-ingest
+// subsystem (src/ingest): a live dataset takes a stream of appended runs
+// while a serving session keeps up two ways —
+//
+//   rebuild : re-sketch the WHOLE live dataset from scratch after every
+//             append (what a daemon without Absorb would have to do), and
+//   absorb  : sketch ONLY the unabsorbed tail and merge it into the
+//             existing session via the associative sample-list merge
+//             (paper §4 — the same merge the parallel algorithm uses).
+//
+// Two jobs, in order:
+//
+// 1. CONFORMANCE GATE (the part that can fail the build): after the final
+//    append, the absorbed session's sample list must be BYTE-IDENTICAL to
+//    the from-scratch rebuild's — Absorb is an optimisation, never an
+//    approximation. Any mismatch exits 1.
+//
+// 2. SPEEDUP GATE: the mean per-append absorb cost must undercut the mean
+//    per-append rebuild cost by at least --min-speedup (default 5). The
+//    asymmetry is structural — rebuild re-reads base + all appended runs,
+//    absorb reads just the newest run — so if this gate fails, the
+//    incremental path has rotted (e.g. Absorb silently re-sketching the
+//    base). Exits 1 on failure.
+//
+//   ingest_smoke [--n=1000000] [--appends=10] [--run-size=65536]
+//                [--samples=256] [--min-speedup=5]
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/sketch_io.h"
+#include "io/tempdir.h"
+#include "opaq/engine.h"
+#include "opaq/ingest.h"
+#include "opaq/query.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<uint8_t> ListBytes(const SampleList<Key>& list) {
+  MemoryBlockDevice out;
+  OPAQ_CHECK_OK(SaveSampleList(list, &out));
+  auto size = out.Size();
+  OPAQ_CHECK_OK(size.status());
+  std::vector<uint8_t> bytes(*size);
+  OPAQ_CHECK_OK(out.ReadAt(0, bytes.data(), bytes.size()));
+  return bytes;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions options = BenchOptions::FromArgs(argc, argv);
+  auto flags = Flags::Parse(argc, argv);
+  OPAQ_CHECK_OK(flags.status());
+
+  OpaqConfig config;
+  config.run_size =
+      static_cast<uint64_t>(flags->GetInt("run-size", 65536));
+  config.samples_per_run =
+      static_cast<uint64_t>(flags->GetInt("samples", 256));
+  OPAQ_CHECK_OK(config.Validate());
+
+  // Base sized as a whole number of runs so every appended run lands on
+  // the same run grid a flat rebuild would use.
+  const uint64_t n = options.Scaled(
+      static_cast<uint64_t>(flags->GetInt("n", 1000000)), config.run_size);
+  const int appends = static_cast<int>(flags->GetInt("appends", 10));
+  const double min_speedup = flags->GetDouble("min-speedup", 5.0);
+  OPAQ_CHECK(appends >= 1);
+
+  auto tmp = TempDir::Make("opaq-ingest-bench");
+  OPAQ_CHECK_OK(tmp.status());
+  const std::string dir = tmp->FilePath("live");
+
+  // ------------------------------------------------------- base build ----
+  DatasetSpec spec;
+  spec.n = n;
+  spec.seed = options.seed;
+  spec.distribution = Distribution::kUniform;
+  auto live = LiveDataset<Key>::Create(dir);
+  OPAQ_CHECK_OK(live.status());
+  OPAQ_CHECK_OK(live->Append(GenerateDataset<Key>(spec)));
+
+  auto base_source = Source<Key>::OpenLive(dir);
+  OPAQ_CHECK_OK(base_source.status());
+  const auto base_start = std::chrono::steady_clock::now();
+  auto session = Engine<Key>(config, *base_source).Build();
+  OPAQ_CHECK_OK(session.status());
+  const double base_seconds = SecondsSince(base_start);
+  QuerySession<Key> serving = std::move(session).value();
+
+  // ------------------------------------------------------ append loop ----
+  // Each appended segment is exactly one run, the steady-state shape of a
+  // writer batching at the sketch granularity.
+  double absorb_seconds = 0;
+  double rebuild_seconds = 0;
+  for (int i = 0; i < appends; ++i) {
+    DatasetSpec delta_spec = spec;
+    delta_spec.n = config.run_size;
+    delta_spec.seed = options.seed + 1000 + static_cast<uint64_t>(i);
+    OPAQ_CHECK_OK(live->Append(GenerateDataset<Key>(delta_spec)));
+
+    // Incremental: sketch the tail only, merge into the serving session.
+    const uint64_t have = serving.total_elements();
+    const auto absorb_start = std::chrono::steady_clock::now();
+    auto tail = Source<Key>::OpenLive(dir, have);
+    OPAQ_CHECK_OK(tail.status());
+    auto delta = Engine<Key>(config, *tail).Build();
+    OPAQ_CHECK_OK(delta.status());
+    OPAQ_CHECK_OK(serving.Absorb(delta->sample_list()));
+    absorb_seconds += SecondsSince(absorb_start);
+
+    // From scratch: what every refresh costs without Absorb.
+    const auto rebuild_start = std::chrono::steady_clock::now();
+    auto full = Source<Key>::OpenLive(dir);
+    OPAQ_CHECK_OK(full.status());
+    auto rebuilt = Engine<Key>(config, *full).Build();
+    OPAQ_CHECK_OK(rebuilt.status());
+    rebuild_seconds += SecondsSince(rebuild_start);
+
+    // --------------------------------------------- conformance gate ----
+    if (i + 1 == appends) {
+      if (ListBytes(serving.sample_list()) !=
+          ListBytes(rebuilt->sample_list())) {
+        std::fprintf(stderr,
+                     "FAIL: after %d appends the absorbed session's sample "
+                     "list != from-scratch rebuild (Absorb must be "
+                     "byte-identical)\n",
+                     appends);
+        return 1;
+      }
+    }
+  }
+  OPAQ_CHECK(serving.total_elements() ==
+             n + static_cast<uint64_t>(appends) * config.run_size);
+
+  const double absorb_mean = absorb_seconds / appends;
+  const double rebuild_mean = rebuild_seconds / appends;
+  const double speedup =
+      absorb_mean > 0 ? rebuild_mean / absorb_mean : 0;
+
+  TextTable table;
+  table.SetTitle("incremental refresh vs rebuild: " + HumanCount(n) +
+                 " base + " + std::to_string(appends) + " appended runs of " +
+                 HumanCount(config.run_size));
+  table.AddHeader({"metric", "value"});
+  table.AddRow({"base build [ms]", TextTable::Num(base_seconds * 1e3, 2)});
+  table.AddRow({"rebuild mean [ms]",
+                TextTable::Num(rebuild_mean * 1e3, 2)});
+  table.AddRow({"absorb mean [ms]", TextTable::Num(absorb_mean * 1e3, 2)});
+  table.AddRow({"speedup", TextTable::Num(speedup, 1) + "x"});
+  table.AddRow({"sample list bytes",
+                std::to_string(ListBytes(serving.sample_list()).size())});
+  Emit(table, options);
+
+  // ------------------------------------------------- speedup gate ----
+  if (speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: absorb is only %.1fx faster than rebuild "
+                 "(need >= %.1fx); the incremental path re-reads too "
+                 "much\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  std::printf("conformance: absorbed == rebuilt byte-identically; "
+              "incremental refresh %.1fx faster than rebuild\n",
+              speedup);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

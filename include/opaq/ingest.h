@@ -1,0 +1,17 @@
+#ifndef OPAQ_INCLUDE_OPAQ_INGEST_H_
+#define OPAQ_INCLUDE_OPAQ_INGEST_H_
+
+/// Streaming ingest: live (appendable) datasets and time-windowed
+/// quantiles.
+///
+///   - `LiveDataset<K>`        — durable append writer (CRC'd manifest,
+///                               fsync-file-then-fsync-manifest commit)
+///   - `LiveDatasetReader<K>`  — read snapshot behind the RunProvider seam
+///   - `Source<K>::OpenLive`   — facade entry (opaq/source.h)
+///   - `QuerySession<K>::Absorb` — incremental refresh (opaq/query.h)
+///   - `WindowedSession<K>`    — ring of per-window sketches, merged at
+///                               query time
+#include "ingest/live_dataset.h"    // IWYU pragma: export
+#include "ingest/windowed_session.h"  // IWYU pragma: export
+
+#endif  // OPAQ_INCLUDE_OPAQ_INGEST_H_

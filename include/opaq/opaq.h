@@ -21,6 +21,7 @@
 ///  - opaq/engine.h   — `Engine<K>`: config + sources -> `QuerySession`
 ///  - opaq/query.h    — `QuerySession<K>`: batched certified queries
 ///  - opaq/apps.h     — histograms / partitioners / selectivity on top
+///  - opaq/ingest.h   — live datasets, incremental refresh, windowed rings
 ///  - opaq/net.h     — data nodes: serve/consume datasets over TCP
 ///  - opaq/config.h, opaq/status.h, opaq/io.h, opaq/data.h,
 ///    opaq/metrics.h, opaq/util.h — supporting surfaces
@@ -39,6 +40,7 @@
 #include "opaq/config.h"
 #include "opaq/data.h"
 #include "opaq/engine.h"
+#include "opaq/ingest.h"
 #include "opaq/io.h"
 #include "opaq/metrics.h"
 #include "opaq/net.h"

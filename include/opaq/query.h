@@ -115,6 +115,35 @@ class QuerySession {
         sources_(std::move(sources)),
         config_(std::move(config)) {}
 
+  /// Incremental refresh: folds the sample list of newly ingested data
+  /// into the resident session via the associative `SampleList::Merge` —
+  /// one O(s) merge instead of resketching everything already absorbed.
+  /// Because regular-sampling samples are order statistics and run
+  /// boundaries in a live dataset are per-segment, the absorbed session is
+  /// BYTE-identical to one rebuilt from scratch over base + delta
+  /// (conformance-gated in `backend_conformance_test`).
+  ///
+  /// `delta_sources` are the shards the delta summarizes (e.g. a
+  /// `LiveTailProvider` over the new segments); they append to the
+  /// session's source list so the §4 exact pass keeps covering ALL data.
+  /// Omit them to keep the session estimate-only over the delta.
+  ///
+  /// An empty delta is a no-op; a sub-run-size mismatch returns
+  /// InvalidArgument and leaves the session untouched.
+  Status Absorb(const SampleList<K>& delta,
+                std::vector<Source<K>> delta_sources = {}) {
+    if (delta.samples().empty() && delta.total_elements() == 0) {
+      return Status::OK();
+    }
+    auto merged = SampleList<K>::Merge(estimator_.sample_list(), delta);
+    if (!merged.ok()) return merged.status();
+    estimator_ = OpaqEstimator<K>(std::move(merged).value());
+    for (Source<K>& source : delta_sources) {
+      sources_.push_back(std::move(source));
+    }
+    return Status::OK();
+  }
+
   /// Answers every request of the batch, in order. Returns
   /// InvalidArgument for a malformed request (phi outside (0,1], q < 2,
   /// rank outside [1, n]), FailedPrecondition when `exact` is requested

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "ingest/live_dataset.h"
 #include "io/async_run_reader.h"
 #include "io/block_device.h"
 #include "io/data_file.h"
@@ -147,6 +148,31 @@ class Source {
     return FromOwned(std::move(owned), stripes);
   }
 
+  /// Opens a read snapshot of the live (appendable) dataset directory at
+  /// `dir` (see `ingest/live_dataset.h`): the source binds the segments
+  /// whose manifest records were durable at open time and never sees later
+  /// appends. `first_element > 0` restricts the source to the TAIL
+  /// `[first_element, end)` — the unabsorbed delta an incremental
+  /// refresher sketches and hands to `QuerySession::Absorb` (on a segment
+  /// boundary, which whole-segment absorption always is, the tail's run
+  /// grid matches sketching those segments alone, so the merge is
+  /// byte-identical to a full rebuild). The source owns the snapshot.
+  static Result<Source> OpenLive(const std::string& dir,
+                                 uint64_t first_element = 0) {
+    auto reader = LiveDatasetReader<K>::Open(dir);
+    if (!reader.ok()) return reader.status();
+    auto owned = std::make_shared<OwnedBackend>();
+    owned->live = std::make_shared<const LiveDatasetReader<K>>(
+        std::move(reader).value());
+    if (first_element == 0) {
+      const RunProvider<K>* provider = owned->live.get();
+      return FromOwned(std::move(owned), 1, provider);
+    }
+    owned->provider =
+        std::make_unique<LiveTailProvider<K>>(owned->live, first_element);
+    return FromOwned(std::move(owned), 1);
+  }
+
   /// Connects to the dataset a remote data node (`opaq_noded` /
   /// `NodeServer`) serves as "host:port/dataset"; the source owns the
   /// client backend. Reading streams runs over TCP behind the same
@@ -235,6 +261,7 @@ class Source {
     std::unique_ptr<TypedDataFile<K>> plain;
     std::unique_ptr<StripedDataFile<K>> striped;
     std::unique_ptr<ExtentFile> extent;
+    std::shared_ptr<const LiveDatasetReader<K>> live;
     std::unique_ptr<RunProvider<K>> provider;
   };
 
@@ -277,12 +304,14 @@ class Source {
   }
 
   static Source FromOwned(std::shared_ptr<OwnedBackend> owned,
-                          uint64_t stripes) {
+                          uint64_t stripes,
+                          const RunProvider<K>* provider = nullptr) {
     Source s;
     // Aliasing handle: shares ownership of the whole backend closure while
-    // pointing at its provider.
-    s.provider_ = std::shared_ptr<const RunProvider<K>>(
-        owned, owned->provider.get());
+    // pointing at its provider (or the caller's choice of provider inside
+    // the closure, e.g. the live reader itself).
+    if (provider == nullptr) provider = owned->provider.get();
+    s.provider_ = std::shared_ptr<const RunProvider<K>>(owned, provider);
     s.stripes_ = stripes;
     return s;
   }

@@ -1,0 +1,75 @@
+#ifndef OPAQ_BASELINES_FRUGAL_H_
+#define OPAQ_BASELINES_FRUGAL_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "baselines/quantile_estimator.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// Ma, Muthukrishnan & Sandler, "Frugal Streaming for Estimating Quantiles"
+/// (2014): the 1-unit-of-memory estimator. Published after the paper under
+/// reproduction; included as the opposite extreme of the memory/accuracy
+/// trade-off OPAQ's Table 7 charts — ONE stored word against OPAQ's rs
+/// sample points.
+///
+/// Frugal-1U tracks a single estimate m~ and nudges it one unit toward the
+/// phi-quantile: on x > m~, step up with probability phi; on x < m~, step
+/// down with probability 1−phi. The stationary point is the true quantile,
+/// but convergence is slow and only stochastic — there is no rank
+/// guarantee, and the estimate only visits values one step at a time, so
+/// wide domains converge poorly. The phi is fixed at construction;
+/// querying any other phi is an InvalidArgument (same contract as P2's
+/// registered-marker restriction).
+template <typename K>
+class FrugalEstimator : public StreamingQuantileEstimator<K> {
+ public:
+  explicit FrugalEstimator(double phi, uint64_t seed = 1)
+      : phi_(phi), rng_(seed) {
+    OPAQ_CHECK(phi > 0.0 && phi < 1.0);
+  }
+
+  void Add(const K& value) override {
+    ++count_;
+    if (count_ == 1) {
+      estimate_ = value;  // standard initialisation: first element
+      return;
+    }
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    if (value > estimate_) {
+      if (unit(rng_) < phi_) estimate_ = estimate_ + 1;
+    } else if (value < estimate_) {
+      if (unit(rng_) < 1.0 - phi_) estimate_ = estimate_ - 1;
+    }
+  }
+
+  Result<K> EstimateQuantile(double phi) const override {
+    if (count_ == 0) return Status::FailedPrecondition("no data observed");
+    if (phi != phi_) {
+      return Status::InvalidArgument(
+          "frugal-1u tracks one fixed quantile; phi " + std::to_string(phi) +
+          " was not the one registered at construction");
+    }
+    return estimate_;
+  }
+
+  uint64_t count() const override { return count_; }
+  /// The algorithm's entire selling point: one stored element.
+  uint64_t MemoryElements() const override { return 1; }
+  std::string name() const override { return "frugal-1u"; }
+
+  double phi() const { return phi_; }
+
+ private:
+  double phi_;
+  std::mt19937_64 rng_;
+  uint64_t count_ = 0;
+  K estimate_ = K{};
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_BASELINES_FRUGAL_H_

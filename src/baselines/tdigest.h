@@ -1,0 +1,165 @@
+#ifndef OPAQ_BASELINES_TDIGEST_H_
+#define OPAQ_BASELINES_TDIGEST_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "baselines/quantile_estimator.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// Dunning & Ertl, "Computing Extremely Accurate Quantiles Using t-Digests"
+/// (2019). Published long *after* the paper under reproduction; included as
+/// the mergeable sketch the streaming world standardised on — the natural
+/// comparator for OPAQ's associative sample-list merge (paper §4), and the
+/// one exercised alongside it in the windowed-session ring.
+///
+/// Clusters the stream into centroids (mean, weight) whose allowed weight
+/// shrinks toward the tails under the k1 scale function
+/// k(q) = (delta / 2π) · asin(2q − 1), so tail quantiles stay sharp while
+/// the middle compresses hard. Estimates interpolate between adjacent
+/// centroid means — accurate in practice but, unlike OPAQ's Lemmas 1-3, with
+/// no deterministic rank bound; that contrast is the point of Table 7.
+///
+/// This is the merging variant: `Add` buffers raw points and folds them in
+/// by the same sorted-merge pass `Merge` uses for another digest's
+/// centroids, so single-stream and merged digests share one code path.
+template <typename K>
+class TDigest : public StreamingQuantileEstimator<K> {
+ public:
+  /// `compression` (the paper's delta) bounds the centroid count at roughly
+  /// 2*delta; 100 is the customary default.
+  explicit TDigest(double compression = 100.0) : compression_(compression) {
+    OPAQ_CHECK(compression >= 10.0);
+    buffer_limit_ = static_cast<size_t>(8.0 * compression_);
+  }
+
+  void Add(const K& value) override {
+    ++count_;
+    buffer_.push_back(Centroid{static_cast<double>(value), 1});
+    if (buffer_.size() >= buffer_limit_) Compress();
+  }
+
+  /// Folds another digest in: their centroid sets are merged and
+  /// re-compressed, which is exactly how per-window digests combine in a
+  /// time-windowed ring. Merging is commutative up to centroid rounding.
+  void Merge(const TDigest& other) {
+    buffer_.insert(buffer_.end(), other.centroids_.begin(),
+                   other.centroids_.end());
+    buffer_.insert(buffer_.end(), other.buffer_.begin(), other.buffer_.end());
+    count_ += other.count_;
+    Compress();
+  }
+
+  Result<K> EstimateQuantile(double phi) const override {
+    if (count_ == 0) return Status::FailedPrecondition("no data observed");
+    if (!(phi > 0.0 && phi <= 1.0)) {
+      return Status::InvalidArgument("phi must be in (0,1]");
+    }
+    Compress();
+    const double target = phi * static_cast<double>(count_);
+    // Walk centroids by cumulative weight; interpolate linearly between the
+    // midpoints of adjacent centroids straddling the target rank.
+    double seen = 0;
+    for (size_t i = 0; i < centroids_.size(); ++i) {
+      const double mid = seen + static_cast<double>(centroids_[i].weight) / 2;
+      if (target <= mid || i + 1 == centroids_.size()) {
+        if (i == 0 || target >= mid) return RoundToKey(centroids_[i].mean);
+        const double prev_mid =
+            seen - static_cast<double>(centroids_[i - 1].weight) / 2;
+        const double t = (target - prev_mid) / (mid - prev_mid);
+        return RoundToKey(centroids_[i - 1].mean +
+                          t * (centroids_[i].mean - centroids_[i - 1].mean));
+      }
+      seen += static_cast<double>(centroids_[i].weight);
+    }
+    return RoundToKey(centroids_.back().mean);
+  }
+
+  uint64_t count() const override { return count_; }
+  /// Two fields (mean, weight) per centroid; buffered raw points charge one.
+  uint64_t MemoryElements() const override {
+    return centroids_.size() * 2 + buffer_.size();
+  }
+  std::string name() const override { return "t-digest"; }
+
+  size_t num_centroids() const {
+    Compress();
+    return centroids_.size();
+  }
+  double compression() const { return compression_; }
+
+ private:
+  struct Centroid {
+    double mean;
+    uint64_t weight;
+  };
+
+  static K RoundToKey(double v) {
+    if (std::is_integral<K>::value) {
+      return static_cast<K>(std::llround(std::max(0.0, v)));
+    }
+    return static_cast<K>(v);
+  }
+
+  /// k1 scale function: maps quantile q to cluster index k. A centroid may
+  /// span [q0, q1] only while k(q1) − k(q0) <= 1.
+  double ScaleK(double q) const {
+    q = std::min(1.0, std::max(0.0, q));
+    return compression_ / (2.0 * M_PI) * std::asin(2.0 * q - 1.0);
+  }
+
+  /// Sorted-merge compression: sort centroids + buffered points by mean,
+  /// then greedily coalesce runs whose total weight keeps k(q) within one
+  /// cluster width. This is the merging t-Digest's single building block.
+  /// Const because queries flush the buffer lazily (the mutable state
+  /// below); logically the digest is unchanged.
+  void Compress() const {
+    if (buffer_.empty() && compressed_) return;
+    std::vector<Centroid> all = std::move(centroids_);
+    all.insert(all.end(), buffer_.begin(), buffer_.end());
+    buffer_.clear();
+    if (all.empty()) return;
+    std::sort(all.begin(), all.end(),
+              [](const Centroid& a, const Centroid& b) {
+                return a.mean < b.mean;
+              });
+    const double total = static_cast<double>(count_);
+    centroids_.clear();
+    Centroid cur = all.front();
+    double q0 = 0;  // cumulative weight fraction before `cur`
+    double cur_sum = cur.mean * static_cast<double>(cur.weight);
+    for (size_t i = 1; i < all.size(); ++i) {
+      const double q1 =
+          q0 + static_cast<double>(cur.weight + all[i].weight) / total;
+      if (ScaleK(q1) - ScaleK(q0) <= 1.0) {
+        cur_sum += all[i].mean * static_cast<double>(all[i].weight);
+        cur.weight += all[i].weight;
+        cur.mean = cur_sum / static_cast<double>(cur.weight);
+      } else {
+        centroids_.push_back(cur);
+        q0 += static_cast<double>(cur.weight) / total;
+        cur = all[i];
+        cur_sum = cur.mean * static_cast<double>(cur.weight);
+      }
+    }
+    centroids_.push_back(cur);
+    compressed_ = true;
+  }
+
+  double compression_;
+  size_t buffer_limit_;
+  uint64_t count_ = 0;
+  mutable bool compressed_ = false;
+  mutable std::vector<Centroid> centroids_;
+  mutable std::vector<Centroid> buffer_;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_BASELINES_TDIGEST_H_

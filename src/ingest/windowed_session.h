@@ -1,0 +1,100 @@
+#ifndef OPAQ_INGEST_WINDOWED_SESSION_H_
+#define OPAQ_INGEST_WINDOWED_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "core/sample_list.h"
+#include "opaq/query.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// Time-windowed quantiles: a bounded ring of per-window sample lists,
+/// merged at query time. One sketch pass per window when it closes, then
+/// "p99 over the last N windows" is N-1 associative `SampleList::Merge`s —
+/// no window's data is ever read twice. When the ring is full the oldest
+/// window falls off, so the ring always summarizes exactly the trailing
+/// `capacity()` windows (sliding-window semantics at window granularity).
+///
+/// The same shape works for any mergeable summary — `baselines_test`
+/// drives a t-Digest ring through the identical push/evict/merge cycle —
+/// but only sample-list rings keep the paper's deterministic rank-error
+/// certificate: the merged list's `max_rank_error` bounds hold over the
+/// union of the retained windows, exactly as for a multi-shard Engine.
+template <typename K>
+class WindowedSession {
+ public:
+  /// A ring retaining the `capacity` most recent windows (>= 1).
+  explicit WindowedSession(size_t capacity) : capacity_(capacity) {
+    OPAQ_CHECK_GE(capacity, size_t{1});
+  }
+
+  /// Pushes a closed window's sketch, evicting the oldest when full.
+  /// Windows must share one sub-run size or their lists cannot merge;
+  /// mismatches are rejected here rather than discovered at query time.
+  Status Push(SampleList<K> window) {
+    if (window.samples().empty()) {
+      return Status::InvalidArgument(
+          "refusing to push an empty window sketch into the ring");
+    }
+    if (!windows_.empty() &&
+        window.accounting().subrun_size !=
+            windows_.front().accounting().subrun_size) {
+      return Status::InvalidArgument(
+          "window sketch sub-run size differs from the ring's; all windows "
+          "must be sketched with one samples-per-run setting");
+    }
+    if (windows_.size() == capacity_) {
+      windows_.pop_front();
+      ++evicted_;
+    }
+    windows_.push_back(std::move(window));
+    return Status::OK();
+  }
+
+  /// A query session over the union of the newest `last_n` windows (0 =
+  /// every retained window): "p99 over the last N windows" is
+  /// `Merged(N)->Quantile(0.99)`. The session is a self-contained merged
+  /// copy — later pushes and evictions never touch it.
+  Result<QuerySession<K>> Merged(size_t last_n = 0) const {
+    if (windows_.empty()) {
+      return Status::FailedPrecondition(
+          "the windowed ring holds no windows yet");
+    }
+    if (last_n == 0 || last_n > windows_.size()) last_n = windows_.size();
+    // Merge oldest-first so the accounting accumulates in window order
+    // (Merge is associative, so any order gives the same bytes — this one
+    // just reads naturally in a debugger).
+    size_t i = windows_.size() - last_n;
+    SampleList<K> merged = windows_[i];
+    for (++i; i < windows_.size(); ++i) {
+      OPAQ_ASSIGN_OR_RETURN(merged,
+                            SampleList<K>::Merge(merged, windows_[i]));
+    }
+    return QuerySession<K>(std::move(merged));
+  }
+
+  size_t size() const { return windows_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// Windows pushed out of the ring over its lifetime.
+  uint64_t evicted() const { return evicted_; }
+  /// Elements summarized by the retained windows.
+  uint64_t total_elements() const {
+    uint64_t total = 0;
+    for (const SampleList<K>& window : windows_) {
+      total += window.total_elements();
+    }
+    return total;
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<SampleList<K>> windows_;
+  uint64_t evicted_ = 0;
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_INGEST_WINDOWED_SESSION_H_

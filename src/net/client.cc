@@ -167,6 +167,40 @@ Status NodeClient::SendReadExtents(const std::string& name,
                    payload.size());
 }
 
+Result<WireAppendAck> NodeClient::Append(const std::string& name,
+                                         const void* elements, uint64_t count,
+                                         uint32_t element_size) {
+  if (count == 0) {
+    return Status::InvalidArgument("refusing to append zero elements");
+  }
+  const uint64_t data_bytes = count * element_size;
+  const uint64_t total =
+      sizeof(WireAppendRequest) + name.size() + data_bytes;
+  if (element_size == 0 || data_bytes / element_size != count ||
+      total > kMaxWirePayload) {
+    return Status::InvalidArgument(
+        "append batch exceeds the wire payload cap; split it");
+  }
+  std::vector<uint8_t> payload(total);
+  WireAppendRequest request;
+  request.count = count;
+  request.name_len = static_cast<uint32_t>(name.size());
+  std::memcpy(payload.data(), &request, sizeof(request));
+  std::memcpy(payload.data() + sizeof(request), name.data(), name.size());
+  std::memcpy(payload.data() + sizeof(request) + name.size(), elements,
+              data_bytes);
+  OPAQ_RETURN_IF_ERROR(
+      SendFrame(conn_, WireOp::kAppend, payload.data(), payload.size()));
+  OPAQ_ASSIGN_OR_RETURN(WireFrame frame,
+                        ReceiveExpected(conn_, WireOp::kAppendAck));
+  if (frame.payload.size() != sizeof(WireAppendAck)) {
+    return Status::IoError("APPEND_ACK payload has the wrong size");
+  }
+  WireAppendAck ack;
+  std::memcpy(&ack, frame.payload.data(), sizeof(ack));
+  return ack;
+}
+
 Result<std::vector<uint8_t>> NodeClient::ReceiveExtents() {
   OPAQ_ASSIGN_OR_RETURN(WireFrame frame,
                         ReceiveExpected(conn_, WireOp::kExtentData));

@@ -110,6 +110,17 @@ class NodeClient {
   /// into the `Status` the node sent.
   Result<std::vector<uint8_t>> ReceiveExtents();
 
+  /// v5: durably appends `count` elements (`count * element_size` raw
+  /// bytes at `elements`) to the live dataset the node exports as `name`,
+  /// as ONE new segment. The returned ack carries the dataset's new totals
+  /// — a commit receipt: when it arrives, the segment's manifest record is
+  /// durable on the node. A node answers Unimplemented when the export is
+  /// not appendable (static file exports), NotFound for an unknown name,
+  /// and InvalidArgument when `elements` does not match the dataset's
+  /// element size.
+  Result<WireAppendAck> Append(const std::string& name, const void* elements,
+                               uint64_t count, uint32_t element_size);
+
   /// Generic frame round-trip halves for ops whose payloads the caller
   /// codes itself (the v2 compute layer does): send any request frame,
   /// then receive a response demanding op `expected` — a `kError` response

@@ -93,7 +93,10 @@ bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
       WireDatasetInfo info;
       info.key_type = dataset.key_type;
       info.element_size = dataset.element_size;
-      info.element_count = dataset.element_count;
+      // A live export grows; disclose its current count, not the Export-
+      // time snapshot.
+      info.element_count = dataset.live_count ? dataset.live_count()
+                                              : dataset.element_count;
       info.max_read_elements =
           std::max<uint64_t>(1, options_.max_read_bytes / dataset.element_size);
       return SendCounted(conn, WireOp::kDatasetInfo, &info, sizeof(info));
@@ -134,13 +137,16 @@ bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
                       " elements exceeds this node's per-request bound of " +
                       std::to_string(max_elements) + " elements"));
       }
-      if (range.first > dataset.element_count ||
-          range.count > dataset.element_count - range.first) {
+      const uint64_t element_count = dataset.live_count
+                                         ? dataset.live_count()
+                                         : dataset.element_count;
+      if (range.first > element_count ||
+          range.count > element_count - range.first) {
         return SendErrorCounted(
             conn, Status::OutOfRange(
                       "READ_RANGE [" + std::to_string(range.first) + ", +" +
                       std::to_string(range.count) + ") passes the end (" +
-                      std::to_string(dataset.element_count) + " elements)"));
+                      std::to_string(element_count) + " elements)"));
       }
       std::vector<uint8_t> data(range.count * dataset.element_size);
       Status read = dataset.read(range.first, range.count, data.data());
@@ -345,6 +351,73 @@ bool NodeServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
         }
       }
       return SendCounted(conn, WireOp::kExtentData, data.data(), data.size());
+    }
+
+    case WireOp::kAppend: {
+      if (frame.payload.size() < sizeof(WireAppendRequest)) {
+        SendErrorCounted(conn,
+                         Status::IoError("APPEND payload shorter than its "
+                                         "fixed prefix"));
+        return false;  // framing is off; close
+      }
+      WireAppendRequest request;
+      std::memcpy(&request, frame.payload.data(), sizeof(request));
+      if (frame.payload.size() - sizeof(request) < request.name_len) {
+        SendErrorCounted(conn, Status::IoError(
+                                   "APPEND name_len passes the end of the "
+                                   "payload"));
+        return false;  // framing is off; close
+      }
+      if (request.flags != 0) {
+        return SendErrorCounted(
+            conn, Status::InvalidArgument(
+                      "APPEND carries reserved flags this node does not "
+                      "understand"));
+      }
+      if (request.count == 0) {
+        return SendErrorCounted(
+            conn, Status::InvalidArgument("APPEND of zero elements"));
+      }
+      const std::string name(frame.payload.begin() + sizeof(request),
+                             frame.payload.begin() + sizeof(request) +
+                                 request.name_len);
+      auto it = exports_.find(name);
+      if (it == exports_.end()) {
+        return SendErrorCounted(
+            conn,
+            Status::NotFound("node exports no dataset named '" + name + "'"));
+      }
+      const ExportedDataset& dataset = it->second;
+      if (!dataset.append) {
+        // Recoverable: static exports stay queryable on this connection.
+        return SendErrorCounted(
+            conn, Status::Unimplemented(
+                      "dataset '" + name +
+                      "' is a static export; only live datasets "
+                      "(--live) accept appends"));
+      }
+      const uint64_t data_bytes =
+          frame.payload.size() - sizeof(request) - request.name_len;
+      // Divide, don't multiply: a huge count must not wrap into a product
+      // that happens to match the payload.
+      if (request.count > kMaxWirePayload / dataset.element_size ||
+          data_bytes != request.count * dataset.element_size) {
+        return SendErrorCounted(
+            conn, Status::InvalidArgument(
+                      "APPEND carries " + std::to_string(data_bytes) +
+                      " element bytes where " + std::to_string(request.count) +
+                      " elements of " + std::to_string(dataset.element_size) +
+                      " bytes need " +
+                      std::to_string(request.count * dataset.element_size)));
+      }
+      auto ack = dataset.append(
+          frame.payload.data() + sizeof(request) + request.name_len,
+          request.count);
+      if (!ack.ok()) {
+        // The disk under the dataset failed; the connection itself is fine.
+        return SendErrorCounted(conn, ack.status());
+      }
+      return SendCounted(conn, WireOp::kAppendAck, &*ack, sizeof(*ack));
     }
 
     default:

@@ -58,6 +58,20 @@ struct ExportedDataset {
   uint16_t extent_codec = 0;
   std::function<Status(uint64_t extent, std::vector<uint8_t>* out)>
       read_stored_extent;
+  /// Optional v5 ingest hooks, bound for live (appendable) dataset exports
+  /// (`opaq_noded --live`). `append` durably commits `count` elements as
+  /// one new segment and returns the dataset's new totals (the ack IS the
+  /// commit receipt); empty means the export is static and the node
+  /// answers `kAppend` with Unimplemented. `live_count` reports the
+  /// current logical element count — live exports grow, so the static
+  /// `element_count` snapshot above would go stale; when bound, it
+  /// overrides `element_count` for `kOpenDataset`/`kReadRange` bounds.
+  /// Both must be safe to call from concurrent connection threads (the
+  /// live bundle in `opaq_noded` serializes internally).
+  std::function<Result<WireAppendAck>(const uint8_t* elements,
+                                      uint64_t count)>
+      append;
+  std::function<uint64_t()> live_count;
   /// Optional ownership hook: keeps backing objects (devices, files) alive
   /// for exports the caller does not keep alive itself (`opaq_noded` uses
   /// this; the borrow-style `Export` overloads leave it empty).

@@ -69,15 +69,26 @@ class QueryServer : public FrameServer {
   /// epoch 1 by running `builder` now — a daemon that cannot build its
   /// sessions should fail at startup, not at first query. The builder is
   /// kept for `Refresh`.
+  ///
+  /// An optional `refresher` makes refreshes INCREMENTAL: given the
+  /// serving session, it returns the next epoch's session (typically by
+  /// sketching only newly ingested data and `Absorb`ing it — `opaq_queryd
+  /// --watch` live sessions do). `Refresh` prefers it and falls back to
+  /// the full `builder` when it fails, so a refresher may simply error on
+  /// conditions it cannot handle (e.g. the dataset shrank). Epoch 1 always
+  /// comes from the builder.
   template <typename K>
   Status Serve(const std::string& name,
-               std::function<Result<QuerySession<K>>()> builder) {
+               std::function<Result<QuerySession<K>>()> builder,
+               std::function<Result<QuerySession<K>>(const QuerySession<K>&)>
+                   refresher = nullptr) {
     OPAQ_CHECK(!started()) << "Serve after Start: the session map is frozen "
                               "once connection threads may read it";
     OPAQ_CHECK(!name.empty()) << "served session needs a name";
     OPAQ_CHECK(builder != nullptr);
     auto session = std::make_unique<TypedSession<K>>();
     session->builder = std::move(builder);
+    session->refresher = std::move(refresher);
     session->exact_admission_delay_seconds =
         options_.exact_admission_delay_seconds;
     session->exact_passes = &exact_passes_;
@@ -132,6 +143,7 @@ class QueryServer : public FrameServer {
     };
 
     std::function<Result<QuerySession<K>>()> builder;
+    std::function<Result<QuerySession<K>>(const QuerySession<K>&)> refresher;
     double exact_admission_delay_seconds = 0;
     std::atomic<uint64_t>* exact_passes = nullptr;
 
@@ -153,7 +165,20 @@ class QueryServer : public FrameServer {
     }
 
     Status Rebuild() override {
-      auto built = builder();
+      // Incremental path first: hand the refresher the serving snapshot
+      // (outside every lock — queries keep answering from it). Any
+      // refresher failure falls back to the full builder, so a refresher
+      // can punt on cases it cannot absorb.
+      std::shared_ptr<const QuerySession<K>> current;
+      {
+        std::lock_guard<std::mutex> lock(swap_mutex);
+        current = session;
+      }
+      Result<QuerySession<K>> built = Status::FailedPrecondition("no epoch");
+      if (refresher && current != nullptr) {
+        built = refresher(*current);
+      }
+      if (!built.ok()) built = builder();
       if (!built.ok()) return built.status();
       auto fresh = std::make_shared<const QuerySession<K>>(
           std::move(built).value());

@@ -29,6 +29,8 @@ const char* WireOpName(uint16_t op) {
     case WireOp::kExtentInfo: return "EXTENT_INFO";
     case WireOp::kReadExtents: return "READ_EXTENTS";
     case WireOp::kExtentData: return "EXTENT_DATA";
+    case WireOp::kAppend: return "APPEND";
+    case WireOp::kAppendAck: return "APPEND_ACK";
   }
   return "?";
 }
@@ -64,6 +66,9 @@ uint16_t WireOpVersion(WireOp op) {
     case WireOp::kReadExtents:
     case WireOp::kExtentData:
       return kExtentWireVersion;
+    case WireOp::kAppend:
+    case WireOp::kAppendAck:
+      return kAppendWireVersion;
   }
   return kMaxWireVersion;
 }

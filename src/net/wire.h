@@ -11,7 +11,7 @@
 
 namespace opaq {
 
-/// OPAQ data-node wire protocol, versions 1 through 4.
+/// OPAQ data-node wire protocol, versions 1 through 5.
 ///
 /// Every message is one length-prefixed frame: a fixed 16-byte header
 /// followed by `payload_len` payload bytes. The header carries a magic, the
@@ -20,7 +20,7 @@ namespace opaq {
 /// corruption before interpreting a single payload byte. Multi-byte fields
 /// are little-endian on the wire (the repo's on-disk headers share this
 /// convention); the frame layouts are pinned by committed golden byte
-/// streams (`tests/golden/wire_v1.bin` .. `wire_v4.bin`).
+/// streams (`tests/golden/wire_v1.bin` .. `wire_v5.bin`).
 ///
 /// Version 1 is the byte-serving protocol: open a dataset, stream element
 /// ranges. Version 2 adds COMPUTE ops that push the paper's work to the
@@ -37,7 +37,12 @@ namespace opaq {
 /// `kReadExtents` ships stored extents verbatim — packed payloads, CRCs
 /// and all — so the client decodes and verifies on its own streaming
 /// thread and the wire carries the packed byte count, not the logical
-/// one. Each op's frame header
+/// one. Version 5 adds the INGEST op pair for live (appendable) datasets
+/// (src/ingest/live_dataset.h): `kAppend` ships a batch of raw elements
+/// the node durably appends as one new segment of a live dataset, and
+/// `kAppendAck` answers with the dataset's new totals — turning a data
+/// node from a read-only byte/compute server into a continuously
+/// ingesting one. Each op's frame header
 /// carries the op's own minimum version (v1 ops stay version 1, compute
 /// ops stay version 2), so an older peer rejects exactly the frames it
 /// cannot serve: a newer client probes with `kHello` and downgrades when
@@ -82,8 +87,13 @@ inline constexpr uint16_t kQueryWireVersion = 3;
 /// network sees the same bytes-from-disk cut the codecs buy locally.
 inline constexpr uint16_t kExtentWireVersion = 4;
 
+/// The version that introduced the streaming-ingest ops
+/// (`kAppend`/`kAppendAck`): remote writers append element batches that a
+/// node persists as new segments of a live dataset.
+inline constexpr uint16_t kAppendWireVersion = 5;
+
 /// The newest protocol version this build speaks.
-inline constexpr uint16_t kMaxWireVersion = kExtentWireVersion;
+inline constexpr uint16_t kMaxWireVersion = kAppendWireVersion;
 
 /// Hard cap on a frame payload: protects both sides from allocation bombs
 /// when a corrupted or hostile header claims an absurd length. The server's
@@ -129,6 +139,11 @@ enum class WireOp : uint16_t {
   kExtentData = 21,   // <- payload: `count` stored extents back to back,
                       //    each self-describing (40-byte ExtentHeader +
                       //    packed payload; decode with DecodeStoredExtent)
+  // ----- v5: streaming-ingest ops (live datasets) -----
+  kAppend = 22,     // -> payload: WireAppendRequest + dataset name
+                    //    (name_len bytes) + count * element_size raw
+                    //    element bytes, appended as ONE new segment
+  kAppendAck = 23,  // <- payload: WireAppendAck (new dataset totals)
 };
 
 /// Stable short name for an op ("PING", "READ_RANGE", ...); "?" when
@@ -268,6 +283,32 @@ struct WireExactPassHeader {
 };
 static_assert(sizeof(WireExactPassHeader) == 16);
 static_assert(std::is_trivially_copyable_v<WireExactPassHeader>);
+
+/// Fixed prefix of a `kAppend` payload; the dataset name (`name_len`
+/// bytes) follows, then `count` raw element bytes. The name travels with
+/// its own length because the element region's size depends on the
+/// dataset's element size — which the node only knows after resolving the
+/// name. The node appends the whole batch as ONE durable segment (fsync'd
+/// file, then fsync'd manifest record — see src/ingest/live_dataset.h), so
+/// an acked append is crash-safe and visible to every later reader.
+struct WireAppendRequest {
+  uint64_t count = 0;     // elements in the trailing region (0 invalid)
+  uint32_t name_len = 0;  // dataset-name bytes following this prefix
+  uint32_t flags = 0;     // reserved, must be 0
+};
+static_assert(sizeof(WireAppendRequest) == 16);
+static_assert(std::is_trivially_copyable_v<WireAppendRequest>);
+
+/// `kAppendAck` payload: the live dataset's totals AFTER the append was
+/// made durable — the writer's commit receipt. `total_elements` is also
+/// what an incremental refresher needs to know which tail it has not yet
+/// absorbed.
+struct WireAppendAck {
+  uint64_t total_elements = 0;  // logical elements now in the dataset
+  uint64_t num_segments = 0;    // durable manifest records (segments)
+};
+static_assert(sizeof(WireAppendAck) == 16);
+static_assert(std::is_trivially_copyable_v<WireAppendAck>);
 
 /// `kSessionInfo` payload: what `opaq_queryd` discloses about one served
 /// session — the dataset geometry plus the session-level certificates every

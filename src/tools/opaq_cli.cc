@@ -72,6 +72,7 @@ struct FlagSpec {
 
 class CommandFlags;
 int CmdGenerate(const CommandFlags& flags);
+int CmdAppend(const CommandFlags& flags);
 int CmdSketch(const CommandFlags& flags);
 int CmdQuantile(const CommandFlags& flags);
 int CmdExact(const CommandFlags& flags);
@@ -179,9 +180,41 @@ const std::vector<CommandSpec>& Commands() {
                {"chunk", "65536", "stripe chunk elements",
                 "round-robin chunk size when striping", false,
                 FlagType::kInt},
+               {"force", "", "overwrite permission",
+                "overwrite existing output files (without it, generate "
+                "refuses to clobber a dataset — a live dataset may have a "
+                "writer appending to it)"},
            },
            Concat(ExtentFlags(), StripeFlags())),
        CmdGenerate},
+      {"append",
+       "append a synthetic batch to a live (appendable) dataset as one "
+       "durable segment",
+       nullptr,
+       {
+           {"live", "", "live dataset directory",
+            "local live dataset directory (created on first append)"},
+           {"remote", "", "remote live dataset",
+            "host:port/dataset of an opaq_noded --live export (wire v5 "
+            "APPEND; replaces --live)"},
+           {"n", "100000", "DatasetSpec::n", "number of keys to append",
+            false, FlagType::kInt},
+           {"dist", "uniform", "DatasetSpec::distribution",
+            "uniform | zipf | normal | sequential"},
+           {"seed", "42", "DatasetSpec::seed",
+            "generator seed (vary per batch or every segment repeats)",
+            false, FlagType::kInt},
+           {"dup", "0.1", "DatasetSpec::duplicate_fraction",
+            "fraction of duplicated keys (uniform/normal)", false,
+            FlagType::kDouble},
+           {"zipf-z", "0.86", "DatasetSpec::zipf_z",
+            "zipf skew z (1 = uniform, 0 = max skew)", false,
+            FlagType::kDouble},
+           {"pack", "", "LiveDatasetOptions::pack/codec",
+            "store the new segment extent-packed: raw | delta | zlib "
+            "(local --live only; segments mix freely with plain ones)"},
+       },
+       CmdAppend},
       {"sketch",
        "one-pass sample phase: stream a dataset into a persistent sketch",
        nullptr,
@@ -531,7 +564,8 @@ Result<SampleList<Key>> LoadSketch(const CommandFlags& flags) {
   return LoadSampleList<Key>(device->get());
 }
 
-int CmdGenerate(const CommandFlags& flags) {
+/// The synthetic-data flags `generate` and `append` share.
+Result<DatasetSpec> ParseDatasetSpec(const CommandFlags& flags) {
   DatasetSpec spec;
   spec.n = static_cast<uint64_t>(flags.GetInt("n"));
   spec.seed = static_cast<uint64_t>(flags.GetInt("seed"));
@@ -547,8 +581,31 @@ int CmdGenerate(const CommandFlags& flags) {
   } else if (dist == "sequential") {
     spec.distribution = Distribution::kSequential;
   } else {
-    return Fail(Status::InvalidArgument("unknown --dist: " + dist));
+    return Status::InvalidArgument("unknown --dist: " + dist);
   }
+  return spec;
+}
+
+/// `generate` refuses to clobber existing datasets unless --force: the
+/// create mode truncates, which silently destroys whatever was there — in
+/// particular a live dataset another writer is appending to.
+Status RefuseOverwrite(const CommandFlags& flags,
+                       const std::vector<std::string>& outputs) {
+  if (flags.Has("force")) return Status::OK();
+  for (const std::string& path : outputs) {
+    if (LivePathExists(path)) {
+      return Status::FailedPrecondition(
+          path + " already exists; generate would truncate it — pass "
+          "--force to overwrite");
+    }
+  }
+  return Status::OK();
+}
+
+int CmdGenerate(const CommandFlags& flags) {
+  auto parsed_spec = ParseDatasetSpec(flags);
+  if (!parsed_spec.ok()) return Fail(parsed_spec.status());
+  const DatasetSpec spec = *parsed_spec;
   auto paths = StripePaths(flags, flags.GetString("out"));
   if (!paths.ok()) return Fail(paths.status());
   WallTimer timer;
@@ -568,6 +625,8 @@ int CmdGenerate(const CommandFlags& flags) {
     std::vector<std::string> files =
         paths->empty() ? std::vector<std::string>{flags.GetString("out")}
                        : *paths;
+    Status guard = RefuseOverwrite(flags, files);
+    if (!guard.ok()) return Fail(guard);
     std::vector<std::unique_ptr<FileBlockDevice>> devices;
     std::vector<BlockDevice*> raw;
     for (const std::string& path : files) {
@@ -597,6 +656,8 @@ int CmdGenerate(const CommandFlags& flags) {
     return 0;
   }
   if (paths->empty()) {
+    Status guard = RefuseOverwrite(flags, {flags.GetString("out")});
+    if (!guard.ok()) return Fail(guard);
     auto device = OpenFileDevice(flags.GetString("out"),
                                  FileBlockDevice::Mode::kCreate);
     if (!device.ok()) return Fail(device.status());
@@ -609,6 +670,8 @@ int CmdGenerate(const CommandFlags& flags) {
   }
   const int64_t chunk = flags.GetInt("chunk");
   if (chunk < 1) return Fail(Status::InvalidArgument("--chunk must be >= 1"));
+  Status guard = RefuseOverwrite(flags, *paths);
+  if (!guard.ok()) return Fail(guard);
   std::vector<std::unique_ptr<FileBlockDevice>> devices;
   std::vector<BlockDevice*> raw;
   for (const std::string& path : *paths) {
@@ -627,6 +690,60 @@ int CmdGenerate(const CommandFlags& flags) {
   std::cout << "wrote " << spec.ToString() << " as " << file->ToString()
             << " across " << paths->front() << ".." << paths->back()
             << " in " << timer.ElapsedSeconds() << "s\n";
+  return 0;
+}
+
+int CmdAppend(const CommandFlags& flags) {
+  const bool local = flags.Has("live");
+  const bool remote = flags.Has("remote");
+  if (local == remote) {
+    return Fail(Status::InvalidArgument(
+        "append needs exactly one of --live (a local live dataset "
+        "directory) or --remote (an opaq_noded --live export)"));
+  }
+  auto parsed_spec = ParseDatasetSpec(flags);
+  if (!parsed_spec.ok()) return Fail(parsed_spec.status());
+  const DatasetSpec spec = *parsed_spec;
+  if (spec.n == 0) {
+    return Fail(Status::InvalidArgument("--n must be >= 1"));
+  }
+  WallTimer timer;
+  std::vector<Key> batch = GenerateDataset<Key>(spec);
+  if (remote) {
+    if (flags.Has("pack")) {
+      return Fail(Status::InvalidArgument(
+          "--pack is a local layout choice; the serving node decides how a "
+          "remote live dataset stores its segments"));
+    }
+    auto remote_spec = ParseRemoteSpec(flags.GetString("remote"));
+    if (!remote_spec.ok()) return Fail(remote_spec.status());
+    auto client = NodeClient::Connect(remote_spec->host, remote_spec->port);
+    if (!client.ok()) return Fail(client.status());
+    auto ack = client->Append(remote_spec->dataset, batch.data(),
+                              batch.size(), sizeof(Key));
+    if (!ack.ok()) return Fail(ack.status());
+    std::cout << "appended " << spec.ToString() << " to "
+              << remote_spec->ToString() << " in " << timer.ElapsedSeconds()
+              << "s; node now holds " << ack->total_elements
+              << " elements in " << ack->num_segments << " segments\n";
+    return 0;
+  }
+  LiveDatasetOptions options;
+  if (flags.Has("pack")) {
+    auto codec = ParseExtentCodec(flags.GetString("pack"));
+    if (!codec.ok()) return Fail(codec.status());
+    options.pack = true;
+    options.codec = *codec;
+  }
+  auto dataset =
+      LiveDataset<Key>::OpenOrCreate(flags.GetString("live"), options);
+  if (!dataset.ok()) return Fail(dataset.status());
+  Status s = dataset->Append(batch);
+  if (!s.ok()) return Fail(s);
+  std::cout << "appended " << spec.ToString() << " to "
+            << flags.GetString("live") << " in " << timer.ElapsedSeconds()
+            << "s; live dataset now holds " << dataset->total_elements()
+            << " elements in " << dataset->num_segments() << " segments\n";
   return 0;
 }
 

@@ -28,14 +28,17 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "opaq/ingest.h"
 #include "opaq/io.h"
 #include "opaq/net.h"
 #include "opaq/status.h"
@@ -265,6 +268,102 @@ Result<ExportedDataset> OpenStripedExport(
       " (not an OPAQ stripe file?)");
 }
 
+/// A live export's shared state. Appends serialize under `writer_mutex`
+/// (the wire delivers them from concurrent connection threads); every
+/// committed append reopens a read snapshot and swaps it in under
+/// `snapshot_mutex`, so in-flight reads/computes finish on the snapshot
+/// they started with — the same epoch discipline as `opaq_queryd`'s
+/// refresh — and new requests see the new segment immediately.
+template <typename K>
+struct LiveBundle {
+  std::mutex writer_mutex;
+  std::unique_ptr<LiveDataset<K>> writer;
+  std::mutex snapshot_mutex;
+  std::shared_ptr<const LiveDatasetReader<K>> snapshot;
+
+  std::shared_ptr<const LiveDatasetReader<K>> Snapshot() {
+    std::lock_guard<std::mutex> lock(snapshot_mutex);
+    return snapshot;
+  }
+};
+
+/// Binds the live dataset directory as a typed appendable export: all the
+/// usual read/compute hooks over the current snapshot, plus the v5
+/// `append` hook and a `live_count` that tracks growth.
+template <typename K>
+Result<ExportedDataset> OpenLiveExportTyped(const std::string& dir) {
+  auto bundle = std::make_shared<LiveBundle<K>>();
+  auto writer = LiveDataset<K>::Open(dir);
+  if (!writer.ok()) return writer.status();
+  bundle->writer =
+      std::make_unique<LiveDataset<K>>(std::move(writer).value());
+  auto reader = LiveDatasetReader<K>::Open(dir);
+  if (!reader.ok()) return reader.status();
+  bundle->snapshot = std::make_shared<const LiveDatasetReader<K>>(
+      std::move(reader).value());
+
+  ExportedDataset dataset;
+  dataset.key_type = static_cast<uint32_t>(KeyTraits<K>::kType);
+  dataset.element_size = sizeof(K);
+  dataset.element_count = bundle->snapshot->size();
+  dataset.read = [bundle](uint64_t first, uint64_t count, void* out) {
+    return bundle->Snapshot()->Read(first, count, static_cast<K*>(out));
+  };
+  dataset.live_count = [bundle]() { return bundle->Snapshot()->size(); };
+  dataset.sample_runs = [bundle](const WireSampleRunsRequest& request,
+                                 uint64_t max_run_bytes) {
+    auto snapshot = bundle->Snapshot();
+    return NodeSampleRuns<K>(*snapshot, request, max_run_bytes);
+  };
+  dataset.exact_pass = [bundle](const WireExactPassRequest& request,
+                                const uint8_t* bracket_bytes,
+                                uint64_t max_run_bytes) {
+    auto snapshot = bundle->Snapshot();
+    return NodeExactPass<K>(*snapshot, request, bracket_bytes,
+                            max_run_bytes);
+  };
+  dataset.append = [bundle, dir](const uint8_t* elements,
+                                 uint64_t count) -> Result<WireAppendAck> {
+    std::lock_guard<std::mutex> writer_lock(bundle->writer_mutex);
+    std::vector<K> values(count);
+    std::memcpy(values.data(), elements, count * sizeof(K));
+    OPAQ_RETURN_IF_ERROR(bundle->writer->Append(values));
+    // The segment is durable; fold it into the read snapshot before
+    // acking so a reader that acts on the ack already sees its data.
+    auto reader = LiveDatasetReader<K>::Open(dir);
+    if (!reader.ok()) return reader.status();
+    auto snapshot = std::make_shared<const LiveDatasetReader<K>>(
+        std::move(reader).value());
+    {
+      std::lock_guard<std::mutex> snapshot_lock(bundle->snapshot_mutex);
+      bundle->snapshot = std::move(snapshot);
+    }
+    WireAppendAck ack;
+    ack.total_elements = bundle->writer->total_elements();
+    ack.num_segments = bundle->writer->num_segments();
+    return ack;
+  };
+  dataset.owner = bundle;
+  return dataset;
+}
+
+/// Opens a --live entry: the directory's manifest names the key type.
+/// The dataset must already exist (create it with `opaq_cli append
+/// --live=DIR` or the writer API) so a typo'd path fails loudly instead of
+/// silently serving a fresh empty dataset.
+Result<ExportedDataset> OpenLiveExport(const std::string& dir) {
+  auto info = ReadLiveManifestInfo(dir);
+  if (!info.ok()) return info.status();
+  switch (info->key_type) {
+    case KeyType::kU32: return OpenLiveExportTyped<uint32_t>(dir);
+    case KeyType::kU64: return OpenLiveExportTyped<uint64_t>(dir);
+    case KeyType::kI64: return OpenLiveExportTyped<int64_t>(dir);
+    case KeyType::kF32: return OpenLiveExportTyped<float>(dir);
+    case KeyType::kF64: return OpenLiveExportTyped<double>(dir);
+  }
+  return Status::InvalidArgument(dir + ": unknown key type in live manifest");
+}
+
 /// Opens one --export entry's paths, sniffing the on-disk format from the
 /// first file's magic: compressed extent files (single or striped) get the
 /// extent export, everything else routes to the plain/striped openers
@@ -297,6 +396,12 @@ int Usage(std::ostream& os, int code) {
         "                      (first '=' separates the name; duplicate "
         "names are\n"
         "                      an error)\n"
+        "  --live=NAME=DIR     live (appendable) dataset directories to "
+        "serve; the\n"
+        "                      node additionally accepts wire v5 APPEND "
+        "for these\n"
+        "                      (create one first with `opaq_cli append "
+        "--live=DIR`)\n"
         "  --bind=127.0.0.1    IPv4 address to bind (UNAUTHENTICATED "
         "protocol:\n"
         "                      bind non-loopback only on trusted networks)\n"
@@ -330,7 +435,7 @@ int Main(int argc, char** argv) {
     if (*help) return Usage(std::cout, 0);
   }
   for (const std::string& key : flags->keys()) {
-    if (key != "export" && key != "bind" && key != "port" &&
+    if (key != "export" && key != "live" && key != "bind" && key != "port" &&
         key != "max-read-bytes" && key != "max-wire-version" &&
         key != "delay-ms" && key != "duration" && key != "help") {
       std::cerr << "opaq_noded: unknown flag --" << key << "\n";
@@ -342,13 +447,37 @@ int Main(int argc, char** argv) {
               << flags->positional()[0] << "'\n";
     return Usage(std::cerr, 2);
   }
-  if (!flags->Has("export")) {
+  if (!flags->Has("export") && !flags->Has("live")) {
     std::cerr << "opaq_noded: nothing to serve\n";
     return Usage(std::cerr, 2);
   }
 
-  auto entries = ParseExportSpecs(flags->GetString("export", ""));
-  if (!entries.ok()) return Fail(entries.status());
+  std::vector<ExportSpecEntry> static_entries;
+  if (flags->Has("export")) {
+    auto entries = ParseExportSpecs(flags->GetString("export", ""));
+    if (!entries.ok()) return Fail(entries.status());
+    static_entries = std::move(entries).value();
+  }
+  std::vector<ExportSpecEntry> live_entries;
+  if (flags->Has("live")) {
+    auto entries = ParseExportSpecs(flags->GetString("live", ""));
+    if (!entries.ok()) return Fail(entries.status());
+    live_entries = std::move(entries).value();
+    for (const ExportSpecEntry& entry : live_entries) {
+      if (entry.paths.size() != 1) {
+        return Fail(Status::InvalidArgument(
+            "--live entry '" + entry.name +
+            "': a live dataset is one directory, not a striped path list"));
+      }
+      for (const ExportSpecEntry& other : static_entries) {
+        if (other.name == entry.name) {
+          return Fail(Status::InvalidArgument(
+              "dataset name '" + entry.name +
+              "' appears in both --export and --live"));
+        }
+      }
+    }
+  }
 
   NodeServerOptions options;
   options.bind_address = flags->GetString("bind", "127.0.0.1");
@@ -380,7 +509,7 @@ int Main(int argc, char** argv) {
   if (!duration.ok()) return BadFlag(duration.status());
 
   NodeServer server(options);
-  for (const ExportSpecEntry& entry : *entries) {
+  for (const ExportSpecEntry& entry : static_entries) {
     auto dataset = OpenExport(entry.paths);
     if (!dataset.ok()) {
       return Fail(Status(dataset.status().code(),
@@ -396,6 +525,19 @@ int Main(int argc, char** argv) {
                 << ExtentCodecName(dataset->extent_codec);
     }
     std::cout << ")\n";
+    server.Export(entry.name, std::move(dataset).value());
+  }
+  for (const ExportSpecEntry& entry : live_entries) {
+    auto dataset = OpenLiveExport(entry.paths[0]);
+    if (!dataset.ok()) {
+      return Fail(Status(dataset.status().code(),
+                         "live export '" + entry.name + "': " +
+                             dataset.status().message()));
+    }
+    std::cout << "live export " << entry.name << ": "
+              << dataset->element_count << " elements x "
+              << dataset->element_size << " bytes (" << entry.paths[0]
+              << ", appendable)\n";
     server.Export(entry.name, std::move(dataset).value());
   }
   // Latch SIGINT/SIGTERM BEFORE Start so no window exists where a signal

@@ -105,6 +105,77 @@ Status ServeEntry(QueryServer* server, const ExportSpecEntry& entry,
       " (not an OPAQ data file?)");
 }
 
+/// Registers one LIVE session of key type `K`: the builder sketches the
+/// whole live dataset (epoch 1 and the full-rebuild fallback), and the
+/// refresher is INCREMENTAL — it sketches only the segments appended since
+/// the serving epoch and `Absorb`s their sample list into a copy of the
+/// session (associative merge, byte-identical to a full rebuild), so a
+/// refresh costs one pass over the DELTA, not the dataset. The refresher
+/// errors on anything it cannot absorb (dataset vanished or shrank —
+/// i.e. recreated), which `Refresh` answers with a full rebuild.
+template <typename K>
+Status ServeLiveTyped(QueryServer* server, const std::string& name,
+                      const std::string& dir, OpaqConfig config) {
+  auto builder = [dir, config]() -> Result<QuerySession<K>> {
+    auto source = Source<K>::OpenLive(dir);
+    if (!source.ok()) return source.status();
+    return Engine<K>(config, std::move(source).value()).Build();
+  };
+  auto refresher =
+      [dir, config](const QuerySession<K>& current)
+      -> Result<QuerySession<K>> {
+    auto info = ReadLiveManifestInfo(dir);
+    if (!info.ok()) return info.status();
+    const uint64_t have = current.total_elements();
+    if (info->total_elements == have) {
+      return current;  // no new segments; re-serve the same sketch
+    }
+    if (info->total_elements < have) {
+      return Status::FailedPrecondition(
+          "live dataset shrank below the serving session (recreated?); "
+          "needs a full rebuild");
+    }
+    // `have` is a segment boundary (appends commit whole segments), so
+    // the tail's run grid equals sketching the new segments alone and the
+    // merge below is byte-identical to a from-scratch rebuild.
+    auto tail = Source<K>::OpenLive(dir, have);
+    if (!tail.ok()) return tail.status();
+    auto delta = Engine<K>(config, *tail).Build();
+    if (!delta.ok()) return delta.status();
+    QuerySession<K> next = current;
+    OPAQ_RETURN_IF_ERROR(
+        next.Absorb(delta->sample_list(), {std::move(tail).value()}));
+    return next;
+  };
+  return server->Serve<K>(name, std::move(builder), std::move(refresher));
+}
+
+/// Dispatches a --watch entry on the key type its live manifest declares.
+Status ServeLiveEntry(QueryServer* server, const ExportSpecEntry& entry,
+                      const OpaqConfig& config) {
+  auto info = ReadLiveManifestInfo(entry.paths[0]);
+  if (!info.ok()) return info.status();
+  switch (info->key_type) {
+    case KeyType::kU32:
+      return ServeLiveTyped<uint32_t>(server, entry.name, entry.paths[0],
+                                      config);
+    case KeyType::kU64:
+      return ServeLiveTyped<uint64_t>(server, entry.name, entry.paths[0],
+                                      config);
+    case KeyType::kI64:
+      return ServeLiveTyped<int64_t>(server, entry.name, entry.paths[0],
+                                     config);
+    case KeyType::kF32:
+      return ServeLiveTyped<float>(server, entry.name, entry.paths[0],
+                                   config);
+    case KeyType::kF64:
+      return ServeLiveTyped<double>(server, entry.name, entry.paths[0],
+                                    config);
+  }
+  return Status::InvalidArgument(entry.paths[0] +
+                                 ": unknown key type in live manifest");
+}
+
 int Usage(std::ostream& os, int code) {
   os << "usage: opaq_queryd --serve=NAME=PATH[+PATH...][,NAME=PATH...] "
         "[flags]\n\n"
@@ -114,6 +185,15 @@ int Usage(std::ostream& os, int code) {
         "  --serve=...         sessions to build and serve: name=path for a "
         "plain\n"
         "                      data file, name=p0+p1+... for a striped one\n"
+        "  --watch=NAME=DIR    LIVE sessions over live dataset directories "
+        "(see\n"
+        "                      `opaq_cli append`): refreshes are "
+        "incremental —\n"
+        "                      only newly appended segments are sketched "
+        "and\n"
+        "                      Absorb'd into the serving session (epoch "
+        "swap);\n"
+        "                      pair with --refresh-interval\n"
         "  --bind=127.0.0.1    IPv4 address to bind (UNAUTHENTICATED "
         "protocol:\n"
         "                      bind non-loopback only on trusted networks)\n"
@@ -151,7 +231,7 @@ int Main(int argc, char** argv) {
     if (*help) return Usage(std::cout, 0);
   }
   for (const std::string& key : flags->keys()) {
-    if (key != "serve" && key != "bind" && key != "port" &&
+    if (key != "serve" && key != "watch" && key != "bind" && key != "port" &&
         key != "run-size" && key != "samples" && key != "seed" &&
         key != "refresh-interval" && key != "exact-delay-ms" &&
         key != "delay-ms" && key != "duration" && key != "help") {
@@ -164,13 +244,37 @@ int Main(int argc, char** argv) {
               << flags->positional()[0] << "'\n";
     return Usage(std::cerr, 2);
   }
-  if (!flags->Has("serve")) {
+  if (!flags->Has("serve") && !flags->Has("watch")) {
     std::cerr << "opaq_queryd: nothing to serve\n";
     return Usage(std::cerr, 2);
   }
 
-  auto entries = ParseExportSpecs(flags->GetString("serve", ""));
-  if (!entries.ok()) return Fail(entries.status());
+  std::vector<ExportSpecEntry> static_entries;
+  if (flags->Has("serve")) {
+    auto entries = ParseExportSpecs(flags->GetString("serve", ""));
+    if (!entries.ok()) return Fail(entries.status());
+    static_entries = std::move(entries).value();
+  }
+  std::vector<ExportSpecEntry> live_entries;
+  if (flags->Has("watch")) {
+    auto entries = ParseExportSpecs(flags->GetString("watch", ""));
+    if (!entries.ok()) return Fail(entries.status());
+    live_entries = std::move(entries).value();
+    for (const ExportSpecEntry& entry : live_entries) {
+      if (entry.paths.size() != 1) {
+        return Fail(Status::InvalidArgument(
+            "--watch entry '" + entry.name +
+            "': a live dataset is one directory, not a striped path list"));
+      }
+      for (const ExportSpecEntry& other : static_entries) {
+        if (other.name == entry.name) {
+          return Fail(Status::InvalidArgument(
+              "session name '" + entry.name +
+              "' appears in both --serve and --watch"));
+        }
+      }
+    }
+  }
 
   QueryServerOptions options;
   options.bind_address = flags->GetString("bind", "127.0.0.1");
@@ -213,7 +317,7 @@ int Main(int argc, char** argv) {
   if (!config_valid.ok()) return BadFlag(config_valid);
 
   QueryServer server(options);
-  for (const ExportSpecEntry& entry : *entries) {
+  for (const ExportSpecEntry& entry : static_entries) {
     WallTimer build_timer;
     Status served = ServeEntry(&server, entry, config);
     if (!served.ok()) {
@@ -226,6 +330,22 @@ int Main(int argc, char** argv) {
               << " elements sketched to " << info->num_samples
               << " samples (max rank error " << info->max_rank_error
               << ") in " << build_timer.ElapsedSeconds() << " s\n";
+  }
+  for (const ExportSpecEntry& entry : live_entries) {
+    WallTimer build_timer;
+    Status served = ServeLiveEntry(&server, entry, config);
+    if (!served.ok()) {
+      return Fail(Status(served.code(), "live session '" + entry.name +
+                                            "': " + served.message()));
+    }
+    auto info = server.SessionInfo(entry.name);
+    if (!info.ok()) return Fail(info.status());
+    std::cout << "live session " << entry.name << ": "
+              << info->total_elements << " elements sketched to "
+              << info->num_samples << " samples (max rank error "
+              << info->max_rank_error << ") in "
+              << build_timer.ElapsedSeconds()
+              << " s; refreshes absorb new segments incrementally\n";
   }
 
   // Latch SIGINT/SIGTERM BEFORE Start so no window exists where a signal
@@ -240,8 +360,12 @@ int Main(int argc, char** argv) {
 
   // Background epoch refresher: rebuild every session each interval and
   // swap atomically; queries keep being answered from the old epoch while
-  // a build runs. Stopped via its own cv (the shutdown latch's pipe has
-  // exactly one waiter: main).
+  // a build runs (--watch sessions refresh incrementally via Absorb).
+  // Stopped via its own cv (the shutdown latch's pipe has exactly one
+  // waiter: main).
+  std::vector<ExportSpecEntry> all_entries = static_entries;
+  all_entries.insert(all_entries.end(), live_entries.begin(),
+                     live_entries.end());
   std::mutex refresh_mutex;
   std::condition_variable refresh_cv;
   bool refresh_stop = false;
@@ -257,7 +381,7 @@ int Main(int argc, char** argv) {
           return;
         }
         lock.unlock();
-        for (const ExportSpecEntry& entry : *entries) {
+        for (const ExportSpecEntry& entry : all_entries) {
           Status refreshed = server.Refresh(entry.name);
           if (!refreshed.ok()) {
             // The old epoch keeps serving; just log and retry next tick.

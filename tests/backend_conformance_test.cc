@@ -21,12 +21,14 @@
 #include "core/opaq.h"
 #include "core/sketch_io.h"
 #include "data/dataset.h"
+#include "ingest/live_dataset.h"
 #include "io/async_run_reader.h"
 #include "io/block_device.h"
 #include "io/codec.h"
 #include "io/extent.h"
 #include "io/striped_data_file.h"
 #include "io/striped_run_source.h"
+#include "io/tempdir.h"
 #include "net/node_server.h"
 #include "net/remote_extent_source.h"
 #include "net/remote_source.h"
@@ -307,6 +309,73 @@ void ExpectAllBackendsAgree(const SweepCase& c) {
           << c.Describe() << " Engine/Source remote packed extents";
       EXPECT_GT(remote_packed->pack_stats()->Snapshot().extents, 0u)
           << c.Describe() << " extent stream did not actually run";
+
+      // Live-dataset backend: the same logical data appended as several
+      // segments — each a whole number of runs except the last, so the
+      // per-segment run grid equals flat chunking — must leave the exact
+      // reference bytes, through the raw reader and the facade Source.
+      auto tmp = TempDir::Make("opaq-conformance-live");
+      OPAQ_CHECK_OK(tmp.status());
+      const std::string live_dir = tmp->FilePath("live");
+      {
+        auto live = LiveDataset<Key>::Create(live_dir);
+        OPAQ_CHECK_OK(live.status());
+        const uint64_t plan[] = {2 * c.run_size, c.run_size, 3 * c.run_size};
+        size_t pos = 0, i = 0;
+        while (pos < data.size()) {
+          const size_t take =
+              std::min<size_t>(plan[i++ % 3], data.size() - pos);
+          OPAQ_CHECK_OK(live->Append(std::vector<Key>(
+              data.begin() + static_cast<ptrdiff_t>(pos),
+              data.begin() + static_cast<ptrdiff_t>(pos + take))));
+          pos += take;
+        }
+      }
+      auto live_reader = LiveDatasetReader<Key>::Open(live_dir);
+      OPAQ_CHECK_OK(live_reader.status());
+      EXPECT_EQ(SketchBytes(*live_reader, c, IoMode::kSync, 2), reference)
+          << c.Describe() << " live sync";
+      EXPECT_EQ(SketchBytes(*live_reader, c, IoMode::kAsync, 2), reference)
+          << c.Describe() << " live async";
+      auto live_source = Source<Key>::OpenLive(live_dir);
+      OPAQ_CHECK_OK(live_source.status());
+      EXPECT_EQ(EngineSketchBytes(*live_source, c, IoMode::kAsync, 2),
+                reference)
+          << c.Describe() << " Engine/Source live";
+
+      // The incremental-refresh guarantee, conformance-gated: a session
+      // built over the head segments that Absorbs a sketch of the appended
+      // tail must hold BYTE-IDENTICAL sample-list state to one rebuilt
+      // from scratch over the whole dataset.
+      if (c.n > 3 * c.run_size) {
+        const uint64_t head = 2 * c.run_size;  // = the first segment
+        OpaqConfig config;
+        config.run_size = c.run_size;
+        config.samples_per_run = c.samples_per_run;
+        config.seed = c.sketch_seed;
+        auto head_session =
+            Engine<Key>(config, Source<Key>::FromVector(std::vector<Key>(
+                                    data.begin(),
+                                    data.begin() +
+                                        static_cast<ptrdiff_t>(head))))
+                .Build();
+        OPAQ_CHECK_OK(head_session.status());
+        auto tail = Source<Key>::OpenLive(live_dir, head);
+        OPAQ_CHECK_OK(tail.status());
+        auto delta = Engine<Key>(config, *tail).Build();
+        OPAQ_CHECK_OK(delta.status());
+        QuerySession<Key> absorbed = std::move(head_session).value();
+        OPAQ_CHECK_OK(absorbed.Absorb(delta->sample_list()));
+        MemoryBlockDevice out;
+        OPAQ_CHECK_OK(SaveSampleList(absorbed.sample_list(), &out));
+        auto size = out.Size();
+        OPAQ_CHECK_OK(size.status());
+        std::vector<uint8_t> absorbed_bytes(*size);
+        OPAQ_CHECK_OK(out.ReadAt(0, absorbed_bytes.data(),
+                                 absorbed_bytes.size()));
+        EXPECT_EQ(absorbed_bytes, reference)
+            << c.Describe() << " Absorb(tail) vs from-scratch rebuild";
+      }
     }
   }
 }

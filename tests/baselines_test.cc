@@ -1,20 +1,24 @@
 // Unit tests for src/baselines: reservoir sampling, the [AS95]-style
-// adaptive histogram, P2, Munro-Paterson, and Greenwald-Khanna. Each is
-// validated for interface contracts and for reasonable accuracy on known
-// distributions (they are point estimators — the accuracy thresholds are
-// deliberately loose; the *bounded* error story belongs to OPAQ).
+// adaptive histogram, P2, Munro-Paterson, Greenwald-Khanna, KLL, t-Digest,
+// and Frugal-1U. Each is validated for interface contracts and for
+// reasonable accuracy on known distributions (they are point estimators —
+// the accuracy thresholds are deliberately loose; the *bounded* error story
+// belongs to OPAQ).
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <memory>
 #include <numeric>
 
 #include "baselines/as95_histogram.h"
+#include "baselines/frugal.h"
 #include "baselines/gk.h"
 #include "baselines/kll.h"
 #include "baselines/munro_paterson.h"
 #include "baselines/p2.h"
 #include "baselines/reservoir_sample.h"
+#include "baselines/tdigest.h"
 #include "data/dataset.h"
 #include "metrics/ground_truth.h"
 #include "metrics/rer.h"
@@ -365,6 +369,147 @@ TEST(KllTest, NoDataFails) {
   EXPECT_FALSE(kll.EstimateQuantile(1.5).ok());
 }
 
+// ------------------------------------------------------------- t-Digest ----
+
+TEST(TDigestTest, CentroidCountStaysBounded) {
+  TDigest<uint64_t> td(100);
+  for (uint64_t i = 0; i < 500000; ++i) td.Add(i * 2654435761u % 1000000);
+  // The k1 scale function bounds live centroids at roughly 2*delta.
+  EXPECT_LE(td.num_centroids(), 300u);
+  EXPECT_EQ(td.count(), 500000u);
+}
+
+TEST(TDigestTest, AccuracyOnUniform) {
+  TDigest<uint64_t> td(200);
+  ExpectDectileAccuracy(td, UniformData(200000), 2.0);
+}
+
+TEST(TDigestTest, AccuracyOnZipf) {
+  TDigest<uint64_t> td(200);
+  ExpectDectileAccuracy(td, ZipfData(200000), 2.0);
+}
+
+TEST(TDigestTest, SmallStreamMedianIsClose) {
+  TDigest<uint64_t> td;
+  for (uint64_t i = 1; i <= 101; ++i) td.Add(i);
+  auto est = td.EstimateQuantile(0.5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(static_cast<double>(*est), 51.0, 2.0);
+}
+
+TEST(TDigestTest, MergeMatchesSingleStreamAccuracy) {
+  // The mergeability claim (Dunning & Ertl §3): sketch shards separately,
+  // merge, and the merged digest answers like a single-stream one. Mirrors
+  // OPAQ's associative SampleList merge, but without the deterministic bound.
+  auto data = UniformData(120000, 33);
+  GroundTruth<uint64_t> truth(data);
+  TDigest<uint64_t> merged(150);
+  for (size_t shard = 0; shard < 4; ++shard) {
+    TDigest<uint64_t> part(150);
+    for (size_t i = shard * 30000; i < (shard + 1) * 30000; ++i) {
+      part.Add(data[i]);
+    }
+    merged.Merge(part);
+  }
+  EXPECT_EQ(merged.count(), data.size());
+  for (double phi : Dectiles()) {
+    auto est = merged.EstimateQuantile(phi);
+    ASSERT_TRUE(est.ok());
+    EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(phi)), 2.5)
+        << "phi=" << phi;
+  }
+}
+
+TEST(TDigestTest, WindowedRingOfDigests) {
+  // The windowed-session pattern with t-Digest as the per-window summary:
+  // keep a ring of per-window digests, answer "quantile over the last N
+  // windows" by merging the survivors — the same shape WindowedSession<K>
+  // gives OPAQ sample lists, exercising Merge under eviction.
+  const size_t kWindows = 6, kCapacity = 3, kPerWindow = 20000;
+  std::deque<TDigest<uint64_t>> ring;
+  std::vector<uint64_t> all;
+  for (size_t w = 0; w < kWindows; ++w) {
+    auto data = UniformData(kPerWindow, 100 + w);
+    TDigest<uint64_t> td(150);
+    for (uint64_t v : data) td.Add(v);
+    if (ring.size() == kCapacity) ring.pop_front();
+    ring.push_back(std::move(td));
+    all.insert(all.end(), data.begin(), data.end());
+  }
+  // Ground truth over the surviving windows only.
+  GroundTruth<uint64_t> truth(std::vector<uint64_t>(
+      all.begin() + (kWindows - kCapacity) * kPerWindow, all.end()));
+  TDigest<uint64_t> merged(150);
+  for (const auto& td : ring) merged.Merge(td);
+  EXPECT_EQ(merged.count(), kCapacity * kPerWindow);
+  for (double phi : Dectiles()) {
+    auto est = merged.EstimateQuantile(phi);
+    ASSERT_TRUE(est.ok());
+    EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(phi)), 2.5)
+        << "phi=" << phi;
+  }
+}
+
+TEST(TDigestTest, NoDataFailsAndBadPhiRejected) {
+  TDigest<uint64_t> td;
+  EXPECT_FALSE(td.EstimateQuantile(0.5).ok());
+  td.Add(1);
+  EXPECT_FALSE(td.EstimateQuantile(0.0).ok());
+  EXPECT_FALSE(td.EstimateQuantile(1.5).ok());
+}
+
+// ------------------------------------------------------------ Frugal-1U ----
+//
+// Frugal-1U moves its single-word estimate one unit per step, so it only
+// works on narrow domains (the 2014 paper's own experiments use small
+// integer domains); these tests keep values in [0, 1000] and feed enough
+// stream for the random walk to reach its stationary point.
+
+std::vector<uint64_t> NarrowDomainData(uint64_t n, uint64_t seed) {
+  std::vector<uint64_t> data = UniformData(n, seed);
+  for (uint64_t& v : data) v %= 1000;
+  return data;
+}
+
+TEST(FrugalTest, ConvergesToMedianOnNarrowDomain) {
+  FrugalEstimator<uint64_t> frugal(0.5, 3);
+  auto data = NarrowDomainData(400000, 5);
+  for (uint64_t v : data) frugal.Add(v);
+  GroundTruth<uint64_t> truth(data);
+  auto est = frugal.EstimateQuantile(0.5);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(0.5)), 5.0);
+}
+
+TEST(FrugalTest, TracksTailQuantile) {
+  FrugalEstimator<uint64_t> frugal(0.9, 11);
+  auto data = NarrowDomainData(400000, 6);
+  for (uint64_t v : data) frugal.Add(v);
+  GroundTruth<uint64_t> truth(data);
+  auto est = frugal.EstimateQuantile(0.9);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LE(PointRerA(truth, *est, truth.TargetRank(0.9)), 5.0);
+}
+
+TEST(FrugalTest, UsesExactlyOneMemoryElement) {
+  FrugalEstimator<uint64_t> frugal(0.5);
+  for (uint64_t i = 0; i < 100000; ++i) frugal.Add(i % 1000);
+  EXPECT_EQ(frugal.MemoryElements(), 1u);
+  EXPECT_EQ(frugal.count(), 100000u);
+}
+
+TEST(FrugalTest, RejectsUnregisteredPhi) {
+  FrugalEstimator<uint64_t> frugal(0.5);
+  frugal.Add(1);
+  EXPECT_FALSE(frugal.EstimateQuantile(0.25).ok());
+  EXPECT_TRUE(frugal.EstimateQuantile(0.5).ok());
+}
+
+TEST(FrugalTest, NoDataFails) {
+  FrugalEstimator<uint64_t> frugal(0.5);
+  EXPECT_FALSE(frugal.EstimateQuantile(0.5).ok());
+}
+
 // ---------------------------------------------- Rank-error property sweep --
 //
 // Each baseline advertises a rank-error story; these sweeps assert it over
@@ -483,6 +628,22 @@ TEST(BaselinePropertyTest, ReservoirStaysWithinSamplingError) {
   }
 }
 
+TEST(BaselinePropertyTest, TDigestStaysAccurateAcrossSweep) {
+  // t-Digest's accuracy is empirical, not deterministic (its k1 scale
+  // function favours the tails); compression 200 lands comfortably under 2%
+  // worst-case rank error across the sweep grid — a broken scale function
+  // or merge pass blows well past this.
+  for (Distribution distribution : kSweepDistributions) {
+    for (uint64_t seed : {1u, 17u, 4242u}) {
+      TDigest<uint64_t> td(200);
+      double worst =
+          WorstRankErrorPct(td, SweepData(distribution, 60000, seed));
+      EXPECT_LE(worst, 2.0)
+          << "dist=" << static_cast<int>(distribution) << " seed=" << seed;
+    }
+  }
+}
+
 TEST(BaselinePropertyTest, P2StaysSaneOnSmoothDistributions) {
   // P2 has NO error guarantee (the paper's point about [RC85]); on smooth
   // unimodal inputs it should still land within a few percent. Skewed/
@@ -510,8 +671,12 @@ TEST(EstimatorInterfaceTest, WorksThroughBasePointer) {
   all.push_back(std::make_unique<MunroPatersonEstimator<uint64_t>>(500));
   all.push_back(std::make_unique<GkEstimator<uint64_t>>(0.02));
   all.push_back(std::make_unique<KllEstimator<uint64_t>>(512, 4));
+  all.push_back(std::make_unique<TDigest<uint64_t>>(150));
+  all.push_back(std::make_unique<FrugalEstimator<uint64_t>>(0.5, 9));
 
-  auto data = UniformData(30000);
+  // Narrow domain so Frugal-1U's one-unit random walk can reach the median
+  // inside the stream; the other estimators are domain-agnostic.
+  auto data = NarrowDomainData(30000, 1);
   GroundTruth<uint64_t> truth(data);
   for (auto& estimator : all) {
     for (uint64_t v : data) estimator->Add(v);

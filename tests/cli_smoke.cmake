@@ -28,6 +28,34 @@ endfunction()
 
 # Sequential keys 1..10000: fully deterministic regardless of RNG details.
 run_cli(gen_out generate --out=${DATA} --n=10000 --dist=sequential --seed=7)
+
+# Overwrite guard: a second generate onto the same path must refuse without
+# --force (the file may be a live dataset some writer is appending to) and
+# succeed with it.
+execute_process(
+  COMMAND "${OPAQ_CLI}" generate --out=${DATA} --n=10000 --dist=sequential
+          --seed=7
+  OUTPUT_VARIABLE clobber_out
+  ERROR_VARIABLE clobber_err
+  RESULT_VARIABLE clobber_code
+)
+if(clobber_code EQUAL 0)
+  message(FATAL_ERROR "generate overwrote ${DATA} without --force")
+endif()
+if(NOT "${clobber_out}${clobber_err}" MATCHES "already exists")
+  message(FATAL_ERROR
+          "overwrite refusal lacks explanation:\n${clobber_out}${clobber_err}")
+endif()
+run_cli(force_out generate --out=${DATA} --n=10000 --dist=sequential --seed=7
+        --force)
+
+# Live ingest: two CLI appends build a live dataset a sketch can read.
+set(LIVE "${WORK_DIR}/live")
+run_cli(append_out append --live=${LIVE} --n=3000 --dist=uniform --seed=11)
+run_cli(append_out append --live=${LIVE} --n=2000 --dist=uniform --seed=12)
+if(NOT append_out MATCHES "live dataset now holds 5000 elements in 2 segments")
+  message(FATAL_ERROR "unexpected append summary:\n${append_out}")
+endif()
 run_cli(sketch_out sketch --data=${DATA} --out=${SKETCH}
         --run-size=1000 --samples=100)
 if(NOT sketch_out MATCHES "sketched 10000 keys \\(10 runs, 1000 samples\\)")

@@ -1,7 +1,7 @@
 // Wire-protocol codec tests: CRC correctness, frame round trips, rejection
 // of truncation/corruption/foreign traffic, and the committed golden byte
-// streams (`tests/golden/wire_v1.bin` .. `wire_v4.bin`) that pin frame
-// formats v1 through v4 — if the header layout, op codes, CRC polynomial
+// streams (`tests/golden/wire_v1.bin` .. `wire_v5.bin`) that pin frame
+// formats v1 through v5 — if the header layout, op codes, CRC polynomial
 // or payload encodings ever drift, these fail in tier-1 instead of
 // silently orphaning every deployed node.
 
@@ -73,7 +73,6 @@ TEST(WireFrameTest, V3LayoutIsPinned) {
 
 TEST(WireFrameTest, V4LayoutIsPinned) {
   EXPECT_EQ(kExtentWireVersion, 4);
-  EXPECT_EQ(kMaxWireVersion, 4);
   static_assert(sizeof(WireExtentInfo) == 48);
   static_assert(offsetof(WireExtentInfo, max_extents_per_read) == 32);
   static_assert(offsetof(WireExtentInfo, default_codec) == 40);
@@ -82,6 +81,20 @@ TEST(WireFrameTest, V4LayoutIsPinned) {
   EXPECT_EQ(static_cast<uint16_t>(WireOp::kExtentInfo), 19);
   EXPECT_EQ(static_cast<uint16_t>(WireOp::kReadExtents), 20);
   EXPECT_EQ(static_cast<uint16_t>(WireOp::kExtentData), 21);
+}
+
+TEST(WireFrameTest, V5LayoutIsPinned) {
+  EXPECT_EQ(kAppendWireVersion, 5);
+  EXPECT_EQ(kMaxWireVersion, 5);
+  static_assert(sizeof(WireAppendRequest) == 16);
+  static_assert(offsetof(WireAppendRequest, count) == 0);
+  static_assert(offsetof(WireAppendRequest, name_len) == 8);
+  static_assert(offsetof(WireAppendRequest, flags) == 12);
+  static_assert(sizeof(WireAppendAck) == 16);
+  static_assert(offsetof(WireAppendAck, total_elements) == 0);
+  static_assert(offsetof(WireAppendAck, num_segments) == 8);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kAppend), 22);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kAppendAck), 23);
 }
 
 TEST(WireFrameTest, FramesCarryPerOpVersions) {
@@ -106,6 +119,9 @@ TEST(WireFrameTest, FramesCarryPerOpVersions) {
   for (WireOp op : {WireOp::kOpenExtents, WireOp::kExtentInfo,
                     WireOp::kReadExtents, WireOp::kExtentData}) {
     EXPECT_EQ(WireOpVersion(op), 4u) << WireOpName(static_cast<uint16_t>(op));
+  }
+  for (WireOp op : {WireOp::kAppend, WireOp::kAppendAck}) {
+    EXPECT_EQ(WireOpVersion(op), 5u) << WireOpName(static_cast<uint16_t>(op));
   }
   // And EncodeFrame stamps that version into the header.
   std::vector<uint8_t> v1 = EncodeFrame(WireOp::kPing, nullptr, 0);
@@ -676,6 +692,99 @@ TEST(WireGoldenTest, GoldenV4StreamDecodesFrameByFrame) {
   ASSERT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(decoded[0], 2u);
   EXPECT_EQ(decoded[3], 7u);
+}
+
+// ------------------------------------------- v5 golden byte stream ----
+
+/// The canned streaming-ingest conversation committed as
+/// tests/golden/wire_v5.bin: the v5 op pair once, fixed payloads, over a
+/// u64 live dataset "sales" — an APPEND of four elements and the ACK
+/// carrying the dataset's new totals. Must keep producing these exact
+/// bytes forever (or kMaxWireVersion must be bumped and a new blob
+/// committed).
+std::vector<uint8_t> MakeGoldenV5Stream() {
+  std::vector<uint8_t> stream;
+  auto append = [&stream](const std::vector<uint8_t>& frame) {
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  const std::string name = "sales";
+  // 1. APPEND: the four u64 values {2, 3, 5, 7} as one new segment.
+  WireAppendRequest request;
+  request.count = 4;
+  request.name_len = static_cast<uint32_t>(name.size());
+  request.flags = 0;
+  const uint64_t values[] = {2, 3, 5, 7};
+  std::vector<uint8_t> payload(sizeof(request) + name.size() +
+                               sizeof(values));
+  std::memcpy(payload.data(), &request, sizeof(request));
+  std::memcpy(payload.data() + sizeof(request), name.data(), name.size());
+  std::memcpy(payload.data() + sizeof(request) + name.size(), values,
+              sizeof(values));
+  append(EncodeFrame(WireOp::kAppend, payload));
+  // 2. APPEND_ACK: the dataset already held 1000 elements in 2 segments.
+  WireAppendAck ack;
+  ack.total_elements = 1004;
+  ack.num_segments = 3;
+  append(EncodeFrame(WireOp::kAppendAck, &ack, sizeof(ack)));
+  return stream;
+}
+
+TEST(WireGoldenTest, EncoderProducesExactGoldenV5Bytes) {
+  EXPECT_EQ(MakeGoldenV5Stream(), GoldenBlobBytes("wire_v5.bin"))
+      << "the v5 ingest frame encoding changed; deployed nodes and remote "
+         "writers would no longer interoperate. If intentional, bump "
+         "kMaxWireVersion and commit a new golden blob.";
+}
+
+TEST(WireGoldenTest, GoldenV5StreamDecodesFrameByFrame) {
+  const std::vector<uint8_t> blob = GoldenBlobBytes("wire_v5.bin");
+  const uint16_t expected_ops[] = {
+      static_cast<uint16_t>(WireOp::kAppend),
+      static_cast<uint16_t>(WireOp::kAppendAck),
+  };
+  size_t offset = 0;
+  std::vector<WireFrame> frames;
+  for (uint16_t expected : expected_ops) {
+    WireFrameHeader header;
+    ASSERT_GE(blob.size() - offset, sizeof(header));
+    std::memcpy(&header, blob.data() + offset, sizeof(header));
+    EXPECT_EQ(header.version, 5) << WireOpName(expected);
+    size_t consumed = 0;
+    auto frame =
+        DecodeFrame(blob.data() + offset, blob.size() - offset, &consumed);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->op, expected);
+    frames.push_back(std::move(frame).value());
+    offset += consumed;
+  }
+  EXPECT_EQ(offset, blob.size()) << "golden stream has trailing bytes";
+
+  // The APPEND payload parses field by field: prefix, name, raw elements.
+  WireAppendRequest request;
+  ASSERT_GE(frames[0].payload.size(), sizeof(request));
+  std::memcpy(&request, frames[0].payload.data(), sizeof(request));
+  EXPECT_EQ(request.count, 4u);
+  EXPECT_EQ(request.name_len, 5u);  // "sales"
+  EXPECT_EQ(request.flags, 0u);
+  ASSERT_EQ(frames[0].payload.size(),
+            sizeof(request) + request.name_len +
+                request.count * sizeof(uint64_t));
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(
+                            frames[0].payload.data() + sizeof(request)),
+                        request.name_len),
+            "sales");
+  uint64_t elements[4] = {};
+  std::memcpy(elements,
+              frames[0].payload.data() + sizeof(request) + request.name_len,
+              sizeof(elements));
+  EXPECT_EQ(elements[0], 2u);
+  EXPECT_EQ(elements[3], 7u);
+
+  WireAppendAck ack;
+  ASSERT_EQ(frames[1].payload.size(), sizeof(ack));
+  std::memcpy(&ack, frames[1].payload.data(), sizeof(ack));
+  EXPECT_EQ(ack.total_elements, 1004u);
+  EXPECT_EQ(ack.num_segments, 3u);
 }
 
 }  // namespace
