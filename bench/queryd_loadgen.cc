@@ -41,6 +41,7 @@
 #include "net/query_client.h"
 #include "net/query_server.h"
 #include "opaq/engine.h"
+#include "telemetry/metrics.h"
 
 namespace opaq {
 namespace bench {
@@ -283,16 +284,21 @@ int Main(int argc, char** argv) {
   }
 
   // ------------------------------------------------------- load phase ----
-  std::vector<std::vector<uint64_t>> latencies_us(
-      static_cast<size_t>(threads));
+  // Every worker records its per-batch latencies straight into ONE shared
+  // sketch-backed histogram — the same `LatencyHistogram` the daemons
+  // publish as `query.batch_latency_us` — so the report below reads
+  // certified brackets off the identical machinery a `opaq_cli stats` poll
+  // would render.
+  LatencyHistogram::Config latency_config;
+  latency_config.run_size = 4096;
+  latency_config.samples_per_run = 64;
+  LatencyHistogram latency_hist(latency_config);
   std::atomic<bool> go{false};
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t]() {
       auto client = Client::Connect(spec.host, spec.port, session_name);
       OPAQ_CHECK_OK(client.status());
-      std::vector<uint64_t>& out = latencies_us[static_cast<size_t>(t)];
-      out.reserve(batches);
       while (!go.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
@@ -304,7 +310,7 @@ int Main(int argc, char** argv) {
         auto results = client->Query({batch.data(), batch.size()});
         OPAQ_CHECK_OK(results.status());
         const auto stop = std::chrono::steady_clock::now();
-        out.push_back(static_cast<uint64_t>(
+        latency_hist.Record(static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(stop -
                                                                   start)
                 .count()));
@@ -319,11 +325,6 @@ int Main(int argc, char** argv) {
                                     wall_start)
           .count();
 
-  std::vector<uint64_t> all_latencies;
-  for (const std::vector<uint64_t>& per_thread : latencies_us) {
-    all_latencies.insert(all_latencies.end(), per_thread.begin(),
-                         per_thread.end());
-  }
   const uint64_t total_requests =
       static_cast<uint64_t>(threads) * batches *
       static_cast<uint64_t>(batch_size);
@@ -341,37 +342,22 @@ int Main(int argc, char** argv) {
   table.AddRow({"achieved QPS", TextTable::Num(qps, 0)});
   Emit(table, options);
 
-  // Self-hosting: the batch latencies are themselves a dataset — sketch
-  // them with OPAQ and report certified quantile brackets.
-  OpaqConfig latency_config;
-  latency_config.run_size = 4096;
-  latency_config.samples_per_run = 64;
-  Source<uint64_t> latency_source =
-      Source<uint64_t>::FromVector(std::move(all_latencies));
-  Engine<uint64_t> latency_engine(latency_config, latency_source);
-  auto latency_session = latency_engine.Build();
-  OPAQ_CHECK_OK(latency_session.status());
-  std::vector<QueryRequest<uint64_t>> latency_requests = {
-      QueryRequest<uint64_t>::Quantile(0.50),
-      QueryRequest<uint64_t>::Quantile(0.90),
-      QueryRequest<uint64_t>::Quantile(0.99),
-      QueryRequest<uint64_t>::Quantile(1.0),
-  };
-  auto latency_answers = latency_session->Query(
-      {latency_requests.data(), latency_requests.size()});
-  OPAQ_CHECK_OK(latency_answers.status());
-
+  // Self-hosting: the shared histogram IS an OPAQ sketch, so the report
+  // reads certified quantile brackets straight off it — no second Engine
+  // pass over a collected latency vector.
+  const double phis[] = {0.50, 0.90, 0.99, 1.0};
+  const char* labels[] = {"p50", "p90", "p99", "max"};
+  const QuantileEstimate<uint64_t> first = latency_hist.Quantile(phis[0]);
   TextTable latency_table;
   latency_table.SetTitle(
       "batch latency quantiles, measured by OPAQ's own estimator (rank "
       "error <= " +
-      std::to_string(latency_answers->max_rank_error) + " of " +
-      std::to_string(latency_answers->total_elements) + " batches)");
+      std::to_string(first.max_rank_error) + " of " +
+      std::to_string(latency_hist.count()) + " batches)");
   latency_table.AddHeader({"phi", "bracket [us]"});
-  const char* labels[] = {"p50", "p90", "p99", "max"};
-  for (size_t i = 0; i < latency_requests.size(); ++i) {
-    const QuantileEstimate<uint64_t>& estimate =
-        latency_answers->results[i].estimates[0];
+  for (size_t i = 0; i < 4; ++i) {
+    const QuantileEstimate<uint64_t> estimate =
+        latency_hist.Quantile(phis[i]);
     latency_table.AddRow(
         {labels[i], "[" + std::to_string(estimate.lower) + ", " +
                         std::to_string(estimate.upper) + "]"});

@@ -1,0 +1,123 @@
+// Measures what the compiled-in telemetry hooks (flight-recorder trace
+// spans + registry counters) cost on the paper's hot path, by running the
+// same workloads with instrumentation armed and disarmed. Two rows per
+// size:
+//
+//   sequential  in-memory one-pass sketch (no throttled disks, pure CPU) —
+//               the worst case for hook overhead, since nothing sleeps
+//   table11     the Table 11 wall-clock parallel path on throttled disks
+//               (sync mode, p=2), the configuration the acceptance gate
+//               names
+//
+// Each arm is run --reps times and the minimum is kept (the usual
+// minimum-of-N noise filter); overhead is (on - off) / off. The spans sit
+// at run/frame granularity — thousands of elements per span — so the
+// budget is <= --max-overhead-pct (default 2). With --check the bench
+// exits 1 when the budget is exceeded, so CI can gate on it.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/timer.h"
+
+namespace opaq {
+namespace bench {
+namespace {
+
+void ArmTelemetry(bool enabled) {
+  MetricsRegistry::Global().set_enabled(enabled);
+  FlightRecorder::Global().set_enabled(enabled);
+}
+
+/// Minimum-of-`reps` seconds for one arm of `workload`.
+template <typename Workload>
+double MinSeconds(int reps, bool telemetry_on, const Workload& workload) {
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    ArmTelemetry(telemetry_on);
+    WallTimer timer;
+    workload();
+    const double seconds = timer.ElapsedSeconds();
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  ArmTelemetry(true);
+  return best;
+}
+
+int Main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  OPAQ_CHECK_OK(flags.status());
+  const double scale = flags->GetDouble("scale", 1.0);
+  const uint64_t seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
+  const int reps = static_cast<int>(flags->GetInt("reps", 3));
+  const double max_overhead_pct = flags->GetDouble("max-overhead-pct", 2.0);
+  const bool check = flags->GetBool("check", false);
+  OPAQ_CHECK(scale > 0);
+  OPAQ_CHECK(reps >= 1);
+
+  BenchOptions options;
+  options.scale = scale;
+  options.seed = seed;
+  const uint64_t n = options.Scaled(2000000, /*multiple=*/1000);
+
+  TextTable table;
+  table.SetTitle("Telemetry hook overhead (min of " + std::to_string(reps) +
+                 " reps per arm; spans at run granularity)");
+  table.AddHeader({"Workload", "Size", "Off (s)", "On (s)", "Overhead %"});
+
+  double worst_pct = 0;
+
+  // CPU-bound arm: sketch an in-memory dataset — every span fires, nothing
+  // sleeps, so hook cost has nowhere to hide.
+  {
+    DatasetSpec spec;
+    spec.n = n;
+    spec.distribution = Distribution::kUniform;
+    spec.seed = seed;
+    std::vector<Key> data = GenerateDataset<Key>(spec);
+    OpaqConfig config;
+    config.run_size = 131072;
+    config.samples_per_run = 1024;
+    const auto workload = [&] { RunSequentialOpaq(data, config); };
+    workload();  // warm-up: page in the dataset before either arm
+    const double off = MinSeconds(reps, false, workload);
+    const double on = MinSeconds(reps, true, workload);
+    const double pct = off > 0 ? (on - off) / off * 100.0 : 0;
+    worst_pct = std::max(worst_pct, pct);
+    table.AddRow({"sequential", HumanCount(n), TextTable::Num(off, 4),
+                  TextTable::Num(on, 4), TextTable::Num(pct, 2)});
+  }
+
+  // The Table 11 path: wall-clock parallel run on throttled disks, sync
+  // mode, p=2 — the configuration the paper's I/O-fraction table uses.
+  {
+    const uint64_t per_rank = options.Scaled(500000, /*multiple=*/1000);
+    const auto workload = [&] {
+      RunTimedParallel(2, per_rank, seed, 131072, 1024, IoMode::kSync, 2);
+    };
+    const double off = MinSeconds(reps, false, workload);
+    const double on = MinSeconds(reps, true, workload);
+    const double pct = off > 0 ? (on - off) / off * 100.0 : 0;
+    worst_pct = std::max(worst_pct, pct);
+    table.AddRow({"table11 sync p=2", HumanCount(per_rank),
+                  TextTable::Num(off, 4), TextTable::Num(on, 4),
+                  TextTable::Num(pct, 2)});
+  }
+
+  Emit(table, options);
+  std::cout << "worst overhead: " << TextTable::Num(worst_pct, 2)
+            << "% (budget " << TextTable::Num(max_overhead_pct, 2) << "%)\n";
+  if (check && worst_pct > max_overhead_pct) {
+    std::cerr << "telemetry_overhead: budget exceeded\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace opaq
+
+int main(int argc, char** argv) { return opaq::bench::Main(argc, argv); }

@@ -13,6 +13,7 @@
 #include "core/sample_list.h"
 #include "opaq/query.h"
 #include "opaq/source.h"
+#include "telemetry/metrics.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -178,6 +179,7 @@ class Engine {
     }
     stats_.elements = merged.total_elements();
     stats_.seconds = total_timer.ElapsedSeconds();
+    PublishBuildMetrics();
     if (merged.accounting().num_samples == 0) {
       return Status::FailedPrecondition(
           "the sources hold too little data for even one sample (n < m/s); "
@@ -194,6 +196,26 @@ class Engine {
   }
 
  private:
+  /// Folds this build's stats into the process-global metrics registry so a
+  /// daemon's `kStats` snapshot carries build history without any plumbing.
+  /// Durations go in as integer microseconds (counters are u64).
+  void PublishBuildMetrics() const {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    if (!registry.enabled()) return;
+    registry.GetCounter("engine.builds")->Add(1);
+    registry.GetCounter("engine.runs")->Add(stats_.runs);
+    registry.GetCounter("engine.elements")->Add(stats_.elements);
+    registry.GetCounter("engine.build_us")
+        ->Add(static_cast<uint64_t>(stats_.seconds * 1e6));
+    registry.GetCounter("engine.io_stall_us")
+        ->Add(static_cast<uint64_t>(stats_.io_stall_seconds * 1e6));
+    registry.GetCounter("engine.extents_decoded")->Add(stats_.extents.extents);
+    registry.GetCounter("engine.extent_packed_bytes")
+        ->Add(stats_.extents.packed_bytes);
+    registry.GetCounter("engine.extent_unpacked_bytes")
+        ->Add(stats_.extents.unpacked_bytes);
+  }
+
   OpaqConfig config_;
   std::vector<Source<K>> shards_;
   EngineStats stats_;

@@ -25,7 +25,9 @@
 ///    requests coalesced into one shared §4 pass per round and epoch-style
 ///    background refresh. `opaq_queryd` is its CLI.
 ///  - The wire protocol (net/wire.h, payload codecs in
-///    net/wire_compute.h and net/wire_query.h): versioned length-prefixed
+///    net/wire_compute.h, net/wire_query.h, and net/wire_stats.h — the v6
+///    stats-snapshot ops every frame server answers): versioned
+///    length-prefixed
 ///    frames, CRC-protected payloads, sticky error frames, per-op version
 ///    stamps so older nodes cleanly reject newer frames. UNAUTHENTICATED —
 ///    for trusted/loopback networks only (see README "Distributed mode",
@@ -45,5 +47,6 @@
 #include "net/wire.h"
 #include "net/wire_compute.h"
 #include "net/wire_query.h"
+#include "net/wire_stats.h"
 
 #endif  // OPAQ_INCLUDE_OPAQ_NET_H_

@@ -23,6 +23,7 @@
 ///  - opaq/apps.h     — histograms / partitioners / selectivity on top
 ///  - opaq/ingest.h   — live datasets, incremental refresh, windowed rings
 ///  - opaq/net.h     — data nodes: serve/consume datasets over TCP
+///  - opaq/telemetry.h — metrics registry, trace spans, stats formatters
 ///  - opaq/config.h, opaq/status.h, opaq/io.h, opaq/data.h,
 ///    opaq/metrics.h, opaq/util.h — supporting surfaces
 ///  - opaq/parallel.h — the §3 parallel algorithm (not pulled in here)
@@ -48,6 +49,7 @@
 #include "opaq/source.h"
 #include "opaq/span.h"
 #include "opaq/status.h"
+#include "opaq/telemetry.h"
 #include "opaq/util.h"
 
 #endif  // OPAQ_INCLUDE_OPAQ_OPAQ_H_

@@ -14,6 +14,7 @@
 #include "io/run_reader.h"
 #include "io/striped_run_source.h"
 #include "select/multi_select.h"
+#include "telemetry/trace.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -98,6 +99,7 @@ class OpaqSketch {
     OPAQ_CHECK_LE(run.size(), config_.run_size)
         << "a run longer than config.run_size would break the error bounds";
     if (run.empty()) return;
+    TraceSpan sample_span(TraceStage::kSample);
     std::vector<K> samples = RegularSamplesBySubrunSize(
         run.data(), run.size(), config_.subrun_size(),
         config_.select_algorithm, rng_);
@@ -148,7 +150,10 @@ class OpaqSketch {
     buffer.reserve(config_.run_size);
     while (true) {
       WallTimer io_timer;
-      auto more = reader->NextRun(&buffer);
+      Result<bool> more = [&] {
+        TraceSpan read_span(TraceStage::kRunRead);
+        return reader->NextRun(&buffer);
+      }();
       if (!more.ok()) return more.status();
       if (!*more) break;
       if (io_seconds != nullptr) *io_seconds += io_timer.ElapsedSeconds();

@@ -7,6 +7,7 @@
 
 #include "core/index_math.h"
 #include "core/kway_merge.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/status.h"
 
@@ -115,6 +116,7 @@ class SampleListBuilder {
   /// The builder is left empty and reusable.
   SampleList<K> Finalize() {
     accounting_.subrun_size = subrun_size_;
+    TraceSpan merge_span(TraceStage::kMerge);
     SampleList<K> out(KWayMergeSorted(per_run_samples_), accounting_);
     per_run_samples_.clear();
     accounting_ = SampleAccounting{};

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "telemetry/trace.h"
 #include "util/crc32.h"
 
 namespace opaq {
@@ -39,6 +40,7 @@ Status DecodeStoredExtent(const uint8_t* data, size_t len,
                           uint64_t expected_index, uint64_t expected_unpacked,
                           uint32_t element_size, bool verify_crc, void* out,
                           ExtentStats* stats) {
+  TraceSpan decode_span(TraceStage::kExtentDecode);
   if (len < sizeof(ExtentHeader)) {
     return Status::IoError("truncated extent header: " + std::to_string(len) +
                            " of " + std::to_string(sizeof(ExtentHeader)) +

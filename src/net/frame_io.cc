@@ -3,6 +3,8 @@
 #include <cstring>
 #include <string>
 
+#include "telemetry/trace.h"
+
 namespace opaq {
 namespace {
 
@@ -24,6 +26,7 @@ Status ProtocolViolation(const WireFrameHeader& header, WireOp expected) {
 Status SendFrame(TcpConnection& conn, WireOp op, const void* payload,
                  size_t len) {
   std::vector<uint8_t> frame = EncodeFrame(op, payload, len);
+  TraceSpan span(TraceStage::kWireSend);
   return conn.WriteFull(frame.data(), frame.size());
 }
 
@@ -33,6 +36,7 @@ Result<WireFrame> ReceiveFrame(TcpConnection& conn) {
   frame.op = header.op;
   frame.payload.resize(header.payload_len);
   if (header.payload_len != 0) {
+    TraceSpan span(TraceStage::kWireRecv);
     OPAQ_RETURN_IF_ERROR(
         conn.ReadFull(frame.payload.data(), frame.payload.size()));
   }

@@ -1,7 +1,14 @@
 #include "net/frame_server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <ostream>
 #include <utility>
+
+#include "net/wire_stats.h"
+#include "telemetry/stats_format.h"
+#include "telemetry/trace.h"
+#include "util/shutdown.h"
 
 namespace opaq {
 
@@ -18,13 +25,43 @@ bool FrameServer::SendCounted(TcpConnection* conn, WireOp op,
                               const void* payload, size_t len) {
   std::vector<uint8_t> frame = EncodeFrame(op, payload, len);
   bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  TraceSpan span(TraceStage::kWireSend);
   return conn->WriteFull(frame.data(), frame.size()).ok();
 }
 
 bool FrameServer::SendErrorCounted(TcpConnection* conn, const Status& status) {
   std::vector<uint8_t> frame = EncodeErrorFrame(status);
   bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  TraceSpan span(TraceStage::kWireSend);
   return conn->WriteFull(frame.data(), frame.size()).ok();
+}
+
+MetricsRegistry* FrameServer::metrics_registry() const {
+  return options_.metrics != nullptr ? options_.metrics
+                                     : &MetricsRegistry::Global();
+}
+
+void FrameServer::PublishMetrics(MetricsRegistry* registry) {
+  registry->GetCounter("net.connections_accepted")
+      ->Set(connections_accepted());
+  registry->GetCounter("net.requests_served")->Set(requests_served());
+  registry->GetCounter("net.bytes_sent")->Set(bytes_sent());
+  registry->GetCounter("net.bytes_received")->Set(bytes_received());
+  // Flight-recorder per-stage aggregates ride along, so a stats snapshot
+  // carries the trace layer's totals without shipping the ring itself.
+  const FlightRecorder& recorder = FlightRecorder::Global();
+  for (size_t i = 0; i < kNumTraceStages; ++i) {
+    const TraceStage stage = static_cast<TraceStage>(i);
+    const std::string prefix = std::string("trace.") + TraceStageName(stage);
+    registry->GetCounter(prefix + ".count")->Set(recorder.StageCount(stage));
+    registry->GetCounter(prefix + ".ns")->Set(recorder.StageTotalNs(stage));
+  }
+}
+
+MetricsSnapshot FrameServer::StatsSnapshot() {
+  MetricsRegistry* registry = metrics_registry();
+  PublishMetrics(registry);
+  return registry->Snapshot();
 }
 
 Status FrameServer::Start() {
@@ -148,9 +185,11 @@ void FrameServer::Serve(TcpConnection* conn) {
     WireFrame frame;
     frame.op = header.op;
     frame.payload.resize(header.payload_len);
-    if (header.payload_len != 0 &&
-        !conn->ReadFull(frame.payload.data(), frame.payload.size()).ok()) {
-      return;  // truncated mid-frame: nothing sane left to answer
+    if (header.payload_len != 0) {
+      TraceSpan span(TraceStage::kWireRecv);
+      if (!conn->ReadFull(frame.payload.data(), frame.payload.size()).ok()) {
+        return;  // truncated mid-frame: nothing sane left to answer
+      }
     }
     bytes_received_.fetch_add(header.payload_len, std::memory_order_relaxed);
     if (Crc32(frame.payload.data(), frame.payload.size()) !=
@@ -166,10 +205,45 @@ void FrameServer::Serve(TcpConnection* conn) {
       std::this_thread::sleep_for(std::chrono::duration<double>(
           options_.response_delay_seconds));
     }
+    if (static_cast<WireOp>(frame.op) == WireOp::kStats) {
+      // Served here, in the shared transport loop, so EVERY daemon built on
+      // FrameServer answers stats — derived HandleFrames never see the op.
+      std::vector<uint8_t> payload = EncodeStatsPayload(StatsSnapshot());
+      if (!SendCounted(conn, WireOp::kStatsData, payload.data(),
+                       payload.size())) {
+        conn->ShutdownNow();
+        return;
+      }
+      continue;
+    }
     if (!HandleFrame(conn, frame)) {
       conn->ShutdownNow();
       return;
     }
+  }
+}
+
+bool ServeUntilShutdown(FrameServer* server, double duration_seconds,
+                        double stats_interval_seconds, std::ostream& os) {
+  if (stats_interval_seconds <= 0) {
+    return ShutdownSignal::Wait(duration_seconds);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    double chunk = stats_interval_seconds;
+    if (duration_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const double remaining = duration_seconds - elapsed;
+      if (remaining <= 0) return false;
+      chunk = std::min(chunk, remaining);
+    }
+    // chunk > 0 always holds here; Wait(0) would mean "no time limit".
+    if (ShutdownSignal::Wait(chunk)) return true;
+    os << "stats:\n" << FormatStatsText(server->StatsSnapshot());
+    os.flush();
   }
 }
 

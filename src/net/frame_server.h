@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include "net/socket.h"
 #include "net/wire.h"
+#include "telemetry/metrics.h"
 #include "util/status.h"
 
 namespace opaq {
@@ -29,6 +31,11 @@ struct FrameServerOptions {
   /// signal a client's `kHello` probe reads as "speak older". Must be in
   /// [1, kMaxWireVersion]; `Start` rejects anything else.
   uint16_t max_wire_version = kMaxWireVersion;
+  /// Registry this server publishes its metrics into and serves over the
+  /// wire (`kStats`). nullptr = the process-global registry; tests running
+  /// several servers in one process inject private registries to keep
+  /// their counters apart.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// The transport half every OPAQ wire daemon shares: bind/listen, one
@@ -86,6 +93,16 @@ class FrameServer {
     return bytes_received_.load(std::memory_order_relaxed);
   }
 
+  /// Publishes this server's live counters into its registry (via
+  /// `PublishMetrics`) and returns the registry's snapshot — exactly what a
+  /// `kStats` request answers with, so a daemon's local dump
+  /// (`--stats-interval` ticks, SIGTERM shutdown summary) and its remote
+  /// `opaq_cli stats` view render the same data through the same formatter.
+  MetricsSnapshot StatsSnapshot();
+
+  /// The registry this server publishes into (options or global).
+  MetricsRegistry* metrics_registry() const;
+
  protected:
   /// Derived-class config checks, run by `Start` before binding. Also the
   /// freeze point: once it returns OK, connection threads may be reading
@@ -95,7 +112,15 @@ class FrameServer {
   /// Handles one request frame (header already validated, CRC checked,
   /// `requests_served` counted, response delay applied). Returns false when
   /// the connection must close (protocol violation or transport failure).
+  /// `kStats` never reaches this — the base `Serve` loop answers it, so
+  /// every daemon built on FrameServer serves stats without opting in.
   virtual bool HandleFrame(TcpConnection* conn, const WireFrame& frame) = 0;
+
+  /// Copies this server's counters into `registry` under stable names
+  /// (base: the four `net.*` traffic counters). Derived servers override to
+  /// add their own, calling the base first. Runs on whatever thread asked
+  /// for a snapshot; everything it reads must be safe to read concurrently.
+  virtual void PublishMetrics(MetricsRegistry* registry);
 
   /// All response traffic funnels through these so `bytes_sent` counts
   /// every frame (header + payload) exactly once.
@@ -138,6 +163,17 @@ class FrameServer {
   std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
 };
+
+/// The daemons' shared serving loop: blocks until SIGINT/SIGTERM or
+/// `duration_seconds` elapses (0 = no limit), printing `server`'s stats
+/// snapshot to `os` every `stats_interval_seconds` (0 = never) — rendered
+/// by the same formatter that serves `kStats`, so the periodic log, the
+/// shutdown summary, and `opaq_cli stats` all show identical rows. Runs on
+/// the calling thread off the `ShutdownSignal` wait (no extra thread).
+/// Returns true when a signal ended the wait, false on timeout.
+/// `ShutdownSignal::Install` must have succeeded first.
+bool ServeUntilShutdown(FrameServer* server, double duration_seconds,
+                        double stats_interval_seconds, std::ostream& os);
 
 }  // namespace opaq
 

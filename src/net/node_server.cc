@@ -12,6 +12,7 @@ FrameServerOptions ToFrameOptions(const NodeServerOptions& options) {
   frame_options.port = options.port;
   frame_options.response_delay_seconds = options.response_delay_seconds;
   frame_options.max_wire_version = options.max_wire_version;
+  frame_options.metrics = options.metrics;
   return frame_options;
 }
 }  // namespace
@@ -65,6 +66,13 @@ Status NodeServer::ValidateStart() {
     return Status::InvalidArgument("max_compute_run_bytes must be positive");
   }
   return Status::OK();
+}
+
+void NodeServer::PublishMetrics(MetricsRegistry* registry) {
+  FrameServer::PublishMetrics(registry);
+  // Frozen at Start, so reading the map size without a lock is safe.
+  registry->GetGauge("node.exports")
+      ->Set(static_cast<int64_t>(exports_.size()));
 }
 
 uint64_t NodeServer::MaxExtentsPerRead(const ExportedDataset& dataset) const {

@@ -106,6 +106,8 @@ struct NodeServerOptions {
   /// node-side, so this is a memory bound, not a frame bound — hence far
   /// above `max_read_bytes`.
   uint64_t max_compute_run_bytes = 256u << 20;
+  /// Registry this server publishes into; see FrameServerOptions::metrics.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// `opaq_noded`'s engine: serves exported datasets over the wire protocol
@@ -241,6 +243,8 @@ class NodeServer : public FrameServer {
   /// Handles one request frame; returns false when the connection must
   /// close (protocol violation or transport failure).
   bool HandleFrame(TcpConnection* conn, const WireFrame& frame) override;
+  /// Base `net.*` counters plus `node.exports`.
+  void PublishMetrics(MetricsRegistry* registry) override;
 
  private:
   /// Per-request `kReadExtents` bound for one extent export: as many

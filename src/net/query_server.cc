@@ -1,5 +1,7 @@
 #include "net/query_server.h"
 
+#include "telemetry/trace.h"
+
 namespace opaq {
 
 namespace {
@@ -9,6 +11,7 @@ FrameServerOptions ToFrameOptions(const QueryServerOptions& options) {
   frame_options.port = options.port;
   frame_options.response_delay_seconds = options.response_delay_seconds;
   frame_options.max_wire_version = options.max_wire_version;
+  frame_options.metrics = options.metrics;
   return frame_options;
 }
 }  // namespace
@@ -60,6 +63,14 @@ Result<WireSessionInfo> QueryServer::SessionInfo(
   return it->second->Info();
 }
 
+void QueryServer::PublishMetrics(MetricsRegistry* registry) {
+  FrameServer::PublishMetrics(registry);
+  registry->GetCounter("query.exact_passes")->Set(exact_passes());
+  // Frozen at Start, so reading the map size without a lock is safe.
+  registry->GetGauge("query.sessions")
+      ->Set(static_cast<int64_t>(sessions_.size()));
+}
+
 bool QueryServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
   switch (static_cast<WireOp>(frame.op)) {
     case WireOp::kPing:
@@ -105,8 +116,14 @@ bool QueryServer::HandleFrame(TcpConnection* conn, const WireFrame& frame) {
             conn, Status::NotFound("query server serves no session named '" +
                                    decoded->second + "'"));
       }
+      const uint64_t start_ns = FlightRecorder::NowNs();
       auto answer = it->second->Answer(frame.payload.data(),
                                        frame.payload.size(), decoded->first);
+      MetricsRegistry* registry = metrics_registry();
+      if (registry->enabled()) {
+        registry->GetHistogram("query.batch_latency_us")
+            ->Record((FlightRecorder::NowNs() - start_ns) / 1000);
+      }
       if (!answer.ok()) {
         // Same split: length lies close the stream, per-request rejections
         // (bad phi / rank / q, exact without sources) keep it.

@@ -20,6 +20,7 @@
 #include "net/frame_server.h"
 #include "net/wire_query.h"
 #include "opaq/query.h"
+#include "telemetry/trace.h"
 #include "util/status.h"
 
 namespace opaq {
@@ -41,6 +42,8 @@ struct QueryServerOptions {
   /// queued concurrent arrivals still coalesce into one pass. Tests raise
   /// it to make the coalescing deterministic.
   double exact_admission_delay_seconds = 0;
+  /// Registry this server publishes into; see FrameServerOptions::metrics.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// `opaq_queryd`'s engine: sketch once, serve millions. Each named session
@@ -118,6 +121,8 @@ class QueryServer : public FrameServer {
  protected:
   Status ValidateStart() override;
   bool HandleFrame(TcpConnection* conn, const WireFrame& frame) override;
+  /// Base `net.*` counters plus `query.exact_passes` and `query.sessions`.
+  void PublishMetrics(MetricsRegistry* registry) override;
 
  private:
   /// Type-erased session slot: the server routes untyped payload bytes to
@@ -277,6 +282,7 @@ class QueryServer : public FrameServer {
       std::vector<Result<QueryResults<K>>> answers;
       answers.reserve(round.size());
       exact_passes->fetch_add(1, std::memory_order_relaxed);
+      TraceSpan pass_span(TraceStage::kExactPass);
       auto batch = snapshot->Query({combined.data(), combined.size()});
       if (batch.ok()) {
         size_t offset = 0;

@@ -31,6 +31,8 @@ const char* WireOpName(uint16_t op) {
     case WireOp::kExtentData: return "EXTENT_DATA";
     case WireOp::kAppend: return "APPEND";
     case WireOp::kAppendAck: return "APPEND_ACK";
+    case WireOp::kStats: return "STATS";
+    case WireOp::kStatsData: return "STATS_DATA";
   }
   return "?";
 }
@@ -69,6 +71,9 @@ uint16_t WireOpVersion(WireOp op) {
     case WireOp::kAppend:
     case WireOp::kAppendAck:
       return kAppendWireVersion;
+    case WireOp::kStats:
+    case WireOp::kStatsData:
+      return kStatsWireVersion;
   }
   return kMaxWireVersion;
 }

@@ -11,7 +11,7 @@
 
 namespace opaq {
 
-/// OPAQ data-node wire protocol, versions 1 through 5.
+/// OPAQ data-node wire protocol, versions 1 through 6.
 ///
 /// Every message is one length-prefixed frame: a fixed 16-byte header
 /// followed by `payload_len` payload bytes. The header carries a magic, the
@@ -20,7 +20,7 @@ namespace opaq {
 /// corruption before interpreting a single payload byte. Multi-byte fields
 /// are little-endian on the wire (the repo's on-disk headers share this
 /// convention); the frame layouts are pinned by committed golden byte
-/// streams (`tests/golden/wire_v1.bin` .. `wire_v5.bin`).
+/// streams (`tests/golden/wire_v1.bin` .. `wire_v6.bin`).
 ///
 /// Version 1 is the byte-serving protocol: open a dataset, stream element
 /// ranges. Version 2 adds COMPUTE ops that push the paper's work to the
@@ -42,7 +42,12 @@ namespace opaq {
 /// the node durably appends as one new segment of a live dataset, and
 /// `kAppendAck` answers with the dataset's new totals — turning a data
 /// node from a read-only byte/compute server into a continuously
-/// ingesting one. Each op's frame header
+/// ingesting one. Version 6 adds the STATS op pair (observability):
+/// `kStats` asks any daemon built on `FrameServer` for a versioned
+/// snapshot of its live metrics registry (src/telemetry/), and
+/// `kStatsData` answers with per-metric records — counters, gauges, and
+/// latency histograms self-hosted on the paper's own sample-list sketch
+/// (see net/wire_stats.h for the payload codec). Each op's frame header
 /// carries the op's own minimum version (v1 ops stay version 1, compute
 /// ops stay version 2), so an older peer rejects exactly the frames it
 /// cannot serve: a newer client probes with `kHello` and downgrades when
@@ -92,8 +97,13 @@ inline constexpr uint16_t kExtentWireVersion = 4;
 /// node persists as new segments of a live dataset.
 inline constexpr uint16_t kAppendWireVersion = 5;
 
+/// The version that introduced the observability ops
+/// (`kStats`/`kStatsData`): any daemon serves a snapshot of its live
+/// metrics registry to `opaq_cli stats`.
+inline constexpr uint16_t kStatsWireVersion = 6;
+
 /// The newest protocol version this build speaks.
-inline constexpr uint16_t kMaxWireVersion = kAppendWireVersion;
+inline constexpr uint16_t kMaxWireVersion = kStatsWireVersion;
 
 /// Hard cap on a frame payload: protects both sides from allocation bombs
 /// when a corrupted or hostile header claims an absurd length. The server's
@@ -144,6 +154,10 @@ enum class WireOp : uint16_t {
                     //    (name_len bytes) + count * element_size raw
                     //    element bytes, appended as ONE new segment
   kAppendAck = 23,  // <- payload: WireAppendAck (new dataset totals)
+  // ----- v6: observability ops (stats snapshot) -----
+  kStats = 24,      // -> empty payload: request a stats snapshot
+  kStatsData = 25,  // <- payload: WireStatsHeader + per-metric records
+                    //    (see net/wire_stats.h)
 };
 
 /// Stable short name for an op ("PING", "READ_RANGE", ...); "?" when
@@ -298,6 +312,45 @@ struct WireAppendRequest {
 };
 static_assert(sizeof(WireAppendRequest) == 16);
 static_assert(std::is_trivially_copyable_v<WireAppendRequest>);
+
+/// Fixed prefix of a `kStatsData` payload: the snapshot's own layout
+/// version (independent of the wire version, so records can grow fields
+/// without a protocol bump) and the metric-record count. `num_metrics`
+/// records follow, each a `WireStatsMetric` prefix + name bytes + the
+/// type-specific value region (see net/wire_stats.h for the codec and its
+/// hostile-input validation).
+struct WireStatsHeader {
+  uint32_t stats_version = 1;
+  uint32_t num_metrics = 0;
+};
+static_assert(sizeof(WireStatsHeader) == 8);
+static_assert(std::is_trivially_copyable_v<WireStatsHeader>);
+
+/// Fixed prefix of one metric record inside a `kStatsData` payload. After
+/// it: `name_len` name bytes, then the value region — counters and gauges
+/// carry one u64 (gauges two's-complement), histograms a
+/// `WireStatsHistogram` + `num_samples` sorted u64 samples.
+struct WireStatsMetric {
+  uint16_t name_len = 0;
+  uint8_t type = 0;      // MetricType tag: 0 counter | 1 gauge | 2 histogram
+  uint8_t reserved = 0;  // must be 0
+};
+static_assert(sizeof(WireStatsMetric) == 4);
+static_assert(std::is_trivially_copyable_v<WireStatsMetric>);
+
+/// Histogram value region of a stats metric record: the flattened
+/// sample-list sketch the `LatencyHistogram` accumulated (`num_samples`
+/// sorted u64 samples follow this prefix).
+struct WireStatsHistogram {
+  uint64_t count = 0;        // values recorded
+  uint64_t sum = 0;          // sum of recorded values
+  uint64_t subrun_size = 0;  // the sketch's sub-run size (> 0)
+  uint64_t num_runs = 0;
+  uint32_t num_samples = 0;
+  uint32_t reserved = 0;  // must be 0
+};
+static_assert(sizeof(WireStatsHistogram) == 40);
+static_assert(std::is_trivially_copyable_v<WireStatsHistogram>);
 
 /// `kAppendAck` payload: the live dataset's totals AFTER the append was
 /// made durable — the writer's commit receipt. `total_elements` is also

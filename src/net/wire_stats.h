@@ -1,0 +1,225 @@
+#ifndef OPAQ_NET_WIRE_STATS_H_
+#define OPAQ_NET_WIRE_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/wire.h"
+#include "telemetry/metrics.h"
+#include "util/status.h"
+
+namespace opaq {
+
+/// Payload codec of the v6 observability ops (`kStats` / `kStatsData`):
+/// a `MetricsSnapshot` flattened into one frame. The decoder validates
+/// structurally and fails with a `Status` — a corrupt or hostile payload
+/// must surface as a sticky stream error, never a CHECK-abort — matching
+/// the v1–v5 codec discipline (net/wire_query.h is the exemplar).
+///
+/// The encoder is deterministic byte-for-byte (fixed-layout structs,
+/// metrics in registry order = sorted by name), which is what lets the
+/// golden `wire_v6.bin` pin the layout.
+
+/// Decode-side cap on metrics per snapshot: far above any sane registry,
+/// far below what could amplify into trouble.
+inline constexpr uint32_t kMaxWireStatsMetrics = 4096;
+/// Decode-side cap on one metric's name length.
+inline constexpr uint32_t kMaxWireStatsNameLen = 512;
+/// Decode-side cap on one histogram's retained samples.
+inline constexpr uint32_t kMaxWireStatsSamples = 1u << 20;
+/// The snapshot layout version this build encodes and decodes.
+inline constexpr uint32_t kWireStatsVersion = 1;
+
+/// `kStatsData` payload: header + one record per metric.
+inline std::vector<uint8_t> EncodeStatsPayload(
+    const MetricsSnapshot& snapshot) {
+  WireStatsHeader header;
+  header.stats_version = snapshot.stats_version;
+  header.num_metrics = static_cast<uint32_t>(snapshot.metrics.size());
+  size_t bytes = sizeof(header);
+  for (const MetricSample& metric : snapshot.metrics) {
+    bytes += sizeof(WireStatsMetric) + metric.name.size();
+    if (metric.type == MetricType::kHistogram) {
+      bytes += sizeof(WireStatsHistogram) +
+               metric.histogram.samples.size() * sizeof(uint64_t);
+    } else {
+      bytes += sizeof(uint64_t);
+    }
+  }
+  std::vector<uint8_t> payload(bytes);
+  uint8_t* out = payload.data();
+  std::memcpy(out, &header, sizeof(header));
+  out += sizeof(header);
+  for (const MetricSample& metric : snapshot.metrics) {
+    WireStatsMetric record;
+    record.name_len = static_cast<uint16_t>(metric.name.size());
+    record.type = static_cast<uint8_t>(metric.type);
+    std::memcpy(out, &record, sizeof(record));
+    out += sizeof(record);
+    std::memcpy(out, metric.name.data(), metric.name.size());
+    out += metric.name.size();
+    if (metric.type == MetricType::kHistogram) {
+      WireStatsHistogram hist;
+      hist.count = metric.histogram.count;
+      hist.sum = metric.histogram.sum;
+      hist.subrun_size = metric.histogram.subrun_size;
+      hist.num_runs = metric.histogram.num_runs;
+      hist.num_samples =
+          static_cast<uint32_t>(metric.histogram.samples.size());
+      std::memcpy(out, &hist, sizeof(hist));
+      out += sizeof(hist);
+      if (!metric.histogram.samples.empty()) {
+        std::memcpy(out, metric.histogram.samples.data(),
+                    metric.histogram.samples.size() * sizeof(uint64_t));
+        out += metric.histogram.samples.size() * sizeof(uint64_t);
+      }
+    } else {
+      const uint64_t value = metric.value;
+      std::memcpy(out, &value, sizeof(value));
+      out += sizeof(value);
+    }
+  }
+  return payload;
+}
+
+/// Decodes and validates a `kStatsData` payload. Every record boundary is
+/// length-checked before being read; counts are bounded by the bytes
+/// actually present BEFORE any reserve (attacker-controlled counts must
+/// never turn into allocation bombs); histogram samples must be sorted
+/// (the invariant every renderer's rank arithmetic relies on).
+inline Result<MetricsSnapshot> DecodeStatsPayload(const uint8_t* payload,
+                                                  size_t len) {
+  WireStatsHeader header;
+  if (len < sizeof(header)) {
+    return Status::IoError("STATS_DATA payload shorter than its header");
+  }
+  std::memcpy(&header, payload, sizeof(header));
+  if (header.stats_version != kWireStatsVersion) {
+    return Status::IoError("STATS_DATA snapshot layout version " +
+                           std::to_string(header.stats_version) +
+                           " is not the supported version " +
+                           std::to_string(kWireStatsVersion));
+  }
+  if (header.num_metrics > kMaxWireStatsMetrics) {
+    return Status::IoError(
+        "STATS_DATA claims " + std::to_string(header.num_metrics) +
+        " metrics (protocol cap " + std::to_string(kMaxWireStatsMetrics) +
+        ")");
+  }
+  const uint8_t* in = payload + sizeof(header);
+  size_t remaining = len - sizeof(header);
+  // Bound the count by the bytes actually present BEFORE reserving.
+  if (header.num_metrics > remaining / sizeof(WireStatsMetric)) {
+    return Status::IoError(
+        "STATS_DATA claims " + std::to_string(header.num_metrics) +
+        " metrics but carries only " + std::to_string(remaining) +
+        " payload bytes");
+  }
+  MetricsSnapshot out;
+  out.stats_version = header.stats_version;
+  out.metrics.reserve(header.num_metrics);
+  for (uint32_t m = 0; m < header.num_metrics; ++m) {
+    WireStatsMetric record;
+    if (remaining < sizeof(record)) {
+      return Status::IoError("STATS_DATA truncated inside metric " +
+                             std::to_string(m));
+    }
+    std::memcpy(&record, in, sizeof(record));
+    in += sizeof(record);
+    remaining -= sizeof(record);
+    if (record.reserved != 0) {
+      return Status::IoError("STATS_DATA metric " + std::to_string(m) +
+                             " sets reserved bits");
+    }
+    if (record.type > static_cast<uint8_t>(MetricType::kHistogram)) {
+      return Status::IoError("STATS_DATA metric " + std::to_string(m) +
+                             " has unknown type tag " +
+                             std::to_string(record.type));
+    }
+    if (record.name_len == 0 || record.name_len > kMaxWireStatsNameLen) {
+      return Status::IoError("STATS_DATA metric " + std::to_string(m) +
+                             " has invalid name length " +
+                             std::to_string(record.name_len));
+    }
+    if (remaining < record.name_len) {
+      return Status::IoError("STATS_DATA metric " + std::to_string(m) +
+                             " name passes the end of the payload");
+    }
+    MetricSample metric;
+    metric.name.assign(reinterpret_cast<const char*>(in), record.name_len);
+    metric.type = static_cast<MetricType>(record.type);
+    in += record.name_len;
+    remaining -= record.name_len;
+    if (metric.type == MetricType::kHistogram) {
+      WireStatsHistogram hist;
+      if (remaining < sizeof(hist)) {
+        return Status::IoError("STATS_DATA truncated inside metric " +
+                               std::to_string(m) + "'s histogram");
+      }
+      std::memcpy(&hist, in, sizeof(hist));
+      in += sizeof(hist);
+      remaining -= sizeof(hist);
+      if (hist.reserved != 0) {
+        return Status::IoError("STATS_DATA metric " + std::to_string(m) +
+                               "'s histogram sets reserved bits");
+      }
+      if (hist.num_samples > kMaxWireStatsSamples) {
+        return Status::IoError(
+            "STATS_DATA metric " + std::to_string(m) + " claims " +
+            std::to_string(hist.num_samples) + " samples (protocol cap " +
+            std::to_string(kMaxWireStatsSamples) + ")");
+      }
+      if (hist.num_samples != 0 && hist.subrun_size == 0) {
+        return Status::IoError("STATS_DATA metric " + std::to_string(m) +
+                               "'s histogram has sub-run size 0");
+      }
+      const uint64_t sample_bytes =
+          uint64_t{hist.num_samples} * sizeof(uint64_t);
+      if (remaining < sample_bytes) {
+        return Status::IoError("STATS_DATA truncated inside metric " +
+                               std::to_string(m) + "'s samples");
+      }
+      metric.histogram.count = hist.count;
+      metric.histogram.sum = hist.sum;
+      metric.histogram.subrun_size = hist.subrun_size;
+      metric.histogram.num_runs = hist.num_runs;
+      metric.histogram.samples.resize(hist.num_samples);
+      if (hist.num_samples != 0) {
+        std::memcpy(metric.histogram.samples.data(), in, sample_bytes);
+        in += sample_bytes;
+      }
+      remaining -= static_cast<size_t>(sample_bytes);
+      if (!std::is_sorted(metric.histogram.samples.begin(),
+                          metric.histogram.samples.end())) {
+        return Status::IoError("STATS_DATA metric " + std::to_string(m) +
+                               "'s histogram samples are not sorted");
+      }
+      metric.value = metric.histogram.count;
+    } else {
+      uint64_t value = 0;
+      if (remaining < sizeof(value)) {
+        return Status::IoError("STATS_DATA truncated inside metric " +
+                               std::to_string(m) + "'s value");
+      }
+      std::memcpy(&value, in, sizeof(value));
+      in += sizeof(value);
+      remaining -= sizeof(value);
+      metric.value = value;
+    }
+    out.metrics.push_back(std::move(metric));
+  }
+  if (remaining != 0) {
+    return Status::IoError("STATS_DATA carries " +
+                           std::to_string(remaining) +
+                           " trailing bytes past its last metric");
+  }
+  return out;
+}
+
+}  // namespace opaq
+
+#endif  // OPAQ_NET_WIRE_STATS_H_

@@ -1,0 +1,169 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace opaq {
+
+uint64_t HistogramSnapshot::QuantilePoint(double phi) const {
+  if (samples.empty()) return 0;
+  if (phi < 0) phi = 0;
+  if (phi > 1) phi = 1;
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(phi * static_cast<double>(samples.size())));
+  if (rank < 1) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+LatencyHistogram::LatencyHistogram(Config config)
+    : run_size_(config.run_size),
+      subrun_size_(config.run_size / config.samples_per_run) {
+  OPAQ_CHECK_GT(config.samples_per_run, 0u);
+  OPAQ_CHECK_GT(subrun_size_, 0u);
+  OPAQ_CHECK_EQ(config.run_size % config.samples_per_run, 0u)
+      << "run_size must be a whole number of sub-runs";
+  pending_.reserve(run_size_);
+}
+
+void LatencyHistogram::FoldRun(std::vector<uint64_t> pending,
+                               uint64_t subrun_size,
+                               SampleList<uint64_t>* merged) {
+  if (pending.empty()) return;
+  std::sort(pending.begin(), pending.end());
+  // Regular sampling: the last element of each full sub-run, exactly the
+  // rule `RegularSamplesBySubrunSize` applies to data runs (a partial tail
+  // sub-run contributes no sample, only `num_uncovered` accounting).
+  SampleListBuilder<uint64_t> builder(subrun_size);
+  std::vector<uint64_t> samples;
+  samples.reserve(pending.size() / subrun_size);
+  for (uint64_t j = subrun_size - 1; j < pending.size(); j += subrun_size) {
+    samples.push_back(pending[j]);
+  }
+  builder.AddRunSamples(std::move(samples), pending.size());
+  auto combined = SampleList<uint64_t>::Merge(*merged, builder.Finalize());
+  OPAQ_CHECK_OK(combined.status());  // identical subrun sizes by construction
+  *merged = std::move(combined).value();
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.push_back(value);
+  sum_ += value;
+  ++count_;
+  if (pending_.size() >= run_size_) {
+    FoldRun(std::move(pending_), subrun_size_, &merged_);
+    pending_ = std::vector<uint64_t>();
+    pending_.reserve(run_size_);
+  }
+}
+
+uint64_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+SampleList<uint64_t> LatencyHistogram::SnapshotList() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SampleList<uint64_t> out = merged_;
+  FoldRun(pending_, subrun_size_, &out);  // copy: live state untouched
+  return out;
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SampleList<uint64_t> list = merged_;
+  FoldRun(pending_, subrun_size_, &list);
+  HistogramSnapshot out;
+  out.sum = sum_;
+  out.count = list.total_elements();
+  out.subrun_size = subrun_size_;
+  out.num_runs = list.accounting().num_runs;
+  out.samples = list.samples();
+  return out;
+}
+
+QuantileEstimate<uint64_t> LatencyHistogram::Quantile(double phi) const {
+  SampleList<uint64_t> list = SnapshotList();
+  if (list.samples().empty()) return QuantileEstimate<uint64_t>{};
+  return OpaqEstimator<uint64_t>(std::move(list)).Quantile(phi);
+}
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = metrics_[name];
+  if (entry.counter == nullptr) {
+    OPAQ_CHECK(entry.gauge == nullptr && entry.histogram == nullptr)
+        << "metric '" << name << "' already registered with another type";
+    entry.type = MetricType::kCounter;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = metrics_[name];
+  if (entry.gauge == nullptr) {
+    OPAQ_CHECK(entry.counter == nullptr && entry.histogram == nullptr)
+        << "metric '" << name << "' already registered with another type";
+    entry.type = MetricType::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return entry.gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(
+    const std::string& name, LatencyHistogram::Config config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = metrics_[name];
+  if (entry.histogram == nullptr) {
+    OPAQ_CHECK(entry.counter == nullptr && entry.gauge == nullptr)
+        << "metric '" << name << "' already registered with another type";
+    entry.type = MetricType::kHistogram;
+    entry.histogram = std::make_unique<LatencyHistogram>(config);
+  }
+  return entry.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.metrics.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) {  // std::map: sorted by name
+    MetricSample sample;
+    sample.name = name;
+    sample.type = entry.type;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        sample.value = entry.counter->value();
+        break;
+      case MetricType::kGauge:
+        sample.value = static_cast<uint64_t>(entry.gauge->value());
+        break;
+      case MetricType::kHistogram:
+        sample.histogram = entry.histogram->Snapshot();
+        sample.value = sample.histogram.count;
+        break;
+    }
+    out.metrics.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace opaq

@@ -1,0 +1,202 @@
+#ifndef OPAQ_TELEMETRY_METRICS_H_
+#define OPAQ_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/sample_list.h"
+#include "util/check.h"
+
+namespace opaq {
+
+/// The process-wide metric vocabulary: named counters, gauges, and latency
+/// histograms, registered once and updated lock-free on the hot path. The
+/// histograms are self-hosted on OPAQ's own mergeable sample-list sketch —
+/// the system measures itself with the paper's algorithm, so a histogram
+/// snapshot IS a `SampleList<uint64_t>` with certified quantile brackets.
+
+/// Monotonically increasing event count. All updates are relaxed atomics:
+/// a counter never orders anything, it only has to not lose increments.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// For mirroring an externally-maintained counter (e.g. a server's
+  /// connection count) into the registry at snapshot time.
+  void Set(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go both ways (resident sessions, queue depth).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Wire/render-safe flattened view of one histogram: a plain struct (no
+/// CHECKed invariants), so hostile decoded bytes can be carried and
+/// validated without aborting. `samples` is ascending; quantiles read
+/// straight off it by regular-sampling rank arithmetic.
+struct HistogramSnapshot {
+  uint64_t count = 0;        ///< values recorded (== accounting total)
+  uint64_t sum = 0;          ///< sum of recorded values (Prometheus _sum)
+  uint64_t subrun_size = 0;  ///< the sketch's sub-run size
+  uint64_t num_runs = 0;
+  std::vector<uint64_t> samples;  ///< sorted regular samples
+
+  /// Point estimate of the phi-quantile off the sample list (the sample at
+  /// regular-sampling rank ceil(phi * num_samples)); 0 when empty.
+  uint64_t QuantilePoint(double phi) const;
+};
+
+/// A latency histogram backed by the paper's sketch: recorded values fill a
+/// run buffer; each full run is regular-sampled and merged into the
+/// accumulated `SampleList<uint64_t>` (§4 associative merge), exactly as the
+/// engine sketches a data file. Snapshots fold the partial run in as a tail
+/// run without consuming it, so two snapshots of the same state are
+/// byte-identical and recording can continue.
+///
+/// Thread-safe: one mutex guards the pending run buffer and merged list.
+/// Record() is O(1) amortized (one push; every run_size-th call pays the
+/// sort + merge).
+class LatencyHistogram {
+ public:
+  struct Config {
+    /// Values per run before the buffer is sampled and merged. Matches the
+    /// loadgen's sketch geometry: 4096-value runs, 64 samples each.
+    uint64_t run_size = 4096;
+    uint64_t samples_per_run = 64;
+  };
+
+  LatencyHistogram() : LatencyHistogram(Config{}) {}
+  explicit LatencyHistogram(Config config);
+
+  void Record(uint64_t value);
+
+  /// Total values recorded so far.
+  uint64_t count() const;
+
+  /// The accumulated sketch, including the current partial run (folded in
+  /// as a tail run; the live state is not consumed).
+  SampleList<uint64_t> SnapshotList() const;
+
+  /// Flattened (wire/render) form of `SnapshotList`, plus the sum.
+  HistogramSnapshot Snapshot() const;
+
+  /// Certified quantile bracket off the snapshot sketch, the same answer an
+  /// `OpaqEstimator` over the recorded stream would give. Returns a
+  /// zero-filled estimate when nothing sampled yet (fewer than subrun_size
+  /// values recorded).
+  QuantileEstimate<uint64_t> Quantile(double phi) const;
+
+  uint64_t subrun_size() const { return subrun_size_; }
+
+ private:
+  /// Samples + merges `pending` (sorted in place) into `merged` as one run.
+  static void FoldRun(std::vector<uint64_t> pending, uint64_t subrun_size,
+                      SampleList<uint64_t>* merged);
+
+  const uint64_t run_size_;
+  const uint64_t subrun_size_;
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> pending_;
+  SampleList<uint64_t> merged_;
+  uint64_t sum_ = 0;
+  uint64_t count_ = 0;
+};
+
+enum class MetricType : uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+const char* MetricTypeName(MetricType type);
+
+/// One metric's value at snapshot time. For kGauge the int64 value is
+/// bit-cast into `value` (two's complement), matching the wire encoding.
+struct MetricSample {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  uint64_t value = 0;
+  HistogramSnapshot histogram;
+
+  int64_t gauge_value() const { return static_cast<int64_t>(value); }
+};
+
+/// A versioned point-in-time copy of every registered metric, sorted by
+/// name (deterministic iteration: goldens and diffs depend on it). This is
+/// what the v6 `kStatsData` payload carries and both formatters render.
+struct MetricsSnapshot {
+  /// Layout version of the snapshot payload itself (bumps independently of
+  /// the wire version when records grow fields).
+  uint32_t stats_version = 1;
+  std::vector<MetricSample> metrics;
+};
+
+/// Owns the named metrics. Registration returns stable pointers (the hot
+/// path caches them — no map lookups per event); re-registering a name
+/// returns the existing instance. Registration takes a mutex; updates on
+/// the returned objects never do (histograms excepted).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-global registry every daemon and the engine publish into.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(
+      const std::string& name,
+      LatencyHistogram::Config config = LatencyHistogram::Config());
+
+  /// Copies every metric, sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+  /// Runtime kill switch for overhead comparisons: while disabled,
+  /// instrumentation sites that check it (trace spans, histogram records
+  /// behind `enabled()`) become no-ops. Counters themselves stay live —
+  /// a relaxed fetch_add is already as cheap as the check.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> metrics_;
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace opaq
+
+#endif  // OPAQ_TELEMETRY_METRICS_H_

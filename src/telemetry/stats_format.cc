@@ -1,0 +1,81 @@
+#include "telemetry/stats_format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace opaq {
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "opaq_";
+  for (char c : name) {
+    const bool valid = std::isalnum(static_cast<unsigned char>(c)) ||
+                       c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatStatsText(const MetricsSnapshot& snapshot) {
+  size_t width = 0;
+  for (const MetricSample& metric : snapshot.metrics) {
+    width = std::max(width, metric.name.size());
+  }
+  std::ostringstream out;
+  for (const MetricSample& metric : snapshot.metrics) {
+    out << metric.name
+        << std::string(width - metric.name.size() + 2, ' ');
+    switch (metric.type) {
+      case MetricType::kCounter:
+        out << metric.value << "\n";
+        break;
+      case MetricType::kGauge:
+        out << metric.gauge_value() << "\n";
+        break;
+      case MetricType::kHistogram: {
+        const HistogramSnapshot& h = metric.histogram;
+        out << "count=" << h.count << " sum=" << h.sum
+            << " p50=" << h.QuantilePoint(0.5)
+            << " p90=" << h.QuantilePoint(0.9)
+            << " p99=" << h.QuantilePoint(0.99)
+            << " max=" << h.QuantilePoint(1.0) << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string FormatStatsPrometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const MetricSample& metric : snapshot.metrics) {
+    const std::string name = PrometheusName(metric.name);
+    switch (metric.type) {
+      case MetricType::kCounter:
+        out << "# TYPE " << name << " counter\n"
+            << name << " " << metric.value << "\n";
+        break;
+      case MetricType::kGauge:
+        out << "# TYPE " << name << " gauge\n"
+            << name << " " << metric.gauge_value() << "\n";
+        break;
+      case MetricType::kHistogram: {
+        const HistogramSnapshot& h = metric.histogram;
+        out << "# TYPE " << name << " summary\n";
+        for (double phi : {0.5, 0.9, 0.99}) {
+          out << name << "{quantile=\"" << phi << "\"} "
+              << h.QuantilePoint(phi) << "\n";
+        }
+        out << name << "_sum " << h.sum << "\n"
+            << name << "_count " << h.count << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace opaq

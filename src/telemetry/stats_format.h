@@ -1,0 +1,24 @@
+#ifndef OPAQ_TELEMETRY_STATS_FORMAT_H_
+#define OPAQ_TELEMETRY_STATS_FORMAT_H_
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace opaq {
+
+/// Renders a snapshot for humans: one aligned `name  value` row per metric,
+/// histograms expanded to count/sum/p50/p90/p99/max. Both daemons' shutdown
+/// dumps and `--stats-interval` ticks and the CLI's default `stats` output
+/// all go through this one function, so the layouts stay identical.
+std::string FormatStatsText(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot in the Prometheus text exposition format (0.0.4):
+/// counters/gauges as typed samples, histograms as summaries with
+/// `quantile` labels plus `_sum`/`_count`. Metric names are sanitized
+/// (dots become underscores) and prefixed `opaq_`.
+std::string FormatStatsPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace opaq
+
+#endif  // OPAQ_TELEMETRY_STATS_FORMAT_H_

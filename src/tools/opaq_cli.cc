@@ -10,6 +10,7 @@
 //   opaq rank     --sketch=data.sketch --value=123456
 //   opaq merge    --out=all.sketch a.sketch b.sketch
 //   opaq inspect  --sketch=data.sketch
+//   opaq stats    127.0.0.1:34602        # live daemon metrics (wire v6)
 //   opaq <command> --help
 //
 // Sketches persist the sorted sample list, so `sketch` once and query
@@ -79,6 +80,7 @@ int CmdExact(const CommandFlags& flags);
 int CmdRank(const CommandFlags& flags);
 int CmdMerge(const CommandFlags& flags);
 int CmdInspect(const CommandFlags& flags);
+int CmdStats(const CommandFlags& flags);
 
 struct CommandSpec {
   const char* name;
@@ -290,6 +292,15 @@ const std::vector<CommandSpec>& Commands() {
            {"sketch", "", "input sketch file", "sketch to describe", true},
        },
        CmdInspect},
+      {"stats",
+       "fetch a live daemon's metrics snapshot over the wire (v6 STATS)",
+       "HOST:PORT",
+       {
+           {"format", "text", "output rendering",
+            "text (aligned name/value rows) | prometheus (text exposition "
+            "for scraping)"},
+       },
+       CmdStats},
   };
   return kCommands;
 }
@@ -953,6 +964,45 @@ int CmdInspect(const CommandFlags& flags) {
     std::cout << "  sample range   : [" << list->samples().front() << ", "
               << list->samples().back() << "]\n";
   }
+  return 0;
+}
+
+int CmdStats(const CommandFlags& flags) {
+  if (flags.raw().positional().size() != 2) {  // "stats" + target
+    return Fail(Status::InvalidArgument(
+        "stats needs exactly one HOST:PORT argument (any opaq_noded or "
+        "opaq_queryd address)"));
+  }
+  const std::string& target = flags.raw().positional()[1];
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == target.size()) {
+    return Fail(Status::InvalidArgument("bad stats target '" + target +
+                                        "'; expected HOST:PORT"));
+  }
+  char* end = nullptr;
+  const long port = std::strtol(target.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
+    return Fail(
+        Status::InvalidArgument("bad port in stats target '" + target + "'"));
+  }
+  const std::string format = flags.GetString("format");
+  if (format != "text" && format != "prometheus") {
+    return Fail(Status::InvalidArgument("unknown --format: " + format +
+                                        " (text | prometheus)"));
+  }
+  auto client = NodeClient::Connect(target.substr(0, colon),
+                                    static_cast<uint16_t>(port));
+  if (!client.ok()) return Fail(client.status());
+  Status sent = client->SendRequest(WireOp::kStats, nullptr, 0);
+  if (!sent.ok()) return Fail(sent);
+  auto frame = client->ReceiveResponse(WireOp::kStatsData);
+  if (!frame.ok()) return Fail(frame.status());
+  auto snapshot =
+      DecodeStatsPayload(frame->payload.data(), frame->payload.size());
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  std::cout << (format == "prometheus" ? FormatStatsPrometheus(*snapshot)
+                                       : FormatStatsText(*snapshot));
   return 0;
 }
 

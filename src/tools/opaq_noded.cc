@@ -42,6 +42,7 @@
 #include "opaq/io.h"
 #include "opaq/net.h"
 #include "opaq/status.h"
+#include "opaq/telemetry.h"
 #include "opaq/util.h"
 
 namespace opaq {
@@ -414,7 +415,12 @@ int Usage(std::ostream& os, int code) {
         "until\n"
         "                      SIGINT/SIGTERM; either way shutdown is clean "
         "and the\n"
-        "                      final counters print)\n";
+        "                      final stats print)\n"
+        "  --stats-interval=0  seconds between periodic stats dumps to "
+        "stdout\n"
+        "                      (same rows `opaq_cli stats` fetches; 0 = "
+        "only the\n"
+        "                      shutdown summary)\n";
   return code;
 }
 
@@ -437,7 +443,8 @@ int Main(int argc, char** argv) {
   for (const std::string& key : flags->keys()) {
     if (key != "export" && key != "live" && key != "bind" && key != "port" &&
         key != "max-read-bytes" && key != "max-wire-version" &&
-        key != "delay-ms" && key != "duration" && key != "help") {
+        key != "delay-ms" && key != "duration" &&
+        key != "stats-interval" && key != "help") {
       std::cerr << "opaq_noded: unknown flag --" << key << "\n";
       return Usage(std::cerr, 2);
     }
@@ -507,6 +514,12 @@ int Main(int argc, char** argv) {
   options.response_delay_seconds = *delay_ms / 1000.0;
   const auto duration = flags->TryGetDouble("duration", 0);
   if (!duration.ok()) return BadFlag(duration.status());
+  const auto stats_interval = flags->TryGetDouble("stats-interval", 0);
+  if (!stats_interval.ok()) return BadFlag(stats_interval.status());
+  if (*stats_interval < 0) {
+    return BadFlag(
+        Status::InvalidArgument("--stats-interval must be non-negative"));
+  }
 
   NodeServer server(options);
   for (const ExportSpecEntry& entry : static_entries) {
@@ -550,15 +563,15 @@ int Main(int argc, char** argv) {
             << options.max_wire_version
             << ", unauthenticated; trusted networks only)" << std::endl;
 
-  // Serve until --duration elapses or a signal arrives, whichever first;
-  // either way Stop() joins every connection thread and the counters print.
-  const bool signalled = ShutdownSignal::Wait(*duration);
+  // Serve until --duration elapses or a signal arrives, whichever first
+  // (printing stats every --stats-interval seconds on the way); either way
+  // Stop() joins every connection thread and the final stats print.
+  const bool signalled =
+      ServeUntilShutdown(&server, *duration, *stats_interval, std::cout);
   server.Stop();
-  std::cout << (signalled ? "shutdown: signal received; " : "shutdown: ")
-            << "served " << server.connections_accepted() << " connections, "
-            << server.requests_served() << " requests, "
-            << server.bytes_sent() << " bytes out, "
-            << server.bytes_received() << " bytes in" << std::endl;
+  std::cout << (signalled ? "shutdown: signal received; final stats:\n"
+                          : "shutdown: final stats:\n")
+            << FormatStatsText(server.StatsSnapshot()) << std::flush;
   return 0;
 }
 

@@ -210,7 +210,12 @@ int Usage(std::ostream& os, int code) {
         "until\n"
         "                      SIGINT/SIGTERM; either way shutdown is clean "
         "and the\n"
-        "                      final counters print)\n";
+        "                      final stats print)\n"
+        "  --stats-interval=0  seconds between periodic stats dumps to "
+        "stdout\n"
+        "                      (same rows `opaq_cli stats` fetches; 0 = "
+        "only the\n"
+        "                      shutdown summary)\n";
   return code;
 }
 
@@ -234,7 +239,8 @@ int Main(int argc, char** argv) {
     if (key != "serve" && key != "watch" && key != "bind" && key != "port" &&
         key != "run-size" && key != "samples" && key != "seed" &&
         key != "refresh-interval" && key != "exact-delay-ms" &&
-        key != "delay-ms" && key != "duration" && key != "help") {
+        key != "delay-ms" && key != "duration" && key != "stats-interval" &&
+        key != "help") {
       std::cerr << "opaq_queryd: unknown flag --" << key << "\n";
       return Usage(std::cerr, 2);
     }
@@ -302,6 +308,12 @@ int Main(int argc, char** argv) {
   }
   const auto duration = flags->TryGetDouble("duration", 0);
   if (!duration.ok()) return BadFlag(duration.status());
+  const auto stats_interval = flags->TryGetDouble("stats-interval", 0);
+  if (!stats_interval.ok()) return BadFlag(stats_interval.status());
+  if (*stats_interval < 0) {
+    return BadFlag(
+        Status::InvalidArgument("--stats-interval must be non-negative"));
+  }
 
   OpaqConfig config;
   const auto run_size = flags->TryGetInt("run-size", config.run_size);
@@ -396,9 +408,11 @@ int Main(int argc, char** argv) {
     });
   }
 
-  // Serve until --duration elapses or a signal arrives, whichever first;
-  // either way Stop() joins every connection thread and the counters print.
-  const bool signalled = ShutdownSignal::Wait(*duration);
+  // Serve until --duration elapses or a signal arrives, whichever first
+  // (printing stats every --stats-interval seconds on the way); either way
+  // Stop() joins every connection thread and the final stats print.
+  const bool signalled =
+      ServeUntilShutdown(&server, *duration, *stats_interval, std::cout);
   if (refresher.joinable()) {
     {
       std::lock_guard<std::mutex> lock(refresh_mutex);
@@ -408,12 +422,10 @@ int Main(int argc, char** argv) {
     refresher.join();
   }
   server.Stop();
-  std::cout << (signalled ? "shutdown: signal received; " : "shutdown: ")
-            << "served " << server.connections_accepted() << " connections, "
-            << server.requests_served() << " requests, "
-            << server.exact_passes() << " exact passes, " << refreshes
-            << " refreshes, " << server.bytes_sent() << " bytes out, "
-            << server.bytes_received() << " bytes in" << std::endl;
+  server.metrics_registry()->GetCounter("query.refreshes")->Set(refreshes);
+  std::cout << (signalled ? "shutdown: signal received; final stats:\n"
+                          : "shutdown: final stats:\n")
+            << FormatStatsText(server.StatsSnapshot()) << std::flush;
   return 0;
 }
 

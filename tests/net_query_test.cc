@@ -521,11 +521,17 @@ TEST(DaemonSignalTest, QuerydJoinsCleanlyOnSigterm) {
             client->Query({batch.data(), batch.size()}).status());
       });
   EXPECT_EQ(run.exit_code, 0) << run.output;
-  EXPECT_NE(run.output.find("shutdown: signal received"), std::string::npos)
+  // The final dump is the unified registry rendering: one FormatStatsText
+  // block whose rows carry the net.* vocabulary plus the query server's own
+  // metrics (the pre-registry ad-hoc counter lines are gone).
+  EXPECT_NE(run.output.find("shutdown: signal received; final stats:"),
+            std::string::npos)
       << run.output;
-  EXPECT_NE(run.output.find("1 connections"), std::string::npos)
+  EXPECT_NE(run.output.find("net.connections_accepted"), std::string::npos)
       << run.output;
-  EXPECT_NE(run.output.find("exact passes"), std::string::npos)
+  EXPECT_NE(run.output.find("query.exact_passes"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("query.batch_latency_us"), std::string::npos)
       << run.output;
 }
 
@@ -541,9 +547,12 @@ TEST(DaemonSignalTest, NodedJoinsCleanlyOnSigterm) {
         OPAQ_CHECK_OK(client->Ping());
       });
   EXPECT_EQ(run.exit_code, 0) << run.output;
-  EXPECT_NE(run.output.find("shutdown: signal received"), std::string::npos)
+  EXPECT_NE(run.output.find("shutdown: signal received; final stats:"),
+            std::string::npos)
       << run.output;
-  EXPECT_NE(run.output.find("1 connections"), std::string::npos)
+  EXPECT_NE(run.output.find("net.connections_accepted"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("node.exports"), std::string::npos)
       << run.output;
 }
 

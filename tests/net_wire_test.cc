@@ -17,6 +17,7 @@
 #include "net/wire.h"
 #include "net/wire_compute.h"
 #include "net/wire_query.h"
+#include "net/wire_stats.h"
 
 namespace opaq {
 namespace {
@@ -85,7 +86,6 @@ TEST(WireFrameTest, V4LayoutIsPinned) {
 
 TEST(WireFrameTest, V5LayoutIsPinned) {
   EXPECT_EQ(kAppendWireVersion, 5);
-  EXPECT_EQ(kMaxWireVersion, 5);
   static_assert(sizeof(WireAppendRequest) == 16);
   static_assert(offsetof(WireAppendRequest, count) == 0);
   static_assert(offsetof(WireAppendRequest, name_len) == 8);
@@ -95,6 +95,28 @@ TEST(WireFrameTest, V5LayoutIsPinned) {
   static_assert(offsetof(WireAppendAck, num_segments) == 8);
   EXPECT_EQ(static_cast<uint16_t>(WireOp::kAppend), 22);
   EXPECT_EQ(static_cast<uint16_t>(WireOp::kAppendAck), 23);
+}
+
+TEST(WireFrameTest, V6LayoutIsPinned) {
+  EXPECT_EQ(kStatsWireVersion, 6);
+  EXPECT_EQ(kMaxWireVersion, 6);
+  EXPECT_EQ(kWireStatsVersion, 1u);
+  static_assert(sizeof(WireStatsHeader) == 8);
+  static_assert(offsetof(WireStatsHeader, stats_version) == 0);
+  static_assert(offsetof(WireStatsHeader, num_metrics) == 4);
+  static_assert(sizeof(WireStatsMetric) == 4);
+  static_assert(offsetof(WireStatsMetric, name_len) == 0);
+  static_assert(offsetof(WireStatsMetric, type) == 2);
+  static_assert(offsetof(WireStatsMetric, reserved) == 3);
+  static_assert(sizeof(WireStatsHistogram) == 40);
+  static_assert(offsetof(WireStatsHistogram, count) == 0);
+  static_assert(offsetof(WireStatsHistogram, sum) == 8);
+  static_assert(offsetof(WireStatsHistogram, subrun_size) == 16);
+  static_assert(offsetof(WireStatsHistogram, num_runs) == 24);
+  static_assert(offsetof(WireStatsHistogram, num_samples) == 32);
+  static_assert(offsetof(WireStatsHistogram, reserved) == 36);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kStats), 24);
+  EXPECT_EQ(static_cast<uint16_t>(WireOp::kStatsData), 25);
 }
 
 TEST(WireFrameTest, FramesCarryPerOpVersions) {
@@ -122,6 +144,9 @@ TEST(WireFrameTest, FramesCarryPerOpVersions) {
   }
   for (WireOp op : {WireOp::kAppend, WireOp::kAppendAck}) {
     EXPECT_EQ(WireOpVersion(op), 5u) << WireOpName(static_cast<uint16_t>(op));
+  }
+  for (WireOp op : {WireOp::kStats, WireOp::kStatsData}) {
+    EXPECT_EQ(WireOpVersion(op), 6u) << WireOpName(static_cast<uint16_t>(op));
   }
   // And EncodeFrame stamps that version into the header.
   std::vector<uint8_t> v1 = EncodeFrame(WireOp::kPing, nullptr, 0);
@@ -785,6 +810,262 @@ TEST(WireGoldenTest, GoldenV5StreamDecodesFrameByFrame) {
   std::memcpy(&ack, frames[1].payload.data(), sizeof(ack));
   EXPECT_EQ(ack.total_elements, 1004u);
   EXPECT_EQ(ack.num_segments, 3u);
+}
+
+// ------------------------------------------- v6 golden byte stream ----
+
+/// The fixed snapshot every v6 golden/roundtrip case uses: one metric of
+/// each type, values chosen so no field is zero by accident.
+MetricsSnapshot GoldenSnapshot() {
+  MetricsSnapshot snapshot;
+  MetricSample counter;
+  counter.name = "net.frames_served";
+  counter.type = MetricType::kCounter;
+  counter.value = 12345;
+  snapshot.metrics.push_back(counter);
+  MetricSample gauge;
+  gauge.name = "query.sessions";
+  gauge.type = MetricType::kGauge;
+  gauge.value = static_cast<uint64_t>(int64_t{-3});  // two's complement
+  snapshot.metrics.push_back(gauge);
+  MetricSample histogram;
+  histogram.name = "query.batch_latency_us";
+  histogram.type = MetricType::kHistogram;
+  histogram.histogram.count = 200;
+  histogram.histogram.sum = 51200;
+  histogram.histogram.subrun_size = 16;
+  histogram.histogram.num_runs = 2;
+  histogram.histogram.samples = {11, 23, 37, 53, 71, 97, 131, 211,
+                                 331, 433, 557, 691};
+  histogram.value = histogram.histogram.count;
+  snapshot.metrics.push_back(histogram);
+  return snapshot;
+}
+
+/// The canned stats conversation committed as tests/golden/wire_v6.bin:
+/// the v6 op pair once — an empty-payload STATS poll and the STATS_DATA
+/// snapshot with one counter, one gauge, and one sketch-backed histogram.
+/// Must keep producing these exact bytes forever (or kMaxWireVersion must
+/// be bumped and a new blob committed).
+std::vector<uint8_t> MakeGoldenV6Stream() {
+  std::vector<uint8_t> stream;
+  auto append = [&stream](const std::vector<uint8_t>& frame) {
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  append(EncodeFrame(WireOp::kStats, nullptr, 0));
+  append(EncodeFrame(WireOp::kStatsData,
+                     EncodeStatsPayload(GoldenSnapshot())));
+  return stream;
+}
+
+TEST(WireGoldenTest, EncoderProducesExactGoldenV6Bytes) {
+  EXPECT_EQ(MakeGoldenV6Stream(), GoldenBlobBytes("wire_v6.bin"))
+      << "the v6 stats frame encoding changed; deployed daemons and stats "
+         "pollers would no longer interoperate. If intentional, bump "
+         "kMaxWireVersion and commit a new golden blob.";
+}
+
+TEST(WireGoldenTest, GoldenV6StreamDecodesFrameByFrame) {
+  const std::vector<uint8_t> blob = GoldenBlobBytes("wire_v6.bin");
+  const uint16_t expected_ops[] = {
+      static_cast<uint16_t>(WireOp::kStats),
+      static_cast<uint16_t>(WireOp::kStatsData),
+  };
+  size_t offset = 0;
+  std::vector<WireFrame> frames;
+  for (uint16_t expected : expected_ops) {
+    WireFrameHeader header;
+    ASSERT_GE(blob.size() - offset, sizeof(header));
+    std::memcpy(&header, blob.data() + offset, sizeof(header));
+    EXPECT_EQ(header.version, 6) << WireOpName(expected);
+    size_t consumed = 0;
+    auto frame =
+        DecodeFrame(blob.data() + offset, blob.size() - offset, &consumed);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->op, expected);
+    frames.push_back(std::move(frame).value());
+    offset += consumed;
+  }
+  EXPECT_EQ(offset, blob.size()) << "golden stream has trailing bytes";
+
+  EXPECT_TRUE(frames[0].payload.empty());
+  auto decoded =
+      DecodeStatsPayload(frames[1].payload.data(), frames[1].payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const MetricsSnapshot expected = GoldenSnapshot();
+  ASSERT_EQ(decoded->metrics.size(), expected.metrics.size());
+  for (size_t i = 0; i < expected.metrics.size(); ++i) {
+    EXPECT_EQ(decoded->metrics[i].name, expected.metrics[i].name);
+    EXPECT_EQ(decoded->metrics[i].type, expected.metrics[i].type);
+    EXPECT_EQ(decoded->metrics[i].value, expected.metrics[i].value);
+  }
+  EXPECT_EQ(decoded->metrics[1].gauge_value(), -3);
+  const HistogramSnapshot& hist = decoded->metrics[2].histogram;
+  EXPECT_EQ(hist.count, 200u);
+  EXPECT_EQ(hist.sum, 51200u);
+  EXPECT_EQ(hist.subrun_size, 16u);
+  EXPECT_EQ(hist.num_runs, 2u);
+  EXPECT_EQ(hist.samples, expected.metrics[2].histogram.samples);
+}
+
+// --------------------------------------------- v6 stats payload codec ----
+
+TEST(WireStatsTest, EmptySnapshotRoundTrips) {
+  MetricsSnapshot empty;
+  std::vector<uint8_t> payload = EncodeStatsPayload(empty);
+  EXPECT_EQ(payload.size(), sizeof(WireStatsHeader));
+  auto decoded = DecodeStatsPayload(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->metrics.empty());
+  EXPECT_EQ(decoded->stats_version, kWireStatsVersion);
+}
+
+TEST(WireStatsTest, LiveRegistrySnapshotRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Add(77);
+  registry.GetGauge("b.gauge")->Set(-9000);
+  LatencyHistogram::Config config;
+  config.run_size = 32;
+  config.samples_per_run = 8;
+  LatencyHistogram* hist = registry.GetHistogram("c.hist", config);
+  for (uint64_t v = 0; v < 100; ++v) hist->Record(v * 3);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  std::vector<uint8_t> payload = EncodeStatsPayload(snapshot);
+  auto decoded = DecodeStatsPayload(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->metrics.size(), 3u);
+  EXPECT_EQ(decoded->metrics[0].name, "a.count");
+  EXPECT_EQ(decoded->metrics[0].value, 77u);
+  EXPECT_EQ(decoded->metrics[1].gauge_value(), -9000);
+  EXPECT_EQ(decoded->metrics[2].histogram.samples,
+            snapshot.metrics[2].histogram.samples);
+  EXPECT_EQ(decoded->metrics[2].histogram.sum,
+            snapshot.metrics[2].histogram.sum);
+  // Decode -> encode is byte-stable (the golden blob depends on it).
+  EXPECT_EQ(EncodeStatsPayload(*decoded), payload);
+}
+
+/// Every hostile case must come back as a Status, never a CHECK-abort.
+Status DecodeStatus(const std::vector<uint8_t>& payload) {
+  return DecodeStatsPayload(payload.data(), payload.size()).status();
+}
+
+TEST(WireStatsTest, HostilePayloadsSurfaceAsStatus) {
+  const std::vector<uint8_t> good = EncodeStatsPayload(GoldenSnapshot());
+
+  // Shorter than the header.
+  EXPECT_FALSE(DecodeStatus({0x01, 0x02}).ok());
+
+  // Unsupported snapshot layout version.
+  {
+    std::vector<uint8_t> bad = good;
+    bad[0] = 0x7f;
+    Status status = DecodeStatus(bad);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("layout version"), std::string::npos);
+  }
+
+  // Metric count above the protocol cap.
+  {
+    std::vector<uint8_t> bad = good;
+    const uint32_t huge = kMaxWireStatsMetrics + 1;
+    std::memcpy(bad.data() + 4, &huge, sizeof(huge));
+    Status status = DecodeStatus(bad);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("protocol cap"), std::string::npos);
+  }
+
+  // Allocation bomb: a large claimed count with no bytes behind it must be
+  // rejected BEFORE any reserve.
+  {
+    std::vector<uint8_t> bad(sizeof(WireStatsHeader));
+    WireStatsHeader header;
+    header.num_metrics = kMaxWireStatsMetrics;
+    std::memcpy(bad.data(), &header, sizeof(header));
+    Status status = DecodeStatus(bad);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("carries only"), std::string::npos);
+  }
+
+  // Truncation at EVERY byte boundary of a real payload: always a clean
+  // Status (the fuzz wall — no length may be trusted before checking).
+  for (size_t len = 0; len < good.size(); ++len) {
+    auto truncated = DecodeStatsPayload(good.data(), len);
+    EXPECT_FALSE(truncated.ok()) << "truncation to " << len
+                                 << " bytes decoded successfully";
+  }
+
+  // Trailing garbage past the last metric.
+  {
+    std::vector<uint8_t> bad = good;
+    bad.push_back(0xee);
+    Status status = DecodeStatus(bad);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("trailing"), std::string::npos);
+  }
+
+  // Reserved bits in a metric record.
+  {
+    std::vector<uint8_t> bad = good;
+    bad[sizeof(WireStatsHeader) + 3] = 0x01;  // first record's reserved byte
+    Status status = DecodeStatus(bad);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("reserved"), std::string::npos);
+  }
+
+  // Unknown metric type tag.
+  {
+    std::vector<uint8_t> bad = good;
+    bad[sizeof(WireStatsHeader) + 2] = 0x09;  // first record's type byte
+    Status status = DecodeStatus(bad);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("unknown type"), std::string::npos);
+  }
+
+  // Zero-length metric name.
+  {
+    std::vector<uint8_t> bad = good;
+    bad[sizeof(WireStatsHeader)] = 0;
+    bad[sizeof(WireStatsHeader) + 1] = 0;
+    EXPECT_FALSE(DecodeStatus(bad).ok());
+  }
+
+  // Unsorted histogram samples (break the renderers' rank arithmetic).
+  {
+    MetricsSnapshot snapshot = GoldenSnapshot();
+    std::swap(snapshot.metrics[2].histogram.samples.front(),
+              snapshot.metrics[2].histogram.samples.back());
+    std::vector<uint8_t> bad = EncodeStatsPayload(snapshot);
+    Status status = DecodeStatus(bad);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("not sorted"), std::string::npos);
+  }
+
+  // Histogram with samples but sub-run size 0 (division bait).
+  {
+    MetricsSnapshot snapshot = GoldenSnapshot();
+    snapshot.metrics[2].histogram.subrun_size = 0;
+    std::vector<uint8_t> bad = EncodeStatsPayload(snapshot);
+    Status status = DecodeStatus(bad);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("sub-run size 0"), std::string::npos);
+  }
+
+  // Random byte-flip fuzz over the whole payload: decode either succeeds
+  // or fails with a Status, but NEVER aborts; a success must re-encode.
+  std::vector<uint8_t> fuzzed = good;
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int round = 0; round < 2000; ++round) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const size_t pos = static_cast<size_t>(state >> 33) % fuzzed.size();
+    const uint8_t old = fuzzed[pos];
+    fuzzed[pos] ^= static_cast<uint8_t>(state);
+    auto decoded = DecodeStatsPayload(fuzzed.data(), fuzzed.size());
+    if (decoded.ok()) {
+      EXPECT_EQ(EncodeStatsPayload(*decoded).size(), fuzzed.size());
+    }
+    fuzzed[pos] = old;
+  }
 }
 
 }  // namespace
